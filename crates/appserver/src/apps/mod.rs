@@ -1,0 +1,15 @@
+//! Demo applications mounted on the script engine.
+
+pub mod books;
+pub mod brokerage;
+pub mod paper_site;
+
+use crate::engine::ScriptEngine;
+
+/// Mount the BooksOnline and brokerage applications (the realistic demo
+/// sites). The synthetic paper site is mounted separately because it takes
+/// experiment parameters.
+pub fn install_demo_sites(engine: &mut ScriptEngine) {
+    books::install(engine);
+    brokerage::install(engine);
+}

@@ -1,0 +1,211 @@
+//! Per-request context handed to scripts.
+//!
+//! Bundles the parsed request, the resolved session, the repository handle
+//! and a simulated-cost accumulator. The accumulated cost is reported to
+//! the proxy/harness in the `X-Origin-Cost-Nanos` response header, giving
+//! the benches a precise content-generation-delay figure per request
+//! (§2.2.2's server latency) without wall-clock noise.
+
+use dpc_core::Bem;
+use dpc_http::{Request, Uri};
+use dpc_repository::{Costed, Repository};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::profile::UserProfile;
+
+/// Name of the session cookie carrying the user id.
+pub const SESSION_COOKIE: &str = "session";
+/// Request header that forces a fully expanded (bypass) response.
+pub const BYPASS_HEADER: &str = "X-DPC-Bypass";
+/// Request header a distributed DPC node uses to announce its node id
+/// (0–63) so the BEM can track per-node fragment placement (§7).
+pub const NODE_HEADER: &str = "X-DPC-Node";
+/// Response header carrying the simulated origin generation cost.
+pub const COST_HEADER: &str = "X-Origin-Cost-Nanos";
+
+/// Everything a script can see while serving one request.
+pub struct RequestCtx {
+    uri: Uri,
+    user: Option<String>,
+    repo: Arc<Repository>,
+    bem: Arc<Bem>,
+    cost: Mutex<Duration>,
+}
+
+impl RequestCtx {
+    /// Build from a parsed HTTP request.
+    pub fn new(req: &Request, repo: Arc<Repository>, bem: Arc<Bem>) -> RequestCtx {
+        let uri = Uri::parse(&req.target);
+        let user = req
+            .headers
+            .get("cookie")
+            .and_then(parse_session_cookie)
+            .map(str::to_owned);
+        RequestCtx {
+            uri,
+            user,
+            repo,
+            bem,
+            cost: Mutex::new(Duration::ZERO),
+        }
+    }
+
+    /// The parsed request target.
+    pub fn uri(&self) -> &Uri {
+        &self.uri
+    }
+
+    /// Query parameter lookup.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.uri.param(name)
+    }
+
+    /// Session user id, if a session cookie was presented.
+    pub fn user(&self) -> Option<&str> {
+        self.user.as_deref()
+    }
+
+    /// The content repository.
+    pub fn repo(&self) -> &Arc<Repository> {
+        &self.repo
+    }
+
+    /// The BEM (for object-cache access).
+    pub fn bem(&self) -> &Arc<Bem> {
+        &self.bem
+    }
+
+    /// Unwrap a costed repository result, charging its simulated latency
+    /// to this request.
+    pub fn charge<T>(&self, costed: Costed<T>) -> T {
+        *self.cost.lock() += costed.cost;
+        costed.value
+    }
+
+    /// Charge a fixed simulated latency (script interpretation, business
+    /// logic, object churn).
+    pub fn charge_fixed(&self, d: Duration) {
+        *self.cost.lock() += d;
+    }
+
+    /// Total simulated generation cost accumulated so far.
+    pub fn cost(&self) -> Duration {
+        *self.cost.lock()
+    }
+
+    /// Resolve the visitor profile through the BEM's object cache: the
+    /// repository is hit at most once per TTL per user, however many
+    /// fragments ask (§3.2.2's shared user-profile object).
+    pub fn profile(&self) -> Arc<UserProfile> {
+        match self.user.clone() {
+            None => Arc::new(UserProfile::anonymous()),
+            Some(user) => {
+                let repo = Arc::clone(&self.repo);
+                let key = format!("profile/{user}");
+                let charged = Mutex::new(Duration::ZERO);
+                let profile = self.bem.objects().get_or_insert_with(
+                    &key,
+                    Duration::from_secs(60),
+                    || {
+                        let (profile, cost) = UserProfile::load(&repo, &user);
+                        *charged.lock() = cost;
+                        profile
+                    },
+                );
+                self.charge_fixed(*charged.lock());
+                profile
+            }
+        }
+    }
+}
+
+/// Extract the session user from a Cookie header value
+/// (`a=1; session=user3; b=2` → `user3`).
+fn parse_session_cookie(cookie: &str) -> Option<&str> {
+    cookie.split(';').find_map(|part| {
+        let (k, v) = part.split_once('=')?;
+        (k.trim() == SESSION_COOKIE).then_some(v.trim())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_core::BemConfig;
+    use dpc_repository::datasets::{seed_users, DatasetConfig};
+
+    fn fixture() -> (Arc<Repository>, Arc<Bem>) {
+        let repo = Repository::with_defaults();
+        seed_users(
+            &repo,
+            &DatasetConfig {
+                users: 4,
+                ..DatasetConfig::default()
+            },
+        );
+        (repo, Arc::new(Bem::new(BemConfig::default())))
+    }
+
+    fn request(target: &str, cookie: Option<&str>) -> Request {
+        let mut req = Request::get(target);
+        if let Some(c) = cookie {
+            req.headers.set("Cookie", c);
+        }
+        req
+    }
+
+    #[test]
+    fn parses_params_and_session() {
+        let (repo, bem) = fixture();
+        let req = request("/catalog.jsp?categoryID=cat3", Some("session=user1"));
+        let ctx = RequestCtx::new(&req, repo, bem);
+        assert_eq!(ctx.param("categoryID"), Some("cat3"));
+        assert_eq!(ctx.user(), Some("user1"));
+    }
+
+    #[test]
+    fn cookie_parsing_variants() {
+        assert_eq!(parse_session_cookie("session=u1"), Some("u1"));
+        assert_eq!(parse_session_cookie("a=1; session=u2 ; b=3"), Some("u2"));
+        assert_eq!(parse_session_cookie("a=1; b=2"), None);
+        assert_eq!(parse_session_cookie(""), None);
+    }
+
+    #[test]
+    fn charges_accumulate() {
+        let (repo, bem) = fixture();
+        let req = request("/x", None);
+        let ctx = RequestCtx::new(&req, Arc::clone(&repo), bem);
+        let _ = ctx.charge(repo.get("users", "user0"));
+        ctx.charge_fixed(Duration::from_micros(100));
+        assert!(ctx.cost() >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn profile_is_cached_across_requests() {
+        let (repo, bem) = fixture();
+        let mk = |repo: &Arc<Repository>, bem: &Arc<Bem>| {
+            let req = request("/x", Some("session=user2"));
+            RequestCtx::new(&req, Arc::clone(repo), Arc::clone(bem))
+        };
+        let ctx1 = mk(&repo, &bem);
+        let p1 = ctx1.profile();
+        assert!(p1.registered);
+        let ctx2 = mk(&repo, &bem);
+        let p2 = ctx2.profile();
+        assert_eq!(p1, p2);
+        // Second resolution hit the object cache: no repository cost.
+        assert_eq!(ctx2.cost(), Duration::ZERO);
+        let (hits, misses) = bem.objects().counters();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn anonymous_profile_without_cookie() {
+        let (repo, bem) = fixture();
+        let ctx = RequestCtx::new(&request("/x", None), repo, bem);
+        assert!(!ctx.profile().registered);
+    }
+}

@@ -1,0 +1,35 @@
+//! # dpc-appserver — the dynamic-content application server
+//!
+//! The IIS/ASP substitute: a script engine in the paper's n-tier mold
+//! (§2.2.2's presentation / business logic / data access layers) that turns
+//! HTTP requests into pages by running registered **scripts**. Scripts
+//! write their output through the BEM's [`TemplateWriter`], so the same
+//! script serves three configurations:
+//!
+//! * BEM enabled → instrumented templates (`GET`/`SET` instructions);
+//! * BEM disabled → fully expanded pages (the "no cache" baseline);
+//! * bypass requests (`X-DPC-Bypass: 1`) → fully expanded pages on demand
+//!   (the DPC's fallback when it cannot assemble a template).
+//!
+//! Three applications ship in [`apps`]:
+//!
+//! * [`apps::paper_site`] — the synthetic site of the paper's §5/§6
+//!   evaluation: `n` identical pages × `m` fragments of `s_e` bytes with a
+//!   design-time cacheability share — every Table 2 knob is a parameter;
+//! * [`apps::books`] — BooksOnline (§2's running example): catalog,
+//!   product and home pages with profile-driven dynamic layouts;
+//! * [`apps::brokerage`] — the stock-quote page of §3.2.1 (price /
+//!   headlines / research, invalidating at second / half-hour / month
+//!   scales) and a personalized portfolio page — the "major financial
+//!   institution" workload of the deployment study.
+//!
+//! [`TemplateWriter`]: dpc_core::bem::TemplateWriter
+
+pub mod apps;
+pub mod context;
+pub mod engine;
+pub mod profile;
+
+pub use context::RequestCtx;
+pub use engine::{Script, ScriptEngine};
+pub use profile::UserProfile;

@@ -1,0 +1,111 @@
+//! User profiles — the shared intermediate object of §3.2.2.
+//!
+//! The paper's argument against page factoring hinges on this object: a
+//! script queries the profile repository once, then derives several
+//! fragments (greeting, recommendations, layout) from the same result.
+//! Profiles are therefore loaded through the BEM's object cache
+//! ([`dpc_core::objects::ObjectCache`]) so the query runs once per TTL, not
+//! once per fragment.
+
+use dpc_repository::Repository;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A resolved visitor profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserProfile {
+    /// Session user id (`user3`), or `"anonymous"`.
+    pub user_id: String,
+    /// Display name for greetings.
+    pub name: String,
+    /// Layout preference: `classic`, `wide`, or `compact` (§2.1's
+    /// user-controlled page layout).
+    pub layout: String,
+    /// Preferred catalog category (`cat4`).
+    pub fav_category: String,
+    /// Preferred ticker (`SYM7`).
+    pub fav_symbol: String,
+    /// Premium tier flag.
+    pub premium: bool,
+    /// True for registered users.
+    pub registered: bool,
+}
+
+impl UserProfile {
+    /// The default profile served to non-registered visitors.
+    pub fn anonymous() -> UserProfile {
+        UserProfile {
+            user_id: "anonymous".to_owned(),
+            name: String::new(),
+            layout: "classic".to_owned(),
+            fav_category: "cat0".to_owned(),
+            fav_symbol: "SYM0".to_owned(),
+            premium: false,
+            registered: false,
+        }
+    }
+
+    /// Load `user`'s profile from the repository (one point query).
+    /// Unknown users degrade to the anonymous profile — a stale session
+    /// cookie must not 500 the site.
+    pub fn load(repo: &Arc<Repository>, user: &str) -> (UserProfile, Duration) {
+        let costed = repo.get("users", user);
+        let profile = match costed.value {
+            Some(row) => UserProfile {
+                user_id: user.to_owned(),
+                name: row.str("name").to_owned(),
+                layout: row.str("layout").to_owned(),
+                fav_category: row.str("fav_category").to_owned(),
+                fav_symbol: row.str("fav_symbol").to_owned(),
+                premium: row.bool("premium"),
+                registered: true,
+            },
+            None => UserProfile::anonymous(),
+        };
+        (profile, costed.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_repository::datasets::{seed_users, DatasetConfig};
+
+    fn repo() -> Arc<Repository> {
+        let repo = Repository::with_defaults();
+        seed_users(
+            &repo,
+            &DatasetConfig {
+                users: 5,
+                ..DatasetConfig::default()
+            },
+        );
+        repo
+    }
+
+    #[test]
+    fn loads_registered_profile() {
+        let repo = repo();
+        let (p, cost) = UserProfile::load(&repo, "user2");
+        assert!(p.registered);
+        assert_eq!(p.user_id, "user2");
+        assert!(!p.name.is_empty());
+        assert!(cost > Duration::ZERO);
+    }
+
+    #[test]
+    fn unknown_user_degrades_to_anonymous() {
+        let repo = repo();
+        let (p, _) = UserProfile::load(&repo, "ghost99");
+        assert!(!p.registered);
+        assert_eq!(p.layout, "classic");
+    }
+
+    #[test]
+    fn anonymous_defaults() {
+        let p = UserProfile::anonymous();
+        assert!(!p.registered);
+        assert!(!p.premium);
+        assert_eq!(p.user_id, "anonymous");
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 2(b) — analytical savings in bytes served (%) vs hit ratio.
+//!
+//! Paper shape: slightly negative at `h = 0` (tags are pure overhead),
+//! crossing to positive at a very small `h`, rising to ~70%+ at `h = 1`.
+//! Two series are printed: Table 2 defaults (cacheability 0.6, peak ≈53%)
+//! and the calibrated cacheability 0.8 the published curve's ≈72% peak
+//! implies (see DESIGN.md / EXPERIMENTS.md).
+//!
+//! Run: `cargo run -p dpc-bench --bin fig2b`
+
+use dpc_bench::output::{banner, f3, TablePrinter};
+use dpc_model::curves::{fig2b, sweep};
+use dpc_model::ModelParams;
+
+fn main() {
+    banner("Figure 2(b): savings in bytes served (%) vs hit ratio (analytical)");
+    let table2 = ModelParams::table2();
+    let calibrated = ModelParams::table2().fig2b_calibrated();
+    let hs = sweep(0.0, 1.0, 21);
+    let a = fig2b(&table2, &hs);
+    let b = fig2b(&calibrated, &hs);
+    let mut t = TablePrinter::new(vec![
+        "hit_ratio",
+        "savings_pct_table2(x=0.6)",
+        "savings_pct_calibrated(x=0.8)",
+    ]);
+    for (pa, pb) in a.iter().zip(&b) {
+        t.row(vec![f3(pa.x), f3(pa.y), f3(pb.y)]);
+    }
+    t.print();
+
+    // Break-even hit ratio: h* where savings cross zero (paper: "as long
+    // as 1% or more fragments are served from cache"; exact closed form is
+    // h* = 2g/(s_e + 2g) ≈ 1.9% at Table 2 sizes).
+    let mut lo = 0.0;
+    let mut hi = 0.2;
+    for _ in 0..50 {
+        let mid = (lo + hi) / 2.0;
+        if fig2b(&table2, &[mid])[0].y < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    println!();
+    println!("break-even hit ratio h* = {:.4} (paper: ~0.01)", (lo + hi) / 2.0);
+    println!(
+        "peak savings at h=1: table2 {:.1}%, calibrated {:.1}% (paper curve: ~72%)",
+        fig2b(&table2, &[1.0])[0].y,
+        fig2b(&calibrated, &[1.0])[0].y
+    );
+}

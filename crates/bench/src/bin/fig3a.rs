@@ -1,0 +1,61 @@
+//! Figure 3(a) — cost savings (%) vs cacheability: network savings (upper
+//! curve) against firewall scan-cost savings (lower curve), plus Result 1.
+//!
+//! Paper shape (calibrated series): network savings positive over the whole
+//! 20–100% range, approaching ~99% at full cacheability; firewall savings
+//! from ≈−60% at 20% cacheability, crossing zero near 50%.
+//!
+//! Run: `cargo run -p dpc-bench --bin fig3a`
+
+use dpc_bench::output::{banner, f3, TablePrinter};
+use dpc_model::curves::{fig3a_firewall, fig3a_network, sweep};
+use dpc_model::{expected_bytes, prefer_dpc, ModelParams};
+
+fn main() {
+    banner("Figure 3(a): cost savings vs cacheability (analytical)");
+    let calibrated = ModelParams::table2()
+        .with_fragment_bytes(1000.0)
+        .fig3a_calibrated();
+    let table2 = ModelParams::table2();
+    let xs = sweep(0.2, 1.0, 17);
+    let net_cal = fig3a_network(&calibrated, &xs);
+    let fw_cal = fig3a_firewall(&calibrated, &xs);
+    let net_t2 = fig3a_network(&table2, &xs);
+    let fw_t2 = fig3a_firewall(&table2, &xs);
+
+    let mut t = TablePrinter::new(vec![
+        "cacheability_pct",
+        "network_savings_pct(calibrated)",
+        "firewall_savings_pct(calibrated)",
+        "network_savings_pct(table2)",
+        "firewall_savings_pct(table2)",
+    ]);
+    for i in 0..xs.len() {
+        t.row(vec![
+            format!("{:.0}", xs[i] * 100.0),
+            f3(net_cal[i].y),
+            f3(fw_cal[i].y),
+            f3(net_t2[i].y),
+            f3(fw_t2[i].y),
+        ]);
+    }
+    t.print();
+
+    // Result 1 break-even on the calibrated series.
+    let mut lo = 0.2;
+    let mut hi = 1.0;
+    for _ in 0..50 {
+        let mid = (lo + hi) / 2.0;
+        let sizes = expected_bytes(&calibrated.with_cacheability(mid));
+        if prefer_dpc(&sizes) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    println!();
+    println!(
+        "Result 1 break-even cacheability = {:.1}% (paper: \"less than about 50%\u{2009}… not worth caching\")",
+        (lo + hi) / 2.0 * 100.0
+    );
+}

@@ -1,0 +1,61 @@
+//! Figure 3(b) — experimental + analytical `B_C/B_NC` vs fragment size.
+//!
+//! The experimental series runs the full Figure 4 testbed (DPC vs
+//! pass-through) and reads the Sniffer meters on the origin↔proxy wire
+//! (wire bytes include TCP/IP framing). Paper shape: experimental tracks
+//! analytical closely but sits *above* it, with the gap largest at small
+//! fragment sizes — the network-protocol-header effect of §6.
+//!
+//! Run: `cargo run -p dpc-bench --bin fig3b`
+//! Knobs: `DPC_BENCH_REQUESTS` (default 1200), `DPC_BENCH_WARMUP` (200).
+
+use dpc_appserver::apps::paper_site::PaperSiteParams;
+use dpc_bench::harness::{env_usize, sweep_ratio, SweepSpec};
+use dpc_bench::output::{banner, f3, TablePrinter};
+use dpc_model::curves::fig2a;
+use dpc_model::ModelParams;
+
+fn main() {
+    banner("Figure 3(b): B_C/B_NC vs fragment size (experimental + analytical)");
+    let requests = env_usize("DPC_BENCH_REQUESTS", 1200);
+    let warmup = env_usize("DPC_BENCH_WARMUP", 200);
+    let sizes_kb = [0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0];
+
+    let mut t = TablePrinter::new(vec![
+        "fragment_kb",
+        "analytical_ratio",
+        "experimental_ratio(wire)",
+        "payload_ratio",
+        "measured_h",
+    ]);
+    for &kb in &sizes_kb {
+        let bytes = (kb * 1024.0) as usize;
+        let spec = SweepSpec {
+            params: PaperSiteParams {
+                fragment_bytes: bytes,
+                ..PaperSiteParams::default()
+            },
+            forced_hit_ratio: Some(0.8), // Table 2's h
+            requests,
+            warmup,
+            ..SweepSpec::default()
+        };
+        let outcome = sweep_ratio(&spec);
+        let analytical = fig2a(
+            &ModelParams::table2().with_fragment_bytes(bytes as f64),
+            &[bytes as f64],
+        )[0]
+        .y;
+        t.row(vec![
+            f3(kb),
+            f3(analytical),
+            f3(outcome.wire_ratio()),
+            f3(outcome.payload_ratio()),
+            f3(outcome.cache.measured_h),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("expected: experimental(wire) >= analytical, gap shrinking with fragment size");
+    println!("          (TCP/IP headers are a larger share of small responses — §6)");
+}

@@ -1,0 +1,51 @@
+//! Figure 5 — experimental + analytical savings in bytes served (%) vs hit
+//! ratio.
+//!
+//! The hit ratio is pinned per point via the BEM's controlled-hit-ratio
+//! hook (the paper's testbed likewise "incorporated the parameter settings
+//! in Table 2"). Paper shape: experimental tracks analytical with the
+//! experimental savings slightly *lower*, the gap growing with `h` — as
+//! responses shrink, fixed TCP/IP framing takes a larger share (§6).
+//!
+//! Run: `cargo run -p dpc-bench --bin fig5`
+//! Knobs: `DPC_BENCH_REQUESTS` (default 1200), `DPC_BENCH_WARMUP` (200).
+
+use dpc_appserver::apps::paper_site::PaperSiteParams;
+use dpc_bench::harness::{env_usize, sweep_ratio, SweepSpec};
+use dpc_bench::output::{banner, f3, TablePrinter};
+use dpc_model::curves::fig2b;
+use dpc_model::ModelParams;
+
+fn main() {
+    banner("Figure 5: savings in bytes served (%) vs hit ratio (experimental + analytical)");
+    let requests = env_usize("DPC_BENCH_REQUESTS", 1200);
+    let warmup = env_usize("DPC_BENCH_WARMUP", 200);
+    let hs = [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0];
+
+    let mut t = TablePrinter::new(vec![
+        "hit_ratio",
+        "analytical_savings_pct",
+        "experimental_savings_pct(wire)",
+        "measured_h",
+    ]);
+    for &h in &hs {
+        let spec = SweepSpec {
+            params: PaperSiteParams::default(),
+            forced_hit_ratio: Some(h),
+            requests,
+            warmup,
+            ..SweepSpec::default()
+        };
+        let outcome = sweep_ratio(&spec);
+        let analytical = fig2b(&ModelParams::table2().with_hit_ratio(h), &[h])[0].y;
+        t.row(vec![
+            f3(h),
+            f3(analytical),
+            f3(outcome.wire_savings_percent()),
+            f3(outcome.cache.measured_h),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("expected: experimental <= analytical, gap growing with h (framing share — §6)");
+}

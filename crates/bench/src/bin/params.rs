@@ -1,0 +1,67 @@
+//! Table 2 — baseline parameter settings for the analysis, plus the model's
+//! closed-form values at those settings.
+//!
+//! Run: `cargo run -p dpc-bench --bin params`
+
+use dpc_bench::output::{banner, f3, TablePrinter};
+use dpc_model::{expected_bytes, prefer_dpc, ModelParams, ScanCosts};
+
+fn main() {
+    banner("Table 2: baseline parameter settings");
+    let p = ModelParams::table2();
+    let mut t = TablePrinter::new(vec!["parameter", "value"]);
+    t.row(vec!["hit ratio (h)".to_owned(), format!("{}", p.hit_ratio)]);
+    t.row(vec![
+        "fragment size (s_e)".to_owned(),
+        format!("{} bytes", p.fragment_bytes),
+    ]);
+    t.row(vec![
+        "fragments per page".to_owned(),
+        p.fragments_per_page.to_string(),
+    ]);
+    t.row(vec!["pages".to_owned(), p.pages.to_string()]);
+    t.row(vec![
+        "header size (f)".to_owned(),
+        format!("{} bytes", p.header_bytes),
+    ]);
+    t.row(vec![
+        "tag size (g)".to_owned(),
+        format!("{} bytes", p.tag_bytes),
+    ]);
+    t.row(vec![
+        "cacheability factor".to_owned(),
+        p.cacheability.to_string(),
+    ]);
+    t.row(vec![
+        "requests in interval (R)".to_owned(),
+        p.requests.to_string(),
+    ]);
+    t.print();
+
+    banner("Closed-form values at the baseline");
+    let sizes = expected_bytes(&p);
+    let costs = ScanCosts::from_bytes(&sizes);
+    let mut t = TablePrinter::new(vec!["quantity", "value"]);
+    t.row(vec![
+        "B_NC (bytes served, no cache)".to_owned(),
+        format!("{:.0}", sizes.no_cache),
+    ]);
+    t.row(vec![
+        "B_C (bytes served, DPC)".to_owned(),
+        format!("{:.0}", sizes.with_cache),
+    ]);
+    t.row(vec!["B_C / B_NC".to_owned(), f3(sizes.ratio())]);
+    t.row(vec![
+        "bandwidth savings".to_owned(),
+        format!("{:.1}%", sizes.savings_percent()),
+    ]);
+    t.row(vec![
+        "scan-cost savings (z=y)".to_owned(),
+        format!("{:.1}%", costs.savings_percent()),
+    ]);
+    t.row(vec![
+        "Result 1: prefer DPC (B_NC > 2 B_C)?".to_owned(),
+        prefer_dpc(&sizes).to_string(),
+    ]);
+    t.print();
+}

@@ -1,0 +1,219 @@
+//! Page assembly at the DPC.
+//!
+//! A single linear pass over the template (the scan the paper's cost model
+//! charges `z ≈ y` per byte for): literals are copied, `SET` content is
+//! stored into the slot array *and* copied into the page, `GET`s are filled
+//! from the slot array. The output is the byte-exact page the origin would
+//! have produced without the cache — the central correctness property,
+//! enforced by the round-trip property tests in this module and by the
+//! end-to-end equivalence tests in the workspace `tests/` directory.
+
+use bytes::Bytes;
+
+use crate::error::AssembleError;
+use crate::store::FragmentStore;
+use crate::tag::{Op, Scanner};
+
+/// Counters from one assembly pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssemblyStats {
+    /// `GET` instructions satisfied from the store.
+    pub gets: u64,
+    /// `SET` instructions stored.
+    pub sets: u64,
+    /// Literal bytes copied from the template.
+    pub literal_bytes: u64,
+    /// Fragment bytes spliced from the store (GET) .
+    pub get_bytes: u64,
+    /// Fragment bytes carried in the template (SET).
+    pub set_bytes: u64,
+    /// Template bytes scanned.
+    pub template_bytes: u64,
+}
+
+/// A fully assembled page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembledPage {
+    /// Final HTML delivered to the user.
+    pub html: Vec<u8>,
+    pub stats: AssemblyStats,
+}
+
+/// Assemble `template` against `store`.
+///
+/// Errors indicate the proxy must fall back to a bypass fetch; they never
+/// result in a wrong page being served.
+pub fn assemble(template: &[u8], store: &FragmentStore) -> Result<AssembledPage, AssembleError> {
+    let mut scanner = Scanner::new(template).ok_or(AssembleError::Malformed {
+        offset: 0,
+        reason: "missing template preamble",
+    })?;
+    let mut html = Vec::with_capacity(template.len() * 2);
+    let mut stats = AssemblyStats {
+        template_bytes: template.len() as u64,
+        ..AssemblyStats::default()
+    };
+    while let Some(op) = scanner.next()? {
+        match op {
+            Op::Literal(bytes) => {
+                stats.literal_bytes += bytes.len() as u64;
+                html.extend_from_slice(bytes);
+            }
+            Op::Get(key) => {
+                let fragment = store
+                    .get(key)
+                    .ok_or(AssembleError::MissingFragment(key))?;
+                stats.gets += 1;
+                stats.get_bytes += fragment.len() as u64;
+                html.extend_from_slice(&fragment);
+            }
+            Op::Set { key, content } => {
+                if !store.set(key, Bytes::copy_from_slice(content)) {
+                    return Err(AssembleError::KeyOutOfRange(key));
+                }
+                stats.sets += 1;
+                stats.set_bytes += content.len() as u64;
+                html.extend_from_slice(content);
+            }
+        }
+    }
+    Ok(AssembledPage { html, stats })
+}
+
+/// Assemble without mutating the store: `SET`s are *not* installed. Used by
+/// read-only consumers (e.g. template inspection tools).
+pub fn assemble_readonly(
+    template: &[u8],
+    store: &FragmentStore,
+) -> Result<AssembledPage, AssembleError> {
+    let mut scanner = Scanner::new(template).ok_or(AssembleError::Malformed {
+        offset: 0,
+        reason: "missing template preamble",
+    })?;
+    let mut html = Vec::with_capacity(template.len() * 2);
+    let mut stats = AssemblyStats {
+        template_bytes: template.len() as u64,
+        ..AssemblyStats::default()
+    };
+    while let Some(op) = scanner.next()? {
+        match op {
+            Op::Literal(bytes) => {
+                stats.literal_bytes += bytes.len() as u64;
+                html.extend_from_slice(bytes);
+            }
+            Op::Get(key) => {
+                let fragment = store
+                    .get(key)
+                    .ok_or(AssembleError::MissingFragment(key))?;
+                stats.gets += 1;
+                stats.get_bytes += fragment.len() as u64;
+                html.extend_from_slice(&fragment);
+            }
+            Op::Set { key: _, content } => {
+                stats.sets += 1;
+                stats.set_bytes += content.len() as u64;
+                html.extend_from_slice(content);
+            }
+        }
+    }
+    Ok(AssembledPage { html, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::DpcKey;
+    use crate::tag::{write_get, write_literal, write_preamble, write_set};
+
+    fn store_with(entries: &[(u32, &[u8])]) -> FragmentStore {
+        let store = FragmentStore::new(64);
+        for (k, v) in entries {
+            store.set(DpcKey(*k), Bytes::copy_from_slice(v));
+        }
+        store
+    }
+
+    #[test]
+    fn assembles_literals_gets_and_sets() {
+        let store = store_with(&[(1, b"CACHED")]);
+        let mut t = Vec::new();
+        write_preamble(&mut t);
+        write_literal(&mut t, b"<a>");
+        write_get(&mut t, DpcKey(1));
+        write_literal(&mut t, b"<b>");
+        write_set(&mut t, DpcKey(2), b"FRESH");
+        write_literal(&mut t, b"<c>");
+        let page = assemble(&t, &store).unwrap();
+        assert_eq!(page.html, b"<a>CACHED<b>FRESH<c>".to_vec());
+        assert_eq!(page.stats.gets, 1);
+        assert_eq!(page.stats.sets, 1);
+        assert_eq!(page.stats.get_bytes, 6);
+        assert_eq!(page.stats.set_bytes, 5);
+        assert_eq!(page.stats.literal_bytes, 9);
+        // The SET was installed for future GETs.
+        assert_eq!(store.get(DpcKey(2)).unwrap(), Bytes::from_static(b"FRESH"));
+    }
+
+    #[test]
+    fn missing_fragment_is_an_error_not_a_wrong_page() {
+        let store = FragmentStore::new(8);
+        let mut t = Vec::new();
+        write_preamble(&mut t);
+        write_get(&mut t, DpcKey(5));
+        let err = assemble(&t, &store).unwrap_err();
+        assert_eq!(err, AssembleError::MissingFragment(DpcKey(5)));
+    }
+
+    #[test]
+    fn key_out_of_range_is_an_error() {
+        let store = FragmentStore::new(4);
+        let mut t = Vec::new();
+        write_preamble(&mut t);
+        write_set(&mut t, DpcKey(100), b"x");
+        let err = assemble(&t, &store).unwrap_err();
+        assert_eq!(err, AssembleError::KeyOutOfRange(DpcKey(100)));
+    }
+
+    #[test]
+    fn uninstrumented_body_is_malformed() {
+        let store = FragmentStore::new(4);
+        let err = assemble(b"<html>plain</html>", &store).unwrap_err();
+        assert!(matches!(err, AssembleError::Malformed { offset: 0, .. }));
+    }
+
+    #[test]
+    fn readonly_does_not_install_sets() {
+        let store = FragmentStore::new(8);
+        let mut t = Vec::new();
+        write_preamble(&mut t);
+        write_set(&mut t, DpcKey(1), b"content");
+        let page = assemble_readonly(&t, &store).unwrap();
+        assert_eq!(page.html, b"content".to_vec());
+        assert!(store.get(DpcKey(1)).is_none());
+    }
+
+    #[test]
+    fn set_then_get_same_template() {
+        // A page may SET a fragment and GET it again later on the same page
+        // (fragment shared across two page positions, second occurrence a
+        // directory hit).
+        let store = FragmentStore::new(8);
+        let mut t = Vec::new();
+        write_preamble(&mut t);
+        write_set(&mut t, DpcKey(3), b"NAV");
+        write_literal(&mut t, b"|");
+        write_get(&mut t, DpcKey(3));
+        let page = assemble(&t, &store).unwrap();
+        assert_eq!(page.html, b"NAV|NAV".to_vec());
+    }
+
+    #[test]
+    fn empty_template_yields_empty_page() {
+        let store = FragmentStore::new(1);
+        let mut t = Vec::new();
+        write_preamble(&mut t);
+        let page = assemble(&t, &store).unwrap();
+        assert!(page.html.is_empty());
+        assert_eq!(page.stats.template_bytes, t.len() as u64);
+    }
+}

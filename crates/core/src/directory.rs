@@ -1,0 +1,535 @@
+//! The BEM's cache directory and freeList.
+//!
+//! Paper, §4.3.3: the directory tracks, per fragment, the `fragmentID`, the
+//! `dpcKey`, an `isValid` flag and a `ttl`. Keys are drawn from a
+//! **freeList** whose size is at least the maximum cache size; invalidated
+//! fragments are *not* removed from the DPC — their key simply returns to
+//! the freeList and the slot's stale bytes sit unused until the key is
+//! reassigned and the next `SET` overwrites them. This gives coherence with
+//! zero proxy-bound messages.
+//!
+//! Three events retire a valid entry:
+//!
+//! * **TTL expiry** — checked lazily on lookup and eagerly by
+//!   [`CacheDirectory::sweep_expired`].
+//! * **Data-source invalidation** — an update to an underlying table/key
+//!   invalidates every fragment registered as depending on it.
+//! * **Replacement** — when all `capacity` keys are valid and a new fragment
+//!   needs one, the replacement manager picks a victim (policy-pluggable,
+//!   see [`crate::replace`]).
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Duration;
+
+use dpc_net::Clock;
+
+use crate::config::{BemConfig, ReplacePolicy};
+use crate::key::{DpcKey, FragmentId};
+use crate::replace::{ClockReplacer, FifoReplacer, LruReplacer, Replacer};
+
+/// Outcome of a directory lookup for a cacheable fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Fragment is cached and valid: emit a `GET key` instruction.
+    Hit(DpcKey),
+    /// Fragment was absent/invalid/expired; a key has been allocated and
+    /// the entry marked valid: generate content and emit `SET key`.
+    Miss(DpcKey),
+    /// The directory is full and the replacement policy yielded no victim:
+    /// generate content inline, uncached.
+    Uncacheable,
+}
+
+/// Per-fragment directory entry (the paper's table in §4.3.3).
+#[derive(Debug, Clone)]
+struct Entry {
+    dpc_key: DpcKey,
+    is_valid: bool,
+    /// Bitmask of DPC nodes whose slot array holds this fragment. In the
+    /// paper's reverse-proxy configuration there is a single node (bit 0);
+    /// the §7 forward-proxy extension runs up to 64 distributed DPCs whose
+    /// stores are populated independently — the directory tracks which
+    /// nodes have seen the `SET` so a node that has not yet stored the
+    /// fragment is served a fresh `SET` instead of a dangling `GET`.
+    stored_nodes: u64,
+    /// Absolute expiry in clock-nanos (`u64::MAX` = never).
+    expires_at: u64,
+    /// Data-source dependencies registered for invalidation.
+    deps: Vec<String>,
+    hits: u64,
+    /// Monotonic insertion sequence, for garbage-collecting stale invalid
+    /// entries oldest-first.
+    seq: u64,
+}
+
+/// Counter snapshot for the directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectoryStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Valid fragments that had to be re-`SET` for a DPC node that had not
+    /// stored them yet (multi-node/forward-proxy operation only).
+    pub node_misses: u64,
+    pub expirations: u64,
+    pub invalidations: u64,
+    pub evictions: u64,
+    pub uncacheable: u64,
+    /// Gauges at snapshot time.
+    pub valid_entries: usize,
+    pub total_entries: usize,
+    pub free_keys: usize,
+}
+
+impl DirectoryStats {
+    /// Measured hit ratio `h` over cacheable lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses + self.uncacheable;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Inner {
+    entries: HashMap<FragmentId, Entry>,
+    /// Owner of each *valid* key.
+    key_owner: HashMap<DpcKey, FragmentId>,
+    free_list: VecDeque<DpcKey>,
+    /// Keys `0..next_fresh` have been handed out at least once.
+    next_fresh: u32,
+    replacer: Box<dyn Replacer>,
+    dep_index: HashMap<String, HashSet<FragmentId>>,
+    seq: u64,
+    hits: u64,
+    misses: u64,
+    node_misses: u64,
+    expirations: u64,
+    invalidations: u64,
+    evictions: u64,
+    uncacheable: u64,
+}
+
+/// Thread-safe cache directory.
+pub struct CacheDirectory {
+    clock: Clock,
+    capacity: usize,
+    garbage_limit: usize,
+    inner: Mutex<Inner>,
+}
+
+impl CacheDirectory {
+    /// Build a directory from the BEM configuration.
+    pub fn new(config: &BemConfig) -> CacheDirectory {
+        let replacer: Box<dyn Replacer> = match config.replace {
+            ReplacePolicy::Lru => Box::new(LruReplacer::new()),
+            ReplacePolicy::Clock => Box::new(ClockReplacer::new()),
+            ReplacePolicy::Fifo => Box::new(FifoReplacer::new()),
+            ReplacePolicy::None => Box::new(NoReplacer::default()),
+        };
+        CacheDirectory {
+            clock: config.clock.clone(),
+            capacity: config.capacity,
+            garbage_limit: config.capacity.max(16).saturating_mul(config.garbage_factor.max(1)),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                key_owner: HashMap::new(),
+                free_list: VecDeque::new(),
+                next_fresh: 0,
+                replacer,
+                dep_index: HashMap::new(),
+                seq: 0,
+                hits: 0,
+                misses: 0,
+                node_misses: 0,
+                expirations: 0,
+                invalidations: 0,
+                evictions: 0,
+                uncacheable: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of simultaneously valid fragments (= DPC slots).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `id`; on miss, allocate a key, register `deps`, and mark the
+    /// entry valid with expiry `now + ttl`. Single-node (reverse-proxy)
+    /// form of [`CacheDirectory::lookup_node`].
+    pub fn lookup(&self, id: &FragmentId, ttl: Duration, deps: &[String]) -> Lookup {
+        self.lookup_node(id, ttl, deps, 0)
+    }
+
+    /// Multi-node lookup: `node` identifies which DPC's slot store will
+    /// interpret the emitted instruction (0–63). A fragment that is valid
+    /// in the directory but not yet stored on `node` is re-emitted as a
+    /// `SET` under its existing key — a *node miss* — so every distributed
+    /// DPC converges without any proxy-bound coherence traffic (§7).
+    pub fn lookup_node(
+        &self,
+        id: &FragmentId,
+        ttl: Duration,
+        deps: &[String],
+        node: u32,
+    ) -> Lookup {
+        assert!(node < 64, "at most 64 DPC nodes are supported");
+        let node_bit = 1u64 << node;
+        let now = self.clock.now_nanos();
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+
+        if let Some(entry) = inner.entries.get_mut(id) {
+            if entry.is_valid {
+                if entry.expires_at > now {
+                    entry.hits += 1;
+                    inner.replacer.on_touch(entry.dpc_key);
+                    if entry.stored_nodes & node_bit != 0 {
+                        inner.hits += 1;
+                        return Lookup::Hit(entry.dpc_key);
+                    }
+                    // Node miss: this DPC has not stored the fragment yet.
+                    // Re-emit a SET under the existing key.
+                    entry.stored_nodes |= node_bit;
+                    inner.node_misses += 1;
+                    return Lookup::Miss(entry.dpc_key);
+                }
+                // Lazy TTL expiry: retire the entry, then fall through to
+                // the miss path (which will typically reuse the same key).
+                let key = entry.dpc_key;
+                entry.is_valid = false;
+                entry.stored_nodes = 0;
+                inner.expirations += 1;
+                inner.key_owner.remove(&key);
+                inner.free_list.push_back(key);
+                inner.replacer.on_remove(key);
+                Self::unregister_deps(&mut inner.dep_index, id, &entry.deps);
+                entry.deps.clear();
+            }
+        }
+        // Miss path: allocate a key (freeList, then fresh key space, then
+        // replacement).
+        let key = match Self::allocate_key(inner, self.capacity) {
+            Some(k) => k,
+            None => {
+                inner.uncacheable += 1;
+                return Lookup::Uncacheable;
+            }
+        };
+        inner.misses += 1;
+        inner.seq += 1;
+        let expires_at = match ttl.as_nanos().try_into() {
+            Ok(n) => now.saturating_add(n),
+            Err(_) => u64::MAX,
+        };
+        let entry = Entry {
+            dpc_key: key,
+            is_valid: true,
+            expires_at,
+            deps: deps.to_vec(),
+            hits: 0,
+            stored_nodes: node_bit,
+            seq: inner.seq,
+        };
+        for dep in deps {
+            inner
+                .dep_index
+                .entry(dep.clone())
+                .or_default()
+                .insert(id.clone());
+        }
+        inner.entries.insert(id.clone(), entry);
+        inner.key_owner.insert(key, id.clone());
+        inner.replacer.on_insert(key);
+        Self::collect_garbage(inner, self.garbage_limit);
+        Lookup::Miss(key)
+    }
+
+    /// Register additional data dependencies on a *valid* entry after the
+    /// fact. Returns false when the entry is absent or invalid.
+    ///
+    /// This powers deferred dependency registration: a code block that only
+    /// learns its dependencies while producing content (e.g. which headline
+    /// rows it rendered) does `lookup(id, ttl, &[])`, runs on the miss
+    /// path, then registers the discovered deps — so the dependency query
+    /// is never executed on the hit path.
+    pub fn add_deps(&self, id: &FragmentId, deps: &[String]) -> bool {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let Some(entry) = inner.entries.get_mut(id) else {
+            return false;
+        };
+        if !entry.is_valid {
+            return false;
+        }
+        for dep in deps {
+            if !entry.deps.contains(dep) {
+                entry.deps.push(dep.clone());
+            }
+            inner
+                .dep_index
+                .entry(dep.clone())
+                .or_default()
+                .insert(id.clone());
+        }
+        true
+    }
+
+    /// Mark `id` invalid, returning its key to the freeList. Returns true
+    /// when the entry was valid.
+    pub fn invalidate(&self, id: &FragmentId) -> bool {
+        let mut inner = self.inner.lock();
+        Self::invalidate_locked(&mut inner, id)
+    }
+
+    /// Invalidate every fragment registered as depending on `dep`.
+    /// Returns the number of fragments invalidated.
+    pub fn invalidate_dep(&self, dep: &str) -> usize {
+        let mut inner = self.inner.lock();
+        let Some(ids) = inner.dep_index.get(dep).cloned() else {
+            return 0;
+        };
+        let mut n = 0;
+        for id in ids {
+            if Self::invalidate_locked(&mut inner, &id) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Invalidate everything (origin data reload).
+    pub fn invalidate_all(&self) -> usize {
+        let ids: Vec<FragmentId> = {
+            let inner = self.inner.lock();
+            inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.is_valid)
+                .map(|(id, _)| id.clone())
+                .collect()
+        };
+        let mut inner = self.inner.lock();
+        let mut n = 0;
+        for id in &ids {
+            if Self::invalidate_locked(&mut inner, id) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Eagerly expire all valid entries whose TTL has passed. Returns the
+    /// number expired. (The lazy check in [`lookup`](Self::lookup) makes
+    /// this optional; a background sweeper keeps directory gauges honest.)
+    pub fn sweep_expired(&self) -> usize {
+        let now = self.clock.now_nanos();
+        let expired: Vec<FragmentId> = {
+            let inner = self.inner.lock();
+            inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.is_valid && e.expires_at <= now)
+                .map(|(id, _)| id.clone())
+                .collect()
+        };
+        let mut inner = self.inner.lock();
+        let mut n = 0;
+        for id in &expired {
+            // Re-check validity under the lock (raced lookups may have
+            // already expired or refreshed the entry).
+            let still_expired = inner
+                .entries
+                .get(id)
+                .is_some_and(|e| e.is_valid && e.expires_at <= now);
+            if still_expired && Self::invalidate_locked(&mut inner, id) {
+                inner.invalidations -= 1; // reclassify:
+                inner.expirations += 1; // it expired, wasn't invalidated
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Counter/gauge snapshot.
+    pub fn stats(&self) -> DirectoryStats {
+        let inner = self.inner.lock();
+        DirectoryStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            node_misses: inner.node_misses,
+            expirations: inner.expirations,
+            invalidations: inner.invalidations,
+            evictions: inner.evictions,
+            uncacheable: inner.uncacheable,
+            valid_entries: inner.key_owner.len(),
+            total_entries: inner.entries.len(),
+            free_keys: inner.free_list.len(),
+        }
+    }
+
+    /// Verify internal invariants; returns a description of the first
+    /// violation. Used heavily by the property-based tests.
+    ///
+    /// Invariants:
+    /// 1. every key is in exactly one of {valid (key_owner), freeList,
+    ///    never-allocated};
+    /// 2. the freeList contains no duplicates and only allocated keys;
+    /// 3. the replacer tracks exactly the valid keys;
+    /// 4. at most `capacity` keys exist in total.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let inner = self.inner.lock();
+        let allocated = inner.next_fresh as usize;
+        if allocated > self.capacity {
+            return Err(format!(
+                "allocated {allocated} keys > capacity {}",
+                self.capacity
+            ));
+        }
+        let mut seen = HashSet::new();
+        for key in &inner.free_list {
+            if key.index() >= allocated {
+                return Err(format!("freeList holds never-allocated key {key}"));
+            }
+            if !seen.insert(*key) {
+                return Err(format!("freeList holds duplicate key {key}"));
+            }
+            if inner.key_owner.contains_key(key) {
+                return Err(format!("key {key} is both free and valid"));
+            }
+        }
+        if inner.key_owner.len() + inner.free_list.len() != allocated {
+            return Err(format!(
+                "key conservation violated: {} valid + {} free != {} allocated",
+                inner.key_owner.len(),
+                inner.free_list.len(),
+                allocated
+            ));
+        }
+        if inner.replacer.len() != inner.key_owner.len() {
+            return Err(format!(
+                "replacer tracks {} keys but {} are valid",
+                inner.replacer.len(),
+                inner.key_owner.len()
+            ));
+        }
+        for (key, id) in &inner.key_owner {
+            match inner.entries.get(id) {
+                Some(e) if e.is_valid && e.dpc_key == *key => {}
+                _ => return Err(format!("key_owner[{key}] = {id} is inconsistent")),
+            }
+        }
+        Ok(())
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    fn allocate_key(inner: &mut Inner, capacity: usize) -> Option<DpcKey> {
+        if let Some(key) = inner.free_list.pop_front() {
+            return Some(key);
+        }
+        if (inner.next_fresh as usize) < capacity {
+            let key = DpcKey(inner.next_fresh);
+            inner.next_fresh += 1;
+            return Some(key);
+        }
+        // All keys in use and valid: ask the replacement manager for a
+        // victim and take its key over directly (no freeList round trip).
+        let victim_key = inner.replacer.pick_victim()?;
+        let victim_id = inner
+            .key_owner
+            .remove(&victim_key)
+            .expect("replacer returned an untracked key");
+        let entry = inner
+            .entries
+            .get_mut(&victim_id)
+            .expect("key_owner points at a missing entry");
+        entry.is_valid = false;
+        entry.stored_nodes = 0;
+        let deps = std::mem::take(&mut entry.deps);
+        Self::unregister_deps(&mut inner.dep_index, &victim_id, &deps);
+        inner.evictions += 1;
+        Some(victim_key)
+    }
+
+    fn invalidate_locked(inner: &mut Inner, id: &FragmentId) -> bool {
+        let Some(entry) = inner.entries.get_mut(id) else {
+            return false;
+        };
+        if !entry.is_valid {
+            return false;
+        }
+        let key = entry.dpc_key;
+        entry.is_valid = false;
+        entry.stored_nodes = 0;
+        let deps = std::mem::take(&mut entry.deps);
+        inner.invalidations += 1;
+        inner.key_owner.remove(&key);
+        inner.free_list.push_back(key);
+        inner.replacer.on_remove(key);
+        Self::unregister_deps(&mut inner.dep_index, id, &deps);
+        true
+    }
+
+    fn unregister_deps(
+        dep_index: &mut HashMap<String, HashSet<FragmentId>>,
+        id: &FragmentId,
+        deps: &[String],
+    ) {
+        for dep in deps {
+            if let Some(set) = dep_index.get_mut(dep) {
+                set.remove(id);
+                if set.is_empty() {
+                    dep_index.remove(dep);
+                }
+            }
+        }
+    }
+
+    fn collect_garbage(inner: &mut Inner, limit: usize) {
+        if inner.entries.len() <= limit {
+            return;
+        }
+        // Drop the oldest invalid entries until we are at half the limit.
+        let mut invalid: Vec<(u64, FragmentId)> = inner
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.is_valid)
+            .map(|(id, e)| (e.seq, id.clone()))
+            .collect();
+        invalid.sort_unstable_by_key(|(seq, _)| *seq);
+        let target = limit / 2;
+        let excess = inner.entries.len().saturating_sub(target);
+        for (_, id) in invalid.into_iter().take(excess) {
+            inner.entries.remove(&id);
+        }
+    }
+}
+
+/// Policy `None`: tracks membership (for the invariants) but never evicts.
+#[derive(Default)]
+struct NoReplacer {
+    members: std::collections::HashSet<DpcKey>,
+}
+
+impl Replacer for NoReplacer {
+    fn on_insert(&mut self, key: DpcKey) {
+        self.members.insert(key);
+    }
+    fn on_touch(&mut self, _key: DpcKey) {}
+    fn on_remove(&mut self, key: DpcKey) {
+        self.members.remove(&key);
+    }
+    fn pick_victim(&mut self) -> Option<DpcKey> {
+        None
+    }
+    fn name(&self) -> &'static str {
+        "none"
+    }
+    fn len(&self) -> usize {
+        self.members.len()
+    }
+}

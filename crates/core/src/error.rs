@@ -1,0 +1,93 @@
+//! Error types for the DPC/BEM core.
+
+use std::fmt;
+
+use crate::key::DpcKey;
+
+/// Errors raised while the DPC scans and assembles a template.
+///
+/// Any of these causes the proxy to fall back to a *bypass* fetch (asking
+/// the origin for a fully-expanded page), so end users always receive a
+/// correct page even when the proxy's state lags the directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssembleError {
+    /// A `GET key` referenced a slot the DPC has no content for. This can
+    /// happen when a directory hit races with the `SET` that populates the
+    /// slot (concurrent first requests), or after a proxy restart.
+    MissingFragment(DpcKey),
+    /// The template's instruction stream is syntactically invalid.
+    Malformed { offset: usize, reason: &'static str },
+    /// A `SET` body was truncated (template shorter than the declared
+    /// length).
+    TruncatedSet { key: DpcKey, declared: usize },
+    /// A `SET` close tag did not match its open tag.
+    MismatchedSetClose { expected: DpcKey },
+    /// Instruction references a key outside the configured capacity.
+    KeyOutOfRange(DpcKey),
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleError::MissingFragment(k) => {
+                write!(f, "GET for key {k} but slot is empty")
+            }
+            AssembleError::Malformed { offset, reason } => {
+                write!(f, "malformed template at byte {offset}: {reason}")
+            }
+            AssembleError::TruncatedSet { key, declared } => {
+                write!(f, "SET for key {key} declares {declared} bytes but template ends early")
+            }
+            AssembleError::MismatchedSetClose { expected } => {
+                write!(f, "SET close tag does not match open tag for key {expected}")
+            }
+            AssembleError::KeyOutOfRange(k) => write!(f, "key {k} exceeds store capacity"),
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+/// Top-level error for core operations.
+#[derive(Debug)]
+pub enum CoreError {
+    Assemble(AssembleError),
+    /// The directory is at capacity and the replacement policy could not
+    /// produce a victim (e.g. policy `None`).
+    DirectoryFull,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Assemble(e) => write!(f, "assembly failed: {e}"),
+            CoreError::DirectoryFull => write!(f, "cache directory is full"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<AssembleError> for CoreError {
+    fn from(e: AssembleError) -> Self {
+        CoreError::Assemble(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_keys() {
+        let e = AssembleError::MissingFragment(DpcKey(7));
+        assert!(e.to_string().contains('7'));
+        let e = AssembleError::TruncatedSet {
+            key: DpcKey(3),
+            declared: 10,
+        };
+        assert!(e.to_string().contains("10"));
+        let c: CoreError = AssembleError::KeyOutOfRange(DpcKey(9)).into();
+        assert!(c.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,157 @@
+//! Fragment identity.
+//!
+//! The paper's cache directory is keyed by two identifiers:
+//!
+//! * **`fragmentID`** — the globally unique name of a fragment instance:
+//!   the tagged code block's name plus its parameter list (e.g.
+//!   `navbar?categoryID=Fiction&user=bob`). This is what the BEM looks up.
+//! * **`dpcKey`** — a small integer assigned by the BEM, shared with the
+//!   DPC, and used as the index into the DPC's slot array. Integer keys keep
+//!   tags ~10 bytes (the model's `g`) instead of carrying the long
+//!   `fragmentID` on the wire, and double as the coherence mechanism: both
+//!   sides interpret key *k* as "slot *k*", so no directory state ever needs
+//!   to be shipped to the proxy.
+
+use std::fmt;
+
+/// Index into the DPC's fragment slot array.
+///
+/// Allocated by the BEM from the freeList; at most `capacity` distinct keys
+/// ever exist, so the DPC's memory is bounded by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DpcKey(pub u32);
+
+impl DpcKey {
+    /// Slot index as usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DpcKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Unique fragment identifier: `name + parameterList`.
+///
+/// Stored canonically as `name` or `name?k1=v1&k2=v2` with parameters sorted
+/// by key, so two code paths naming the same logical fragment with
+/// differently-ordered parameters agree on identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FragmentId(Box<str>);
+
+impl FragmentId {
+    /// A parameterless fragment.
+    pub fn new(name: &str) -> FragmentId {
+        debug_assert!(!name.contains('?'), "use with_params for parameters");
+        FragmentId(name.into())
+    }
+
+    /// A fragment parameterized by key/value pairs. Pairs are sorted by key
+    /// to canonicalize.
+    pub fn with_params(name: &str, params: &[(&str, &str)]) -> FragmentId {
+        if params.is_empty() {
+            return FragmentId::new(name);
+        }
+        let mut sorted: Vec<_> = params.to_vec();
+        sorted.sort_unstable();
+        let mut s = String::with_capacity(name.len() + 16 * sorted.len());
+        s.push_str(name);
+        s.push('?');
+        for (i, (k, v)) in sorted.iter().enumerate() {
+            if i > 0 {
+                s.push('&');
+            }
+            s.push_str(k);
+            s.push('=');
+            s.push_str(v);
+        }
+        FragmentId(s.into_boxed_str())
+    }
+
+    /// Parse from an already-canonical string (e.g. persisted directories).
+    pub fn from_canonical(s: &str) -> FragmentId {
+        FragmentId(s.into())
+    }
+
+    /// The canonical string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The fragment's name (before `?`).
+    pub fn name(&self) -> &str {
+        match self.0.split_once('?') {
+            Some((n, _)) => n,
+            None => &self.0,
+        }
+    }
+
+    /// Serialized length in bytes — the paper notes fragmentIDs are "quite
+    /// long", which motivates the integer `dpcKey` on the wire.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for FragmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dpc_key_display_and_index() {
+        let k = DpcKey(42);
+        assert_eq!(k.to_string(), "42");
+        assert_eq!(k.index(), 42);
+    }
+
+    #[test]
+    fn fragment_id_canonicalizes_param_order() {
+        let a = FragmentId::with_params("nav", &[("b", "2"), ("a", "1")]);
+        let b = FragmentId::with_params("nav", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "nav?a=1&b=2");
+    }
+
+    #[test]
+    fn fragment_id_name_extraction() {
+        let a = FragmentId::with_params("headlines", &[("sym", "IBM")]);
+        assert_eq!(a.name(), "headlines");
+        let b = FragmentId::new("plain");
+        assert_eq!(b.name(), "plain");
+    }
+
+    #[test]
+    fn empty_params_equals_plain() {
+        assert_eq!(
+            FragmentId::with_params("x", &[]),
+            FragmentId::new("x")
+        );
+    }
+
+    #[test]
+    fn distinct_params_are_distinct_fragments() {
+        let bob = FragmentId::with_params("greet", &[("user", "bob")]);
+        let alice = FragmentId::with_params("greet", &[("user", "alice")]);
+        assert_ne!(bob, alice);
+    }
+
+    #[test]
+    fn from_canonical_roundtrip() {
+        let a = FragmentId::with_params("f", &[("k", "v")]);
+        let b = FragmentId::from_canonical(a.as_str());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,200 @@
+//! Intermediate-object caching — the BEM's second function.
+//!
+//! §3.2.2 of the paper motivates this with the shared *user profile object*:
+//! a script queries the profile repository once and derives both the
+//! `Personal Greeting` and `Recommended Products` fragments from the result.
+//! Fragment-level factoring (dynamic page assembly) would repeat the query;
+//! the BEM instead caches the intermediate object so dependent code blocks
+//! reuse it. This is the "component-level caching" of the authors' earlier
+//! VLDB/SIGMOD 2001 work, embedded here as a keyed, TTL'd `Any` cache.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dpc_net::Clock;
+
+type Object = Arc<dyn Any + Send + Sync>;
+
+struct Slot {
+    expires_at: u64,
+    value: Object,
+}
+
+/// Keyed cache of intermediate programmatic objects.
+pub struct ObjectCache {
+    clock: Clock,
+    map: Mutex<HashMap<String, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ObjectCache {
+    pub fn new(clock: Clock) -> ObjectCache {
+        ObjectCache {
+            clock,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch the object under `key`, or build it with `make` and cache it
+    /// for `ttl`. A cached value of the wrong type is treated as a miss and
+    /// replaced (two call sites disagreeing on a key's type is a bug, but it
+    /// must not panic a production server).
+    pub fn get_or_insert_with<T, F>(&self, key: &str, ttl: Duration, make: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let now = self.clock.now_nanos();
+        {
+            let map = self.map.lock();
+            if let Some(slot) = map.get(key) {
+                if slot.expires_at > now {
+                    if let Ok(typed) = Arc::downcast::<T>(Arc::clone(&slot.value)) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return typed;
+                    }
+                }
+            }
+        }
+        // Build outside the lock: profile queries may be slow and other
+        // keys should not stall behind them. (Two threads may race to build
+        // the same object; last write wins, both get correct values.)
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(make());
+        let expires_at = match ttl.as_nanos().try_into() {
+            Ok(n) => now.saturating_add(n),
+            Err(_) => u64::MAX,
+        };
+        self.map.lock().insert(
+            key.to_owned(),
+            Slot {
+                expires_at,
+                value: Arc::clone(&value) as Object,
+            },
+        );
+        value
+    }
+
+    /// Drop the object under `key`. Returns true if present.
+    pub fn invalidate(&self, key: &str) -> bool {
+        self.map.lock().remove(key).is_some()
+    }
+
+    /// Drop every object whose key starts with `prefix`; returns the count.
+    /// (E.g. `profile/` after a bulk user-table update.)
+    pub fn invalidate_prefix(&self, prefix: &str) -> usize {
+        let mut map = self.map.lock();
+        let before = map.len();
+        map.retain(|k, _| !k.starts_with(prefix));
+        before - map.len()
+    }
+
+    /// Remove expired slots; returns the count.
+    pub fn sweep_expired(&self) -> usize {
+        let now = self.clock.now_nanos();
+        let mut map = self.map.lock();
+        let before = map.len();
+        map.retain(|_, slot| slot.expires_at > now);
+        before - map.len()
+    }
+
+    /// (hits, misses).
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached objects (including not-yet-swept expired ones).
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Profile {
+        name: String,
+        premium: bool,
+    }
+
+    fn cache() -> (ObjectCache, Arc<dpc_net::VirtualClock>) {
+        let (clock, handle) = Clock::virtual_clock();
+        (ObjectCache::new(clock), handle)
+    }
+
+    #[test]
+    fn builds_once_then_hits() {
+        let (cache, _h) = cache();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let p = cache.get_or_insert_with("profile/bob", Duration::from_secs(60), || {
+                builds += 1;
+                Profile {
+                    name: "bob".into(),
+                    premium: true,
+                }
+            });
+            assert_eq!(p.name, "bob");
+        }
+        assert_eq!(builds, 1);
+        assert_eq!(cache.counters(), (2, 1));
+    }
+
+    #[test]
+    fn expiry_rebuilds() {
+        let (cache, h) = cache();
+        let build = |cache: &ObjectCache| {
+            cache.get_or_insert_with("k", Duration::from_secs(10), || 42u32)
+        };
+        let _ = build(&cache);
+        h.advance(Duration::from_secs(11));
+        let _ = build(&cache);
+        assert_eq!(cache.counters(), (0, 2));
+    }
+
+    #[test]
+    fn type_mismatch_is_miss_not_panic() {
+        let (cache, _h) = cache();
+        let _ = cache.get_or_insert_with("k", Duration::from_secs(60), || 1u32);
+        let s = cache.get_or_insert_with("k", Duration::from_secs(60), || "str".to_owned());
+        assert_eq!(&*s, "str");
+    }
+
+    #[test]
+    fn invalidate_and_prefix() {
+        let (cache, _h) = cache();
+        let _ = cache.get_or_insert_with("profile/bob", Duration::from_secs(60), || 1u32);
+        let _ = cache.get_or_insert_with("profile/alice", Duration::from_secs(60), || 2u32);
+        let _ = cache.get_or_insert_with("cat/fiction", Duration::from_secs(60), || 3u32);
+        assert!(cache.invalidate("profile/bob"));
+        assert!(!cache.invalidate("profile/bob"));
+        assert_eq!(cache.invalidate_prefix("profile/"), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn sweep_removes_expired_only() {
+        let (cache, h) = cache();
+        let _ = cache.get_or_insert_with("short", Duration::from_secs(5), || 1u32);
+        let _ = cache.get_or_insert_with("long", Duration::from_secs(500), || 2u32);
+        h.advance(Duration::from_secs(6));
+        assert_eq!(cache.sweep_expired(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! The DPC's fragment store.
+//!
+//! The paper: *"The structure of the DPC cache is straightforward: it is
+//! implemented as an in-memory array of pointers to cached fragments, where
+//! the DpcKey serves as the array index."* That is exactly what this is — a
+//! slot array of reference-counted byte buffers ([`bytes::Bytes`], the Rust
+//! analogue of "pointer to cached fragment"). Slots are overwritten by
+//! `SET`s and never explicitly cleared: an invalidated fragment's stale
+//! bytes simply sit unused until the BEM reassigns the key, as described in
+//! the paper's freeList discussion.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::key::DpcKey;
+
+/// Slot-array fragment store, shared by all proxy worker threads.
+pub struct FragmentStore {
+    slots: RwLock<Vec<Option<Bytes>>>,
+    capacity: usize,
+    sets: AtomicU64,
+    gets: AtomicU64,
+    missing_gets: AtomicU64,
+}
+
+impl FragmentStore {
+    /// A store with `capacity` slots (the BEM's directory capacity must not
+    /// exceed this).
+    pub fn new(capacity: usize) -> FragmentStore {
+        FragmentStore {
+            slots: RwLock::new(vec![None; capacity]),
+            capacity,
+            sets: AtomicU64::new(0),
+            gets: AtomicU64::new(0),
+            missing_gets: AtomicU64::new(0),
+        }
+    }
+
+    /// Store `content` under `key`, overwriting any previous content.
+    /// Returns false (and stores nothing) when the key is out of range.
+    pub fn set(&self, key: DpcKey, content: Bytes) -> bool {
+        if key.index() >= self.capacity {
+            return false;
+        }
+        self.sets.fetch_add(1, Ordering::Relaxed);
+        self.slots.write()[key.index()] = Some(content);
+        true
+    }
+
+    /// Fetch the fragment stored under `key` (cheap clone of a refcounted
+    /// buffer).
+    pub fn get(&self, key: DpcKey) -> Option<Bytes> {
+        if key.index() >= self.capacity {
+            self.missing_gets.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let out = self.slots.read()[key.index()].clone();
+        match &out {
+            Some(_) => self.gets.fetch_add(1, Ordering::Relaxed),
+            None => self.missing_gets.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+
+    /// Drop all cached fragments (proxy restart in tests).
+    pub fn clear(&self) {
+        let mut slots = self.slots.write();
+        for s in slots.iter_mut() {
+            *s = None;
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of occupied slots.
+    pub fn occupied(&self) -> usize {
+        self.slots.read().iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total bytes of cached fragment content.
+    pub fn bytes_used(&self) -> usize {
+        self.slots
+            .read()
+            .iter()
+            .filter_map(|s| s.as_ref().map(Bytes::len))
+            .sum()
+    }
+
+    /// (sets, successful gets, gets on empty/out-of-range slots).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.sets.load(Ordering::Relaxed),
+            self.gets.load(Ordering::Relaxed),
+            self.missing_gets.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let store = FragmentStore::new(8);
+        assert!(store.set(DpcKey(3), Bytes::from_static(b"abc")));
+        assert_eq!(store.get(DpcKey(3)).unwrap(), Bytes::from_static(b"abc"));
+    }
+
+    #[test]
+    fn get_empty_slot_is_none_and_counted() {
+        let store = FragmentStore::new(8);
+        assert!(store.get(DpcKey(0)).is_none());
+        assert_eq!(store.counters().2, 1);
+    }
+
+    #[test]
+    fn out_of_range_set_rejected() {
+        let store = FragmentStore::new(2);
+        assert!(!store.set(DpcKey(2), Bytes::from_static(b"x")));
+        assert!(store.get(DpcKey(2)).is_none());
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let store = FragmentStore::new(4);
+        store.set(DpcKey(1), Bytes::from_static(b"old"));
+        store.set(DpcKey(1), Bytes::from_static(b"new"));
+        assert_eq!(store.get(DpcKey(1)).unwrap(), Bytes::from_static(b"new"));
+        assert_eq!(store.occupied(), 1);
+    }
+
+    #[test]
+    fn accounting() {
+        let store = FragmentStore::new(4);
+        store.set(DpcKey(0), Bytes::from(vec![1u8; 100]));
+        store.set(DpcKey(1), Bytes::from(vec![2u8; 50]));
+        assert_eq!(store.bytes_used(), 150);
+        assert_eq!(store.occupied(), 2);
+        store.clear();
+        assert_eq!(store.bytes_used(), 0);
+        assert_eq!(store.occupied(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        use std::sync::Arc;
+        let store = Arc::new(FragmentStore::new(64));
+        let mut joins = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    let key = DpcKey((t * 8 + i % 8) % 64);
+                    store.set(key, Bytes::from(vec![t as u8; 16]));
+                    let _ = store.get(key);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert!(store.occupied() > 0);
+    }
+}

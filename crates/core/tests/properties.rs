@@ -1,0 +1,295 @@
+//! Property-based tests for the DPC/BEM core.
+//!
+//! These check the three invariants the whole system's correctness rests
+//! on:
+//!
+//! 1. **Template round-trip** — any byte content (including bytes that look
+//!    like instructions) survives the write-template → scan → assemble
+//!    pipeline verbatim.
+//! 2. **End-to-end equivalence** — for any page recipe and any interleaving
+//!    of requests, TTL expirations and invalidations, the page assembled at
+//!    the DPC is byte-identical to the page the origin would emit with
+//!    caching disabled (the paper's "guarantees correctness" claim).
+//! 3. **Directory key conservation** — under arbitrary operation sequences,
+//!    every `dpcKey` is in exactly one of {valid, freeList, never-used} and
+//!    capacity is never exceeded.
+
+use std::time::Duration;
+
+use dpc_core::prelude::*;
+use dpc_core::tag;
+use dpc_net::Clock;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// 1. Template round-trip
+// ---------------------------------------------------------------------------
+
+/// A step in a synthetic page recipe.
+#[derive(Debug, Clone)]
+enum Piece {
+    Literal(Vec<u8>),
+    Fragment { name: u8, content: Vec<u8> },
+}
+
+fn piece_strategy() -> impl Strategy<Value = Piece> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..200).prop_map(Piece::Literal),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(name, content)| Piece::Fragment { name, content }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn template_roundtrip_preserves_arbitrary_bytes(
+        pieces in proptest::collection::vec(piece_strategy(), 0..20)
+    ) {
+        let bem = Bem::new(BemConfig::default().with_capacity(64));
+        let store = FragmentStore::new(64);
+
+        // Expected page: plain concatenation.
+        let mut expected = Vec::new();
+        for piece in &pieces {
+            match piece {
+                Piece::Literal(b) => expected.extend_from_slice(b),
+                Piece::Fragment { content, .. } => expected.extend_from_slice(content),
+            }
+        }
+
+        // Render the same recipe twice (second render exercises GET paths).
+        // Fragment ids carry the piece index: the same logical fragment must
+        // always produce the same content (the id contract), so distinct
+        // random contents get distinct ids.
+        for round in 0..2 {
+            let mut w = bem.template_writer();
+            for (i, piece) in pieces.iter().enumerate() {
+                match piece {
+                    Piece::Literal(b) => w.literal(b),
+                    Piece::Fragment { name, content } => {
+                        let id = FragmentId::with_params(
+                            "frag",
+                            &[("n", &format!("{i}.{name}"))],
+                        );
+                        let content = content.clone();
+                        w.fragment(&id, FragmentPolicy::pinned(), move |out| {
+                            out.extend_from_slice(&content)
+                        });
+                    }
+                }
+            }
+            let template = w.finish();
+            let page = assemble(&template, &store).unwrap();
+            prop_assert_eq!(&page.html, &expected, "round {}", round);
+        }
+    }
+
+    #[test]
+    fn raw_tag_writers_scan_back_exactly(
+        literals in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+        keys in proptest::collection::vec(0u32..1000, 1..8),
+    ) {
+        // Interleave literals and SETs, scan, and rebuild.
+        let mut template = Vec::new();
+        tag::write_preamble(&mut template);
+        let mut expected_ops: Vec<(bool, Vec<u8>)> = Vec::new(); // (is_set, bytes)
+        for (i, lit) in literals.iter().enumerate() {
+            tag::write_literal(&mut template, lit);
+            expected_ops.push((false, lit.clone()));
+            if let Some(&k) = keys.get(i) {
+                let content = vec![k as u8; (k % 50) as usize];
+                tag::write_set(&mut template, DpcKey(k), &content);
+                expected_ops.push((true, content));
+            }
+        }
+        let scanner = tag::Scanner::new(&template).unwrap();
+        let ops = scanner.collect_ops().unwrap();
+        // Reconstruct literal stream and set stream.
+        let mut got_literal = Vec::new();
+        let mut got_sets = Vec::new();
+        for op in ops {
+            match op {
+                tag::Op::Literal(b) => got_literal.extend_from_slice(b),
+                tag::Op::Set { content, .. } => got_sets.push(content.to_vec()),
+                tag::Op::Get(_) => {}
+            }
+        }
+        let want_literal: Vec<u8> = expected_ops
+            .iter()
+            .filter(|(is_set, _)| !is_set)
+            .flat_map(|(_, b)| b.clone())
+            .collect();
+        let want_sets: Vec<Vec<u8>> = expected_ops
+            .into_iter()
+            .filter(|(is_set, _)| *is_set)
+            .map(|(_, b)| b)
+            .collect();
+        prop_assert_eq!(got_literal, want_literal);
+        prop_assert_eq!(got_sets, want_sets);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. End-to-end equivalence under churn
+// ---------------------------------------------------------------------------
+
+/// One simulated event against the system.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Serve page `p` and check it.
+    Request(u8),
+    /// Invalidate fragment `f` via a data-source update.
+    Invalidate(u8),
+    /// Advance the virtual clock by `ms` milliseconds.
+    Advance(u16),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (0u8..6).prop_map(Event::Request),
+        (0u8..12).prop_map(Event::Invalidate),
+        (0u16..2000).prop_map(Event::Advance),
+    ]
+}
+
+/// Deterministic content for fragment `f` at version `v`: content changes
+/// when the underlying "data" changes.
+fn fragment_content(f: u8, version: u32) -> Vec<u8> {
+    format!("<frag id={f} v={version} data={}>", "x".repeat((f as usize % 7) * 10))
+        .into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dpc_serves_exactly_what_origin_would(
+        events in proptest::collection::vec(event_strategy(), 1..80),
+        capacity in 2usize..12,
+    ) {
+        let (clock, handle) = Clock::virtual_clock();
+        let bem = Bem::new(
+            BemConfig::default()
+                .with_capacity(capacity)
+                .with_clock(clock),
+        );
+        let store = FragmentStore::new(capacity);
+        // Page p uses fragments p, p+1, p+2 (mod 12): overlapping fragment
+        // sets across pages, like shared navbars.
+        let mut versions = [0u32; 12];
+
+        for event in events {
+            match event {
+                Event::Advance(ms) => handle.advance(Duration::from_millis(ms as u64)),
+                Event::Invalidate(f) => {
+                    let f = f % 12;
+                    versions[f as usize] += 1;
+                    bem.on_data_update(&format!("tbl/{f}"));
+                }
+                Event::Request(p) => {
+                    let frag_ids: Vec<u8> = (0..3).map(|i| (p + i) % 12).collect();
+                    // Expected page from current versions.
+                    let mut expected = format!("<page {p}>").into_bytes();
+                    for &f in &frag_ids {
+                        expected.extend_from_slice(&fragment_content(f, versions[f as usize]));
+                    }
+                    expected.extend_from_slice(b"</page>");
+
+                    // Render through the BEM.
+                    let mut w = bem.template_writer();
+                    w.literal(format!("<page {p}>").as_bytes());
+                    for &f in &frag_ids {
+                        let content = fragment_content(f, versions[f as usize]);
+                        let id = FragmentId::with_params("frag", &[("f", &f.to_string())]);
+                        let policy = FragmentPolicy::ttl(Duration::from_secs(1))
+                            .with_deps(&[&format!("tbl/{f}")]);
+                        w.fragment(&id, policy, move |out| out.extend_from_slice(&content));
+                    }
+                    w.literal(b"</page>");
+                    let template = w.finish();
+
+                    let page = assemble(&template, &store).unwrap();
+                    prop_assert_eq!(&page.html, &expected);
+                }
+            }
+            bem.directory().check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("directory invariant violated: {e}"))
+            })?;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Directory key conservation under arbitrary ops
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum DirOp {
+    Lookup(u16),
+    Invalidate(u16),
+    InvalidateDep(u8),
+    Advance(u16),
+    Sweep,
+}
+
+fn dir_op_strategy() -> impl Strategy<Value = DirOp> {
+    prop_oneof![
+        (0u16..200).prop_map(DirOp::Lookup),
+        (0u16..200).prop_map(DirOp::Invalidate),
+        (0u8..10).prop_map(DirOp::InvalidateDep),
+        (0u16..5000).prop_map(DirOp::Advance),
+        Just(DirOp::Sweep),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn directory_conserves_keys(
+        ops in proptest::collection::vec(dir_op_strategy(), 1..200),
+        capacity in 1usize..20,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [
+            ReplacePolicy::Lru,
+            ReplacePolicy::Clock,
+            ReplacePolicy::Fifo,
+            ReplacePolicy::None,
+        ][policy_idx];
+        let (clock, handle) = Clock::virtual_clock();
+        let bem = Bem::new(
+            BemConfig::default()
+                .with_capacity(capacity)
+                .with_replace(policy)
+                .with_clock(clock),
+        );
+        let dir = bem.directory();
+        for op in ops {
+            match op {
+                DirOp::Lookup(n) => {
+                    let id = FragmentId::with_params("f", &[("n", &n.to_string())]);
+                    let dep = format!("tbl/{}", n % 10);
+                    let _ = dir.lookup(&id, Duration::from_secs(2), &[dep]);
+                }
+                DirOp::Invalidate(n) => {
+                    let id = FragmentId::with_params("f", &[("n", &n.to_string())]);
+                    let _ = dir.invalidate(&id);
+                }
+                DirOp::InvalidateDep(d) => {
+                    let _ = dir.invalidate_dep(&format!("tbl/{d}"));
+                }
+                DirOp::Advance(ms) => handle.advance(Duration::from_millis(ms as u64)),
+                DirOp::Sweep => {
+                    let _ = dir.sweep_expired();
+                }
+            }
+            dir.check_invariants().map_err(TestCaseError::fail)?;
+            let stats = dir.stats();
+            prop_assert!(stats.valid_entries <= capacity);
+            prop_assert!(stats.free_keys <= capacity);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Knuth–Morris–Pratt string matching — the paper's reference [18].
+//!
+//! Linear time, constant extra state per scan: the property §5's scan-cost
+//! model relies on when it sets the DPC's per-byte scan cost `z ≈ y`.
+
+/// A compiled KMP pattern.
+#[derive(Debug, Clone)]
+pub struct Kmp {
+    pattern: Vec<u8>,
+    /// `failure[i]` = length of the longest proper prefix of
+    /// `pattern[..=i]` that is also a suffix of it.
+    failure: Vec<usize>,
+}
+
+impl Kmp {
+    /// Compile `pattern`. Panics on an empty pattern (matching the paper's
+    /// setting — firewall rules are non-empty strings).
+    pub fn new(pattern: &[u8]) -> Kmp {
+        assert!(!pattern.is_empty(), "KMP pattern must be non-empty");
+        let mut failure = vec![0usize; pattern.len()];
+        let mut k = 0usize;
+        for i in 1..pattern.len() {
+            while k > 0 && pattern[k] != pattern[i] {
+                k = failure[k - 1];
+            }
+            if pattern[k] == pattern[i] {
+                k += 1;
+            }
+            failure[i] = k;
+        }
+        Kmp {
+            pattern: pattern.to_vec(),
+            failure,
+        }
+    }
+
+    /// The compiled pattern.
+    pub fn pattern(&self) -> &[u8] {
+        &self.pattern
+    }
+
+    /// Offset of the first occurrence of the pattern in `text`.
+    pub fn find_first(&self, text: &[u8]) -> Option<usize> {
+        self.scan(text, |_| false)
+    }
+
+    /// Offsets of all (possibly overlapping) occurrences.
+    pub fn find_all(&self, text: &[u8]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.scan(text, |pos| {
+            out.push(pos);
+            true // keep going
+        });
+        out
+    }
+
+    /// Number of (possibly overlapping) occurrences.
+    pub fn count(&self, text: &[u8]) -> usize {
+        let mut n = 0;
+        self.scan(text, |_| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    /// Core scan. `on_match(start_offset)` returns true to continue
+    /// scanning. Returns the first match offset when `on_match` stops the
+    /// scan (i.e. behaves as `find_first` for `|_| false`).
+    fn scan<F: FnMut(usize) -> bool>(&self, text: &[u8], mut on_match: F) -> Option<usize> {
+        let m = self.pattern.len();
+        let mut k = 0usize;
+        for (i, &b) in text.iter().enumerate() {
+            while k > 0 && self.pattern[k] != b {
+                k = self.failure[k - 1];
+            }
+            if self.pattern[k] == b {
+                k += 1;
+            }
+            if k == m {
+                let start = i + 1 - m;
+                if !on_match(start) {
+                    return Some(start);
+                }
+                k = self.failure[k - 1];
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation for differential testing.
+    fn naive_find_all(pattern: &[u8], text: &[u8]) -> Vec<usize> {
+        if pattern.len() > text.len() {
+            return Vec::new();
+        }
+        (0..=text.len() - pattern.len())
+            .filter(|&i| &text[i..i + pattern.len()] == pattern)
+            .collect()
+    }
+
+    #[test]
+    fn finds_simple_occurrences() {
+        let kmp = Kmp::new(b"abc");
+        assert_eq!(kmp.find_first(b"xxabcxx"), Some(2));
+        assert_eq!(kmp.find_first(b"xxabxcx"), None);
+        assert_eq!(kmp.find_all(b"abcabc"), vec![0, 3]);
+    }
+
+    #[test]
+    fn overlapping_matches() {
+        let kmp = Kmp::new(b"aa");
+        assert_eq!(kmp.find_all(b"aaaa"), vec![0, 1, 2]);
+        assert_eq!(kmp.count(b"aaaa"), 3);
+    }
+
+    #[test]
+    fn periodic_pattern_failure_function() {
+        let kmp = Kmp::new(b"ababab");
+        assert_eq!(kmp.failure, vec![0, 0, 1, 2, 3, 4]);
+        assert_eq!(kmp.find_all(b"abababab"), vec![0, 2]);
+    }
+
+    #[test]
+    fn pattern_longer_than_text() {
+        let kmp = Kmp::new(b"longpattern");
+        assert_eq!(kmp.find_first(b"short"), None);
+        assert!(kmp.find_all(b"s").is_empty());
+    }
+
+    #[test]
+    fn matches_at_boundaries() {
+        let kmp = Kmp::new(b"ab");
+        assert_eq!(kmp.find_all(b"abxxab"), vec![0, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_panics() {
+        let _ = Kmp::new(b"");
+    }
+
+    #[test]
+    fn differential_against_naive() {
+        // Pseudo-random byte strings over a tiny alphabet to force matches.
+        let mut state = 0x12345u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..200 {
+            let text: Vec<u8> = (0..100).map(|_| (next() % 3) as u8 + b'a').collect();
+            let plen = (next() % 5 + 1) as usize;
+            let pattern: Vec<u8> = (0..plen).map(|_| (next() % 3) as u8 + b'a').collect();
+            let kmp = Kmp::new(&pattern);
+            assert_eq!(
+                kmp.find_all(&text),
+                naive_find_all(&pattern, &text),
+                "trial {trial}: pattern {pattern:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let kmp = Kmp::new(&[0x00, 0xFF, 0x00]);
+        let text = [0x01, 0x00, 0xFF, 0x00, 0xFF, 0x00];
+        assert_eq!(kmp.find_all(&text), vec![1, 3]);
+    }
+}

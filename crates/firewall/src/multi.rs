@@ -1,0 +1,233 @@
+//! Aho–Corasick multi-pattern matching.
+//!
+//! A firewall rule set holds many signatures; scanning each packet once per
+//! rule would be `O(rules × bytes)`. Aho–Corasick generalizes the KMP
+//! failure function to a trie of all patterns, restoring the single
+//! linear pass the paper's cost model assumes regardless of rule count.
+
+use std::collections::VecDeque;
+
+/// A match: which pattern, ending where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternMatch {
+    /// Index of the pattern in construction order.
+    pub pattern: usize,
+    /// Byte offset of the first byte of the match in the scanned text.
+    pub start: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Child node per byte value; dense table for scan speed.
+    next: Box<[u32; 256]>,
+    /// Failure link.
+    fail: u32,
+    /// Patterns ending at this node.
+    output: Vec<u32>,
+    /// Depth (= matched length), for reporting start offsets.
+    depth: u32,
+}
+
+impl Node {
+    fn new(depth: u32) -> Node {
+        Node {
+            next: Box::new([u32::MAX; 256]),
+            fail: 0,
+            output: Vec::new(),
+            depth,
+        }
+    }
+}
+
+/// Compiled multi-pattern automaton.
+pub struct MultiPattern {
+    nodes: Vec<Node>,
+    pattern_lens: Vec<usize>,
+}
+
+impl MultiPattern {
+    /// Compile a set of non-empty patterns.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> MultiPattern {
+        let mut nodes = vec![Node::new(0)];
+        let mut pattern_lens = Vec::with_capacity(patterns.len());
+        // Trie construction.
+        for (pi, pattern) in patterns.iter().enumerate() {
+            let pattern = pattern.as_ref();
+            assert!(!pattern.is_empty(), "patterns must be non-empty");
+            pattern_lens.push(pattern.len());
+            let mut cur = 0usize;
+            for &b in pattern {
+                let slot = nodes[cur].next[b as usize];
+                cur = if slot == u32::MAX {
+                    let depth = nodes[cur].depth + 1;
+                    nodes.push(Node::new(depth));
+                    let id = (nodes.len() - 1) as u32;
+                    nodes[cur].next[b as usize] = id;
+                    id as usize
+                } else {
+                    slot as usize
+                };
+            }
+            nodes[cur].output.push(pi as u32);
+        }
+        // BFS to wire failure links and convert the trie into a DFA
+        // (goto function totalized via failure links).
+        let mut queue = VecDeque::new();
+        for b in 0..256 {
+            let child = nodes[0].next[b];
+            if child == u32::MAX {
+                nodes[0].next[b] = 0;
+            } else {
+                nodes[child as usize].fail = 0;
+                queue.push_back(child);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            let id = id as usize;
+            // Merge output of the failure target (suffix matches).
+            let fail = nodes[id].fail as usize;
+            let inherited = nodes[fail].output.clone();
+            nodes[id].output.extend(inherited);
+            for b in 0..256 {
+                let child = nodes[id].next[b];
+                let via_fail = nodes[fail].next[b];
+                if child == u32::MAX {
+                    nodes[id].next[b] = via_fail;
+                } else {
+                    nodes[child as usize].fail = via_fail;
+                    queue.push_back(child);
+                }
+            }
+        }
+        MultiPattern {
+            nodes,
+            pattern_lens,
+        }
+    }
+
+    /// Number of compiled patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_lens.len()
+    }
+
+    /// All matches (all patterns, all offsets, overlapping included).
+    pub fn find_all(&self, text: &[u8]) -> Vec<PatternMatch> {
+        let mut out = Vec::new();
+        let mut state = 0usize;
+        for (i, &b) in text.iter().enumerate() {
+            state = self.nodes[state].next[b as usize] as usize;
+            for &pi in &self.nodes[state].output {
+                let len = self.pattern_lens[pi as usize];
+                out.push(PatternMatch {
+                    pattern: pi as usize,
+                    start: i + 1 - len,
+                });
+            }
+        }
+        out
+    }
+
+    /// True when any pattern occurs in `text`; stops at the first match.
+    pub fn any_match(&self, text: &[u8]) -> bool {
+        let mut state = 0usize;
+        for &b in text {
+            state = self.nodes[state].next[b as usize] as usize;
+            if !self.nodes[state].output.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Distinct patterns that occur in `text` (sorted, deduplicated).
+    pub fn matching_patterns(&self, text: &[u8]) -> Vec<usize> {
+        let mut hits: Vec<usize> = self.find_all(text).iter().map(|m| m.pattern).collect();
+        hits.sort_unstable();
+        hits.dedup();
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmp::Kmp;
+
+    #[test]
+    fn finds_multiple_patterns() {
+        let ac = MultiPattern::new(&[b"he".as_slice(), b"she", b"his", b"hers"]);
+        let matches = ac.find_all(b"ushers");
+        // "ushers" contains "she"@1, "he"@2, "hers"@2.
+        let mut pairs: Vec<(usize, usize)> =
+            matches.iter().map(|m| (m.pattern, m.start)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 2), (1, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn any_match_short_circuits() {
+        let ac = MultiPattern::new(&[b"attack".as_slice(), b"exploit"]);
+        assert!(ac.any_match(b"an exploit attempt"));
+        assert!(!ac.any_match(b"benign traffic"));
+    }
+
+    #[test]
+    fn matching_patterns_dedupes() {
+        let ac = MultiPattern::new(&[b"ab".as_slice(), b"bc"]);
+        assert_eq!(ac.matching_patterns(b"ababab"), vec![0]);
+        assert_eq!(ac.matching_patterns(b"abc"), vec![0, 1]);
+    }
+
+    #[test]
+    fn agrees_with_kmp_per_pattern() {
+        let patterns: Vec<&[u8]> = vec![b"aba", b"bab", b"aa", b"abba"];
+        let ac = MultiPattern::new(&patterns);
+        let mut state = 99u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..100 {
+            let text: Vec<u8> = (0..120).map(|_| (next() % 2) as u8 + b'a').collect();
+            let got = ac.find_all(&text);
+            for (pi, p) in patterns.iter().enumerate() {
+                let kmp_offsets = Kmp::new(p).find_all(&text);
+                let ac_offsets: Vec<usize> = got
+                    .iter()
+                    .filter(|m| m.pattern == pi)
+                    .map(|m| m.start)
+                    .collect();
+                let mut sorted = ac_offsets.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, kmp_offsets, "pattern {pi}");
+            }
+        }
+    }
+
+    #[test]
+    fn substring_patterns_both_reported() {
+        let ac = MultiPattern::new(&[b"abcd".as_slice(), b"bc"]);
+        let pairs: Vec<(usize, usize)> = ac
+            .find_all(b"xabcdx")
+            .iter()
+            .map(|m| (m.pattern, m.start))
+            .collect();
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn binary_patterns_work() {
+        let ac = MultiPattern::new(&[[0x00u8, 0x01].as_slice(), &[0xFF]]);
+        let m = ac.find_all(&[0xFF, 0x00, 0x01]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_panics() {
+        let _ = MultiPattern::new(&[b"".as_slice()]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the HTTP layer.
+
+use std::fmt;
+
+/// Errors produced while parsing, serializing, or transporting HTTP
+/// messages.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying transport failure.
+    Io(std::io::Error),
+    /// The peer closed the connection before a complete message arrived.
+    /// `clean` is true when zero bytes of the next message had been read —
+    /// i.e. a graceful keep-alive close rather than a truncation.
+    ConnectionClosed { clean: bool },
+    /// Malformed request/response head or body framing.
+    Malformed(String),
+    /// A message exceeded a configured size limit.
+    TooLarge { what: &'static str, limit: usize },
+    /// The request targets an unknown route (server-side convenience).
+    NotFound(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::ConnectionClosed { clean: true } => write!(f, "connection closed"),
+            HttpError::ConnectionClosed { clean: false } => {
+                write!(f, "connection closed mid-message")
+            }
+            HttpError::Malformed(m) => write!(f, "malformed http message: {m}"),
+            HttpError::TooLarge { what, limit } => {
+                write!(f, "{what} exceeds limit of {limit} bytes")
+            }
+            HttpError::NotFound(p) => write!(f, "no route for {p}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl HttpError {
+    /// Shorthand for a [`HttpError::Malformed`] with a formatted message.
+    pub fn malformed(msg: impl Into<String>) -> Self {
+        HttpError::Malformed(msg.into())
+    }
+
+    /// True when the error is a clean keep-alive close (the peer simply
+    /// stopped issuing requests) rather than a real failure.
+    pub fn is_clean_close(&self) -> bool {
+        matches!(self, HttpError::ConnectionClosed { clean: true })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(HttpError::malformed("bad").to_string().contains("bad"));
+        assert!(HttpError::ConnectionClosed { clean: true }
+            .is_clean_close());
+        assert!(!HttpError::ConnectionClosed { clean: false }.is_clean_close());
+        let io = HttpError::from(std::io::Error::other("x"));
+        assert!(io.to_string().contains("i/o"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Minimal blocking HTTP/1.1 implementation.
+//!
+//! The paper's testbed spoke HTTP between WebLoad clients, the ISA Server
+//! proxy and IIS. The allowed dependency set contains no HTTP stack, so this
+//! crate provides one: request/response types, an incremental parser, a
+//! serializer, a keep-alive server with a thread pool, and a pooling client.
+//! It runs over any [`dpc_net::Duplex`] stream, so the same code serves real
+//! TCP sockets and the metered simulated wire.
+//!
+//! Scope is deliberately the subset the testbed needs (and all the testbed
+//! needs): `GET`/`POST`/`PURGE`, `Content-Length` bodies, keep-alive and
+//! `Connection: close`, query strings, and arbitrary headers. There is no
+//! chunked transfer-encoding, TLS, or HTTP/2 — none of which existed in or
+//! matter to the 2002 evaluation.
+
+pub mod client;
+pub mod error;
+pub mod message;
+pub mod parse;
+pub mod pool;
+pub mod serialize;
+pub mod server;
+pub mod uri;
+
+pub use client::Client;
+pub use error::HttpError;
+pub use message::{Headers, Method, Request, Response, Status};
+pub use server::{Handler, Server, ServerHandle};
+pub use uri::Uri;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, HttpError>;

@@ -1,0 +1,332 @@
+//! HTTP message types: methods, status codes, headers, requests, responses.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Request methods used by the testbed.
+///
+/// `PURGE` is the conventional cache-management verb (page-level caches are
+/// told to drop entries with it); everything else is standard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    Get,
+    Post,
+    Head,
+    Purge,
+}
+
+impl Method {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+            Method::Purge => "PURGE",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "HEAD" => Some(Method::Head),
+            "PURGE" => Some(Method::Purge),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Response status line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status(pub u16);
+
+impl Status {
+    pub const OK: Status = Status(200);
+    pub const NOT_MODIFIED: Status = Status(304);
+    pub const BAD_REQUEST: Status = Status(400);
+    pub const NOT_FOUND: Status = Status(404);
+    pub const INTERNAL_ERROR: Status = Status(500);
+    pub const BAD_GATEWAY: Status = Status(502);
+
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            _ => "Unknown",
+        }
+    }
+
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+/// An ordered multimap of header name/value pairs.
+///
+/// Lookups are ASCII case-insensitive per RFC 7230; insertion order is
+/// preserved so serialized messages are byte-stable (important for the
+/// byte-accounting benches).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    pub fn new() -> Self {
+        Headers::default()
+    }
+
+    /// Append a header (does not replace existing values of the same name).
+    pub fn add(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Replace all values of `name` with a single `value`.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.remove(name);
+        self.entries.push((name.to_owned(), value.into()));
+    }
+
+    /// First value of `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Remove all values of `name`. Returns true when something was removed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
+    /// Iterate over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total serialized size of the header block in bytes, including the
+    /// `": "` separators and CRLFs — this is the `f` (header size) term of
+    /// the paper's analytical model, measured rather than assumed.
+    pub fn wire_len(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(n, v)| n.len() + 2 + v.len() + 2)
+            .sum()
+    }
+
+    /// Parsed `Content-Length`, if present and valid.
+    pub fn content_length(&self) -> Option<usize> {
+        self.get("content-length").and_then(|v| v.trim().parse().ok())
+    }
+
+    /// True when the message asks for the connection to be closed after it.
+    pub fn connection_close(&self) -> bool {
+        self.get("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    pub method: Method,
+    /// Origin-form target: path plus optional query, e.g.
+    /// `/catalog.jsp?categoryID=Fiction`.
+    pub target: String,
+    pub headers: Headers,
+    pub body: Bytes,
+}
+
+impl Request {
+    /// A bodyless GET for `target`.
+    pub fn get(target: impl Into<String>) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.into(),
+            headers: Headers::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// A POST with the given body.
+    pub fn post(target: impl Into<String>, body: impl Into<Bytes>) -> Request {
+        Request {
+            method: Method::Post,
+            target: target.into(),
+            headers: Headers::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Builder-style header attachment.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Request {
+        self.headers.set(name, value);
+        self
+    }
+
+    /// Path component of the target (before `?`).
+    pub fn path(&self) -> &str {
+        match self.target.split_once('?') {
+            Some((p, _)) => p,
+            None => &self.target,
+        }
+    }
+
+    /// Query component of the target (after `?`), if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    pub status: Status,
+    pub headers: Headers,
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A 200 response with a body and `Content-Type: text/html`.
+    pub fn html(body: impl Into<Bytes>) -> Response {
+        let mut r = Response {
+            status: Status::OK,
+            headers: Headers::new(),
+            body: body.into(),
+        };
+        r.headers.set("Content-Type", "text/html");
+        r
+    }
+
+    /// An empty response with the given status.
+    pub fn status(status: Status) -> Response {
+        Response {
+            status,
+            headers: Headers::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// A plain-text error body with the given status.
+    pub fn error(status: Status, msg: &str) -> Response {
+        let mut r = Response {
+            status,
+            headers: Headers::new(),
+            body: Bytes::copy_from_slice(msg.as_bytes()),
+        };
+        r.headers.set("Content-Type", "text/plain");
+        r
+    }
+
+    /// Builder-style header attachment.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.set(name, value);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_roundtrip() {
+        for m in [Method::Get, Method::Post, Method::Head, Method::Purge] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("BREW"), None);
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(Status::OK.reason(), "OK");
+        assert_eq!(Status(599).reason(), "Unknown");
+        assert!(Status::OK.is_success());
+        assert!(!Status::NOT_FOUND.is_success());
+    }
+
+    #[test]
+    fn headers_case_insensitive_get() {
+        let mut h = Headers::new();
+        h.add("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert_eq!(h.get("x-missing"), None);
+    }
+
+    #[test]
+    fn headers_set_replaces_all() {
+        let mut h = Headers::new();
+        h.add("X-A", "1");
+        h.add("x-a", "2");
+        h.set("X-A", "3");
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.get("x-a"), Some("3"));
+    }
+
+    #[test]
+    fn headers_wire_len() {
+        let mut h = Headers::new();
+        h.add("A", "bb"); // "A: bb\r\n" = 7 bytes
+        h.add("Cc", "d"); // "Cc: d\r\n" = 7 bytes
+        assert_eq!(h.wire_len(), 14);
+    }
+
+    #[test]
+    fn content_length_parse() {
+        let mut h = Headers::new();
+        h.set("Content-Length", " 42 ");
+        assert_eq!(h.content_length(), Some(42));
+        h.set("Content-Length", "nope");
+        assert_eq!(h.content_length(), None);
+    }
+
+    #[test]
+    fn request_path_and_query() {
+        let r = Request::get("/catalog.jsp?categoryID=Fiction");
+        assert_eq!(r.path(), "/catalog.jsp");
+        assert_eq!(r.query(), Some("categoryID=Fiction"));
+        let r2 = Request::get("/plain");
+        assert_eq!(r2.path(), "/plain");
+        assert_eq!(r2.query(), None);
+    }
+
+    #[test]
+    fn response_builders() {
+        let r = Response::html("<p>hi</p>");
+        assert_eq!(r.status, Status::OK);
+        assert_eq!(r.headers.get("content-type"), Some("text/html"));
+        let e = Response::error(Status::NOT_FOUND, "gone");
+        assert_eq!(e.status, Status::NOT_FOUND);
+        assert_eq!(&e.body[..], b"gone");
+    }
+
+    #[test]
+    fn connection_close_detection() {
+        let r = Request::get("/").with_header("Connection", "close");
+        assert!(r.headers.connection_close());
+        let r2 = Request::get("/").with_header("Connection", "keep-alive");
+        assert!(!r2.headers.connection_close());
+    }
+}

@@ -1,0 +1,279 @@
+//! Incremental, blocking HTTP/1.1 message parser.
+//!
+//! Reads from any `BufRead`; used by both the server (requests) and the
+//! client/proxy (responses). Bodies are framed by `Content-Length`; a
+//! response without one is read until EOF (legal for `Connection: close`
+//! responses).
+
+use bytes::Bytes;
+use std::io::BufRead;
+
+use crate::error::HttpError;
+use crate::message::{Headers, Method, Request, Response, Status};
+use crate::Result;
+
+/// Upper bound on a request/response head (start line + headers).
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Upper bound on a message body the parser will buffer.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Read one CRLF-terminated line, excluding the terminator.
+///
+/// Returns `ConnectionClosed` when EOF arrives: `clean` is true only when
+/// EOF arrived before any byte of the line (used to distinguish a keep-alive
+/// peer going away from a truncated message).
+fn read_line<R: BufRead>(reader: &mut R, first_of_message: bool) -> Result<String> {
+    let mut line = Vec::with_capacity(64);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                return Err(HttpError::ConnectionClosed {
+                    clean: first_of_message && line.is_empty(),
+                })
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|_| HttpError::malformed("non-utf8 header line"));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_HEAD_BYTES {
+                    return Err(HttpError::TooLarge {
+                        what: "header line",
+                        limit: MAX_HEAD_BYTES,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Parse the header block (after the start line) up to the blank line.
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<Headers> {
+    let mut headers = Headers::new();
+    let mut total = 0usize;
+    loop {
+        let line = read_line(reader, false)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        total += line.len();
+        if total > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge {
+                what: "header block",
+                limit: MAX_HEAD_BYTES,
+            });
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::malformed(format!("header without colon: {line:?}")))?;
+        headers.add(name.trim(), value.trim());
+    }
+}
+
+/// Read exactly `len` body bytes.
+fn read_body<R: BufRead>(reader: &mut R, len: usize) -> Result<Bytes> {
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge {
+            what: "body",
+            limit: MAX_BODY_BYTES,
+        });
+    }
+    let mut body = vec![0u8; len];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => HttpError::ConnectionClosed { clean: false },
+            _ => HttpError::Io(e),
+        })?;
+    Ok(Bytes::from(body))
+}
+
+/// Parse one request from `reader`.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request> {
+    let start = read_line(reader, true)?;
+    let mut parts = start.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .and_then(Method::parse)
+        .ok_or_else(|| HttpError::malformed(format!("bad method in {start:?}")))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::malformed("missing request target"))?
+        .to_owned();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::malformed("missing http version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let headers = read_headers(reader)?;
+    let body = match headers.content_length() {
+        Some(n) => read_body(reader, n)?,
+        None => Bytes::new(),
+    };
+    Ok(Request {
+        method,
+        target,
+        headers,
+        body,
+    })
+}
+
+/// Parse one response from `reader`.
+///
+/// When the response carries no `Content-Length`, the body is everything up
+/// to EOF (the `Connection: close` framing).
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response> {
+    let start = read_line(reader, true)?;
+    let mut parts = start.split_ascii_whitespace();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::malformed("empty status line"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let code: u16 = parts
+        .next()
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| HttpError::malformed(format!("bad status in {start:?}")))?;
+    let headers = read_headers(reader)?;
+    let body = match headers.content_length() {
+        Some(n) => read_body(reader, n)?,
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            if buf.len() > MAX_BODY_BYTES {
+                return Err(HttpError::TooLarge {
+                    what: "body",
+                    limit: MAX_BODY_BYTES,
+                });
+            }
+            Bytes::from(buf)
+        }
+    };
+    Ok(Response {
+        status: Status(code),
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn cursor(s: &[u8]) -> BufReader<&[u8]> {
+        BufReader::new(s)
+    }
+
+    #[test]
+    fn parse_simple_get() {
+        let raw = b"GET /index.html?x=1 HTTP/1.1\r\nHost: site\r\n\r\n";
+        let req = read_request(&mut cursor(raw)).unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.target, "/index.html?x=1");
+        assert_eq!(req.headers.get("host"), Some("site"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parse_post_with_body() {
+        let raw = b"POST /submit HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut cursor(raw)).unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(&req.body[..], b"hello");
+    }
+
+    #[test]
+    fn parse_tolerates_lf_only_lines() {
+        let raw = b"GET / HTTP/1.1\nHost: a\n\n";
+        let req = read_request(&mut cursor(raw)).unwrap();
+        assert_eq!(req.headers.get("host"), Some("a"));
+    }
+
+    #[test]
+    fn clean_eof_before_request() {
+        let err = read_request(&mut cursor(b"")).unwrap_err();
+        assert!(err.is_clean_close());
+    }
+
+    #[test]
+    fn dirty_eof_mid_head() {
+        let err = read_request(&mut cursor(b"GET / HTTP/1.1\r\nHost")).unwrap_err();
+        assert!(matches!(err, HttpError::ConnectionClosed { clean: false }));
+    }
+
+    #[test]
+    fn dirty_eof_mid_body() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        let err = read_request(&mut cursor(raw)).unwrap_err();
+        assert!(matches!(err, HttpError::ConnectionClosed { clean: false }));
+    }
+
+    #[test]
+    fn rejects_unknown_method() {
+        let err = read_request(&mut cursor(b"BREW / HTTP/1.1\r\n\r\n")).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let err = read_request(&mut cursor(b"GET / SPDY/9\r\n\r\n")).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn rejects_header_without_colon() {
+        let err =
+            read_request(&mut cursor(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n")).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn parse_response_with_content_length() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\nX: y\r\n\r\nbody";
+        let resp = read_response(&mut cursor(raw)).unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(&resp.body[..], b"body");
+        assert_eq!(resp.headers.get("x"), Some("y"));
+    }
+
+    #[test]
+    fn parse_response_until_eof_without_length() {
+        let raw = b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\neverything until eof";
+        let resp = read_response(&mut cursor(raw)).unwrap();
+        assert_eq!(&resp.body[..], b"everything until eof");
+    }
+
+    #[test]
+    fn parse_response_status_codes() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+        let resp = read_response(&mut cursor(raw)).unwrap();
+        assert_eq!(resp.status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn header_values_are_trimmed() {
+        let raw = b"GET / HTTP/1.1\r\nHost:   spaced.example   \r\n\r\n";
+        let req = read_request(&mut cursor(raw)).unwrap();
+        assert_eq!(req.headers.get("host"), Some("spaced.example"));
+    }
+
+    #[test]
+    fn binary_body_passes_through() {
+        let mut raw = b"POST /b HTTP/1.1\r\nContent-Length: 4\r\n\r\n".to_vec();
+        raw.extend_from_slice(&[0x01, 0x02, 0xFF, 0x00]);
+        let req = read_request(&mut cursor(&raw)).unwrap();
+        assert_eq!(&req.body[..], &[0x01, 0x02, 0xFF, 0x00]);
+    }
+}

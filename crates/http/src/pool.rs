@@ -1,0 +1,115 @@
+//! A small fixed-size thread pool for connection handling.
+//!
+//! The 2002 servers were thread-per-connection with bounded worker pools;
+//! this mirrors that model. Jobs are closures; the pool drains outstanding
+//! jobs on drop.
+
+use crossbeam::channel::{unbounded, Sender};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size pool of worker threads executing submitted closures.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn `size` workers (at least one).
+    pub fn new(size: usize, name: &str) -> ThreadPool {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let mut workers = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = rx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("{name}-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn worker thread");
+            workers.push(handle);
+        }
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Submit a job. Returns false if the pool is shutting down.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so workers exit after draining queued jobs.
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4, "test");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        drop(pool); // joins workers, draining the queue
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn zero_size_clamps_to_one() {
+        let pool = ThreadPool::new(0, "tiny");
+        assert_eq!(pool.size(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.store(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        let pool = ThreadPool::new(2, "conc");
+        let (tx, rx) = crossbeam::channel::bounded::<()>(0);
+        let (tx2, rx2) = crossbeam::channel::bounded::<()>(0);
+        // Two jobs that must be in flight at the same time to finish.
+        pool.execute(move || {
+            tx.send(()).unwrap();
+            rx2.recv().unwrap();
+        });
+        pool.execute(move || {
+            rx.recv().unwrap();
+            tx2.send(()).unwrap();
+        });
+        drop(pool); // would deadlock if jobs were serialized on one worker
+    }
+}

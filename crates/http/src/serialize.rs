@@ -1,0 +1,131 @@
+//! HTTP message serialization.
+//!
+//! Output is byte-deterministic: header order is preserved and
+//! `Content-Length` is always emitted (set from the actual body length),
+//! which keeps the bandwidth benches reproducible run to run.
+
+use std::io::Write;
+
+use crate::message::{Request, Response};
+use crate::Result;
+
+/// Serialize `req` to `w`, fixing up `Content-Length` from the body.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<()> {
+    let mut buf = Vec::with_capacity(128 + req.body.len());
+    write!(buf, "{} {} HTTP/1.1\r\n", req.method, req.target)?;
+    for (name, value) in req.headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            continue; // re-emitted below from the real body length
+        }
+        write!(buf, "{name}: {value}\r\n")?;
+    }
+    if !req.body.is_empty() {
+        write!(buf, "Content-Length: {}\r\n", req.body.len())?;
+    }
+    buf.extend_from_slice(b"\r\n");
+    buf.extend_from_slice(&req.body);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serialize `resp` to `w`, fixing up `Content-Length` from the body.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<()> {
+    let mut buf = Vec::with_capacity(128 + resp.body.len());
+    write!(
+        buf,
+        "HTTP/1.1 {} {}\r\n",
+        resp.status.0,
+        resp.status.reason()
+    )?;
+    for (name, value) in resp.headers.iter() {
+        if name.eq_ignore_ascii_case("content-length") {
+            continue;
+        }
+        write!(buf, "{name}: {value}\r\n")?;
+    }
+    write!(buf, "Content-Length: {}\r\n", resp.body.len())?;
+    buf.extend_from_slice(b"\r\n");
+    buf.extend_from_slice(&resp.body);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serialized size in bytes of `resp` (what [`write_response`] would emit).
+pub fn response_wire_len(resp: &Response) -> usize {
+    let mut counter = Vec::new();
+    write_response(&mut counter, resp).expect("write to Vec cannot fail");
+    counter.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Request, Response, Status};
+    use crate::parse::{read_request, read_response};
+    use std::io::BufReader;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::post("/a?b=c", "payload")
+            .with_header("Host", "x")
+            .with_header("X-Test", "1");
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let parsed = read_request(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.method, req.method);
+        assert_eq!(parsed.target, req.target);
+        assert_eq!(parsed.body, req.body);
+        assert_eq!(parsed.headers.get("x-test"), Some("1"));
+        assert_eq!(parsed.headers.content_length(), Some(7));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::html("<h1>ok</h1>").with_header("Server", "dpc");
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let parsed = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.status, Status::OK);
+        assert_eq!(parsed.body, resp.body);
+        assert_eq!(parsed.headers.get("server"), Some("dpc"));
+    }
+
+    #[test]
+    fn content_length_is_authoritative() {
+        // A stale Content-Length on the message is replaced by the real one.
+        let mut resp = Response::html("12345");
+        resp.headers.set("Content-Length", "999");
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let parsed = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.headers.content_length(), Some(5));
+    }
+
+    #[test]
+    fn bodyless_request_has_no_content_length() {
+        let req = Request::get("/");
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(!s.to_ascii_lowercase().contains("content-length"));
+    }
+
+    #[test]
+    fn wire_len_matches_serialization() {
+        let resp = Response::html("x".repeat(1000)).with_header("Server", "dpc");
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        assert_eq!(response_wire_len(&resp), buf.len());
+    }
+
+    #[test]
+    fn empty_body_response_serializes_zero_length() {
+        let resp = Response::status(Status::NOT_MODIFIED);
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("Content-Length: 0"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Keep-alive HTTP server over any [`Listener`].
+//!
+//! One acceptor thread hands connections to a [`ThreadPool`]; each worker
+//! runs a read-request → handle → write-response loop until the client
+//! closes or sends `Connection: close`. The handler is a plain trait object
+//! so the same server fronts the application server, the proxy, and test
+//! fixtures.
+
+use std::io::BufReader;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dpc_net::{BoxListener, BoxStream};
+
+use crate::error::HttpError;
+use crate::message::{Request, Response};
+use crate::parse::read_request;
+use crate::pool::ThreadPool;
+use crate::serialize::write_response;
+
+/// Request handler. Implementations must be thread-safe: the server invokes
+/// `handle` concurrently from its worker pool.
+pub trait Handler: Send + Sync + 'static {
+    fn handle(&self, req: Request) -> Response;
+}
+
+/// Closures are handlers.
+impl<F> Handler for F
+where
+    F: Fn(Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: Request) -> Response {
+        self(req)
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads handling connections. NOTE: the server is
+    /// thread-per-connection (2002 style) and a keep-alive connection pins
+    /// its worker until the peer closes — size the pool for the number of
+    /// concurrent *connections*, not requests.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 32 }
+    }
+}
+
+/// Counters exposed by a running server.
+#[derive(Default, Debug)]
+pub struct ServerStats {
+    pub connections: AtomicU64,
+    pub requests: AtomicU64,
+    pub parse_errors: AtomicU64,
+}
+
+/// An HTTP server bound to a listener.
+pub struct Server {
+    listener: BoxListener,
+    handler: Arc<dyn Handler>,
+    config: ServerConfig,
+}
+
+impl Server {
+    pub fn new(listener: BoxListener, handler: Arc<dyn Handler>) -> Server {
+        Server {
+            listener,
+            handler,
+            config: ServerConfig::default(),
+        }
+    }
+
+    pub fn with_config(mut self, config: ServerConfig) -> Server {
+        self.config = config;
+        self
+    }
+
+    /// Start serving on a background acceptor thread. The returned handle
+    /// stops the server when dropped (after in-flight connections finish
+    /// their current request).
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.listener.local_addr();
+        let stats = Arc::new(ServerStats::default());
+        let running = Arc::new(AtomicBool::new(true));
+        let pool = ThreadPool::new(self.config.workers, "http-worker");
+        let handler = self.handler;
+        let listener = self.listener;
+        let stats_accept = Arc::clone(&stats);
+        let running_accept = Arc::clone(&running);
+        let acceptor = std::thread::Builder::new()
+            .name(format!("http-accept-{addr}"))
+            .spawn(move || {
+                while running_accept.load(Ordering::Acquire) {
+                    let stream = match listener.accept() {
+                        Ok(s) => s,
+                        Err(_) => break, // listener torn down
+                    };
+                    stats_accept.connections.fetch_add(1, Ordering::Relaxed);
+                    let handler = Arc::clone(&handler);
+                    let stats = Arc::clone(&stats_accept);
+                    pool.execute(move || serve_connection(stream, handler, stats));
+                }
+                // pool drops here, draining in-flight connections
+            })
+            .expect("spawn acceptor thread");
+        ServerHandle {
+            addr,
+            stats,
+            running,
+            acceptor: Some(acceptor),
+        }
+    }
+}
+
+/// Per-connection request loop.
+fn serve_connection(stream: BoxStream, handler: Arc<dyn Handler>, stats: Arc<ServerStats>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::ConnectionClosed { .. }) => return,
+            Err(_) => {
+                stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::error(crate::Status::BAD_REQUEST, "malformed request");
+                let _ = write_response(reader.get_mut(), &resp);
+                return;
+            }
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let close = req.headers.connection_close();
+        let resp = handler.handle(req);
+        let close = close || resp.headers.connection_close();
+        if write_response(reader.get_mut(), &resp).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    addr: String,
+    stats: Arc<ServerStats>,
+    running: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Address the server is reachable at.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Total connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.stats.connections.load(Ordering::Relaxed)
+    }
+
+    /// Total requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.stats.requests.load(Ordering::Relaxed)
+    }
+
+    /// Total malformed requests rejected so far.
+    pub fn parse_errors(&self) -> u64 {
+        self.stats.parse_errors.load(Ordering::Relaxed)
+    }
+
+    /// Ask the acceptor loop to stop after its next accept returns.
+    ///
+    /// Note: with a blocking listener the acceptor thread exits the next
+    /// time `accept` yields (connection or error); dropping the underlying
+    /// `SimNetwork`/listener wakes it immediately.
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::Release);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+        // Do not join: the acceptor may be blocked in accept() forever on a
+        // quiescent listener. Detach; worker pools are owned by the thread.
+        self.acceptor.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::message::{Method, Request, Response};
+    use dpc_net::{Connector, SimNetwork};
+
+    fn echo_handler() -> Arc<dyn Handler> {
+        Arc::new(|req: Request| {
+            let body = format!("{} {}", req.method, req.target);
+            Response::html(body)
+        })
+    }
+
+    #[test]
+    fn serves_requests_over_sim_network() {
+        let net = SimNetwork::with_defaults();
+        let listener = net.listen("web");
+        let handle = Server::new(Box::new(listener), echo_handler()).spawn();
+        let client = Client::new(Arc::new(net.connector()));
+        let resp = client.request("web", Request::get("/x?a=1")).unwrap();
+        assert_eq!(resp.status.0, 200);
+        assert_eq!(&resp.body[..], b"GET /x?a=1");
+        assert_eq!(handle.requests(), 1);
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let net = SimNetwork::with_defaults();
+        let listener = net.listen("web");
+        let handle = Server::new(Box::new(listener), echo_handler()).spawn();
+        let client = Client::new(Arc::new(net.connector()));
+        for i in 0..10 {
+            let resp = client
+                .request("web", Request::get(format!("/r{i}")))
+                .unwrap();
+            assert!(resp.status.is_success());
+        }
+        assert_eq!(handle.requests(), 10);
+        assert_eq!(handle.connections(), 1, "keep-alive should reuse");
+    }
+
+    #[test]
+    fn connection_close_header_closes() {
+        let net = SimNetwork::with_defaults();
+        let listener = net.listen("web");
+        let handle = Server::new(Box::new(listener), echo_handler()).spawn();
+        let client = Client::new(Arc::new(net.connector()));
+        for _ in 0..3 {
+            let req = Request::get("/bye").with_header("Connection", "close");
+            let resp = client.request("web", req).unwrap();
+            assert!(resp.status.is_success());
+        }
+        assert_eq!(handle.connections(), 3, "close forces fresh connections");
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::{Read, Write};
+        let net = SimNetwork::with_defaults();
+        let listener = net.listen("web");
+        let _handle = Server::new(Box::new(listener), echo_handler()).spawn();
+        let mut raw = net.connector().connect("web").unwrap();
+        raw.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        raw.shutdown_write().unwrap();
+        let mut out = Vec::new();
+        raw.read_to_end(&mut out).unwrap();
+        let s = String::from_utf8_lossy(&out);
+        assert!(s.starts_with("HTTP/1.1 400"), "got {s}");
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let net = SimNetwork::with_defaults();
+        let listener = net.listen("web");
+        let handle = Server::new(Box::new(listener), echo_handler()).spawn();
+        let mut joins = Vec::new();
+        for t in 0..8 {
+            let conn = net.connector();
+            joins.push(std::thread::spawn(move || {
+                let client = Client::new(Arc::new(conn));
+                for i in 0..20 {
+                    let resp = client
+                        .request("web", Request::get(format!("/t{t}/r{i}")))
+                        .unwrap();
+                    assert_eq!(
+                        String::from_utf8_lossy(&resp.body),
+                        format!("GET /t{t}/r{i}")
+                    );
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(handle.requests(), 160);
+    }
+
+    #[test]
+    fn post_bodies_reach_handler() {
+        let net = SimNetwork::with_defaults();
+        let listener = net.listen("web");
+        let _handle = Server::new(
+            Box::new(listener),
+            Arc::new(|req: Request| {
+                assert_eq!(req.method, Method::Post);
+                Response::html(req.body)
+            }),
+        )
+        .spawn();
+        let client = Client::new(Arc::new(net.connector()));
+        let resp = client
+            .request("web", Request::post("/submit", "the payload"))
+            .unwrap();
+        assert_eq!(&resp.body[..], b"the payload");
+    }
+}

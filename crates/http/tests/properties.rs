@@ -1,0 +1,118 @@
+//! Property-based tests for the HTTP layer: serialize∘parse = identity for
+//! arbitrary messages, URI canonicalization, and framing robustness.
+
+use bytes::Bytes;
+use dpc_http::parse::{read_request, read_response};
+use dpc_http::serialize::{write_request, write_response};
+use dpc_http::uri::{percent_decode, percent_encode, Uri};
+use dpc_http::{Method, Request, Response, Status};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// Header names: RFC 7230 tokens.
+fn header_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,20}".prop_filter(
+        // Names the serializer treats specially are exercised elsewhere.
+        "reserved",
+        |n| !n.eq_ignore_ascii_case("content-length") && !n.eq_ignore_ascii_case("connection"),
+    )
+}
+
+/// Header values: printable ASCII without CR/LF.
+fn header_value() -> impl Strategy<Value = String> {
+    "[ -~&&[^\r\n]]{0,40}".prop_map(|s| s.trim().to_owned())
+}
+
+fn target() -> impl Strategy<Value = String> {
+    "/[a-z0-9/._-]{0,30}(\\?[a-z0-9=&%+.-]{0,30})?"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn request_roundtrip(
+        target in target(),
+        method_idx in 0usize..4,
+        headers in proptest::collection::vec((header_name(), header_value()), 0..8),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let method = [Method::Get, Method::Post, Method::Head, Method::Purge][method_idx];
+        let mut req = Request {
+            method,
+            target,
+            headers: dpc_http::Headers::new(),
+            body: Bytes::from(body),
+        };
+        for (n, v) in &headers {
+            req.headers.add(n.clone(), v.clone());
+        }
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let parsed = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        prop_assert_eq!(parsed.method, req.method);
+        prop_assert_eq!(&parsed.target, &req.target);
+        prop_assert_eq!(&parsed.body, &req.body);
+        for (n, v) in &headers {
+            // First value of each name survives (multi-value order kept).
+            let first = headers.iter().find(|(n2, _)| n2.eq_ignore_ascii_case(n)).map(|(_, v2)| v2);
+            prop_assert_eq!(parsed.headers.get(n), first.map(String::as_str));
+            let _ = v;
+        }
+    }
+
+    #[test]
+    fn response_roundtrip(
+        code in 100u16..600,
+        headers in proptest::collection::vec((header_name(), header_value()), 0..8),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut resp = Response {
+            status: Status(code),
+            headers: dpc_http::Headers::new(),
+            body: Bytes::from(body),
+        };
+        for (n, v) in &headers {
+            resp.headers.add(n.clone(), v.clone());
+        }
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let parsed = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        prop_assert_eq!(parsed.status.0, code);
+        prop_assert_eq!(&parsed.body, &resp.body);
+    }
+
+    #[test]
+    fn truncated_requests_never_parse_as_complete(
+        body in proptest::collection::vec(any::<u8>(), 1..256),
+        cut_fraction in 0.1f64..0.95,
+    ) {
+        let req = Request::post("/submit", body);
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req).unwrap();
+        let cut = ((wire.len() as f64) * cut_fraction) as usize;
+        let truncated = &wire[..cut.min(wire.len() - 1)];
+        // Either a clean parse error or a connection-closed error; never a
+        // silently wrong message.
+        if let Ok(parsed) = read_request(&mut BufReader::new(truncated)) { prop_assert_eq!(parsed.body, req.body, "complete parse must be exact") }
+    }
+
+    #[test]
+    fn percent_roundtrip(s in "[ -~]{0,60}") {
+        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+    }
+
+    #[test]
+    fn uri_canonicalization_is_idempotent(t in target()) {
+        let u1 = Uri::parse(&t);
+        let u2 = Uri::parse(&u1.to_target());
+        prop_assert_eq!(u1.path, u2.path);
+        prop_assert_eq!(u1.params, u2.params);
+    }
+
+    #[test]
+    fn garbage_never_panics_the_parser(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_request(&mut BufReader::new(&bytes[..]));
+        let _ = read_response(&mut BufReader::new(&bytes[..]));
+    }
+}

@@ -1,0 +1,146 @@
+//! Model parameters — the paper's Table 2 baseline settings.
+
+/// Parameters of the §5 analytical model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Hit ratio `h`: fraction of cacheable fragments found in cache.
+    pub hit_ratio: f64,
+    /// Average fragment size `s_e` in bytes.
+    pub fragment_bytes: f64,
+    /// Fragments per page `|E_i|`.
+    pub fragments_per_page: usize,
+    /// Number of pages `n = |C|`.
+    pub pages: usize,
+    /// Average header size `f` in bytes.
+    pub header_bytes: f64,
+    /// Average tag size `g` in bytes.
+    pub tag_bytes: f64,
+    /// Cacheability factor: expected value of the indicator `X_j`.
+    pub cacheability: f64,
+    /// Requests `R` during the observation interval.
+    pub requests: u64,
+    /// Zipf exponent for the page-access distribution `P(i)`.
+    pub zipf_alpha: f64,
+}
+
+impl Default for ModelParams {
+    /// Table 2: h=0.8, s_e=1 KB, 4 fragments/page, 10 pages, f=500 B,
+    /// g=10 B, cacheability 0.6, R=1 million. (Zipf α=1.0; the paper cites
+    /// the Zipf assumption without printing an exponent.)
+    fn default() -> Self {
+        ModelParams {
+            hit_ratio: 0.8,
+            fragment_bytes: 1024.0,
+            fragments_per_page: 4,
+            pages: 10,
+            header_bytes: 500.0,
+            tag_bytes: 10.0,
+            cacheability: 0.6,
+            requests: 1_000_000,
+            zipf_alpha: 1.0,
+        }
+    }
+}
+
+impl ModelParams {
+    /// Table 2 baseline (alias of `default`, named for bench readability).
+    pub fn table2() -> ModelParams {
+        ModelParams::default()
+    }
+
+    /// Builder: hit ratio.
+    pub fn with_hit_ratio(mut self, h: f64) -> Self {
+        assert!((0.0..=1.0).contains(&h));
+        self.hit_ratio = h;
+        self
+    }
+
+    /// Builder: fragment size in bytes.
+    pub fn with_fragment_bytes(mut self, s: f64) -> Self {
+        assert!(s >= 0.0);
+        self.fragment_bytes = s;
+        self
+    }
+
+    /// Builder: cacheability factor.
+    pub fn with_cacheability(mut self, x: f64) -> Self {
+        assert!((0.0..=1.0).contains(&x));
+        self.cacheability = x;
+        self
+    }
+
+    /// Builder: header size.
+    pub fn with_header_bytes(mut self, f: f64) -> Self {
+        assert!(f >= 0.0);
+        self.header_bytes = f;
+        self
+    }
+
+    /// Builder: tag size.
+    pub fn with_tag_bytes(mut self, g: f64) -> Self {
+        assert!(g >= 0.0);
+        self.tag_bytes = g;
+        self
+    }
+
+    /// The per-figure calibration the paper's Figure 3(a) curves imply:
+    /// warm cache (`h = 1`) and negligible per-page header (`f = 0`). See
+    /// the crate docs' calibration note.
+    pub fn fig3a_calibrated(self) -> Self {
+        self.with_hit_ratio(1.0).with_header_bytes(0.0)
+    }
+
+    /// The calibration Figure 2(b)'s peak savings implies: cacheability
+    /// ≈ 0.8 instead of Table 2's 0.6.
+    pub fn fig2b_calibrated(self) -> Self {
+        self.with_cacheability(0.8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_defaults() {
+        let p = ModelParams::table2();
+        assert_eq!(p.hit_ratio, 0.8);
+        assert_eq!(p.fragment_bytes, 1024.0);
+        assert_eq!(p.fragments_per_page, 4);
+        assert_eq!(p.pages, 10);
+        assert_eq!(p.header_bytes, 500.0);
+        assert_eq!(p.tag_bytes, 10.0);
+        assert_eq!(p.cacheability, 0.6);
+        assert_eq!(p.requests, 1_000_000);
+    }
+
+    #[test]
+    fn builders() {
+        let p = ModelParams::table2()
+            .with_hit_ratio(0.5)
+            .with_fragment_bytes(2048.0)
+            .with_cacheability(1.0)
+            .with_header_bytes(0.0)
+            .with_tag_bytes(8.0);
+        assert_eq!(p.hit_ratio, 0.5);
+        assert_eq!(p.fragment_bytes, 2048.0);
+        assert_eq!(p.cacheability, 1.0);
+        assert_eq!(p.header_bytes, 0.0);
+        assert_eq!(p.tag_bytes, 8.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hit_ratio_bounds_enforced() {
+        let _ = ModelParams::table2().with_hit_ratio(1.1);
+    }
+
+    #[test]
+    fn calibrations() {
+        let p = ModelParams::table2().fig3a_calibrated();
+        assert_eq!(p.hit_ratio, 1.0);
+        assert_eq!(p.header_bytes, 0.0);
+        let q = ModelParams::table2().fig2b_calibrated();
+        assert_eq!(q.cacheability, 0.8);
+    }
+}

@@ -1,0 +1,169 @@
+//! Real and virtual clocks.
+//!
+//! All time-dependent logic in the workspace (fragment TTLs, invalidation
+//! sweeps, simulated response times) reads time through a [`Clock`] handle so
+//! that tests can advance time instantly instead of sleeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonically non-decreasing clock.
+///
+/// `Clock` is cheap to clone (it is an `Arc` internally) and safe to share
+/// across threads.
+#[derive(Clone)]
+pub struct Clock(Inner);
+
+#[derive(Clone)]
+enum Inner {
+    /// Wall-clock time, anchored at construction.
+    Real(Instant),
+    /// Manually advanced time, for deterministic tests and benches.
+    Virtual(Arc<VirtualClock>),
+}
+
+impl Clock {
+    /// A clock backed by [`Instant::now`]. Time starts at zero when the
+    /// clock is created.
+    pub fn real() -> Self {
+        Clock(Inner::Real(Instant::now()))
+    }
+
+    /// A virtual clock starting at time zero. Returns the clock plus the
+    /// handle used to advance it.
+    pub fn virtual_clock() -> (Self, Arc<VirtualClock>) {
+        let v = Arc::new(VirtualClock::default());
+        (Clock(Inner::Virtual(Arc::clone(&v))), v)
+    }
+
+    /// Nanoseconds elapsed since the clock's epoch.
+    pub fn now_nanos(&self) -> u64 {
+        match &self.0 {
+            Inner::Real(epoch) => epoch.elapsed().as_nanos() as u64,
+            Inner::Virtual(v) => v.nanos.load(Ordering::Acquire),
+        }
+    }
+
+    /// Time elapsed since the clock's epoch.
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.now_nanos())
+    }
+
+    /// True when this is a virtual (manually advanced) clock.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self.0, Inner::Virtual(_))
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::real()
+    }
+}
+
+impl std::fmt::Debug for Clock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Inner::Real(_) => write!(f, "Clock::Real({:?})", self.now()),
+            Inner::Virtual(_) => write!(f, "Clock::Virtual({:?})", self.now()),
+        }
+    }
+}
+
+/// The advance handle for a virtual [`Clock`].
+#[derive(Default)]
+pub struct VirtualClock {
+    nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Advance the clock by `d`. Concurrent advances accumulate.
+    pub fn advance(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::AcqRel);
+    }
+
+    /// Set the clock to an absolute offset from the epoch.
+    ///
+    /// The clock never moves backwards: setting a value earlier than the
+    /// current time is a no-op.
+    pub fn set(&self, since_epoch: Duration) {
+        let target = since_epoch.as_nanos() as u64;
+        let mut cur = self.nanos.load(Ordering::Acquire);
+        while cur < target {
+            match self.nanos.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current offset from the epoch.
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_starts_at_zero() {
+        let (clock, _h) = Clock::virtual_clock();
+        assert_eq!(clock.now_nanos(), 0);
+        assert!(clock.is_virtual());
+    }
+
+    #[test]
+    fn virtual_clock_advances() {
+        let (clock, h) = Clock::virtual_clock();
+        h.advance(Duration::from_millis(5));
+        assert_eq!(clock.now(), Duration::from_millis(5));
+        h.advance(Duration::from_millis(7));
+        assert_eq!(clock.now(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn virtual_clock_set_never_goes_backwards() {
+        let (clock, h) = Clock::virtual_clock();
+        h.set(Duration::from_secs(10));
+        h.set(Duration::from_secs(3));
+        assert_eq!(clock.now(), Duration::from_secs(10));
+        h.set(Duration::from_secs(11));
+        assert_eq!(clock.now(), Duration::from_secs(11));
+    }
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let clock = Clock::real();
+        let a = clock.now_nanos();
+        let b = clock.now_nanos();
+        assert!(b >= a);
+        assert!(!clock.is_virtual());
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let (clock, h) = Clock::virtual_clock();
+        let h = Arc::new(h);
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let h = Arc::clone(&h);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    h.advance(Duration::from_nanos(1));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(clock.now_nanos(), 8_000);
+    }
+}

@@ -1,0 +1,120 @@
+//! Link latency/bandwidth model.
+//!
+//! The testbed never sleeps to simulate a slow link — that would make the
+//! benchmark suite minutes-slow and non-deterministic. Instead each hop is
+//! described by a [`LinkModel`] and the harness *computes* the time a
+//! request/response exchange would have taken from the measured byte counts.
+//! This is sufficient for the paper's response-time claims, which are about
+//! bytes on the wire and round trips, not about kernel scheduling.
+
+use std::time::Duration;
+
+use crate::packet::ProtocolModel;
+
+/// A point-to-point link with fixed one-way propagation delay and a serial
+/// transmission rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// One-way propagation delay.
+    pub one_way: Duration,
+    /// Transmission rate in bytes per second.
+    pub bytes_per_sec: f64,
+    /// Framing model used to convert payload to wire bytes.
+    pub protocol: ProtocolModel,
+}
+
+impl LinkModel {
+    /// A LAN-class link: 0.2 ms one way, 100 Mbit/s.
+    pub fn lan() -> Self {
+        LinkModel {
+            one_way: Duration::from_micros(200),
+            bytes_per_sec: 100e6 / 8.0,
+            protocol: ProtocolModel::default(),
+        }
+    }
+
+    /// A WAN-class link: 40 ms one way, 1.5 Mbit/s (2002-era broadband /
+    /// T1-ish path between an end user and a web site).
+    pub fn wan() -> Self {
+        LinkModel {
+            one_way: Duration::from_millis(40),
+            bytes_per_sec: 1.5e6 / 8.0,
+            protocol: ProtocolModel::default(),
+        }
+    }
+
+    /// An instantaneous link (useful to isolate other delays).
+    pub fn instant() -> Self {
+        LinkModel {
+            one_way: Duration::ZERO,
+            bytes_per_sec: f64::INFINITY,
+            protocol: ProtocolModel::ideal(),
+        }
+    }
+
+    /// Time to push `payload` bytes onto the wire (serialization delay).
+    pub fn transmit_time(&self, payload: u64) -> Duration {
+        if self.bytes_per_sec == f64::INFINITY {
+            return Duration::ZERO;
+        }
+        let wire = self.protocol.wire_bytes(payload);
+        Duration::from_secs_f64(wire as f64 / self.bytes_per_sec)
+    }
+
+    /// One round trip of propagation delay.
+    pub fn rtt(&self) -> Duration {
+        self.one_way * 2
+    }
+
+    /// Simulated duration of a request/response exchange on this link:
+    /// optional handshake RTT, then request upstream, then response
+    /// downstream, each charged propagation + serialization.
+    pub fn exchange_time(&self, request: u64, response: u64, new_connection: bool) -> Duration {
+        let mut t = Duration::ZERO;
+        if new_connection {
+            t += self.rtt(); // SYN / SYN-ACK before data can flow
+        }
+        t += self.one_way + self.transmit_time(request);
+        t += self.one_way + self.transmit_time(response);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_link_is_free() {
+        let l = LinkModel::instant();
+        assert_eq!(l.exchange_time(1000, 100_000, true), Duration::ZERO);
+    }
+
+    #[test]
+    fn wan_slower_than_lan() {
+        let wan = LinkModel::wan();
+        let lan = LinkModel::lan();
+        let w = wan.exchange_time(500, 10_000, false);
+        let l = lan.exchange_time(500, 10_000, false);
+        assert!(w > l * 10, "wan {:?} should dwarf lan {:?}", w, l);
+    }
+
+    #[test]
+    fn handshake_adds_rtt() {
+        let l = LinkModel::wan();
+        let fresh = l.exchange_time(100, 100, true);
+        let reused = l.exchange_time(100, 100, false);
+        assert_eq!(fresh - reused, l.rtt());
+    }
+
+    #[test]
+    fn transmit_time_scales_with_bytes() {
+        let l = LinkModel::wan();
+        let one = l.transmit_time(10_000);
+        let two = l.transmit_time(20_000);
+        assert!(two > one);
+        // Roughly linear (headers perturb slightly).
+        let ratio = two.as_secs_f64() / one.as_secs_f64();
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+}

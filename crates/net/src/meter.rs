@@ -1,0 +1,225 @@
+//! Byte and packet meters — the testbed's stand-in for the Sniffer network
+//! monitoring tool used in the paper's experiments.
+//!
+//! A [`Meter`] counts four quantities on a unidirectional flow:
+//!
+//! * `payload_bytes` — application bytes written by the sender,
+//! * `wire_bytes`   — payload plus simulated TCP/IP framing (what Sniffer
+//!   would report),
+//! * `packets`      — simulated MSS-sized segments, including handshake
+//!   segments,
+//! * `messages`     — distinct application writes (used for sanity checks).
+//!
+//! Meters are lock-free (`AtomicU64`) so they can sit on the hot path of the
+//! simulated wire without perturbing measurements.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters for one unidirectional flow.
+#[derive(Default, Debug)]
+pub struct Meter {
+    payload_bytes: AtomicU64,
+    wire_bytes: AtomicU64,
+    packets: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl Meter {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Meter::default())
+    }
+
+    /// Record one application-level write of `payload` bytes that was framed
+    /// into `packets` segments totalling `wire` bytes on the wire.
+    pub fn record(&self, payload: u64, wire: u64, packets: u64) {
+        self.payload_bytes.fetch_add(payload, Ordering::Relaxed);
+        self.wire_bytes.fetch_add(wire, Ordering::Relaxed);
+        self.packets.fetch_add(packets, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record framing-only overhead (e.g. connection handshake segments).
+    pub fn record_overhead(&self, wire: u64, packets: u64) {
+        self.wire_bytes.fetch_add(wire, Ordering::Relaxed);
+        self.packets.fetch_add(packets, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot {
+            payload_bytes: self.payload_bytes.load(Ordering::Relaxed),
+            wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
+            packets: self.packets.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (used between benchmark phases, e.g. after
+    /// cache warm-up, mirroring the paper's steady-state measurements).
+    pub fn reset(&self) {
+        self.payload_bytes.store(0, Ordering::Relaxed);
+        self.wire_bytes.store(0, Ordering::Relaxed);
+        self.packets.store(0, Ordering::Relaxed);
+        self.messages.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A copy of a [`Meter`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeterSnapshot {
+    pub payload_bytes: u64,
+    pub wire_bytes: u64,
+    pub packets: u64,
+    pub messages: u64,
+}
+
+impl MeterSnapshot {
+    /// Counter-wise difference `self - earlier`, saturating at zero.
+    pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            payload_bytes: self.payload_bytes.saturating_sub(earlier.payload_bytes),
+            wire_bytes: self.wire_bytes.saturating_sub(earlier.wire_bytes),
+            packets: self.packets.saturating_sub(earlier.packets),
+            messages: self.messages.saturating_sub(earlier.messages),
+        }
+    }
+
+    /// Counter-wise sum.
+    pub fn plus(&self, other: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            payload_bytes: self.payload_bytes + other.payload_bytes,
+            wire_bytes: self.wire_bytes + other.wire_bytes,
+            packets: self.packets + other.packets,
+            messages: self.messages + other.messages,
+        }
+    }
+}
+
+/// Named collection of meters, one pair per simulated wire.
+///
+/// The registry is the "Sniffer console": benches query it by wire name to
+/// read bandwidth between the origin-site box and the external box.
+#[derive(Default)]
+pub struct MeterRegistry {
+    meters: Mutex<BTreeMap<String, Arc<Meter>>>,
+}
+
+impl MeterRegistry {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Fetch (or create) the meter registered under `name`.
+    pub fn meter(&self, name: &str) -> Arc<Meter> {
+        let mut meters = self.meters.lock();
+        Arc::clone(
+            meters
+                .entry(name.to_owned())
+                .or_default(),
+        )
+    }
+
+    /// Snapshot every registered meter.
+    pub fn snapshot_all(&self) -> BTreeMap<String, MeterSnapshot> {
+        self.meters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Combined snapshot of all meters whose name starts with `prefix`.
+    ///
+    /// Wires register their two directions as `<name>.a2b` / `<name>.b2a`,
+    /// so `snapshot_prefix("origin-external")` totals both directions —
+    /// which is what the Sniffer measured between the two machines.
+    pub fn snapshot_prefix(&self, prefix: &str) -> MeterSnapshot {
+        self.meters
+            .lock()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .fold(MeterSnapshot::default(), |acc, (_, m)| {
+                acc.plus(&m.snapshot())
+            })
+    }
+
+    /// Reset every registered meter.
+    pub fn reset_all(&self) {
+        for m in self.meters.lock().values() {
+            m.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates() {
+        let m = Meter::new();
+        m.record(100, 140, 1);
+        m.record(2000, 2080, 2);
+        let s = m.snapshot();
+        assert_eq!(s.payload_bytes, 2100);
+        assert_eq!(s.wire_bytes, 2220);
+        assert_eq!(s.packets, 3);
+        assert_eq!(s.messages, 2);
+    }
+
+    #[test]
+    fn overhead_does_not_count_payload_or_messages() {
+        let m = Meter::new();
+        m.record_overhead(120, 3);
+        let s = m.snapshot();
+        assert_eq!(s.payload_bytes, 0);
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.wire_bytes, 120);
+        assert_eq!(s.packets, 3);
+    }
+
+    #[test]
+    fn snapshot_since() {
+        let m = Meter::new();
+        m.record(10, 50, 1);
+        let a = m.snapshot();
+        m.record(5, 45, 1);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.payload_bytes, 5);
+        assert_eq!(d.wire_bytes, 45);
+        assert_eq!(d.packets, 1);
+        assert_eq!(d.messages, 1);
+    }
+
+    #[test]
+    fn registry_returns_same_meter_for_same_name() {
+        let r = MeterRegistry::new();
+        let a = r.meter("wire.a2b");
+        let b = r.meter("wire.a2b");
+        a.record(1, 41, 1);
+        assert_eq!(b.snapshot().payload_bytes, 1);
+    }
+
+    #[test]
+    fn registry_prefix_sums_both_directions() {
+        let r = MeterRegistry::new();
+        r.meter("origin.a2b").record(10, 50, 1);
+        r.meter("origin.b2a").record(20, 60, 1);
+        r.meter("other.a2b").record(1000, 1000, 1);
+        let s = r.snapshot_prefix("origin");
+        assert_eq!(s.payload_bytes, 30);
+        assert_eq!(s.wire_bytes, 110);
+    }
+
+    #[test]
+    fn reset_all_zeroes() {
+        let r = MeterRegistry::new();
+        r.meter("w").record(10, 50, 1);
+        r.reset_all();
+        assert_eq!(r.snapshot_prefix("w"), MeterSnapshot::default());
+    }
+}

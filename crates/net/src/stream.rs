@@ -1,0 +1,125 @@
+//! Transport abstraction: the HTTP layer talks to `dyn Duplex` so that the
+//! same server/client code runs over real TCP sockets (examples, manual
+//! testing) and over the in-memory simulated wire (tests, benches).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// A bidirectional, blocking byte stream — the subset of `TcpStream`
+/// behaviour the HTTP layer relies on.
+pub trait Duplex: Read + Write + Send {
+    /// Half-close the write side, delivering EOF to the peer's reader while
+    /// keeping our read side open (mirrors `TcpStream::shutdown(Write)`).
+    fn shutdown_write(&mut self) -> std::io::Result<()>;
+
+    /// A short human-readable description of the peer, for logs.
+    fn peer_label(&self) -> String {
+        "<peer>".to_owned()
+    }
+}
+
+/// Boxed transport stream.
+pub type BoxStream = Box<dyn Duplex>;
+
+/// Accepts inbound connections; implemented for TCP and the simulated
+/// network.
+pub trait Listener: Send {
+    /// Block until a client connects.
+    fn accept(&self) -> std::io::Result<BoxStream>;
+
+    /// Address clients should use to reach this listener.
+    fn local_addr(&self) -> String;
+}
+
+/// Boxed listener.
+pub type BoxListener = Box<dyn Listener>;
+
+/// Establishes outbound connections; implemented for TCP and the simulated
+/// network.
+pub trait Connector: Send + Sync {
+    /// Open a new stream to `addr`.
+    fn connect(&self, addr: &str) -> std::io::Result<BoxStream>;
+}
+
+// ---------------------------------------------------------------------------
+// TCP implementations
+// ---------------------------------------------------------------------------
+
+impl Duplex for TcpStream {
+    fn shutdown_write(&mut self) -> std::io::Result<()> {
+        TcpStream::shutdown(self, std::net::Shutdown::Write)
+    }
+
+    fn peer_label(&self) -> String {
+        self.peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<tcp>".to_owned())
+    }
+}
+
+/// [`Listener`] over a real TCP socket.
+pub struct TcpListenerAdapter {
+    inner: TcpListener,
+}
+
+impl TcpListenerAdapter {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"`).
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        Ok(TcpListenerAdapter {
+            inner: TcpListener::bind(addr)?,
+        })
+    }
+}
+
+impl Listener for TcpListenerAdapter {
+    fn accept(&self) -> std::io::Result<BoxStream> {
+        let (stream, _) = self.inner.accept()?;
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(stream))
+    }
+
+    fn local_addr(&self) -> String {
+        self.inner
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// [`Connector`] over real TCP.
+#[derive(Default, Clone, Copy)]
+pub struct TcpConnector;
+
+impl Connector for TcpConnector {
+    fn connect(&self, addr: &str) -> std::io::Result<BoxStream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Box::new(stream))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn tcp_roundtrip_through_traits() {
+        let listener = TcpListenerAdapter::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr();
+        let server = std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(b"world").unwrap();
+            buf
+        });
+        let mut c = TcpConnector.connect(&addr).unwrap();
+        c.write_all(b"hello").unwrap();
+        c.shutdown_write().unwrap();
+        let mut out = Vec::new();
+        c.read_to_end(&mut out).unwrap();
+        assert_eq!(server.join().unwrap(), *b"hello");
+        assert_eq!(out, b"world");
+    }
+}

@@ -1,0 +1,379 @@
+//! In-memory simulated network.
+//!
+//! [`SimNetwork`] plays the role of the test LAN in the paper's Figure 4: it
+//! connects the "Origin Site" box to the "External" box (and clients to the
+//! proxy) with metered, framed byte streams. Each [`SimStream`] pair behaves
+//! like a TCP connection: writes are chunked into messages, reads block until
+//! data or EOF, dropping an endpoint (or calling
+//! [`shutdown_write`](crate::stream::Duplex::shutdown_write)) delivers EOF.
+//!
+//! Every write is metered with both payload bytes and simulated wire bytes
+//! (per the [`ProtocolModel`]); connection establishment charges handshake
+//! segments, so the Sniffer-style meters see realistic TCP/IP overhead.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use crate::meter::{Meter, MeterRegistry};
+use crate::packet::ProtocolModel;
+use crate::stream::{BoxStream, Connector, Duplex, Listener};
+
+/// One endpoint of a simulated connection.
+pub struct SimStream {
+    label: String,
+    tx: Option<Sender<Vec<u8>>>,
+    rx: Receiver<Vec<u8>>,
+    /// Bytes received but not yet consumed by `read`.
+    pending: Vec<u8>,
+    pending_pos: usize,
+    /// Meter for the direction we write to.
+    out_meter: Arc<Meter>,
+    protocol: ProtocolModel,
+}
+
+impl SimStream {
+    /// Create a connected pair of endpoints.
+    ///
+    /// `a2b` meters bytes written by the first endpoint, `b2a` bytes written
+    /// by the second. The handshake overhead is charged to `a2b` (the
+    /// client side initiates).
+    pub fn pair(
+        label: &str,
+        protocol: ProtocolModel,
+        a2b: Arc<Meter>,
+        b2a: Arc<Meter>,
+    ) -> (SimStream, SimStream) {
+        let (tx_ab, rx_ab) = unbounded();
+        let (tx_ba, rx_ba) = unbounded();
+        a2b.record_overhead(
+            protocol.handshake_bytes(),
+            protocol.handshake_segments as u64,
+        );
+        let a = SimStream {
+            label: format!("{label}.a"),
+            tx: Some(tx_ab),
+            rx: rx_ba,
+            pending: Vec::new(),
+            pending_pos: 0,
+            out_meter: a2b,
+            protocol,
+        };
+        let b = SimStream {
+            label: format!("{label}.b"),
+            tx: Some(tx_ba),
+            rx: rx_ab,
+            pending: Vec::new(),
+            pending_pos: 0,
+            out_meter: b2a,
+            protocol,
+        };
+        (a, b)
+    }
+
+    /// Unmetered pair, for plumbing that is not part of the measured path.
+    pub fn unmetered_pair(label: &str) -> (SimStream, SimStream) {
+        SimStream::pair(label, ProtocolModel::ideal(), Meter::new(), Meter::new())
+    }
+
+    fn refill(&mut self) -> bool {
+        // Blocking receive; returns false on EOF (sender dropped).
+        match self.rx.recv() {
+            Ok(chunk) => {
+                self.pending = chunk;
+                self.pending_pos = 0;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl Read for SimStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        while self.pending_pos >= self.pending.len() {
+            // Skip empty chunks (write_all of 0 bytes) and wait for data.
+            if !self.refill() {
+                return Ok(0); // EOF
+            }
+        }
+        let avail = &self.pending[self.pending_pos..];
+        let n = avail.len().min(buf.len());
+        buf[..n].copy_from_slice(&avail[..n]);
+        self.pending_pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for SimStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let Some(tx) = &self.tx else {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "write after shutdown",
+            ));
+        };
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let payload = buf.len() as u64;
+        self.out_meter.record(
+            payload,
+            self.protocol.wire_bytes(payload),
+            self.protocol.segments(payload) + self.protocol.ack_segments(self.protocol.segments(payload)),
+        );
+        tx.send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Duplex for SimStream {
+    fn shutdown_write(&mut self) -> io::Result<()> {
+        self.tx = None; // dropping the sender delivers EOF to the peer
+        Ok(())
+    }
+
+    fn peer_label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// A named, in-process network: listeners register under an address string,
+/// connectors open metered stream pairs to them.
+///
+/// Wire meters are registered in the [`MeterRegistry`] as
+/// `"<addr>.c2s"` (client-to-server) and `"<addr>.s2c"`.
+pub struct SimNetwork {
+    registry: Arc<MeterRegistry>,
+    protocol: ProtocolModel,
+    listeners: Mutex<HashMap<String, Sender<SimStream>>>,
+}
+
+impl SimNetwork {
+    pub fn new(registry: Arc<MeterRegistry>, protocol: ProtocolModel) -> Arc<Self> {
+        Arc::new(SimNetwork {
+            registry,
+            protocol,
+            listeners: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// A network with default TCP-like framing and a private registry.
+    pub fn with_defaults() -> Arc<Self> {
+        SimNetwork::new(MeterRegistry::new(), ProtocolModel::default())
+    }
+
+    /// The meter registry observing all wires of this network.
+    pub fn registry(&self) -> &Arc<MeterRegistry> {
+        &self.registry
+    }
+
+    /// Register a listener under `addr`. Replaces any previous listener at
+    /// that address (its pending queue is dropped, so blocked accepts see
+    /// EOF).
+    pub fn listen(self: &Arc<Self>, addr: &str) -> SimListener {
+        let (tx, rx) = unbounded();
+        self.listeners.lock().insert(addr.to_owned(), tx);
+        SimListener {
+            addr: addr.to_owned(),
+            rx,
+        }
+    }
+
+    /// Connector handle for clients.
+    pub fn connector(self: &Arc<Self>) -> SimConnector {
+        SimConnector {
+            net: Arc::clone(self),
+        }
+    }
+
+    fn dial(&self, addr: &str) -> io::Result<SimStream> {
+        let tx = {
+            let listeners = self.listeners.lock();
+            listeners.get(addr).cloned().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("no listener at {addr}"),
+                )
+            })?
+        };
+        let c2s = self.registry.meter(&format!("{addr}.c2s"));
+        let s2c = self.registry.meter(&format!("{addr}.s2c"));
+        let (client, server) = SimStream::pair(addr, self.protocol, c2s, s2c);
+        tx.send(server).map_err(|_| {
+            io::Error::new(io::ErrorKind::ConnectionRefused, "listener shut down")
+        })?;
+        Ok(client)
+    }
+}
+
+/// Accept side of a [`SimNetwork`] address.
+pub struct SimListener {
+    addr: String,
+    rx: Receiver<SimStream>,
+}
+
+impl Listener for SimListener {
+    fn accept(&self) -> io::Result<BoxStream> {
+        self.rx
+            .recv()
+            .map(|s| Box::new(s) as BoxStream)
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "network dropped"))
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+/// Connect side of a [`SimNetwork`].
+#[derive(Clone)]
+pub struct SimConnector {
+    net: Arc<SimNetwork>,
+}
+
+impl Connector for SimConnector {
+    fn connect(&self, addr: &str) -> io::Result<BoxStream> {
+        self.net.dial(addr).map(|s| Box::new(s) as BoxStream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::MeterRegistry;
+
+    #[test]
+    fn stream_pair_roundtrip() {
+        let (mut a, mut b) = SimStream::unmetered_pair("t");
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong!").unwrap();
+        let mut buf2 = [0u8; 5];
+        a.read_exact(&mut buf2).unwrap();
+        assert_eq!(&buf2, b"pong!");
+    }
+
+    #[test]
+    fn eof_on_drop() {
+        let (mut a, b) = SimStream::unmetered_pair("t");
+        drop(b);
+        let mut buf = [0u8; 1];
+        assert_eq!(a.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn eof_on_shutdown_write_keeps_read_open() {
+        let (mut a, mut b) = SimStream::unmetered_pair("t");
+        a.write_all(b"req").unwrap();
+        a.shutdown_write().unwrap();
+        let mut req = Vec::new();
+        b.read_to_end(&mut req).unwrap();
+        assert_eq!(req, b"req");
+        // b can still respond.
+        b.write_all(b"resp").unwrap();
+        drop(b);
+        let mut resp = Vec::new();
+        a.read_to_end(&mut resp).unwrap();
+        assert_eq!(resp, b"resp");
+    }
+
+    #[test]
+    fn partial_reads_across_chunks() {
+        let (mut a, mut b) = SimStream::unmetered_pair("t");
+        a.write_all(b"hello ").unwrap();
+        a.write_all(b"world").unwrap();
+        drop(a);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 3];
+        loop {
+            let n = b.read(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(out, b"hello world");
+    }
+
+    #[test]
+    fn meters_count_payload_and_wire_bytes() {
+        let reg = MeterRegistry::new();
+        let net = SimNetwork::new(Arc::clone(&reg), ProtocolModel::default());
+        let listener = net.listen("origin");
+        let conn = net.connector();
+        let handle = std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            let mut buf = [0u8; 4];
+            s.read_exact(&mut buf).unwrap();
+            s.write_all(&vec![7u8; 3000]).unwrap();
+        });
+        let mut c = conn.connect("origin").unwrap();
+        c.write_all(b"GET!").unwrap();
+        let mut resp = vec![0u8; 3000];
+        c.read_exact(&mut resp).unwrap();
+        handle.join().unwrap();
+
+        let c2s = reg.snapshot_prefix("origin.c2s");
+        let s2c = reg.snapshot_prefix("origin.s2c");
+        assert_eq!(c2s.payload_bytes, 4);
+        // handshake (3 segs * 40B) + 1 data segment + 1 ack = 120 + 4+80.
+        assert_eq!(c2s.wire_bytes, 120 + 4 + 80);
+        assert_eq!(s2c.payload_bytes, 3000);
+        // 3000 bytes -> 3 segments + 2 acks -> 200 header bytes.
+        assert_eq!(s2c.wire_bytes, 3000 + 200);
+    }
+
+    #[test]
+    fn connect_to_unknown_address_is_refused() {
+        let net = SimNetwork::with_defaults();
+        match net.connector().connect("nowhere") {
+            Err(err) => assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused),
+            Ok(_) => panic!("connect to unknown address should fail"),
+        }
+    }
+
+    #[test]
+    fn many_concurrent_connections() {
+        let net = SimNetwork::with_defaults();
+        let listener = net.listen("svc");
+        let server = std::thread::spawn(move || {
+            for _ in 0..32 {
+                let mut s = listener.accept().unwrap();
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 2];
+                    s.read_exact(&mut buf).unwrap();
+                    s.write_all(&buf).unwrap();
+                });
+            }
+        });
+        let conn = net.connector();
+        let mut joins = Vec::new();
+        for i in 0..32u8 {
+            let conn = conn.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut c = conn.connect("svc").unwrap();
+                c.write_all(&[i, i]).unwrap();
+                let mut buf = [0u8; 2];
+                c.read_exact(&mut buf).unwrap();
+                assert_eq!(buf, [i, i]);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,332 @@
+//! The proxy front end: one HTTP handler, four modes.
+
+use bytes::Bytes;
+use dpc_core::{assemble, AssembleError, FragmentStore};
+use dpc_firewall::Firewall;
+use dpc_http::{Client, Handler, Method, Request, Response, Status};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::esi::EsiAssembler;
+use crate::modes::ProxyMode;
+use crate::page_cache::PageCache;
+
+/// Counters exposed by the proxy.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    pub requests: AtomicU64,
+    /// DPC mode: templates successfully assembled.
+    pub assembled: AtomicU64,
+    /// DPC mode: assembly failures that fell back to a bypass refetch.
+    pub bypass_refetches: AtomicU64,
+    /// DPC mode: origin responses that were not instrumented (forwarded
+    /// verbatim).
+    pub uninstrumented: AtomicU64,
+    /// Upstream fetch failures surfaced as 502.
+    pub upstream_errors: AtomicU64,
+    /// Bytes of final pages delivered to clients.
+    pub delivered_bytes: AtomicU64,
+    /// Bytes of origin response bodies received.
+    pub origin_bytes: AtomicU64,
+}
+
+/// The reverse proxy (Figure 4's "External" box: firewall + proxy cache +
+/// DPC).
+pub struct Proxy {
+    mode: ProxyMode,
+    /// Node id announced to the BEM (forward-proxy/§7 operation; 0 for the
+    /// single reverse proxy).
+    node: u32,
+    origin_addr: String,
+    client: Arc<Client>,
+    store: Arc<FragmentStore>,
+    page_cache: Arc<PageCache>,
+    esi: Arc<EsiAssembler>,
+    firewall: Option<Arc<Firewall>>,
+    stats: ProxyStats,
+}
+
+impl Proxy {
+    /// Build a proxy in `mode` forwarding to `origin_addr` via `client`.
+    pub fn new(
+        mode: ProxyMode,
+        origin_addr: &str,
+        client: Arc<Client>,
+        store: Arc<FragmentStore>,
+        page_cache: Arc<PageCache>,
+        esi: Arc<EsiAssembler>,
+        firewall: Option<Arc<Firewall>>,
+    ) -> Proxy {
+        Proxy {
+            mode,
+            node: 0,
+            origin_addr: origin_addr.to_owned(),
+            client,
+            store,
+            page_cache,
+            esi,
+            firewall,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Builder: set the distributed-DPC node id (0–63) this proxy announces
+    /// to the BEM.
+    pub fn with_node(mut self, node: u32) -> Proxy {
+        assert!(node < 64, "at most 64 DPC nodes");
+        self.node = node;
+        self
+    }
+
+    /// Node id announced to the BEM.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Operating mode.
+    pub fn mode(&self) -> ProxyMode {
+        self.mode
+    }
+
+    /// The DPC slot store (for tests and restart simulation).
+    pub fn store(&self) -> &Arc<FragmentStore> {
+        &self.store
+    }
+
+    /// The page cache (PageCache mode).
+    pub fn page_cache(&self) -> &Arc<PageCache> {
+        &self.page_cache
+    }
+
+    /// The ESI assembler (Esi mode).
+    pub fn esi(&self) -> &Arc<EsiAssembler> {
+        &self.esi
+    }
+
+    /// Counter access.
+    pub fn stats(&self) -> &ProxyStats {
+        &self.stats
+    }
+
+    /// Serve one client request.
+    pub fn serve(&self, req: Request) -> Response {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if req.method == Method::Purge {
+            return self.handle_purge(&req);
+        }
+        let resp = match self.mode {
+            ProxyMode::PassThrough => self.forward(&req),
+            ProxyMode::PageCache => self.serve_page_cache(&req),
+            ProxyMode::Esi => self.serve_esi(&req),
+            ProxyMode::Dpc => self.serve_dpc(&req),
+        };
+        self.stats
+            .delivered_bytes
+            .fetch_add(resp.body.len() as u64, Ordering::Relaxed);
+        resp
+    }
+
+    fn handle_purge(&self, req: &Request) -> Response {
+        let purged = self.page_cache.purge(&req.target);
+        let esi_purged = self.esi.invalidate_fragment(&req.target);
+        if purged || esi_purged {
+            Response::html("purged").with_header("X-Cache", "purged")
+        } else {
+            Response::status(Status::NOT_FOUND)
+        }
+    }
+
+    /// Fetch from the origin, running the firewall over the response body
+    /// (the boundary every origin byte crosses in Figure 4).
+    fn fetch_origin(&self, req: &Request) -> Result<Response, Response> {
+        let mut upstream_req = req.clone();
+        if self.mode == ProxyMode::Dpc {
+            upstream_req
+                .headers
+                .set(dpc_appserver::context::NODE_HEADER, self.node.to_string());
+        }
+        let resp = self
+            .client
+            .request(&self.origin_addr, upstream_req)
+            .map_err(|e| {
+                self.stats.upstream_errors.fetch_add(1, Ordering::Relaxed);
+                Response::error(Status::BAD_GATEWAY, &format!("upstream: {e}"))
+            })?;
+        self.stats
+            .origin_bytes
+            .fetch_add(resp.body.len() as u64, Ordering::Relaxed);
+        if let Some(fw) = &self.firewall {
+            let outcome = fw.scan(&resp.body);
+            if !outcome.allowed {
+                return Err(Response::error(
+                    Status::BAD_GATEWAY,
+                    "response blocked by firewall policy",
+                ));
+            }
+        }
+        Ok(resp)
+    }
+
+    fn forward(&self, req: &Request) -> Response {
+        match self.fetch_origin(req) {
+            Ok(resp) => strip_internal_headers(resp).with_header("X-Cache", "pass"),
+            Err(e) => e,
+        }
+    }
+
+    // -- PageCache mode ------------------------------------------------------
+
+    fn serve_page_cache(&self, req: &Request) -> Response {
+        if req.method == Method::Get {
+            if let Some((body, content_type)) = self.page_cache.get(&req.target) {
+                return Response::html(body)
+                    .with_header("Content-Type", content_type)
+                    .with_header("X-Cache", "page-hit");
+            }
+        }
+        match self.fetch_origin(req) {
+            Ok(resp) => {
+                if req.method == Method::Get && resp.status.is_success() {
+                    let ct = resp
+                        .headers
+                        .get("content-type")
+                        .unwrap_or("text/html")
+                        .to_owned();
+                    self.page_cache.put(&req.target, resp.body.clone(), &ct);
+                }
+                strip_internal_headers(resp).with_header("X-Cache", "page-miss")
+            }
+            Err(e) => e,
+        }
+    }
+
+    // -- Esi mode -------------------------------------------------------------
+
+    fn serve_esi(&self, req: &Request) -> Response {
+        // Templates are keyed by the full target (path + query): each page
+        // instance has its own template, as deployed ESI caches do.
+        let path = req.target.clone();
+        if !self.esi.has_template(&path) {
+            // No template registered: behave like a pass-through (static
+            // assets, unfactored pages).
+            return self.forward(req);
+        }
+        match self.esi.assemble(&path, &self.client, &self.origin_addr) {
+            Ok(page) => Response::html(page).with_header("X-Cache", "esi-assembled"),
+            Err(e) => Response::error(Status::BAD_GATEWAY, &e),
+        }
+    }
+
+    // -- Dpc mode --------------------------------------------------------------
+
+    fn serve_dpc(&self, req: &Request) -> Response {
+        let upstream = match self.fetch_origin(req) {
+            Ok(r) => r,
+            Err(e) => return e,
+        };
+        if !upstream.status.is_success() || !dpc_core::tag::is_instrumented(&upstream.body) {
+            // Plain response (errors, disabled BEM, non-HTML): forward.
+            self.stats.uninstrumented.fetch_add(1, Ordering::Relaxed);
+            return strip_internal_headers(upstream).with_header("X-Cache", "dpc-pass");
+        }
+        match assemble(&upstream.body, &self.store) {
+            Ok(page) => {
+                self.stats.assembled.fetch_add(1, Ordering::Relaxed);
+                let mut resp = upstream;
+                resp.body = Bytes::from(page.html);
+                strip_internal_headers(resp).with_header("X-Cache", "dpc-assembled")
+            }
+            Err(err) => self.bypass_refetch(req, err),
+        }
+    }
+
+    /// Assembly failed (raced slot, restarted store, corrupt template):
+    /// refetch fully expanded. Users always receive correct bytes.
+    fn bypass_refetch(&self, req: &Request, err: AssembleError) -> Response {
+        self.stats
+            .bypass_refetches
+            .fetch_add(1, Ordering::Relaxed);
+        let bypass = req
+            .clone()
+            .with_header(dpc_appserver::context::BYPASS_HEADER, "1");
+        match self.fetch_origin(&bypass) {
+            Ok(resp) => strip_internal_headers(resp)
+                .with_header("X-Cache", "dpc-bypass")
+                .with_header("X-DPC-Assembly-Error", err.to_string()),
+            Err(e) => e,
+        }
+    }
+}
+
+impl Handler for Proxy {
+    fn handle(&self, req: Request) -> Response {
+        self.serve(req)
+    }
+}
+
+/// Remove origin-internal headers before delivering to clients.
+fn strip_internal_headers(mut resp: Response) -> Response {
+    resp.headers.remove("X-DPC-Instrumented");
+    resp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::{Testbed, TestbedConfig};
+    use dpc_appserver::apps::paper_site::PaperSiteParams;
+
+    // Mode-specific behaviour is exercised end-to-end in testbed.rs and the
+    // workspace integration tests; here we cover the handler surface.
+
+    #[test]
+    fn purge_on_empty_cache_is_404() {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::PageCache,
+            ..TestbedConfig::default()
+        });
+        let mut req = Request::get("/paper/page.jsp?p=0");
+        req.method = Method::Purge;
+        let resp = tb.proxy().serve(req);
+        assert_eq!(resp.status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn upstream_error_is_502() {
+        let tb = Testbed::build(TestbedConfig::default());
+        // Kill the origin by dropping its listener registration: connect to
+        // a bogus origin through a fresh proxy instead.
+        let proxy = Proxy::new(
+            ProxyMode::PassThrough,
+            "nowhere",
+            Arc::new(Client::new(Arc::new(tb.net().connector()))),
+            Arc::new(FragmentStore::new(4)),
+            Arc::new(PageCache::new(
+                dpc_net::Clock::real(),
+                std::time::Duration::from_secs(1),
+                4,
+            )),
+            Arc::new(EsiAssembler::new(
+                dpc_net::Clock::real(),
+                std::time::Duration::from_secs(1),
+            )),
+            None,
+        );
+        let resp = proxy.serve(Request::get("/x"));
+        assert_eq!(resp.status, Status::BAD_GATEWAY);
+        assert_eq!(proxy.stats().upstream_errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dpc_mode_strips_instrumentation_header() {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: PaperSiteParams::default(),
+            ..TestbedConfig::default()
+        });
+        let resp = tb.get("/paper/page.jsp?p=0", None);
+        assert_eq!(resp.status.0, 200);
+        assert_eq!(resp.headers.get("x-dpc-instrumented"), None);
+        assert_eq!(resp.headers.get("x-cache"), Some("dpc-assembled"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # dpc-proxy — the proxy harness and the Figure 4 testbed
+//!
+//! One reverse-proxy front end, four interchangeable modes, so every
+//! comparison in the paper's §3 runs against the same origin and wire:
+//!
+//! * [`modes::ProxyMode::PassThrough`] — no caching (the "no cache"
+//!   baseline; combined with a BEM-disabled origin this measures `B_nc`);
+//! * [`modes::ProxyMode::PageCache`] — URL-keyed full-page caching
+//!   (§3.2.1), exhibiting the Bob/Alice wrong-page hazard and
+//!   over-invalidation by construction;
+//! * [`modes::ProxyMode::Esi`] — template-based dynamic page assembly
+//!   (§3.2.2): static per-path templates whose `include` slots are fetched
+//!   from per-fragment origin endpoints and cached by URL;
+//! * [`modes::ProxyMode::Dpc`] — the paper's contribution: scan the
+//!   instrumented origin response, `SET`/`GET` against the slot store,
+//!   deliver the assembled page; on any assembly failure, transparently
+//!   refetch with `X-DPC-Bypass` so users always get correct bytes.
+//!
+//! [`cluster`] implements the paper's §7 forward-proxy extension: multiple
+//! distributed DPC nodes behind a request router, with per-node fragment
+//! placement tracked in the BEM's directory (a `stored_nodes` bitmask) so
+//! coherence still needs no proxy-bound messages.
+//!
+//! [`testbed`] reconstructs the paper's Figure 4: clients → (external box:
+//! firewall + proxy/DPC) → wire under measurement → (origin box: web
+//! server + BEM + repository), all over the metered [`dpc_net::SimNetwork`]
+//! with Sniffer-style byte accounting at the origin↔external boundary.
+
+pub mod cluster;
+pub mod esi;
+pub mod front;
+pub mod modes;
+pub mod page_cache;
+pub mod testbed;
+
+pub use cluster::{DpcCluster, Router};
+pub use front::{Proxy, ProxyStats};
+pub use modes::ProxyMode;
+pub use page_cache::PageCache;
+pub use testbed::{Testbed, TestbedConfig};

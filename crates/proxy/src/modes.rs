@@ -1,0 +1,41 @@
+//! Proxy operating modes.
+
+use std::fmt;
+
+/// Which caching strategy the proxy front end applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyMode {
+    /// Forward every request to the origin; cache nothing.
+    PassThrough,
+    /// URL-keyed full-page cache (the §3.2.1 baseline).
+    PageCache,
+    /// Template + per-fragment-URL assembly (the §3.2.2 ESI baseline).
+    Esi,
+    /// The Dynamic Proxy Cache (the paper's contribution).
+    Dpc,
+}
+
+impl fmt::Display for ProxyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProxyMode::PassThrough => "pass-through",
+            ProxyMode::PageCache => "page-cache",
+            ProxyMode::Esi => "esi",
+            ProxyMode::Dpc => "dpc",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ProxyMode::Dpc.to_string(), "dpc");
+        assert_eq!(ProxyMode::PageCache.to_string(), "page-cache");
+        assert_eq!(ProxyMode::PassThrough.to_string(), "pass-through");
+        assert_eq!(ProxyMode::Esi.to_string(), "esi");
+    }
+}

@@ -1,0 +1,200 @@
+//! URL-keyed full-page cache — the §3.2.1 baseline.
+//!
+//! Deliberately faithful to its 2002 commercial counterparts, including
+//! their defects: the cache key is the request URL alone (no session
+//! awareness — hence the Bob/Alice wrong-page hazard) and invalidation is
+//! whole-page (hence the over-invalidation the paper's stock-quote example
+//! describes). `PURGE <target>` drops one entry.
+
+use bytes::Bytes;
+use dpc_net::Clock;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A cached page body plus metadata.
+#[derive(Clone)]
+struct PageEntry {
+    body: Bytes,
+    content_type: String,
+    expires_at: u64,
+    stamp: u64,
+}
+
+/// URL-keyed page cache with TTL and LRU eviction.
+pub struct PageCache {
+    clock: Clock,
+    ttl: Duration,
+    capacity: usize,
+    entries: Mutex<HashMap<String, PageEntry>>,
+    stamp: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    purges: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PageCache {
+    pub fn new(clock: Clock, ttl: Duration, capacity: usize) -> PageCache {
+        PageCache {
+            clock,
+            ttl,
+            capacity: capacity.max(1),
+            entries: Mutex::new(HashMap::new()),
+            stamp: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            purges: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `target`; counts a hit or miss.
+    pub fn get(&self, target: &str) -> Option<(Bytes, String)> {
+        let now = self.clock.now_nanos();
+        let mut entries = self.entries.lock();
+        match entries.get_mut(target) {
+            Some(entry) if entry.expires_at > now => {
+                entry.stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((entry.body.clone(), entry.content_type.clone()))
+            }
+            Some(_) => {
+                entries.remove(target);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a page under `target`, evicting LRU entries over capacity.
+    pub fn put(&self, target: &str, body: Bytes, content_type: &str) {
+        let now = self.clock.now_nanos();
+        let ttl: u64 = self.ttl.as_nanos().try_into().unwrap_or(u64::MAX);
+        let mut entries = self.entries.lock();
+        entries.insert(
+            target.to_owned(),
+            PageEntry {
+                body,
+                content_type: content_type.to_owned(),
+                expires_at: now.saturating_add(ttl),
+                stamp: self.stamp.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        while entries.len() > self.capacity {
+            // Evict the least recently used entry.
+            let victim = entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map over capacity");
+            entries.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop the entry for `target`, if any (the `PURGE` verb).
+    pub fn purge(&self, target: &str) -> bool {
+        let removed = self.entries.lock().remove(target).is_some();
+        if removed {
+            self.purges.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+
+    /// (hits, misses, purges, evictions).
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.purges.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(ttl_secs: u64, cap: usize) -> (PageCache, std::sync::Arc<dpc_net::VirtualClock>) {
+        let (clock, handle) = Clock::virtual_clock();
+        (
+            PageCache::new(clock, Duration::from_secs(ttl_secs), cap),
+            handle,
+        )
+    }
+
+    #[test]
+    fn put_get_hit() {
+        let (c, _h) = cache(60, 10);
+        assert!(c.get("/a").is_none());
+        c.put("/a", Bytes::from_static(b"page"), "text/html");
+        let (body, ct) = c.get("/a").unwrap();
+        assert_eq!(&body[..], b"page");
+        assert_eq!(ct, "text/html");
+        assert_eq!(c.counters().0, 1);
+        assert_eq!(c.counters().1, 1);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let (c, h) = cache(10, 10);
+        c.put("/a", Bytes::from_static(b"x"), "text/html");
+        h.advance(Duration::from_secs(11));
+        assert!(c.get("/a").is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn purge_removes() {
+        let (c, _h) = cache(60, 10);
+        c.put("/a", Bytes::from_static(b"x"), "text/html");
+        assert!(c.purge("/a"));
+        assert!(!c.purge("/a"));
+        assert!(c.get("/a").is_none());
+    }
+
+    #[test]
+    fn lru_eviction_over_capacity() {
+        let (c, _h) = cache(60, 2);
+        c.put("/a", Bytes::from_static(b"a"), "t");
+        c.put("/b", Bytes::from_static(b"b"), "t");
+        let _ = c.get("/a"); // a is now more recent than b
+        c.put("/c", Bytes::from_static(b"c"), "t");
+        assert_eq!(c.len(), 2);
+        assert!(c.get("/b").is_none(), "b was LRU and must be evicted");
+        assert!(c.get("/a").is_some());
+        assert!(c.get("/c").is_some());
+        assert_eq!(c.counters().3, 1);
+    }
+
+    #[test]
+    fn url_keyed_ignores_users_by_design() {
+        // This "test" documents the defect the DPC fixes: the cache cannot
+        // distinguish Bob's page from Alice's.
+        let (c, _h) = cache(60, 10);
+        c.put("/page", Bytes::from_static(b"Hello, Bob"), "t");
+        let (body, _) = c.get("/page").unwrap();
+        assert_eq!(&body[..], b"Hello, Bob"); // Alice gets Bob's page
+    }
+}

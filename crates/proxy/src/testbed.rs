@@ -1,0 +1,463 @@
+//! The Figure 4 testbed.
+//!
+//! Reconstructs the paper's experimental configuration in-process:
+//!
+//! ```text
+//! clients ──(client wire)──> [External box: firewall + proxy/DPC]
+//!                                      │
+//!                             (origin wire — the Sniffer
+//!                              measurement point)
+//!                                      │
+//!                            [Origin box: web server + BEM + repository]
+//! ```
+//!
+//! Both wires are metered [`SimNetwork`] links with TCP/IP framing; the
+//! clock is virtual so TTLs and controlled sweeps are deterministic.
+
+use dpc_appserver::apps::paper_site::{self, PaperSiteParams};
+use dpc_appserver::apps::{self};
+use dpc_appserver::ScriptEngine;
+use dpc_core::{Bem, BemConfig, FragmentStore, ReplacePolicy};
+use dpc_firewall::Firewall;
+use dpc_http::server::ServerConfig;
+use dpc_http::{Client, Request, Response, Server, ServerHandle};
+use dpc_net::{
+    Clock, MeterRegistry, MeterSnapshot, ProtocolModel, SimNetwork, VirtualClock,
+};
+use dpc_repository::datasets::{filler, seed_all, DatasetConfig};
+use dpc_repository::Repository;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::esi::{EsiAssembler, EsiTemplate};
+use crate::front::Proxy;
+use crate::modes::ProxyMode;
+use crate::page_cache::PageCache;
+
+/// Address of the origin web server on the simulated network.
+pub const ORIGIN_ADDR: &str = "origin";
+/// Address of the proxy on the simulated network.
+pub const PROXY_ADDR: &str = "proxy";
+
+/// Everything needed to build one Figure 4 configuration.
+#[derive(Clone)]
+pub struct TestbedConfig {
+    /// Proxy mode under test.
+    pub mode: ProxyMode,
+    /// Origin instrumentation; `None` derives it from the mode (on for
+    /// `Dpc`, off otherwise).
+    pub bem_enabled: Option<bool>,
+    /// Synthetic paper-site parameters.
+    pub paper_params: PaperSiteParams,
+    /// Demo dataset sizing (BooksOnline + brokerage + users).
+    pub dataset: DatasetConfig,
+    /// Also mount the BooksOnline/brokerage sites.
+    pub demo_sites: bool,
+    /// Directory / slot-store capacity.
+    pub capacity: usize,
+    /// Pin the hit ratio (Figure 5 sweeps); see
+    /// [`BemConfig::force_miss_probability`].
+    pub forced_hit_ratio: Option<f64>,
+    /// Replacement policy.
+    pub replace: ReplacePolicy,
+    /// Wire framing model.
+    pub protocol: ProtocolModel,
+    /// Page-cache TTL (PageCache mode).
+    pub page_cache_ttl: Duration,
+    /// ESI fragment TTL (Esi mode).
+    pub esi_ttl: Duration,
+    /// Scan the origin↔proxy boundary with the firewall.
+    pub firewall: bool,
+    /// HTTP worker threads per server.
+    pub workers: usize,
+    /// RNG seed for the BEM's controlled-hit-ratio hook.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            mode: ProxyMode::Dpc,
+            bem_enabled: None,
+            paper_params: PaperSiteParams::default(),
+            dataset: DatasetConfig::default(),
+            demo_sites: false,
+            capacity: 4096,
+            forced_hit_ratio: None,
+            replace: ReplacePolicy::Lru,
+            protocol: ProtocolModel::default(),
+            page_cache_ttl: Duration::from_secs(60),
+            esi_ttl: Duration::from_secs(60),
+            firewall: true,
+            workers: 64,
+            seed: 0xBED,
+        }
+    }
+}
+
+/// A running Figure 4 configuration.
+pub struct Testbed {
+    config: TestbedConfig,
+    net: Arc<SimNetwork>,
+    clock_handle: Arc<VirtualClock>,
+    engine: Arc<ScriptEngine>,
+    proxy: Arc<Proxy>,
+    firewall: Arc<Firewall>,
+    client: Client,
+    origin_server: ServerHandle,
+    proxy_server: ServerHandle,
+}
+
+impl Testbed {
+    /// Build and start origin + proxy servers on a fresh simulated network.
+    pub fn build(config: TestbedConfig) -> Testbed {
+        let registry = MeterRegistry::new();
+        let net = SimNetwork::new(Arc::clone(&registry), config.protocol);
+        let (clock, clock_handle) = Clock::virtual_clock();
+
+        // --- Origin box: repository + BEM + script engine + web server.
+        let repo = Repository::with_defaults();
+        seed_all(&repo, &config.dataset);
+        let bem_enabled = config.bem_enabled.unwrap_or(config.mode == ProxyMode::Dpc);
+        let mut bem_config = BemConfig::default()
+            .with_capacity(config.capacity)
+            .with_replace(config.replace)
+            .with_clock(clock.clone())
+            .with_enabled(bem_enabled)
+            .with_seed(config.seed);
+        if let Some(h) = config.forced_hit_ratio {
+            bem_config = bem_config.with_forced_hit_ratio(h);
+        }
+        let bem = Arc::new(Bem::new(bem_config));
+        let mut engine = ScriptEngine::new(Arc::clone(&bem), Arc::clone(&repo));
+        paper_site::install(&mut engine, config.paper_params);
+        if config.demo_sites {
+            apps::install_demo_sites(&mut engine);
+        }
+        engine.connect_invalidation();
+        let engine = Arc::new(engine);
+        let origin_server = Server::new(Box::new(net.listen(ORIGIN_ADDR)), {
+            let engine = Arc::clone(&engine);
+            engine as Arc<dyn dpc_http::Handler>
+        })
+        .with_config(ServerConfig {
+            workers: config.workers,
+        })
+        .spawn();
+
+        // --- External box: firewall + proxy (+ DPC store / page cache /
+        // ESI assembler).
+        let firewall = Arc::new(Firewall::with_default_rules());
+        let upstream_client = Arc::new(Client::new(Arc::new(net.connector())));
+        let store = Arc::new(FragmentStore::new(config.capacity));
+        let page_cache = Arc::new(PageCache::new(
+            clock.clone(),
+            config.page_cache_ttl,
+            config.capacity,
+        ));
+        let esi = Arc::new(EsiAssembler::new(clock.clone(), config.esi_ttl));
+        if config.mode == ProxyMode::Esi {
+            register_paper_templates(&esi, &config.paper_params);
+        }
+        let proxy = Arc::new(Proxy::new(
+            config.mode,
+            ORIGIN_ADDR,
+            upstream_client,
+            store,
+            page_cache,
+            esi,
+            config.firewall.then(|| Arc::clone(&firewall)),
+        ));
+        let proxy_server = Server::new(Box::new(net.listen(PROXY_ADDR)), {
+            let proxy = Arc::clone(&proxy);
+            proxy as Arc<dyn dpc_http::Handler>
+        })
+        .with_config(ServerConfig {
+            workers: config.workers,
+        })
+        .spawn();
+
+        let client = Client::new(Arc::new(net.connector()));
+        Testbed {
+            config,
+            net,
+            clock_handle,
+            engine,
+            proxy,
+            firewall,
+            client,
+            origin_server,
+            proxy_server,
+        }
+    }
+
+    /// Issue one GET through the proxy, optionally as a registered user.
+    pub fn get(&self, target: &str, user: Option<&str>) -> Response {
+        let mut req = Request::get(target);
+        if let Some(u) = user {
+            req.headers.set("Cookie", format!("session={u}"));
+        }
+        self.client
+            .request(PROXY_ADDR, req)
+            .expect("proxy request failed")
+    }
+
+    /// The configuration this testbed was built with.
+    pub fn config(&self) -> &TestbedConfig {
+        &self.config
+    }
+
+    /// The simulated network (for extra clients).
+    pub fn net(&self) -> &Arc<SimNetwork> {
+        &self.net
+    }
+
+    /// Virtual-clock handle (advance time to expire TTLs).
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock_handle
+    }
+
+    /// The origin script engine.
+    pub fn engine(&self) -> &Arc<ScriptEngine> {
+        &self.engine
+    }
+
+    /// The proxy under test.
+    pub fn proxy(&self) -> &Arc<Proxy> {
+        &self.proxy
+    }
+
+    /// The boundary firewall.
+    pub fn firewall(&self) -> &Arc<Firewall> {
+        &self.firewall
+    }
+
+    /// Sniffer reading at the origin↔external boundary (both directions) —
+    /// the quantity every bandwidth figure in the paper reports.
+    pub fn origin_wire(&self) -> MeterSnapshot {
+        self.net.registry().snapshot_prefix(ORIGIN_ADDR)
+    }
+
+    /// Sniffer reading at the client↔proxy boundary (both directions).
+    pub fn client_wire(&self) -> MeterSnapshot {
+        self.net.registry().snapshot_prefix(PROXY_ADDR)
+    }
+
+    /// Reset all wire meters (after cache warm-up, mirroring the paper's
+    /// steady-state measurements).
+    pub fn reset_meters(&self) {
+        self.net.registry().reset_all();
+    }
+
+    /// Requests served by the origin so far.
+    pub fn origin_requests(&self) -> u64 {
+        self.origin_server.requests()
+    }
+
+    /// Requests served by the proxy so far.
+    pub fn proxy_requests(&self) -> u64 {
+        self.proxy_server.requests()
+    }
+}
+
+/// Register one ESI template per paper-site page, mirroring the page
+/// script's chrome with includes for each fragment slot.
+fn register_paper_templates(esi: &Arc<EsiAssembler>, params: &PaperSiteParams) {
+    let chrome = filler(params.seed ^ 0xC0DE, params.chrome_bytes);
+    let (head, tail) = chrome.split_at(params.chrome_bytes / 2);
+    for p in 0..params.pages {
+        let mut template = EsiTemplate::new()
+            .literal(format!("<html><!--page {p}-->").as_bytes())
+            .literal(head.as_bytes());
+        for s in 0..params.fragments_per_page {
+            template = template.include(&format!("/paper/fragment.jsp?p={p}&s={s}"));
+        }
+        template = template.literal(tail.as_bytes()).literal(b"</html>");
+        esi.register_template(&format!("/paper/page.jsp?p={p}"), template);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> PaperSiteParams {
+        PaperSiteParams {
+            pages: 3,
+            fragments_per_page: 4,
+            fragment_bytes: 512,
+            cacheability: 0.5,
+            ..PaperSiteParams::default()
+        }
+    }
+
+    #[test]
+    fn dpc_testbed_serves_identical_pages_to_pass_through() {
+        let dpc = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: small_params(),
+            ..TestbedConfig::default()
+        });
+        let plain = Testbed::build(TestbedConfig {
+            mode: ProxyMode::PassThrough,
+            paper_params: small_params(),
+            ..TestbedConfig::default()
+        });
+        for p in 0..3 {
+            for _round in 0..2 {
+                let a = dpc.get(&format!("/paper/page.jsp?p={p}"), None);
+                let b = plain.get(&format!("/paper/page.jsp?p={p}"), None);
+                assert_eq!(a.status.0, 200);
+                assert_eq!(a.body, b.body, "page {p}");
+            }
+        }
+        assert!(dpc.proxy().stats().assembled.load(std::sync::atomic::Ordering::Relaxed) >= 6);
+    }
+
+    #[test]
+    fn dpc_saves_origin_wire_bytes() {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: small_params(),
+            ..TestbedConfig::default()
+        });
+        // Warm-up round.
+        for p in 0..3 {
+            let _ = tb.get(&format!("/paper/page.jsp?p={p}"), None);
+        }
+        tb.reset_meters();
+        for _ in 0..10 {
+            for p in 0..3 {
+                let _ = tb.get(&format!("/paper/page.jsp?p={p}"), None);
+            }
+        }
+        let origin = tb.origin_wire();
+        let client = tb.client_wire();
+        assert!(
+            origin.payload_bytes < client.payload_bytes,
+            "templates ({}) must be smaller than pages ({})",
+            origin.payload_bytes,
+            client.payload_bytes
+        );
+    }
+
+    #[test]
+    fn page_cache_serves_wrong_pages_dpc_does_not() {
+        let mk = |mode| {
+            Testbed::build(TestbedConfig {
+                mode,
+                paper_params: small_params(),
+                dataset: DatasetConfig {
+                    users: 10,
+                    categories: 4,
+                    products_per_category: 3,
+                    fragment_bytes: 256,
+                    ..DatasetConfig::default()
+                },
+                demo_sites: true,
+                ..TestbedConfig::default()
+            })
+        };
+        // Page cache: Bob warms the cache; Alice (anonymous) receives
+        // Bob's personalized page — the §3.2.1 incorrectness.
+        let pc = mk(ProxyMode::PageCache);
+        let bob = pc.get("/catalog.jsp?categoryID=cat1", Some("user1"));
+        let alice = pc.get("/catalog.jsp?categoryID=cat1", None);
+        assert_eq!(
+            bob.body, alice.body,
+            "URL-keyed cache must (incorrectly) replay Bob's page"
+        );
+        assert!(String::from_utf8_lossy(&alice.body).contains("Hello,"));
+        // DPC: the same sequence yields correct, distinct pages.
+        let dpc = mk(ProxyMode::Dpc);
+        let bob = dpc.get("/catalog.jsp?categoryID=cat1", Some("user1"));
+        let alice = dpc.get("/catalog.jsp?categoryID=cat1", None);
+        assert_ne!(bob.body, alice.body);
+        assert!(!String::from_utf8_lossy(&alice.body).contains("Hello,"));
+    }
+
+    #[test]
+    fn esi_assembles_paper_pages() {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Esi,
+            paper_params: small_params(),
+            ..TestbedConfig::default()
+        });
+        let r1 = tb.get("/paper/page.jsp?p=1", None);
+        assert_eq!(r1.status.0, 200);
+        assert_eq!(r1.headers.get("x-cache"), Some("esi-assembled"));
+        let r2 = tb.get("/paper/page.jsp?p=1", None);
+        assert_eq!(r1.body, r2.body);
+        // Second request: all includes were edge-cached.
+        let (hits, misses) = tb.proxy().esi().counters();
+        assert_eq!(misses, 4);
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn esi_and_dpc_pages_byte_identical() {
+        let esi = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Esi,
+            paper_params: small_params(),
+            ..TestbedConfig::default()
+        });
+        let dpc = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: small_params(),
+            ..TestbedConfig::default()
+        });
+        let a = esi.get("/paper/page.jsp?p=2", None);
+        let b = dpc.get("/paper/page.jsp?p=2", None);
+        assert_eq!(a.body, b.body, "both stacks must produce the same page");
+    }
+
+    #[test]
+    fn dpc_store_restart_falls_back_to_bypass() {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: small_params(),
+            ..TestbedConfig::default()
+        });
+        let before = tb.get("/paper/page.jsp?p=0", None);
+        // Simulate a proxy restart losing the slot store while the BEM's
+        // directory still believes fragments are cached.
+        tb.proxy().store().clear();
+        let after = tb.get("/paper/page.jsp?p=0", None);
+        assert_eq!(before.body, after.body, "bypass must return correct bytes");
+        assert_eq!(after.headers.get("x-cache"), Some("dpc-bypass"));
+        assert!(tb
+            .proxy()
+            .stats()
+            .bypass_refetches
+            .load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn forced_hit_ratio_pins_measured_h() {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: PaperSiteParams {
+                pages: 2,
+                cacheability: 1.0,
+                ..small_params()
+            },
+            forced_hit_ratio: Some(0.5),
+            ..TestbedConfig::default()
+        });
+        // Warm up, then measure.
+        for _ in 0..2 {
+            for p in 0..2 {
+                let _ = tb.get(&format!("/paper/page.jsp?p={p}"), None);
+            }
+        }
+        let before = tb.engine().bem().stats().snapshot();
+        for _ in 0..200 {
+            for p in 0..2 {
+                let _ = tb.get(&format!("/paper/page.jsp?p={p}"), None);
+            }
+        }
+        let delta = tb.engine().bem().stats().snapshot().since(&before);
+        let h = delta.hit_ratio();
+        assert!((0.42..0.58).contains(&h), "measured h = {h}");
+    }
+}

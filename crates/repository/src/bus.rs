@@ -1,0 +1,96 @@
+//! Update bus: the invalidation feed.
+//!
+//! Every mutation publishes dependency labels (`"table/key"` and
+//! `"table/*"`); the BEM's invalidation manager subscribes and invalidates
+//! dependent fragments. This is the "mechanism … in place to ensure that …
+//! the correct version of the fragment" is served after source-data changes
+//! (§4.3.3 / §7 cache-coherency discussion), realized as an in-process
+//! callback bus.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+type Subscriber = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// Fan-out bus for dependency-update notifications.
+#[derive(Default)]
+pub struct UpdateBus {
+    subscribers: RwLock<Vec<Subscriber>>,
+    published: AtomicU64,
+}
+
+impl UpdateBus {
+    pub fn new() -> UpdateBus {
+        UpdateBus::default()
+    }
+
+    /// Register a callback invoked synchronously for every published label.
+    pub fn subscribe(&self, f: impl Fn(&str) + Send + Sync + 'static) {
+        self.subscribers.write().push(Arc::new(f));
+    }
+
+    /// Publish one dependency label to all subscribers.
+    pub fn publish(&self, dep: &str) {
+        self.published.fetch_add(1, Ordering::Relaxed);
+        let subs = self.subscribers.read().clone();
+        for s in subs {
+            s(dep);
+        }
+    }
+
+    /// Publish the standard labels for a row mutation: `table/key` and the
+    /// whole-table label `table/*` (scans depend on the latter).
+    pub fn publish_row_update(&self, table: &str, key: &str) {
+        self.publish(&format!("{table}/{key}"));
+        self.publish(&format!("{table}/*"));
+    }
+
+    /// Total labels published.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Number of subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn publishes_to_all_subscribers() {
+        let bus = UpdateBus::new();
+        let seen_a = Arc::new(Mutex::new(Vec::new()));
+        let seen_b = Arc::new(Mutex::new(Vec::new()));
+        let (a, b) = (Arc::clone(&seen_a), Arc::clone(&seen_b));
+        bus.subscribe(move |dep| a.lock().push(dep.to_owned()));
+        bus.subscribe(move |dep| b.lock().push(dep.to_owned()));
+        bus.publish("quotes/IBM");
+        assert_eq!(&*seen_a.lock(), &["quotes/IBM"]);
+        assert_eq!(&*seen_b.lock(), &["quotes/IBM"]);
+        assert_eq!(bus.subscriber_count(), 2);
+    }
+
+    #[test]
+    fn row_update_publishes_key_and_star() {
+        let bus = UpdateBus::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        bus.subscribe(move |dep| s.lock().push(dep.to_owned()));
+        bus.publish_row_update("quotes", "IBM");
+        assert_eq!(&*seen.lock(), &["quotes/IBM", "quotes/*"]);
+        assert_eq!(bus.published(), 2);
+    }
+
+    #[test]
+    fn no_subscribers_is_fine() {
+        let bus = UpdateBus::new();
+        bus.publish("x/y");
+        assert_eq!(bus.published(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Query cost model.
+//!
+//! §2.2.2 decomposes content-generation delay into computational delays,
+//! interaction bottlenecks, cross-tier communication, object churn, and
+//! content conversion. Rather than sleeping (which would make the benches
+//! slow and noisy), every repository operation *returns* the simulated time
+//! it would have taken, derived from 2002-era component latencies. The
+//! application server accumulates these into a per-request origin cost,
+//! which the harness adds to network time to produce end-to-end simulated
+//! response times.
+
+use std::time::Duration;
+
+/// Simulated latency parameters for repository operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost of reaching the DBMS across tiers (connection checkout,
+    /// protocol round trip — the paper's "interaction bottlenecks" and
+    /// "cross-tier communication").
+    pub per_query: Duration,
+    /// Cost per row examined during scans ("computational delays").
+    pub per_row_examined: Duration,
+    /// Cost per result byte materialized and converted ("content
+    /// conversion").
+    pub per_result_byte: Duration,
+    /// Fixed cost of an update transaction.
+    pub per_update: Duration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Loosely calibrated to 2002 mid-range hardware: ~1 ms to get a
+        // query to the database and back, microseconds per row, ~10 ns per
+        // materialized byte.
+        CostModel {
+            per_query: Duration::from_micros(1000),
+            per_row_examined: Duration::from_micros(5),
+            per_result_byte: Duration::from_nanos(10),
+            per_update: Duration::from_micros(1500),
+        }
+    }
+}
+
+impl CostModel {
+    /// A zero-cost model (isolates byte accounting from time accounting).
+    pub fn free() -> CostModel {
+        CostModel {
+            per_query: Duration::ZERO,
+            per_row_examined: Duration::ZERO,
+            per_result_byte: Duration::ZERO,
+            per_update: Duration::ZERO,
+        }
+    }
+
+    /// Cost of a point lookup returning `result_bytes`.
+    pub fn lookup(&self, result_bytes: usize) -> Duration {
+        self.per_query + self.per_result_byte * result_bytes as u32
+    }
+
+    /// Cost of a scan that examined `rows` rows and returned `result_bytes`.
+    pub fn scan(&self, rows: usize, result_bytes: usize) -> Duration {
+        self.per_query
+            + self.per_row_examined * rows as u32
+            + self.per_result_byte * result_bytes as u32
+    }
+
+    /// Cost of an update.
+    pub fn update(&self) -> Duration {
+        self.per_update
+    }
+}
+
+/// A value paired with the simulated time it took to produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Costed<T> {
+    pub value: T,
+    pub cost: Duration,
+}
+
+impl<T> Costed<T> {
+    pub fn new(value: T, cost: Duration) -> Costed<T> {
+        Costed { value, cost }
+    }
+
+    /// Map the value, keeping the cost.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Costed<U> {
+        Costed {
+            value: f(self.value),
+            cost: self.cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_cost_scales_with_bytes() {
+        let m = CostModel::default();
+        assert!(m.lookup(10_000) > m.lookup(10));
+    }
+
+    #[test]
+    fn scan_cost_scales_with_rows() {
+        let m = CostModel::default();
+        assert!(m.scan(1000, 0) > m.scan(10, 0));
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let m = CostModel::free();
+        assert_eq!(m.lookup(1_000_000), Duration::ZERO);
+        assert_eq!(m.scan(1_000_000, 5), Duration::ZERO);
+        assert_eq!(m.update(), Duration::ZERO);
+    }
+
+    #[test]
+    fn costed_map_keeps_cost() {
+        let c = Costed::new(21, Duration::from_millis(3)).map(|v| v * 2);
+        assert_eq!(c.value, 42);
+        assert_eq!(c.cost, Duration::from_millis(3));
+    }
+}

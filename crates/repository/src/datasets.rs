@@ -1,0 +1,341 @@
+//! Deterministic demo datasets for the two applications the paper
+//! motivates: the **BooksOnline** catalog site (§2's `catalog.jsp?
+//! categoryID=Fiction` example) and an **online brokerage** (§3.2.1's
+//! stock-quote page with price/headline/research fragments — also the
+//! "major financial institution" of the deployment case study).
+//!
+//! All content is generated from a seeded RNG so experiments are
+//! byte-reproducible, and fragment sizes are directly controllable via
+//! [`DatasetConfig::fragment_bytes`] — the `s_e` axis of Figures 2(a) and
+//! 3(b).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+use crate::store::Repository;
+use crate::table::Row;
+
+/// Sizing and composition knobs for the demo datasets.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    /// Registered users (profiles with layout preferences).
+    pub users: usize,
+    /// Catalog categories (BooksOnline pages).
+    pub categories: usize,
+    /// Products per category.
+    pub products_per_category: usize,
+    /// Ticker symbols (brokerage pages).
+    pub symbols: usize,
+    /// Headlines kept per symbol.
+    pub headlines_per_symbol: usize,
+    /// Target size in bytes of the dominant content blob per fragment
+    /// (the model's `s_e`).
+    pub fragment_bytes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            users: 100,
+            categories: 10,
+            products_per_category: 8,
+            symbols: 20,
+            headlines_per_symbol: 5,
+            fragment_bytes: 1024, // Table 2: fragment size 1 KB
+            seed: 0xD1CE,
+        }
+    }
+}
+
+/// Deterministic filler text of exactly `len` bytes, varied by `seed`.
+///
+/// Looks like prose (spaced lowercase words) so HTML-ish pages remain
+/// realistic, but is fully reproducible.
+pub fn filler(seed: u64, len: usize) -> String {
+    const WORDS: &[&str] = &[
+        "content", "dynamic", "fragment", "catalog", "premium", "market", "story", "page",
+        "update", "research", "quote", "reader", "signal", "index", "review", "daily",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(len + 8);
+    while out.len() < len {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.random_range(0..WORDS.len())]);
+    }
+    out.truncate(len);
+    out
+}
+
+/// Seed every table both demo applications need into `repo`.
+pub fn seed_all(repo: &Arc<Repository>, cfg: &DatasetConfig) {
+    seed_users(repo, cfg);
+    seed_books_online(repo, cfg);
+    seed_brokerage(repo, cfg);
+}
+
+/// User profiles: §2.1's registered users with content preferences and
+/// layout control.
+pub fn seed_users(repo: &Arc<Repository>, cfg: &DatasetConfig) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0001);
+    repo.create_table("users");
+    for i in 0..cfg.users {
+        let user = format!("user{i}");
+        let layout = ["classic", "wide", "compact"][rng.random_range(0..3)];
+        let fav_category = format!("cat{}", rng.random_range(0..cfg.categories.max(1)));
+        let fav_symbol = format!("SYM{}", rng.random_range(0..cfg.symbols.max(1)));
+        let premium = rng.random_range(0..100) < 25;
+        repo.seed(
+            "users",
+            &user,
+            Row::new()
+                .with("name", format!("User Number {i}"))
+                .with("layout", layout)
+                .with("fav_category", fav_category)
+                .with("fav_symbol", fav_symbol)
+                .with("premium", premium),
+        );
+    }
+}
+
+/// BooksOnline: categories and products.
+pub fn seed_books_online(repo: &Arc<Repository>, cfg: &DatasetConfig) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0002);
+    repo.create_table("categories");
+    repo.create_table("products");
+    for c in 0..cfg.categories {
+        let cat = format!("cat{c}");
+        repo.seed(
+            "categories",
+            &cat,
+            Row::new()
+                .with("name", category_name(c))
+                .with("blurb", filler(cfg.seed ^ (c as u64) << 8, cfg.fragment_bytes)),
+        );
+        for p in 0..cfg.products_per_category {
+            let pid = format!("{cat}-p{p}");
+            let price = 5.0 + rng.random_range(0..4000) as f64 / 100.0;
+            repo.seed(
+                "products",
+                &pid,
+                Row::new()
+                    .with("category", cat.as_str())
+                    .with("title", format!("{} Volume {p}", category_name(c)))
+                    .with("price", price)
+                    .with(
+                        "description",
+                        filler(
+                            cfg.seed ^ 0xBEEF ^ ((c * 100 + p) as u64),
+                            cfg.fragment_bytes / cfg.products_per_category.max(1),
+                        ),
+                    ),
+            );
+        }
+    }
+}
+
+/// Brokerage: quotes, headlines and research — the three-element stock page
+/// of §3.2.1, whose elements invalidate at second/half-hour/month scales.
+pub fn seed_brokerage(repo: &Arc<Repository>, cfg: &DatasetConfig) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0003);
+    repo.create_table("quotes");
+    repo.create_table("headlines");
+    repo.create_table("research");
+    for s in 0..cfg.symbols {
+        let sym = format!("SYM{s}");
+        let price = 10.0 + rng.random_range(0..90_000) as f64 / 100.0;
+        repo.seed(
+            "quotes",
+            &sym,
+            Row::new()
+                .with("price", price)
+                .with("change", 0.0)
+                .with("volume", rng.random_range(10_000..5_000_000) as i64),
+        );
+        for h in 0..cfg.headlines_per_symbol {
+            repo.seed(
+                "headlines",
+                &format!("{sym}-h{h}"),
+                Row::new()
+                    .with("symbol", sym.as_str())
+                    .with("rank", h as i64)
+                    .with(
+                        "text",
+                        filler(
+                            cfg.seed ^ 0xF00D ^ ((s * 100 + h) as u64),
+                            (cfg.fragment_bytes / cfg.headlines_per_symbol.max(1)).max(16),
+                        ),
+                    ),
+            );
+        }
+        repo.seed(
+            "research",
+            &sym,
+            Row::new()
+                .with("pe_ratio", 8.0 + rng.random_range(0..4000) as f64 / 100.0)
+                .with("rating", ["buy", "hold", "sell"][rng.random_range(0..3)])
+                .with("summary", filler(cfg.seed ^ 0xCAFE ^ s as u64, cfg.fragment_bytes)),
+        );
+    }
+}
+
+/// A market tick: update one symbol's price. Publishes `quotes/<sym>` so
+/// dependent fragments invalidate — the paper's "price quotes become
+/// invalid relatively quickly (perhaps within seconds)".
+pub fn tick_quote(repo: &Arc<Repository>, symbol: &str, rng: &mut StdRng) {
+    let delta = rng.random_range(-200..=200) as f64 / 100.0;
+    repo.update("quotes", symbol, |row| {
+        let price = (row.float("price") + delta).max(0.01);
+        row.set("price", price);
+        row.set("change", delta);
+    });
+}
+
+/// Rotate one symbol's headlines (the "every thirty minutes" update).
+pub fn rotate_headlines(repo: &Arc<Repository>, symbol: &str, seq: u64, cfg: &DatasetConfig) {
+    for h in 0..cfg.headlines_per_symbol {
+        let key = format!("{symbol}-h{h}");
+        let text = filler(
+            cfg.seed ^ 0xF00D ^ seq.wrapping_mul(31) ^ h as u64,
+            (cfg.fragment_bytes / cfg.headlines_per_symbol.max(1)).max(16),
+        );
+        repo.update("headlines", &key, move |row| {
+            row.set("text", text.clone());
+        });
+    }
+}
+
+fn category_name(c: usize) -> String {
+    const NAMES: &[&str] = &[
+        "Fiction",
+        "NonFiction",
+        "Science",
+        "History",
+        "Mystery",
+        "Romance",
+        "Travel",
+        "Cooking",
+        "Biography",
+        "Poetry",
+    ];
+    match NAMES.get(c) {
+        Some(n) => (*n).to_owned(),
+        None => format!("Genre{c}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> (Arc<Repository>, DatasetConfig) {
+        let cfg = DatasetConfig {
+            users: 10,
+            categories: 3,
+            products_per_category: 4,
+            symbols: 5,
+            headlines_per_symbol: 2,
+            fragment_bytes: 256,
+            seed: 7,
+        };
+        let repo = Repository::with_defaults();
+        seed_all(&repo, &cfg);
+        (repo, cfg)
+    }
+
+    #[test]
+    fn filler_is_exact_length_and_deterministic() {
+        for len in [0usize, 1, 10, 1000] {
+            let a = filler(42, len);
+            let b = filler(42, len);
+            assert_eq!(a.len(), len);
+            assert_eq!(a, b);
+        }
+        assert_ne!(filler(1, 100), filler(2, 100));
+    }
+
+    #[test]
+    fn tables_are_populated_to_config() {
+        let (repo, cfg) = seeded();
+        assert_eq!(repo.table_len("users"), cfg.users);
+        assert_eq!(repo.table_len("categories"), cfg.categories);
+        assert_eq!(
+            repo.table_len("products"),
+            cfg.categories * cfg.products_per_category
+        );
+        assert_eq!(repo.table_len("quotes"), cfg.symbols);
+        assert_eq!(
+            repo.table_len("headlines"),
+            cfg.symbols * cfg.headlines_per_symbol
+        );
+        assert_eq!(repo.table_len("research"), cfg.symbols);
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let (a, _) = seeded();
+        let (b, _) = seeded();
+        let pa = a.get("products", "cat0-p0").value.unwrap();
+        let pb = b.get("products", "cat0-p0").value.unwrap();
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn fragment_bytes_controls_blob_sizes() {
+        let mk = |bytes| {
+            let cfg = DatasetConfig {
+                fragment_bytes: bytes,
+                ..DatasetConfig::default()
+            };
+            let repo = Repository::with_defaults();
+            seed_books_online(&repo, &cfg);
+            repo.get("categories", "cat0").value.unwrap().str("blurb").len()
+        };
+        assert_eq!(mk(100), 100);
+        assert_eq!(mk(5000), 5000);
+    }
+
+    #[test]
+    fn tick_quote_publishes_and_changes_price() {
+        let (repo, _) = seeded();
+        let before = repo.get("quotes", "SYM0").value.unwrap().float("price");
+        let mut count = 0usize;
+        let counter = std::sync::Arc::new(parking_lot::Mutex::new(0usize));
+        let c2 = Arc::clone(&counter);
+        repo.bus().subscribe(move |_| *c2.lock() += 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Tick until the price actually moves (delta may be 0.00).
+        for _ in 0..10 {
+            tick_quote(&repo, "SYM0", &mut rng);
+            count += 1;
+            let now = repo.get("quotes", "SYM0").value.unwrap().float("price");
+            if (now - before).abs() > f64::EPSILON {
+                break;
+            }
+        }
+        assert!(*counter.lock() >= count * 2); // key + star labels
+    }
+
+    #[test]
+    fn rotate_headlines_changes_text() {
+        let (repo, cfg) = seeded();
+        let before = repo
+            .get("headlines", "SYM0-h0")
+            .value
+            .unwrap()
+            .str("text")
+            .to_owned();
+        rotate_headlines(&repo, "SYM0", 1, &cfg);
+        let after = repo
+            .get("headlines", "SYM0-h0")
+            .value
+            .unwrap()
+            .str("text")
+            .to_owned();
+        assert_ne!(before, after);
+    }
+}

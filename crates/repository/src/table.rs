@@ -1,0 +1,204 @@
+//! Tables and rows.
+//!
+//! A [`Table`] maps a string primary key to a [`Row`] of named column
+//! values, with insertion-order-independent iteration (BTreeMap) so scans
+//! are deterministic run to run — required for byte-reproducible
+//! experiments.
+
+use std::collections::BTreeMap;
+
+use crate::value::Value;
+
+/// A row: named column values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Row {
+    cols: BTreeMap<String, Value>,
+}
+
+impl Row {
+    pub fn new() -> Row {
+        Row::default()
+    }
+
+    /// Builder-style column set.
+    pub fn with(mut self, col: &str, value: impl Into<Value>) -> Row {
+        self.cols.insert(col.to_owned(), value.into());
+        self
+    }
+
+    /// Set a column.
+    pub fn set(&mut self, col: &str, value: impl Into<Value>) {
+        self.cols.insert(col.to_owned(), value.into());
+    }
+
+    /// Get a column value.
+    pub fn get(&self, col: &str) -> Option<&Value> {
+        self.cols.get(col)
+    }
+
+    /// String column, or "" when absent/not a string.
+    pub fn str(&self, col: &str) -> &str {
+        self.get(col).and_then(Value::as_str).unwrap_or("")
+    }
+
+    /// Integer column, or 0.
+    pub fn int(&self, col: &str) -> i64 {
+        self.get(col).and_then(Value::as_int).unwrap_or(0)
+    }
+
+    /// Float column, or 0.0.
+    pub fn float(&self, col: &str) -> f64 {
+        self.get(col).and_then(Value::as_float).unwrap_or(0.0)
+    }
+
+    /// Bool column, or false.
+    pub fn bool(&self, col: &str) -> bool {
+        self.get(col).and_then(Value::as_bool).unwrap_or(false)
+    }
+
+    /// Column iteration in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.cols.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Approximate row size in bytes (cost model input).
+    pub fn size_bytes(&self) -> usize {
+        self.cols
+            .iter()
+            .map(|(k, v)| k.len() + v.size_bytes())
+            .sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// A named table of keyed rows.
+#[derive(Debug, Default)]
+pub struct Table {
+    rows: BTreeMap<String, Row>,
+}
+
+impl Table {
+    pub fn new() -> Table {
+        Table::default()
+    }
+
+    /// Insert or replace a row; returns true when the key was new.
+    pub fn put(&mut self, key: &str, row: Row) -> bool {
+        self.rows.insert(key.to_owned(), row).is_none()
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &str) -> Option<&Row> {
+        self.rows.get(key)
+    }
+
+    /// Mutable point lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Row> {
+        self.rows.get_mut(key)
+    }
+
+    /// Remove a row; returns it if present.
+    pub fn remove(&mut self, key: &str) -> Option<Row> {
+        self.rows.remove(key)
+    }
+
+    /// Full scan with a predicate; returns matching (key, row) clones and
+    /// the number of rows examined (for the cost model).
+    pub fn scan_where<F>(&self, mut pred: F) -> (Vec<(String, Row)>, usize)
+    where
+        F: FnMut(&str, &Row) -> bool,
+    {
+        let mut out = Vec::new();
+        let mut examined = 0;
+        for (k, r) in &self.rows {
+            examined += 1;
+            if pred(k, r) {
+                out.push((k.clone(), r.clone()));
+            }
+        }
+        (out, examined)
+    }
+
+    /// Keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.rows.keys().map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book(title: &str, price: f64) -> Row {
+        Row::new().with("title", title).with("price", price)
+    }
+
+    #[test]
+    fn row_typed_getters() {
+        let r = Row::new()
+            .with("s", "str")
+            .with("i", 7i64)
+            .with("f", 1.5)
+            .with("b", true);
+        assert_eq!(r.str("s"), "str");
+        assert_eq!(r.int("i"), 7);
+        assert_eq!(r.float("f"), 1.5);
+        assert!(r.bool("b"));
+        // Missing/mistyped default.
+        assert_eq!(r.str("missing"), "");
+        assert_eq!(r.int("s"), 0);
+    }
+
+    #[test]
+    fn table_put_get_remove() {
+        let mut t = Table::new();
+        assert!(t.put("a", book("A", 1.0)));
+        assert!(!t.put("a", book("A2", 2.0)));
+        assert_eq!(t.get("a").unwrap().str("title"), "A2");
+        assert!(t.remove("a").is_some());
+        assert!(t.get("a").is_none());
+    }
+
+    #[test]
+    fn scan_reports_examined_rows() {
+        let mut t = Table::new();
+        for i in 0..10 {
+            t.put(&format!("k{i}"), book(&format!("B{i}"), i as f64));
+        }
+        let (hits, examined) = t.scan_where(|_, r| r.float("price") >= 5.0);
+        assert_eq!(hits.len(), 5);
+        assert_eq!(examined, 10);
+    }
+
+    #[test]
+    fn scan_is_deterministic_order() {
+        let mut t = Table::new();
+        t.put("b", book("B", 1.0));
+        t.put("a", book("A", 1.0));
+        t.put("c", book("C", 1.0));
+        let (all, _) = t.scan_where(|_, _| true);
+        let keys: Vec<_> = all.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn row_size_accounts_names_and_values() {
+        let r = Row::new().with("ab", "xyz"); // 2 + 3
+        assert_eq!(r.size_bytes(), 5);
+    }
+}

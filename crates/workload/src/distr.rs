@@ -1,0 +1,209 @@
+//! Seeded sampling distributions.
+//!
+//! Implemented in-repo (rather than pulling `rand_distr`) because the
+//! experiments need exactly three: Zipf over page ranks, exponential
+//! inter-arrival times, and Bernoulli mixes.
+
+use rand::{Rng, RngExt};
+
+/// Zipf distribution over ranks `0..n` with exponent `alpha`:
+/// `P(rank k) ∝ 1/(k+1)^alpha`.
+///
+/// Sampling is inverse-CDF over a precomputed cumulative table — O(log n)
+/// per draw, exact, and deterministic under a seeded RNG.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build for `n ≥ 1` ranks with exponent `alpha ≥ 0` (alpha = 0 is
+    /// uniform; the web-trace literature the paper cites uses α ≈ 0.7–1.0).
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n >= 1, "zipf needs at least one rank");
+        assert!(alpha >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against FP slop at the top end.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // First index with cdf >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Exponential distribution with rate `lambda` (per second): inter-arrival
+/// times of a Poisson request process.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    pub fn new(lambda: f64) -> Exponential {
+        assert!(lambda > 0.0, "rate must be positive");
+        Exponential { lambda }
+    }
+
+    /// Draw an inter-arrival time in seconds.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        // Map u∈[0,1) to (0,1] to avoid ln(0).
+        -((1.0 - u).ln()) / self.lambda
+    }
+
+    /// Mean inter-arrival time.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+}
+
+/// Bernoulli draw helper.
+#[derive(Debug, Clone, Copy)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    pub fn new(p: f64) -> Bernoulli {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        Bernoulli { p }
+    }
+
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p >= 1.0 {
+            return true;
+        }
+        if self.p <= 0.0 {
+            return false;
+        }
+        rng.random::<f64>() < self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(10, 1.0);
+        let total: f64 = (0..10).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_rank_zero_is_most_popular() {
+        let z = Zipf::new(10, 1.0);
+        for k in 1..10 {
+            assert!(z.pmf(0) > z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_matches_pmf() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: empirical {emp}, pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.pmf(0), 1.0);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let e = Exponential::new(4.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| e.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_samples_are_positive() {
+        let e = Exponential::new(0.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_edges_and_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(Bernoulli::new(1.0).sample(&mut rng));
+        assert!(!Bernoulli::new(0.0).sample(&mut rng));
+        let b = Bernoulli::new(0.3);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| b.sample(&mut rng)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Closed-loop client driver (the WebLoad cluster).
+//!
+//! Spawns `clients` threads that replay slices of an access plan against a
+//! [`Fetcher`] as fast as responses come back (closed loop, like WebLoad's
+//! default virtual clients), collecting latency and size distributions.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::plan::{AccessPlan, PlannedRequest};
+
+/// Abstract request executor (implemented over `dpc-http`'s client by the
+/// proxy testbed; over anything else in tests).
+pub trait Fetcher: Send + Sync {
+    /// Execute one request; returns the response body size in bytes.
+    fn fetch(&self, request: &PlannedRequest) -> Result<usize, String>;
+}
+
+impl<F> Fetcher for F
+where
+    F: Fn(&PlannedRequest) -> Result<usize, String> + Send + Sync,
+{
+    fn fetch(&self, request: &PlannedRequest) -> Result<usize, String> {
+        self(request)
+    }
+}
+
+/// Aggregate results of a driver run.
+#[derive(Debug, Clone, Default)]
+pub struct DriverReport {
+    pub requests: usize,
+    pub errors: usize,
+    pub bytes: u64,
+    /// Wall-clock latencies, sorted ascending (wall time of the in-process
+    /// stack; simulated network time is accounted separately by the
+    /// testbed's link models).
+    latencies: Vec<Duration>,
+    pub elapsed: Duration,
+}
+
+impl DriverReport {
+    /// Latency percentile in [0, 100].
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((p / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
+        self.latencies[idx.min(self.latencies.len() - 1)]
+    }
+
+    /// Mean latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        self.latencies.iter().sum::<Duration>() / self.latencies.len() as u32
+    }
+
+    /// Requests per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Closed-loop driver: each client thread issues its next request as soon
+/// as the previous one completes.
+pub struct ClosedLoopDriver {
+    pub clients: usize,
+}
+
+impl ClosedLoopDriver {
+    pub fn new(clients: usize) -> ClosedLoopDriver {
+        ClosedLoopDriver {
+            clients: clients.max(1),
+        }
+    }
+
+    /// Replay `total` requests from `plan` through `fetcher`.
+    pub fn run(&self, plan: &AccessPlan, total: usize, fetcher: Arc<dyn Fetcher>) -> DriverReport {
+        let requests = plan.requests(total);
+        let shared = Arc::new(Mutex::new(ReportAccum::default()));
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for chunk in requests.chunks(total.div_ceil(self.clients).max(1)) {
+                let fetcher = Arc::clone(&fetcher);
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    let mut local = ReportAccum::default();
+                    for req in chunk {
+                        let t0 = Instant::now();
+                        match fetcher.fetch(req) {
+                            Ok(bytes) => {
+                                local.bytes += bytes as u64;
+                                local.latencies.push(t0.elapsed());
+                            }
+                            Err(_) => local.errors += 1,
+                        }
+                        local.requests += 1;
+                    }
+                    shared.lock().merge(local);
+                });
+            }
+        });
+        let accum = Arc::try_unwrap(shared)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|arc| arc.lock().clone());
+        let mut latencies = accum.latencies;
+        latencies.sort_unstable();
+        DriverReport {
+            requests: accum.requests,
+            errors: accum.errors,
+            bytes: accum.bytes,
+            latencies,
+            elapsed: started.elapsed(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct ReportAccum {
+    requests: usize,
+    errors: usize,
+    bytes: u64,
+    latencies: Vec<Duration>,
+}
+
+impl ReportAccum {
+    fn merge(&mut self, other: ReportAccum) {
+        self.requests += other.requests;
+        self.errors += other.errors;
+        self.bytes += other.bytes;
+        self.latencies.extend(other.latencies);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SiteKind;
+    use crate::session::Population;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn plan() -> AccessPlan {
+        AccessPlan::new(
+            SiteKind::Paper { pages: 5 },
+            1.0,
+            Population::new(10, 0.5),
+            7,
+        )
+    }
+
+    #[test]
+    fn drives_all_requests() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        let fetcher = move |req: &PlannedRequest| {
+            c.fetch_add(1, Ordering::Relaxed);
+            Ok(req.target.len())
+        };
+        let report = ClosedLoopDriver::new(4).run(&plan(), 200, Arc::new(fetcher));
+        assert_eq!(report.requests, 200);
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+        assert_eq!(report.errors, 0);
+        assert!(report.bytes > 0);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn errors_are_counted_not_fatal() {
+        let fetcher = |req: &PlannedRequest| {
+            if req.target.ends_with("p=0") {
+                Err("boom".to_owned())
+            } else {
+                Ok(10)
+            }
+        };
+        let report = ClosedLoopDriver::new(2).run(&plan(), 100, Arc::new(fetcher));
+        assert!(report.errors > 0);
+        assert_eq!(report.requests, 100);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let fetcher = |_: &PlannedRequest| Ok(1);
+        let report = ClosedLoopDriver::new(2).run(&plan(), 50, Arc::new(fetcher));
+        assert!(report.percentile(50.0) <= report.percentile(99.0));
+        assert!(report.mean_latency() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_clients_clamps_to_one() {
+        let d = ClosedLoopDriver::new(0);
+        assert_eq!(d.clients, 1);
+        let report = d.run(&plan(), 10, Arc::new(|_: &PlannedRequest| Ok(1)));
+        assert_eq!(report.requests, 10);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let report = ClosedLoopDriver::new(3).run(&plan(), 0, Arc::new(|_: &PlannedRequest| Ok(1)));
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.percentile(50.0), Duration::ZERO);
+        assert_eq!(report.mean_latency(), Duration::ZERO);
+    }
+}

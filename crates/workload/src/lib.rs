@@ -1,0 +1,28 @@
+//! # dpc-workload — request generation (the WebLoad substitute)
+//!
+//! The paper's clients were "a cluster of clients [running] WebLoad, which
+//! sends requests to the Web server", with page popularity "governed by the
+//! Zipfian distribution, which has been shown to describe Web page requests
+//! with reasonable accuracy [2, 12]". This crate reproduces that load
+//! generator:
+//!
+//! * [`distr`] — seeded Zipf (inverse-CDF), exponential inter-arrivals
+//!   (Poisson process), and Bernoulli helpers; no external distribution
+//!   crate needed;
+//! * [`session`] — the user population: registered share, per-user
+//!   profiles, and the registered/anonymous session mix that drives the
+//!   dynamic-layout behaviour of §2.1;
+//! * [`plan`] — site access plans: which page, for which user, in which
+//!   order (deterministic streams for byte-exact experiments);
+//! * [`driver`] — a closed-loop multi-threaded driver for wall-clock
+//!   integration tests and the deployment case study.
+
+pub mod distr;
+pub mod driver;
+pub mod plan;
+pub mod session;
+
+pub use distr::{Bernoulli, Exponential, Zipf};
+pub use driver::{ClosedLoopDriver, DriverReport, Fetcher};
+pub use plan::{AccessPlan, PlannedRequest, SiteKind};
+pub use session::{Population, UserRef};

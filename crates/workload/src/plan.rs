@@ -1,0 +1,188 @@
+//! Site access plans: deterministic request streams.
+//!
+//! A plan binds together the page space of one demo site, Zipfian page
+//! popularity, and the visitor population, and unrolls them into a
+//! reproducible sequence of (target URL, user) pairs. Benches replay the
+//! same plan against different proxy configurations so that byte-count
+//! comparisons are apples-to-apples per request.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::distr::Zipf;
+use crate::session::{Population, UserRef};
+
+/// Which demo site the plan addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// The synthetic "paper site": `pages` identical pages of parameterized
+    /// fragments — the exact shape of the §5 analytical model (Table 2).
+    Paper { pages: usize },
+    /// BooksOnline catalog: category pages (`catalog.jsp?categoryID=…`).
+    BooksOnline { categories: usize },
+    /// Brokerage: quote pages (`quote.jsp?symbol=…`).
+    Brokerage { symbols: usize },
+}
+
+impl SiteKind {
+    /// Number of distinct pages in this site's space.
+    pub fn page_space(&self) -> usize {
+        match *self {
+            SiteKind::Paper { pages } => pages,
+            SiteKind::BooksOnline { categories } => categories,
+            SiteKind::Brokerage { symbols } => symbols,
+        }
+    }
+
+    /// Target URL for page rank `i`.
+    pub fn target(&self, rank: usize) -> String {
+        match self {
+            SiteKind::Paper { .. } => format!("/paper/page.jsp?p={rank}"),
+            SiteKind::BooksOnline { .. } => {
+                format!("/catalog.jsp?categoryID=cat{rank}")
+            }
+            SiteKind::Brokerage { .. } => format!("/quote.jsp?symbol=SYM{rank}"),
+        }
+    }
+}
+
+/// One planned request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedRequest {
+    pub target: String,
+    pub user: UserRef,
+}
+
+/// Generator of deterministic request streams.
+#[derive(Debug, Clone)]
+pub struct AccessPlan {
+    site: SiteKind,
+    zipf: Zipf,
+    population: Population,
+    seed: u64,
+}
+
+impl AccessPlan {
+    /// Plan over `site` with Zipf exponent `alpha` and the given visitor
+    /// population.
+    pub fn new(site: SiteKind, alpha: f64, population: Population, seed: u64) -> AccessPlan {
+        AccessPlan {
+            zipf: Zipf::new(site.page_space(), alpha),
+            site,
+            population,
+            seed,
+        }
+    }
+
+    /// The site this plan addresses.
+    pub fn site(&self) -> SiteKind {
+        self.site
+    }
+
+    /// Unroll `n` requests. Deterministic for a given (plan, n).
+    pub fn requests(&self, n: usize) -> Vec<PlannedRequest> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..n)
+            .map(|_| {
+                let rank = self.zipf.sample(&mut rng);
+                PlannedRequest {
+                    target: self.site.target(rank),
+                    user: self.population.sample(&mut rng),
+                }
+            })
+            .collect()
+    }
+
+    /// Streaming variant: call `f` for each of `n` requests without
+    /// materializing the plan (for the 1M-request runs of Table 2's `R`).
+    pub fn for_each(&self, n: usize, mut f: impl FnMut(usize, PlannedRequest)) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for i in 0..n {
+            let rank = self.zipf.sample(&mut rng);
+            f(
+                i,
+                PlannedRequest {
+                    target: self.site.target(rank),
+                    user: self.population.sample(&mut rng),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> AccessPlan {
+        AccessPlan::new(
+            SiteKind::Paper { pages: 10 },
+            1.0,
+            Population::new(20, 0.5),
+            42,
+        )
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let p = plan();
+        assert_eq!(p.requests(100), p.requests(100));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = plan().requests(50);
+        let b = AccessPlan::new(
+            SiteKind::Paper { pages: 10 },
+            1.0,
+            Population::new(20, 0.5),
+            43,
+        )
+        .requests(50);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn targets_match_site_kind() {
+        for (site, prefix) in [
+            (SiteKind::Paper { pages: 3 }, "/paper/page.jsp?p="),
+            (
+                SiteKind::BooksOnline { categories: 3 },
+                "/catalog.jsp?categoryID=cat",
+            ),
+            (SiteKind::Brokerage { symbols: 3 }, "/quote.jsp?symbol=SYM"),
+        ] {
+            let p = AccessPlan::new(site, 1.0, Population::new(5, 0.5), 1);
+            for r in p.requests(20) {
+                assert!(r.target.starts_with(prefix), "{}", r.target);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_popularity_shows_in_plan() {
+        let p = plan();
+        let reqs = p.requests(10_000);
+        let page0 = reqs
+            .iter()
+            .filter(|r| r.target == "/paper/page.jsp?p=0")
+            .count();
+        let page9 = reqs
+            .iter()
+            .filter(|r| r.target == "/paper/page.jsp?p=9")
+            .count();
+        assert!(
+            page0 > 4 * page9,
+            "rank 0 ({page0}) should dominate rank 9 ({page9})"
+        );
+    }
+
+    #[test]
+    fn for_each_matches_requests() {
+        let p = plan();
+        let eager = p.requests(30);
+        let mut streamed = Vec::new();
+        p.for_each(30, |_, r| streamed.push(r));
+        assert_eq!(eager, streamed);
+    }
+}

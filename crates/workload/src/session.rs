@@ -1,0 +1,117 @@
+//! User population and session mix.
+//!
+//! §2.1: sites serve both registered users (profile-driven content *and*
+//! layout) and occasional anonymous visitors, and "the registered and
+//! non-registered users submit the exact same URL to the site, yet they may
+//! receive very different pages" — the property that breaks URL-keyed proxy
+//! caches. The population model controls how often each kind of visitor
+//! appears and which registered identity is used.
+
+use rand::Rng;
+
+use crate::distr::{Bernoulli, Zipf};
+
+/// Who is issuing a request.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UserRef {
+    /// Anonymous visitor (no session cookie).
+    Anonymous,
+    /// Registered user `user<i>`.
+    Registered(String),
+}
+
+impl UserRef {
+    /// Session-cookie value for the request (`None` for anonymous).
+    pub fn cookie(&self) -> Option<&str> {
+        match self {
+            UserRef::Anonymous => None,
+            UserRef::Registered(u) => Some(u),
+        }
+    }
+}
+
+/// The site's visitor population.
+#[derive(Debug, Clone)]
+pub struct Population {
+    users: usize,
+    registered_share: Bernoulli,
+    /// Zipf over user ranks: a few heavy users dominate, like real sites.
+    user_pick: Zipf,
+}
+
+impl Population {
+    /// `users` registered identities; a request is from a registered user
+    /// with probability `registered_share`.
+    pub fn new(users: usize, registered_share: f64) -> Population {
+        assert!(users >= 1, "population needs at least one user");
+        Population {
+            users,
+            registered_share: Bernoulli::new(registered_share),
+            user_pick: Zipf::new(users, 0.8),
+        }
+    }
+
+    /// Number of registered identities.
+    pub fn users(&self) -> usize {
+        self.users
+    }
+
+    /// Draw the visitor for one request.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> UserRef {
+        if self.registered_share.sample(rng) {
+            let rank = self.user_pick.sample(rng);
+            UserRef::Registered(format!("user{rank}"))
+        } else {
+            UserRef::Anonymous
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn share_controls_mix() {
+        let pop = Population::new(50, 0.7);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let registered = (0..n)
+            .filter(|_| matches!(pop.sample(&mut rng), UserRef::Registered(_)))
+            .count();
+        let share = registered as f64 / n as f64;
+        assert!((share - 0.7).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn all_anonymous_and_all_registered() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let anon = Population::new(5, 0.0);
+        assert_eq!(anon.sample(&mut rng), UserRef::Anonymous);
+        let reg = Population::new(5, 1.0);
+        assert!(matches!(reg.sample(&mut rng), UserRef::Registered(_)));
+    }
+
+    #[test]
+    fn user_ids_are_in_range() {
+        let pop = Population::new(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            if let UserRef::Registered(u) = pop.sample(&mut rng) {
+                let idx: usize = u.trim_start_matches("user").parse().unwrap();
+                assert!(idx < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn cookie_exposure() {
+        assert_eq!(UserRef::Anonymous.cookie(), None);
+        assert_eq!(
+            UserRef::Registered("user3".into()).cookie(),
+            Some("user3")
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: the DPC + BEM mechanism in ~60 lines, no network.
+//!
+//! Shows the paper's core loop: a "script" produces a page through the
+//! BEM's tagging API; the first request ships the fragment inside a `SET`
+//! instruction; later requests ship a ~8-byte `GET` instead; the DPC
+//! assembles identical pages either way; invalidation flips back to `SET`.
+//!
+//! Run: `cargo run --example quickstart`
+
+use dynproxy::core::prelude::*;
+use std::time::Duration;
+
+fn render_stock_page(bem: &Bem, symbol: &str, price: f64) -> Vec<u8> {
+    let mut w = bem.template_writer();
+    w.literal(b"<html><body>");
+
+    // A cacheable code block ("tagged" in the paper's terms). The closure
+    // body only runs on a directory miss.
+    w.fragment(
+        &FragmentId::with_params("research", &[("sym", symbol)]),
+        FragmentPolicy::ttl(Duration::from_secs(3600))
+            .with_deps(&[&format!("research/{symbol}")]),
+        |out| {
+            out.extend_from_slice(
+                format!("<section>deep research for {symbol} …</section>").as_bytes(),
+            )
+        },
+    );
+
+    // Volatile content can be uncacheable at design time (X_j = 0): it is
+    // generated on every request and travels inline.
+    w.fragment(
+        &FragmentId::with_params("price", &[("sym", symbol)]),
+        FragmentPolicy::uncacheable(),
+        |out| out.extend_from_slice(format!("<b>{symbol} @ ${price:.2}</b>").as_bytes()),
+    );
+
+    w.literal(b"</body></html>");
+    w.finish()
+}
+
+fn main() {
+    // Origin side: the Back End Monitor.
+    let bem = Bem::new(BemConfig::default().with_capacity(1024));
+    // Proxy side: the Dynamic Proxy Cache's slot store.
+    let store = FragmentStore::new(1024);
+
+    // First request: research fragment misses -> SET carries the content.
+    let t1 = render_stock_page(&bem, "IBM", 104.20);
+    let page1 = assemble(&t1, &store).expect("assembly");
+    println!("request 1: template {:>4} B -> page {:>4} B (research SET)", t1.len(), page1.html.len());
+
+    // Second request: research hits -> template shrinks to a GET tag.
+    let t2 = render_stock_page(&bem, "IBM", 104.75);
+    let page2 = assemble(&t2, &store).expect("assembly");
+    println!("request 2: template {:>4} B -> page {:>4} B (research GET)", t2.len(), page2.html.len());
+    assert!(t2.len() < t1.len());
+
+    // Prices differ (uncacheable, always fresh); research bytes identical.
+    assert_ne!(page1.html, page2.html);
+    assert!(String::from_utf8_lossy(&page2.html).contains("$104.75"));
+
+    // A data-source update invalidates the research fragment: the key goes
+    // back to the freeList and the next request regenerates.
+    let invalidated = bem.on_data_update("research/IBM");
+    println!("update to research/IBM invalidated {invalidated} fragment(s)");
+    let t3 = render_stock_page(&bem, "IBM", 105.00);
+    assert!(t3.len() > t2.len(), "back to SET after invalidation");
+
+    let stats = bem.directory_stats();
+    println!(
+        "directory: {} hits, {} misses, {} invalidations, {} valid entries",
+        stats.hits, stats.misses, stats.invalidations, stats.valid_entries
+    );
+    println!(
+        "bandwidth saved on request 2: {} of {} bytes ({:.0}%)",
+        t1.len() - t2.len(),
+        t1.len(),
+        100.0 * (t1.len() - t2.len()) as f64 / t1.len() as f64
+    );
+}

@@ -1,0 +1,70 @@
+//! The WebLoad-substitute closed-loop driver against the real stack:
+//! multiple client threads hammer the Figure 4 testbed concurrently while
+//! correctness and accounting hold.
+
+use dynproxy::proxy::{ProxyMode, Testbed, TestbedConfig};
+use dynproxy::workload::{AccessPlan, ClosedLoopDriver, PlannedRequest, Population, SiteKind};
+use std::sync::Arc;
+
+#[test]
+fn closed_loop_driver_over_the_testbed() {
+    let tb = Arc::new(Testbed::build(TestbedConfig {
+        mode: ProxyMode::Dpc,
+        ..TestbedConfig::default()
+    }));
+    let plan = AccessPlan::new(
+        SiteKind::Paper { pages: 10 },
+        1.0,
+        Population::new(8, 0.0),
+        0x10AD,
+    );
+    let tb2 = Arc::clone(&tb);
+    let fetcher = move |req: &PlannedRequest| {
+        let resp = tb2.get(&req.target, req.user.cookie());
+        if resp.status.is_success() {
+            Ok(resp.body.len())
+        } else {
+            Err(format!("status {}", resp.status.0))
+        }
+    };
+    let report = ClosedLoopDriver::new(6).run(&plan, 600, Arc::new(fetcher));
+    assert_eq!(report.requests, 600);
+    assert_eq!(report.errors, 0);
+    assert!(report.bytes > 0);
+    assert!(report.throughput() > 0.0);
+    assert!(report.percentile(50.0) <= report.percentile(99.0));
+    // The cache worked under concurrency and the directory stayed sane.
+    let stats = tb.engine().bem().directory_stats();
+    assert!(stats.hits > 300, "{stats:?}");
+    tb.engine().bem().directory().check_invariants().unwrap();
+    // Every request flowed through both hops.
+    assert!(tb.proxy_requests() >= 600);
+    assert!(tb.origin_requests() >= 600);
+}
+
+#[test]
+fn driver_against_page_cache_mode_also_completes() {
+    // The driver is mode-agnostic; page-cache mode offloads the origin.
+    let tb = Arc::new(Testbed::build(TestbedConfig {
+        mode: ProxyMode::PageCache,
+        ..TestbedConfig::default()
+    }));
+    let plan = AccessPlan::new(
+        SiteKind::Paper { pages: 5 },
+        1.0,
+        Population::new(4, 0.0),
+        0x10AE,
+    );
+    let tb2 = Arc::clone(&tb);
+    let fetcher = move |req: &PlannedRequest| {
+        let resp = tb2.get(&req.target, req.user.cookie());
+        Ok(resp.body.len())
+    };
+    let report = ClosedLoopDriver::new(4).run(&plan, 200, Arc::new(fetcher));
+    assert_eq!(report.errors, 0);
+    assert!(
+        tb.origin_requests() < 200,
+        "page cache must offload the origin: {} origin requests",
+        tb.origin_requests()
+    );
+}

@@ -1,0 +1,154 @@
+//! Cross-validation of the §5 analytical model against the running system —
+//! the same exercise as the paper's §6, as assertions.
+//!
+//! The experimental byte counts will not equal the closed forms exactly
+//! (real tags are 4–12 bytes vs the modelled 10; HTTP headers and chrome
+//! approximate `f`; TCP framing is extra), but the *relationships* the
+//! paper validates must hold: experimental tracks analytical within a
+//! band, the wire ratio sits above the payload ratio, savings grow with
+//! `h` and cacheability, and the break-even behaviours appear where the
+//! model says.
+
+use dynproxy::appserver::apps::paper_site::PaperSiteParams;
+use dynproxy::model::{expected_bytes, ModelParams};
+use dynproxy::proxy::{ProxyMode, Testbed, TestbedConfig};
+use dynproxy::workload::{AccessPlan, Population, SiteKind};
+
+/// Run both configurations at the given shape; return (payload ratio, wire
+/// ratio, measured h, measured g).
+fn measure(params: PaperSiteParams, forced_h: f64, requests: usize) -> (f64, f64, f64, f64) {
+    let run = |mode| {
+        let tb = Testbed::build(TestbedConfig {
+            mode,
+            paper_params: params,
+            forced_hit_ratio: Some(forced_h),
+            capacity: 1024,
+            ..TestbedConfig::default()
+        });
+        let plan = AccessPlan::new(
+            SiteKind::Paper {
+                pages: params.pages,
+            },
+            1.0,
+            Population::new(4, 0.0),
+            0x77,
+        );
+        for r in plan.requests(requests / 5) {
+            let _ = tb.get(&r.target, None); // warm-up
+        }
+        tb.reset_meters();
+        let before = tb.engine().bem().stats().snapshot();
+        for r in plan.requests(requests) {
+            let resp = tb.get(&r.target, None);
+            assert!(resp.status.is_success());
+        }
+        let delta = tb.engine().bem().stats().snapshot().since(&before);
+        (tb.origin_wire(), delta)
+    };
+    let (cache_wire, cache_stats) = run(ProxyMode::Dpc);
+    let (plain_wire, _) = run(ProxyMode::PassThrough);
+    (
+        cache_wire.payload_bytes as f64 / plain_wire.payload_bytes as f64,
+        cache_wire.wire_bytes as f64 / plain_wire.wire_bytes as f64,
+        cache_stats.hit_ratio(),
+        cache_stats.avg_tag_bytes(),
+    )
+}
+
+#[test]
+fn experimental_ratio_tracks_analytical_at_table2_point() {
+    let params = PaperSiteParams::default(); // Table 2 shape
+    let (payload_ratio, wire_ratio, h, g) = measure(params, 0.8, 600);
+    let analytical = expected_bytes(&ModelParams::table2()).ratio();
+    // The paper's Figure 3(b): close tracking, experimental above.
+    assert!(
+        (payload_ratio - analytical).abs() < 0.12,
+        "payload ratio {payload_ratio} vs analytical {analytical}"
+    );
+    assert!(
+        wire_ratio >= payload_ratio,
+        "framing must not shrink the ratio"
+    );
+    assert!((0.7..0.9).contains(&h), "measured h = {h}");
+    assert!((4.0..14.0).contains(&g), "measured g = {g}");
+}
+
+#[test]
+fn savings_grow_with_hit_ratio_experimentally() {
+    let params = PaperSiteParams::default();
+    let (r_low, ..) = measure(params, 0.2, 400);
+    let (r_mid, ..) = measure(params, 0.6, 400);
+    let (r_high, ..) = measure(params, 0.95, 400);
+    assert!(
+        r_low > r_mid && r_mid > r_high,
+        "ratios must fall as h rises: {r_low} {r_mid} {r_high}"
+    );
+}
+
+#[test]
+fn savings_grow_with_cacheability_experimentally() {
+    let at = |x: f64| {
+        measure(
+            PaperSiteParams {
+                cacheability: x,
+                ..PaperSiteParams::default()
+            },
+            0.8,
+            400,
+        )
+        .0
+    };
+    let r25 = at(0.25);
+    let r50 = at(0.5);
+    let r100 = at(1.0);
+    assert!(
+        r25 > r50 && r50 > r100,
+        "ratios must fall as cacheability rises: {r25} {r50} {r100}"
+    );
+    // Full cacheability at h=0.8 lands near the model's prediction.
+    let analytical = expected_bytes(
+        &ModelParams::table2().with_cacheability(1.0),
+    )
+    .ratio();
+    assert!(
+        (r100 - analytical).abs() < 0.12,
+        "experimental {r100} vs analytical {analytical}"
+    );
+}
+
+#[test]
+fn zero_hit_ratio_costs_bytes_like_the_model_says() {
+    // Figure 2(b)'s negative region: h = 0 makes templates *larger* than
+    // plain pages (tags are pure overhead).
+    let (payload_ratio, ..) = measure(PaperSiteParams::default(), 0.0, 300);
+    assert!(
+        payload_ratio > 1.0,
+        "with h=0 the DPC must cost bytes: ratio {payload_ratio}"
+    );
+    assert!(
+        payload_ratio < 1.05,
+        "…but only by the small tag overhead: ratio {payload_ratio}"
+    );
+}
+
+#[test]
+fn fragment_size_sweep_matches_figure_2a_shape() {
+    let at = |bytes: usize| {
+        measure(
+            PaperSiteParams {
+                fragment_bytes: bytes,
+                ..PaperSiteParams::default()
+            },
+            0.8,
+            300,
+        )
+        .1
+    };
+    let small = at(256);
+    let medium = at(1024);
+    let large = at(4096);
+    assert!(
+        small > medium && medium > large,
+        "wire ratio must fall with fragment size: {small} {medium} {large}"
+    );
+}
