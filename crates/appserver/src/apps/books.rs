@@ -58,8 +58,11 @@ fn navbar(ctx: &RequestCtx, w: &mut TemplateWriter<'_>, profile: &UserProfile) {
         out.extend_from_slice(format!("<nav class=\"{layout}\">").as_bytes());
         for (key, row) in cats.value {
             out.extend_from_slice(
-                format!("<a href=\"/catalog.jsp?categoryID={key}\">{}</a>", row.str("name"))
-                    .as_bytes(),
+                format!(
+                    "<a href=\"/catalog.jsp?categoryID={key}\">{}</a>",
+                    row.str("name")
+                )
+                .as_bytes(),
             );
         }
         out.extend_from_slice(b"</nav>");
@@ -76,8 +79,7 @@ fn greeting(_ctx: &RequestCtx, w: &mut TemplateWriter<'_>, profile: &UserProfile
     let name = profile.name.clone();
     let user = profile.user_id.clone();
     let id = FragmentId::with_params("greeting", &[("user", &user)]);
-    let policy =
-        FragmentPolicy::ttl(ttl::PERSONAL).with_deps(&[&format!("users/{user}")]);
+    let policy = FragmentPolicy::ttl(ttl::PERSONAL).with_deps(&[&format!("users/{user}")]);
     w.fragment(&id, policy, move |out| {
         out.extend_from_slice(format!("<div class=\"greet\">Hello, {name}!</div>").as_bytes());
     });
@@ -88,8 +90,7 @@ fn category_blurb(ctx: &RequestCtx, w: &mut TemplateWriter<'_>, category: &str) 
     let repo = ctx.repo().clone();
     let cat = category.to_owned();
     let id = FragmentId::with_params("catblurb", &[("cat", category)]);
-    let policy =
-        FragmentPolicy::ttl(ttl::CATEGORY).with_deps(&[&format!("categories/{category}")]);
+    let policy = FragmentPolicy::ttl(ttl::CATEGORY).with_deps(&[&format!("categories/{category}")]);
     let charged = std::sync::Arc::new(parking_lot::Mutex::new(Duration::ZERO));
     let charged2 = std::sync::Arc::clone(&charged);
     w.fragment(&id, policy, move |out| {
@@ -147,8 +148,8 @@ fn recommendations(ctx: &RequestCtx, w: &mut TemplateWriter<'_>, profile: &UserP
     let fav = profile.fav_category.clone();
     let user = profile.user_id.clone();
     let id = FragmentId::with_params("recs", &[("user", &user)]);
-    let policy = FragmentPolicy::ttl(ttl::PERSONAL)
-        .with_deps(&[&format!("users/{user}"), "products/*"]);
+    let policy =
+        FragmentPolicy::ttl(ttl::PERSONAL).with_deps(&[&format!("users/{user}"), "products/*"]);
     let charged = std::sync::Arc::new(parking_lot::Mutex::new(Duration::ZERO));
     let charged2 = std::sync::Arc::clone(&charged);
     w.fragment(&id, policy, move |out| {
@@ -221,8 +222,7 @@ impl Script for ProductScript {
         let repo = ctx.repo().clone();
         let pid2 = pid.clone();
         let id = FragmentId::with_params("product", &[("id", &pid)]);
-        let policy =
-            FragmentPolicy::ttl(ttl::LISTING).with_deps(&[&format!("products/{pid}")]);
+        let policy = FragmentPolicy::ttl(ttl::LISTING).with_deps(&[&format!("products/{pid}")]);
         let charged = std::sync::Arc::new(parking_lot::Mutex::new(Duration::ZERO));
         let charged2 = std::sync::Arc::clone(&charged);
         w.fragment(&id, policy, move |out| {
@@ -299,12 +299,7 @@ mod tests {
         Arc::new(e)
     }
 
-    fn get(
-        e: &ScriptEngine,
-        store: &FragmentStore,
-        target: &str,
-        user: Option<&str>,
-    ) -> Vec<u8> {
+    fn get(e: &ScriptEngine, store: &FragmentStore, target: &str, user: Option<&str>) -> Vec<u8> {
         let mut req = Request::get(target);
         if let Some(u) = user {
             req.headers.set("Cookie", format!("session={u}"));

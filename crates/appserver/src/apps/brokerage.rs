@@ -102,8 +102,7 @@ fn research_fragment(ctx: &RequestCtx, w: &mut TemplateWriter<'_>, symbol: &str)
     let repo = ctx.repo().clone();
     let sym = symbol.to_owned();
     let id = FragmentId::with_params("research", &[("sym", symbol)]);
-    let policy =
-        FragmentPolicy::ttl(ttl::RESEARCH).with_deps(&[&format!("research/{symbol}")]);
+    let policy = FragmentPolicy::ttl(ttl::RESEARCH).with_deps(&[&format!("research/{symbol}")]);
     let charged = Arc::new(Mutex::new(Duration::ZERO));
     let charged2 = Arc::clone(&charged);
     w.fragment(&id, policy, move |out| {
@@ -135,7 +134,12 @@ fn market_summary_fragment(ctx: &RequestCtx, w: &mut TemplateWriter<'_>) {
         let rows = repo.scan_where("quotes", |_, _| true);
         *charged2.lock() += rows.cost;
         let n = rows.value.len().max(1);
-        let avg: f64 = rows.value.iter().map(|(_, r)| r.float("price")).sum::<f64>() / n as f64;
+        let avg: f64 = rows
+            .value
+            .iter()
+            .map(|(_, r)| r.float("price"))
+            .sum::<f64>()
+            / n as f64;
         let up = rows
             .value
             .iter()
@@ -205,8 +209,8 @@ impl Script for PortfolioScript {
         let name = profile.name.clone();
         let user = profile.user_id.clone();
         let id = FragmentId::with_params("greeting", &[("user", &user)]);
-        let policy = FragmentPolicy::ttl(Duration::from_secs(120))
-            .with_deps(&[&format!("users/{user}")]);
+        let policy =
+            FragmentPolicy::ttl(Duration::from_secs(120)).with_deps(&[&format!("users/{user}")]);
         w.fragment(&id, policy, move |out| {
             out.extend_from_slice(format!("<div class=\"greet\">Hello, {name}!</div>").as_bytes());
         });
@@ -216,10 +220,8 @@ impl Script for PortfolioScript {
         let repo = ctx.repo().clone();
         let user2 = profile.user_id.clone();
         let id = FragmentId::with_params("holdings", &[("user", &user2)]);
-        let policy = FragmentPolicy::ttl(ttl::QUOTE).with_deps(&[
-            &format!("quotes/{fav}"),
-            &format!("users/{user2}"),
-        ]);
+        let policy = FragmentPolicy::ttl(ttl::QUOTE)
+            .with_deps(&[&format!("quotes/{fav}"), &format!("users/{user2}")]);
         let charged = Arc::new(Mutex::new(Duration::ZERO));
         let charged2 = Arc::clone(&charged);
         w.fragment(&id, policy, move |out| {

@@ -99,7 +99,11 @@ fn seed_versions(repo: &Arc<Repository>, params: &PaperSiteParams) {
     repo.create_table("paper");
     for p in 0..params.pages {
         for s in 0..params.fragments_per_page {
-            repo.seed("paper", &fragment_key(p, s), Row::new().with("version", 0i64));
+            repo.seed(
+                "paper",
+                &fragment_key(p, s),
+                Row::new().with("version", 0i64),
+            );
         }
     }
 }
@@ -146,12 +150,11 @@ impl Script for PaperSite {
             };
             let id = FragmentId::with_params(
                 "paperfrag",
-                &[
-                    ("p", &page.to_string()),
-                    ("s", &slot.to_string()),
-                ],
+                &[("p", &page.to_string()), ("s", &slot.to_string())],
             );
-            w.fragment(&id, policy, move |out| out.extend_from_slice(body.as_bytes()));
+            w.fragment(&id, policy, move |out| {
+                out.extend_from_slice(body.as_bytes())
+            });
         }
 
         w.literal(tail.as_bytes());
@@ -246,11 +249,9 @@ mod tests {
     fn invalidation_changes_content() {
         let e = engine(PaperSiteParams::default());
         let store = FragmentStore::new(256);
-        let before =
-            assemble(&e.serve(&Request::get("/paper/page.jsp?p=1")).body, &store).unwrap();
+        let before = assemble(&e.serve(&Request::get("/paper/page.jsp?p=1")).body, &store).unwrap();
         invalidate_fragment(e.repo(), 1, 0);
-        let after =
-            assemble(&e.serve(&Request::get("/paper/page.jsp?p=1")).body, &store).unwrap();
+        let after = assemble(&e.serve(&Request::get("/paper/page.jsp?p=1")).body, &store).unwrap();
         assert_ne!(before.html, after.html, "version bump must change bytes");
     }
 

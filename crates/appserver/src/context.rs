@@ -105,15 +105,14 @@ impl RequestCtx {
                 let repo = Arc::clone(&self.repo);
                 let key = format!("profile/{user}");
                 let charged = Mutex::new(Duration::ZERO);
-                let profile = self.bem.objects().get_or_insert_with(
-                    &key,
-                    Duration::from_secs(60),
-                    || {
-                        let (profile, cost) = UserProfile::load(&repo, &user);
-                        *charged.lock() = cost;
-                        profile
-                    },
-                );
+                let profile =
+                    self.bem
+                        .objects()
+                        .get_or_insert_with(&key, Duration::from_secs(60), || {
+                            let (profile, cost) = UserProfile::load(&repo, &user);
+                            *charged.lock() = cost;
+                            profile
+                        });
                 self.charge_fixed(*charged.lock());
                 profile
             }

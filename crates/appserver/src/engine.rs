@@ -243,8 +243,11 @@ mod tests {
         let _ = w.finish();
         assert_eq!(bem.directory_stats().misses, 1);
         // A repository update must invalidate it via the bus.
-        e.repo()
-            .seed("users", "user1", dpc_repository::Row::new().with("name", "N"));
+        e.repo().seed(
+            "users",
+            "user1",
+            dpc_repository::Row::new().with("name", "N"),
+        );
         e.repo().update("users", "user1", |r| r.set("name", "M"));
         let mut w = bem.template_writer();
         let hit = w.fragment(

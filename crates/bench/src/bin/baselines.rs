@@ -70,7 +70,11 @@ fn correctness(requests: usize) {
     ]);
     for (label, mode, key_bust) in [
         ("page cache (URL-keyed)", ProxyMode::PageCache, false),
-        ("page cache (session-aware keys)", ProxyMode::PageCache, true),
+        (
+            "page cache (session-aware keys)",
+            ProxyMode::PageCache,
+            true,
+        ),
         ("dpc", ProxyMode::Dpc, false),
     ] {
         let tb = build(mode);

@@ -52,7 +52,11 @@ fn main() {
             let cluster = DpcCluster::new(tb.net(), nodes, 4096, router);
             // Ground truth via the testbed's own (single) proxy.
             let truth: Vec<Vec<u8>> = (0..10)
-                .map(|p| tb.get(&format!("/paper/page.jsp?p={p}"), None).body.to_vec())
+                .map(|p| {
+                    tb.get(&format!("/paper/page.jsp?p={p}"), None)
+                        .body
+                        .to_vec()
+                })
                 .collect();
             tb.reset_meters();
             let before = tb.engine().bem().directory_stats();

@@ -43,7 +43,10 @@ fn main() {
         }
     }
     println!();
-    println!("break-even hit ratio h* = {:.4} (paper: ~0.01)", (lo + hi) / 2.0);
+    println!(
+        "break-even hit ratio h* = {:.4} (paper: ~0.01)",
+        (lo + hi) / 2.0
+    );
     println!(
         "peak savings at h=1: table2 {:.1}%, calibrated {:.1}% (paper curve: ~72%)",
         fig2b(&table2, &[1.0])[0].y,

@@ -2,11 +2,24 @@
 //!
 //! A single linear pass over the template (the scan the paper's cost model
 //! charges `z ≈ y` per byte for): literals are copied, `SET` content is
-//! stored into the slot array *and* copied into the page, `GET`s are filled
+//! stored into the slot array *and* included in the page, `GET`s are filled
 //! from the slot array. The output is the byte-exact page the origin would
 //! have produced without the cache — the central correctness property,
 //! enforced by the round-trip property tests in this module and by the
 //! end-to-end equivalence tests in the workspace `tests/` directory.
+//!
+//! Two output shapes are offered:
+//!
+//! * [`assemble_rope`] — the zero-copy hot path. The page comes back as a
+//!   rope of [`Bytes`] segments: cached fragments are spliced by refcount
+//!   bump (no memcpy of fragment bytes), and a freshly `SET` fragment is
+//!   copied exactly once into the buffer that both the slot array and the
+//!   page then share. Only literal runs are copied, and consecutive
+//!   literal pieces (e.g. escaped sentinels) are coalesced into one
+//!   segment.
+//! * [`assemble`] — the original copying API, kept as a thin adapter that
+//!   flattens the rope into a single `Vec<u8>` for callers that need
+//!   contiguous output.
 
 use bytes::Bytes;
 
@@ -23,15 +36,15 @@ pub struct AssemblyStats {
     pub sets: u64,
     /// Literal bytes copied from the template.
     pub literal_bytes: u64,
-    /// Fragment bytes spliced from the store (GET) .
+    /// Fragment bytes spliced from the store (`GET`s).
     pub get_bytes: u64,
-    /// Fragment bytes carried in the template (SET).
+    /// Fragment bytes carried in the template (`SET`s).
     pub set_bytes: u64,
     /// Template bytes scanned.
     pub template_bytes: u64,
 }
 
-/// A fully assembled page.
+/// A fully assembled page, flattened to contiguous bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AssembledPage {
     /// Final HTML delivered to the user.
@@ -39,45 +52,125 @@ pub struct AssembledPage {
     pub stats: AssemblyStats,
 }
 
-/// Assemble `template` against `store`.
+/// A fully assembled page as a rope of shared-buffer segments.
+///
+/// Segments appear in page order; concatenating them yields the exact
+/// bytes of [`AssembledPage::html`]. `GET` segments share the slot array's
+/// allocations, so cloning/holding a rope does not copy fragment content.
+#[derive(Debug, Clone, Default)]
+pub struct AssembledRope {
+    pub segments: Vec<Bytes>,
+    pub stats: AssemblyStats,
+}
+
+impl AssembledRope {
+    /// Total page length in bytes.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(Bytes::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(Bytes::is_empty)
+    }
+
+    /// Flatten into one contiguous buffer (one copy of every byte).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len());
+        for seg in &self.segments {
+            out.extend_from_slice(seg);
+        }
+        out
+    }
+
+    /// Flatten into a single [`Bytes`]. A rope of exactly one segment is
+    /// returned as-is (zero-copy — the common case for fully-cached pages
+    /// with no chrome).
+    pub fn to_bytes(&self) -> Bytes {
+        if self.segments.len() == 1 {
+            return self.segments[0].clone();
+        }
+        Bytes::from(self.to_vec())
+    }
+
+    /// Copy every segment into `out` in order.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.len());
+        for seg in &self.segments {
+            out.extend_from_slice(seg);
+        }
+    }
+}
+
+/// Assemble `template` against `store`, returning a zero-copy rope.
 ///
 /// Errors indicate the proxy must fall back to a bypass fetch; they never
 /// result in a wrong page being served.
-pub fn assemble(template: &[u8], store: &FragmentStore) -> Result<AssembledPage, AssembleError> {
+pub fn assemble_rope(
+    template: &[u8],
+    store: &FragmentStore,
+) -> Result<AssembledRope, AssembleError> {
     let mut scanner = Scanner::new(template).ok_or(AssembleError::Malformed {
         offset: 0,
         reason: "missing template preamble",
     })?;
-    let mut html = Vec::with_capacity(template.len() * 2);
-    let mut stats = AssemblyStats {
-        template_bytes: template.len() as u64,
-        ..AssemblyStats::default()
+    let mut rope = AssembledRope {
+        segments: Vec::with_capacity(8),
+        stats: AssemblyStats {
+            template_bytes: template.len() as u64,
+            ..AssemblyStats::default()
+        },
     };
+    // Pending run of literal bytes, flushed when a fragment interrupts it.
+    // Coalescing matters: escaped sentinels arrive as 1-byte literal ops.
+    let mut literal_run: Vec<u8> = Vec::new();
     while let Some(op) = scanner.next()? {
         match op {
             Op::Literal(bytes) => {
-                stats.literal_bytes += bytes.len() as u64;
-                html.extend_from_slice(bytes);
+                rope.stats.literal_bytes += bytes.len() as u64;
+                literal_run.extend_from_slice(bytes);
             }
             Op::Get(key) => {
-                let fragment = store
-                    .get(key)
-                    .ok_or(AssembleError::MissingFragment(key))?;
-                stats.gets += 1;
-                stats.get_bytes += fragment.len() as u64;
-                html.extend_from_slice(&fragment);
+                let fragment = store.get(key).ok_or(AssembleError::MissingFragment(key))?;
+                rope.stats.gets += 1;
+                rope.stats.get_bytes += fragment.len() as u64;
+                flush_literals(&mut rope.segments, &mut literal_run);
+                // Zero-copy splice: the rope shares the slot's buffer.
+                rope.segments.push(fragment);
             }
             Op::Set { key, content } => {
-                if !store.set(key, Bytes::copy_from_slice(content)) {
+                // One copy total: the shared buffer is installed in the
+                // slot array and spliced into the page.
+                let shared = Bytes::copy_from_slice(content);
+                if !store.set(key, shared.clone()) {
                     return Err(AssembleError::KeyOutOfRange(key));
                 }
-                stats.sets += 1;
-                stats.set_bytes += content.len() as u64;
-                html.extend_from_slice(content);
+                rope.stats.sets += 1;
+                rope.stats.set_bytes += content.len() as u64;
+                flush_literals(&mut rope.segments, &mut literal_run);
+                rope.segments.push(shared);
             }
         }
     }
-    Ok(AssembledPage { html, stats })
+    flush_literals(&mut rope.segments, &mut literal_run);
+    Ok(rope)
+}
+
+fn flush_literals(segments: &mut Vec<Bytes>, run: &mut Vec<u8>) {
+    if !run.is_empty() {
+        segments.push(Bytes::from(std::mem::take(run)));
+    }
+}
+
+/// Assemble `template` against `store` into contiguous bytes.
+///
+/// Thin adapter over [`assemble_rope`] for callers that need a flat
+/// buffer; new code on the hot path should prefer the rope.
+pub fn assemble(template: &[u8], store: &FragmentStore) -> Result<AssembledPage, AssembleError> {
+    let rope = assemble_rope(template, store)?;
+    Ok(AssembledPage {
+        html: rope.to_vec(),
+        stats: rope.stats,
+    })
 }
 
 /// Assemble without mutating the store: `SET`s are *not* installed. Used by
@@ -102,9 +195,7 @@ pub fn assemble_readonly(
                 html.extend_from_slice(bytes);
             }
             Op::Get(key) => {
-                let fragment = store
-                    .get(key)
-                    .ok_or(AssembleError::MissingFragment(key))?;
+                let fragment = store.get(key).ok_or(AssembleError::MissingFragment(key))?;
                 stats.gets += 1;
                 stats.get_bytes += fragment.len() as u64;
                 html.extend_from_slice(&fragment);
@@ -152,6 +243,64 @@ mod tests {
         assert_eq!(page.stats.literal_bytes, 9);
         // The SET was installed for future GETs.
         assert_eq!(store.get(DpcKey(2)).unwrap(), Bytes::from_static(b"FRESH"));
+    }
+
+    #[test]
+    fn rope_matches_flat_assembly_and_splices_by_reference() {
+        let store = store_with(&[(1, b"CACHED-FRAGMENT")]);
+        let mut t = Vec::new();
+        write_preamble(&mut t);
+        write_literal(&mut t, b"<a>");
+        write_get(&mut t, DpcKey(1));
+        write_set(&mut t, DpcKey(2), b"FRESH");
+        write_literal(&mut t, b"<c>");
+        let rope = assemble_rope(&t, &store).unwrap();
+        assert_eq!(rope.to_vec(), b"<a>CACHED-FRAGMENTFRESH<c>".to_vec());
+        assert_eq!(rope.len(), 26);
+        assert!(!rope.is_empty());
+        // Segments: literal, GET splice, SET splice, literal.
+        assert_eq!(rope.segments.len(), 4);
+        // The GET segment is the slot's buffer, not a copy.
+        assert_eq!(rope.segments[1], store.get(DpcKey(1)).unwrap());
+        // The SET segment shares the buffer just installed in slot 2.
+        assert_eq!(rope.segments[2], store.get(DpcKey(2)).unwrap());
+        // Adapter agrees byte-for-byte, stats and all.
+        let flat = assemble(&t, &store).unwrap();
+        assert_eq!(flat.html, rope.to_vec());
+        assert_eq!(flat.stats, rope.stats);
+        // write_into appends.
+        let mut out = b"pre:".to_vec();
+        rope.write_into(&mut out);
+        assert_eq!(&out[..4], b"pre:");
+        assert_eq!(&out[4..], &flat.html[..]);
+    }
+
+    #[test]
+    fn rope_coalesces_literal_runs() {
+        let store = FragmentStore::new(8);
+        let mut t = Vec::new();
+        write_preamble(&mut t);
+        // Escaped sentinels split literals into 1-byte ops; the rope must
+        // still come back as a single segment.
+        write_literal(&mut t, &[b'a', 0x01, b'b', 0x01, b'c']);
+        write_literal(&mut t, b"tail");
+        let rope = assemble_rope(&t, &store).unwrap();
+        assert_eq!(rope.segments.len(), 1);
+        assert_eq!(
+            rope.to_vec(),
+            vec![b'a', 0x01, b'b', 0x01, b'c', b't', b'a', b'i', b'l']
+        );
+    }
+
+    #[test]
+    fn rope_single_segment_to_bytes_is_the_fragment() {
+        let store = store_with(&[(3, b"ONLY")]);
+        let mut t = Vec::new();
+        write_preamble(&mut t);
+        write_get(&mut t, DpcKey(3));
+        let rope = assemble_rope(&t, &store).unwrap();
+        assert_eq!(rope.segments.len(), 1);
+        assert_eq!(rope.to_bytes(), Bytes::from_static(b"ONLY"));
     }
 
     #[test]
@@ -215,5 +364,8 @@ mod tests {
         let page = assemble(&t, &store).unwrap();
         assert!(page.html.is_empty());
         assert_eq!(page.stats.template_bytes, t.len() as u64);
+        let rope = assemble_rope(&t, &store).unwrap();
+        assert!(rope.is_empty());
+        assert_eq!(rope.len(), 0);
     }
 }

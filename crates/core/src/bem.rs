@@ -106,6 +106,13 @@ impl Bem {
         &self.directory
     }
 
+    /// The configuration this BEM was built with (a matching DPC store
+    /// should be sized with `config().capacity` and
+    /// `config().effective_shards()`).
+    pub fn config(&self) -> &BemConfig {
+        &self.config
+    }
+
     /// The intermediate-object cache (the BEM's second function).
     pub fn objects(&self) -> &ObjectCache {
         &self.objects
@@ -243,7 +250,9 @@ impl TemplateWriter<'_> {
                 produce(&mut self.buf);
             }
             let generated = (self.buf.len() - mark) as u64;
-            stats.generated_bytes.fetch_add(generated, Ordering::Relaxed);
+            stats
+                .generated_bytes
+                .fetch_add(generated, Ordering::Relaxed);
             if !policy.cacheable {
                 stats.uncacheable_fragments.fetch_add(1, Ordering::Relaxed);
             }
@@ -318,7 +327,9 @@ impl TemplateWriter<'_> {
             let mark = self.buf.len();
             let _deps = produce(&mut self.buf);
             let generated = (self.buf.len() - mark) as u64;
-            stats.generated_bytes.fetch_add(generated, Ordering::Relaxed);
+            stats
+                .generated_bytes
+                .fetch_add(generated, Ordering::Relaxed);
             return false;
         }
         if self.bem.draw_force_miss() {
@@ -427,9 +438,11 @@ mod tests {
         let make = |bem: &Bem| {
             let mut w = bem.template_writer();
             w.literal(b"<html>");
-            w.fragment(&nav_id(), FragmentPolicy::ttl(Duration::from_secs(60)), |b| {
-                b.extend_from_slice(b"NAVIGATION-BAR-CONTENT")
-            });
+            w.fragment(
+                &nav_id(),
+                FragmentPolicy::ttl(Duration::from_secs(60)),
+                |b| b.extend_from_slice(b"NAVIGATION-BAR-CONTENT"),
+            );
             w.literal(b"</html>");
             w.finish()
         };
@@ -448,9 +461,11 @@ mod tests {
         let make = |bem: &Bem| {
             let mut w = bem.template_writer();
             w.literal(b"<body>");
-            w.fragment(&nav_id(), FragmentPolicy::ttl(Duration::from_secs(60)), |b| {
-                b.extend_from_slice(b"NAV")
-            });
+            w.fragment(
+                &nav_id(),
+                FragmentPolicy::ttl(Duration::from_secs(60)),
+                |b| b.extend_from_slice(b"NAV"),
+            );
             w.literal(b"</body>");
             w.finish()
         };
@@ -466,9 +481,11 @@ mod tests {
         let bem = Bem::new(BemConfig::default().with_enabled(false));
         let mut w = bem.template_writer();
         w.literal(b"<p>");
-        w.fragment(&nav_id(), FragmentPolicy::ttl(Duration::from_secs(60)), |b| {
-            b.extend_from_slice(b"NAV")
-        });
+        w.fragment(
+            &nav_id(),
+            FragmentPolicy::ttl(Duration::from_secs(60)),
+            |b| b.extend_from_slice(b"NAV"),
+        );
         w.literal(b"</p>");
         let page = w.finish();
         assert_eq!(page, b"<p>NAV</p>".to_vec());
@@ -480,16 +497,20 @@ mod tests {
         let bem = bem_with(16);
         // Warm the cache.
         let mut w = bem.template_writer();
-        w.fragment(&nav_id(), FragmentPolicy::ttl(Duration::from_secs(60)), |b| {
-            b.extend_from_slice(b"NAV")
-        });
+        w.fragment(
+            &nav_id(),
+            FragmentPolicy::ttl(Duration::from_secs(60)),
+            |b| b.extend_from_slice(b"NAV"),
+        );
         let _ = w.finish();
         let before = bem.directory_stats();
         // Bypass: full content, no instructions, no stat movement.
         let mut w = bem.bypass_writer();
-        let ran = !w.fragment(&nav_id(), FragmentPolicy::ttl(Duration::from_secs(60)), |b| {
-            b.extend_from_slice(b"NAV")
-        });
+        let ran = !w.fragment(
+            &nav_id(),
+            FragmentPolicy::ttl(Duration::from_secs(60)),
+            |b| b.extend_from_slice(b"NAV"),
+        );
         let page = w.finish();
         assert!(ran);
         assert_eq!(page, b"NAV".to_vec());
@@ -510,25 +531,20 @@ mod tests {
             let _ = w.finish();
         }
         assert_eq!(bem.directory_stats().misses, 0);
-        assert_eq!(
-            bem.stats().uncacheable_fragments.load(Ordering::Relaxed),
-            3
-        );
+        assert_eq!(bem.stats().uncacheable_fragments.load(Ordering::Relaxed), 3);
     }
 
     #[test]
     fn ttl_expiry_causes_regeneration() {
         let (clock, handle) = Clock::virtual_clock();
-        let bem = Bem::new(
-            BemConfig::default()
-                .with_capacity(8)
-                .with_clock(clock),
-        );
+        let bem = Bem::new(BemConfig::default().with_capacity(8).with_clock(clock));
         let serve = |bem: &Bem| {
             let mut w = bem.template_writer();
-            let hit = w.fragment(&nav_id(), FragmentPolicy::ttl(Duration::from_secs(30)), |b| {
-                b.extend_from_slice(b"X")
-            });
+            let hit = w.fragment(
+                &nav_id(),
+                FragmentPolicy::ttl(Duration::from_secs(30)),
+                |b| b.extend_from_slice(b"X"),
+            );
             let _ = w.finish();
             hit
         };
@@ -543,9 +559,7 @@ mod tests {
     fn data_dependency_invalidation() {
         let bem = bem_with(8);
         let id = FragmentId::with_params("quote", &[("sym", "IBM")]);
-        let policy = || {
-            FragmentPolicy::ttl(Duration::from_secs(600)).with_deps(&["quotes/IBM"])
-        };
+        let policy = || FragmentPolicy::ttl(Duration::from_secs(600)).with_deps(&["quotes/IBM"]);
         let serve = |bem: &Bem| {
             let mut w = bem.template_writer();
             let hit = w.fragment(&id, policy(), |b| b.extend_from_slice(b"$100"));
@@ -610,8 +624,12 @@ mod tests {
         let id1 = FragmentId::new("a");
         let id2 = FragmentId::new("b");
         let mut w = bem.template_writer();
-        w.fragment(&id1, FragmentPolicy::pinned(), |b| b.extend_from_slice(b"A"));
-        w.fragment(&id2, FragmentPolicy::pinned(), |b| b.extend_from_slice(b"B"));
+        w.fragment(&id1, FragmentPolicy::pinned(), |b| {
+            b.extend_from_slice(b"A")
+        });
+        w.fragment(&id2, FragmentPolicy::pinned(), |b| {
+            b.extend_from_slice(b"B")
+        });
         let t = w.finish();
         let page = assemble(&t, &store).unwrap();
         assert_eq!(page.html, b"AB".to_vec());
@@ -646,7 +664,10 @@ mod tests {
             let hit = w.fragment_lazy(&nav_id(), Duration::from_secs(600), |out| {
                 runs.set(runs.get() + 1);
                 out.extend_from_slice(b"ROWS");
-                vec!["headlines/SYM0-h0".to_owned(), "headlines/SYM0-h1".to_owned()]
+                vec![
+                    "headlines/SYM0-h0".to_owned(),
+                    "headlines/SYM0-h1".to_owned(),
+                ]
             });
             let _ = w.finish();
             hit

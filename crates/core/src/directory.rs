@@ -1,4 +1,4 @@
-//! The BEM's cache directory and freeList.
+//! The BEM's cache directory and freeList — sharded for multi-core scaling.
 //!
 //! Paper, §4.3.3: the directory tracks, per fragment, the `fragmentID`, the
 //! `dpcKey`, an `isValid` flag and a `ttl`. Keys are drawn from a
@@ -8,15 +8,40 @@
 //! reassigned and the next `SET` overwrites them. This gives coherence with
 //! zero proxy-bound messages.
 //!
+//! ## Sharding
+//!
+//! The 2002 system ran one request at a time per CPU; a production origin
+//! runs tens of worker threads, and a single directory mutex caps the whole
+//! BEM at one effective core. The directory is therefore split into N
+//! shards (configured by [`BemConfig::shards`], clamped to `capacity`):
+//!
+//! * a fragment belongs to the shard selected by a hash of its
+//!   `FragmentId`, so all state for one fragment — entry, dependency
+//!   registrations, replacement bookkeeping — lives under exactly one
+//!   shard lock;
+//! * the global key space `0..capacity` is partitioned into contiguous
+//!   segments, one per shard; each shard allocates keys only from its own
+//!   segment and keeps its own freeList, so key conservation holds
+//!   per-shard and therefore globally;
+//! * each shard runs its own replacement manager: eviction decisions never
+//!   take a cross-shard lock.
+//!
+//! The paper's coherence argument is untouched: a `dpcKey` still means
+//! "slot *k* at the DPC" regardless of which shard issued it, keys still
+//! cycle through {valid, freeList} within their owning shard, and a key is
+//! never live in two shards because segments are disjoint. Operations that
+//! are cross-fragment by nature (dependency invalidation, full sweeps,
+//! stats) visit shards one at a time; they are off the request hot path.
+//!
 //! Three events retire a valid entry:
 //!
 //! * **TTL expiry** — checked lazily on lookup and eagerly by
 //!   [`CacheDirectory::sweep_expired`].
 //! * **Data-source invalidation** — an update to an underlying table/key
 //!   invalidates every fragment registered as depending on it.
-//! * **Replacement** — when all `capacity` keys are valid and a new fragment
-//!   needs one, the replacement manager picks a victim (policy-pluggable,
-//!   see [`crate::replace`]).
+//! * **Replacement** — when all of a shard's keys are valid and a new
+//!   fragment needs one, the shard's replacement manager picks a victim
+//!   (policy-pluggable, see [`crate::replace`]).
 
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -24,9 +49,9 @@ use std::time::Duration;
 
 use dpc_net::Clock;
 
-use crate::config::{BemConfig, ReplacePolicy};
+use crate::config::BemConfig;
 use crate::key::{DpcKey, FragmentId};
-use crate::replace::{ClockReplacer, FifoReplacer, LruReplacer, Replacer};
+use crate::replace::{make_replacer, Replacer};
 
 /// Outcome of a directory lookup for a cacheable fragment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +61,7 @@ pub enum Lookup {
     /// Fragment was absent/invalid/expired; a key has been allocated and
     /// the entry marked valid: generate content and emit `SET key`.
     Miss(DpcKey),
-    /// The directory is full and the replacement policy yielded no victim:
+    /// The shard is full and the replacement policy yielded no victim:
     /// generate content inline, uncached.
     Uncacheable,
 }
@@ -63,7 +88,7 @@ struct Entry {
     seq: u64,
 }
 
-/// Counter snapshot for the directory.
+/// Counter snapshot for the directory (aggregated over all shards).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DirectoryStats {
     pub hits: u64,
@@ -79,6 +104,8 @@ pub struct DirectoryStats {
     pub valid_entries: usize,
     pub total_entries: usize,
     pub free_keys: usize,
+    /// Number of lock shards the directory runs.
+    pub shards: usize,
 }
 
 impl DirectoryStats {
@@ -93,12 +120,13 @@ impl DirectoryStats {
     }
 }
 
+/// Mutable state of one shard, all under a single mutex.
 struct Inner {
     entries: HashMap<FragmentId, Entry>,
-    /// Owner of each *valid* key.
+    /// Owner of each *valid* key in this shard's segment.
     key_owner: HashMap<DpcKey, FragmentId>,
     free_list: VecDeque<DpcKey>,
-    /// Keys `0..next_fresh` have been handed out at least once.
+    /// Keys `key_lo..next_fresh` have been handed out at least once.
     next_fresh: u32,
     replacer: Box<dyn Replacer>,
     dep_index: HashMap<String, HashSet<FragmentId>>,
@@ -112,49 +140,100 @@ struct Inner {
     uncacheable: u64,
 }
 
-/// Thread-safe cache directory.
+/// One lock shard: a contiguous key segment plus its directory state.
+struct Shard {
+    /// First key this shard allocates (inclusive).
+    key_lo: u32,
+    /// One past the last key this shard allocates.
+    key_hi: u32,
+    garbage_limit: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Shard {
+    fn capacity(&self) -> usize {
+        (self.key_hi - self.key_lo) as usize
+    }
+}
+
+/// Thread-safe, sharded cache directory.
 pub struct CacheDirectory {
     clock: Clock,
     capacity: usize,
-    garbage_limit: usize,
-    inner: Mutex<Inner>,
+    shards: Box<[Shard]>,
+}
+
+/// FNV-1a over the fragment id's canonical bytes: deterministic across
+/// runs (reproducible experiments) and cheap enough to be invisible next
+/// to the HashMap probe that follows.
+fn shard_hash(id: &FragmentId) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in id.as_str().as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl CacheDirectory {
     /// Build a directory from the BEM configuration.
     pub fn new(config: &BemConfig) -> CacheDirectory {
-        let replacer: Box<dyn Replacer> = match config.replace {
-            ReplacePolicy::Lru => Box::new(LruReplacer::new()),
-            ReplacePolicy::Clock => Box::new(ClockReplacer::new()),
-            ReplacePolicy::Fifo => Box::new(FifoReplacer::new()),
-            ReplacePolicy::None => Box::new(NoReplacer::default()),
-        };
+        let capacity = config.capacity;
+        let n = config.effective_shards();
+        let shards: Vec<Shard> = (0..n)
+            .map(|i| {
+                // Contiguous segments [i*cap/n, (i+1)*cap/n): they tile the
+                // key space exactly, so per-shard key conservation implies
+                // the global invariant.
+                let key_lo = (capacity * i / n) as u32;
+                let key_hi = (capacity * (i + 1) / n) as u32;
+                let shard_cap = (key_hi - key_lo) as usize;
+                Shard {
+                    key_lo,
+                    key_hi,
+                    garbage_limit: shard_cap
+                        .max(16)
+                        .saturating_mul(config.garbage_factor.max(1)),
+                    inner: Mutex::new(Inner {
+                        entries: HashMap::new(),
+                        key_owner: HashMap::new(),
+                        free_list: VecDeque::new(),
+                        next_fresh: key_lo,
+                        replacer: make_replacer(config.replace),
+                        dep_index: HashMap::new(),
+                        seq: 0,
+                        hits: 0,
+                        misses: 0,
+                        node_misses: 0,
+                        expirations: 0,
+                        invalidations: 0,
+                        evictions: 0,
+                        uncacheable: 0,
+                    }),
+                }
+            })
+            .collect();
         CacheDirectory {
             clock: config.clock.clone(),
-            capacity: config.capacity,
-            garbage_limit: config.capacity.max(16).saturating_mul(config.garbage_factor.max(1)),
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                key_owner: HashMap::new(),
-                free_list: VecDeque::new(),
-                next_fresh: 0,
-                replacer,
-                dep_index: HashMap::new(),
-                seq: 0,
-                hits: 0,
-                misses: 0,
-                node_misses: 0,
-                expirations: 0,
-                invalidations: 0,
-                evictions: 0,
-                uncacheable: 0,
-            }),
+            capacity,
+            shards: shards.into_boxed_slice(),
         }
     }
 
     /// Maximum number of simultaneously valid fragments (= DPC slots).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, id: &FragmentId) -> &Shard {
+        // Shard counts are powers of two (see `BemConfig::effective_shards`),
+        // so selection is a mask, not a division.
+        &self.shards[(shard_hash(id) & (self.shards.len() as u64 - 1)) as usize]
     }
 
     /// Look up `id`; on miss, allocate a key, register `deps`, and mark the
@@ -179,7 +258,8 @@ impl CacheDirectory {
         assert!(node < 64, "at most 64 DPC nodes are supported");
         let node_bit = 1u64 << node;
         let now = self.clock.now_nanos();
-        let mut inner = self.inner.lock();
+        let shard = self.shard_for(id);
+        let mut inner = shard.inner.lock();
         let inner = &mut *inner;
 
         if let Some(entry) = inner.entries.get_mut(id) {
@@ -210,9 +290,9 @@ impl CacheDirectory {
                 entry.deps.clear();
             }
         }
-        // Miss path: allocate a key (freeList, then fresh key space, then
-        // replacement).
-        let key = match Self::allocate_key(inner, self.capacity) {
+        // Miss path: allocate a key (freeList, then the shard's fresh key
+        // segment, then replacement).
+        let key = match Self::allocate_key(inner, shard.key_hi) {
             Some(k) => k,
             None => {
                 inner.uncacheable += 1;
@@ -244,7 +324,7 @@ impl CacheDirectory {
         inner.entries.insert(id.clone(), entry);
         inner.key_owner.insert(key, id.clone());
         inner.replacer.on_insert(key);
-        Self::collect_garbage(inner, self.garbage_limit);
+        Self::collect_garbage(inner, shard.garbage_limit);
         Lookup::Miss(key)
     }
 
@@ -257,7 +337,7 @@ impl CacheDirectory {
     /// path, then registers the discovered deps — so the dependency query
     /// is never executed on the hit path.
     pub fn add_deps(&self, id: &FragmentId, deps: &[String]) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard_for(id).inner.lock();
         let inner = &mut *inner;
         let Some(entry) = inner.entries.get_mut(id) else {
             return false;
@@ -278,24 +358,31 @@ impl CacheDirectory {
         true
     }
 
-    /// Mark `id` invalid, returning its key to the freeList. Returns true
-    /// when the entry was valid.
+    /// Mark `id` invalid, returning its key to its shard's freeList.
+    /// Returns true when the entry was valid.
     pub fn invalidate(&self, id: &FragmentId) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = self.shard_for(id).inner.lock();
         Self::invalidate_locked(&mut inner, id)
     }
 
     /// Invalidate every fragment registered as depending on `dep`.
     /// Returns the number of fragments invalidated.
+    ///
+    /// Dependents may live in any shard (the dep index is shard-local to
+    /// keep registration on the miss path lock-free across shards), so this
+    /// visits every shard — acceptable, because data-source updates are
+    /// orders of magnitude rarer than lookups.
     pub fn invalidate_dep(&self, dep: &str) -> usize {
-        let mut inner = self.inner.lock();
-        let Some(ids) = inner.dep_index.get(dep).cloned() else {
-            return 0;
-        };
         let mut n = 0;
-        for id in ids {
-            if Self::invalidate_locked(&mut inner, &id) {
-                n += 1;
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            let Some(ids) = inner.dep_index.get(dep).cloned() else {
+                continue;
+            };
+            for id in ids {
+                if Self::invalidate_locked(&mut inner, &id) {
+                    n += 1;
+                }
             }
         }
         n
@@ -303,20 +390,19 @@ impl CacheDirectory {
 
     /// Invalidate everything (origin data reload).
     pub fn invalidate_all(&self) -> usize {
-        let ids: Vec<FragmentId> = {
-            let inner = self.inner.lock();
-            inner
+        let mut n = 0;
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            let ids: Vec<FragmentId> = inner
                 .entries
                 .iter()
                 .filter(|(_, e)| e.is_valid)
                 .map(|(id, _)| id.clone())
-                .collect()
-        };
-        let mut inner = self.inner.lock();
-        let mut n = 0;
-        for id in &ids {
-            if Self::invalidate_locked(&mut inner, id) {
-                n += 1;
+                .collect();
+            for id in &ids {
+                if Self::invalidate_locked(&mut inner, id) {
+                    n += 1;
+                }
             }
         }
         n
@@ -325,119 +411,144 @@ impl CacheDirectory {
     /// Eagerly expire all valid entries whose TTL has passed. Returns the
     /// number expired. (The lazy check in [`lookup`](Self::lookup) makes
     /// this optional; a background sweeper keeps directory gauges honest.)
+    /// Shards are swept one at a time, so concurrent lookups on other
+    /// shards proceed unblocked.
     pub fn sweep_expired(&self) -> usize {
         let now = self.clock.now_nanos();
-        let expired: Vec<FragmentId> = {
-            let inner = self.inner.lock();
-            inner
+        let mut n = 0;
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            let expired: Vec<FragmentId> = inner
                 .entries
                 .iter()
                 .filter(|(_, e)| e.is_valid && e.expires_at <= now)
                 .map(|(id, _)| id.clone())
-                .collect()
-        };
-        let mut inner = self.inner.lock();
-        let mut n = 0;
-        for id in &expired {
-            // Re-check validity under the lock (raced lookups may have
-            // already expired or refreshed the entry).
-            let still_expired = inner
-                .entries
-                .get(id)
-                .is_some_and(|e| e.is_valid && e.expires_at <= now);
-            if still_expired && Self::invalidate_locked(&mut inner, id) {
-                inner.invalidations -= 1; // reclassify:
-                inner.expirations += 1; // it expired, wasn't invalidated
-                n += 1;
+                .collect();
+            for id in &expired {
+                if Self::invalidate_locked(&mut inner, id) {
+                    inner.invalidations -= 1; // reclassify:
+                    inner.expirations += 1; // it expired, wasn't invalidated
+                    n += 1;
+                }
             }
         }
         n
     }
 
-    /// Counter/gauge snapshot.
+    /// Counter/gauge snapshot, aggregated over all shards.
     pub fn stats(&self) -> DirectoryStats {
-        let inner = self.inner.lock();
-        DirectoryStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            node_misses: inner.node_misses,
-            expirations: inner.expirations,
-            invalidations: inner.invalidations,
-            evictions: inner.evictions,
-            uncacheable: inner.uncacheable,
-            valid_entries: inner.key_owner.len(),
-            total_entries: inner.entries.len(),
-            free_keys: inner.free_list.len(),
+        let mut stats = DirectoryStats {
+            shards: self.shards.len(),
+            ..DirectoryStats::default()
+        };
+        for shard in &self.shards {
+            let inner = shard.inner.lock();
+            stats.hits += inner.hits;
+            stats.misses += inner.misses;
+            stats.node_misses += inner.node_misses;
+            stats.expirations += inner.expirations;
+            stats.invalidations += inner.invalidations;
+            stats.evictions += inner.evictions;
+            stats.uncacheable += inner.uncacheable;
+            stats.valid_entries += inner.key_owner.len();
+            stats.total_entries += inner.entries.len();
+            stats.free_keys += inner.free_list.len();
         }
+        stats
+    }
+
+    /// Number of valid entries per shard — balance diagnostics for tests
+    /// and benches.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().key_owner.len())
+            .collect()
     }
 
     /// Verify internal invariants; returns a description of the first
-    /// violation. Used heavily by the property-based tests.
+    /// violation. Used heavily by the randomized property tests.
     ///
-    /// Invariants:
-    /// 1. every key is in exactly one of {valid (key_owner), freeList,
-    ///    never-allocated};
-    /// 2. the freeList contains no duplicates and only allocated keys;
+    /// Invariants, per shard (their conjunction gives the global ones,
+    /// because shard key segments tile `0..capacity` disjointly):
+    /// 1. every key in the shard's segment is in exactly one of {valid
+    ///    (key_owner), freeList, never-allocated};
+    /// 2. the freeList contains no duplicates and only keys from the
+    ///    shard's own allocated range;
     /// 3. the replacer tracks exactly the valid keys;
-    /// 4. at most `capacity` keys exist in total.
+    /// 4. at most `segment` keys exist in the shard — hence at most
+    ///    `capacity` in total.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let inner = self.inner.lock();
-        let allocated = inner.next_fresh as usize;
-        if allocated > self.capacity {
+        let mut total_allocated = 0usize;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let inner = shard.inner.lock();
+            let allocated = (inner.next_fresh - shard.key_lo) as usize;
+            total_allocated += allocated;
+            if allocated > shard.capacity() {
+                return Err(format!(
+                    "shard {s} allocated {allocated} keys > segment {}",
+                    shard.capacity()
+                ));
+            }
+            let mut seen = HashSet::new();
+            for key in &inner.free_list {
+                if key.0 < shard.key_lo || key.0 >= inner.next_fresh {
+                    return Err(format!(
+                        "shard {s} freeList holds out-of-segment or never-allocated key {key}"
+                    ));
+                }
+                if !seen.insert(*key) {
+                    return Err(format!("shard {s} freeList holds duplicate key {key}"));
+                }
+                if inner.key_owner.contains_key(key) {
+                    return Err(format!("shard {s}: key {key} is both free and valid"));
+                }
+            }
+            if inner.key_owner.len() + inner.free_list.len() != allocated {
+                return Err(format!(
+                    "shard {s} key conservation violated: {} valid + {} free != {} allocated",
+                    inner.key_owner.len(),
+                    inner.free_list.len(),
+                    allocated
+                ));
+            }
+            if inner.replacer.len() != inner.key_owner.len() {
+                return Err(format!(
+                    "shard {s} replacer tracks {} keys but {} are valid",
+                    inner.replacer.len(),
+                    inner.key_owner.len()
+                ));
+            }
+            for (key, id) in &inner.key_owner {
+                match inner.entries.get(id) {
+                    Some(e) if e.is_valid && e.dpc_key == *key => {}
+                    _ => return Err(format!("shard {s} key_owner[{key}] = {id} is inconsistent")),
+                }
+            }
+        }
+        if total_allocated > self.capacity {
             return Err(format!(
-                "allocated {allocated} keys > capacity {}",
+                "allocated {total_allocated} keys > capacity {}",
                 self.capacity
             ));
-        }
-        let mut seen = HashSet::new();
-        for key in &inner.free_list {
-            if key.index() >= allocated {
-                return Err(format!("freeList holds never-allocated key {key}"));
-            }
-            if !seen.insert(*key) {
-                return Err(format!("freeList holds duplicate key {key}"));
-            }
-            if inner.key_owner.contains_key(key) {
-                return Err(format!("key {key} is both free and valid"));
-            }
-        }
-        if inner.key_owner.len() + inner.free_list.len() != allocated {
-            return Err(format!(
-                "key conservation violated: {} valid + {} free != {} allocated",
-                inner.key_owner.len(),
-                inner.free_list.len(),
-                allocated
-            ));
-        }
-        if inner.replacer.len() != inner.key_owner.len() {
-            return Err(format!(
-                "replacer tracks {} keys but {} are valid",
-                inner.replacer.len(),
-                inner.key_owner.len()
-            ));
-        }
-        for (key, id) in &inner.key_owner {
-            match inner.entries.get(id) {
-                Some(e) if e.is_valid && e.dpc_key == *key => {}
-                _ => return Err(format!("key_owner[{key}] = {id} is inconsistent")),
-            }
         }
         Ok(())
     }
 
     // -- internals ----------------------------------------------------------
 
-    fn allocate_key(inner: &mut Inner, capacity: usize) -> Option<DpcKey> {
+    fn allocate_key(inner: &mut Inner, key_hi: u32) -> Option<DpcKey> {
         if let Some(key) = inner.free_list.pop_front() {
             return Some(key);
         }
-        if (inner.next_fresh as usize) < capacity {
+        if inner.next_fresh < key_hi {
             let key = DpcKey(inner.next_fresh);
             inner.next_fresh += 1;
             return Some(key);
         }
-        // All keys in use and valid: ask the replacement manager for a
-        // victim and take its key over directly (no freeList round trip).
+        // All of this shard's keys are in use and valid: ask the shard's
+        // replacement manager for a victim and take its key over directly
+        // (no freeList round trip).
         let victim_key = inner.replacer.pick_victim()?;
         let victim_id = inner
             .key_owner
@@ -509,27 +620,168 @@ impl CacheDirectory {
     }
 }
 
-/// Policy `None`: tracks membership (for the invariants) but never evicts.
-#[derive(Default)]
-struct NoReplacer {
-    members: std::collections::HashSet<DpcKey>,
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReplacePolicy;
 
-impl Replacer for NoReplacer {
-    fn on_insert(&mut self, key: DpcKey) {
-        self.members.insert(key);
+    fn dir_with(capacity: usize, shards: usize) -> CacheDirectory {
+        CacheDirectory::new(
+            &BemConfig::default()
+                .with_capacity(capacity)
+                .with_shards(shards),
+        )
     }
-    fn on_touch(&mut self, _key: DpcKey) {}
-    fn on_remove(&mut self, key: DpcKey) {
-        self.members.remove(&key);
+
+    #[test]
+    fn segments_tile_the_key_space() {
+        for (cap, n) in [(1usize, 16usize), (7, 3), (16, 16), (4096, 16), (10, 4)] {
+            let dir = dir_with(cap, n);
+            let mut covered = 0usize;
+            let mut prev_hi = 0u32;
+            for shard in dir.shards.iter() {
+                assert_eq!(shard.key_lo, prev_hi, "segments must be contiguous");
+                prev_hi = shard.key_hi;
+                covered += shard.capacity();
+            }
+            assert_eq!(covered, cap, "cap {cap} shards {n}");
+            assert_eq!(prev_hi as usize, cap);
+        }
     }
-    fn pick_victim(&mut self) -> Option<DpcKey> {
-        None
+
+    #[test]
+    fn capacity_one_collapses_to_one_shard() {
+        let dir = dir_with(1, 16);
+        assert_eq!(dir.shard_count(), 1);
     }
-    fn name(&self) -> &'static str {
-        "none"
+
+    #[test]
+    fn keys_are_unique_across_shards() {
+        let dir = dir_with(64, 8);
+        let mut keys = HashSet::new();
+        let mut reissued = 0usize;
+        for i in 0..64 {
+            let id = FragmentId::with_params("f", &[("i", &i.to_string())]);
+            match dir.lookup(&id, Duration::from_secs(60), &[]) {
+                // A key may only come back when its shard evicted the
+                // previous owner (hash imbalance overfilling a segment);
+                // two *live* fragments never share one.
+                Lookup::Miss(k) => {
+                    assert!(k.index() < 64, "key {k} out of range");
+                    if !keys.insert(k) {
+                        reissued += 1;
+                    }
+                }
+                other => panic!("expected a miss, got {other:?}"),
+            }
+        }
+        let stats = dir.stats();
+        assert_eq!(
+            reissued as u64, stats.evictions,
+            "reissue requires eviction"
+        );
+        assert_eq!(keys.len() + reissued, 64);
+        assert_eq!(stats.valid_entries, 64 - reissued);
+        dir.check_invariants().unwrap();
     }
-    fn len(&self) -> usize {
-        self.members.len()
+
+    #[test]
+    fn lookup_is_sticky_to_one_key() {
+        let dir = dir_with(32, 4);
+        let id = FragmentId::new("navbar");
+        let Lookup::Miss(k) = dir.lookup(&id, Duration::from_secs(60), &[]) else {
+            panic!("first lookup must miss");
+        };
+        for _ in 0..5 {
+            assert_eq!(
+                dir.lookup(&id, Duration::from_secs(60), &[]),
+                Lookup::Hit(k)
+            );
+        }
+    }
+
+    #[test]
+    fn invalidate_returns_key_to_owning_shard() {
+        let dir = dir_with(32, 8);
+        let id = FragmentId::new("victim");
+        let Lookup::Miss(k) = dir.lookup(&id, Duration::from_secs(60), &[]) else {
+            panic!("must miss");
+        };
+        assert!(dir.invalidate(&id));
+        dir.check_invariants().unwrap();
+        // The same fragment re-misses and reuses the freed key (it pops the
+        // shard's freeList before fresh space).
+        assert_eq!(
+            dir.lookup(&id, Duration::from_secs(60), &[]),
+            Lookup::Miss(k)
+        );
+    }
+
+    #[test]
+    fn dep_invalidation_reaches_all_shards() {
+        let dir = dir_with(256, 16);
+        // Many fragments sharing one dependency, scattered across shards.
+        for i in 0..100 {
+            let id = FragmentId::with_params("row", &[("i", &i.to_string())]);
+            let _ = dir.lookup(&id, Duration::from_secs(600), &["tbl/all".to_owned()]);
+        }
+        assert_eq!(dir.invalidate_dep("tbl/all"), 100);
+        assert_eq!(dir.stats().valid_entries, 0);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn shard_occupancy_is_reasonably_balanced() {
+        let dir = dir_with(4096, 16);
+        for i in 0..1024 {
+            let id = FragmentId::with_params("f", &[("i", &i.to_string())]);
+            let _ = dir.lookup(&id, Duration::from_secs(600), &[]);
+        }
+        let occ = dir.shard_occupancy();
+        assert_eq!(occ.iter().sum::<usize>(), 1024);
+        let max = *occ.iter().max().unwrap();
+        let min = *occ.iter().min().unwrap();
+        // FNV over distinct ids: expect no shard more than ~3x the mean.
+        assert!(max <= 3 * (1024 / 16), "max {max} min {min} occ {occ:?}");
+        assert!(min > 0, "occ {occ:?}");
+    }
+
+    #[test]
+    fn full_shard_with_no_replacement_is_uncacheable() {
+        let dir = CacheDirectory::new(
+            &BemConfig::default()
+                .with_capacity(4)
+                .with_shards(1)
+                .with_replace(ReplacePolicy::None),
+        );
+        for i in 0..4 {
+            let id = FragmentId::with_params("f", &[("i", &i.to_string())]);
+            assert!(matches!(
+                dir.lookup(&id, Duration::from_secs(60), &[]),
+                Lookup::Miss(_)
+            ));
+        }
+        let id = FragmentId::new("overflow");
+        assert_eq!(
+            dir.lookup(&id, Duration::from_secs(60), &[]),
+            Lookup::Uncacheable
+        );
+        assert_eq!(dir.stats().uncacheable, 1);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let dir = dir_with(64, 8);
+        for i in 0..32 {
+            let id = FragmentId::with_params("f", &[("i", &i.to_string())]);
+            let _ = dir.lookup(&id, Duration::from_secs(60), &[]);
+            let _ = dir.lookup(&id, Duration::from_secs(60), &[]);
+        }
+        let stats = dir.stats();
+        assert_eq!(stats.misses, 32);
+        assert_eq!(stats.hits, 32);
+        assert_eq!(stats.valid_entries, 32);
+        assert_eq!(stats.shards, 8);
     }
 }

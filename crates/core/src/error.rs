@@ -36,10 +36,16 @@ impl fmt::Display for AssembleError {
                 write!(f, "malformed template at byte {offset}: {reason}")
             }
             AssembleError::TruncatedSet { key, declared } => {
-                write!(f, "SET for key {key} declares {declared} bytes but template ends early")
+                write!(
+                    f,
+                    "SET for key {key} declares {declared} bytes but template ends early"
+                )
             }
             AssembleError::MismatchedSetClose { expected } => {
-                write!(f, "SET close tag does not match open tag for key {expected}")
+                write!(
+                    f,
+                    "SET close tag does not match open tag for key {expected}"
+                )
             }
             AssembleError::KeyOutOfRange(k) => write!(f, "key {k} exceeds store capacity"),
         }

@@ -135,10 +135,7 @@ mod tests {
 
     #[test]
     fn empty_params_equals_plain() {
-        assert_eq!(
-            FragmentId::with_params("x", &[]),
-            FragmentId::new("x")
-        );
+        assert_eq!(FragmentId::with_params("x", &[]), FragmentId::new("x"));
     }
 
     #[test]

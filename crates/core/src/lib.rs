@@ -13,14 +13,18 @@
 //!   fragment stored under a `dpcKey` into the page).
 //! * [`directory`] — the BEM's **cache directory**
 //!   (`fragmentID → {dpcKey, isValid, ttl}`) plus the **freeList** of
-//!   reusable keys. Invalidation and replacement only mutate the directory;
-//!   the DPC is never told (the shared integer key makes explicit coherence
-//!   messages unnecessary — the next `SET` simply overwrites the slot).
+//!   reusable keys, sharded N ways so concurrent proxy workers never
+//!   contend on one lock. Invalidation and replacement only mutate the
+//!   directory; the DPC is never told (the shared integer key makes
+//!   explicit coherence messages unnecessary — the next `SET` simply
+//!   overwrites the slot).
 //! * [`bem`] — the Back End Monitor: the tagging API scripts wrap around
 //!   cacheable code blocks, the hit/miss decision, and template emission.
 //! * [`store`] / [`assemble`] — the DPC side: an in-memory slot array
-//!   indexed by `dpcKey`, and the single-pass scanner/assembler that turns a
-//!   template plus cached fragments into the final page.
+//!   indexed by `dpcKey` (striped over per-shard locks), and the
+//!   single-pass scanner/assembler that turns a template plus cached
+//!   fragments into the final page — as a flat buffer or as a zero-copy
+//!   rope of shared segments.
 //! * [`invalidate`] / [`replace`] — TTL + data-dependency invalidation and
 //!   pluggable replacement policies (LRU, CLOCK, FIFO).
 //! * [`objects`] — the BEM's secondary function: caching intermediate
@@ -87,9 +91,9 @@ pub mod stats;
 pub mod store;
 pub mod tag;
 
-pub use assemble::{assemble, AssembledPage, AssemblyStats};
+pub use assemble::{assemble, assemble_rope, AssembledPage, AssembledRope, AssemblyStats};
 pub use bem::{Bem, FragmentPolicy, TemplateWriter};
-pub use config::{BemConfig, ReplacePolicy};
+pub use config::{BemConfig, ReplacePolicy, DEFAULT_SHARDS};
 pub use directory::{CacheDirectory, Lookup};
 pub use error::{AssembleError, CoreError};
 pub use key::{DpcKey, FragmentId};
@@ -98,7 +102,7 @@ pub use store::FragmentStore;
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
-    pub use crate::assemble::{assemble, AssembledPage};
+    pub use crate::assemble::{assemble, assemble_rope, AssembledPage, AssembledRope};
     pub use crate::bem::{Bem, FragmentPolicy, TemplateWriter};
     pub use crate::config::{BemConfig, ReplacePolicy};
     pub use crate::key::{DpcKey, FragmentId};

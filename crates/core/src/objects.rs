@@ -159,9 +159,8 @@ mod tests {
     #[test]
     fn expiry_rebuilds() {
         let (cache, h) = cache();
-        let build = |cache: &ObjectCache| {
-            cache.get_or_insert_with("k", Duration::from_secs(10), || 42u32)
-        };
+        let build =
+            |cache: &ObjectCache| cache.get_or_insert_with("k", Duration::from_secs(10), || 42u32);
         let _ = build(&cache);
         h.advance(Duration::from_secs(11));
         let _ = build(&cache);

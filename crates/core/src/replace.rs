@@ -11,8 +11,9 @@
 //! a hit, `on_remove` on invalidation/expiry, and `pick_victim` when a new
 //! fragment needs a key but the freeList and key space are exhausted.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
+use crate::config::ReplacePolicy;
 use crate::key::DpcKey;
 
 /// Replacement policy driven by the cache directory.
@@ -32,6 +33,45 @@ pub trait Replacer: Send {
     /// True when no candidates are tracked.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Instantiate the replacer for `policy`. The sharded directory calls this
+/// once per shard: each shard runs its own independent replacement state,
+/// so victim selection never takes a cross-shard lock (replacement quality
+/// degrades only marginally — each shard approximates the policy over its
+/// own slice of the key space).
+pub fn make_replacer(policy: ReplacePolicy) -> Box<dyn Replacer> {
+    match policy {
+        ReplacePolicy::Lru => Box::new(LruReplacer::new()),
+        ReplacePolicy::Clock => Box::new(ClockReplacer::new()),
+        ReplacePolicy::Fifo => Box::new(FifoReplacer::new()),
+        ReplacePolicy::None => Box::new(NoReplacer::default()),
+    }
+}
+
+/// Policy `None`: tracks membership (for the invariants) but never evicts.
+#[derive(Default)]
+pub struct NoReplacer {
+    members: HashSet<DpcKey>,
+}
+
+impl Replacer for NoReplacer {
+    fn on_insert(&mut self, key: DpcKey) {
+        self.members.insert(key);
+    }
+    fn on_touch(&mut self, _key: DpcKey) {}
+    fn on_remove(&mut self, key: DpcKey) {
+        self.members.remove(&key);
+    }
+    fn pick_victim(&mut self) -> Option<DpcKey> {
+        None
+    }
+    fn name(&self) -> &'static str {
+        "none"
+    }
+    fn len(&self) -> usize {
+        self.members.len()
     }
 }
 

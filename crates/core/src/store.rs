@@ -1,4 +1,4 @@
-//! The DPC's fragment store.
+//! The DPC's fragment store — a sharded slot array.
 //!
 //! The paper: *"The structure of the DPC cache is straightforward: it is
 //! implemented as an in-memory array of pointers to cached fragments, where
@@ -8,16 +8,35 @@
 //! `SET`s and never explicitly cleared: an invalidated fragment's stale
 //! bytes simply sit unused until the BEM reassigns the key, as described in
 //! the paper's freeList discussion.
+//!
+//! ## Sharding
+//!
+//! A single `RwLock` over the whole array serializes every concurrent
+//! `SET` (and stalls `GET`s behind writer wake-ups) once the proxy runs
+//! many worker threads. The array is therefore striped over N shards:
+//! slot `k` lives in shard `k % N` at offset `k / N`, each shard behind
+//! its own `RwLock`. Striping (rather than contiguous segments)
+//! intentionally decorrelates store shards from the directory's contiguous
+//! key segments: a burst of `SET`s for keys freshly allocated from one
+//! directory shard still spreads across all store shards.
+//!
+//! Every public operation is keyed by a single slot and touches exactly
+//! one shard lock; whole-store walks (`occupied`, `bytes_used`, `clear`)
+//! visit shards one at a time and never block the hot path globally.
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::config::DEFAULT_SHARDS;
 use crate::key::DpcKey;
 
-/// Slot-array fragment store, shared by all proxy worker threads.
+/// Sharded slot-array fragment store, shared by all proxy worker threads.
 pub struct FragmentStore {
-    slots: RwLock<Vec<Option<Bytes>>>,
+    shards: Box<[RwLock<Vec<Option<Bytes>>>]>,
+    /// `log2(shards.len())`; slot `k` lives in shard `k & (len-1)` at
+    /// offset `k >> shard_shift`.
+    shard_shift: u32,
     capacity: usize,
     sets: AtomicU64,
     gets: AtomicU64,
@@ -26,15 +45,38 @@ pub struct FragmentStore {
 
 impl FragmentStore {
     /// A store with `capacity` slots (the BEM's directory capacity must not
-    /// exceed this).
+    /// exceed this) and the default shard count.
     pub fn new(capacity: usize) -> FragmentStore {
+        FragmentStore::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// A store with `capacity` slots striped over `shards` locks. The
+    /// count is clamped to `capacity` (so no shard is empty) and rounded
+    /// down to a power of two, making slot location a mask + shift instead
+    /// of two divisions on the hot path.
+    pub fn with_shards(capacity: usize, shards: usize) -> FragmentStore {
+        let n = crate::config::effective_shards(shards, capacity);
+        let shard_vec: Vec<RwLock<Vec<Option<Bytes>>>> = (0..n)
+            .map(|i| {
+                // Shard i holds slots {k : k % n == i}: ceil((capacity-i)/n).
+                let len = (capacity + n - 1 - i) / n;
+                RwLock::new(vec![None; len])
+            })
+            .collect();
         FragmentStore {
-            slots: RwLock::new(vec![None; capacity]),
+            shards: shard_vec.into_boxed_slice(),
+            shard_shift: n.trailing_zeros(),
             capacity,
             sets: AtomicU64::new(0),
             gets: AtomicU64::new(0),
             missing_gets: AtomicU64::new(0),
         }
+    }
+
+    #[inline]
+    fn locate(&self, key: DpcKey) -> (usize, usize) {
+        let mask = self.shards.len() - 1;
+        (key.index() & mask, key.index() >> self.shard_shift)
     }
 
     /// Store `content` under `key`, overwriting any previous content.
@@ -44,7 +86,8 @@ impl FragmentStore {
             return false;
         }
         self.sets.fetch_add(1, Ordering::Relaxed);
-        self.slots.write()[key.index()] = Some(content);
+        let (shard, slot) = self.locate(key);
+        self.shards[shard].write()[slot] = Some(content);
         true
     }
 
@@ -55,7 +98,8 @@ impl FragmentStore {
             self.missing_gets.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let out = self.slots.read()[key.index()].clone();
+        let (shard, slot) = self.locate(key);
+        let out = self.shards[shard].read()[slot].clone();
         match &out {
             Some(_) => self.gets.fetch_add(1, Ordering::Relaxed),
             None => self.missing_gets.fetch_add(1, Ordering::Relaxed),
@@ -65,9 +109,11 @@ impl FragmentStore {
 
     /// Drop all cached fragments (proxy restart in tests).
     pub fn clear(&self) {
-        let mut slots = self.slots.write();
-        for s in slots.iter_mut() {
-            *s = None;
+        for shard in self.shards.iter() {
+            let mut slots = shard.write();
+            for s in slots.iter_mut() {
+                *s = None;
+            }
         }
     }
 
@@ -76,17 +122,30 @@ impl FragmentStore {
         self.capacity
     }
 
+    /// Number of lock shards the slot array is striped over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Number of occupied slots.
     pub fn occupied(&self) -> usize {
-        self.slots.read().iter().filter(|s| s.is_some()).count()
+        self.shards
+            .iter()
+            .map(|shard| shard.read().iter().filter(|s| s.is_some()).count())
+            .sum()
     }
 
     /// Total bytes of cached fragment content.
     pub fn bytes_used(&self) -> usize {
-        self.slots
-            .read()
+        self.shards
             .iter()
-            .filter_map(|s| s.as_ref().map(Bytes::len))
+            .map(|shard| {
+                shard
+                    .read()
+                    .iter()
+                    .filter_map(|s| s.as_ref().map(Bytes::len))
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -144,6 +203,32 @@ mod tests {
         store.clear();
         assert_eq!(store.bytes_used(), 0);
         assert_eq!(store.occupied(), 0);
+    }
+
+    #[test]
+    fn every_slot_addressable_at_every_shard_count() {
+        for capacity in [1usize, 2, 7, 16, 33] {
+            for shards in [1usize, 2, 3, 8, 16, 64] {
+                let store = FragmentStore::with_shards(capacity, shards);
+                for k in 0..capacity as u32 {
+                    let content = Bytes::from(vec![k as u8; 4]);
+                    assert!(
+                        store.set(DpcKey(k), content.clone()),
+                        "cap {capacity} shards {shards} key {k}"
+                    );
+                    assert_eq!(store.get(DpcKey(k)).unwrap(), content);
+                }
+                assert_eq!(store.occupied(), capacity);
+                assert!(!store.set(DpcKey(capacity as u32), Bytes::from_static(b"x")));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps() {
+        assert_eq!(FragmentStore::with_shards(4, 16).shard_count(), 4);
+        assert_eq!(FragmentStore::with_shards(0, 16).shard_count(), 1);
+        assert_eq!(FragmentStore::new(4096).shard_count(), DEFAULT_SHARDS);
     }
 
     #[test]

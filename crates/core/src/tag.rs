@@ -238,8 +238,8 @@ impl<'a> Scanner<'a> {
                 Ok(Some(Op::Literal(&body[self.pos - 1..self.pos])))
             }
             b'G' => {
-                let (key, used) = parse_decimal(&body[self.pos + 2..])
-                    .ok_or_else(|| self.err("bad GET key"))?;
+                let (key, used) =
+                    parse_decimal(&body[self.pos + 2..]).ok_or_else(|| self.err("bad GET key"))?;
                 let end = self.pos + 2 + used;
                 if body.get(end) != Some(&TERM) {
                     return Err(self.err("unterminated GET"));
@@ -251,15 +251,15 @@ impl<'a> Scanner<'a> {
                 Ok(Some(Op::Get(DpcKey(key as u32))))
             }
             b'S' => {
-                let (key, used) = parse_decimal(&body[self.pos + 2..])
-                    .ok_or_else(|| self.err("bad SET key"))?;
+                let (key, used) =
+                    parse_decimal(&body[self.pos + 2..]).ok_or_else(|| self.err("bad SET key"))?;
                 let mut cursor = self.pos + 2 + used;
                 if body.get(cursor) != Some(&b':') {
                     return Err(self.err("SET missing length separator"));
                 }
                 cursor += 1;
-                let (len, used2) = parse_decimal(&body[cursor..])
-                    .ok_or_else(|| self.err("bad SET length"))?;
+                let (len, used2) =
+                    parse_decimal(&body[cursor..]).ok_or_else(|| self.err("bad SET length"))?;
                 cursor += used2;
                 if body.get(cursor) != Some(&TERM) {
                     return Err(self.err("unterminated SET head"));
@@ -271,10 +271,7 @@ impl<'a> Scanner<'a> {
                 let len = len as usize;
                 let key = DpcKey(key as u32);
                 if cursor + len > body.len() {
-                    return Err(AssembleError::TruncatedSet {
-                        key,
-                        declared: len,
-                    });
+                    return Err(AssembleError::TruncatedSet { key, declared: len });
                 }
                 let content = &body[cursor..cursor + len];
                 cursor += len;
@@ -419,7 +416,9 @@ mod tests {
         let mut s = Scanner::new(&t).unwrap();
         assert!(matches!(
             s.next(),
-            Err(AssembleError::MismatchedSetClose { expected: DpcKey(7) })
+            Err(AssembleError::MismatchedSetClose {
+                expected: DpcKey(7)
+            })
         ));
     }
 

@@ -1,4 +1,4 @@
-//! Property-based tests for the DPC/BEM core.
+//! Randomized property tests for the DPC/BEM core.
 //!
 //! These check the three invariants the whole system's correctness rests
 //! on:
@@ -13,13 +13,23 @@
 //! 3. **Directory key conservation** — under arbitrary operation sequences,
 //!    every `dpcKey` is in exactly one of {valid, freeList, never-used} and
 //!    capacity is never exceeded.
+//!
+//! Cases are generated from a seeded [`StdRng`], so every run explores the
+//! same corpus deterministically; bump the case counts or add seeds to
+//! widen the search.
 
 use std::time::Duration;
 
 use dpc_core::prelude::*;
 use dpc_core::tag;
 use dpc_net::Clock;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_bytes(rng: &mut StdRng, max_len: usize) -> Vec<u8> {
+    let len = rng.random_range(0..max_len);
+    (0..len).map(|_| rng.random_range(0..=255u8)).collect()
+}
 
 // ---------------------------------------------------------------------------
 // 1. Template round-trip
@@ -32,21 +42,24 @@ enum Piece {
     Fragment { name: u8, content: Vec<u8> },
 }
 
-fn piece_strategy() -> impl Strategy<Value = Piece> {
-    prop_oneof![
-        proptest::collection::vec(any::<u8>(), 0..200).prop_map(Piece::Literal),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..200))
-            .prop_map(|(name, content)| Piece::Fragment { name, content }),
-    ]
+fn random_piece(rng: &mut StdRng) -> Piece {
+    if rng.random_bool(0.5) {
+        Piece::Literal(random_bytes(rng, 200))
+    } else {
+        Piece::Fragment {
+            name: rng.random_range(0..=255u8),
+            content: random_bytes(rng, 200),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn template_roundtrip_preserves_arbitrary_bytes(
-        pieces in proptest::collection::vec(piece_strategy(), 0..20)
-    ) {
+#[test]
+fn template_roundtrip_preserves_arbitrary_bytes() {
+    let mut rng = StdRng::seed_from_u64(0x01_5EED);
+    for _case in 0..128 {
+        let pieces: Vec<Piece> = (0..rng.random_range(0..20usize))
+            .map(|_| random_piece(&mut rng))
+            .collect();
         let bem = Bem::new(BemConfig::default().with_capacity(64));
         let store = FragmentStore::new(64);
 
@@ -69,10 +82,7 @@ proptest! {
                 match piece {
                     Piece::Literal(b) => w.literal(b),
                     Piece::Fragment { name, content } => {
-                        let id = FragmentId::with_params(
-                            "frag",
-                            &[("n", &format!("{i}.{name}"))],
-                        );
+                        let id = FragmentId::with_params("frag", &[("n", &format!("{i}.{name}"))]);
                         let content = content.clone();
                         w.fragment(&id, FragmentPolicy::pinned(), move |out| {
                             out.extend_from_slice(&content)
@@ -82,15 +92,21 @@ proptest! {
             }
             let template = w.finish();
             let page = assemble(&template, &store).unwrap();
-            prop_assert_eq!(&page.html, &expected, "round {}", round);
+            assert_eq!(page.html, expected, "round {round}");
         }
     }
+}
 
-    #[test]
-    fn raw_tag_writers_scan_back_exactly(
-        literals in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8),
-        keys in proptest::collection::vec(0u32..1000, 1..8),
-    ) {
+#[test]
+fn raw_tag_writers_scan_back_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x02_5EED);
+    for _case in 0..128 {
+        let literals: Vec<Vec<u8>> = (0..rng.random_range(1..8usize))
+            .map(|_| random_bytes(&mut rng, 64))
+            .collect();
+        let keys: Vec<u32> = (0..rng.random_range(1..8usize))
+            .map(|_| rng.random_range(0..1000u32))
+            .collect();
         // Interleave literals and SETs, scan, and rebuild.
         let mut template = Vec::new();
         tag::write_preamble(&mut template);
@@ -126,8 +142,8 @@ proptest! {
             .filter(|(is_set, _)| *is_set)
             .map(|(_, b)| b)
             .collect();
-        prop_assert_eq!(got_literal, want_literal);
-        prop_assert_eq!(got_sets, want_sets);
+        assert_eq!(got_literal, want_literal);
+        assert_eq!(got_sets, want_sets);
     }
 }
 
@@ -146,29 +162,32 @@ enum Event {
     Advance(u16),
 }
 
-fn event_strategy() -> impl Strategy<Value = Event> {
-    prop_oneof![
-        (0u8..6).prop_map(Event::Request),
-        (0u8..12).prop_map(Event::Invalidate),
-        (0u16..2000).prop_map(Event::Advance),
-    ]
+fn random_event(rng: &mut StdRng) -> Event {
+    match rng.random_range(0..3u32) {
+        0 => Event::Request(rng.random_range(0..6u8)),
+        1 => Event::Invalidate(rng.random_range(0..12u8)),
+        _ => Event::Advance(rng.random_range(0..2000u16)),
+    }
 }
 
 /// Deterministic content for fragment `f` at version `v`: content changes
 /// when the underlying "data" changes.
 fn fragment_content(f: u8, version: u32) -> Vec<u8> {
-    format!("<frag id={f} v={version} data={}>", "x".repeat((f as usize % 7) * 10))
-        .into_bytes()
+    format!(
+        "<frag id={f} v={version} data={}>",
+        "x".repeat((f as usize % 7) * 10)
+    )
+    .into_bytes()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dpc_serves_exactly_what_origin_would(
-        events in proptest::collection::vec(event_strategy(), 1..80),
-        capacity in 2usize..12,
-    ) {
+#[test]
+fn dpc_serves_exactly_what_origin_would() {
+    let mut rng = StdRng::seed_from_u64(0x03_5EED);
+    for _case in 0..64 {
+        let events: Vec<Event> = (0..rng.random_range(1..80usize))
+            .map(|_| random_event(&mut rng))
+            .collect();
+        let capacity = rng.random_range(2..12usize);
         let (clock, handle) = Clock::virtual_clock();
         let bem = Bem::new(
             BemConfig::default()
@@ -211,12 +230,12 @@ proptest! {
                     let template = w.finish();
 
                     let page = assemble(&template, &store).unwrap();
-                    prop_assert_eq!(&page.html, &expected);
+                    assert_eq!(page.html, expected);
                 }
             }
-            bem.directory().check_invariants().map_err(|e| {
-                TestCaseError::fail(format!("directory invariant violated: {e}"))
-            })?;
+            bem.directory()
+                .check_invariants()
+                .unwrap_or_else(|e| panic!("directory invariant violated: {e}"));
         }
     }
 }
@@ -234,31 +253,30 @@ enum DirOp {
     Sweep,
 }
 
-fn dir_op_strategy() -> impl Strategy<Value = DirOp> {
-    prop_oneof![
-        (0u16..200).prop_map(DirOp::Lookup),
-        (0u16..200).prop_map(DirOp::Invalidate),
-        (0u8..10).prop_map(DirOp::InvalidateDep),
-        (0u16..5000).prop_map(DirOp::Advance),
-        Just(DirOp::Sweep),
-    ]
+fn random_dir_op(rng: &mut StdRng) -> DirOp {
+    match rng.random_range(0..5u32) {
+        0 => DirOp::Lookup(rng.random_range(0..200u16)),
+        1 => DirOp::Invalidate(rng.random_range(0..200u16)),
+        2 => DirOp::InvalidateDep(rng.random_range(0..10u8)),
+        3 => DirOp::Advance(rng.random_range(0..5000u16)),
+        _ => DirOp::Sweep,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn directory_conserves_keys(
-        ops in proptest::collection::vec(dir_op_strategy(), 1..200),
-        capacity in 1usize..20,
-        policy_idx in 0usize..4,
-    ) {
+#[test]
+fn directory_conserves_keys() {
+    let mut rng = StdRng::seed_from_u64(0x04_5EED);
+    for case in 0..96 {
+        let ops: Vec<DirOp> = (0..rng.random_range(1..200usize))
+            .map(|_| random_dir_op(&mut rng))
+            .collect();
+        let capacity = rng.random_range(1..20usize);
         let policy = [
             ReplacePolicy::Lru,
             ReplacePolicy::Clock,
             ReplacePolicy::Fifo,
             ReplacePolicy::None,
-        ][policy_idx];
+        ][case % 4];
         let (clock, handle) = Clock::virtual_clock();
         let bem = Bem::new(
             BemConfig::default()
@@ -286,10 +304,11 @@ proptest! {
                     let _ = dir.sweep_expired();
                 }
             }
-            dir.check_invariants().map_err(TestCaseError::fail)?;
+            dir.check_invariants()
+                .unwrap_or_else(|e| panic!("invariant violated ({policy:?}): {e}"));
             let stats = dir.stats();
-            prop_assert!(stats.valid_entries <= capacity);
-            prop_assert!(stats.free_keys <= capacity);
+            assert!(stats.valid_entries <= capacity);
+            assert!(stats.free_keys <= capacity);
         }
     }
 }

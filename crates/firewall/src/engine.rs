@@ -80,7 +80,10 @@ impl Firewall {
             None
         } else {
             Some(MultiPattern::new(
-                &rules.iter().map(|r| r.signature.clone()).collect::<Vec<_>>(),
+                &rules
+                    .iter()
+                    .map(|r| r.signature.clone())
+                    .collect::<Vec<_>>(),
             ))
         };
         Firewall {
@@ -139,7 +142,10 @@ impl Firewall {
             None
         } else {
             Some(MultiPattern::new(
-                &rules.iter().map(|r| r.signature.clone()).collect::<Vec<_>>(),
+                &rules
+                    .iter()
+                    .map(|r| r.signature.clone())
+                    .collect::<Vec<_>>(),
             ))
         };
         *self.compiled.write() = Compiled { rules, automaton };

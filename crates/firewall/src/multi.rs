@@ -158,8 +158,7 @@ mod tests {
         let ac = MultiPattern::new(&[b"he".as_slice(), b"she", b"his", b"hers"]);
         let matches = ac.find_all(b"ushers");
         // "ushers" contains "she"@1, "he"@2, "hers"@2.
-        let mut pairs: Vec<(usize, usize)> =
-            matches.iter().map(|m| (m.pattern, m.start)).collect();
+        let mut pairs: Vec<(usize, usize)> = matches.iter().map(|m| (m.pattern, m.start)).collect();
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 2), (1, 1), (3, 2)]);
     }

@@ -72,8 +72,7 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(HttpError::malformed("bad").to_string().contains("bad"));
-        assert!(HttpError::ConnectionClosed { clean: true }
-            .is_clean_close());
+        assert!(HttpError::ConnectionClosed { clean: true }.is_clean_close());
         assert!(!HttpError::ConnectionClosed { clean: false }.is_clean_close());
         let io = HttpError::from(std::io::Error::other("x"));
         assert!(io.to_string().contains("i/o"));

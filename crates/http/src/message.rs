@@ -137,7 +137,8 @@ impl Headers {
 
     /// Parsed `Content-Length`, if present and valid.
     pub fn content_length(&self) -> Option<usize> {
-        self.get("content-length").and_then(|v| v.trim().parse().ok())
+        self.get("content-length")
+            .and_then(|v| v.trim().parse().ok())
     }
 
     /// True when the message asks for the connection to be closed after it.

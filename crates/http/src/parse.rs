@@ -84,12 +84,10 @@ fn read_body<R: BufRead>(reader: &mut R, len: usize) -> Result<Bytes> {
         });
     }
     let mut body = vec![0u8; len];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| match e.kind() {
-            std::io::ErrorKind::UnexpectedEof => HttpError::ConnectionClosed { clean: false },
-            _ => HttpError::Io(e),
-        })?;
+    reader.read_exact(&mut body).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => HttpError::ConnectionClosed { clean: false },
+        _ => HttpError::Io(e),
+    })?;
     Ok(Bytes::from(body))
 }
 

@@ -58,8 +58,7 @@ pub fn fig3a_firewall(base: &ModelParams, cacheabilities: &[f64]) -> Vec<CurvePo
         .iter()
         .map(|&x| CurvePoint {
             x,
-            y: ScanCosts::from_bytes(&expected_bytes(&base.with_cacheability(x)))
-                .savings_percent(),
+            y: ScanCosts::from_bytes(&expected_bytes(&base.with_cacheability(x))).savings_percent(),
         })
         .collect()
 }

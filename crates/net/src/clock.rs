@@ -91,12 +91,10 @@ impl VirtualClock {
         let target = since_epoch.as_nanos() as u64;
         let mut cur = self.nanos.load(Ordering::Acquire);
         while cur < target {
-            match self.nanos.compare_exchange_weak(
-                cur,
-                target,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .nanos
+                .compare_exchange_weak(cur, target, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => break,
                 Err(seen) => cur = seen,
             }

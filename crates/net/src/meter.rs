@@ -115,11 +115,7 @@ impl MeterRegistry {
     /// Fetch (or create) the meter registered under `name`.
     pub fn meter(&self, name: &str) -> Arc<Meter> {
         let mut meters = self.meters.lock();
-        Arc::clone(
-            meters
-                .entry(name.to_owned())
-                .or_default(),
-        )
+        Arc::clone(meters.entry(name.to_owned()).or_default())
     }
 
     /// Snapshot every registered meter.

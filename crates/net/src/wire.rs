@@ -125,7 +125,8 @@ impl Write for SimStream {
         self.out_meter.record(
             payload,
             self.protocol.wire_bytes(payload),
-            self.protocol.segments(payload) + self.protocol.ack_segments(self.protocol.segments(payload)),
+            self.protocol.segments(payload)
+                + self.protocol.ack_segments(self.protocol.segments(payload)),
         );
         tx.send(buf.to_vec())
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
@@ -210,9 +211,8 @@ impl SimNetwork {
         let c2s = self.registry.meter(&format!("{addr}.c2s"));
         let s2c = self.registry.meter(&format!("{addr}.s2c"));
         let (client, server) = SimStream::pair(addr, self.protocol, c2s, s2c);
-        tx.send(server).map_err(|_| {
-            io::Error::new(io::ErrorKind::ConnectionRefused, "listener shut down")
-        })?;
+        tx.send(server)
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "listener shut down"))?;
         Ok(client)
     }
 }

@@ -97,11 +97,7 @@ impl DpcCluster {
                         ORIGIN_ADDR,
                         Arc::new(Client::new(Arc::new(net.connector()))),
                         Arc::new(FragmentStore::new(capacity)),
-                        Arc::new(PageCache::new(
-                            clock.clone(),
-                            Duration::from_secs(60),
-                            16,
-                        )),
+                        Arc::new(PageCache::new(clock.clone(), Duration::from_secs(60), 16)),
                         Arc::new(EsiAssembler::new(clock.clone(), Duration::from_secs(60))),
                         None,
                     )
@@ -132,9 +128,7 @@ impl DpcCluster {
 
     /// Serve a request through the router.
     pub fn serve(&self, req: Request) -> Response {
-        let seq = self
-            .seq
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let session = req
             .headers
             .get("cookie")
@@ -218,18 +212,18 @@ mod tests {
         // Ground truth from a bypass through node 0 cannot be used because
         // bypass skips caching; use the single testbed proxy instead.
         let truth: Vec<Vec<u8>> = (0..6)
-            .map(|p| tb.get(&format!("/paper/page.jsp?p={p}"), None).body.to_vec())
+            .map(|p| {
+                tb.get(&format!("/paper/page.jsp?p={p}"), None)
+                    .body
+                    .to_vec()
+            })
             .collect();
         // Round-robin forces every page through every node eventually.
         for round in 0..4 {
             for (p, want) in truth.iter().enumerate() {
                 let resp = cluster.get(&format!("/paper/page.jsp?p={p}"), None);
                 assert_eq!(resp.status.0, 200);
-                assert_eq!(
-                    &resp.body.to_vec(),
-                    want,
-                    "round {round} page {p} diverged"
-                );
+                assert_eq!(&resp.body.to_vec(), want, "round {round} page {p} diverged");
             }
         }
         // Node misses happened: fragments were re-SET for nodes 1..3.
@@ -258,7 +252,10 @@ mod tests {
                 bypasses_seen += 1;
             }
         }
-        assert!(bypasses_seen >= 1, "restarted node should bypass at least once");
+        assert!(
+            bypasses_seen >= 1,
+            "restarted node should bypass at least once"
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! The proxy front end: one HTTP handler, four modes.
 
-use bytes::Bytes;
-use dpc_core::{assemble, AssembleError, FragmentStore};
+use dpc_core::{assemble_rope, AssembleError, FragmentStore};
 use dpc_firewall::Firewall;
 use dpc_http::{Client, Handler, Method, Request, Response, Status};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -229,11 +228,14 @@ impl Proxy {
             self.stats.uninstrumented.fetch_add(1, Ordering::Relaxed);
             return strip_internal_headers(upstream).with_header("X-Cache", "dpc-pass");
         }
-        match assemble(&upstream.body, &self.store) {
-            Ok(page) => {
+        // Zero-copy assembly: cached fragments are spliced into the rope
+        // by refcount bump; the single flatten below is the only copy on
+        // the way to the client wire.
+        match assemble_rope(&upstream.body, &self.store) {
+            Ok(rope) => {
                 self.stats.assembled.fetch_add(1, Ordering::Relaxed);
                 let mut resp = upstream;
-                resp.body = Bytes::from(page.html);
+                resp.body = rope.to_bytes();
                 strip_internal_headers(resp).with_header("X-Cache", "dpc-assembled")
             }
             Err(err) => self.bypass_refetch(req, err),
@@ -243,9 +245,7 @@ impl Proxy {
     /// Assembly failed (raced slot, restarted store, corrupt template):
     /// refetch fully expanded. Users always receive correct bytes.
     fn bypass_refetch(&self, req: &Request, err: AssembleError) -> Response {
-        self.stats
-            .bypass_refetches
-            .fetch_add(1, Ordering::Relaxed);
+        self.stats.bypass_refetches.fetch_add(1, Ordering::Relaxed);
         let bypass = req
             .clone()
             .with_header(dpc_appserver::context::BYPASS_HEADER, "1");

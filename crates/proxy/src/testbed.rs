@@ -21,9 +21,7 @@ use dpc_core::{Bem, BemConfig, FragmentStore, ReplacePolicy};
 use dpc_firewall::Firewall;
 use dpc_http::server::ServerConfig;
 use dpc_http::{Client, Request, Response, Server, ServerHandle};
-use dpc_net::{
-    Clock, MeterRegistry, MeterSnapshot, ProtocolModel, SimNetwork, VirtualClock,
-};
+use dpc_net::{Clock, MeterRegistry, MeterSnapshot, ProtocolModel, SimNetwork, VirtualClock};
 use dpc_repository::datasets::{filler, seed_all, DatasetConfig};
 use dpc_repository::Repository;
 use std::sync::Arc;
@@ -72,6 +70,8 @@ pub struct TestbedConfig {
     pub workers: usize,
     /// RNG seed for the BEM's controlled-hit-ratio hook.
     pub seed: u64,
+    /// Lock shards for the cache directory and DPC slot store.
+    pub shards: usize,
 }
 
 impl Default for TestbedConfig {
@@ -91,6 +91,7 @@ impl Default for TestbedConfig {
             firewall: true,
             workers: 64,
             seed: 0xBED,
+            shards: dpc_core::DEFAULT_SHARDS,
         }
     }
 }
@@ -124,7 +125,8 @@ impl Testbed {
             .with_replace(config.replace)
             .with_clock(clock.clone())
             .with_enabled(bem_enabled)
-            .with_seed(config.seed);
+            .with_seed(config.seed)
+            .with_shards(config.shards);
         if let Some(h) = config.forced_hit_ratio {
             bem_config = bem_config.with_forced_hit_ratio(h);
         }
@@ -149,7 +151,7 @@ impl Testbed {
         // ESI assembler).
         let firewall = Arc::new(Firewall::with_default_rules());
         let upstream_client = Arc::new(Client::new(Arc::new(net.connector())));
-        let store = Arc::new(FragmentStore::new(config.capacity));
+        let store = Arc::new(FragmentStore::with_shards(config.capacity, config.shards));
         let page_cache = Arc::new(PageCache::new(
             clock.clone(),
             config.page_cache_ttl,
@@ -311,7 +313,13 @@ mod tests {
                 assert_eq!(a.body, b.body, "page {p}");
             }
         }
-        assert!(dpc.proxy().stats().assembled.load(std::sync::atomic::Ordering::Relaxed) >= 6);
+        assert!(
+            dpc.proxy()
+                .stats()
+                .assembled
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 6
+        );
     }
 
     #[test]
@@ -425,11 +433,13 @@ mod tests {
         let after = tb.get("/paper/page.jsp?p=0", None);
         assert_eq!(before.body, after.body, "bypass must return correct bytes");
         assert_eq!(after.headers.get("x-cache"), Some("dpc-bypass"));
-        assert!(tb
-            .proxy()
-            .stats()
-            .bypass_refetches
-            .load(std::sync::atomic::Ordering::Relaxed) >= 1);
+        assert!(
+            tb.proxy()
+                .stats()
+                .bypass_refetches
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        );
     }
 
     #[test]

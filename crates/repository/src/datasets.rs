@@ -85,7 +85,7 @@ pub fn seed_users(repo: &Arc<Repository>, cfg: &DatasetConfig) {
     repo.create_table("users");
     for i in 0..cfg.users {
         let user = format!("user{i}");
-        let layout = ["classic", "wide", "compact"][rng.random_range(0..3)];
+        let layout = ["classic", "wide", "compact"][rng.random_range(0..3usize)];
         let fav_category = format!("cat{}", rng.random_range(0..cfg.categories.max(1)));
         let fav_symbol = format!("SYM{}", rng.random_range(0..cfg.symbols.max(1)));
         let premium = rng.random_range(0..100) < 25;
@@ -112,9 +112,10 @@ pub fn seed_books_online(repo: &Arc<Repository>, cfg: &DatasetConfig) {
         repo.seed(
             "categories",
             &cat,
-            Row::new()
-                .with("name", category_name(c))
-                .with("blurb", filler(cfg.seed ^ (c as u64) << 8, cfg.fragment_bytes)),
+            Row::new().with("name", category_name(c)).with(
+                "blurb",
+                filler(cfg.seed ^ (c as u64) << 8, cfg.fragment_bytes),
+            ),
         );
         for p in 0..cfg.products_per_category {
             let pid = format!("{cat}-p{p}");
@@ -177,8 +178,14 @@ pub fn seed_brokerage(repo: &Arc<Repository>, cfg: &DatasetConfig) {
             &sym,
             Row::new()
                 .with("pe_ratio", 8.0 + rng.random_range(0..4000) as f64 / 100.0)
-                .with("rating", ["buy", "hold", "sell"][rng.random_range(0..3)])
-                .with("summary", filler(cfg.seed ^ 0xCAFE ^ s as u64, cfg.fragment_bytes)),
+                .with(
+                    "rating",
+                    ["buy", "hold", "sell"][rng.random_range(0..3usize)],
+                )
+                .with(
+                    "summary",
+                    filler(cfg.seed ^ 0xCAFE ^ s as u64, cfg.fragment_bytes),
+                ),
         );
     }
 }
@@ -293,7 +300,11 @@ mod tests {
             };
             let repo = Repository::with_defaults();
             seed_books_online(&repo, &cfg);
-            repo.get("categories", "cat0").value.unwrap().str("blurb").len()
+            repo.get("categories", "cat0")
+                .value
+                .unwrap()
+                .str("blurb")
+                .len()
         };
         assert_eq!(mk(100), 100);
         assert_eq!(mk(5000), 5000);

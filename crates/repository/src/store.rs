@@ -46,19 +46,13 @@ impl Repository {
 
     /// Create an empty table (idempotent).
     pub fn create_table(&self, name: &str) {
-        self.tables
-            .write()
-            .entry(name.to_owned())
-            .or_default();
+        self.tables.write().entry(name.to_owned()).or_default();
     }
 
     /// Bulk load a row without publishing updates (initial seeding).
     pub fn seed(&self, table: &str, key: &str, row: Row) {
         let mut tables = self.tables.write();
-        tables
-            .entry(table.to_owned())
-            .or_default()
-            .put(key, row);
+        tables.entry(table.to_owned()).or_default().put(key, row);
     }
 
     /// Point lookup.
@@ -121,10 +115,7 @@ impl Repository {
     pub fn put(&self, table: &str, key: &str, row: Row) -> Costed<()> {
         {
             let mut tables = self.tables.write();
-            tables
-                .entry(table.to_owned())
-                .or_default()
-                .put(key, row);
+            tables.entry(table.to_owned()).or_default().put(key, row);
         }
         self.bus.publish_row_update(table, key);
         Costed::new((), self.cost.update())
@@ -134,10 +125,7 @@ impl Repository {
     pub fn delete(&self, table: &str, key: &str) -> Costed<bool> {
         let existed = {
             let mut tables = self.tables.write();
-            tables
-                .get_mut(table)
-                .and_then(|t| t.remove(key))
-                .is_some()
+            tables.get_mut(table).and_then(|t| t.remove(key)).is_some()
         };
         if existed {
             self.bus.publish_row_update(table, key);
@@ -196,8 +184,16 @@ mod tests {
 
     fn repo() -> Arc<Repository> {
         let r = Repository::with_defaults();
-        r.seed("books", "b1", Row::new().with("title", "Dune").with("price", 9.99));
-        r.seed("books", "b2", Row::new().with("title", "Hyperion").with("price", 12.50));
+        r.seed(
+            "books",
+            "b1",
+            Row::new().with("title", "Dune").with("price", 9.99),
+        );
+        r.seed(
+            "books",
+            "b2",
+            Row::new().with("title", "Hyperion").with("price", 12.50),
+        );
         r
     }
 

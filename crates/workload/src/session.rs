@@ -109,9 +109,6 @@ mod tests {
     #[test]
     fn cookie_exposure() {
         assert_eq!(UserRef::Anonymous.cookie(), None);
-        assert_eq!(
-            UserRef::Registered("user3".into()).cookie(),
-            Some("user3")
-        );
+        assert_eq!(UserRef::Registered("user3".into()).cookie(), Some("user3"));
     }
 }

@@ -41,7 +41,10 @@ fn main() {
         alice.body.len(),
         String::from_utf8_lossy(&alice.body).contains("Hello,")
     );
-    assert_ne!(bob.body, alice.body, "the DPC never serves Bob's page to Alice");
+    assert_ne!(
+        bob.body, alice.body,
+        "the DPC never serves Bob's page to Alice"
+    );
 
     // --- A browsing session mix, measured at both wires.
     let plan = AccessPlan::new(

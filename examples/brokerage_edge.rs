@@ -15,8 +15,8 @@ use dynproxy::appserver::ScriptEngine;
 use dynproxy::core::{Bem, BemConfig, FragmentStore};
 use dynproxy::http::{Client, Request, Server};
 use dynproxy::net::{Clock, TcpConnector, TcpListenerAdapter};
-use dynproxy::proxy::{PageCache, Proxy, ProxyMode};
 use dynproxy::proxy::esi::EsiAssembler;
+use dynproxy::proxy::{PageCache, Proxy, ProxyMode};
 use dynproxy::repository::datasets::{seed_all, tick_quote, DatasetConfig};
 use dynproxy::repository::Repository;
 use rand::rngs::StdRng;
@@ -67,7 +67,11 @@ fn main() {
         proxy as Arc<dyn dynproxy::http::Handler>
     })
     .spawn();
-    println!("proxy  listening on http://{}  (try: curl http://{}/quote.jsp?symbol=SYM3)", proxy_server.addr(), proxy_server.addr());
+    println!(
+        "proxy  listening on http://{}  (try: curl http://{}/quote.jsp?symbol=SYM3)",
+        proxy_server.addr(),
+        proxy_server.addr()
+    );
 
     // --- A market session through the proxy.
     let client = Client::new(Arc::new(TcpConnector));

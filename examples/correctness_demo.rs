@@ -47,11 +47,7 @@ fn main() {
         "mode", "correct for Alice?"
     );
     println!("{}", "-".repeat(60));
-    for mode in [
-        ProxyMode::PassThrough,
-        ProxyMode::PageCache,
-        ProxyMode::Dpc,
-    ] {
+    for mode in [ProxyMode::PassThrough, ProxyMode::PageCache, ProxyMode::Dpc] {
         let (name, correct, leaked) = verdict(mode);
         println!("{name:<14}  {correct:<18}  {leaked}");
     }

@@ -18,8 +18,7 @@ fn render_stock_page(bem: &Bem, symbol: &str, price: f64) -> Vec<u8> {
     // body only runs on a directory miss.
     w.fragment(
         &FragmentId::with_params("research", &[("sym", symbol)]),
-        FragmentPolicy::ttl(Duration::from_secs(3600))
-            .with_deps(&[&format!("research/{symbol}")]),
+        FragmentPolicy::ttl(Duration::from_secs(3600)).with_deps(&[&format!("research/{symbol}")]),
         |out| {
             out.extend_from_slice(
                 format!("<section>deep research for {symbol} …</section>").as_bytes(),
@@ -48,12 +47,20 @@ fn main() {
     // First request: research fragment misses -> SET carries the content.
     let t1 = render_stock_page(&bem, "IBM", 104.20);
     let page1 = assemble(&t1, &store).expect("assembly");
-    println!("request 1: template {:>4} B -> page {:>4} B (research SET)", t1.len(), page1.html.len());
+    println!(
+        "request 1: template {:>4} B -> page {:>4} B (research SET)",
+        t1.len(),
+        page1.html.len()
+    );
 
     // Second request: research hits -> template shrinks to a GET tag.
     let t2 = render_stock_page(&bem, "IBM", 104.75);
     let page2 = assemble(&t2, &store).expect("assembly");
-    println!("request 2: template {:>4} B -> page {:>4} B (research GET)", t2.len(), page2.html.len());
+    println!(
+        "request 2: template {:>4} B -> page {:>4} B (research GET)",
+        t2.len(),
+        page2.html.len()
+    );
     assert!(t2.len() < t1.len());
 
     // Prices differ (uncacheable, always fresh); research bytes identical.

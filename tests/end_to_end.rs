@@ -133,7 +133,12 @@ fn dpc_equals_oracle_under_eviction_pressure() {
     };
     let dpc = mk(ProxyMode::Dpc);
     let oracle = mk(ProxyMode::PassThrough);
-    let plan = AccessPlan::new(SiteKind::Paper { pages: 30 }, 0.7, Population::new(4, 0.0), 3);
+    let plan = AccessPlan::new(
+        SiteKind::Paper { pages: 30 },
+        0.7,
+        Population::new(4, 0.0),
+        3,
+    );
     for r in plan.requests(300) {
         let got = dpc.get(&r.target, None);
         let want = oracle.get(&r.target, None);

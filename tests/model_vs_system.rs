@@ -106,10 +106,7 @@ fn savings_grow_with_cacheability_experimentally() {
         "ratios must fall as cacheability rises: {r25} {r50} {r100}"
     );
     // Full cacheability at h=0.8 lands near the model's prediction.
-    let analytical = expected_bytes(
-        &ModelParams::table2().with_cacheability(1.0),
-    )
-    .ratio();
+    let analytical = expected_bytes(&ModelParams::table2().with_cacheability(1.0)).ratio();
     assert!(
         (r100 - analytical).abs() < 0.12,
         "experimental {r100} vs analytical {analytical}"

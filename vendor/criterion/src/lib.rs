@@ -1,0 +1,294 @@
+//! Minimal, API-compatible stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the criterion API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Throughput`, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros. Measurement is a plain
+//! calibrated wall-clock loop — good enough to rank configurations and
+//! feed the repo's BENCH_*.json artifacts, with none of criterion's
+//! statistics.
+//!
+//! Honors `CRITERION_QUICK=1` to shrink measurement time for CI.
+
+use std::time::{Duration, Instant};
+
+pub use black_box_mod::black_box;
+
+mod black_box_mod {
+    /// Re-export of `std::hint::black_box` under criterion's name.
+    pub use std::hint::black_box;
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation; reported as MB/s or Melem/s next to the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// The timing loop driver handed to `bench_function` closures.
+pub struct Bencher<'a> {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// (iterations, total elapsed) of the measured window.
+    result: &'a mut (u64, Duration),
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly: first a warm-up window, then a measured
+    /// window of at least `measurement_time`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also calibrates the per-iteration cost).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) as u64 / warm_iters.max(1);
+        // Measure in batches sized to ~1/20 of the window to amortize the
+        // clock reads.
+        let batch =
+            (self.measurement_time.as_nanos() as u64 / 20 / per_iter.max(1)).clamp(1, 1 << 20);
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        *self.result = (iters, start.elapsed());
+    }
+}
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    pub group: String,
+    pub name: String,
+    pub iterations: u64,
+    pub elapsed: Duration,
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchRecord {
+    /// Nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iterations.max(1) as f64
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut result = (0u64, Duration::ZERO);
+        let mut bencher = Bencher {
+            measurement_time: self.criterion.measurement_time,
+            warm_up_time: self.criterion.warm_up_time,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        let record = BenchRecord {
+            group: self.group.clone(),
+            name: id.to_string(),
+            iterations: result.0,
+            elapsed: result.1,
+            throughput: self.throughput,
+        };
+        report(&record);
+        self.criterion.records.push(record);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(r: &BenchRecord) {
+    let per_iter = r.ns_per_iter();
+    let rate = match r.throughput {
+        Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
+            format!("  {:>10.1} MB/s", b as f64 / per_iter * 1e9 / 1e6)
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>10.1} Melem/s", n as f64 / per_iter * 1e9 / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {:<40} {:>12.1} ns/iter ({} iters){}",
+        format!("{}/{}", r.group, r.name),
+        per_iter,
+        r.iterations,
+        rate
+    );
+}
+
+/// The harness entry point, mirroring criterion's builder API.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    records: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        Criterion {
+            measurement_time: if quick {
+                Duration::from_millis(100)
+            } else {
+                Duration::from_secs(2)
+            },
+            warm_up_time: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(300)
+            },
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        if std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1") {
+            return self;
+        }
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        if std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1") {
+            return self;
+        }
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            group: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name).bench_function("", f);
+        self
+    }
+
+    /// All results recorded so far (for JSON emission by bench binaries).
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Mirror of criterion's `criterion_group!`: both the plain and the
+/// `name/config/targets` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of criterion's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.records().len(), 1);
+        assert!(c.records()[0].iterations > 0);
+        assert!(c.records()[0].ns_per_iter() > 0.0);
+    }
+}

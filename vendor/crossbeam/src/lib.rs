@@ -1,0 +1,197 @@
+//! Minimal, API-compatible stand-in for `crossbeam::channel`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset it uses: multi-producer channels whose `Receiver` is
+//! clonable and shareable across threads (std's `mpsc::Receiver` is
+//! single-consumer, so it is wrapped in an `Arc<Mutex<..>>`; competing
+//! consumers serialize on the mutex while blocked in `recv`, which is
+//! acceptable for the worker-pool and simulated-wire fan-in patterns this
+//! workspace uses). `bounded(0)` is a true rendezvous channel, as in
+//! crossbeam, via `mpsc::sync_channel(0)`.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Tx<T> {
+            match self {
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        tx: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                tx: self.tx.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking if the channel is bounded and full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.tx {
+                Tx::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                Tx::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half; clonable (consumers compete for messages).
+    pub struct Receiver<T> {
+        rx: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver {
+                rx: Arc::clone(&self.rx),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            match self.rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.lock().recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.lock().try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, TryRecvError> {
+            self.lock().recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => TryRecvError::Empty,
+                mpsc::RecvTimeoutError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// A channel with unbounded buffering.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                tx: Tx::Unbounded(tx),
+            },
+            Receiver {
+                rx: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    /// A channel buffering at most `cap` messages; `bounded(0)` is a
+    /// rendezvous channel (each send blocks until a receive takes it).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                tx: Tx::Bounded(tx),
+            },
+            Receiver {
+                rx: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn cloned_receivers_compete() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        if let Ok(v) = rx.try_recv() {
+            got.push(v);
+        }
+        while let Ok(v) = rx2.try_recv() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rendezvous_synchronizes() {
+        let (tx, rx) = bounded::<u32>(0);
+        let t = std::thread::spawn(move || {
+            tx.send(7).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(7));
+        t.join().unwrap();
+    }
+}
