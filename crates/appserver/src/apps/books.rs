@@ -306,7 +306,7 @@ mod tests {
         }
         let resp = e.serve(&req);
         assert_eq!(resp.status.0, 200, "{target}");
-        match assemble(&resp.body, store) {
+        match assemble(&resp.body.flatten(), store) {
             Ok(p) => p.html,
             Err(err) => panic!("assembly failed for {target}: {err}"),
         }
@@ -322,7 +322,9 @@ mod tests {
             if let Some(u) = user {
                 req.headers.set("Cookie", format!("session={u}"));
             }
-            assemble(&e.serve(&req).body, &store).unwrap().html
+            assemble(&e.serve(&req).body.flatten(), &store)
+                .unwrap()
+                .html
         };
         assert_eq!(serve(&e), serve(&e), "{target}");
     }

@@ -283,7 +283,7 @@ mod tests {
         }
         let resp = e.serve(&req);
         assert_eq!(resp.status.0, 200, "{target}");
-        assemble(&resp.body, store).unwrap().html
+        assemble(&resp.body.flatten(), store).unwrap().html
     }
 
     #[test]

@@ -239,8 +239,16 @@ mod tests {
     fn assembled_pages_identical_across_requests() {
         let e = engine(PaperSiteParams::default());
         let store = FragmentStore::new(256);
-        let p1 = assemble(&e.serve(&Request::get("/paper/page.jsp?p=3")).body, &store).unwrap();
-        let p2 = assemble(&e.serve(&Request::get("/paper/page.jsp?p=3")).body, &store).unwrap();
+        let p1 = assemble(
+            &e.serve(&Request::get("/paper/page.jsp?p=3")).body.flatten(),
+            &store,
+        )
+        .unwrap();
+        let p2 = assemble(
+            &e.serve(&Request::get("/paper/page.jsp?p=3")).body.flatten(),
+            &store,
+        )
+        .unwrap();
         assert_eq!(p1.html, p2.html);
         assert!(p2.stats.gets > 0);
     }
@@ -249,9 +257,17 @@ mod tests {
     fn invalidation_changes_content() {
         let e = engine(PaperSiteParams::default());
         let store = FragmentStore::new(256);
-        let before = assemble(&e.serve(&Request::get("/paper/page.jsp?p=1")).body, &store).unwrap();
+        let before = assemble(
+            &e.serve(&Request::get("/paper/page.jsp?p=1")).body.flatten(),
+            &store,
+        )
+        .unwrap();
         invalidate_fragment(e.repo(), 1, 0);
-        let after = assemble(&e.serve(&Request::get("/paper/page.jsp?p=1")).body, &store).unwrap();
+        let after = assemble(
+            &e.serve(&Request::get("/paper/page.jsp?p=1")).body.flatten(),
+            &store,
+        )
+        .unwrap();
         assert_ne!(before.html, after.html, "version bump must change bytes");
     }
 
@@ -287,7 +303,7 @@ mod tests {
             let r = e.serve(&Request::get("/paper/page.jsp?p=0"));
             let store = FragmentStore::new(16);
             // cacheability 0 -> plain content inline; page size tracks s_e.
-            let page = match assemble(&r.body, &store) {
+            let page = match assemble(&r.body.flatten(), &store) {
                 Ok(p) => p.html.len(),
                 Err(_) => r.body.len(),
             };

@@ -184,12 +184,12 @@ mod tests {
         let e = engine();
         let resp = e.serve(&Request::get("/hello.jsp?who=bob"));
         assert_eq!(resp.status, Status::OK);
-        assert!(is_instrumented(&resp.body));
+        assert!(is_instrumented(&resp.body.flatten()));
         assert_eq!(resp.headers.get("x-dpc-instrumented"), Some("1"));
         assert!(resp.headers.get(COST_HEADER).is_some());
         // Assembles to the expected page.
         let store = FragmentStore::new(64);
-        let page = assemble(&resp.body, &store).unwrap();
+        let page = assemble(&resp.body.flatten(), &store).unwrap();
         assert_eq!(page.html, b"<h1>Hello, bob!</h1>".to_vec());
     }
 
@@ -198,8 +198,8 @@ mod tests {
         let e = engine();
         let req = Request::get("/hello.jsp?who=amy").with_header(BYPASS_HEADER, "1");
         let resp = e.serve(&req);
-        assert!(!is_instrumented(&resp.body));
-        assert_eq!(&resp.body[..], b"<h1>Hello, amy!</h1>");
+        assert!(!is_instrumented(&resp.body.flatten()));
+        assert_eq!(resp.body, *b"<h1>Hello, amy!</h1>");
         assert_eq!(e.counters().1, 1);
     }
 

@@ -1,0 +1,283 @@
+//! Threaded vs readiness front under idle keep-alive load.
+//!
+//! The paper-era front is thread-per-connection: a keep-alive connection
+//! pins a worker for its lifetime, so N idle clients cost N resident
+//! threads. The readiness front multiplexes every connection over one
+//! event loop, so the same N clients cost N poller registrations and a
+//! small fixed thread count.
+//!
+//! For each grid point this bench (1) opens N keep-alive connections, each
+//! proving liveness with one request, (2) records the process's resident
+//! thread count with all N idle, and (3) measures request throughput by
+//! driving a fixed batch of requests over a handful of those connections
+//! from concurrent driver threads — the idle majority stays connected the
+//! whole time, which is exactly the production shape (most keep-alive
+//! clients are between page loads at any instant).
+//!
+//! Front configuration: the threaded baseline gets `workers = N` (it needs
+//! a thread per connection to keep them all alive); the readiness front
+//! runs its event loop in inline-handler mode (`workers = 0`) because the
+//! bench handler never blocks — request execution and connection I/O share
+//! one thread, the nginx-style reactor shape.
+//!
+//! Run: `cargo bench -p dpc-bench --bench connections`
+//! Emits `BENCH_connections.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::io::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use dpc_http::{Handler, Request, Response, Server, ServerConfig, ThreadedServer};
+use dpc_net::{Connector, SimNetwork};
+
+/// Idle keep-alive connection counts measured.
+const CONN_GRID: &[usize] = &[64, 512, 4096];
+/// Smaller grid for CI smoke runs (`CRITERION_QUICK=1`).
+const CONN_GRID_QUICK: &[usize] = &[64, 256];
+/// Concurrent driver threads during the throughput phase.
+const DRIVERS: usize = 8;
+/// Requests per driver per measured batch.
+const REQS_PER_DRIVER: usize = 400;
+/// Measured batches per grid point (median is taken).
+const BATCHES: usize = 15;
+
+fn page_handler() -> Arc<dyn Handler> {
+    static PAGE: &[u8] = &[b'x'; 2048];
+    Arc::new(|_req: Request| Response::html(PAGE))
+}
+
+enum Front {
+    Threaded(dpc_http::ThreadedServerHandle),
+    Readiness(dpc_http::ServerHandle),
+}
+
+impl Front {
+    fn stop(&self) {
+        match self {
+            Front::Threaded(h) => h.stop(),
+            Front::Readiness(h) => h.stop(),
+        }
+    }
+}
+
+/// Threads of this process per `/proc/self/status`; 0 where unavailable.
+fn process_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct World {
+    net: Arc<SimNetwork>,
+    front: Front,
+    /// All open keep-alive connections (readers own the streams).
+    idle: Vec<std::io::BufReader<dpc_net::BoxStream>>,
+    /// Threads this front added to the process to hold its N idle
+    /// connections (a before/after delta, so the harness's own threads
+    /// don't inflate the count).
+    resident_threads: usize,
+}
+
+fn one_request(reader: &mut std::io::BufReader<dpc_net::BoxStream>, target: &str) -> usize {
+    // One write per request: multi-chunk writes would wake the server once
+    // per chunk and measure wakeup noise instead of the serving path.
+    let req = format!("GET {target} HTTP/1.1\r\n\r\n");
+    reader.get_mut().write_all(req.as_bytes()).unwrap();
+    let resp = dpc_http::parse::read_response(reader).expect("response");
+    resp.body.len()
+}
+
+fn build_world(kind: &str, conns: usize) -> World {
+    let threads_before = process_threads();
+    let net = SimNetwork::with_defaults();
+    let listener = net.listen("web");
+    let front = match kind {
+        "threaded" => Front::Threaded(
+            ThreadedServer::new(Box::new(listener), page_handler())
+                .with_config(ServerConfig { workers: conns })
+                .spawn(),
+        ),
+        _ => Front::Readiness(
+            Server::new(Box::new(listener), page_handler())
+                .with_config(ServerConfig { workers: 0 })
+                .spawn(),
+        ),
+    };
+    let connector = net.connector();
+    let mut idle = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let conn = connector.connect("web").expect("connect");
+        let mut reader = std::io::BufReader::new(conn);
+        assert!(one_request(&mut reader, &format!("/warm{i}")) > 0);
+        idle.push(reader);
+    }
+    // Let per-connection worker threads (threaded front) settle in their
+    // blocked reads before counting.
+    std::thread::sleep(Duration::from_millis(30));
+    let resident_threads = process_threads().saturating_sub(threads_before);
+    World {
+        net,
+        front,
+        idle,
+        resident_threads,
+    }
+}
+
+/// Drive one measured batch: DRIVERS threads, each with its own dedicated
+/// keep-alive connection, issuing REQS_PER_DRIVER requests.
+fn run_batch(world: &mut World) -> Duration {
+    let drivers: Vec<_> = (0..DRIVERS)
+        .map(|_| world.idle.pop().expect("enough connections"))
+        .collect();
+    let barrier = Arc::new(Barrier::new(DRIVERS + 1));
+    let joins: Vec<_> = drivers
+        .into_iter()
+        .enumerate()
+        .map(|(d, mut reader)| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..REQS_PER_DRIVER {
+                    std::hint::black_box(one_request(&mut reader, &format!("/d{d}/r{i}")));
+                }
+                reader
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    let mut returned = Vec::new();
+    for j in joins {
+        returned.push(j.join().unwrap());
+    }
+    let elapsed = start.elapsed();
+    world.idle.extend(returned);
+    elapsed
+}
+
+#[derive(Clone)]
+struct Point {
+    front: &'static str,
+    connections: usize,
+    requests: u64,
+    median_elapsed_ns: u64,
+    resident_threads: usize,
+}
+
+impl Point {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.median_elapsed_ns.max(1) as f64 * 1e9
+    }
+}
+
+fn median_ns(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_connections(c: &mut Criterion) {
+    let quick = std::env::var("CRITERION_QUICK").is_ok();
+    let grid = if quick { CONN_GRID_QUICK } else { CONN_GRID };
+    let requests = (DRIVERS * REQS_PER_DRIVER) as u64;
+    let mut points: Vec<Point> = Vec::new();
+    let mut group = c.benchmark_group("connections");
+    for &conns in grid {
+        // The fronts run *sequentially*, each torn down before the next
+        // builds. Paired interleaving (the shards bench's design) would
+        // keep both worlds alive at once — and at 4096 connections the
+        // threaded world's ~4k blocked threads and their stacks degrade
+        // the whole host, so the other front would be measured under its
+        // competitor's weight rather than under load.
+        for front in ["threaded", "readiness"] {
+            let mut world = build_world(front, conns);
+            let mut samples = Vec::with_capacity(BATCHES);
+            for _ in 0..BATCHES {
+                samples.push(run_batch(&mut world).as_nanos() as u64);
+            }
+            let p = Point {
+                front,
+                connections: conns,
+                requests,
+                median_elapsed_ns: median_ns(samples),
+                resident_threads: world.resident_threads,
+            };
+            group.throughput(Throughput::Elements(requests));
+            group.bench_function(BenchmarkId::new(front, format!("{conns}c")), |b| {
+                b.iter(|| std::hint::black_box(p.median_elapsed_ns))
+            });
+            println!(
+                "measured connections/{front}/{conns}c: {:>9.0} req/s, {:>5} resident threads (median of {BATCHES})",
+                p.rps(),
+                p.resident_threads
+            );
+            points.push(p);
+            world.front.stop();
+            drop(world.idle);
+            drop(world.net);
+            drop(world.front);
+            // Let the torn-down front's threads exit before the next
+            // world's before/after thread-count delta is taken.
+            std::thread::sleep(Duration::from_millis(300));
+        }
+    }
+    group.finish();
+    emit_json(&points, grid, quick);
+}
+
+fn emit_json(points: &[Point], grid: &[usize], quick: bool) {
+    let find = |front: &str, conns: usize| {
+        points
+            .iter()
+            .find(|p| p.front == front && p.connections == conns)
+            .expect("grid point measured")
+    };
+    let max_conns = *grid.last().expect("non-empty grid");
+    let throughput_ratio_at_min =
+        find("readiness", grid[0]).rps() / find("threaded", grid[0]).rps();
+    let readiness_threads_at_max = find("readiness", max_conns).resident_threads;
+    let threaded_threads_at_max = find("threaded", max_conns).resident_threads;
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut json = format!(
+        "{{\n  \"bench\": \"connections\",\n  \"unit\": \"req/s\",\n  \"host_cpus\": {cpus},\n  \"quick\": {quick},\n  \"drivers\": {DRIVERS},\n  \"batches_per_point\": {BATCHES},\n  \"points\": [\n"
+    );
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"front\": \"{}\", \"connections\": {}, \"requests\": {}, \"median_elapsed_ns\": {}, \"req_per_s\": {:.1}, \"resident_threads\": {}}}{}\n",
+            p.front,
+            p.connections,
+            p.requests,
+            p.median_elapsed_ns,
+            p.rps(),
+            p.resident_threads,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"throughput_ratio_readiness_vs_threaded_at_{}_conns\": {throughput_ratio_at_min:.4},\n  \"resident_threads_at_{max_conns}_conns\": {{\"threaded\": {threaded_threads_at_max}, \"readiness\": {readiness_threads_at_max}}}\n}}\n",
+        grid[0]
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_connections.json");
+    let mut file = std::fs::File::create(path).expect("create BENCH_connections.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_connections.json");
+    println!("wrote {path}");
+    println!(
+        "readiness vs threaded throughput at {} conns: {throughput_ratio_at_min:.2}x; threads at {max_conns} conns: {readiness_threads_at_max} vs {threaded_threads_at_max}",
+        grid[0]
+    );
+}
+
+criterion_group!(
+    name = connections;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(50))
+        .warm_up_time(Duration::from_millis(10));
+    targets = bench_connections
+);
+criterion_main!(connections);

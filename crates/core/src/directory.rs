@@ -30,8 +30,11 @@
 //! "slot *k* at the DPC" regardless of which shard issued it, keys still
 //! cycle through {valid, freeList} within their owning shard, and a key is
 //! never live in two shards because segments are disjoint. Operations that
-//! are cross-fragment by nature (dependency invalidation, full sweeps,
-//! stats) visit shards one at a time; they are off the request hot path.
+//! are cross-fragment by nature (full sweeps, stats) visit shards one at a
+//! time; they are off the request hot path. Dependency invalidation is
+//! narrower still: a directory-level dep → shard-set index records which
+//! shards hold dependents, so `invalidate_dep` locks only those shards —
+//! with sparse fan-out a data-source update touches one shard, not N.
 //!
 //! Three events retire a valid entry:
 //!
@@ -45,6 +48,7 @@
 
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use dpc_net::Clock;
@@ -100,6 +104,10 @@ pub struct DirectoryStats {
     pub invalidations: u64,
     pub evictions: u64,
     pub uncacheable: u64,
+    /// Shard locks taken by [`CacheDirectory::invalidate_dep`] calls. With
+    /// the dep → shard-set index this counts only shards that (possibly)
+    /// held dependents — the back-pressure win over walking all N shards.
+    pub dep_shard_scans: u64,
     /// Gauges at snapshot time.
     pub valid_entries: usize,
     pub total_entries: usize,
@@ -156,11 +164,55 @@ impl Shard {
     }
 }
 
+/// Bitmask over shard indices (shard counts can exceed 64, so the mask is
+/// a small word vector).
+#[derive(Clone)]
+struct ShardSet {
+    words: Vec<u64>,
+}
+
+impl ShardSet {
+    fn new(shards: usize) -> ShardSet {
+        ShardSet {
+            words: vec![0; shards.div_ceil(64)],
+        }
+    }
+
+    fn set(&mut self, idx: usize) {
+        self.words[idx / 64] |= 1 << (idx % 64);
+    }
+
+    fn clear(&mut self, idx: usize) {
+        self.words[idx / 64] &= !(1 << (idx % 64));
+    }
+
+    fn contains(&self, idx: usize) -> bool {
+        self.words[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+}
+
 /// Thread-safe, sharded cache directory.
 pub struct CacheDirectory {
     clock: Clock,
     capacity: usize,
     shards: Box<[Shard]>,
+    /// Invalidation back-pressure index: dep → set of shards that (may)
+    /// hold fragments depending on it. Registration sets a shard's bit
+    /// under that shard's lock *before* releasing it; bits are cleared when
+    /// a shard's last dependent for the dep unregisters (again under the
+    /// shard lock), so [`invalidate_dep`](CacheDirectory::invalidate_dep)
+    /// can skip shards with no dependents instead of locking all N.
+    ///
+    /// Lock ordering: shard `inner` before `dep_shards`, never the
+    /// reverse — `invalidate_dep` snapshots the mask without holding any
+    /// shard lock.
+    dep_shards: Mutex<HashMap<String, ShardSet>>,
+    /// Shard locks taken by `invalidate_dep` (see `DirectoryStats`).
+    dep_shard_scans: AtomicU64,
 }
 
 /// FNV-1a over the fragment id's canonical bytes: deterministic across
@@ -217,6 +269,8 @@ impl CacheDirectory {
             clock: config.clock.clone(),
             capacity,
             shards: shards.into_boxed_slice(),
+            dep_shards: Mutex::new(HashMap::new()),
+            dep_shard_scans: AtomicU64::new(0),
         }
     }
 
@@ -230,10 +284,33 @@ impl CacheDirectory {
         self.shards.len()
     }
 
-    fn shard_for(&self, id: &FragmentId) -> &Shard {
+    fn shard_index_for(&self, id: &FragmentId) -> usize {
         // Shard counts are powers of two (see `BemConfig::effective_shards`),
         // so selection is a mask, not a division.
-        &self.shards[(shard_hash(id) & (self.shards.len() as u64 - 1)) as usize]
+        (shard_hash(id) & (self.shards.len() as u64 - 1)) as usize
+    }
+
+    /// Record that shard `idx` (may) hold a dependent of `dep`. Must be
+    /// called while holding shard `idx`'s lock so the bit is visible before
+    /// any later `invalidate_dep` can lock the shard.
+    fn mark_dep_shard(&self, dep: &str, idx: usize) {
+        let mut index = self.dep_shards.lock();
+        index
+            .entry(dep.to_owned())
+            .or_insert_with(|| ShardSet::new(self.shards.len()))
+            .set(idx);
+    }
+
+    /// Record that shard `idx` no longer holds any dependent of `dep`.
+    /// Must be called while holding shard `idx`'s lock.
+    fn clear_dep_shard(&self, dep: &str, idx: usize) {
+        let mut index = self.dep_shards.lock();
+        if let Some(set) = index.get_mut(dep) {
+            set.clear(idx);
+            if set.is_empty() {
+                index.remove(dep);
+            }
+        }
     }
 
     /// Look up `id`; on miss, allocate a key, register `deps`, and mark the
@@ -258,7 +335,8 @@ impl CacheDirectory {
         assert!(node < 64, "at most 64 DPC nodes are supported");
         let node_bit = 1u64 << node;
         let now = self.clock.now_nanos();
-        let shard = self.shard_for(id);
+        let shard_idx = self.shard_index_for(id);
+        let shard = &self.shards[shard_idx];
         let mut inner = shard.inner.lock();
         let inner = &mut *inner;
 
@@ -286,13 +364,13 @@ impl CacheDirectory {
                 inner.key_owner.remove(&key);
                 inner.free_list.push_back(key);
                 inner.replacer.on_remove(key);
-                Self::unregister_deps(&mut inner.dep_index, id, &entry.deps);
-                entry.deps.clear();
+                let deps = std::mem::take(&mut entry.deps);
+                self.unregister_deps(&mut inner.dep_index, shard_idx, id, &deps);
             }
         }
         // Miss path: allocate a key (freeList, then the shard's fresh key
         // segment, then replacement).
-        let key = match Self::allocate_key(inner, shard.key_hi) {
+        let key = match self.allocate_key(inner, shard_idx, shard.key_hi) {
             Some(k) => k,
             None => {
                 inner.uncacheable += 1;
@@ -320,6 +398,7 @@ impl CacheDirectory {
                 .entry(dep.clone())
                 .or_default()
                 .insert(id.clone());
+            self.mark_dep_shard(dep, shard_idx);
         }
         inner.entries.insert(id.clone(), entry);
         inner.key_owner.insert(key, id.clone());
@@ -337,7 +416,8 @@ impl CacheDirectory {
     /// path, then registers the discovered deps — so the dependency query
     /// is never executed on the hit path.
     pub fn add_deps(&self, id: &FragmentId, deps: &[String]) -> bool {
-        let mut inner = self.shard_for(id).inner.lock();
+        let shard_idx = self.shard_index_for(id);
+        let mut inner = self.shards[shard_idx].inner.lock();
         let inner = &mut *inner;
         let Some(entry) = inner.entries.get_mut(id) else {
             return false;
@@ -354,6 +434,7 @@ impl CacheDirectory {
                 .entry(dep.clone())
                 .or_default()
                 .insert(id.clone());
+            self.mark_dep_shard(dep, shard_idx);
         }
         true
     }
@@ -361,26 +442,44 @@ impl CacheDirectory {
     /// Mark `id` invalid, returning its key to its shard's freeList.
     /// Returns true when the entry was valid.
     pub fn invalidate(&self, id: &FragmentId) -> bool {
-        let mut inner = self.shard_for(id).inner.lock();
-        Self::invalidate_locked(&mut inner, id)
+        let shard_idx = self.shard_index_for(id);
+        let mut inner = self.shards[shard_idx].inner.lock();
+        self.invalidate_locked(&mut inner, shard_idx, id)
     }
 
     /// Invalidate every fragment registered as depending on `dep`.
     /// Returns the number of fragments invalidated.
     ///
     /// Dependents may live in any shard (the dep index is shard-local to
-    /// keep registration on the miss path lock-free across shards), so this
-    /// visits every shard — acceptable, because data-source updates are
-    /// orders of magnitude rarer than lookups.
+    /// keep registration on the miss path lock-free across shards), but
+    /// this does *not* walk all N shards: the directory keeps a dep →
+    /// shard-set index, so only shards that registered a dependent are
+    /// locked. With sparse dependency fan-out — the common production shape,
+    /// where one table row feeds a handful of fragments — a data-source
+    /// update touches one or two shard locks instead of stalling all of
+    /// them ([`DirectoryStats::dep_shard_scans`] counts the locks taken).
     pub fn invalidate_dep(&self, dep: &str) -> usize {
+        // Snapshot the shard set without holding any shard lock (lock
+        // order: shard inner before dep_shards). A registration that lands
+        // after this read linearizes after the whole invalidation.
+        let Some(mask) = self.dep_shards.lock().get(dep).cloned() else {
+            return 0;
+        };
         let mut n = 0;
-        for shard in &self.shards {
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            if !mask.contains(shard_idx) {
+                continue;
+            }
+            self.dep_shard_scans.fetch_add(1, Ordering::Relaxed);
             let mut inner = shard.inner.lock();
             let Some(ids) = inner.dep_index.get(dep).cloned() else {
+                // Stale bit (dependents expired/evicted since it was set):
+                // clean it up so the next update skips this shard too.
+                self.clear_dep_shard(dep, shard_idx);
                 continue;
             };
             for id in ids {
-                if Self::invalidate_locked(&mut inner, &id) {
+                if self.invalidate_locked(&mut inner, shard_idx, &id) {
                     n += 1;
                 }
             }
@@ -391,7 +490,7 @@ impl CacheDirectory {
     /// Invalidate everything (origin data reload).
     pub fn invalidate_all(&self) -> usize {
         let mut n = 0;
-        for shard in &self.shards {
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
             let mut inner = shard.inner.lock();
             let ids: Vec<FragmentId> = inner
                 .entries
@@ -400,7 +499,7 @@ impl CacheDirectory {
                 .map(|(id, _)| id.clone())
                 .collect();
             for id in &ids {
-                if Self::invalidate_locked(&mut inner, id) {
+                if self.invalidate_locked(&mut inner, shard_idx, id) {
                     n += 1;
                 }
             }
@@ -416,7 +515,7 @@ impl CacheDirectory {
     pub fn sweep_expired(&self) -> usize {
         let now = self.clock.now_nanos();
         let mut n = 0;
-        for shard in &self.shards {
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
             let mut inner = shard.inner.lock();
             let expired: Vec<FragmentId> = inner
                 .entries
@@ -425,7 +524,7 @@ impl CacheDirectory {
                 .map(|(id, _)| id.clone())
                 .collect();
             for id in &expired {
-                if Self::invalidate_locked(&mut inner, id) {
+                if self.invalidate_locked(&mut inner, shard_idx, id) {
                     inner.invalidations -= 1; // reclassify:
                     inner.expirations += 1; // it expired, wasn't invalidated
                     n += 1;
@@ -439,6 +538,7 @@ impl CacheDirectory {
     pub fn stats(&self) -> DirectoryStats {
         let mut stats = DirectoryStats {
             shards: self.shards.len(),
+            dep_shard_scans: self.dep_shard_scans.load(Ordering::Relaxed),
             ..DirectoryStats::default()
         };
         for shard in &self.shards {
@@ -537,7 +637,7 @@ impl CacheDirectory {
 
     // -- internals ----------------------------------------------------------
 
-    fn allocate_key(inner: &mut Inner, key_hi: u32) -> Option<DpcKey> {
+    fn allocate_key(&self, inner: &mut Inner, shard_idx: usize, key_hi: u32) -> Option<DpcKey> {
         if let Some(key) = inner.free_list.pop_front() {
             return Some(key);
         }
@@ -561,12 +661,12 @@ impl CacheDirectory {
         entry.is_valid = false;
         entry.stored_nodes = 0;
         let deps = std::mem::take(&mut entry.deps);
-        Self::unregister_deps(&mut inner.dep_index, &victim_id, &deps);
+        self.unregister_deps(&mut inner.dep_index, shard_idx, &victim_id, &deps);
         inner.evictions += 1;
         Some(victim_key)
     }
 
-    fn invalidate_locked(inner: &mut Inner, id: &FragmentId) -> bool {
+    fn invalidate_locked(&self, inner: &mut Inner, shard_idx: usize, id: &FragmentId) -> bool {
         let Some(entry) = inner.entries.get_mut(id) else {
             return false;
         };
@@ -581,12 +681,18 @@ impl CacheDirectory {
         inner.key_owner.remove(&key);
         inner.free_list.push_back(key);
         inner.replacer.on_remove(key);
-        Self::unregister_deps(&mut inner.dep_index, id, &deps);
+        self.unregister_deps(&mut inner.dep_index, shard_idx, id, &deps);
         true
     }
 
+    /// Drop `id`'s registrations from the shard-local dep index; when a dep
+    /// loses its last dependent in this shard, clear the shard's bit in the
+    /// directory-level dep → shard-set index (the caller holds the shard
+    /// lock, which is what makes the bit transition safe).
     fn unregister_deps(
+        &self,
         dep_index: &mut HashMap<String, HashSet<FragmentId>>,
+        shard_idx: usize,
         id: &FragmentId,
         deps: &[String],
     ) {
@@ -595,6 +701,7 @@ impl CacheDirectory {
                 set.remove(id);
                 if set.is_empty() {
                     dep_index.remove(dep);
+                    self.clear_dep_shard(dep, shard_idx);
                 }
             }
         }
@@ -728,6 +835,79 @@ mod tests {
         assert_eq!(dir.invalidate_dep("tbl/all"), 100);
         assert_eq!(dir.stats().valid_entries, 0);
         dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalidate_dep_skips_shards_without_dependents() {
+        let dir = dir_with(256, 16);
+        // One dependent fragment: exactly one shard holds it.
+        let id = FragmentId::new("lonely");
+        let _ = dir.lookup(&id, Duration::from_secs(600), &["tbl/one".to_owned()]);
+        // Plenty of unrelated fragments spread over every shard.
+        for i in 0..128 {
+            let other = FragmentId::with_params("noise", &[("i", &i.to_string())]);
+            let _ = dir.lookup(&other, Duration::from_secs(600), &[]);
+        }
+        assert_eq!(dir.stats().dep_shard_scans, 0);
+        assert_eq!(dir.invalidate_dep("tbl/one"), 1);
+        assert_eq!(
+            dir.stats().dep_shard_scans,
+            1,
+            "one dependent must cost one shard lock, not 16"
+        );
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalidate_unknown_dep_locks_no_shards() {
+        let dir = dir_with(256, 16);
+        for i in 0..64 {
+            let id = FragmentId::with_params("f", &[("i", &i.to_string())]);
+            let _ = dir.lookup(&id, Duration::from_secs(600), &["tbl/known".to_owned()]);
+        }
+        assert_eq!(dir.invalidate_dep("tbl/unknown"), 0);
+        assert_eq!(dir.stats().dep_shard_scans, 0);
+    }
+
+    #[test]
+    fn dep_shard_index_is_cleaned_and_rebuilt() {
+        let dir = dir_with(256, 16);
+        let dep = "tbl/cycle".to_owned();
+        let id = FragmentId::new("cycling");
+        let _ = dir.lookup(&id, Duration::from_secs(600), std::slice::from_ref(&dep));
+        assert_eq!(dir.invalidate_dep(&dep), 1);
+        let after_first = dir.stats().dep_shard_scans;
+        // The index entry is gone: a second update is free.
+        assert_eq!(dir.invalidate_dep(&dep), 0);
+        assert_eq!(dir.stats().dep_shard_scans, after_first);
+        // Re-registration rebuilds the bit and invalidation works again.
+        let _ = dir.lookup(&id, Duration::from_secs(600), std::slice::from_ref(&dep));
+        assert_eq!(dir.invalidate_dep(&dep), 1);
+        assert_eq!(dir.stats().dep_shard_scans, after_first + 1);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn plain_invalidate_clears_dep_shard_bit() {
+        let dir = dir_with(256, 16);
+        let dep = "tbl/direct".to_owned();
+        let id = FragmentId::new("direct");
+        let _ = dir.lookup(&id, Duration::from_secs(600), std::slice::from_ref(&dep));
+        // Direct (non-dep) invalidation unregisters the dependency too, so
+        // the following dep update must not lock any shard.
+        assert!(dir.invalidate(&id));
+        assert_eq!(dir.invalidate_dep(&dep), 0);
+        assert_eq!(dir.stats().dep_shard_scans, 0);
+    }
+
+    #[test]
+    fn add_deps_registers_in_shard_index() {
+        let dir = dir_with(256, 16);
+        let id = FragmentId::new("deferred");
+        let _ = dir.lookup(&id, Duration::from_secs(600), &[]);
+        assert!(dir.add_deps(&id, &["tbl/late".to_owned()]));
+        assert_eq!(dir.invalidate_dep("tbl/late"), 1);
+        assert_eq!(dir.stats().dep_shard_scans, 1);
     }
 
     #[test]

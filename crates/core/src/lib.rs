@@ -20,7 +20,7 @@
 //!   overwrites the slot).
 //! * [`bem`] — the Back End Monitor: the tagging API scripts wrap around
 //!   cacheable code blocks, the hit/miss decision, and template emission.
-//! * [`store`] / [`assemble`] — the DPC side: an in-memory slot array
+//! * [`store`] / [`mod@assemble`] — the DPC side: an in-memory slot array
 //!   indexed by `dpcKey` (striped over per-shard locks), and the
 //!   single-pass scanner/assembler that turns a template plus cached
 //!   fragments into the final page — as a flat buffer or as a zero-copy

@@ -1,4 +1,4 @@
-//! Knuth–Morris–Pratt string matching — the paper's reference [18].
+//! Knuth–Morris–Pratt string matching — the paper's reference \[18\].
 //!
 //! Linear time, constant extra state per scan: the property §5's scan-cost
 //! model relies on when it sets the DPC's per-byte scan cost `z ≈ y`.

@@ -3,14 +3,14 @@
 //! §5's scan-cost analysis models the firewall as a linear-time byte
 //! scanner: "regardless of whether the dynamic proxy cache is used, each
 //! packet is scanned by the firewall … Since string matching algorithms
-//! (e.g., KMP [18]) are linear-time algorithms, we can consider the
+//! (e.g., KMP \[18\]) are linear-time algorithms, we can consider the
 //! scanning costs for the firewall and the dynamic proxy cache to be of the
 //! same order."
 //!
 //! This crate implements that scanner for real:
 //!
 //! * [`kmp`] — Knuth–Morris–Pratt single-pattern matching (the paper's
-//!   reference [18]);
+//!   reference \[18\]);
 //! * [`multi`] — Aho–Corasick multi-pattern matching (KMP failure functions
 //!   generalized to a pattern trie), which is what a rule-set firewall
 //!   actually runs;

@@ -12,6 +12,15 @@
 //! `Connection: close`, query strings, and arbitrary headers. There is no
 //! chunked transfer-encoding, TLS, or HTTP/2 — none of which existed in or
 //! matter to the 2002 evaluation.
+//!
+//! The serving path is readiness-driven: [`Server`] multiplexes every
+//! connection over one event loop ([`server`]) and executes handlers on a
+//! bounded worker pool, so idle keep-alive connections don't pin threads.
+//! Response bodies are ropes ([`message::Body`]) written to the wire with
+//! vectored I/O, keeping the DPC's assembled fragments zero-copy end to
+//! end. The original thread-per-connection front survives as
+//! [`ThreadedServer`] ([`threaded`]) purely as the measured baseline for
+//! `bench/benches/connections.rs`.
 
 pub mod client;
 pub mod error;
@@ -20,12 +29,14 @@ pub mod parse;
 pub mod pool;
 pub mod serialize;
 pub mod server;
+pub mod threaded;
 pub mod uri;
 
 pub use client::Client;
 pub use error::HttpError;
-pub use message::{Headers, Method, Request, Response, Status};
-pub use server::{Handler, Server, ServerHandle};
+pub use message::{Body, Headers, Method, Request, Response, Status};
+pub use server::{Handler, Server, ServerConfig, ServerHandle};
+pub use threaded::{ThreadedServer, ThreadedServerHandle};
 pub use uri::Uri;
 
 /// Result alias for this crate.

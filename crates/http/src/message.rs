@@ -200,17 +200,226 @@ impl Request {
     }
 }
 
+/// A response body: one contiguous buffer, or a *rope* of shared-buffer
+/// segments.
+///
+/// The rope variant is the end of the zero-copy assembly path: the proxy
+/// splices cached fragments into an assembled rope's `Vec<Bytes>` by
+/// refcount bump, hands it to the response as `Body::Rope`, and the
+/// serializer emits the segments with vectored writes — fragment bytes are
+/// never memcpy'd into a flat page buffer on the way to the wire.
+///
+/// Parsed responses (client side) are always `Single`; handler-built
+/// responses are `Single` unless they explicitly carry a rope.
+///
+/// Equality is content-based: a rope equals the single buffer holding the
+/// same bytes, so oracle comparisons in tests work across both shapes.
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// One contiguous buffer.
+    Single(Bytes),
+    /// Ordered segments sharing their source buffers; concatenation is the
+    /// body.
+    Rope(Vec<Bytes>),
+}
+
+impl Body {
+    /// The empty body (no allocation).
+    pub const fn empty() -> Body {
+        Body::Single(Bytes::new())
+    }
+
+    /// Total body length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Body::Single(b) => b.len(),
+            Body::Rope(segs) => segs.iter().map(Bytes::len).sum(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Body::Single(b) => b.is_empty(),
+            Body::Rope(segs) => segs.iter().all(Bytes::is_empty),
+        }
+    }
+
+    /// The body as an ordered segment slice (a `Single` is one segment).
+    pub fn segments(&self) -> &[Bytes] {
+        match self {
+            Body::Single(b) => std::slice::from_ref(b),
+            Body::Rope(segs) => segs,
+        }
+    }
+
+    /// The body as one contiguous [`Bytes`]. Zero-copy for `Single` and
+    /// one-segment ropes (a refcount bump); multi-segment ropes are copied
+    /// once. Reading paths (firewall scans, template parsing, tests) use
+    /// this; the wire path uses [`segments`](Body::segments) and never
+    /// flattens.
+    pub fn flatten(&self) -> Bytes {
+        match self {
+            Body::Single(b) => b.clone(),
+            Body::Rope(segs) if segs.len() == 1 => segs[0].clone(),
+            Body::Rope(segs) => {
+                let mut out = Vec::with_capacity(self.len());
+                for seg in segs {
+                    out.extend_from_slice(seg);
+                }
+                Bytes::from(out)
+            }
+        }
+    }
+
+    /// Copy the body out into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len());
+        for seg in self.segments() {
+            out.extend_from_slice(seg);
+        }
+        out
+    }
+}
+
+impl Default for Body {
+    fn default() -> Body {
+        Body::empty()
+    }
+}
+
+impl From<Bytes> for Body {
+    fn from(b: Bytes) -> Body {
+        Body::Single(b)
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body::Single(Bytes::from(v))
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Body {
+        Body::Single(Bytes::from(s))
+    }
+}
+
+impl From<&'static str> for Body {
+    fn from(s: &'static str) -> Body {
+        Body::Single(Bytes::from_static(s.as_bytes()))
+    }
+}
+
+impl From<&'static [u8]> for Body {
+    fn from(b: &'static [u8]) -> Body {
+        Body::Single(Bytes::from_static(b))
+    }
+}
+
+impl From<Vec<Bytes>> for Body {
+    fn from(segs: Vec<Bytes>) -> Body {
+        Body::Rope(segs)
+    }
+}
+
+/// Compare a segment list against a flat byte slice without allocating.
+fn segments_eq_slice(segs: &[Bytes], mut other: &[u8]) -> bool {
+    for seg in segs {
+        let Some(head) = other.get(..seg.len()) else {
+            return false;
+        };
+        if head != &seg[..] {
+            return false;
+        }
+        other = &other[seg.len()..];
+    }
+    other.is_empty()
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Body) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        // Two-cursor walk over both segment lists: compares content across
+        // arbitrary segmentation without flattening either side.
+        let (a, b) = (self.segments(), other.segments());
+        let (mut ai, mut bi) = (0usize, 0usize);
+        let (mut ao, mut bo) = (0usize, 0usize);
+        loop {
+            while ai < a.len() && ao == a[ai].len() {
+                ai += 1;
+                ao = 0;
+            }
+            while bi < b.len() && bo == b[bi].len() {
+                bi += 1;
+                bo = 0;
+            }
+            match (ai < a.len(), bi < b.len()) {
+                (false, false) => return true,
+                (true, true) => {}
+                _ => return false, // lengths matched, so unreachable in fact
+            }
+            let n = (a[ai].len() - ao).min(b[bi].len() - bo);
+            if a[ai][ao..ao + n] != b[bi][bo..bo + n] {
+                return false;
+            }
+            ao += n;
+            bo += n;
+        }
+    }
+}
+
+impl Eq for Body {}
+
+impl PartialEq<[u8]> for Body {
+    fn eq(&self, other: &[u8]) -> bool {
+        segments_eq_slice(self.segments(), other)
+    }
+}
+
+impl PartialEq<&[u8]> for Body {
+    fn eq(&self, other: &&[u8]) -> bool {
+        segments_eq_slice(self.segments(), other)
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Body {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        segments_eq_slice(self.segments(), other)
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Body {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        segments_eq_slice(self.segments(), *other)
+    }
+}
+
+impl PartialEq<Vec<u8>> for Body {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        segments_eq_slice(self.segments(), other)
+    }
+}
+
+impl PartialEq<Bytes> for Body {
+    fn eq(&self, other: &Bytes) -> bool {
+        segments_eq_slice(self.segments(), other)
+    }
+}
+
 /// An HTTP response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     pub status: Status,
     pub headers: Headers,
-    pub body: Bytes,
+    pub body: Body,
 }
 
 impl Response {
     /// A 200 response with a body and `Content-Type: text/html`.
-    pub fn html(body: impl Into<Bytes>) -> Response {
+    pub fn html(body: impl Into<Body>) -> Response {
         let mut r = Response {
             status: Status::OK,
             headers: Headers::new(),
@@ -225,7 +434,7 @@ impl Response {
         Response {
             status,
             headers: Headers::new(),
-            body: Bytes::new(),
+            body: Body::empty(),
         }
     }
 
@@ -234,7 +443,7 @@ impl Response {
         let mut r = Response {
             status,
             headers: Headers::new(),
-            body: Bytes::copy_from_slice(msg.as_bytes()),
+            body: Body::Single(Bytes::copy_from_slice(msg.as_bytes())),
         };
         r.headers.set("Content-Type", "text/plain");
         r
@@ -320,7 +529,57 @@ mod tests {
         assert_eq!(r.headers.get("content-type"), Some("text/html"));
         let e = Response::error(Status::NOT_FOUND, "gone");
         assert_eq!(e.status, Status::NOT_FOUND);
-        assert_eq!(&e.body[..], b"gone");
+        assert_eq!(e.body, *b"gone");
+    }
+
+    #[test]
+    fn body_len_and_flatten_across_shapes() {
+        let single = Body::from("hello world");
+        let rope = Body::Rope(vec![
+            Bytes::from_static(b"hello"),
+            Bytes::from_static(b" "),
+            Bytes::from_static(b"world"),
+        ]);
+        assert_eq!(single.len(), 11);
+        assert_eq!(rope.len(), 11);
+        assert!(!rope.is_empty());
+        assert!(Body::empty().is_empty());
+        assert_eq!(rope.flatten(), Bytes::from_static(b"hello world"));
+        assert_eq!(rope.to_vec(), b"hello world".to_vec());
+        assert_eq!(single.segments().len(), 1);
+        assert_eq!(rope.segments().len(), 3);
+    }
+
+    #[test]
+    fn body_equality_is_content_based() {
+        let single = Body::from("abcdef");
+        let rope = Body::Rope(vec![Bytes::from_static(b"abc"), Bytes::from_static(b"def")]);
+        let other = Body::Rope(vec![
+            Bytes::from_static(b"ab"),
+            Bytes::from_static(b"cd"),
+            Bytes::from_static(b"ef"),
+        ]);
+        assert_eq!(single, rope);
+        assert_eq!(rope, other);
+        assert_eq!(rope, *b"abcdef");
+        assert_eq!(rope, b"abcdef".to_vec());
+        assert_ne!(rope, Body::from("abcdeX"));
+        assert_ne!(rope, Body::from("abcde"));
+        // Empty segments do not affect equality.
+        let padded = Body::Rope(vec![
+            Bytes::new(),
+            Bytes::from_static(b"abcdef"),
+            Bytes::new(),
+        ]);
+        assert_eq!(padded, single);
+    }
+
+    #[test]
+    fn flatten_of_one_segment_rope_is_zero_copy() {
+        let frag = Bytes::from(b"cached fragment".to_vec());
+        let rope = Body::Rope(vec![frag.clone()]);
+        let flat = rope.flatten();
+        assert_eq!(flat.as_slice().as_ptr(), frag.as_slice().as_ptr());
     }
 
     #[test]

@@ -124,6 +124,89 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request> {
     })
 }
 
+/// How far one complete request frame extends into a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    /// No blank line yet; the head has been scanned up to `scanned` bytes
+    /// (resume the search there — re-scanning from 0 on every arriving
+    /// chunk would make ingestion quadratic).
+    Partial { scanned: usize },
+    /// The head ends at `head` and the frame (head + declared body) spans
+    /// `total` bytes.
+    Complete { head: usize, total: usize },
+}
+
+/// Locate the end of a request frame without parsing it, starting the
+/// blank-line search at `scanned` (from a previous [`Frame::Partial`]).
+///
+/// This is the cheap framing gate in front of [`try_parse_request`]: the
+/// event-loop server only attempts a full parse once the frame is complete,
+/// so a body arriving in many chunks is parsed (and its buffer allocated)
+/// exactly once instead of once per readable event. The `Content-Length`
+/// scan here is advisory — the authoritative value is re-read by the real
+/// parser, and any disagreement surfaces there as a parse error.
+pub fn frame_len(buf: &[u8], scanned: usize) -> Frame {
+    // Resume a few bytes back: a "\r\n\r\n" terminator may span the chunk
+    // boundary where the previous scan stopped.
+    let mut i = scanned.saturating_sub(3);
+    let head = loop {
+        let Some(off) = buf[i..].iter().position(|b| *b == b'\n') else {
+            return Frame::Partial { scanned: buf.len() };
+        };
+        let nl = i + off;
+        match (buf.get(nl + 1), buf.get(nl + 2)) {
+            (Some(b'\n'), _) => break nl + 2,           // lenient "\n\n"
+            (Some(b'\r'), Some(b'\n')) => break nl + 3, // "\n\r\n"
+            (None, _) | (Some(b'\r'), None) => return Frame::Partial { scanned: buf.len() },
+            _ => i = nl + 1,
+        }
+    };
+    let body = head_content_length(&buf[..head]);
+    Frame::Complete {
+        head,
+        total: head.saturating_add(body),
+    }
+}
+
+/// Advisory `Content-Length` of a complete head (0 when absent/unparsable).
+fn head_content_length(head: &[u8]) -> usize {
+    for line in head.split(|b| *b == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        let Some(colon) = line.iter().position(|b| *b == b':') else {
+            continue;
+        };
+        if line[..colon]
+            .trim_ascii()
+            .eq_ignore_ascii_case(b"content-length")
+        {
+            return std::str::from_utf8(&line[colon + 1..])
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Attempt to parse one complete request from the front of `buf` without
+/// blocking: the event-loop server's incremental entry point.
+///
+/// Returns `Ok(Some((request, consumed)))` when `buf` holds a complete
+/// request in its first `consumed` bytes, `Ok(None)` when more bytes are
+/// needed (a partial head or body — the slow-loris state), and `Err` when
+/// the prefix can never become a valid request (malformed start line or
+/// header, or a head/body over the size limits).
+pub fn try_parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>> {
+    let mut cursor = std::io::Cursor::new(buf);
+    match read_request(&mut cursor) {
+        Ok(req) => Ok(Some((req, cursor.position() as usize))),
+        // EOF inside the incremental buffer just means "incomplete": the
+        // connection is still open and more bytes may arrive.
+        Err(HttpError::ConnectionClosed { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
 /// Parse one response from `reader`.
 ///
 /// When the response carries no `Content-Length`, the body is everything up
@@ -161,7 +244,7 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response> {
     Ok(Response {
         status: Status(code),
         headers,
-        body,
+        body: crate::message::Body::Single(body),
     })
 }
 
@@ -190,6 +273,87 @@ mod tests {
         let req = read_request(&mut cursor(raw)).unwrap();
         assert_eq!(req.method, Method::Post);
         assert_eq!(&req.body[..], b"hello");
+    }
+
+    #[test]
+    fn frame_len_finds_head_and_body_extent() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let head = raw.len() - 5;
+        assert_eq!(
+            frame_len(raw, 0),
+            Frame::Complete {
+                head,
+                total: raw.len()
+            }
+        );
+        // Lenient LF-only framing.
+        assert_eq!(
+            frame_len(b"GET / HTTP/1.1\nHost: a\n\n", 0),
+            Frame::Complete {
+                head: 24,
+                total: 24
+            }
+        );
+        // No Content-Length: frame is just the head.
+        assert_eq!(
+            frame_len(b"GET / HTTP/1.1\r\n\r\ntrailing", 0),
+            Frame::Complete {
+                head: 18,
+                total: 18
+            }
+        );
+    }
+
+    #[test]
+    fn frame_len_resumes_incremental_scans() {
+        let full = b"GET /long HTTP/1.1\r\nX-A: 1\r\nX-B: 2\r\n\r\n";
+        let mut scanned = 0;
+        // Feed the head a few bytes at a time; each Partial resumes where
+        // the last scan stopped and the final chunk completes the frame.
+        for cut in [5, 19, 30, full.len() - 1] {
+            match frame_len(&full[..cut], scanned) {
+                Frame::Partial { scanned: s } => scanned = s,
+                complete => panic!("cut {cut} unexpectedly complete: {complete:?}"),
+            }
+        }
+        assert_eq!(
+            frame_len(full, scanned),
+            Frame::Complete {
+                head: full.len(),
+                total: full.len()
+            }
+        );
+    }
+
+    #[test]
+    fn frame_len_terminator_spanning_chunk_boundary() {
+        let full = b"GET / HTTP/1.1\r\n\r\n";
+        // Stop mid-terminator: "…\r\n\r" — the resume backoff must still
+        // find the full terminator once the last byte arrives.
+        let Frame::Partial { scanned } = frame_len(&full[..full.len() - 1], 0) else {
+            panic!("mid-terminator must be partial");
+        };
+        assert_eq!(
+            frame_len(full, scanned),
+            Frame::Complete {
+                head: 18,
+                total: 18
+            }
+        );
+    }
+
+    #[test]
+    fn frame_len_advisory_content_length_is_lenient() {
+        // Unparsable Content-Length values degrade to 0 (the authoritative
+        // parse rejects or reinterprets them; the gate must not stall).
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        assert_eq!(
+            frame_len(raw, 0),
+            Frame::Complete {
+                head: raw.len(),
+                total: raw.len()
+            }
+        );
     }
 
     #[test]
@@ -242,7 +406,7 @@ mod tests {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\nX: y\r\n\r\nbody";
         let resp = read_response(&mut cursor(raw)).unwrap();
         assert_eq!(resp.status, Status::OK);
-        assert_eq!(&resp.body[..], b"body");
+        assert_eq!(resp.body, *b"body");
         assert_eq!(resp.headers.get("x"), Some("y"));
     }
 
@@ -250,7 +414,45 @@ mod tests {
     fn parse_response_until_eof_without_length() {
         let raw = b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\neverything until eof";
         let resp = read_response(&mut cursor(raw)).unwrap();
-        assert_eq!(&resp.body[..], b"everything until eof");
+        assert_eq!(resp.body, *b"everything until eof");
+    }
+
+    #[test]
+    fn try_parse_incomplete_head_is_none() {
+        assert!(try_parse_request(b"").unwrap().is_none());
+        assert!(try_parse_request(b"GET / HT").unwrap().is_none());
+        assert!(try_parse_request(b"GET / HTTP/1.1\r\nHost: a\r\n")
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn try_parse_incomplete_body_is_none() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(try_parse_request(raw).unwrap().is_none());
+    }
+
+    #[test]
+    fn try_parse_complete_reports_consumed_bytes() {
+        let one = b"POST /a HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let mut buf = one.to_vec();
+        buf.extend_from_slice(b"GET /b HTTP/1.1\r\n\r\ntrailing");
+        let (req, used) = try_parse_request(&buf).unwrap().unwrap();
+        assert_eq!(req.target, "/a");
+        assert_eq!(&req.body[..], b"hello");
+        assert_eq!(used, one.len());
+        // The next pipelined request parses from the remainder.
+        let (req2, used2) = try_parse_request(&buf[used..]).unwrap().unwrap();
+        assert_eq!(req2.target, "/b");
+        assert_eq!(used + used2, buf.len() - "trailing".len());
+    }
+
+    #[test]
+    fn try_parse_malformed_is_an_error() {
+        assert!(try_parse_request(b"BREW / HTTP/1.1\r\n\r\n").is_err());
+        // A malformed start line is rejected as soon as its line completes,
+        // even with no further bytes.
+        assert!(try_parse_request(b"NOT-HTTP\r\n").is_err());
     }
 
     #[test]

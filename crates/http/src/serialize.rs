@@ -3,11 +3,24 @@
 //! Output is byte-deterministic: header order is preserved and
 //! `Content-Length` is always emitted (set from the actual body length),
 //! which keeps the bandwidth benches reproducible run to run.
+//!
+//! Responses are emitted as a *segment list* — the head (status line +
+//! headers) followed by the body's rope segments — and written with
+//! vectored I/O ([`Write::write_vectored`]). A cached fragment spliced into
+//! a [`Body::Rope`](crate::message::Body) therefore travels from the slot
+//! store to the wire without ever being copied into a flat page buffer;
+//! the only bytes built per response are the few dozen of the head.
 
-use std::io::Write;
+use std::io::{IoSlice, Write};
+
+use bytes::Bytes;
 
 use crate::message::{Request, Response};
 use crate::Result;
+
+/// Maximum buffers passed to one `write_vectored` call (mirrors typical
+/// `IOV_MAX`-style limits).
+const MAX_IOVEC: usize = 64;
 
 /// Serialize `req` to `w`, fixing up `Content-Length` from the body.
 pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<()> {
@@ -29,40 +42,126 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<()> {
     Ok(())
 }
 
-/// Serialize `resp` to `w`, fixing up `Content-Length` from the body.
-pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<()> {
-    let mut buf = Vec::with_capacity(128 + resp.body.len());
+/// The response head: status line + headers + blank line, with
+/// `Content-Length` fixed up from the actual body length.
+pub fn response_head(resp: &Response) -> Vec<u8> {
+    let mut head = Vec::with_capacity(128 + resp.headers.wire_len());
     write!(
-        buf,
+        head,
         "HTTP/1.1 {} {}\r\n",
         resp.status.0,
         resp.status.reason()
-    )?;
+    )
+    .expect("write to Vec cannot fail");
     for (name, value) in resp.headers.iter() {
         if name.eq_ignore_ascii_case("content-length") {
             continue;
         }
-        write!(buf, "{name}: {value}\r\n")?;
+        write!(head, "{name}: {value}\r\n").expect("write to Vec cannot fail");
     }
-    write!(buf, "Content-Length: {}\r\n", resp.body.len())?;
-    buf.extend_from_slice(b"\r\n");
-    buf.extend_from_slice(&resp.body);
-    w.write_all(&buf)?;
+    write!(head, "Content-Length: {}\r\n\r\n", resp.body.len()).expect("write to Vec cannot fail");
+    head
+}
+
+/// The full wire image of `resp` as an ordered segment list: the head
+/// followed by the body's segments (empty ones skipped), each a refcount
+/// bump of its source buffer. This is what the event-loop server queues
+/// per connection and drains with vectored writes.
+pub fn response_segments(resp: &Response) -> Vec<Bytes> {
+    let body = resp.body.segments();
+    let mut segments = Vec::with_capacity(1 + body.len());
+    segments.push(Bytes::from(response_head(resp)));
+    for seg in body {
+        if !seg.is_empty() {
+            segments.push(seg.clone());
+        }
+    }
+    segments
+}
+
+/// Write every byte of `segments` to `w` using vectored I/O, resuming
+/// across partial writes.
+pub fn write_all_vectored<W: Write>(w: &mut W, segments: &[Bytes]) -> std::io::Result<()> {
+    let mut seg = 0usize;
+    let mut off = 0usize;
+    loop {
+        let slices = gather_slices(segments, seg, off);
+        if slices.is_empty() {
+            return Ok(());
+        }
+        let n = w.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        advance_cursor(segments, &mut seg, &mut off, n);
+    }
+}
+
+/// Build up to [`MAX_IOVEC`] `IoSlice`s from `segments` starting at the
+/// `(seg, off)` cursor, skipping empty/consumed segments. Empty result
+/// means the cursor is at the end. Shared by the blocking writer above and
+/// the event-loop server's nonblocking flush, so the gather arithmetic has
+/// one home.
+pub(crate) fn gather_slices(
+    segments: &[Bytes],
+    mut seg: usize,
+    mut off: usize,
+) -> Vec<IoSlice<'_>> {
+    while seg < segments.len() && off >= segments[seg].len() {
+        seg += 1;
+        off = 0;
+    }
+    if seg >= segments.len() {
+        return Vec::new();
+    }
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOVEC.min(segments.len() - seg));
+    slices.push(IoSlice::new(&segments[seg][off..]));
+    for s in &segments[seg + 1..] {
+        if slices.len() == MAX_IOVEC {
+            break;
+        }
+        if !s.is_empty() {
+            slices.push(IoSlice::new(s));
+        }
+    }
+    slices
+}
+
+/// Advance the `(seg, off)` cursor past `n` accepted bytes (the counterpart
+/// of [`gather_slices`]).
+pub(crate) fn advance_cursor(segments: &[Bytes], seg: &mut usize, off: &mut usize, mut n: usize) {
+    while n > 0 && *seg < segments.len() {
+        let left = segments[*seg].len() - *off;
+        if n < left {
+            *off += n;
+            return;
+        }
+        n -= left;
+        *seg += 1;
+        *off = 0;
+    }
+}
+
+/// Serialize `resp` to `w`, fixing up `Content-Length` from the body.
+///
+/// Rope bodies go out segment by segment via [`write_all_vectored`]; their
+/// fragment bytes are never flattened into an intermediate buffer.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> Result<()> {
+    let segments = response_segments(resp);
+    write_all_vectored(w, &segments)?;
     w.flush()?;
     Ok(())
 }
 
 /// Serialized size in bytes of `resp` (what [`write_response`] would emit).
 pub fn response_wire_len(resp: &Response) -> usize {
-    let mut counter = Vec::new();
-    write_response(&mut counter, resp).expect("write to Vec cannot fail");
-    counter.len()
+    response_head(resp).len() + resp.body.len()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{Request, Response, Status};
+    use crate::message::{Body, Request, Response, Status};
     use crate::parse::{read_request, read_response};
     use std::io::BufReader;
 
@@ -90,6 +189,71 @@ mod tests {
         assert_eq!(parsed.status, Status::OK);
         assert_eq!(parsed.body, resp.body);
         assert_eq!(parsed.headers.get("server"), Some("dpc"));
+    }
+
+    #[test]
+    fn rope_body_roundtrips_and_keeps_segments_unflattened() {
+        let frag = Bytes::from(b"CACHED-FRAGMENT".to_vec());
+        let mut resp = Response::html("");
+        resp.body = Body::Rope(vec![
+            Bytes::from_static(b"<page>"),
+            frag.clone(),
+            Bytes::from_static(b"</page>"),
+        ]);
+        // The wire segment for the fragment is pointer-identical to the
+        // cached buffer: a refcount bump, not a copy.
+        let segments = response_segments(&resp);
+        assert!(segments
+            .iter()
+            .any(|s| s.as_slice().as_ptr() == frag.as_slice().as_ptr()));
+        // And the serialized stream parses back to the same content.
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let parsed = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.body, resp.body);
+        assert_eq!(parsed.headers.content_length(), Some(28));
+    }
+
+    #[test]
+    fn empty_rope_segments_are_skipped_on_the_wire() {
+        let mut resp = Response::html("");
+        resp.body = Body::Rope(vec![
+            Bytes::new(),
+            Bytes::from_static(b"x"),
+            Bytes::new(),
+            Bytes::from_static(b"y"),
+        ]);
+        let segments = response_segments(&resp);
+        assert_eq!(segments.len(), 3); // head + "x" + "y"
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let parsed = read_response(&mut BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed.body, *b"xy");
+    }
+
+    #[test]
+    fn write_all_vectored_resumes_across_partial_writes() {
+        /// Accepts at most 3 bytes per call, to force resumption.
+        struct Trickle(Vec<u8>);
+        impl Write for Trickle {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let segments = vec![
+            Bytes::from_static(b"abcde"),
+            Bytes::new(),
+            Bytes::from_static(b"fg"),
+            Bytes::from_static(b"hijklmno"),
+        ];
+        let mut sink = Trickle(Vec::new());
+        write_all_vectored(&mut sink, &segments).unwrap();
+        assert_eq!(sink.0, b"abcdefghijklmno");
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! The legacy thread-per-connection server, kept as a measured baseline.
+//!
+//! This is the 2002-style front the paper's testbed ran on: one acceptor
+//! thread hands connections to a [`ThreadPool`]; each worker runs a
+//! read-request → handle → write-response loop until the client closes, so
+//! a keep-alive connection *pins its worker* for its whole lifetime. The
+//! readiness-driven [`Server`](crate::Server) replaced it on the serving
+//! path; this copy exists so `bench/benches/connections.rs` can measure the
+//! two fronts against each other (threads ≈ connections here, versus a
+//! bounded pool there).
+
+use std::io::BufReader;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dpc_net::{BoxListener, BoxStream};
+
+use crate::error::HttpError;
+use crate::message::Response;
+use crate::parse::read_request;
+use crate::pool::ThreadPool;
+use crate::serialize::write_response;
+use crate::server::{Handler, ServerConfig, ServerStats};
+
+/// A thread-per-connection HTTP server bound to a blocking listener.
+pub struct ThreadedServer {
+    listener: BoxListener,
+    handler: Arc<dyn Handler>,
+    config: ServerConfig,
+}
+
+impl ThreadedServer {
+    pub fn new(listener: BoxListener, handler: Arc<dyn Handler>) -> ThreadedServer {
+        ThreadedServer {
+            listener,
+            handler,
+            config: ServerConfig::default(),
+        }
+    }
+
+    /// NOTE: with this front, `config.workers` bounds concurrent
+    /// *connections*, not requests — a keep-alive connection holds its
+    /// worker until the peer closes.
+    pub fn with_config(mut self, config: ServerConfig) -> ThreadedServer {
+        self.config = config;
+        self
+    }
+
+    /// Start serving on a background acceptor thread. The returned handle
+    /// stops the server when dropped (after in-flight connections finish
+    /// their current request).
+    pub fn spawn(self) -> ThreadedServerHandle {
+        let addr = self.listener.local_addr();
+        let stats = Arc::new(ServerStats::default());
+        let running = Arc::new(AtomicBool::new(true));
+        let pool = ThreadPool::new(self.config.workers.max(1), "http-threaded");
+        let handler = self.handler;
+        let listener = self.listener;
+        let stats_accept = Arc::clone(&stats);
+        let running_accept = Arc::clone(&running);
+        let acceptor = std::thread::Builder::new()
+            .name(format!("http-accept-{addr}"))
+            .spawn(move || {
+                while running_accept.load(Ordering::Acquire) {
+                    let stream = match listener.accept() {
+                        Ok(s) => s,
+                        Err(_) => break, // listener torn down
+                    };
+                    stats_accept.connections.fetch_add(1, Ordering::Relaxed);
+                    let handler = Arc::clone(&handler);
+                    let stats = Arc::clone(&stats_accept);
+                    pool.execute(move || serve_connection(stream, handler, stats));
+                }
+                // pool drops here, draining in-flight connections
+            })
+            .expect("spawn acceptor thread");
+        ThreadedServerHandle {
+            addr,
+            stats,
+            running,
+            acceptor: Some(acceptor),
+        }
+    }
+}
+
+/// Per-connection request loop: blocks on the connection between requests.
+fn serve_connection(stream: BoxStream, handler: Arc<dyn Handler>, stats: Arc<ServerStats>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::ConnectionClosed { .. }) => return,
+            Err(_) => {
+                stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::error(crate::Status::BAD_REQUEST, "malformed request");
+                let _ = write_response(reader.get_mut(), &resp);
+                return;
+            }
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let close = req.headers.connection_close();
+        let resp = handler.handle(req);
+        let close = close || resp.headers.connection_close();
+        if write_response(reader.get_mut(), &resp).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Handle to a running [`ThreadedServer`].
+pub struct ThreadedServerHandle {
+    addr: String,
+    stats: Arc<ServerStats>,
+    running: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadedServerHandle {
+    /// Address the server is reachable at.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Total connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.stats.connections.load(Ordering::Relaxed)
+    }
+
+    /// Total requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.stats.requests.load(Ordering::Relaxed)
+    }
+
+    /// Ask the acceptor loop to stop after its next accept returns.
+    ///
+    /// Unlike the readiness server there is no poller to wake: with a
+    /// blocking listener the acceptor thread only exits the next time
+    /// `accept` yields (connection or error); dropping the underlying
+    /// `SimNetwork`/listener wakes it immediately.
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::Release);
+    }
+}
+
+impl Drop for ThreadedServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+        // Do not join: the acceptor may be blocked in accept() forever on a
+        // quiescent listener. Detach; worker pools are owned by the thread.
+        self.acceptor.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::message::Request;
+    use dpc_net::SimNetwork;
+
+    #[test]
+    fn threaded_front_still_serves_keep_alive() {
+        let net = SimNetwork::with_defaults();
+        let listener = net.listen("legacy");
+        let handle = ThreadedServer::new(
+            Box::new(listener),
+            Arc::new(|req: Request| Response::html(format!("{} {}", req.method, req.target))),
+        )
+        .spawn();
+        let client = Client::new(Arc::new(net.connector()));
+        for i in 0..5 {
+            let resp = client
+                .request("legacy", Request::get(format!("/r{i}")))
+                .unwrap();
+            assert_eq!(resp.body, format!("GET /r{i}").into_bytes());
+        }
+        assert_eq!(handle.requests(), 5);
+        assert_eq!(handle.connections(), 1, "keep-alive should reuse");
+        assert_eq!(handle.addr(), "legacy");
+    }
+}

@@ -113,7 +113,7 @@ fn response_roundtrip() {
         let mut resp = Response {
             status: Status(code),
             headers: dpc_http::Headers::new(),
-            body: Bytes::from(body),
+            body: dpc_http::Body::Single(Bytes::from(body)),
         };
         for (n, v) in &headers {
             resp.headers.add(n.clone(), v.clone());

@@ -23,14 +23,21 @@
 //! * [`latency`] — a simple WAN/LAN latency+bandwidth model used to *compute*
 //!   simulated response times from measured byte counts (no sleeping).
 //!
-//! Everything here is synchronous and thread-based; there is deliberately no
-//! async runtime (the allowed dependency set has none, and the 2002 system
-//! was thread-based as well).
+//! * [`poll`] — the readiness layer: nonblocking stream/listener traits and
+//!   an epoll-shaped registry/poller so one event loop can multiplex
+//!   thousands of idle connections without pinning threads. Simulated
+//!   streams push readiness notifications on every state transition; plain
+//!   TCP falls back to a periodic polled tick.
+//!
+//! There is deliberately no async runtime (the allowed dependency set has
+//! none): blocking paths use plain threads, and the readiness path is an
+//! explicit event loop over [`poll::Poller`].
 
 pub mod clock;
 pub mod latency;
 pub mod meter;
 pub mod packet;
+pub mod poll;
 pub mod stream;
 pub mod wire;
 
@@ -38,6 +45,7 @@ pub use clock::{Clock, VirtualClock};
 pub use latency::LinkModel;
 pub use meter::{Meter, MeterRegistry, MeterSnapshot};
 pub use packet::ProtocolModel;
+pub use poll::{BoxNbListener, BoxNbStream, NbListener, NbStream, Poller, Ready, Registry, Token};
 pub use stream::{
     BoxListener, BoxStream, Connector, Duplex, Listener, TcpConnector, TcpListenerAdapter,
 };

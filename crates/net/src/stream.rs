@@ -1,9 +1,18 @@
-//! Transport abstraction: the HTTP layer talks to `dyn Duplex` so that the
-//! same server/client code runs over real TCP sockets (examples, manual
-//! testing) and over the in-memory simulated wire (tests, benches).
+//! Transport abstraction: the HTTP layer talks to `dyn Duplex` (blocking)
+//! or `dyn NbStream` (readiness-driven) so that the same server/client code
+//! runs over real TCP sockets (examples, manual testing) and over the
+//! in-memory simulated wire (tests, benches).
+//!
+//! The TCP types implement the nonblocking traits via `set_nonblocking`
+//! plus the poller's *polled fallback* (see [`crate::poll`]): without an OS
+//! readiness API binding the kernel cannot push events to us, so polled
+//! sources are re-reported every tick and `try_*` calls resolve the truth.
 
-use std::io::{Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use crate::poll::{BoxNbStream, NbListener, NbStream, Registry, Token};
 
 /// A bidirectional, blocking byte stream — the subset of `TcpStream`
 /// behaviour the HTTP layer relies on.
@@ -86,6 +95,53 @@ impl Listener for TcpListenerAdapter {
     }
 }
 
+impl NbStream for TcpStream {
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        Read::read(self, buf)
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        Write::write(self, buf)
+    }
+
+    fn try_write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        // Real scatter/gather I/O (`writev`) on the socket.
+        Write::write_vectored(self, bufs)
+    }
+
+    fn register(&mut self, registry: &Arc<Registry>, token: Token) {
+        self.set_nonblocking(true).ok();
+        registry.register_polled(token);
+    }
+
+    fn peer_label(&self) -> String {
+        Duplex::peer_label(self)
+    }
+}
+
+impl NbListener for TcpListenerAdapter {
+    fn try_accept(&mut self) -> io::Result<Option<BoxNbStream>> {
+        match self.inner.accept() {
+            Ok((stream, _)) => {
+                stream.set_nodelay(true).ok();
+                stream.set_nonblocking(true).ok();
+                Ok(Some(Box::new(stream)))
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn register(&mut self, registry: &Arc<Registry>, token: Token) {
+        self.inner.set_nonblocking(true).ok();
+        registry.register_polled(token);
+    }
+
+    fn local_addr(&self) -> String {
+        Listener::local_addr(self)
+    }
+}
+
 /// [`Connector`] over real TCP.
 #[derive(Default, Clone, Copy)]
 pub struct TcpConnector;
@@ -106,7 +162,7 @@ mod tests {
     #[test]
     fn tcp_roundtrip_through_traits() {
         let listener = TcpListenerAdapter::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr();
+        let addr = Listener::local_addr(&listener);
         let server = std::thread::spawn(move || {
             let mut s = listener.accept().unwrap();
             let mut buf = [0u8; 5];

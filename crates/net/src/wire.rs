@@ -7,28 +7,238 @@
 //! data or EOF, dropping an endpoint (or calling
 //! [`shutdown_write`](crate::stream::Duplex::shutdown_write)) delivers EOF.
 //!
+//! Streams are built on notifying pipes, so they serve both transport
+//! models: the blocking [`Duplex`] API parks on a condvar, and the
+//! nonblocking [`NbStream`] API returns `WouldBlock` and pushes a readiness
+//! notification into a registered [`Registry`] on every state transition
+//! (data arrival, EOF, freed buffer space). An optional per-direction byte
+//! capacity models TCP send-buffer backpressure: a full pipe blocks (or
+//! `WouldBlock`s) the writer until the reader drains — which is what the
+//! event-loop server's partial-write resumption tests exercise.
+//!
 //! Every write is metered with both payload bytes and simulated wire bytes
 //! (per the [`ProtocolModel`]); connection establishment charges handshake
 //! segments, so the Sniffer-style meters see realistic TCP/IP overhead.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io::{self, Read, Write};
-use std::sync::Arc;
+use parking_lot::Mutex as PlMutex;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, IoSlice, Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::meter::{Meter, MeterRegistry};
 use crate::packet::ProtocolModel;
+use crate::poll::{BoxNbStream, NbListener, NbStream, Ready, Registry, Token};
 use crate::stream::{BoxStream, Connector, Duplex, Listener};
+
+// ---------------------------------------------------------------------------
+// Pipe: one direction of a connection
+// ---------------------------------------------------------------------------
+
+struct PipeState {
+    chunks: VecDeque<Vec<u8>>,
+    /// Read offset into `chunks[0]`.
+    head_pos: usize,
+    /// Total unread bytes across all chunks.
+    buffered: usize,
+    write_closed: bool,
+    read_closed: bool,
+    /// Notified with `READABLE` on data arrival / write-close.
+    reader_watcher: Option<(Arc<Registry>, Token)>,
+    /// Notified with `WRITABLE` when buffer space frees / read-close.
+    writer_watcher: Option<(Arc<Registry>, Token)>,
+}
+
+/// One direction of a simulated connection: a byte queue with blocking and
+/// nonblocking endpoints plus readiness notification.
+struct Pipe {
+    /// Maximum buffered bytes (`None` = unbounded, the pre-backpressure
+    /// behaviour every existing test and bench relies on).
+    capacity: Option<usize>,
+    state: Mutex<PipeState>,
+    cv: Condvar,
+}
+
+impl Pipe {
+    fn new(capacity: Option<usize>) -> Arc<Pipe> {
+        Arc::new(Pipe {
+            capacity,
+            state: Mutex::new(PipeState {
+                chunks: VecDeque::new(),
+                head_pos: 0,
+                buffered: 0,
+                write_closed: false,
+                read_closed: false,
+                reader_watcher: None,
+                writer_watcher: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn space(&self, st: &PipeState) -> usize {
+        self.capacity
+            .map_or(usize::MAX, |c| c.saturating_sub(st.buffered))
+    }
+
+    fn notify_reader(st: &PipeState) {
+        if let Some((registry, token)) = &st.reader_watcher {
+            registry.notify(*token, Ready::READABLE);
+        }
+    }
+
+    fn notify_writer(st: &PipeState) {
+        if let Some((registry, token)) = &st.writer_watcher {
+            registry.notify(*token, Ready::WRITABLE);
+        }
+    }
+
+    /// Write up to `buf.len()` bytes; partial when capacity-limited.
+    fn write_some(&self, buf: &[u8], blocking: bool) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.state.lock().expect("pipe poisoned");
+        loop {
+            if st.read_closed {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"));
+            }
+            let space = self.space(&st);
+            if space == 0 {
+                if !blocking {
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                st = self.cv.wait(st).expect("pipe poisoned");
+                continue;
+            }
+            let n = buf.len().min(space);
+            st.chunks.push_back(buf[..n].to_vec());
+            st.buffered += n;
+            self.cv.notify_all();
+            Self::notify_reader(&st);
+            return Ok(n);
+        }
+    }
+
+    /// Vectored write: gathers bytes across `bufs` (in order) into one
+    /// chunk, up to the available space.
+    fn write_vectored_some(&self, bufs: &[IoSlice<'_>], blocking: bool) -> io::Result<usize> {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        if total == 0 {
+            return Ok(0);
+        }
+        let mut st = self.state.lock().expect("pipe poisoned");
+        loop {
+            if st.read_closed {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"));
+            }
+            let space = self.space(&st);
+            if space == 0 {
+                if !blocking {
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                st = self.cv.wait(st).expect("pipe poisoned");
+                continue;
+            }
+            let n = total.min(space);
+            let mut chunk = Vec::with_capacity(n);
+            let mut left = n;
+            for b in bufs {
+                if left == 0 {
+                    break;
+                }
+                let take = b.len().min(left);
+                chunk.extend_from_slice(&b[..take]);
+                left -= take;
+            }
+            st.chunks.push_back(chunk);
+            st.buffered += n;
+            self.cv.notify_all();
+            Self::notify_reader(&st);
+            return Ok(n);
+        }
+    }
+
+    fn read_some(&self, buf: &mut [u8], blocking: bool) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.state.lock().expect("pipe poisoned");
+        loop {
+            if st.buffered > 0 {
+                let mut copied = 0;
+                while copied < buf.len() && st.buffered > 0 {
+                    let chunk = st.chunks.front().expect("buffered implies a chunk");
+                    let chunk_len = chunk.len();
+                    let avail = &chunk[st.head_pos..];
+                    let n = avail.len().min(buf.len() - copied);
+                    buf[copied..copied + n].copy_from_slice(&avail[..n]);
+                    copied += n;
+                    st.head_pos += n;
+                    st.buffered -= n;
+                    if st.head_pos == chunk_len {
+                        st.chunks.pop_front();
+                        st.head_pos = 0;
+                    }
+                }
+                if self.capacity.is_some() {
+                    // Freed space: wake blocked writers on both endpoints.
+                    self.cv.notify_all();
+                    Self::notify_writer(&st);
+                }
+                return Ok(copied);
+            }
+            if st.write_closed {
+                return Ok(0); // EOF
+            }
+            if !blocking {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            st = self.cv.wait(st).expect("pipe poisoned");
+        }
+    }
+
+    /// Writer side gone: readers see EOF after draining.
+    fn close_write(&self) {
+        let mut st = self.state.lock().expect("pipe poisoned");
+        st.write_closed = true;
+        self.cv.notify_all();
+        Self::notify_reader(&st);
+    }
+
+    /// Reader side gone: writes fail fast with `BrokenPipe`.
+    fn close_read(&self) {
+        let mut st = self.state.lock().expect("pipe poisoned");
+        st.read_closed = true;
+        self.cv.notify_all();
+        Self::notify_writer(&st);
+    }
+
+    fn watch_reader(&self, registry: &Arc<Registry>, token: Token) {
+        let mut st = self.state.lock().expect("pipe poisoned");
+        st.reader_watcher = Some((Arc::clone(registry), token));
+        if st.buffered > 0 || st.write_closed {
+            registry.notify(token, Ready::READABLE);
+        }
+    }
+
+    fn watch_writer(&self, registry: &Arc<Registry>, token: Token) {
+        let mut st = self.state.lock().expect("pipe poisoned");
+        st.writer_watcher = Some((Arc::clone(registry), token));
+        if self.space(&st) > 0 || st.read_closed {
+            registry.notify(token, Ready::WRITABLE);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimStream
+// ---------------------------------------------------------------------------
 
 /// One endpoint of a simulated connection.
 pub struct SimStream {
     label: String,
-    tx: Option<Sender<Vec<u8>>>,
-    rx: Receiver<Vec<u8>>,
-    /// Bytes received but not yet consumed by `read`.
-    pending: Vec<u8>,
-    pending_pos: usize,
+    tx: Option<Arc<Pipe>>,
+    rx: Arc<Pipe>,
     /// Meter for the direction we write to.
     out_meter: Arc<Meter>,
     protocol: ProtocolModel,
@@ -46,27 +256,35 @@ impl SimStream {
         a2b: Arc<Meter>,
         b2a: Arc<Meter>,
     ) -> (SimStream, SimStream) {
-        let (tx_ab, rx_ab) = unbounded();
-        let (tx_ba, rx_ba) = unbounded();
+        SimStream::pair_with_capacity(label, protocol, a2b, b2a, None)
+    }
+
+    /// Like [`pair`](SimStream::pair), with a per-direction buffered-byte
+    /// capacity modelling TCP send-buffer backpressure (`None` = unbounded).
+    pub fn pair_with_capacity(
+        label: &str,
+        protocol: ProtocolModel,
+        a2b: Arc<Meter>,
+        b2a: Arc<Meter>,
+        capacity: Option<usize>,
+    ) -> (SimStream, SimStream) {
+        let ab = Pipe::new(capacity);
+        let ba = Pipe::new(capacity);
         a2b.record_overhead(
             protocol.handshake_bytes(),
             protocol.handshake_segments as u64,
         );
         let a = SimStream {
             label: format!("{label}.a"),
-            tx: Some(tx_ab),
-            rx: rx_ba,
-            pending: Vec::new(),
-            pending_pos: 0,
+            tx: Some(Arc::clone(&ab)),
+            rx: Arc::clone(&ba),
             out_meter: a2b,
             protocol,
         };
         let b = SimStream {
             label: format!("{label}.b"),
-            tx: Some(tx_ba),
-            rx: rx_ab,
-            pending: Vec::new(),
-            pending_pos: 0,
+            tx: Some(ba),
+            rx: ab,
             out_meter: b2a,
             protocol,
         };
@@ -78,59 +296,42 @@ impl SimStream {
         SimStream::pair(label, ProtocolModel::ideal(), Meter::new(), Meter::new())
     }
 
-    fn refill(&mut self) -> bool {
-        // Blocking receive; returns false on EOF (sender dropped).
-        match self.rx.recv() {
-            Ok(chunk) => {
-                self.pending = chunk;
-                self.pending_pos = 0;
-                true
-            }
-            Err(_) => false,
-        }
-    }
-}
-
-impl Read for SimStream {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        if buf.is_empty() {
-            return Ok(0);
-        }
-        while self.pending_pos >= self.pending.len() {
-            // Skip empty chunks (write_all of 0 bytes) and wait for data.
-            if !self.refill() {
-                return Ok(0); // EOF
-            }
-        }
-        let avail = &self.pending[self.pending_pos..];
-        let n = avail.len().min(buf.len());
-        buf[..n].copy_from_slice(&avail[..n]);
-        self.pending_pos += n;
-        Ok(n)
-    }
-}
-
-impl Write for SimStream {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        let Some(tx) = &self.tx else {
-            return Err(io::Error::new(
-                io::ErrorKind::BrokenPipe,
-                "write after shutdown",
-            ));
-        };
-        if buf.is_empty() {
-            return Ok(0);
-        }
-        let payload = buf.len() as u64;
+    fn meter_write(&self, n: usize) {
+        let payload = n as u64;
         self.out_meter.record(
             payload,
             self.protocol.wire_bytes(payload),
             self.protocol.segments(payload)
                 + self.protocol.ack_segments(self.protocol.segments(payload)),
         );
-        tx.send(buf.to_vec())
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))?;
-        Ok(buf.len())
+    }
+
+    fn tx(&self) -> io::Result<&Arc<Pipe>> {
+        self.tx
+            .as_ref()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "write after shutdown"))
+    }
+}
+
+impl Read for SimStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read_some(buf, true)
+    }
+}
+
+impl Write for SimStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let tx = self.tx()?;
+        let n = tx.write_some(buf, true)?;
+        self.meter_write(n);
+        Ok(n)
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        let tx = self.tx()?;
+        let n = tx.write_vectored_some(bufs, true)?;
+        self.meter_write(n);
+        Ok(n)
     }
 
     fn flush(&mut self) -> io::Result<()> {
@@ -140,12 +341,141 @@ impl Write for SimStream {
 
 impl Duplex for SimStream {
     fn shutdown_write(&mut self) -> io::Result<()> {
-        self.tx = None; // dropping the sender delivers EOF to the peer
+        if let Some(tx) = self.tx.take() {
+            tx.close_write(); // delivers EOF to the peer's reader
+        }
         Ok(())
     }
 
     fn peer_label(&self) -> String {
         self.label.clone()
+    }
+}
+
+impl NbStream for SimStream {
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.rx.read_some(buf, false)
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let tx = self.tx()?;
+        let n = tx.write_some(buf, false)?;
+        self.meter_write(n);
+        Ok(n)
+    }
+
+    fn try_write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        let tx = self.tx()?;
+        let n = tx.write_vectored_some(bufs, false)?;
+        self.meter_write(n);
+        Ok(n)
+    }
+
+    fn register(&mut self, registry: &Arc<Registry>, token: Token) {
+        self.rx.watch_reader(registry, token);
+        if let Some(tx) = &self.tx {
+            tx.watch_writer(registry, token);
+        }
+    }
+
+    fn peer_label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+impl Drop for SimStream {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            tx.close_write();
+        }
+        self.rx.close_read();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimNetwork
+// ---------------------------------------------------------------------------
+
+/// Pending-connection queue behind one listening address.
+struct AcceptQueue {
+    state: Mutex<AcceptState>,
+    cv: Condvar,
+}
+
+struct AcceptState {
+    pending: VecDeque<SimStream>,
+    closed: bool,
+    watcher: Option<(Arc<Registry>, Token)>,
+}
+
+impl AcceptQueue {
+    fn new() -> Arc<AcceptQueue> {
+        Arc::new(AcceptQueue {
+            state: Mutex::new(AcceptState {
+                pending: VecDeque::new(),
+                closed: false,
+                watcher: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn push(&self, stream: SimStream) -> io::Result<()> {
+        let mut st = self.state.lock().expect("accept queue poisoned");
+        if st.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "listener shut down",
+            ));
+        }
+        st.pending.push_back(stream);
+        self.cv.notify_all();
+        if let Some((registry, token)) = &st.watcher {
+            registry.notify(*token, Ready::READABLE);
+        }
+        Ok(())
+    }
+
+    fn pop_blocking(&self) -> io::Result<SimStream> {
+        let mut st = self.state.lock().expect("accept queue poisoned");
+        loop {
+            if let Some(s) = st.pending.pop_front() {
+                return Ok(s);
+            }
+            if st.closed {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "network dropped"));
+            }
+            st = self.cv.wait(st).expect("accept queue poisoned");
+        }
+    }
+
+    fn try_pop(&self) -> io::Result<Option<SimStream>> {
+        let mut st = self.state.lock().expect("accept queue poisoned");
+        if let Some(s) = st.pending.pop_front() {
+            return Ok(Some(s));
+        }
+        if st.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "network dropped"));
+        }
+        Ok(None)
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("accept queue poisoned");
+        st.closed = true;
+        st.pending.clear();
+        self.cv.notify_all();
+        if let Some((registry, token)) = &st.watcher {
+            registry.notify(*token, Ready::READABLE);
+        }
+    }
+
+    fn watch(&self, registry: &Arc<Registry>, token: Token) {
+        let mut st = self.state.lock().expect("accept queue poisoned");
+        st.watcher = Some((Arc::clone(registry), token));
+        if !st.pending.is_empty() || st.closed {
+            registry.notify(token, Ready::READABLE);
+        }
     }
 }
 
@@ -157,15 +487,30 @@ impl Duplex for SimStream {
 pub struct SimNetwork {
     registry: Arc<MeterRegistry>,
     protocol: ProtocolModel,
-    listeners: Mutex<HashMap<String, Sender<SimStream>>>,
+    /// Per-direction buffered-byte cap applied to every dialed connection.
+    stream_capacity: Option<usize>,
+    listeners: PlMutex<HashMap<String, Arc<AcceptQueue>>>,
 }
 
 impl SimNetwork {
     pub fn new(registry: Arc<MeterRegistry>, protocol: ProtocolModel) -> Arc<Self> {
+        SimNetwork::with_stream_capacity(registry, protocol, None)
+    }
+
+    /// A network whose connections have a bounded per-direction buffer:
+    /// writers stall (blocking) or `WouldBlock` (nonblocking) when the
+    /// peer is slow to read — the backpressure the partial-write tests
+    /// need. `None` keeps the default unbounded buffers.
+    pub fn with_stream_capacity(
+        registry: Arc<MeterRegistry>,
+        protocol: ProtocolModel,
+        stream_capacity: Option<usize>,
+    ) -> Arc<Self> {
         Arc::new(SimNetwork {
             registry,
             protocol,
-            listeners: Mutex::new(HashMap::new()),
+            stream_capacity,
+            listeners: PlMutex::new(HashMap::new()),
         })
     }
 
@@ -180,14 +525,20 @@ impl SimNetwork {
     }
 
     /// Register a listener under `addr`. Replaces any previous listener at
-    /// that address (its pending queue is dropped, so blocked accepts see
-    /// EOF).
+    /// that address (its pending queue is closed, so blocked accepts fail
+    /// and registered pollers are notified).
     pub fn listen(self: &Arc<Self>, addr: &str) -> SimListener {
-        let (tx, rx) = unbounded();
-        self.listeners.lock().insert(addr.to_owned(), tx);
+        let queue = AcceptQueue::new();
+        if let Some(old) = self
+            .listeners
+            .lock()
+            .insert(addr.to_owned(), Arc::clone(&queue))
+        {
+            old.close();
+        }
         SimListener {
             addr: addr.to_owned(),
-            rx,
+            queue,
         }
     }
 
@@ -199,7 +550,7 @@ impl SimNetwork {
     }
 
     fn dial(&self, addr: &str) -> io::Result<SimStream> {
-        let tx = {
+        let queue = {
             let listeners = self.listeners.lock();
             listeners.get(addr).cloned().ok_or_else(|| {
                 io::Error::new(
@@ -210,25 +561,45 @@ impl SimNetwork {
         };
         let c2s = self.registry.meter(&format!("{addr}.c2s"));
         let s2c = self.registry.meter(&format!("{addr}.s2c"));
-        let (client, server) = SimStream::pair(addr, self.protocol, c2s, s2c);
-        tx.send(server)
-            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "listener shut down"))?;
+        let (client, server) =
+            SimStream::pair_with_capacity(addr, self.protocol, c2s, s2c, self.stream_capacity);
+        queue.push(server)?;
         Ok(client)
+    }
+}
+
+impl Drop for SimNetwork {
+    fn drop(&mut self) {
+        // Wake every blocked/registered accept: the LAN is gone.
+        for queue in self.listeners.lock().values() {
+            queue.close();
+        }
     }
 }
 
 /// Accept side of a [`SimNetwork`] address.
 pub struct SimListener {
     addr: String,
-    rx: Receiver<SimStream>,
+    queue: Arc<AcceptQueue>,
 }
 
 impl Listener for SimListener {
     fn accept(&self) -> io::Result<BoxStream> {
-        self.rx
-            .recv()
-            .map(|s| Box::new(s) as BoxStream)
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "network dropped"))
+        self.queue.pop_blocking().map(|s| Box::new(s) as BoxStream)
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+impl NbListener for SimListener {
+    fn try_accept(&mut self) -> io::Result<Option<BoxNbStream>> {
+        Ok(self.queue.try_pop()?.map(|s| Box::new(s) as BoxNbStream))
+    }
+
+    fn register(&mut self, registry: &Arc<Registry>, token: Token) {
+        self.queue.watch(registry, token);
     }
 
     fn local_addr(&self) -> String {
@@ -252,6 +623,7 @@ impl Connector for SimConnector {
 mod tests {
     use super::*;
     use crate::meter::MeterRegistry;
+    use crate::poll::Poller;
 
     #[test]
     fn stream_pair_roundtrip() {
@@ -375,5 +747,74 @@ mod tests {
             j.join().unwrap();
         }
         server.join().unwrap();
+    }
+
+    #[test]
+    fn try_read_would_block_then_notifies() {
+        let (mut a, mut b) = SimStream::unmetered_pair("t");
+        let poller = Poller::new();
+        b.register(poller.registry(), 1);
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            b.try_read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        a.write_all(b"data").unwrap();
+        let mut events = Vec::new();
+        assert!(poller.wait(&mut events, Some(std::time::Duration::from_secs(5))));
+        assert!(events.iter().any(|(t, r)| *t == 1 && r.readable));
+        assert_eq!(b.try_read(&mut buf).unwrap(), 4);
+    }
+
+    #[test]
+    fn capacity_backpressure_blocks_and_resumes() {
+        let (mut a, mut b) = SimStream::pair_with_capacity(
+            "t",
+            ProtocolModel::ideal(),
+            Meter::new(),
+            Meter::new(),
+            Some(4),
+        );
+        let poller = Poller::new();
+        a.register(poller.registry(), 1);
+        assert_eq!(a.try_write(b"123456").unwrap(), 4); // capped at capacity
+        assert_eq!(
+            a.try_write(b"56").unwrap_err().kind(),
+            io::ErrorKind::WouldBlock
+        );
+        // Reader drains; the writer gets a writable notification.
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        let mut events = Vec::new();
+        assert!(poller.wait(&mut events, Some(std::time::Duration::from_secs(5))));
+        assert!(events.iter().any(|(t, r)| *t == 1 && r.writable));
+        assert_eq!(a.try_write(b"56").unwrap(), 2);
+        let mut rest = [0u8; 2];
+        b.read_exact(&mut rest).unwrap();
+        assert_eq!(&rest, b"56");
+    }
+
+    #[test]
+    fn nonblocking_accept_with_notification() {
+        let net = SimNetwork::with_defaults();
+        let mut listener = net.listen("svc");
+        let poller = Poller::new();
+        NbListener::register(&mut listener, poller.registry(), 0);
+        assert!(listener.try_accept().unwrap().is_none());
+        let _client = net.connector().connect("svc").unwrap();
+        let mut events = Vec::new();
+        assert!(poller.wait(&mut events, Some(std::time::Duration::from_secs(5))));
+        assert!(events.iter().any(|(t, r)| *t == 0 && r.readable));
+        assert!(listener.try_accept().unwrap().is_some());
+    }
+
+    #[test]
+    fn dropping_network_closes_listeners() {
+        let net = SimNetwork::with_defaults();
+        let listener = net.listen("svc");
+        let t = std::thread::spawn(move || listener.accept());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(net);
+        assert!(t.join().unwrap().is_err());
     }
 }

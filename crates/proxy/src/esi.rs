@@ -161,14 +161,17 @@ impl EsiAssembler {
             return Err(format!("include fetch {src}: status {}", resp.status.0));
         }
         let ttl: u64 = self.ttl.as_nanos().try_into().unwrap_or(u64::MAX);
+        // Parsed origin responses are single-buffer bodies, so this flatten
+        // is a refcount bump, not a copy.
+        let body = resp.body.flatten();
         self.fragments.lock().insert(
             src.to_owned(),
             CachedFragment {
-                body: resp.body.clone(),
+                body: body.clone(),
                 expires_at: now.saturating_add(ttl),
             },
         );
-        Ok(resp.body)
+        Ok(body)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use dpc_core::{assemble_rope, AssembleError, FragmentStore};
 use dpc_firewall::Firewall;
-use dpc_http::{Client, Handler, Method, Request, Response, Status};
+use dpc_http::{Body, Client, Handler, Method, Request, Response, Status};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -155,7 +155,9 @@ impl Proxy {
             .origin_bytes
             .fetch_add(resp.body.len() as u64, Ordering::Relaxed);
         if let Some(fw) = &self.firewall {
-            let outcome = fw.scan(&resp.body);
+            // Origin responses come off the parser as single buffers, so
+            // flattening for the scan is a refcount bump.
+            let outcome = fw.scan(&resp.body.flatten());
             if !outcome.allowed {
                 return Err(Response::error(
                     Status::BAD_GATEWAY,
@@ -191,7 +193,7 @@ impl Proxy {
                         .get("content-type")
                         .unwrap_or("text/html")
                         .to_owned();
-                    self.page_cache.put(&req.target, resp.body.clone(), &ct);
+                    self.page_cache.put(&req.target, resp.body.flatten(), &ct);
                 }
                 strip_internal_headers(resp).with_header("X-Cache", "page-miss")
             }
@@ -223,19 +225,24 @@ impl Proxy {
             Ok(r) => r,
             Err(e) => return e,
         };
-        if !upstream.status.is_success() || !dpc_core::tag::is_instrumented(&upstream.body) {
+        // The template arrives as a single parsed buffer; this flatten is a
+        // refcount bump.
+        let template = upstream.body.flatten();
+        if !upstream.status.is_success() || !dpc_core::tag::is_instrumented(&template) {
             // Plain response (errors, disabled BEM, non-HTML): forward.
             self.stats.uninstrumented.fetch_add(1, Ordering::Relaxed);
             return strip_internal_headers(upstream).with_header("X-Cache", "dpc-pass");
         }
-        // Zero-copy assembly: cached fragments are spliced into the rope
-        // by refcount bump; the single flatten below is the only copy on
-        // the way to the client wire.
-        match assemble_rope(&upstream.body, &self.store) {
+        // Zero-copy assembly, end to end: cached fragments are spliced into
+        // the rope by refcount bump, the rope's segments become the
+        // response body unflattened, and the HTTP serializer puts them on
+        // the wire with vectored writes. No byte of a cached fragment is
+        // copied between the slot store and the client socket.
+        match assemble_rope(&template, &self.store) {
             Ok(rope) => {
                 self.stats.assembled.fetch_add(1, Ordering::Relaxed);
                 let mut resp = upstream;
-                resp.body = rope.to_bytes();
+                resp.body = Body::Rope(rope.segments);
                 strip_internal_headers(resp).with_header("X-Cache", "dpc-assembled")
             }
             Err(err) => self.bypass_refetch(req, err),
@@ -315,6 +322,52 @@ mod tests {
         let resp = proxy.serve(Request::get("/x"));
         assert_eq!(resp.status, Status::BAD_GATEWAY);
         assert_eq!(proxy.stats().upstream_errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dpc_mode_serves_rope_with_zero_body_memcpys() {
+        use bytes::Bytes;
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            ..TestbedConfig::default()
+        });
+        let url = "/paper/page.jsp?p=0";
+        // First request installs the fragments (SET path); the next two are
+        // served from the slot store (GET splices).
+        let warm = tb.proxy().serve(Request::get(url));
+        assert_eq!(warm.headers.get("x-cache"), Some("dpc-assembled"));
+        let a = tb.proxy().serve(Request::get(url));
+        let b = tb.proxy().serve(Request::get(url));
+        let (Body::Rope(sa), Body::Rope(sb)) = (&a.body, &b.body) else {
+            panic!("assembled pages must be served as ropes, not flattened");
+        };
+        assert_eq!(a.body, b.body, "same page, same bytes");
+        // Zero-copy proof: a cached fragment spliced into both responses is
+        // the *same allocation* — its `Bytes` refcount was bumped into each
+        // rope. Flattening anywhere on the way would produce fresh buffers
+        // with distinct pointers (as the literal segments do).
+        let ptr_of = |s: &Bytes| (s.as_slice().as_ptr() as usize, s.len());
+        let in_b: std::collections::HashSet<_> = sb.iter().map(ptr_of).collect();
+        let shared = sa
+            .iter()
+            .filter(|s| !s.is_empty() && in_b.contains(&ptr_of(s)))
+            .count();
+        assert!(
+            shared >= 1,
+            "at least one cached fragment must be pointer-shared across responses"
+        );
+        // And the serializer keeps those segments unflattened on the way to
+        // the wire: the response's wire image contains the same pointers.
+        let wire: std::collections::HashSet<_> = dpc_http::serialize::response_segments(&a)
+            .iter()
+            .map(ptr_of)
+            .collect();
+        for seg in sa {
+            assert!(
+                seg.is_empty() || wire.contains(&ptr_of(seg)),
+                "body segment must reach the wire without a copy"
+            );
+        }
     }
 
     #[test]

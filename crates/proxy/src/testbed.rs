@@ -375,13 +375,13 @@ mod tests {
             bob.body, alice.body,
             "URL-keyed cache must (incorrectly) replay Bob's page"
         );
-        assert!(String::from_utf8_lossy(&alice.body).contains("Hello,"));
+        assert!(String::from_utf8_lossy(&alice.body.flatten()).contains("Hello,"));
         // DPC: the same sequence yields correct, distinct pages.
         let dpc = mk(ProxyMode::Dpc);
         let bob = dpc.get("/catalog.jsp?categoryID=cat1", Some("user1"));
         let alice = dpc.get("/catalog.jsp?categoryID=cat1", None);
         assert_ne!(bob.body, alice.body);
-        assert!(!String::from_utf8_lossy(&alice.body).contains("Hello,"));
+        assert!(!String::from_utf8_lossy(&alice.body.flatten()).contains("Hello,"));
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! # dpc-workload — request generation (the WebLoad substitute)
 //!
-//! The paper's clients were "a cluster of clients [running] WebLoad, which
+//! The paper's clients were "a cluster of clients \[running\] WebLoad, which
 //! sends requests to the Web server", with page popularity "governed by the
 //! Zipfian distribution, which has been shown to describe Web page requests
-//! with reasonable accuracy [2, 12]". This crate reproduces that load
+//! with reasonable accuracy \[2, 12\]". This crate reproduces that load
 //! generator:
 //!
 //! * [`distr`] — seeded Zipf (inverse-CDF), exponential inter-arrivals

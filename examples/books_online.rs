@@ -34,12 +34,12 @@ fn main() {
     println!(
         "  bob (registered):   {:>6} B, greeted: {}",
         bob.body.len(),
-        String::from_utf8_lossy(&bob.body).contains("Hello,")
+        String::from_utf8_lossy(&bob.body.flatten()).contains("Hello,")
     );
     println!(
         "  alice (anonymous):  {:>6} B, greeted: {}",
         alice.body.len(),
-        String::from_utf8_lossy(&alice.body).contains("Hello,")
+        String::from_utf8_lossy(&alice.body.flatten()).contains("Hello,")
     );
     assert_ne!(
         bob.body, alice.body,
@@ -94,6 +94,6 @@ fn main() {
         row.set("price", 1.99);
     });
     let fresh = tb.get("/product.jsp?id=cat1-p1", None);
-    assert!(String::from_utf8_lossy(&fresh.body).contains("1.99"));
+    assert!(String::from_utf8_lossy(&fresh.body.flatten()).contains("1.99"));
     println!("\nprice update visible on the very next request: $1.99 ✓");
 }

@@ -100,7 +100,8 @@ fn main() {
     for _ in 0..3 {
         tick_quote(&repo, "SYM3", &mut rng);
         let fresh = quote(&client, "SYM3");
-        let body = String::from_utf8_lossy(&fresh.body);
+        let flat = fresh.body.flatten();
+        let body = String::from_utf8_lossy(&flat);
         let price = body
             .split("$")
             .nth(1)

@@ -31,7 +31,7 @@ fn verdict(mode: ProxyMode) -> (String, bool, bool) {
     let bob_again = tb.get(URL, Some("user1"));
     // Alice (anonymous) then requests the same URL.
     let alice = tb.get(URL, None);
-    let alice_greeted = String::from_utf8_lossy(&alice.body).contains("Hello,");
+    let alice_greeted = String::from_utf8_lossy(&alice.body.flatten()).contains("Hello,");
     let stable_for_bob = bob.body == bob_again.body;
     (
         mode.to_string(),
