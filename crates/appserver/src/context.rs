@@ -22,6 +22,11 @@ pub const BYPASS_HEADER: &str = "X-DPC-Bypass";
 /// Request header a distributed DPC node uses to announce its node id
 /// (0–63) so the BEM can track per-node fragment placement (§7).
 pub const NODE_HEADER: &str = "X-DPC-Node";
+/// Request header a cluster node adds to announce it repairs empty slots
+/// itself (peer-fetch, then bypass): the BEM then emits `GET`s for valid
+/// fragments the node has not stored, instead of node-miss `SET`s — the
+/// lazy key-range handoff contract of the ring cluster.
+pub const PEER_FETCH_HEADER: &str = "X-DPC-Peer-Fetch";
 /// Response header carrying the simulated origin generation cost.
 pub const COST_HEADER: &str = "X-Origin-Cost-Nanos";
 

@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::context::{RequestCtx, BYPASS_HEADER, COST_HEADER, NODE_HEADER};
+use crate::context::{RequestCtx, BYPASS_HEADER, COST_HEADER, NODE_HEADER, PEER_FETCH_HEADER};
 
 /// A dynamic script: one registered page generator.
 pub trait Script: Send + Sync + 'static {
@@ -121,6 +121,8 @@ impl ScriptEngine {
             .unwrap_or(0);
         let mut writer = if bypass {
             self.bem.bypass_writer()
+        } else if req.headers.get(PEER_FETCH_HEADER).is_some() {
+            self.bem.template_writer_for_peer_node(node)
         } else {
             self.bem.template_writer_for_node(node)
         };

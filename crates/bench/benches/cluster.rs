@@ -1,0 +1,325 @@
+//! Ring-cluster scaling: 1 vs 4 vs 8 nodes under Zipf-skewed page GETs.
+//!
+//! Each measured operation is one fragment-addressed GET through
+//! [`RingCluster::serve`]: ring routing, the owner's DPC front (directory
+//! lookup at the shared origin over the simulated wire, slot-store splice,
+//! rope assembly). Page popularity is Zipf(α = 0.9) over 64 pages — the
+//! skew a production edge actually sees, and the stress case for placement
+//! (the hottest arcs concentrate on whichever nodes own the head of the
+//! distribution).
+//!
+//! Driver threads call the cluster in-process (no client HTTP front), so
+//! the measurement isolates the cluster tier itself: routing + per-node
+//! store sharding + the origin round trip for templates. With one node
+//! every request funnels through one slot store and one upstream
+//! connection pool; with 4/8 the per-node stores and upstream fetches
+//! proceed independently. The legacy modulo router is measured alongside
+//! at the same node count as the baseline the ring replaces.
+//!
+//! Measurement design mirrors `shards.rs`: paired, interleaved batches
+//! summarized by the median, so host noise hits every configuration
+//! equally. A membership-churn grid point measures the ring's raison
+//! d'être: throughput while one of 8 nodes fails and a replacement joins
+//! mid-batch (lazy peer-fetch handoff, no stop-the-world rebalance).
+//!
+//! Run: `cargo bench -p dpc-bench --bench cluster`
+//! Emits `BENCH_cluster.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::io::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use dpc_appserver::apps::paper_site::PaperSiteParams;
+use dpc_proxy::modes::ProxyMode;
+use dpc_proxy::ring_cluster::{RingCluster, RingConfig};
+use dpc_proxy::testbed::{Testbed, TestbedConfig};
+use dpc_proxy::{DpcCluster, Router};
+use dpc_workload::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PAGES: usize = 64;
+const ZIPF_ALPHA: f64 = 0.9;
+const DRIVERS: usize = 4;
+const REQS_PER_DRIVER: usize = 300;
+const PAIRS: usize = 9;
+const PAIRS_QUICK: usize = 3;
+
+fn quick() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some()
+}
+
+fn params() -> PaperSiteParams {
+    PaperSiteParams {
+        pages: PAGES,
+        fragments_per_page: 4,
+        fragment_bytes: 1024,
+        cacheability: 1.0,
+        ..PaperSiteParams::default()
+    }
+}
+
+/// One origin + one cluster front (ring or legacy router).
+struct World {
+    _tb: Testbed,
+    front: Front,
+}
+
+enum Front {
+    Ring(RingCluster),
+    Legacy(DpcCluster),
+}
+
+impl World {
+    fn build(nodes: usize, ring: bool) -> World {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: params(),
+            ..TestbedConfig::default()
+        });
+        let front = if ring {
+            Front::Ring(RingCluster::new(tb.net(), nodes, RingConfig::default()))
+        } else {
+            Front::Legacy(DpcCluster::new(tb.net(), nodes, 4096, Router::UrlHash))
+        };
+        let world = World { _tb: tb, front };
+        // Warm every page so the measured loop is hit-dominated.
+        for p in 0..PAGES {
+            let resp = world.get(p);
+            assert_eq!(resp.status.0, 200);
+        }
+        world
+    }
+
+    fn get(&self, p: usize) -> dpc_http::Response {
+        let target = format!("/paper/page.jsp?p={p}");
+        match &self.front {
+            Front::Ring(c) => c.get(&target, None),
+            Front::Legacy(c) => c.get(&target, None),
+        }
+    }
+}
+
+/// Drive one batch of Zipf-skewed GETs; returns wall time.
+fn run_batch(world: &Arc<World>, epoch: u64) -> Duration {
+    let zipf = Zipf::new(PAGES, ZIPF_ALPHA);
+    let barrier = Arc::new(Barrier::new(DRIVERS + 1));
+    let joins: Vec<_> = (0..DRIVERS)
+        .map(|d| {
+            let world = Arc::clone(world);
+            let zipf = zipf.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x21F * (d as u64 + 1) + epoch);
+                barrier.wait();
+                for _ in 0..REQS_PER_DRIVER {
+                    let p = zipf.sample(&mut rng);
+                    let resp = world.get(p);
+                    assert_eq!(resp.status.0, 200);
+                    std::hint::black_box(resp.body.len());
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for j in joins {
+        j.join().unwrap();
+    }
+    start.elapsed()
+}
+
+/// Churn batch: identical driver shape to [`run_batch`] (same thread
+/// count, same per-driver request count, so the kreq/s compare directly),
+/// but one ring node fails at the first third of the global request count
+/// and a replacement joins at the second third, mid-traffic. A request
+/// racing the membership change may see a routing 503 ("owner departed");
+/// real clients retry those, so the drivers do too — what must hold is
+/// that every request *eventually* succeeds and no wrong bytes appear.
+fn run_churn_batch(world: &Arc<World>, epoch: u64) -> Duration {
+    let Front::Ring(_) = &world.front else {
+        panic!("churn batch needs the ring front");
+    };
+    let zipf = Zipf::new(PAGES, ZIPF_ALPHA);
+    let total = DRIVERS * REQS_PER_DRIVER;
+    let served = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(DRIVERS + 1));
+    let joins: Vec<_> = (0..DRIVERS)
+        .map(|d| {
+            let world = Arc::clone(world);
+            let zipf = zipf.clone();
+            let barrier = Arc::clone(&barrier);
+            let served = Arc::clone(&served);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC0DE * (d as u64 + 1) + epoch);
+                barrier.wait();
+                for _ in 0..REQS_PER_DRIVER {
+                    let i = served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i == total / 3 {
+                        let Front::Ring(cluster) = &world.front else {
+                            unreachable!()
+                        };
+                        let alive = cluster.alive();
+                        cluster.fail(alive[alive.len() / 2]);
+                    }
+                    if i == 2 * total / 3 {
+                        let Front::Ring(cluster) = &world.front else {
+                            unreachable!()
+                        };
+                        cluster.join();
+                    }
+                    let p = zipf.sample(&mut rng);
+                    let mut tries = 0;
+                    loop {
+                        let resp = world.get(p);
+                        if resp.status.0 == 200 {
+                            std::hint::black_box(resp.body.len());
+                            break;
+                        }
+                        tries += 1;
+                        assert!(
+                            resp.status.0 == 503 && tries < 8,
+                            "churn surfaced a non-retryable error: {}",
+                            resp.status.0
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for j in joins {
+        j.join().unwrap();
+    }
+    start.elapsed()
+}
+
+#[derive(Clone)]
+struct Point {
+    label: String,
+    nodes: usize,
+    ops: u64,
+    median_elapsed_ns: u64,
+}
+
+impl Point {
+    fn kreq_per_s(&self) -> f64 {
+        self.ops as f64 / self.median_elapsed_ns.max(1) as f64 * 1e9 / 1e3
+    }
+}
+
+fn median_ns(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let pairs = if quick() { PAIRS_QUICK } else { PAIRS };
+    let ops = (DRIVERS * REQS_PER_DRIVER) as u64;
+    let mut points: Vec<Point> = Vec::new();
+    let mut group = c.benchmark_group("cluster");
+
+    // Ring at 1/4/8 nodes plus the legacy modulo router at 8 — paired,
+    // interleaved batches so noise hits all four equally.
+    let worlds: Vec<(String, usize, Arc<World>)> = vec![
+        ("ring".into(), 1, Arc::new(World::build(1, true))),
+        ("ring".into(), 4, Arc::new(World::build(4, true))),
+        ("ring".into(), 8, Arc::new(World::build(8, true))),
+        (
+            "legacy-url-hash".into(),
+            8,
+            Arc::new(World::build(8, false)),
+        ),
+    ];
+    let mut samples: Vec<Vec<u64>> = vec![Vec::with_capacity(pairs); worlds.len()];
+    for pair in 0..pairs {
+        for (i, (_, _, world)) in worlds.iter().enumerate() {
+            samples[i].push(run_batch(world, pair as u64).as_nanos() as u64);
+        }
+    }
+    for ((label, nodes, _), samples) in worlds.iter().zip(samples) {
+        let p = Point {
+            label: label.clone(),
+            nodes: *nodes,
+            ops,
+            median_elapsed_ns: median_ns(samples),
+        };
+        group.throughput(Throughput::Elements(ops));
+        group.bench_function(BenchmarkId::new(label.clone(), format!("{nodes}n")), |b| {
+            b.iter(|| std::hint::black_box(p.median_elapsed_ns))
+        });
+        println!(
+            "paired   cluster/{label}/{nodes}n: {:>9.2} kreq/s (median of {pairs})",
+            p.kreq_per_s()
+        );
+        points.push(p);
+    }
+
+    // Churn grid point: fail + join mid-batch on an 8-node ring. A fresh
+    // world per batch (churn mutates membership permanently).
+    let mut churn_ns = Vec::with_capacity(pairs);
+    for pair in 0..pairs {
+        let world = Arc::new(World::build(8, true));
+        churn_ns.push(run_churn_batch(&world, pair as u64).as_nanos() as u64);
+    }
+    let churn = Point {
+        label: "ring-churn-fail-join".into(),
+        nodes: 8,
+        ops,
+        median_elapsed_ns: median_ns(churn_ns),
+    };
+    println!(
+        "paired   cluster/ring-churn-fail-join/8n: {:>9.2} kreq/s (median of {pairs})",
+        churn.kreq_per_s()
+    );
+    points.push(churn);
+
+    group.finish();
+    emit_json(&points, pairs);
+}
+
+fn emit_json(points: &[Point], pairs: usize) {
+    let find = |label: &str, nodes: usize| {
+        points
+            .iter()
+            .find(|p| p.label == label && p.nodes == nodes)
+            .expect("grid point measured")
+    };
+    let scaling_8v1 = find("ring", 8).kreq_per_s() / find("ring", 1).kreq_per_s();
+    let ring_vs_legacy = find("ring", 8).kreq_per_s() / find("legacy-url-hash", 8).kreq_per_s();
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut json = format!(
+        "{{\n  \"bench\": \"cluster\",\n  \"unit\": \"kreq/s\",\n  \"zipf_alpha\": {ZIPF_ALPHA},\n  \"pages\": {PAGES},\n  \"host_cpus\": {cpus},\n  \"pairs_per_point\": {pairs},\n  \"points\": [\n"
+    );
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"front\": \"{}\", \"nodes\": {}, \"ops\": {}, \"median_elapsed_ns\": {}, \"kreq_per_s\": {:.4}}}{}\n",
+            p.label,
+            p.nodes,
+            p.ops,
+            p.median_elapsed_ns,
+            p.kreq_per_s(),
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"ring_8_node_vs_1_node\": {scaling_8v1:.4},\n  \"ring_vs_legacy_router_at_8_nodes\": {ring_vs_legacy:.4}\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+    let mut file = std::fs::File::create(path).expect("create BENCH_cluster.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_cluster.json");
+    println!("wrote {path}");
+    println!("ring 8-node vs 1-node: {scaling_8v1:.2}x; ring vs legacy router at 8 nodes: {ring_vs_legacy:.2}x");
+}
+
+criterion_group!(
+    name = cluster;
+    config = Criterion::default()
+        .measurement_time(Duration::from_millis(50))
+        .warm_up_time(Duration::from_millis(10));
+    targets = bench_cluster
+);
+criterion_main!(cluster);

@@ -1,0 +1,240 @@
+//! The gossiped invalidation feed.
+//!
+//! Why the cluster needs one at all: the paper's coherence story ("the BEM
+//! never messages the proxy; the next `SET` overwrites the slot") leaves
+//! one documented hazard — after an invalidation frees a `dpcKey`, every
+//! node's slot still holds the dead fragment's bytes, and if the key is
+//! reassigned to a *different* fragment before that node sees the new
+//! `SET`, a directory hit splices the wrong bytes with no error raised. On
+//! one node the window is one request round-trip; across a cluster it is
+//! unbounded, because a node that never serves the new fragment never gets
+//! the overwriting `SET`.
+//!
+//! The feed closes it epidemically. Every invalidation becomes an event
+//! `(origin, seq, dep, freed keys)` appended to the origin node's log.
+//! Anti-entropy rounds exchange version vectors and ship exactly the
+//! missing events; an applying node scrubs the freed keys from its slot
+//! store, so by the time a key can be reassigned *and* gossip has
+//! converged, no stale copy of the old bytes exists anywhere. Events
+//! apply per-origin in order (gap-free), so a version vector fully
+//! describes a node's state and cluster-wide vector equality is
+//! convergence.
+//!
+//! The feed is transport-free; [`crate::peer`] moves deltas over
+//! [`dpc_net::SimNetwork`] using the [`dpc_net::frame`] message family.
+
+use dpc_core::DpcKey;
+use dpc_net::WireEvent;
+
+use crate::version::VersionVector;
+use std::collections::HashMap;
+
+/// One invalidation event: data-source `dep` was updated at node `origin`,
+/// freeing `keys` in the shared directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedEvent {
+    pub origin: u32,
+    /// Per-origin sequence, starting at 1, gap-free.
+    pub seq: u64,
+    pub dep: String,
+    pub keys: Vec<DpcKey>,
+}
+
+impl FeedEvent {
+    /// Wire form for [`dpc_net::frame`].
+    pub fn to_wire(&self) -> WireEvent {
+        WireEvent {
+            origin: self.origin,
+            seq: self.seq,
+            dep: self.dep.clone(),
+            keys: self.keys.iter().map(|k| k.0).collect(),
+        }
+    }
+
+    pub fn from_wire(w: &WireEvent) -> FeedEvent {
+        FeedEvent {
+            origin: w.origin,
+            seq: w.seq,
+            dep: w.dep.clone(),
+            keys: w.keys.iter().map(|k| DpcKey(*k)).collect(),
+        }
+    }
+}
+
+/// One node's view of the cluster-wide invalidation history.
+///
+/// Nodes keep *all* origins' events (not just their own) so any node can
+/// forward any event — gossip survives the failure of an event's origin as
+/// long as one copy reached a survivor.
+#[derive(Debug)]
+pub struct InvalidationFeed {
+    node: u32,
+    /// `origin → its events in seq order` (`logs[o][i].seq == i+1`).
+    logs: HashMap<u32, Vec<FeedEvent>>,
+    vv: VersionVector,
+}
+
+impl InvalidationFeed {
+    pub fn new(node: u32) -> InvalidationFeed {
+        InvalidationFeed {
+            node,
+            logs: HashMap::new(),
+            vv: VersionVector::new(),
+        }
+    }
+
+    /// The owning node's id.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Version vector of everything applied here.
+    pub fn vv(&self) -> &VersionVector {
+        &self.vv
+    }
+
+    /// Append a locally originated event and return it (already applied
+    /// locally — the caller scrubs its own store with the returned keys).
+    pub fn record(&mut self, dep: &str, keys: Vec<DpcKey>) -> FeedEvent {
+        let seq = self.vv.get(self.node) + 1;
+        let event = FeedEvent {
+            origin: self.node,
+            seq,
+            dep: dep.to_owned(),
+            keys,
+        };
+        self.logs.entry(self.node).or_default().push(event.clone());
+        self.vv.advance(self.node, seq);
+        event
+    }
+
+    /// Every event this feed holds that `other` has not applied, in
+    /// per-origin seq order — the anti-entropy delta.
+    pub fn delta_since(&self, other: &VersionVector) -> Vec<FeedEvent> {
+        let mut out = Vec::new();
+        let mut origins: Vec<u32> = self.logs.keys().copied().collect();
+        origins.sort_unstable();
+        for origin in origins {
+            let log = &self.logs[&origin];
+            let have = other.get(origin) as usize;
+            if have < log.len() {
+                out.extend_from_slice(&log[have..]);
+            }
+        }
+        out
+    }
+
+    /// Apply a received delta. Returns the events that were *new* here, in
+    /// application order — the caller scrubs its store with their keys.
+    /// Duplicates are ignored; an out-of-order gap (which a correct peer
+    /// never ships, since deltas are per-origin prefixes) is skipped rather
+    /// than applied, preserving the gap-free invariant.
+    pub fn apply(&mut self, events: &[FeedEvent]) -> Vec<FeedEvent> {
+        let mut sorted: Vec<&FeedEvent> = events.iter().collect();
+        sorted.sort_by_key(|e| (e.origin, e.seq));
+        let mut fresh = Vec::new();
+        for event in sorted {
+            let next = self.vv.get(event.origin) + 1;
+            if event.seq != next {
+                continue; // duplicate (seq < next) or gap (seq > next)
+            }
+            self.logs
+                .entry(event.origin)
+                .or_default()
+                .push(event.clone());
+            self.vv.advance(event.origin, event.seq);
+            fresh.push(event.clone());
+        }
+        fresh
+    }
+
+    /// Total events applied (all origins).
+    pub fn len(&self) -> usize {
+        self.logs.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.logs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(origin: u32, seq: u64, dep: &str) -> FeedEvent {
+        FeedEvent {
+            origin,
+            seq,
+            dep: dep.to_owned(),
+            keys: vec![DpcKey(seq as u32)],
+        }
+    }
+
+    #[test]
+    fn record_assigns_gap_free_sequences() {
+        let mut feed = InvalidationFeed::new(3);
+        let a = feed.record("tbl/a", vec![DpcKey(1)]);
+        let b = feed.record("tbl/b", vec![]);
+        assert_eq!((a.origin, a.seq), (3, 1));
+        assert_eq!((b.origin, b.seq), (3, 2));
+        assert_eq!(feed.vv().get(3), 2);
+        assert_eq!(feed.len(), 2);
+    }
+
+    #[test]
+    fn delta_ships_exactly_the_missing_suffix() {
+        let mut feed = InvalidationFeed::new(0);
+        for i in 0..5 {
+            feed.record(&format!("d{i}"), vec![]);
+        }
+        let mut other = VersionVector::new();
+        other.advance(0, 3);
+        let delta = feed.delta_since(&other);
+        assert_eq!(delta.len(), 2);
+        assert_eq!(delta[0].seq, 4);
+        assert_eq!(delta[1].seq, 5);
+        assert!(feed.delta_since(feed.vv()).is_empty(), "no self-delta");
+    }
+
+    #[test]
+    fn apply_is_idempotent_and_order_insensitive() {
+        let mut feed = InvalidationFeed::new(9);
+        let events = vec![ev(1, 2, "b"), ev(1, 1, "a"), ev(2, 1, "c")];
+        let fresh = feed.apply(&events);
+        assert_eq!(fresh.len(), 3, "unsorted but gap-free batch applies");
+        assert_eq!(feed.vv().get(1), 2);
+        assert_eq!(feed.vv().get(2), 1);
+        // Re-applying is a no-op.
+        assert!(feed.apply(&events).is_empty());
+        // A gap is not applied.
+        assert!(feed.apply(&[ev(2, 5, "gap")]).is_empty());
+        assert_eq!(feed.vv().get(2), 1);
+    }
+
+    #[test]
+    fn two_feeds_converge_by_exchanging_deltas() {
+        let mut a = InvalidationFeed::new(0);
+        let mut b = InvalidationFeed::new(1);
+        a.record("a1", vec![DpcKey(7)]);
+        b.record("b1", vec![]);
+        b.record("b2", vec![]);
+        let to_b = a.delta_since(b.vv());
+        let to_a = b.delta_since(a.vv());
+        b.apply(&to_b);
+        a.apply(&to_a);
+        assert_eq!(a.vv(), b.vv());
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 3);
+        // Forwarding: a third node can get node 0's event from node 1.
+        let mut c = InvalidationFeed::new(2);
+        c.apply(&b.delta_since(c.vv()));
+        assert_eq!(c.vv(), a.vv());
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_events() {
+        let e = ev(4, 9, "tbl/rows");
+        assert_eq!(FeedEvent::from_wire(&e.to_wire()), e);
+    }
+}

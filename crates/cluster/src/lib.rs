@@ -1,0 +1,43 @@
+//! # dpc-cluster — the DPC's cluster tier
+//!
+//! The paper's §7 sketches distributed DPCs but assumes a fixed fleet: the
+//! directory's `stored_nodes` bitmask tracks which nodes hold each
+//! fragment, and request routing is a static hash. This crate supplies the
+//! machinery a *dynamic* fleet needs, as a transport-light library that
+//! `dpc-proxy` composes into a running cluster (core → front → cluster,
+//! the third serving tier):
+//!
+//! * [`ring`] — a consistent-hash ring with virtual nodes: membership
+//!   changes remap an expected `1/n` of the keyspace instead of the
+//!   modulo router's near-total avalanche.
+//! * [`membership`] — join / leave / fail lifecycle over the ring, with an
+//!   epoch counter so observers detect churn cheaply.
+//! * [`version`] / [`feed`] — per-node version vectors over a cluster-wide
+//!   log of invalidation events. Every `invalidate_dep` becomes an event
+//!   carrying the dpcKeys the directory freed; applying an event scrubs
+//!   those slots locally, closing the cross-node stale-reassignment window
+//!   the single-node design bounds with a request round-trip.
+//! * [`peer`] — the wire services: a per-node accept loop answering
+//!   peer-fetch (lazy key-range handoff after a join) and gossip
+//!   anti-entropy exchanges, speaking [`dpc_net::frame`] messages over the
+//!   shared [`dpc_net::SimNetwork`].
+//!
+//! Convergence is a *property*, not a trace: concurrent gossip admits many
+//! interleavings, so the tests assert eventual agreement (all version
+//! vectors equal, every replicated invalidation applied) within a bounded
+//! number of rounds, under a seeded RNG for reproducibility.
+
+pub mod feed;
+pub mod membership;
+pub mod peer;
+pub mod ring;
+pub mod version;
+
+pub use feed::{FeedEvent, InvalidationFeed};
+pub use membership::{Membership, NodeState};
+pub use peer::{
+    gossip_exchange, gossip_flush, peer_addr, peer_fetch, GossipOutcome, PeerNode, PeerServer,
+    PeerStats,
+};
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use version::VersionVector;

@@ -1,0 +1,446 @@
+//! Proxy-to-proxy transport: the peer-fetch service and gossip exchange.
+//!
+//! Each cluster node runs one [`PeerServer`] — a thread accepting
+//! connections at `dpc-peer-<id>` on the shared [`SimNetwork`] and speaking
+//! the [`dpc_net::frame`] message family:
+//!
+//! * [`ClusterFrame::FetchReq`] — answer from the local slot store (lazy
+//!   key-range handoff after a join: the new owner pulls, the donor
+//!   serves).
+//! * [`ClusterFrame::GossipSyn`] — an anti-entropy round opened by a peer:
+//!   reply with the events the opener lacks, then read the opener's
+//!   reverse delta and apply it (push-pull in one connection).
+//! * An unsolicited [`ClusterFrame::GossipDelta`] — accepted too (pure
+//!   push), which is what a gracefully leaving node sends to flush.
+//!
+//! Connections are handled inline on the accept thread, one at a time:
+//! exchanges are short, servers never dial out (so no dial cycle can
+//! deadlock), and a one-connection-at-a-time server makes the feed's
+//! apply path trivially race-free with respect to its own fetches.
+//!
+//! Applying an event always means the same thing: merge it into the feed
+//! and *scrub* its freed keys from the local slot store
+//! ([`PeerNode::apply_and_scrub`]), converting the cluster-wide stale-splice
+//! hazard into a clean `MissingFragment` miss.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use dpc_core::{DpcKey, FragmentStore};
+use dpc_net::frame::ClusterFrame;
+use dpc_net::stream::Connector;
+use dpc_net::SimNetwork;
+
+use crate::feed::{FeedEvent, InvalidationFeed};
+use crate::version::VersionVector;
+
+/// Well-known peer-service address of node `id` on the simulated network.
+pub fn peer_addr(id: u32) -> String {
+    format!("dpc-peer-{id}")
+}
+
+/// Counters for one node's peer endpoint.
+#[derive(Debug, Default)]
+pub struct PeerStats {
+    /// Fetches served from a non-empty slot.
+    pub fetch_hits: AtomicU64,
+    /// Fetches answered "don't have it".
+    pub fetch_misses: AtomicU64,
+    /// Gossip exchanges served (as the passive side).
+    pub gossip_served: AtomicU64,
+    /// Events newly applied here (any direction).
+    pub events_applied: AtomicU64,
+    /// Slots scrubbed by applied events.
+    pub slots_scrubbed: AtomicU64,
+}
+
+/// One node's gossip/fetch state: its slot store, its feed, its counters.
+/// Shared between the node's [`PeerServer`] thread (passive side) and the
+/// cluster driver (active side: [`gossip_exchange`], local records).
+pub struct PeerNode {
+    id: u32,
+    store: Arc<FragmentStore>,
+    feed: Mutex<InvalidationFeed>,
+    stats: PeerStats,
+}
+
+impl PeerNode {
+    pub fn new(id: u32, store: Arc<FragmentStore>) -> Arc<PeerNode> {
+        Arc::new(PeerNode {
+            id,
+            store,
+            feed: Mutex::new(InvalidationFeed::new(id)),
+            stats: PeerStats::default(),
+        })
+    }
+
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The slot store this endpoint serves fetches from and scrubs.
+    pub fn store(&self) -> &Arc<FragmentStore> {
+        &self.store
+    }
+
+    pub fn stats(&self) -> &PeerStats {
+        &self.stats
+    }
+
+    /// Snapshot of the feed's version vector.
+    pub fn vv(&self) -> VersionVector {
+        self.feed.lock().vv().clone()
+    }
+
+    /// Record a locally originated invalidation event and scrub this node's
+    /// own slots. Returns the event (the origin's copy is already applied).
+    pub fn record_local(&self, dep: &str, keys: Vec<DpcKey>) -> FeedEvent {
+        let event = self.feed.lock().record(dep, keys);
+        self.scrub(std::slice::from_ref(&event));
+        event
+    }
+
+    /// Apply a received delta: merge fresh events into the feed, scrub
+    /// their freed keys from the slot store. Returns how many events were
+    /// new here.
+    pub fn apply_and_scrub(&self, events: &[FeedEvent]) -> usize {
+        if events.is_empty() {
+            return 0;
+        }
+        let fresh = self.feed.lock().apply(events);
+        self.stats
+            .events_applied
+            .fetch_add(fresh.len() as u64, Ordering::Relaxed);
+        self.scrub(&fresh);
+        fresh.len()
+    }
+
+    fn scrub(&self, events: &[FeedEvent]) {
+        let mut scrubbed = 0u64;
+        for event in events {
+            for key in &event.keys {
+                if self.store.clear_key(*key) {
+                    scrubbed += 1;
+                }
+            }
+        }
+        self.stats
+            .slots_scrubbed
+            .fetch_add(scrubbed, Ordering::Relaxed);
+    }
+
+    /// Delta of everything this node has that `other` lacks.
+    pub fn delta_since(&self, other: &VersionVector) -> Vec<FeedEvent> {
+        self.feed.lock().delta_since(other)
+    }
+
+    /// Serve one accepted connection until EOF.
+    fn serve_conn(&self, stream: &mut (impl io::Read + io::Write)) -> io::Result<()> {
+        while let Some(frame) = ClusterFrame::read_from(stream)? {
+            match frame {
+                ClusterFrame::FetchReq { key } => {
+                    let slot = self.store.get(DpcKey(key));
+                    match &slot {
+                        Some(_) => self.stats.fetch_hits.fetch_add(1, Ordering::Relaxed),
+                        None => self.stats.fetch_misses.fetch_add(1, Ordering::Relaxed),
+                    };
+                    let resp = ClusterFrame::FetchResp {
+                        hit: slot.is_some(),
+                        body: slot.map(|b| b.to_vec()).unwrap_or_default(),
+                    };
+                    resp.write_to(stream)?;
+                }
+                ClusterFrame::GossipSyn { from: _, vv } => {
+                    self.stats.gossip_served.fetch_add(1, Ordering::Relaxed);
+                    let opener_vv = VersionVector::from_wire(&vv);
+                    // Snapshot under one short lock: our vector + their delta.
+                    let (my_vv, delta) = {
+                        let feed = self.feed.lock();
+                        (feed.vv().clone(), feed.delta_since(&opener_vv))
+                    };
+                    ClusterFrame::GossipDelta {
+                        from: self.id,
+                        vv: my_vv.to_wire(),
+                        events: delta.iter().map(FeedEvent::to_wire).collect(),
+                    }
+                    .write_to(stream)?;
+                    // The opener's reverse delta (or EOF) arrives next; the
+                    // loop handles it as an unsolicited GossipDelta.
+                }
+                ClusterFrame::GossipDelta { events, .. } => {
+                    let events: Vec<FeedEvent> = events.iter().map(FeedEvent::from_wire).collect();
+                    self.apply_and_scrub(&events);
+                    // Ack with our (now merged) vector, so a pusher that
+                    // waits on it knows the delta is *applied*, not merely
+                    // buffered — senders rely on this for read-your-pushes
+                    // ordering across subsequent exchanges.
+                    ClusterFrame::GossipDelta {
+                        from: self.id,
+                        vv: self.vv().to_wire(),
+                        events: Vec::new(),
+                    }
+                    .write_to(stream)?;
+                }
+                ClusterFrame::FetchResp { .. } => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "unexpected FetchResp on server side",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The accept-loop thread of one node's peer service.
+pub struct PeerServer {
+    net: Arc<SimNetwork>,
+    addr: String,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PeerServer {
+    /// Listen at [`peer_addr`]`(node.id())` on `net` and serve until
+    /// [`stop`](PeerServer::stop) (or network teardown).
+    pub fn spawn(net: &Arc<SimNetwork>, node: &Arc<PeerNode>) -> PeerServer {
+        let addr = peer_addr(node.id());
+        let listener = net.listen(&addr);
+        let node = Arc::clone(node);
+        let handle = std::thread::Builder::new()
+            .name(format!("peer-{}", node.id()))
+            .spawn(move || {
+                use dpc_net::stream::Listener;
+                // Accept until the listener is closed (unlisten / teardown).
+                while let Ok(mut stream) = listener.accept() {
+                    // A peer dropping mid-exchange is routine (it saw a
+                    // membership change); only this connection dies.
+                    let _ = node.serve_conn(&mut stream);
+                }
+            })
+            .expect("spawn peer server");
+        PeerServer {
+            net: Arc::clone(net),
+            addr,
+            handle: Some(handle),
+        }
+    }
+
+    /// Service address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Close the listener (future connects are refused) and join the accept
+    /// thread.
+    pub fn stop(&mut self) {
+        self.net.unlisten(&self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PeerServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Fetch one slot from the peer service at `addr`. `Ok(None)` = the peer
+/// answered but has nothing; `Err` = could not reach/speak to the peer.
+pub fn peer_fetch(connector: &dyn Connector, addr: &str, key: DpcKey) -> io::Result<Option<Bytes>> {
+    let mut stream = connector.connect(addr)?;
+    ClusterFrame::FetchReq { key: key.0 }.write_to(&mut stream)?;
+    match ClusterFrame::read_from(&mut stream)? {
+        Some(ClusterFrame::FetchResp { hit: true, body }) => Ok(Some(Bytes::from(body))),
+        Some(ClusterFrame::FetchResp { hit: false, .. }) => Ok(None),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected FetchResp, got {other:?}"),
+        )),
+    }
+}
+
+/// Outcome of one active-side anti-entropy exchange.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GossipOutcome {
+    /// Events newly applied locally (pulled from the peer).
+    pub pulled: usize,
+    /// Events shipped to the peer (they were missing them as of their
+    /// advertised vector; the peer deduplicates on its side).
+    pub pushed: usize,
+}
+
+/// Run one push-pull anti-entropy exchange from `node` (active side) with
+/// the peer service at `addr`.
+pub fn gossip_exchange(
+    connector: &dyn Connector,
+    addr: &str,
+    node: &PeerNode,
+) -> io::Result<GossipOutcome> {
+    let mut stream = connector.connect(addr)?;
+    let my_vv = node.vv();
+    ClusterFrame::GossipSyn {
+        from: node.id(),
+        vv: my_vv.to_wire(),
+    }
+    .write_to(&mut stream)?;
+    let Some(ClusterFrame::GossipDelta { vv, events, .. }) = ClusterFrame::read_from(&mut stream)?
+    else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected GossipDelta reply",
+        ));
+    };
+    let peer_vv = VersionVector::from_wire(&vv);
+    let incoming: Vec<FeedEvent> = events.iter().map(FeedEvent::from_wire).collect();
+    let pulled = node.apply_and_scrub(&incoming);
+    // Reverse delta: everything we now have that the peer lacked.
+    let reverse = node.delta_since(&peer_vv);
+    let pushed = reverse.len();
+    if pushed > 0 {
+        ClusterFrame::GossipDelta {
+            from: node.id(),
+            vv: node.vv().to_wire(),
+            events: reverse.iter().map(FeedEvent::to_wire).collect(),
+        }
+        .write_to(&mut stream)?;
+        read_delta_ack(&mut stream)?;
+    }
+    Ok(GossipOutcome { pulled, pushed })
+}
+
+/// Consume the peer's applied-ack for a pushed delta.
+fn read_delta_ack(stream: &mut (impl io::Read + io::Write)) -> io::Result<()> {
+    match ClusterFrame::read_from(stream)? {
+        Some(ClusterFrame::GossipDelta { .. }) => Ok(()),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected delta ack, got {other:?}"),
+        )),
+    }
+}
+
+/// Push this node's entire feed to the peer at `addr` without pulling —
+/// the flush a gracefully leaving node performs.
+pub fn gossip_flush(connector: &dyn Connector, addr: &str, node: &PeerNode) -> io::Result<usize> {
+    let delta = node.delta_since(&VersionVector::new());
+    if delta.is_empty() {
+        return Ok(0);
+    }
+    let mut stream = connector.connect(addr)?;
+    ClusterFrame::GossipDelta {
+        from: node.id(),
+        vv: node.vv().to_wire(),
+        events: delta.iter().map(FeedEvent::to_wire).collect(),
+    }
+    .write_to(&mut stream)?;
+    read_delta_ack(&mut stream)?;
+    Ok(delta.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn world(ids: &[u32]) -> (Arc<SimNetwork>, Vec<(Arc<PeerNode>, PeerServer)>) {
+        let net = SimNetwork::with_defaults();
+        let nodes = ids
+            .iter()
+            .map(|id| {
+                let store = Arc::new(FragmentStore::new(64));
+                let node = PeerNode::new(*id, store);
+                let server = PeerServer::spawn(&net, &node);
+                (node, server)
+            })
+            .collect();
+        (net, nodes)
+    }
+
+    #[test]
+    fn fetch_roundtrip_hit_and_miss() {
+        let (net, nodes) = world(&[0]);
+        let (node, _server) = &nodes[0];
+        node.store.set(DpcKey(7), Bytes::from_static(b"fragment"));
+        let conn = net.connector();
+        let got = peer_fetch(&conn, &peer_addr(0), DpcKey(7)).unwrap();
+        assert_eq!(got.unwrap(), Bytes::from_static(b"fragment"));
+        assert_eq!(peer_fetch(&conn, &peer_addr(0), DpcKey(8)).unwrap(), None);
+        assert_eq!(node.stats().fetch_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(node.stats().fetch_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn gossip_exchange_is_push_pull() {
+        let (net, nodes) = world(&[0, 1]);
+        let (a, _sa) = &nodes[0];
+        let (b, _sb) = &nodes[1];
+        // Both sides hold slot 3; an event recorded at A frees key 3.
+        a.store.set(DpcKey(3), Bytes::from_static(b"stale"));
+        b.store.set(DpcKey(3), Bytes::from_static(b"stale"));
+        a.record_local("tbl/x", vec![DpcKey(3)]);
+        assert_eq!(a.store.get(DpcKey(3)), None, "origin scrubs itself");
+        // B records its own event too, so the exchange moves both ways.
+        b.record_local("tbl/y", vec![]);
+
+        let conn = net.connector();
+        let outcome = gossip_exchange(&conn, &peer_addr(1), a).unwrap();
+        assert_eq!(
+            outcome,
+            GossipOutcome {
+                pulled: 1, // B's event reached A
+                pushed: 1, // A's event reached B
+            }
+        );
+        assert_eq!(a.vv(), b.vv(), "one exchange converges two nodes");
+        assert_eq!(b.store.get(DpcKey(3)), None, "receiver scrubbed the key");
+        assert_eq!(b.stats().slots_scrubbed.load(Ordering::Relaxed), 1);
+        // A second exchange moves nothing.
+        let outcome = gossip_exchange(&conn, &peer_addr(1), a).unwrap();
+        assert_eq!(outcome, GossipOutcome::default());
+    }
+
+    #[test]
+    fn flush_pushes_without_pulling() {
+        let (net, nodes) = world(&[0, 1]);
+        let (a, _sa) = &nodes[0];
+        let (b, _sb) = &nodes[1];
+        a.record_local("tbl/a", vec![]);
+        a.record_local("tbl/b", vec![]);
+        b.record_local("tbl/c", vec![]);
+        let conn = net.connector();
+        assert_eq!(gossip_flush(&conn, &peer_addr(1), a).unwrap(), 2);
+        assert_eq!(b.vv().get(0), 2, "flush delivered A's events");
+        assert_eq!(a.vv().get(1), 0, "flush must not pull");
+    }
+
+    #[test]
+    fn stopped_server_refuses_connections() {
+        let (net, mut nodes) = world(&[0]);
+        nodes[0].1.stop();
+        let err = peer_fetch(&net.connector(), &peer_addr(0), DpcKey(0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn third_party_events_are_forwarded() {
+        // A's event reaches C via B, with A never talking to C.
+        let (net, nodes) = world(&[0, 1, 2]);
+        let (a, _) = &nodes[0];
+        let (b, _) = &nodes[1];
+        let (c, _) = &nodes[2];
+        a.record_local("tbl/z", vec![DpcKey(5)]);
+        c.store.set(DpcKey(5), Bytes::from_static(b"stale"));
+        let conn = net.connector();
+        gossip_exchange(&conn, &peer_addr(1), a).unwrap();
+        gossip_exchange(&conn, &peer_addr(2), b).unwrap();
+        assert_eq!(c.vv().get(0), 1);
+        assert_eq!(c.store.get(DpcKey(5)), None, "forwarded event scrubbed C");
+    }
+}

@@ -1,0 +1,124 @@
+//! Version vectors summarizing per-origin event progress.
+//!
+//! Each node numbers its own invalidation events 1, 2, 3, …; a version
+//! vector maps `origin node → highest contiguous sequence applied`. Two
+//! nodes compare vectors to compute exactly the events the other is
+//! missing — the delta an anti-entropy round ships. Because every feed
+//! applies each origin's events in order (gap-free), "highest contiguous"
+//! fully describes what a node has, and vector equality across the cluster
+//! is the convergence criterion.
+
+use std::collections::HashMap;
+
+/// `origin → highest contiguous applied sequence` (absent = 0).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionVector {
+    seqs: HashMap<u32, u64>,
+}
+
+impl VersionVector {
+    pub fn new() -> VersionVector {
+        VersionVector::default()
+    }
+
+    /// Highest contiguous sequence applied for `origin` (0 = none).
+    pub fn get(&self, origin: u32) -> u64 {
+        self.seqs.get(&origin).copied().unwrap_or(0)
+    }
+
+    /// Record that `origin`'s events up to `seq` are applied. Never
+    /// regresses; `seq == 0` records nothing (so "has nothing" never
+    /// materializes an entry and vectors compare structurally).
+    pub fn advance(&mut self, origin: u32, seq: u64) {
+        if seq == 0 {
+            return;
+        }
+        let e = self.seqs.entry(origin).or_insert(0);
+        *e = (*e).max(seq);
+    }
+
+    /// True when this vector has applied everything `other` has
+    /// (component-wise ≥).
+    pub fn dominates(&self, other: &VersionVector) -> bool {
+        other.seqs.iter().all(|(o, s)| self.get(*o) >= *s)
+    }
+
+    /// Pointwise maximum of both vectors.
+    pub fn merge(&mut self, other: &VersionVector) {
+        for (o, s) in &other.seqs {
+            self.advance(*o, *s);
+        }
+    }
+
+    /// Wire form, sorted by origin for deterministic frames.
+    pub fn to_wire(&self) -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> = self
+            .seqs
+            .iter()
+            .filter(|(_, s)| **s > 0)
+            .map(|(o, s)| (*o, *s))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Rebuild from wire form.
+    pub fn from_wire(wire: &[(u32, u64)]) -> VersionVector {
+        let mut vv = VersionVector::new();
+        for (o, s) in wire {
+            vv.advance(*o, *s);
+        }
+        vv
+    }
+
+    /// Total events applied across all origins (a cheap progress gauge).
+    pub fn total(&self) -> u64 {
+        self.seqs.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_never_regresses() {
+        let mut vv = VersionVector::new();
+        vv.advance(1, 5);
+        vv.advance(1, 3);
+        assert_eq!(vv.get(1), 5);
+        assert_eq!(vv.get(2), 0, "unknown origin reads 0");
+    }
+
+    #[test]
+    fn dominance_and_merge() {
+        let mut a = VersionVector::new();
+        a.advance(0, 4);
+        a.advance(1, 2);
+        let mut b = VersionVector::new();
+        b.advance(0, 3);
+        b.advance(2, 1);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        a.merge(&b);
+        assert!(a.dominates(&b));
+        assert_eq!(a.get(0), 4);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.total(), 4 + 2 + 1);
+        // A vector dominates itself and the empty vector.
+        assert!(a.dominates(&a));
+        assert!(a.dominates(&VersionVector::new()));
+        assert!(VersionVector::new().dominates(&VersionVector::new()));
+    }
+
+    #[test]
+    fn wire_roundtrip_is_sorted_and_lossless() {
+        let mut vv = VersionVector::new();
+        vv.advance(9, 1);
+        vv.advance(0, 7);
+        vv.advance(4, 0); // zero entries are dropped from the wire form
+        let wire = vv.to_wire();
+        assert_eq!(wire, vec![(0, 7), (9, 1)]);
+        assert_eq!(VersionVector::from_wire(&wire), vv);
+    }
+}

@@ -1,0 +1,193 @@
+//! Gossip convergence as a *property* (satellite of the cluster tentpole).
+//!
+//! Concurrent anti-entropy admits many admissible traces, so instead of
+//! pinning one interleaving the test asserts the outcome every correct
+//! trace must reach: after K rounds with no new writes, (1) all nodes'
+//! version vectors are equal, (2) every recorded invalidation has been
+//! applied by every node, and (3) every freed key has been scrubbed from
+//! every store. K is bounded: random-peer push-pull spreads an event to
+//! all n nodes in O(log n) rounds w.h.p., and each round here performs one
+//! exchange per node, so a cluster of 8 gets a generous deterministic
+//! budget of 6 rounds per seed.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+use dpc_cluster::{gossip_exchange, peer_addr, PeerNode, PeerServer};
+use dpc_core::{DpcKey, FragmentStore};
+use dpc_net::SimNetwork;
+
+const NODES: u32 = 8;
+const CAPACITY: usize = 256;
+/// Anti-entropy rounds allowed for full convergence once writes stop.
+const ROUND_BUDGET: usize = 6;
+
+struct World {
+    net: Arc<SimNetwork>,
+    nodes: Vec<Arc<PeerNode>>,
+    // Held for their accept threads; dropped (and stopped) with the world.
+    _servers: Vec<PeerServer>,
+}
+
+fn build() -> World {
+    let net = SimNetwork::with_defaults();
+    let mut nodes = Vec::new();
+    let mut servers = Vec::new();
+    for id in 0..NODES {
+        let store = Arc::new(FragmentStore::new(CAPACITY));
+        // Pre-populate every slot so scrubbing is observable.
+        for k in 0..CAPACITY as u32 {
+            store.set(DpcKey(k), Bytes::from(format!("slot-{k}").into_bytes()));
+        }
+        let node = PeerNode::new(id, store.clone());
+        servers.push(PeerServer::spawn(&net, &node));
+        nodes.push(node);
+    }
+    World {
+        net,
+        nodes,
+        _servers: servers,
+    }
+}
+
+/// One anti-entropy round: every node exchanges with one random other
+/// node. Returns events applied on the active sides this round.
+fn round(world: &World, rng: &mut StdRng) -> usize {
+    let conn = world.net.connector();
+    let mut moved = 0;
+    for node in &world.nodes {
+        let peer = loop {
+            let p = rng.random_range(0..NODES);
+            if p != node.id() {
+                break p;
+            }
+        };
+        let outcome = gossip_exchange(&conn, &peer_addr(peer), node).expect("exchange");
+        moved += outcome.pulled + outcome.pushed;
+    }
+    moved
+}
+
+fn converged(world: &World) -> bool {
+    let first = world.nodes[0].vv();
+    world.nodes.iter().all(|n| n.vv() == first)
+}
+
+#[test]
+fn all_nodes_converge_within_bounded_rounds() {
+    for seed in [1u64, 42, 0xFEED, 0xC0FFEE] {
+        let world = build();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut recorded = 0u64;
+        let mut freed: Vec<u32> = Vec::new();
+
+        // Churn phase: interleave records (at random origins) with partial
+        // gossip, so events spread from different starting points.
+        for step in 0..40 {
+            let origin = rng.random_range(0..NODES) as usize;
+            let key = rng.random_range(0..CAPACITY as u32);
+            world.nodes[origin].record_local(&format!("tbl/dep-{step}"), vec![DpcKey(key)]);
+            recorded += 1;
+            freed.push(key);
+            if step % 5 == 0 {
+                round(&world, &mut rng);
+            }
+        }
+
+        // Quiescent phase: no new writes; must converge within the budget.
+        let mut rounds_used = 0;
+        while !converged(&world) {
+            assert!(
+                rounds_used < ROUND_BUDGET,
+                "seed {seed}: not converged after {ROUND_BUDGET} rounds"
+            );
+            round(&world, &mut rng);
+            rounds_used += 1;
+        }
+
+        // (2) every invalidation replicated everywhere…
+        for node in &world.nodes {
+            assert_eq!(
+                node.vv().total(),
+                recorded,
+                "seed {seed}: node {} is missing events",
+                node.id()
+            );
+        }
+        // (3) …and its freed keys scrubbed from every store.
+        for node in &world.nodes {
+            for key in &freed {
+                assert!(
+                    node.store().get(DpcKey(*key)).is_none(),
+                    "seed {seed}: node {} still holds freed key {key}",
+                    node.id()
+                );
+            }
+        }
+        // Once converged, further rounds move nothing.
+        assert_eq!(
+            round(&world, &mut rng),
+            0,
+            "seed {seed}: converged is stable"
+        );
+    }
+}
+
+/// Convergence must also hold when all events originate at one node (the
+/// single-writer shape of an operator-driven invalidation burst).
+#[test]
+fn single_origin_burst_converges() {
+    let world = build();
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..32 {
+        world.nodes[0].record_local(&format!("tbl/burst-{i}"), vec![DpcKey(i)]);
+    }
+    let mut rounds_used = 0;
+    while !converged(&world) {
+        assert!(rounds_used < ROUND_BUDGET, "burst did not converge");
+        round(&world, &mut rng);
+        rounds_used += 1;
+    }
+    for node in &world.nodes {
+        assert_eq!(node.vv().get(0), 32);
+    }
+}
+
+/// The active side of gossip keeps converging even when one participant
+/// stops serving (its server is gone but others still exchange pairwise).
+#[test]
+fn convergence_survives_a_silent_node() {
+    let net = SimNetwork::with_defaults();
+    let mut nodes = Vec::new();
+    let mut servers = Vec::new();
+    for id in 0..4u32 {
+        let node = PeerNode::new(id, Arc::new(FragmentStore::new(16)));
+        servers.push(PeerServer::spawn(&net, &node));
+        nodes.push(node);
+    }
+    nodes[1].record_local("tbl/x", vec![DpcKey(3)]);
+    // Node 3 crashes: its server stops answering.
+    servers[3].stop();
+    let conn = net.connector();
+    // Rounds among the survivors (0,1,2) must still converge.
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..ROUND_BUDGET {
+        for node in &nodes[..3] {
+            let peer = loop {
+                let p = rng.random_range(0..3u32);
+                if p != node.id() {
+                    break p;
+                }
+            };
+            let _ = gossip_exchange(&conn, &peer_addr(peer), node);
+        }
+    }
+    let first = nodes[0].vv();
+    assert!(nodes[..3].iter().all(|n| n.vv() == first));
+    assert_eq!(first.get(1), 1);
+    // Dialing the dead node fails cleanly, it does not hang.
+    let err = gossip_exchange(&conn, &peer_addr(3), &nodes[0]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+}

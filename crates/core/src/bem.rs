@@ -20,14 +20,22 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crate::config::BemConfig;
 use crate::directory::{CacheDirectory, DirectoryStats, Lookup};
-use crate::key::FragmentId;
+use crate::key::{DpcKey, FragmentId};
 use crate::objects::ObjectCache;
 use crate::stats::BemStats;
 use crate::tag;
+
+/// Observer of data-source invalidations: called with the dep that was
+/// updated and the dpcKeys the directory freed for it. A cluster tier
+/// installs one so invalidations arriving through the origin's update bus
+/// enter the gossiped feed exactly like cluster-issued ones — without it,
+/// bus-driven invalidations would free keys that no node ever scrubs.
+pub type InvalidationSink = Arc<dyn Fn(&str, &[DpcKey]) + Send + Sync>;
 
 /// Per-fragment caching metadata attached at tagging time (§4.3.1: "The
 /// tagging process assigns a unique identifier to each cacheable fragment,
@@ -84,6 +92,9 @@ pub struct Bem {
     stats: BemStats,
     /// Count of template-writer sessions (≈ pages served through the BEM).
     pages: AtomicU64,
+    /// Observer notified with the freed keys of every data-source
+    /// invalidation (see [`InvalidationSink`]).
+    invalidation_sink: Mutex<Option<InvalidationSink>>,
 }
 
 impl Bem {
@@ -98,6 +109,7 @@ impl Bem {
             rng,
             stats: BemStats::default(),
             pages: AtomicU64::new(0),
+            invalidation_sink: Mutex::new(None),
         }
     }
 
@@ -124,9 +136,24 @@ impl Bem {
     }
 
     /// Entry point for the invalidation manager: a data source reported an
-    /// update to `dep`. Returns the number of fragments invalidated.
+    /// update to `dep`. Returns the number of fragments invalidated. When
+    /// an [`InvalidationSink`] is installed and keys were freed, it is
+    /// notified (so a cluster tier can gossip the freed keys for slot
+    /// scrubbing).
     pub fn on_data_update(&self, dep: &str) -> usize {
-        self.directory.invalidate_dep(dep)
+        let keys = self.directory.invalidate_dep_keys(dep);
+        if !keys.is_empty() {
+            let sink = self.invalidation_sink.lock().clone();
+            if let Some(sink) = sink {
+                sink(dep, &keys);
+            }
+        }
+        keys.len()
+    }
+
+    /// Install the invalidation observer (replacing any previous one).
+    pub fn set_invalidation_sink(&self, sink: InvalidationSink) {
+        *self.invalidation_sink.lock() = Some(sink);
     }
 
     /// Start a writer for one page response.
@@ -140,7 +167,7 @@ impl Bem {
     }
 
     fn writer_inner(&self, instrumented: bool) -> TemplateWriter<'_> {
-        self.writer_for_node_inner(instrumented, 0)
+        self.writer_for_node_inner(instrumented, 0, false)
     }
 
     /// Start a writer for a page that will be assembled by DPC `node`
@@ -148,10 +175,25 @@ impl Bem {
     /// its node id with the request, and the directory tracks which nodes
     /// hold each fragment.
     pub fn template_writer_for_node(&self, node: u32) -> TemplateWriter<'_> {
-        self.writer_for_node_inner(self.config.enabled, node)
+        self.writer_for_node_inner(self.config.enabled, node, false)
     }
 
-    fn writer_for_node_inner(&self, instrumented: bool, node: u32) -> TemplateWriter<'_> {
+    /// Start a writer for a *peer-fetching* DPC node: valid fragments are
+    /// emitted as `GET`s even when `node` has not stored them — the node
+    /// repairs empty slots itself (peer-fetch from the previous ring
+    /// owner, origin bypass as last resort). This is the cluster tier's
+    /// lazy-handoff contract; without it, every join would trigger a
+    /// re-`SET` storm of origin-generated content.
+    pub fn template_writer_for_peer_node(&self, node: u32) -> TemplateWriter<'_> {
+        self.writer_for_node_inner(self.config.enabled, node, true)
+    }
+
+    fn writer_for_node_inner(
+        &self,
+        instrumented: bool,
+        node: u32,
+        peer_fetch: bool,
+    ) -> TemplateWriter<'_> {
         self.pages.fetch_add(1, Ordering::Relaxed);
         let mut buf = Vec::with_capacity(1024);
         if instrumented {
@@ -162,6 +204,7 @@ impl Bem {
             buf,
             instrumented,
             node,
+            peer_fetch,
         }
     }
 
@@ -201,6 +244,22 @@ pub struct TemplateWriter<'a> {
     /// DPC node whose store will interpret this template (0 in the
     /// single-proxy configuration).
     node: u32,
+    /// Whether that node repairs empty slots itself (see
+    /// [`Bem::template_writer_for_peer_node`]).
+    peer_fetch: bool,
+}
+
+impl TemplateWriter<'_> {
+    /// Directory lookup honouring this writer's node semantics.
+    fn lookup(&self, id: &FragmentId, ttl: Duration, deps: &[String]) -> Lookup {
+        if self.peer_fetch {
+            self.bem
+                .directory
+                .lookup_node_trusting(id, ttl, deps, self.node)
+        } else {
+            self.bem.directory.lookup_node(id, ttl, deps, self.node)
+        }
+    }
 }
 
 impl TemplateWriter<'_> {
@@ -265,11 +324,7 @@ impl TemplateWriter<'_> {
             stats.forced_misses.fetch_add(1, Ordering::Relaxed);
         }
 
-        match self
-            .bem
-            .directory
-            .lookup_node(id, policy.ttl, &policy.deps, self.node)
-        {
+        match self.lookup(id, policy.ttl, &policy.deps) {
             Lookup::Hit(key) => {
                 tag::write_get(&mut self.buf, key);
                 stats.hits.fetch_add(1, Ordering::Relaxed);
@@ -336,7 +391,7 @@ impl TemplateWriter<'_> {
             self.bem.directory.invalidate(id);
             stats.forced_misses.fetch_add(1, Ordering::Relaxed);
         }
-        match self.bem.directory.lookup_node(id, ttl, &[], self.node) {
+        match self.lookup(id, ttl, &[]) {
             Lookup::Hit(key) => {
                 tag::write_get(&mut self.buf, key);
                 stats.hits.fetch_add(1, Ordering::Relaxed);

@@ -207,24 +207,36 @@ pub struct CacheDirectory {
     /// shard lock), so [`invalidate_dep`](CacheDirectory::invalidate_dep)
     /// can skip shards with no dependents instead of locking all N.
     ///
-    /// Lock ordering: shard `inner` before `dep_shards`, never the
-    /// reverse — `invalidate_dep` snapshots the mask without holding any
-    /// shard lock.
-    dep_shards: Mutex<HashMap<String, ShardSet>>,
+    /// The index itself is sharded by `hash(dep)` (a power-of-two stripe
+    /// count matching the directory's). Registration runs *inside* shard
+    /// critical sections on the miss/SET path, so a single index-level
+    /// mutex would partially re-serialize the directory shards under
+    /// dep-heavy churn — two misses on different shards registering
+    /// different deps would still collide on the one index lock. Striping
+    /// by dep makes them collide only when the deps themselves collide.
+    ///
+    /// Lock ordering: shard `inner` before any `dep_shards` stripe, never
+    /// the reverse — `invalidate_dep` snapshots the mask without holding
+    /// any shard lock, and no path ever holds two stripes at once.
+    dep_shards: Box<[Mutex<HashMap<String, ShardSet>>]>,
     /// Shard locks taken by `invalidate_dep` (see `DirectoryStats`).
     dep_shard_scans: AtomicU64,
 }
 
-/// FNV-1a over the fragment id's canonical bytes: deterministic across
-/// runs (reproducible experiments) and cheap enough to be invisible next
-/// to the HashMap probe that follows.
-fn shard_hash(id: &FragmentId) -> u64 {
+/// FNV-1a over a byte string: deterministic across runs (reproducible
+/// experiments) and cheap enough to be invisible next to the HashMap probe
+/// that follows.
+fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in id.as_str().as_bytes() {
+    for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+fn shard_hash(id: &FragmentId) -> u64 {
+    fnv1a(id.as_str().as_bytes())
 }
 
 impl CacheDirectory {
@@ -265,11 +277,12 @@ impl CacheDirectory {
                 }
             })
             .collect();
+        let dep_stripes = (0..n).map(|_| Mutex::new(HashMap::new())).collect();
         CacheDirectory {
             clock: config.clock.clone(),
             capacity,
             shards: shards.into_boxed_slice(),
-            dep_shards: Mutex::new(HashMap::new()),
+            dep_shards: dep_stripes,
             dep_shard_scans: AtomicU64::new(0),
         }
     }
@@ -290,12 +303,19 @@ impl CacheDirectory {
         (shard_hash(id) & (self.shards.len() as u64 - 1)) as usize
     }
 
+    /// Index stripe holding `dep`'s shard set. Stripe count is a power of
+    /// two (it equals the directory shard count), so selection is a mask.
+    fn dep_stripe(&self, dep: &str) -> &Mutex<HashMap<String, ShardSet>> {
+        let idx = (fnv1a(dep.as_bytes()) & (self.dep_shards.len() as u64 - 1)) as usize;
+        &self.dep_shards[idx]
+    }
+
     /// Record that shard `idx` (may) hold a dependent of `dep`. Must be
     /// called while holding shard `idx`'s lock so the bit is visible before
     /// any later `invalidate_dep` can lock the shard.
     fn mark_dep_shard(&self, dep: &str, idx: usize) {
-        let mut index = self.dep_shards.lock();
-        index
+        let mut stripe = self.dep_stripe(dep).lock();
+        stripe
             .entry(dep.to_owned())
             .or_insert_with(|| ShardSet::new(self.shards.len()))
             .set(idx);
@@ -304,11 +324,11 @@ impl CacheDirectory {
     /// Record that shard `idx` no longer holds any dependent of `dep`.
     /// Must be called while holding shard `idx`'s lock.
     fn clear_dep_shard(&self, dep: &str, idx: usize) {
-        let mut index = self.dep_shards.lock();
-        if let Some(set) = index.get_mut(dep) {
+        let mut stripe = self.dep_stripe(dep).lock();
+        if let Some(set) = stripe.get_mut(dep) {
             set.clear(idx);
             if set.is_empty() {
-                index.remove(dep);
+                stripe.remove(dep);
             }
         }
     }
@@ -332,6 +352,33 @@ impl CacheDirectory {
         deps: &[String],
         node: u32,
     ) -> Lookup {
+        self.lookup_node_inner(id, ttl, deps, node, false)
+    }
+
+    /// Multi-node lookup for a *peer-fetching* DPC node: a valid entry is a
+    /// Hit even when `node` has not stored the fragment, so the template
+    /// carries a `GET` instead of a node-miss `SET`. The node repairs an
+    /// empty slot itself — peer-fetch from the previous ring owner, origin
+    /// bypass as the last resort — which is what makes cluster joins a
+    /// lazy, origin-free key-range handoff instead of a re-`SET` storm.
+    pub fn lookup_node_trusting(
+        &self,
+        id: &FragmentId,
+        ttl: Duration,
+        deps: &[String],
+        node: u32,
+    ) -> Lookup {
+        self.lookup_node_inner(id, ttl, deps, node, true)
+    }
+
+    fn lookup_node_inner(
+        &self,
+        id: &FragmentId,
+        ttl: Duration,
+        deps: &[String],
+        node: u32,
+        trusting: bool,
+    ) -> Lookup {
         assert!(node < 64, "at most 64 DPC nodes are supported");
         let node_bit = 1u64 << node;
         let now = self.clock.now_nanos();
@@ -345,7 +392,7 @@ impl CacheDirectory {
                 if entry.expires_at > now {
                     entry.hits += 1;
                     inner.replacer.on_touch(entry.dpc_key);
-                    if entry.stored_nodes & node_bit != 0 {
+                    if trusting || entry.stored_nodes & node_bit != 0 {
                         inner.hits += 1;
                         return Lookup::Hit(entry.dpc_key);
                     }
@@ -459,13 +506,22 @@ impl CacheDirectory {
     /// update touches one or two shard locks instead of stalling all of
     /// them ([`DirectoryStats::dep_shard_scans`] counts the locks taken).
     pub fn invalidate_dep(&self, dep: &str) -> usize {
+        self.invalidate_dep_keys(dep).len()
+    }
+
+    /// Like [`invalidate_dep`](Self::invalidate_dep), but returns the
+    /// dpcKeys the invalidation returned to the freeLists. Cluster tiers
+    /// gossip these so every DPC node can scrub the freed slots before the
+    /// keys are reassigned (a scrubbed slot turns the silent stale-splice
+    /// hazard into a detectable `MissingFragment`).
+    pub fn invalidate_dep_keys(&self, dep: &str) -> Vec<DpcKey> {
         // Snapshot the shard set without holding any shard lock (lock
         // order: shard inner before dep_shards). A registration that lands
         // after this read linearizes after the whole invalidation.
-        let Some(mask) = self.dep_shards.lock().get(dep).cloned() else {
-            return 0;
+        let Some(mask) = self.dep_stripe(dep).lock().get(dep).cloned() else {
+            return Vec::new();
         };
-        let mut n = 0;
+        let mut freed = Vec::new();
         for (shard_idx, shard) in self.shards.iter().enumerate() {
             if !mask.contains(shard_idx) {
                 continue;
@@ -479,12 +535,35 @@ impl CacheDirectory {
                 continue;
             };
             for id in ids {
+                let key = inner.entries.get(&id).map(|e| e.dpc_key);
                 if self.invalidate_locked(&mut inner, shard_idx, &id) {
-                    n += 1;
+                    freed.push(key.expect("invalidated entry must exist"));
                 }
             }
         }
-        n
+        freed
+    }
+
+    /// The *epoch* of `id`'s current valid entry, or `None` when the
+    /// fragment is absent, invalid, or expired. The epoch is the entry's
+    /// insertion sequence in its owning shard: it is strictly monotonic
+    /// *per fragment* (a fragment always hashes to the same shard, and the
+    /// shard's counter only grows), so two observations of the same
+    /// fragment compare meaningfully — a larger epoch means the content
+    /// was regenerated in between. Epochs of *different* fragments are not
+    /// comparable (different shards count independently).
+    ///
+    /// Cost: one shard lock and one map probe — cheap enough for
+    /// anti-entropy sweeps to call per fragment.
+    pub fn fragment_epoch(&self, id: &FragmentId) -> Option<u64> {
+        let now = self.clock.now_nanos();
+        let shard_idx = self.shard_index_for(id);
+        let inner = self.shards[shard_idx].inner.lock();
+        inner
+            .entries
+            .get(id)
+            .filter(|e| e.is_valid && e.expires_at > now)
+            .map(|e| e.seq)
     }
 
     /// Invalidate everything (origin data reload).
@@ -947,6 +1026,94 @@ mod tests {
             Lookup::Uncacheable
         );
         assert_eq!(dir.stats().uncacheable, 1);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn trusting_lookup_hits_for_unseen_nodes() {
+        let dir = dir_with(32, 4);
+        let id = FragmentId::new("shared");
+        let Lookup::Miss(k) = dir.lookup_node(&id, Duration::from_secs(60), &[], 0) else {
+            panic!("node 0 must miss first");
+        };
+        // Classic §7 behaviour: node 1 gets a node-miss SET…
+        assert_eq!(
+            dir.lookup_node(&id, Duration::from_secs(60), &[], 1),
+            Lookup::Miss(k)
+        );
+        // …but a peer-fetching node 2 gets a GET and repairs itself.
+        assert_eq!(
+            dir.lookup_node_trusting(&id, Duration::from_secs(60), &[], 2),
+            Lookup::Hit(k)
+        );
+        let stats = dir.stats();
+        assert_eq!(stats.node_misses, 1, "trusting lookups are not node misses");
+        // Invalidation still forces a SET on the trusting path.
+        assert!(dir.invalidate(&id));
+        assert_eq!(
+            dir.lookup_node_trusting(&id, Duration::from_secs(60), &[], 2),
+            Lookup::Miss(k)
+        );
+    }
+
+    #[test]
+    fn invalidate_dep_keys_returns_exactly_the_freed_keys() {
+        let dir = dir_with(256, 16);
+        let mut expected = HashSet::new();
+        for i in 0..24 {
+            let id = FragmentId::with_params("row", &[("i", &i.to_string())]);
+            let Lookup::Miss(k) = dir.lookup(&id, Duration::from_secs(600), &["tbl/x".to_owned()])
+            else {
+                panic!("must miss");
+            };
+            expected.insert(k);
+        }
+        // An unrelated dependent must not be freed.
+        let other = FragmentId::new("bystander");
+        let _ = dir.lookup(&other, Duration::from_secs(600), &["tbl/y".to_owned()]);
+        let freed: HashSet<DpcKey> = dir.invalidate_dep_keys("tbl/x").into_iter().collect();
+        assert_eq!(freed, expected);
+        assert_eq!(dir.stats().valid_entries, 1);
+        // Freed keys really are back on the freeLists.
+        assert_eq!(dir.stats().free_keys, 24);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fragment_epoch_is_monotonic_per_fragment() {
+        let dir = dir_with(64, 8);
+        let id = FragmentId::new("versioned");
+        assert_eq!(dir.fragment_epoch(&id), None, "absent fragment");
+        let _ = dir.lookup(&id, Duration::from_secs(600), &[]);
+        let e1 = dir.fragment_epoch(&id).expect("valid after miss");
+        // A hit does not change the epoch.
+        let _ = dir.lookup(&id, Duration::from_secs(600), &[]);
+        assert_eq!(dir.fragment_epoch(&id), Some(e1));
+        // Invalidation hides it; regeneration bumps it.
+        assert!(dir.invalidate(&id));
+        assert_eq!(dir.fragment_epoch(&id), None, "invalid fragment");
+        let _ = dir.lookup(&id, Duration::from_secs(600), &[]);
+        let e2 = dir.fragment_epoch(&id).expect("valid after re-miss");
+        assert!(e2 > e1, "regenerated epoch {e2} must exceed {e1}");
+    }
+
+    #[test]
+    fn dep_index_stripes_agree_with_single_stripe_semantics() {
+        // The same registration/invalidation sequence against many deps
+        // lands in different stripes but must behave exactly as before:
+        // each dep invalidates only its own dependents.
+        let dir = dir_with(512, 16);
+        for d in 0..64 {
+            for i in 0..3 {
+                let id =
+                    FragmentId::with_params("f", &[("d", &d.to_string()), ("i", &i.to_string())]);
+                let _ = dir.lookup(&id, Duration::from_secs(600), &[format!("tbl/{d}")]);
+            }
+        }
+        for d in 0..64 {
+            assert_eq!(dir.invalidate_dep(&format!("tbl/{d}")), 3, "dep {d}");
+        }
+        assert_eq!(dir.stats().valid_entries, 0);
         dir.check_invariants().unwrap();
     }
 

@@ -92,13 +92,13 @@ pub mod store;
 pub mod tag;
 
 pub use assemble::{assemble, assemble_rope, AssembledPage, AssembledRope, AssemblyStats};
-pub use bem::{Bem, FragmentPolicy, TemplateWriter};
+pub use bem::{Bem, FragmentPolicy, InvalidationSink, TemplateWriter};
 pub use config::{BemConfig, ReplacePolicy, DEFAULT_SHARDS};
 pub use directory::{CacheDirectory, Lookup};
 pub use error::{AssembleError, CoreError};
 pub use key::{DpcKey, FragmentId};
 pub use objects::ObjectCache;
-pub use store::FragmentStore;
+pub use store::{FragmentSource, FragmentStore};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {

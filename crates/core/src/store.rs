@@ -31,6 +31,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::config::DEFAULT_SHARDS;
 use crate::key::DpcKey;
 
+/// Somewhere else a fragment's bytes might live: a peer DPC node, a
+/// warm-standby store, a disk spill. When assembly finds a slot empty, the
+/// proxy consults its configured source (if any) before paying for a full
+/// origin bypass — the lazy-handoff path of the cluster tier.
+///
+/// `context` is the request target being assembled; implementations use it
+/// to pick *which* peer to ask (e.g. the previous consistent-hash owner of
+/// the target). A `None` return means "not available here either" and the
+/// caller falls back to its origin bypass.
+pub trait FragmentSource: Send + Sync {
+    fn fetch(&self, key: DpcKey, context: &str) -> Option<Bytes>;
+}
+
 /// Sharded slot-array fragment store, shared by all proxy worker threads.
 pub struct FragmentStore {
     shards: Box<[RwLock<Vec<Option<Bytes>>>]>,
@@ -105,6 +118,20 @@ impl FragmentStore {
             None => self.missing_gets.fetch_add(1, Ordering::Relaxed),
         };
         out
+    }
+
+    /// Scrub one slot (gossip-applied invalidation): the stale bytes are
+    /// dropped *before* the BEM can reassign the key, so a reassignment can
+    /// never silently splice the old fragment — an empty slot fails
+    /// assembly with `MissingFragment`, which the proxy recovers from.
+    /// Returns true when the slot held content. Out-of-range keys are a
+    /// no-op (a gossiped event may describe a larger peer store).
+    pub fn clear_key(&self, key: DpcKey) -> bool {
+        if key.index() >= self.capacity {
+            return false;
+        }
+        let (shard, slot) = self.locate(key);
+        self.shards[shard].write()[slot].take().is_some()
     }
 
     /// Drop all cached fragments (proxy restart in tests).
@@ -190,6 +217,19 @@ mod tests {
         store.set(DpcKey(1), Bytes::from_static(b"old"));
         store.set(DpcKey(1), Bytes::from_static(b"new"));
         assert_eq!(store.get(DpcKey(1)).unwrap(), Bytes::from_static(b"new"));
+        assert_eq!(store.occupied(), 1);
+    }
+
+    #[test]
+    fn clear_key_scrubs_one_slot_only() {
+        let store = FragmentStore::new(8);
+        store.set(DpcKey(2), Bytes::from_static(b"keep"));
+        store.set(DpcKey(5), Bytes::from_static(b"scrub"));
+        assert!(store.clear_key(DpcKey(5)));
+        assert!(!store.clear_key(DpcKey(5)), "already empty");
+        assert!(!store.clear_key(DpcKey(99)), "out of range is a no-op");
+        assert!(store.get(DpcKey(5)).is_none());
+        assert_eq!(store.get(DpcKey(2)).unwrap(), Bytes::from_static(b"keep"));
         assert_eq!(store.occupied(), 1);
     }
 

@@ -23,6 +23,9 @@
 //! * [`latency`] — a simple WAN/LAN latency+bandwidth model used to *compute*
 //!   simulated response times from measured byte counts (no sleeping).
 //!
+//! * [`frame`] — the cluster wire-message family: length-prefixed
+//!   peer-fetch and gossip anti-entropy frames spoken proxy-to-proxy by the
+//!   `dpc-cluster` tier.
 //! * [`poll`] — the readiness layer: nonblocking stream/listener traits and
 //!   an epoll-shaped registry/poller so one event loop can multiplex
 //!   thousands of idle connections without pinning threads. Simulated
@@ -34,6 +37,7 @@
 //! explicit event loop over [`poll::Poller`].
 
 pub mod clock;
+pub mod frame;
 pub mod latency;
 pub mod meter;
 pub mod packet;
@@ -42,6 +46,7 @@ pub mod stream;
 pub mod wire;
 
 pub use clock::{Clock, VirtualClock};
+pub use frame::{ClusterFrame, WireEvent};
 pub use latency::LinkModel;
 pub use meter::{Meter, MeterRegistry, MeterSnapshot};
 pub use packet::ProtocolModel;

@@ -1,4 +1,9 @@
-//! Distributed DPC cluster — the paper's §7 forward-proxy extension.
+//! Static distributed DPC cluster — the paper's §7 forward-proxy extension
+//! verbatim, kept as the baseline the dynamic [`crate::ring_cluster`]
+//! replaces (and is benched against in `bench/benches/cluster.rs`). This
+//! harness assumes a fixed fleet: routing is a plain hash over a constant
+//! node count, so any membership change would remap nearly the whole
+//! keyspace — which is exactly what the consistent-hash ring fixes.
 //!
 //! §7 leaves four open problems for taking the DPC to the network edge:
 //! request routing, cache coherency, cache management, and scalability.

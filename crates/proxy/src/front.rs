@@ -1,6 +1,6 @@
 //! The proxy front end: one HTTP handler, four modes.
 
-use dpc_core::{assemble_rope, AssembleError, FragmentStore};
+use dpc_core::{assemble_rope, AssembleError, AssembledRope, FragmentSource, FragmentStore};
 use dpc_firewall::Firewall;
 use dpc_http::{Body, Client, Handler, Method, Request, Response, Status};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,6 +18,13 @@ pub struct ProxyStats {
     pub assembled: AtomicU64,
     /// DPC mode: assembly failures that fell back to a bypass refetch.
     pub bypass_refetches: AtomicU64,
+    /// DPC mode: empty slots filled from a peer node instead of a bypass
+    /// (the cluster tier's lazy key-range handoff).
+    pub peer_fetches: AtomicU64,
+    /// DPC mode: assembly failures repaired by a *refresh* refetch — a
+    /// classic §7 node-miss round trip that re-`SET`s the missing slots —
+    /// instead of a full bypass. Only taken by peer-fetching nodes.
+    pub refresh_refetches: AtomicU64,
     /// DPC mode: origin responses that were not instrumented (forwarded
     /// verbatim).
     pub uninstrumented: AtomicU64,
@@ -42,6 +49,9 @@ pub struct Proxy {
     page_cache: Arc<PageCache>,
     esi: Arc<EsiAssembler>,
     firewall: Option<Arc<Firewall>>,
+    /// Where to look for a fragment whose slot is empty before paying for
+    /// a full origin bypass (cluster tier: the previous ring owner).
+    fragment_source: Option<Arc<dyn FragmentSource>>,
     stats: ProxyStats,
 }
 
@@ -65,6 +75,7 @@ impl Proxy {
             page_cache,
             esi,
             firewall,
+            fragment_source: None,
             stats: ProxyStats::default(),
         }
     }
@@ -74,6 +85,13 @@ impl Proxy {
     pub fn with_node(mut self, node: u32) -> Proxy {
         assert!(node < 64, "at most 64 DPC nodes");
         self.node = node;
+        self
+    }
+
+    /// Builder: consult `source` for empty slots before bypassing to the
+    /// origin (the cluster tier's lazy peer-fetch handoff).
+    pub fn with_fragment_source(mut self, source: Arc<dyn FragmentSource>) -> Proxy {
+        self.fragment_source = Some(source);
         self
     }
 
@@ -138,11 +156,30 @@ impl Proxy {
     /// Fetch from the origin, running the firewall over the response body
     /// (the boundary every origin byte crosses in Figure 4).
     fn fetch_origin(&self, req: &Request) -> Result<Response, Response> {
+        self.fetch_origin_with(req, true)
+    }
+
+    /// Like [`fetch_origin`](Self::fetch_origin); `announce_peer_fetch`
+    /// controls whether a peer-fetching node advertises that capability.
+    /// The refresh path turns it off to get classic node-miss `SET`s.
+    fn fetch_origin_with(
+        &self,
+        req: &Request,
+        announce_peer_fetch: bool,
+    ) -> Result<Response, Response> {
         let mut upstream_req = req.clone();
         if self.mode == ProxyMode::Dpc {
             upstream_req
                 .headers
                 .set(dpc_appserver::context::NODE_HEADER, self.node.to_string());
+            if announce_peer_fetch && self.fragment_source.is_some() {
+                // This node repairs empty slots itself (peer-fetch, then
+                // refresh, then bypass), so the BEM may emit GETs it has
+                // never SET here.
+                upstream_req
+                    .headers
+                    .set(dpc_appserver::context::PEER_FETCH_HEADER, "1");
+            }
         }
         let resp = self
             .client
@@ -221,9 +258,41 @@ impl Proxy {
     // -- Dpc mode --------------------------------------------------------------
 
     fn serve_dpc(&self, req: &Request) -> Response {
-        let upstream = match self.fetch_origin(req) {
+        match self.serve_dpc_once(req, true) {
+            Ok(resp) => resp,
+            Err(err) => {
+                if self.fragment_source.is_some()
+                    && matches!(err, AssembleError::MissingFragment(_))
+                {
+                    // A peer-fetching node whose peers could not supply the
+                    // slot: before paying for a fully expanded bypass, ask
+                    // the origin once with classic §7 node semantics — the
+                    // BEM answers node misses with `SET`s, which both fixes
+                    // this page and installs the missing slots for every
+                    // later request.
+                    self.stats.refresh_refetches.fetch_add(1, Ordering::Relaxed);
+                    match self.serve_dpc_once(req, false) {
+                        Ok(resp) => resp,
+                        Err(err) => self.bypass_refetch(req, err),
+                    }
+                } else {
+                    self.bypass_refetch(req, err)
+                }
+            }
+        }
+    }
+
+    /// One origin fetch + assembly attempt. `Ok` carries any terminal
+    /// response (assembled page, pass-through, upstream error); `Err` means
+    /// assembly failed and the caller escalates (refresh, then bypass).
+    fn serve_dpc_once(
+        &self,
+        req: &Request,
+        announce_peer_fetch: bool,
+    ) -> Result<Response, AssembleError> {
+        let upstream = match self.fetch_origin_with(req, announce_peer_fetch) {
             Ok(r) => r,
-            Err(e) => return e,
+            Err(e) => return Ok(e),
         };
         // The template arrives as a single parsed buffer; this flatten is a
         // refcount bump.
@@ -231,21 +300,58 @@ impl Proxy {
         if !upstream.status.is_success() || !dpc_core::tag::is_instrumented(&template) {
             // Plain response (errors, disabled BEM, non-HTML): forward.
             self.stats.uninstrumented.fetch_add(1, Ordering::Relaxed);
-            return strip_internal_headers(upstream).with_header("X-Cache", "dpc-pass");
+            return Ok(strip_internal_headers(upstream).with_header("X-Cache", "dpc-pass"));
         }
         // Zero-copy assembly, end to end: cached fragments are spliced into
         // the rope by refcount bump, the rope's segments become the
         // response body unflattened, and the HTTP serializer puts them on
         // the wire with vectored writes. No byte of a cached fragment is
         // copied between the slot store and the client socket.
-        match assemble_rope(&template, &self.store) {
-            Ok(rope) => {
-                self.stats.assembled.fetch_add(1, Ordering::Relaxed);
-                let mut resp = upstream;
-                resp.body = Body::Rope(rope.segments);
-                strip_internal_headers(resp).with_header("X-Cache", "dpc-assembled")
+        let rope = self.assemble_with_source(&template, &req.target)?;
+        self.stats.assembled.fetch_add(1, Ordering::Relaxed);
+        let mut resp = upstream;
+        resp.body = Body::Rope(rope.segments);
+        Ok(strip_internal_headers(resp).with_header("X-Cache", "dpc-assembled"))
+    }
+
+    /// Assemble `template`, repairing empty slots from the configured
+    /// fragment source: a `MissingFragment` pulls the slot from a peer,
+    /// installs it locally, and retries. Each template names each key at
+    /// most a handful of times, so the retry count is bounded by the
+    /// template's distinct keys; a fetch that comes back empty (or any
+    /// other assembly error) falls through to the caller's bypass.
+    fn assemble_with_source(
+        &self,
+        template: &[u8],
+        target: &str,
+    ) -> Result<AssembledRope, AssembleError> {
+        // One fetch per distinct missing key, plus slack for raced scrubs.
+        let mut budget = 64u32;
+        let mut last_missing = None;
+        loop {
+            match assemble_rope(template, &self.store) {
+                Ok(rope) => return Ok(rope),
+                Err(AssembleError::MissingFragment(key)) => {
+                    let Some(source) = &self.fragment_source else {
+                        return Err(AssembleError::MissingFragment(key));
+                    };
+                    // The same key missing twice in a row means the install
+                    // did not take (raced scrub): stop rather than loop.
+                    if last_missing == Some(key) || budget == 0 {
+                        return Err(AssembleError::MissingFragment(key));
+                    }
+                    budget -= 1;
+                    last_missing = Some(key);
+                    match source.fetch(key, target) {
+                        Some(bytes) => {
+                            self.stats.peer_fetches.fetch_add(1, Ordering::Relaxed);
+                            self.store.set(key, bytes);
+                        }
+                        None => return Err(AssembleError::MissingFragment(key)),
+                    }
+                }
+                Err(err) => return Err(err),
             }
-            Err(err) => self.bypass_refetch(req, err),
         }
     }
 

@@ -16,10 +16,16 @@
 //!   deliver the assembled page; on any assembly failure, transparently
 //!   refetch with `X-DPC-Bypass` so users always get correct bytes.
 //!
-//! [`cluster`] implements the paper's §7 forward-proxy extension: multiple
-//! distributed DPC nodes behind a request router, with per-node fragment
-//! placement tracked in the BEM's directory (a `stored_nodes` bitmask) so
-//! coherence still needs no proxy-bound messages.
+//! Two multi-node tiers build on the front:
+//!
+//! * [`cluster`] — the paper's §7 extension verbatim: a *static* fleet
+//!   behind a hash/round-robin [`cluster::Router`], per-node placement
+//!   tracked by the directory's `stored_nodes` bitmask, zero proxy-bound
+//!   coherence messages. Kept as the bench baseline.
+//! * [`ring_cluster`] — the dynamic cluster: consistent-hash placement
+//!   over a [`dpc_cluster::HashRing`], join/leave/fail membership with
+//!   lazy peer-fetch key-range handoff, and a gossiped invalidation feed
+//!   that scrubs freed slots cluster-wide (see the `dpc-cluster` crate).
 //!
 //! [`testbed`] reconstructs the paper's Figure 4: clients → (external box:
 //! firewall + proxy/DPC) → wire under measurement → (origin box: web
@@ -31,10 +37,12 @@ pub mod esi;
 pub mod front;
 pub mod modes;
 pub mod page_cache;
+pub mod ring_cluster;
 pub mod testbed;
 
 pub use cluster::{DpcCluster, Router};
 pub use front::{Proxy, ProxyStats};
 pub use modes::ProxyMode;
 pub use page_cache::PageCache;
+pub use ring_cluster::{RingCluster, RingConfig};
 pub use testbed::{Testbed, TestbedConfig};

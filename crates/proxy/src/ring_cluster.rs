@@ -1,0 +1,777 @@
+//! The dynamic DPC cluster: consistent-hash placement, membership churn,
+//! lazy peer-fetch handoff, and the gossiped invalidation feed.
+//!
+//! This is the third serving tier (core → front → cluster), replacing the
+//! static [`crate::cluster`] harness for fragment-addressed traffic. Each
+//! node is a full DPC front ([`Proxy`] in DPC mode with its own slot
+//! store) plus a [`dpc_cluster::PeerNode`] endpoint (peer-fetch + gossip
+//! service on the shared [`SimNetwork`]):
+//!
+//! * **Routing** — requests go to the ring owner of their target
+//!   ([`dpc_cluster::HashRing`]); a membership change remaps an expected
+//!   `1/n` of the keyspace, not the modulo router's avalanche.
+//! * **Join** — the newcomer's points go on the ring and *nothing else
+//!   moves*: keys it now owns are pulled lazily. On its first miss of a
+//!   slot, the node peer-fetches from the pre-join owner
+//!   ([`HashRing::owner_excluding`]) and installs the bytes locally; no
+//!   other node is touched, nothing anywhere is evicted.
+//! * **Leave / fail** — the node's points come off the ring and traffic
+//!   routes around it, losing only that node's arcs. A graceful leave
+//!   first flushes its un-gossiped invalidation events to a survivor.
+//! * **Invalidation** — [`RingCluster::invalidate_dep`] on *any* node
+//!   frees the keys at the shared directory, records an event in that
+//!   node's feed, and gossip ([`RingCluster::gossip_round`]) converges it
+//!   cluster-wide within a bounded number of rounds; every applying node
+//!   scrubs the freed slots, closing the cross-node stale-reassignment
+//!   window.
+//!
+//! [`HashRing::owner_excluding`]: dpc_cluster::HashRing::owner_excluding
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dpc_cluster::{
+    gossip_exchange, gossip_flush, peer_addr, peer_fetch, Membership, PeerNode, PeerServer,
+};
+use dpc_core::{DpcKey, FragmentSource, FragmentStore};
+use dpc_http::{Client, Request, Response, Status};
+use dpc_net::{Clock, SimConnector, SimNetwork};
+
+use crate::esi::EsiAssembler;
+use crate::front::Proxy;
+use crate::modes::ProxyMode;
+use crate::page_cache::PageCache;
+use crate::testbed::ORIGIN_ADDR;
+
+/// Tuning knobs for a [`RingCluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct RingConfig {
+    /// Slot-store capacity per node.
+    pub capacity: usize,
+    /// Virtual nodes per physical node on the ring.
+    pub vnodes: usize,
+    /// Seed for gossip peer selection (deterministic tests/benches).
+    pub seed: u64,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            capacity: 4096,
+            vnodes: dpc_cluster::DEFAULT_VNODES,
+            seed: 0x2117,
+        }
+    }
+}
+
+/// Ring/membership view shared with every node's peer fetcher.
+struct Shared {
+    membership: Mutex<Membership>,
+}
+
+/// One running cluster node.
+struct RingNode {
+    proxy: Arc<Proxy>,
+    peer: Arc<PeerNode>,
+    server: PeerServer,
+}
+
+/// A dynamic cluster of DPC nodes in front of one origin (which must
+/// already be listening at [`ORIGIN_ADDR`] on `net`).
+pub struct RingCluster {
+    net: Arc<SimNetwork>,
+    config: RingConfig,
+    shared: Arc<Shared>,
+    nodes: Mutex<HashMap<u32, RingNode>>,
+    /// Next fresh id handed to a join. Ids are monotonic until the 64-id
+    /// space (the BEM's `stored_nodes` bitmask width) is spent, then
+    /// departed ids are recycled — see [`RingCluster::allocate_id`].
+    next_id: Mutex<u32>,
+    rng: Mutex<StdRng>,
+}
+
+impl RingCluster {
+    /// Build `n` nodes (ids `0..n`) over `net`.
+    pub fn new(net: &Arc<SimNetwork>, n: usize, config: RingConfig) -> RingCluster {
+        assert!((1..=64).contains(&n), "1–64 nodes");
+        let cluster = RingCluster {
+            net: Arc::clone(net),
+            config,
+            shared: Arc::new(Shared {
+                membership: Mutex::new(Membership::new(config.vnodes)),
+            }),
+            nodes: Mutex::new(HashMap::new()),
+            next_id: Mutex::new(0),
+            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+        };
+        for _ in 0..n {
+            cluster.join();
+        }
+        cluster
+    }
+
+    /// Node ids currently alive, sorted.
+    pub fn alive(&self) -> Vec<u32> {
+        self.shared.membership.lock().alive()
+    }
+
+    /// Membership change counter.
+    pub fn membership_epoch(&self) -> u64 {
+        self.shared.membership.lock().epoch()
+    }
+
+    /// Ring owner of `target` (None with no alive nodes).
+    pub fn owner_of(&self, target: &str) -> Option<u32> {
+        self.shared.membership.lock().owner(target)
+    }
+
+    /// Fraction of `samples` synthetic keys owned by `node`.
+    pub fn ring_share(&self, node: u32, samples: usize) -> f64 {
+        self.shared.membership.lock().ring().share_of(node, samples)
+    }
+
+    /// The proxy of node `id` (tests, fault injection).
+    pub fn proxy(&self, id: u32) -> Option<Arc<Proxy>> {
+        self.nodes.lock().get(&id).map(|n| Arc::clone(&n.proxy))
+    }
+
+    /// The peer endpoint of node `id` (feed/vv inspection in tests).
+    pub fn peer(&self, id: u32) -> Option<Arc<PeerNode>> {
+        self.nodes.lock().get(&id).map(|n| Arc::clone(&n.peer))
+    }
+
+    /// Allocate a node id. Fresh ids are handed out monotonically (they
+    /// keep feed origins trivially unambiguous); once all 64 are spent —
+    /// the BEM's `stored_nodes` bitmask caps the id space — departed ids
+    /// are recycled. Recycling is only safe when every alive node agrees
+    /// on the old origin's feed high-water mark (otherwise the reused
+    /// origin could re-issue a sequence number with different content),
+    /// so it requires a converged cluster; the join-time catch-up
+    /// exchange then resumes the old sequence rather than restarting it.
+    fn allocate_id(&self) -> u32 {
+        let mut next = self.next_id.lock();
+        if *next < 64 {
+            let id = *next;
+            *next += 1;
+            return id;
+        }
+        assert!(
+            self.converged(),
+            "id recycling needs a converged cluster (run gossip_round first)"
+        );
+        let membership = self.shared.membership.lock();
+        (0..64u32)
+            .find(|id| !membership.is_alive(*id))
+            .expect("at most 64 DPC nodes may be alive at once")
+    }
+
+    /// A new node enters the cluster: ring points added, peer service
+    /// started, feed caught up from one survivor. Returns its id. Nothing
+    /// is rebalanced eagerly — the newcomer's keys arrive by peer-fetch on
+    /// first miss.
+    pub fn join(&self) -> u32 {
+        let id = self.allocate_id();
+        let store = Arc::new(FragmentStore::new(self.config.capacity));
+        let peer = PeerNode::new(id, Arc::clone(&store));
+        let server = PeerServer::spawn(&self.net, &peer);
+        let fetcher = Arc::new(PeerFetcher {
+            self_id: id,
+            shared: Arc::clone(&self.shared),
+            connector: self.net.connector(),
+        });
+        let clock = Clock::real();
+        let proxy = Arc::new(
+            Proxy::new(
+                ProxyMode::Dpc,
+                ORIGIN_ADDR,
+                Arc::new(Client::new(Arc::new(self.net.connector()))),
+                store,
+                Arc::new(PageCache::new(clock.clone(), Duration::from_secs(60), 16)),
+                Arc::new(EsiAssembler::new(clock, Duration::from_secs(60))),
+                None,
+            )
+            .with_node(id)
+            .with_fragment_source(fetcher),
+        );
+        // Catch the feed up from a survivor *before* going on the ring, so
+        // a converged cluster stays converged through the join — and so a
+        // recycled id resumes its predecessor's event sequence instead of
+        // restarting it (a restarted sequence would collide with applied
+        // events and be dropped as duplicates cluster-wide).
+        let recycled = self.shared.membership.lock().state(id).is_some();
+        let alive = self.alive();
+        let mut caught_up = false;
+        for donor in &alive {
+            if gossip_exchange(&self.net.connector(), &peer_addr(*donor), &peer).is_ok() {
+                caught_up = true;
+                break;
+            }
+        }
+        assert!(
+            caught_up || !recycled || alive.is_empty(),
+            "recycled id {id} could not catch up from any survivor"
+        );
+        self.nodes.lock().insert(
+            id,
+            RingNode {
+                proxy,
+                peer,
+                server,
+            },
+        );
+        self.shared.membership.lock().join(id);
+        id
+    }
+
+    /// Graceful departure: flush un-gossiped events to a survivor, then
+    /// remove the node's ring points and stop its peer service. Returns
+    /// false when `id` was not alive.
+    pub fn leave(&self, id: u32) -> bool {
+        if !self.shared.membership.lock().is_alive(id) {
+            return false;
+        }
+        if let Some(peer) = self.peer(id) {
+            if let Some(survivor) = self.random_alive_peer(id) {
+                let _ = gossip_flush(&self.net.connector(), &peer_addr(survivor), &peer);
+            }
+        }
+        self.shared.membership.lock().leave(id);
+        self.remove_node(id);
+        true
+    }
+
+    /// Crash: ring points removed, peer service stopped, nothing flushed.
+    /// Events only this node held are lost; events any survivor applied
+    /// keep propagating. Returns false when `id` was not alive.
+    pub fn fail(&self, id: u32) -> bool {
+        if !self.shared.membership.lock().fail(id) {
+            return false;
+        }
+        self.remove_node(id);
+        true
+    }
+
+    fn remove_node(&self, id: u32) {
+        if let Some(mut node) = self.nodes.lock().remove(&id) {
+            node.server.stop();
+        }
+    }
+
+    /// A random alive node other than `exclude` (gossip partner / flush
+    /// target).
+    fn random_alive_peer(&self, exclude: u32) -> Option<u32> {
+        let alive: Vec<u32> = self
+            .shared
+            .membership
+            .lock()
+            .alive()
+            .into_iter()
+            .filter(|n| *n != exclude)
+            .collect();
+        if alive.is_empty() {
+            return None;
+        }
+        let pick = self.rng.lock().random_range(0..alive.len());
+        Some(alive[pick])
+    }
+
+    /// Serve one request through ring routing.
+    pub fn serve(&self, req: Request) -> Response {
+        let Some(owner) = self.owner_of(&req.target) else {
+            return Response::error(Status(503), "no alive cluster nodes");
+        };
+        let Some(proxy) = self.proxy(owner) else {
+            // The owner churned between routing and dispatch; the caller
+            // retries like any 5xx.
+            return Response::error(Status(503), "owner departed");
+        };
+        let mut resp = proxy.serve(req);
+        resp.headers.set("X-DPC-Served-By", owner.to_string());
+        resp
+    }
+
+    /// Convenience GET (mirrors `Testbed::get`).
+    pub fn get(&self, target: &str, user: Option<&str>) -> Response {
+        let mut req = Request::get(target);
+        if let Some(u) = user {
+            req.headers.set("Cookie", format!("session={u}"));
+        }
+        self.serve(req)
+    }
+
+    /// Cluster-level invalidation, issued *at* node `at_node`: free the
+    /// dependents' keys in the shared directory (`bem` is the origin's),
+    /// record the event in `at_node`'s feed, scrub `at_node`'s own slots.
+    /// The event reaches every other node via gossip. Returns the number
+    /// of fragments invalidated.
+    pub fn invalidate_dep(&self, bem: &dpc_core::Bem, at_node: u32, dep: &str) -> usize {
+        let peer = self
+            .peer(at_node)
+            .expect("invalidate_dep requires an alive node");
+        let keys = bem.directory().invalidate_dep_keys(dep);
+        let n = keys.len();
+        peer.record_local(dep, keys);
+        n
+    }
+
+    /// Bridge the origin's invalidation path into the feed: installs an
+    /// [`dpc_core::InvalidationSink`] on `bem`, so data-source updates
+    /// arriving through the origin's update bus (`Bem::on_data_update`)
+    /// record their freed keys at an alive node exactly like
+    /// [`invalidate_dep`](Self::invalidate_dep) does. Without this bridge,
+    /// bus-driven invalidations free keys that no node ever scrubs,
+    /// leaving the cross-node reassignment hazard open on the standard
+    /// path. Events are dropped only when no node is alive (there is no
+    /// feed to record into — and no store holding stale slots to protect).
+    pub fn connect_origin(self: &Arc<Self>, bem: &dpc_core::Bem) {
+        let weak = Arc::downgrade(self);
+        bem.set_invalidation_sink(Arc::new(move |dep, keys| {
+            let Some(cluster) = weak.upgrade() else {
+                return;
+            };
+            let Some(first_alive) = cluster.alive().first().copied() else {
+                return;
+            };
+            if let Some(peer) = cluster.peer(first_alive) {
+                peer.record_local(dep, keys.to_vec());
+            }
+        }));
+    }
+
+    /// One anti-entropy round: every alive node exchanges with one random
+    /// alive peer. Returns events moved (pulled + pushed across all
+    /// exchanges); a converged cluster moves 0.
+    pub fn gossip_round(&self) -> usize {
+        let peers: Vec<(u32, Arc<PeerNode>)> = {
+            let nodes = self.nodes.lock();
+            let alive = self.shared.membership.lock().alive();
+            alive
+                .into_iter()
+                .filter_map(|id| nodes.get(&id).map(|n| (id, Arc::clone(&n.peer))))
+                .collect()
+        };
+        if peers.len() < 2 {
+            return 0;
+        }
+        let conn = self.net.connector();
+        let mut moved = 0;
+        for (id, peer) in &peers {
+            let partner = {
+                let mut rng = self.rng.lock();
+                loop {
+                    let pick = peers[rng.random_range(0..peers.len())].0;
+                    if pick != *id {
+                        break pick;
+                    }
+                }
+            };
+            if let Ok(outcome) = gossip_exchange(&conn, &peer_addr(partner), peer) {
+                moved += outcome.pulled + outcome.pushed;
+            }
+        }
+        moved
+    }
+
+    /// Whether every alive node has applied the same event set.
+    pub fn converged(&self) -> bool {
+        let peers: Vec<Arc<PeerNode>> = {
+            let nodes = self.nodes.lock();
+            nodes.values().map(|n| Arc::clone(&n.peer)).collect()
+        };
+        let Some(first) = peers.first() else {
+            return true;
+        };
+        let vv = first.vv();
+        peers.iter().all(|p| p.vv() == vv)
+    }
+
+    /// Run gossip rounds until converged, returning how many were needed.
+    /// Panics after `max_rounds` (callers assert boundedness).
+    pub fn gossip_until_converged(&self, max_rounds: usize) -> usize {
+        for used in 0..=max_rounds {
+            if self.converged() {
+                return used;
+            }
+            self.gossip_round();
+        }
+        panic!("cluster did not converge within {max_rounds} gossip rounds");
+    }
+}
+
+/// The lazy-handoff donor lookup: on a missing slot, ask the node that
+/// owned the request's target before this node joined the ring.
+struct PeerFetcher {
+    self_id: u32,
+    shared: Arc<Shared>,
+    connector: SimConnector,
+}
+
+impl FragmentSource for PeerFetcher {
+    fn fetch(&self, key: DpcKey, target: &str) -> Option<Bytes> {
+        let donor = self
+            .shared
+            .membership
+            .lock()
+            .donor_for(target, self.self_id)?;
+        peer_fetch(&self.connector, &peer_addr(donor), key)
+            .ok()
+            .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::{Testbed, TestbedConfig};
+    use dpc_appserver::apps::paper_site::PaperSiteParams;
+    use std::sync::atomic::Ordering;
+
+    fn params() -> PaperSiteParams {
+        PaperSiteParams {
+            pages: 12,
+            fragment_bytes: 512,
+            cacheability: 1.0,
+            ..PaperSiteParams::default()
+        }
+    }
+
+    /// Reuse the single-node testbed for its origin, then bolt a ring
+    /// cluster onto the same simulated network.
+    fn origin_and_cluster(n: usize) -> (Testbed, RingCluster) {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: params(),
+            ..TestbedConfig::default()
+        });
+        let cluster = RingCluster::new(
+            tb.net(),
+            n,
+            RingConfig {
+                capacity: 4096,
+                ..RingConfig::default()
+            },
+        );
+        (tb, cluster)
+    }
+
+    fn page(p: usize) -> String {
+        format!("/paper/page.jsp?p={p}")
+    }
+
+    #[test]
+    fn ring_cluster_serves_correct_pages_with_sticky_routing() {
+        let (tb, cluster) = origin_and_cluster(4);
+        let truth: Vec<Vec<u8>> = (0..12)
+            .map(|p| tb.get(&page(p), None).body.to_vec())
+            .collect();
+        let mut owners_seen = std::collections::HashSet::new();
+        for round in 0..3 {
+            for (p, want) in truth.iter().enumerate() {
+                let resp = cluster.get(&page(p), None);
+                assert_eq!(resp.status.0, 200);
+                assert_eq!(&resp.body.to_vec(), want, "round {round} page {p}");
+                let owner = resp.headers.get("x-dpc-served-by").unwrap().to_owned();
+                assert_eq!(
+                    cluster.owner_of(&page(p)),
+                    Some(owner.parse().unwrap()),
+                    "routing must match ring ownership"
+                );
+                owners_seen.insert(owner);
+            }
+        }
+        assert!(
+            owners_seen.len() > 1,
+            "12 pages must spread over several nodes: {owners_seen:?}"
+        );
+    }
+
+    #[test]
+    fn kill_one_of_eight_remaps_about_an_eighth() {
+        let (_tb, cluster) = origin_and_cluster(8);
+        const SAMPLES: usize = 4000;
+        let keys: Vec<String> = (0..SAMPLES).map(|i| format!("/page-{i}")).collect();
+        let before: Vec<u32> = keys.iter().map(|k| cluster.owner_of(k).unwrap()).collect();
+        let victim = before[0];
+        let victim_share = cluster.ring_share(victim, SAMPLES);
+        assert!(cluster.fail(victim));
+        let mut moved = 0usize;
+        for (k, owner_before) in keys.iter().zip(&before) {
+            let now = cluster.owner_of(k).unwrap();
+            if now != *owner_before {
+                moved += 1;
+                assert_eq!(*owner_before, victim, "only the victim's keys move");
+            }
+        }
+        let moved_share = moved as f64 / SAMPLES as f64;
+        // Measured: the lost arc is the victim's share (≈1/8 with vnode
+        // noise), nowhere near the 7/8 a modulo router loses.
+        assert!(
+            (moved_share - victim_share).abs() < 0.05,
+            "moved {moved_share:.3} vs victim share {victim_share:.3}"
+        );
+        assert!(
+            moved_share < 0.25,
+            "an 8-node ring must lose ~1/8, lost {moved_share:.3}"
+        );
+        // And the cluster still serves every page correctly.
+        for p in 0..12 {
+            assert_eq!(cluster.get(&page(p), None).status.0, 200);
+        }
+    }
+
+    #[test]
+    fn join_rebalances_lazily_via_peer_fetch_without_evicting() {
+        let (tb, cluster) = origin_and_cluster(3);
+        let truth: Vec<Vec<u8>> = (0..12)
+            .map(|p| tb.get(&page(p), None).body.to_vec())
+            .collect();
+        // Warm every node's share.
+        for _ in 0..2 {
+            for p in 0..12 {
+                let _ = cluster.get(&page(p), None);
+            }
+        }
+        let occupied_before: HashMap<u32, usize> = cluster
+            .alive()
+            .into_iter()
+            .map(|id| (id, cluster.proxy(id).unwrap().store().occupied()))
+            .collect();
+        let owners_before: Vec<u32> = (0..12)
+            .map(|p| cluster.owner_of(&page(p)).unwrap())
+            .collect();
+
+        let newcomer = cluster.join();
+        // Every page still serves the right bytes…
+        for (p, want) in truth.iter().enumerate() {
+            let resp = cluster.get(&page(p), None);
+            assert_eq!(&resp.body.to_vec(), want, "page {p} after join");
+        }
+        let new_proxy = cluster.proxy(newcomer).unwrap();
+        let taken: Vec<usize> = (0..12)
+            .filter(|p| cluster.owner_of(&page(*p)) == Some(newcomer))
+            .collect();
+        assert!(
+            !taken.is_empty(),
+            "with 12 pages over 4 nodes the newcomer should own some"
+        );
+        // …the newcomer filled its store by peer-fetch, not bypass…
+        assert!(
+            new_proxy.stats().peer_fetches.load(Ordering::Relaxed) > 0,
+            "handoff must pull from the previous owner"
+        );
+        assert_eq!(
+            new_proxy.stats().bypass_refetches.load(Ordering::Relaxed),
+            0,
+            "a warm donor makes origin bypasses unnecessary"
+        );
+        // …and no unaffected node lost anything: stores only grow or stay.
+        for (id, before) in occupied_before {
+            let after = cluster.proxy(id).unwrap().store().occupied();
+            assert!(
+                after >= before,
+                "node {id} store shrank {before} -> {after}: join must not evict"
+            );
+        }
+        // Pages that did not change owner kept their routing.
+        for (p, owner_before) in owners_before.iter().enumerate() {
+            let now = cluster.owner_of(&page(p)).unwrap();
+            assert!(
+                now == *owner_before || now == newcomer,
+                "page {p} moved {owner_before} -> {now}, not to the newcomer"
+            );
+        }
+    }
+
+    #[test]
+    fn invalidation_on_any_node_gossips_to_all() {
+        let (tb, cluster) = origin_and_cluster(4);
+        // Warm all pages on their owners.
+        for p in 0..12 {
+            let _ = cluster.get(&page(p), None);
+        }
+        let before = cluster.get(&page(5), None).body.to_vec();
+        // Content change via `seed` (which, unlike `update`, does not fire
+        // the origin's update bus): the cluster-level API is the only
+        // invalidation path in this test.
+        let frag_key = dpc_appserver::apps::paper_site::fragment_key(5, 0);
+        let v = tb
+            .engine()
+            .repo()
+            .get("paper", &frag_key)
+            .value
+            .expect("seeded row")
+            .int("version");
+        tb.engine().repo().seed(
+            "paper",
+            &frag_key,
+            dpc_repository::Row::new().with("version", v + 1),
+        );
+        // Issue the invalidation at an arbitrary cluster node.
+        let issued_at = cluster.alive()[2];
+        let n = cluster.invalidate_dep(
+            tb.engine().bem(),
+            issued_at,
+            &format!(
+                "paper/{}",
+                dpc_appserver::apps::paper_site::fragment_key(5, 0)
+            ),
+        );
+        assert_eq!(n, 1, "slot 0 of page 5 was valid and dependent");
+        // Bounded convergence, then: every node has the event, every store
+        // scrubbed the freed key.
+        let rounds = cluster.gossip_until_converged(8);
+        assert!(rounds <= 8);
+        let event_keys: Vec<DpcKey> = cluster
+            .peer(issued_at)
+            .unwrap()
+            .delta_since(&dpc_cluster::VersionVector::new())
+            .into_iter()
+            .find(|e| e.origin == issued_at)
+            .expect("issuing node holds its own event")
+            .keys;
+        assert_eq!(event_keys.len(), 1);
+        for id in cluster.alive() {
+            let peer = cluster.peer(id).unwrap();
+            assert_eq!(peer.vv().get(issued_at), 1, "node {id} missed the event");
+            assert!(
+                peer.store().get(event_keys[0]).is_none(),
+                "node {id} did not scrub the freed key"
+            );
+        }
+        // And the next serve regenerates fresh bytes.
+        let after = cluster.get(&page(5), None).body.to_vec();
+        assert_ne!(before, after, "post-gossip serve must be fresh");
+    }
+
+    #[test]
+    fn graceful_leave_flushes_events_crash_does_not() {
+        let (tb, cluster) = origin_and_cluster(4);
+        for p in 0..12 {
+            let _ = cluster.get(&page(p), None);
+        }
+        let bem = tb.engine().bem();
+        let ids = cluster.alive();
+        // Node ids[1] records an event, then leaves gracefully: the event
+        // must survive on some survivor and still converge.
+        let n = cluster.invalidate_dep(
+            bem,
+            ids[1],
+            &format!(
+                "paper/{}",
+                dpc_appserver::apps::paper_site::fragment_key(1, 1)
+            ),
+        );
+        assert!(n > 0, "slot 1 of page 1 was valid");
+        let leaver = ids[1];
+        assert!(cluster.leave(leaver));
+        assert!(!cluster.leave(leaver), "double leave is a no-op");
+        cluster.gossip_until_converged(8);
+        for id in cluster.alive() {
+            assert_eq!(
+                cluster.peer(id).unwrap().vv().get(leaver),
+                1,
+                "flushed event lost at node {id}"
+            );
+        }
+        // A crash, by contrast, loses its un-gossiped event.
+        let ids = cluster.alive();
+        let n = cluster.invalidate_dep(
+            bem,
+            ids[0],
+            &format!(
+                "paper/{}",
+                dpc_appserver::apps::paper_site::fragment_key(2, 1)
+            ),
+        );
+        assert!(n > 0);
+        let victim = ids[0];
+        assert!(cluster.fail(victim));
+        cluster.gossip_until_converged(8);
+        for id in cluster.alive() {
+            assert_eq!(
+                cluster.peer(id).unwrap().vv().get(victim),
+                0,
+                "a crash must not flush (node {id})"
+            );
+        }
+        // Correctness is unharmed either way: pages still serve fresh.
+        for p in 0..12 {
+            assert_eq!(cluster.get(&page(p), None).status.0, 200);
+        }
+    }
+
+    #[test]
+    fn origin_bus_invalidations_enter_the_feed() {
+        let (tb, cluster) = origin_and_cluster(4);
+        let cluster = Arc::new(cluster);
+        cluster.connect_origin(tb.engine().bem());
+        for p in 0..12 {
+            let _ = cluster.get(&page(p), None);
+        }
+        let before = cluster.get(&page(7), None).body.to_vec();
+        // The standard invalidation path: a repository update fires the
+        // origin's bus, which frees keys at the BEM — the bridge must turn
+        // that into a feed event with those keys.
+        dpc_appserver::apps::paper_site::invalidate_fragment(tb.engine().repo(), 7, 0);
+        let recorder = cluster.alive()[0];
+        let events = cluster
+            .peer(recorder)
+            .unwrap()
+            .delta_since(&dpc_cluster::VersionVector::new());
+        let event = events
+            .iter()
+            .find(|e| e.origin == recorder && e.dep.contains("p7-f0"))
+            .expect("bus invalidation must be recorded in the feed");
+        assert!(!event.keys.is_empty(), "event must carry the freed keys");
+        // It gossips and every node scrubs, like any cluster-issued event.
+        cluster.gossip_until_converged(8);
+        for id in cluster.alive() {
+            let peer = cluster.peer(id).unwrap();
+            assert!(peer.vv().get(recorder) >= 1);
+            for key in &event.keys {
+                assert!(
+                    peer.store().get(*key).is_none(),
+                    "node {id} kept a freed key"
+                );
+            }
+        }
+        let after = cluster.get(&page(7), None).body.to_vec();
+        assert_ne!(before, after, "bus-invalidated content must refresh");
+    }
+
+    #[test]
+    fn node_ids_recycle_after_the_64_id_space_is_spent() {
+        let (_tb, cluster) = origin_and_cluster(4);
+        // Burn through the fresh-id space with fail/join churn, well past
+        // 64 cumulative joins.
+        let mut max_id = 3;
+        for i in 0..80 {
+            let alive = cluster.alive();
+            assert!(cluster.fail(alive[i % alive.len()]));
+            let id = cluster.join();
+            assert!(id < 64, "ids must stay inside the bitmask space");
+            max_id = max_id.max(id);
+            assert_eq!(cluster.alive().len(), 4);
+        }
+        assert!(max_id < 64);
+        // The cluster still works end to end after heavy recycling.
+        for p in 0..12 {
+            assert_eq!(cluster.get(&page(p), None).status.0, 200, "page {p}");
+        }
+        assert!(cluster.converged());
+    }
+
+    #[test]
+    fn no_nodes_means_503_not_panic() {
+        let (_tb, cluster) = origin_and_cluster(1);
+        let only = cluster.alive()[0];
+        assert!(cluster.fail(only));
+        let resp = cluster.get(&page(0), None);
+        assert_eq!(resp.status.0, 503);
+    }
+}
