@@ -1,24 +1,35 @@
-//! Threaded vs readiness front under idle keep-alive load.
+//! Threaded vs readiness front under idle keep-alive load, with a loops
+//! axis and a write-side admission-control scenario.
 //!
 //! The paper-era front is thread-per-connection: a keep-alive connection
 //! pins a worker for its lifetime, so N idle clients cost N resident
-//! threads. The readiness front multiplexes every connection over one
-//! event loop, so the same N clients cost N poller registrations and a
-//! small fixed thread count.
+//! threads. The readiness front multiplexes every connection over a
+//! `LoopSet` of event loops, so the same N clients cost N poller
+//! registrations and a small fixed thread count; `loops` (1/2/4 here)
+//! shards the connections across cores SO_REUSEPORT-style with
+//! least-connections accept distribution, whose balance the JSON records
+//! per point.
 //!
 //! For each grid point this bench (1) opens N keep-alive connections, each
 //! proving liveness with one request, (2) records the process's resident
-//! thread count with all N idle, and (3) measures request throughput by
-//! driving a fixed batch of requests over a handful of those connections
-//! from concurrent driver threads — the idle majority stays connected the
-//! whole time, which is exactly the production shape (most keep-alive
-//! clients are between page loads at any instant).
+//! thread count and the per-loop connection balance with all N idle, and
+//! (3) measures request throughput by driving a fixed batch of requests
+//! over a handful of those connections from concurrent driver threads —
+//! the idle majority stays connected the whole time, which is exactly the
+//! production shape (most keep-alive clients are between page loads at any
+//! instant).
 //!
 //! Front configuration: the threaded baseline gets `workers = N` (it needs
 //! a thread per connection to keep them all alive); the readiness front
-//! runs its event loop in inline-handler mode (`workers = 0`) because the
+//! runs its event loops in inline-handler mode (`workers = 0`) because the
 //! bench handler never blocks — request execution and connection I/O share
-//! one thread, the nginx-style reactor shape.
+//! the loop threads, the nginx-style reactor shape.
+//!
+//! The **eviction scenario** runs last: never-draining pipelining clients
+//! against a capacity-bounded wire and small output budgets. It records
+//! the eviction count and the peak server-side output backlog, showing
+//! the two-level write budget keeping memory bounded, then measures a
+//! well-behaved client served at full speed on the heels of the abuse.
 //!
 //! Run: `cargo bench -p dpc-bench --bench connections`
 //! Emits `BENCH_connections.json` at the workspace root.
@@ -29,18 +40,25 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use dpc_http::{Handler, Request, Response, Server, ServerConfig, ThreadedServer};
-use dpc_net::{Connector, SimNetwork};
+use dpc_net::{Connector, MeterRegistry, ProtocolModel, SimNetwork};
 
 /// Idle keep-alive connection counts measured.
 const CONN_GRID: &[usize] = &[64, 512, 4096];
 /// Smaller grid for CI smoke runs (`CRITERION_QUICK=1`).
 const CONN_GRID_QUICK: &[usize] = &[64, 256];
+/// Event-loop counts for the readiness front.
+const LOOP_GRID: &[usize] = &[1, 2, 4];
+/// CI smoke runs still cover one multi-loop point so accept-distribution
+/// or eviction regressions surface in CI, not just in committed JSON.
+const LOOP_GRID_QUICK: &[usize] = &[1, 2];
 /// Concurrent driver threads during the throughput phase.
 const DRIVERS: usize = 8;
 /// Requests per driver per measured batch.
 const REQS_PER_DRIVER: usize = 400;
-/// Measured batches per grid point (median is taken).
-const BATCHES: usize = 15;
+/// Measured batches per grid point (median is taken). 31 keeps the
+/// median stable on a noisy 1-vCPU host, where run-to-run medians of
+/// small batch counts move ±15%.
+const BATCHES: usize = 31;
 
 fn page_handler() -> Arc<dyn Handler> {
     static PAGE: &[u8] = &[b'x'; 2048];
@@ -57,6 +75,14 @@ impl Front {
         match self {
             Front::Threaded(h) => h.stop(),
             Front::Readiness(h) => h.stop(),
+        }
+    }
+
+    /// Per-loop live-connection balance (readiness only).
+    fn loop_conns(&self) -> Vec<u64> {
+        match self {
+            Front::Threaded(_) => Vec::new(),
+            Front::Readiness(h) => h.live_per_loop(),
         }
     }
 }
@@ -82,6 +108,8 @@ struct World {
     /// connections (a before/after delta, so the harness's own threads
     /// don't inflate the count).
     resident_threads: usize,
+    /// Idle-state per-loop connection balance (readiness fronts).
+    loop_conns: Vec<u64>,
 }
 
 fn one_request(reader: &mut std::io::BufReader<dpc_net::BoxStream>, target: &str) -> usize {
@@ -93,7 +121,7 @@ fn one_request(reader: &mut std::io::BufReader<dpc_net::BoxStream>, target: &str
     resp.body.len()
 }
 
-fn build_world(kind: &str, conns: usize) -> World {
+fn build_world(kind: &str, conns: usize, loops: usize) -> World {
     let threads_before = process_threads();
     let net = SimNetwork::with_defaults();
     let listener = net.listen("web");
@@ -106,6 +134,7 @@ fn build_world(kind: &str, conns: usize) -> World {
         _ => Front::Readiness(
             Server::new(Box::new(listener), page_handler())
                 .with_config(ServerConfig { workers: 0 })
+                .with_loops(loops)
                 .spawn(),
         ),
     };
@@ -121,11 +150,13 @@ fn build_world(kind: &str, conns: usize) -> World {
     // blocked reads before counting.
     std::thread::sleep(Duration::from_millis(30));
     let resident_threads = process_threads().saturating_sub(threads_before);
+    let loop_conns = front.loop_conns();
     World {
         net,
         front,
         idle,
         resident_threads,
+        loop_conns,
     }
 }
 
@@ -164,10 +195,12 @@ fn run_batch(world: &mut World) -> Duration {
 #[derive(Clone)]
 struct Point {
     front: &'static str,
+    loops: usize,
     connections: usize,
     requests: u64,
     median_elapsed_ns: u64,
     resident_threads: usize,
+    loop_conns: Vec<u64>,
 }
 
 impl Point {
@@ -181,9 +214,92 @@ fn median_ns(mut samples: Vec<u64>) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// The admission-control scenario: abusive pipelining clients that never
+/// read a response, against a capacity-bounded wire and small output
+/// budgets. Returns the JSON object for the report.
+fn eviction_scenario() -> String {
+    const ABUSERS: usize = 4;
+    const CONN_CAP: usize = 64 * 1024;
+    const GLOBAL_CAP: usize = 512 * 1024;
+    const PAGE: usize = 8 * 1024;
+    let net = SimNetwork::with_stream_capacity(
+        MeterRegistry::new(),
+        ProtocolModel::default(),
+        Some(4096), // the server's writes must actually block
+    );
+    let listener = net.listen("web");
+    let page: &'static [u8] = vec![b'e'; PAGE].leak();
+    let handle = Server::new(
+        Box::new(listener),
+        Arc::new(move |_req: Request| Response::html(page)),
+    )
+    .with_config(ServerConfig { workers: 2 })
+    .with_loops(2)
+    .with_output_caps(CONN_CAP, GLOBAL_CAP)
+    .spawn();
+
+    // Abusers pipeline until the server cuts them off; the main thread
+    // samples the server's output backlog the whole time.
+    let mut pending: Vec<_> = (0..ABUSERS)
+        .map(|a| {
+            let conn = net.connector();
+            std::thread::spawn(move || {
+                let mut stream = conn.connect("web").expect("connect");
+                for i in 0..1_000_000u64 {
+                    let req = format!("GET /abuse{a}x{i} HTTP/1.1\r\n\r\n");
+                    if stream.write_all(req.as_bytes()).is_err() {
+                        return; // evicted
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut peak_buffered = 0u64;
+    let start = Instant::now();
+    // Safety valve on the wait only; evictions normally land in
+    // milliseconds. Stragglers are joined after handle.stop() below.
+    while !pending.is_empty() && start.elapsed() < Duration::from_secs(30) {
+        peak_buffered = peak_buffered.max(handle.output_buffered());
+        pending.retain(|j| !j.is_finished());
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    peak_buffered = peak_buffered.max(handle.output_buffered());
+    let evicted_in = start.elapsed();
+
+    // A well-behaved client is served at full speed right after the
+    // abusers are cut off (the abuse window itself is milliseconds).
+    let mut reader = std::io::BufReader::new(net.connector().connect("web").expect("connect"));
+    let good_start = Instant::now();
+    const GOOD_REQS: usize = 200;
+    for i in 0..GOOD_REQS {
+        assert_eq!(one_request(&mut reader, &format!("/good{i}")), PAGE);
+    }
+    let good_rps = GOOD_REQS as f64 / good_start.elapsed().as_secs_f64();
+    let evictions = handle.evictions();
+    let settled_buffered = handle.output_buffered();
+    println!(
+        "measured eviction scenario: {evictions} evictions in {evicted_in:?}, \
+         peak buffered {peak_buffered} B (global cap {GLOBAL_CAP} B), \
+         settled {settled_buffered} B, good client {good_rps:.0} req/s"
+    );
+    handle.stop();
+    for j in pending {
+        let _ = j.join(); // stop() errored any straggler's writes
+    }
+    format!(
+        "  \"eviction_scenario\": {{\"abusers\": {ABUSERS}, \"page_bytes\": {PAGE}, \
+         \"conn_output_cap\": {CONN_CAP}, \"global_output_cap\": {GLOBAL_CAP}, \
+         \"evictions\": {evictions}, \"peak_output_buffered_bytes\": {peak_buffered}, \
+         \"settled_output_buffered_bytes\": {settled_buffered}, \
+         \"memory_bounded\": {}, \"good_client_req_per_s\": {good_rps:.1}}}",
+        peak_buffered <= (GLOBAL_CAP + ABUSERS * (PAGE + 1024)) as u64
+    )
+}
+
 fn bench_connections(c: &mut Criterion) {
     let quick = std::env::var("CRITERION_QUICK").is_ok();
     let grid = if quick { CONN_GRID_QUICK } else { CONN_GRID };
+    let loop_grid = if quick { LOOP_GRID_QUICK } else { LOOP_GRID };
     let requests = (DRIVERS * REQS_PER_DRIVER) as u64;
     let mut points: Vec<Point> = Vec::new();
     let mut group = c.benchmark_group("connections");
@@ -194,27 +310,37 @@ fn bench_connections(c: &mut Criterion) {
         // threaded world's ~4k blocked threads and their stacks degrade
         // the whole host, so the other front would be measured under its
         // competitor's weight rather than under load.
-        for front in ["threaded", "readiness"] {
-            let mut world = build_world(front, conns);
+        let mut cases: Vec<(&'static str, usize)> = vec![("threaded", 1)];
+        cases.extend(loop_grid.iter().map(|&l| ("readiness", l)));
+        for (front, loops) in cases {
+            let mut world = build_world(front, conns, loops);
             let mut samples = Vec::with_capacity(BATCHES);
             for _ in 0..BATCHES {
                 samples.push(run_batch(&mut world).as_nanos() as u64);
             }
             let p = Point {
                 front,
+                loops,
                 connections: conns,
                 requests,
                 median_elapsed_ns: median_ns(samples),
                 resident_threads: world.resident_threads,
+                loop_conns: world.loop_conns.clone(),
             };
             group.throughput(Throughput::Elements(requests));
-            group.bench_function(BenchmarkId::new(front, format!("{conns}c")), |b| {
+            let label = if front == "threaded" {
+                format!("{conns}c")
+            } else {
+                format!("{conns}c/{loops}l")
+            };
+            group.bench_function(BenchmarkId::new(front, label), |b| {
                 b.iter(|| std::hint::black_box(p.median_elapsed_ns))
             });
             println!(
-                "measured connections/{front}/{conns}c: {:>9.0} req/s, {:>5} resident threads (median of {BATCHES})",
+                "measured connections/{front}/{conns}c/{loops} loops: {:>9.0} req/s, {:>5} resident threads, balance {:?} (median of {BATCHES})",
                 p.rps(),
-                p.resident_threads
+                p.resident_threads,
+                p.loop_conns,
             );
             points.push(p);
             world.front.stop();
@@ -227,39 +353,69 @@ fn bench_connections(c: &mut Criterion) {
         }
     }
     group.finish();
-    emit_json(&points, grid, quick);
+    let eviction_json = eviction_scenario();
+    emit_json(&points, grid, loop_grid, quick, &eviction_json);
 }
 
-fn emit_json(points: &[Point], grid: &[usize], quick: bool) {
-    let find = |front: &str, conns: usize| {
+fn emit_json(
+    points: &[Point],
+    grid: &[usize],
+    loop_grid: &[usize],
+    quick: bool,
+    eviction_json: &str,
+) {
+    let find = |front: &str, conns: usize, loops: usize| {
         points
             .iter()
-            .find(|p| p.front == front && p.connections == conns)
+            .find(|p| p.front == front && p.connections == conns && p.loops == loops)
             .expect("grid point measured")
     };
     let max_conns = *grid.last().expect("non-empty grid");
+    let max_loops = *loop_grid.last().expect("non-empty loop grid");
     let throughput_ratio_at_min =
-        find("readiness", grid[0]).rps() / find("threaded", grid[0]).rps();
-    let readiness_threads_at_max = find("readiness", max_conns).resident_threads;
-    let threaded_threads_at_max = find("threaded", max_conns).resident_threads;
+        find("readiness", grid[0], 1).rps() / find("threaded", grid[0], 1).rps();
+    let multi_vs_single =
+        find("readiness", max_conns, max_loops).rps() / find("readiness", max_conns, 1).rps();
+    // Extra mid-grid ratio, only when it is not already the max-loops one
+    // (quick mode tops out at 2 loops — emitting both would duplicate the
+    // JSON key).
+    let two_loop_line = if max_loops > 2 && loop_grid.contains(&2) {
+        let two_vs_single =
+            find("readiness", max_conns, 2).rps() / find("readiness", max_conns, 1).rps();
+        format!(
+            "  \"throughput_ratio_2_loops_vs_1_loop_at_{max_conns}_conns\": {two_vs_single:.4},\n"
+        )
+    } else {
+        String::new()
+    };
+    let readiness_threads_at_max = find("readiness", max_conns, 1).resident_threads;
+    let threaded_threads_at_max = find("threaded", max_conns, 1).resident_threads;
     let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let mut json = format!(
         "{{\n  \"bench\": \"connections\",\n  \"unit\": \"req/s\",\n  \"host_cpus\": {cpus},\n  \"quick\": {quick},\n  \"drivers\": {DRIVERS},\n  \"batches_per_point\": {BATCHES},\n  \"points\": [\n"
     );
     for (i, p) in points.iter().enumerate() {
+        let balance = p
+            .loop_conns
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
-            "    {{\"front\": \"{}\", \"connections\": {}, \"requests\": {}, \"median_elapsed_ns\": {}, \"req_per_s\": {:.1}, \"resident_threads\": {}}}{}\n",
+            "    {{\"front\": \"{}\", \"loops\": {}, \"connections\": {}, \"requests\": {}, \"median_elapsed_ns\": {}, \"req_per_s\": {:.1}, \"resident_threads\": {}, \"loop_conns\": [{}]}}{}\n",
             p.front,
+            p.loops,
             p.connections,
             p.requests,
             p.median_elapsed_ns,
             p.rps(),
             p.resident_threads,
+            balance,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"throughput_ratio_readiness_vs_threaded_at_{}_conns\": {throughput_ratio_at_min:.4},\n  \"resident_threads_at_{max_conns}_conns\": {{\"threaded\": {threaded_threads_at_max}, \"readiness\": {readiness_threads_at_max}}}\n}}\n",
+        "  ],\n  \"throughput_ratio_readiness_vs_threaded_at_{}_conns\": {throughput_ratio_at_min:.4},\n{two_loop_line}  \"throughput_ratio_{max_loops}_loops_vs_1_loop_at_{max_conns}_conns\": {multi_vs_single:.4},\n  \"resident_threads_at_{max_conns}_conns\": {{\"threaded\": {threaded_threads_at_max}, \"readiness\": {readiness_threads_at_max}}},\n{eviction_json}\n}}\n",
         grid[0]
     ));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_connections.json");
@@ -268,7 +424,7 @@ fn emit_json(points: &[Point], grid: &[usize], quick: bool) {
         .expect("write BENCH_connections.json");
     println!("wrote {path}");
     println!(
-        "readiness vs threaded throughput at {} conns: {throughput_ratio_at_min:.2}x; threads at {max_conns} conns: {readiness_threads_at_max} vs {threaded_threads_at_max}",
+        "readiness vs threaded throughput at {} conns: {throughput_ratio_at_min:.2}x; {max_loops} loops vs 1 at {max_conns} conns: {multi_vs_single:.2}x; threads at {max_conns} conns: {readiness_threads_at_max} vs {threaded_threads_at_max}",
         grid[0]
     );
 }

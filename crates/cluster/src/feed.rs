@@ -22,6 +22,23 @@
 //!
 //! The feed is transport-free; [`crate::peer`] moves deltas over
 //! [`dpc_net::SimNetwork`] using the [`dpc_net::frame`] message family.
+//!
+//! **Log truncation.** Events exist to be shipped to nodes that have not
+//! applied them; once every alive node's version vector dominates a
+//! per-origin prefix, that prefix can never be needed again — an alive
+//! node already has it, and a *new* node starts with an empty slot store,
+//! so it has nothing the truncated events could scrub. Each node therefore
+//! keeps a truncation [`floor`](InvalidationFeed::floor): the highest
+//! per-origin sequence it has dropped. [`truncate_below`] trims logs under
+//! a watermark the caller computes from the alive nodes' vectors (learned
+//! during gossip exchanges — see [`crate::peer::PeerNode::truncate`]), and
+//! [`fast_forward`] lets a receiver below a sender's floor jump straight
+//! to it instead of waiting forever for events nobody stores anymore.
+//! Long-running clusters stay bounded: the feed holds only the suffix some
+//! alive node still lacks.
+//!
+//! [`truncate_below`]: InvalidationFeed::truncate_below
+//! [`fast_forward`]: InvalidationFeed::fast_forward
 
 use dpc_core::DpcKey;
 use dpc_net::WireEvent;
@@ -69,9 +86,14 @@ impl FeedEvent {
 #[derive(Debug)]
 pub struct InvalidationFeed {
     node: u32,
-    /// `origin → its events in seq order` (`logs[o][i].seq == i+1`).
+    /// `origin → its retained events in seq order`
+    /// (`logs[o][i].seq == floor(o) + i + 1` — the prefix below the floor
+    /// has been truncated).
     logs: HashMap<u32, Vec<FeedEvent>>,
     vv: VersionVector,
+    /// Highest truncated sequence per origin; events at or below it are no
+    /// longer stored here.
+    floor: VersionVector,
 }
 
 impl InvalidationFeed {
@@ -80,6 +102,7 @@ impl InvalidationFeed {
             node,
             logs: HashMap::new(),
             vv: VersionVector::new(),
+            floor: VersionVector::new(),
         }
     }
 
@@ -91,6 +114,12 @@ impl InvalidationFeed {
     /// Version vector of everything applied here.
     pub fn vv(&self) -> &VersionVector {
         &self.vv
+    }
+
+    /// Truncation floor: highest per-origin sequence whose events this
+    /// feed no longer stores.
+    pub fn floor(&self) -> &VersionVector {
+        &self.floor
     }
 
     /// Append a locally originated event and return it (already applied
@@ -108,20 +137,79 @@ impl InvalidationFeed {
         event
     }
 
-    /// Every event this feed holds that `other` has not applied, in
-    /// per-origin seq order — the anti-entropy delta.
+    /// Every event this feed still holds that `other` has not applied, in
+    /// per-origin seq order — the anti-entropy delta. A receiver below the
+    /// truncation floor cannot be served the missing prefix (it no longer
+    /// exists anywhere); it must [`fast_forward`](Self::fast_forward) to
+    /// the sender's floor first, which is safe exactly because truncation
+    /// requires every alive node's vector to dominate the prefix.
     pub fn delta_since(&self, other: &VersionVector) -> Vec<FeedEvent> {
         let mut out = Vec::new();
         let mut origins: Vec<u32> = self.logs.keys().copied().collect();
         origins.sort_unstable();
         for origin in origins {
             let log = &self.logs[&origin];
-            let have = other.get(origin) as usize;
-            if have < log.len() {
-                out.extend_from_slice(&log[have..]);
+            let floor = self.floor.get(origin);
+            let start = (other.get(origin).max(floor) - floor) as usize;
+            if start < log.len() {
+                out.extend_from_slice(&log[start..]);
             }
         }
         out
+    }
+
+    /// Drop every retained event at or below `watermark` (clamped to what
+    /// was actually applied here) and raise the floor accordingly. The
+    /// caller guarantees the watermark is dominated by every alive node's
+    /// version vector. Returns how many events were dropped.
+    pub fn truncate_below(&mut self, watermark: &VersionVector) -> usize {
+        let mut dropped = 0;
+        for (origin, seq) in watermark.to_wire() {
+            let cut = seq.min(self.vv.get(origin));
+            let floor = self.floor.get(origin);
+            if cut <= floor {
+                continue;
+            }
+            if let Some(log) = self.logs.get_mut(&origin) {
+                let n = ((cut - floor) as usize).min(log.len());
+                log.drain(..n);
+                dropped += n;
+                if log.is_empty() {
+                    self.logs.remove(&origin);
+                }
+            }
+            self.floor.advance(origin, cut);
+        }
+        dropped
+    }
+
+    /// Adopt a peer's truncation floor for origins we are *behind* on:
+    /// our vector jumps to the floor without applying (or scrubbing) the
+    /// truncated events. Only a feed that never saw the prefix lands here
+    /// — truncation requires every alive node to have applied it, so a
+    /// behind-the-floor feed belongs to a fresh node whose slot store is
+    /// empty and holds nothing those events could scrub. Returns the
+    /// origins that were fast-forwarded.
+    pub fn fast_forward(&mut self, peer_floor: &VersionVector) -> Vec<u32> {
+        let mut forwarded = Vec::new();
+        for (origin, seq) in peer_floor.to_wire() {
+            if seq <= self.vv.get(origin) {
+                continue; // we already hold (or held) this prefix
+            }
+            // Anything we do store for this origin sits at or below our
+            // vector, hence below the peer's floor: drop it, it is part of
+            // the cluster-wide truncated prefix.
+            if let Some(log) = self.logs.get_mut(&origin) {
+                log.retain(|e| e.seq > seq);
+                if log.is_empty() {
+                    self.logs.remove(&origin);
+                }
+            }
+            self.vv.advance(origin, seq);
+            self.floor.advance(origin, seq);
+            forwarded.push(origin);
+        }
+        forwarded
     }
 
     /// Apply a received delta. Returns the events that were *new* here, in
@@ -148,13 +236,19 @@ impl InvalidationFeed {
         fresh
     }
 
-    /// Total events applied (all origins).
+    /// Events currently *retained* (all origins) — shrinks when
+    /// [`truncate_below`](Self::truncate_below) trims dominated prefixes.
     pub fn len(&self) -> usize {
         self.logs.values().map(Vec::len).sum()
     }
 
     pub fn is_empty(&self) -> bool {
         self.logs.is_empty()
+    }
+
+    /// Total events ever applied here (all origins), truncated or not.
+    pub fn applied_total(&self) -> u64 {
+        self.vv.total()
     }
 }
 
@@ -236,5 +330,76 @@ mod tests {
     fn wire_roundtrip_preserves_events() {
         let e = ev(4, 9, "tbl/rows");
         assert_eq!(FeedEvent::from_wire(&e.to_wire()), e);
+    }
+
+    #[test]
+    fn truncate_drops_dominated_prefix_and_keeps_deltas_correct() {
+        let mut feed = InvalidationFeed::new(0);
+        for i in 0..6 {
+            feed.record(&format!("d{i}"), vec![]);
+        }
+        let mut watermark = VersionVector::new();
+        watermark.advance(0, 4);
+        assert_eq!(feed.truncate_below(&watermark), 4);
+        assert_eq!(feed.len(), 2, "only the suffix is retained");
+        assert_eq!(feed.applied_total(), 6, "truncation forgets no history");
+        assert_eq!(feed.floor().get(0), 4);
+        // A peer at the watermark still gets exactly the missing suffix…
+        let delta = feed.delta_since(&watermark);
+        assert_eq!(delta.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![5, 6]);
+        // …and a peer beyond it gets less.
+        let mut ahead = watermark.clone();
+        ahead.advance(0, 5);
+        assert_eq!(feed.delta_since(&ahead).len(), 1);
+        // Truncating below the floor again is a no-op; above the applied
+        // vector is clamped.
+        assert_eq!(feed.truncate_below(&watermark), 0);
+        let mut over = VersionVector::new();
+        over.advance(0, 100);
+        assert_eq!(feed.truncate_below(&over), 2);
+        assert!(feed.is_empty());
+        assert_eq!(feed.floor().get(0), 6, "floor clamps to what was applied");
+        // New local events keep sequencing past the truncated history, and
+        // a peer at the floor receives exactly them.
+        let e = feed.record("later", vec![]);
+        assert_eq!(e.seq, 7);
+        let mut at_floor = VersionVector::new();
+        at_floor.advance(0, 6);
+        assert_eq!(feed.delta_since(&at_floor)[0].seq, 7);
+        assert!(
+            feed.delta_since(&over).is_empty(),
+            "nothing for a peer ahead"
+        );
+    }
+
+    #[test]
+    fn fast_forward_jumps_a_fresh_feed_past_a_truncated_prefix() {
+        // Sender: 5 events, first 3 truncated.
+        let mut sender = InvalidationFeed::new(1);
+        for i in 0..5 {
+            sender.record(&format!("d{i}"), vec![DpcKey(i)]);
+        }
+        let full_history = sender.delta_since(&VersionVector::new());
+        let mut wm = VersionVector::new();
+        wm.advance(1, 3);
+        sender.truncate_below(&wm);
+        // A fresh feed cannot apply the suffix (gap) until it adopts the
+        // sender's floor.
+        let mut fresh = InvalidationFeed::new(9);
+        let delta = sender.delta_since(fresh.vv());
+        assert_eq!(delta.len(), 2);
+        assert!(fresh.apply(&delta).is_empty(), "gap without the floor");
+        assert_eq!(fresh.fast_forward(sender.floor()), vec![1]);
+        assert_eq!(fresh.vv().get(1), 3);
+        let fresh_applied = fresh.apply(&delta);
+        assert_eq!(fresh_applied.len(), 2, "suffix applies after fast-forward");
+        assert_eq!(fresh.vv().get(1), 5);
+        // Fast-forward is a no-op for a feed already past the floor — it
+        // keeps its retained events.
+        let mut current = InvalidationFeed::new(2);
+        current.apply(&full_history);
+        assert!(current.fast_forward(sender.floor()).is_empty());
+        assert_eq!(current.vv().get(1), 5);
+        assert_eq!(current.len(), 5);
     }
 }

@@ -22,6 +22,15 @@
 //! and *scrub* its freed keys from the local slot store
 //! ([`PeerNode::apply_and_scrub`]), converting the cluster-wide stale-splice
 //! hazard into a clean `MissingFragment` miss.
+//!
+//! Every exchange also teaches the node the partner's version vector
+//! (`GossipSyn` and `GossipDelta` both carry one); [`PeerNode::truncate`]
+//! turns those observations into a watermark — the pointwise minimum over
+//! every alive node's last-known vector, unknown nodes counting as zero —
+//! and trims the feed's per-origin logs below it, so long-running clusters
+//! stay bounded. Deltas carry the sender's truncation floor; a receiver
+//! behind it (a fresh joiner, whose empty store has nothing to scrub)
+//! fast-forwards to the floor instead of waiting for events nobody stores.
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -34,6 +43,7 @@ use dpc_core::{DpcKey, FragmentStore};
 use dpc_net::frame::ClusterFrame;
 use dpc_net::stream::Connector;
 use dpc_net::SimNetwork;
+use std::collections::HashMap;
 
 use crate::feed::{FeedEvent, InvalidationFeed};
 use crate::version::VersionVector;
@@ -56,6 +66,8 @@ pub struct PeerStats {
     pub events_applied: AtomicU64,
     /// Slots scrubbed by applied events.
     pub slots_scrubbed: AtomicU64,
+    /// Feed events dropped by watermark truncation.
+    pub events_truncated: AtomicU64,
 }
 
 /// One node's gossip/fetch state: its slot store, its feed, its counters.
@@ -65,6 +77,10 @@ pub struct PeerNode {
     id: u32,
     store: Arc<FragmentStore>,
     feed: Mutex<InvalidationFeed>,
+    /// Last version vector observed from each peer (gossip syns, deltas
+    /// and acks all carry one). Monotone per peer; the raw material for
+    /// the truncation watermark.
+    peer_vvs: Mutex<HashMap<u32, VersionVector>>,
     stats: PeerStats,
 }
 
@@ -74,6 +90,7 @@ impl PeerNode {
             id,
             store,
             feed: Mutex::new(InvalidationFeed::new(id)),
+            peer_vvs: Mutex::new(HashMap::new()),
             stats: PeerStats::default(),
         })
     }
@@ -94,6 +111,61 @@ impl PeerNode {
     /// Snapshot of the feed's version vector.
     pub fn vv(&self) -> VersionVector {
         self.feed.lock().vv().clone()
+    }
+
+    /// Snapshot of the feed's truncation floor.
+    pub fn floor(&self) -> VersionVector {
+        self.feed.lock().floor().clone()
+    }
+
+    /// Feed events currently retained (shrinks under truncation).
+    pub fn feed_len(&self) -> usize {
+        self.feed.lock().len()
+    }
+
+    /// Record the version vector a peer just advertised. Merged (vectors
+    /// only grow), so a stale exchange can never regress the knowledge.
+    fn note_peer_vv(&self, peer: u32, vv: &VersionVector) {
+        if peer == self.id {
+            return;
+        }
+        self.peer_vvs.lock().entry(peer).or_default().merge(vv);
+    }
+
+    /// Drop everything learned from `peer` — called when that node leaves
+    /// or fails. A recycled node id therefore counts as unknown (blocking
+    /// truncation) until its *new* incarnation advertises a vector;
+    /// otherwise the dead incarnation's possibly-higher vector could raise
+    /// the watermark past what the live one has applied and truncate
+    /// events it still needs.
+    pub fn forget_peer(&self, peer: u32) {
+        self.peer_vvs.lock().remove(&peer);
+    }
+
+    /// Truncate the feed below the watermark that every node in `alive`
+    /// provably dominates: the pointwise minimum of this node's own vector
+    /// and the last vector observed from each other alive node (a node
+    /// never heard from counts as zero, which blocks truncation until it
+    /// has gossiped — conservative and safe). Returns the events dropped.
+    pub fn truncate(&self, alive: &[u32]) -> usize {
+        let mut watermark = self.vv();
+        {
+            let peer_vvs = self.peer_vvs.lock();
+            for node in alive {
+                if *node == self.id {
+                    continue;
+                }
+                match peer_vvs.get(node) {
+                    Some(vv) => watermark = watermark.pointwise_min(vv),
+                    None => return 0, // an alive node we know nothing about
+                }
+            }
+        }
+        let dropped = self.feed.lock().truncate_below(&watermark);
+        self.stats
+            .events_truncated
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
     }
 
     /// Record a locally originated invalidation event and scrub this node's
@@ -138,6 +210,21 @@ impl PeerNode {
         self.feed.lock().delta_since(other)
     }
 
+    /// Consume the peer's applied-ack for a pushed delta, recording the
+    /// (now merged) vector it advertises.
+    fn read_delta_ack(&self, stream: &mut (impl io::Read + io::Write)) -> io::Result<()> {
+        match ClusterFrame::read_from(stream)? {
+            Some(ClusterFrame::GossipDelta { from, vv, .. }) => {
+                self.note_peer_vv(from, &VersionVector::from_wire(&vv));
+                Ok(())
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected delta ack, got {other:?}"),
+            )),
+        }
+    }
+
     /// Serve one accepted connection until EOF.
     fn serve_conn(&self, stream: &mut (impl io::Read + io::Write)) -> io::Result<()> {
         while let Some(frame) = ClusterFrame::read_from(stream)? {
@@ -154,24 +241,42 @@ impl PeerNode {
                     };
                     resp.write_to(stream)?;
                 }
-                ClusterFrame::GossipSyn { from: _, vv } => {
+                ClusterFrame::GossipSyn { from, vv } => {
                     self.stats.gossip_served.fetch_add(1, Ordering::Relaxed);
                     let opener_vv = VersionVector::from_wire(&vv);
+                    self.note_peer_vv(from, &opener_vv);
                     // Snapshot under one short lock: our vector + their delta.
-                    let (my_vv, delta) = {
+                    let (my_vv, my_floor, delta) = {
                         let feed = self.feed.lock();
-                        (feed.vv().clone(), feed.delta_since(&opener_vv))
+                        (
+                            feed.vv().clone(),
+                            feed.floor().clone(),
+                            feed.delta_since(&opener_vv),
+                        )
                     };
                     ClusterFrame::GossipDelta {
                         from: self.id,
                         vv: my_vv.to_wire(),
+                        floor: my_floor.to_wire(),
                         events: delta.iter().map(FeedEvent::to_wire).collect(),
                     }
                     .write_to(stream)?;
                     // The opener's reverse delta (or EOF) arrives next; the
                     // loop handles it as an unsolicited GossipDelta.
                 }
-                ClusterFrame::GossipDelta { events, .. } => {
+                ClusterFrame::GossipDelta {
+                    from,
+                    vv,
+                    floor,
+                    events,
+                } => {
+                    self.note_peer_vv(from, &VersionVector::from_wire(&vv));
+                    // Adopt the sender's truncation floor first: if we are
+                    // behind it (fresh node, empty store) the suffix below
+                    // would otherwise be an unfillable gap.
+                    self.feed
+                        .lock()
+                        .fast_forward(&VersionVector::from_wire(&floor));
                     let events: Vec<FeedEvent> = events.iter().map(FeedEvent::from_wire).collect();
                     self.apply_and_scrub(&events);
                     // Ack with our (now merged) vector, so a pusher that
@@ -181,6 +286,7 @@ impl PeerNode {
                     ClusterFrame::GossipDelta {
                         from: self.id,
                         vv: self.vv().to_wire(),
+                        floor: self.floor().to_wire(),
                         events: Vec::new(),
                     }
                     .write_to(stream)?;
@@ -290,7 +396,13 @@ pub fn gossip_exchange(
         vv: my_vv.to_wire(),
     }
     .write_to(&mut stream)?;
-    let Some(ClusterFrame::GossipDelta { vv, events, .. }) = ClusterFrame::read_from(&mut stream)?
+    let Some(ClusterFrame::GossipDelta {
+        from,
+        vv,
+        floor,
+        events,
+        ..
+    }) = ClusterFrame::read_from(&mut stream)?
     else {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -298,6 +410,12 @@ pub fn gossip_exchange(
         ));
     };
     let peer_vv = VersionVector::from_wire(&vv);
+    node.note_peer_vv(from, &peer_vv);
+    // Adopt the peer's truncation floor before applying: a fresh node
+    // below it would otherwise see the suffix as an unfillable gap.
+    node.feed
+        .lock()
+        .fast_forward(&VersionVector::from_wire(&floor));
     let incoming: Vec<FeedEvent> = events.iter().map(FeedEvent::from_wire).collect();
     let pulled = node.apply_and_scrub(&incoming);
     // Reverse delta: everything we now have that the peer lacked.
@@ -307,23 +425,13 @@ pub fn gossip_exchange(
         ClusterFrame::GossipDelta {
             from: node.id(),
             vv: node.vv().to_wire(),
+            floor: node.floor().to_wire(),
             events: reverse.iter().map(FeedEvent::to_wire).collect(),
         }
         .write_to(&mut stream)?;
-        read_delta_ack(&mut stream)?;
+        node.read_delta_ack(&mut stream)?;
     }
     Ok(GossipOutcome { pulled, pushed })
-}
-
-/// Consume the peer's applied-ack for a pushed delta.
-fn read_delta_ack(stream: &mut (impl io::Read + io::Write)) -> io::Result<()> {
-    match ClusterFrame::read_from(stream)? {
-        Some(ClusterFrame::GossipDelta { .. }) => Ok(()),
-        other => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("expected delta ack, got {other:?}"),
-        )),
-    }
 }
 
 /// Push this node's entire feed to the peer at `addr` without pulling —
@@ -337,10 +445,11 @@ pub fn gossip_flush(connector: &dyn Connector, addr: &str, node: &PeerNode) -> i
     ClusterFrame::GossipDelta {
         from: node.id(),
         vv: node.vv().to_wire(),
+        floor: node.floor().to_wire(),
         events: delta.iter().map(FeedEvent::to_wire).collect(),
     }
     .write_to(&mut stream)?;
-    read_delta_ack(&mut stream)?;
+    node.read_delta_ack(&mut stream)?;
     Ok(delta.len())
 }
 
@@ -426,6 +535,62 @@ mod tests {
         nodes[0].1.stop();
         let err = peer_fetch(&net.connector(), &peer_addr(0), DpcKey(0)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn truncation_drops_prefixes_every_alive_node_dominates() {
+        let (net, nodes) = world(&[0, 1, 2]);
+        let (a, _) = &nodes[0];
+        let (b, _) = &nodes[1];
+        let (c, _) = &nodes[2];
+        for i in 0..6 {
+            a.record_local(&format!("tbl/t{i}"), vec![DpcKey(i)]);
+        }
+        let conn = net.connector();
+        // Before anyone has heard from everyone, truncation is blocked
+        // (an unknown alive node counts as zero).
+        assert_eq!(a.truncate(&[0, 1, 2]), 0);
+        // All-pairs exchanges: every node applies everything and learns
+        // every other node's vector.
+        for (active, _) in &nodes {
+            for target in 0..3u32 {
+                if target != active.id() {
+                    gossip_exchange(&conn, &peer_addr(target), active).unwrap();
+                }
+            }
+        }
+        assert_eq!(a.vv(), b.vv());
+        assert_eq!(b.vv(), c.vv());
+        // Now every node can drop the whole dominated log…
+        assert_eq!(a.truncate(&[0, 1, 2]), 6);
+        assert_eq!(a.feed_len(), 0);
+        assert_eq!(a.stats().events_truncated.load(Ordering::Relaxed), 6);
+        assert_eq!(b.truncate(&[0, 1, 2]), 6);
+        // …while a node that must still serve an absent peer keeps it.
+        assert_eq!(c.truncate(&[0, 1, 2, 3]), 0, "unknown node 3 pins the log");
+        assert_eq!(c.feed_len(), 6);
+        // Forgetting a departed peer (membership removal) blocks
+        // truncation again until its new incarnation re-advertises.
+        c.forget_peer(0);
+        assert_eq!(c.truncate(&[0, 1, 2]), 0, "forgotten peer pins the log");
+        gossip_exchange(&conn, &peer_addr(0), c).unwrap();
+        assert_eq!(c.truncate(&[0, 1, 2]), 6, "re-advertised vector unblocks");
+        assert_eq!(c.feed_len(), 0);
+        // A fresh node (empty store — nothing to scrub) joining after the
+        // truncation fast-forwards to the floor and converges anyway.
+        let fresh = PeerNode::new(7, Arc::new(FragmentStore::new(64)));
+        let _server = PeerServer::spawn(&net, &fresh);
+        gossip_exchange(&conn, &peer_addr(0), &fresh).unwrap();
+        assert_eq!(
+            fresh.vv(),
+            a.vv(),
+            "joiner catches up past truncated history"
+        );
+        assert_eq!(fresh.feed_len(), 0);
+        // And its own fresh events still flow back.
+        fresh.record_local("tbl/new", vec![]);
+        gossip_exchange(&conn, &peer_addr(0), &fresh).unwrap();
+        assert_eq!(a.vv().get(7), 1);
     }
 
     #[test]

@@ -50,6 +50,17 @@ impl VersionVector {
         }
     }
 
+    /// Pointwise minimum of both vectors — the watermark both sides have
+    /// provably applied. An origin absent on either side counts as zero
+    /// (and is therefore absent from the result).
+    pub fn pointwise_min(&self, other: &VersionVector) -> VersionVector {
+        let mut out = VersionVector::new();
+        for (o, s) in &self.seqs {
+            out.advance(*o, (*s).min(other.get(*o)));
+        }
+        out
+    }
+
     /// Wire form, sorted by origin for deterministic frames.
     pub fn to_wire(&self) -> Vec<(u32, u64)> {
         let mut out: Vec<(u32, u64)> = self
@@ -109,6 +120,23 @@ mod tests {
         assert!(a.dominates(&a));
         assert!(a.dominates(&VersionVector::new()));
         assert!(VersionVector::new().dominates(&VersionVector::new()));
+    }
+
+    #[test]
+    fn pointwise_min_is_the_shared_watermark() {
+        let mut a = VersionVector::new();
+        a.advance(0, 4);
+        a.advance(1, 2);
+        let mut b = VersionVector::new();
+        b.advance(0, 3);
+        b.advance(2, 9);
+        let min = a.pointwise_min(&b);
+        assert_eq!(min.get(0), 3);
+        assert_eq!(min.get(1), 0, "absent on one side counts as zero");
+        assert_eq!(min.get(2), 0);
+        assert!(a.dominates(&min));
+        assert!(b.dominates(&min));
+        assert!(min.pointwise_min(&VersionVector::new()).total() == 0);
     }
 
     #[test]

@@ -132,6 +132,34 @@ fn all_nodes_converge_within_bounded_rounds() {
             0,
             "seed {seed}: converged is stable"
         );
+
+        // Feed-length bound: once every node has learned every other
+        // node's (converged) vector — guaranteed by one all-pairs sweep —
+        // watermark truncation drops the entire dominated history, so a
+        // long-running cluster's logs cannot grow forever.
+        let conn = world.net.connector();
+        for node in &world.nodes {
+            for target in 0..NODES {
+                if target != node.id() {
+                    gossip_exchange(&conn, &peer_addr(target), node).expect("sweep");
+                }
+            }
+        }
+        let alive: Vec<u32> = (0..NODES).collect();
+        for node in &world.nodes {
+            node.truncate(&alive);
+            assert_eq!(
+                node.feed_len(),
+                0,
+                "seed {seed}: node {} retains events every alive node has",
+                node.id()
+            );
+            assert_eq!(
+                node.vv().total(),
+                recorded,
+                "seed {seed}: truncation must not forget applied history"
+            );
+        }
     }
 }
 

@@ -13,9 +13,14 @@
 //! chunked transfer-encoding, TLS, or HTTP/2 — none of which existed in or
 //! matter to the 2002 evaluation.
 //!
-//! The serving path is readiness-driven: [`Server`] multiplexes every
-//! connection over one event loop ([`server`]) and executes handlers on a
+//! The serving path is readiness-driven: [`Server`] multiplexes
+//! connections over a set of event loops ([`server`]) — one by default,
+//! N (`Server::with_loops`) to scale the front across cores with
+//! least-connections accept distribution — and executes handlers on a
 //! bounded worker pool, so idle keep-alive connections don't pin threads.
+//! Queued response bytes are charged against per-connection and global
+//! output budgets with slow-client eviction (write-side admission
+//! control), so a reader that never drains can't balloon server memory.
 //! Response bodies are ropes ([`message::Body`]) written to the wire with
 //! vectored I/O, keeping the DPC's assembled fragments zero-copy end to
 //! end. The original thread-per-connection front survives as
@@ -35,7 +40,7 @@ pub mod uri;
 pub use client::Client;
 pub use error::HttpError;
 pub use message::{Body, Headers, Method, Request, Response, Status};
-pub use server::{Handler, Server, ServerConfig, ServerHandle};
+pub use server::{Handler, LoopStats, Server, ServerConfig, ServerHandle, ServerStats};
 pub use threaded::{ThreadedServer, ThreadedServerHandle};
 pub use uri::Uri;
 

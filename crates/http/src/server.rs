@@ -1,15 +1,21 @@
-//! Readiness-driven keep-alive HTTP server.
+//! Readiness-driven keep-alive HTTP server: a `LoopSet` of event loops.
 //!
-//! One event-loop thread multiplexes every connection over a
-//! [`Poller`]: each connection is a small state machine (reading → parsing
-//! → handling → writing) that advances whenever its stream reports
+//! The front is a set of `loops` independent event-loop threads (default
+//! 1), each multiplexing its own share of the connections over a private
+//! [`Poller`]: every connection is a small state machine (reading →
+//! parsing → handling → writing) that advances whenever its stream reports
 //! readiness, so 10k idle keep-alive clients cost 10k registrations and
-//! zero threads. Parsed requests are executed on a bounded worker pool
-//! (handlers may block — the proxy's handler fetches from the origin with
-//! a blocking client); completed responses are queued back to the loop,
-//! which serializes them as a segment list and drains it with vectored
-//! writes. A [`Body::Rope`](crate::message::Body) therefore reaches the
-//! wire without ever being flattened: the cached fragments' refcounts are
+//! zero threads. One event loop saturates one core; sharding connections
+//! across N loops scales the front across cores SO_REUSEPORT-style — the
+//! first loop owns the listener and hands each accepted stream to the
+//! least-loaded loop (ties broken round-robin), which registers it with
+//! its own poller and owns it for life. Parsed requests are executed on a
+//! bounded worker pool shared by all loops (handlers may block — the
+//! proxy's handler fetches from the origin with a blocking client);
+//! completed responses are queued back to the owning loop, which
+//! serializes them as a segment list and drains it with vectored writes.
+//! A [`Body::Rope`](crate::message::Body) therefore reaches the wire
+//! without ever being flattened: the cached fragments' refcounts are
 //! bumped into the write queue and `write_vectored` scatters them out.
 //!
 //! The state machine resumes across partial reads (slow-loris headers and
@@ -19,6 +25,21 @@
 //! the same buffer one at a time — responses stay in request order because
 //! the next parse only happens after the previous response is queued.
 //!
+//! **Write-side admission control.** Queued-but-unsent response bytes are
+//! charged against two budgets: a per-connection output cap and a global
+//! (all loops) output budget. While either is exceeded the loop stops
+//! parsing that connection's pipelined requests — the backlog is bounded,
+//! and the excess input parks in the transport where its flow control
+//! applies. A client that keeps *sending* while over budget instead of
+//! draining its responses is a slow-client attack (or a broken peer):
+//! after a few delivered-input strikes with zero write progress it is
+//! evicted — dropped, its queued output discarded and credited back — so
+//! a reader that never drains can't balloon server memory. Flush progress
+//! resets the strikes, and only reads that actually return bytes count
+//! (readiness is a hint — the TCP fallback tick reports maybe-ready every
+//! 1 ms), so a merely-slow client that keeps draining, or one merely
+//! stalled on its receive window, is never evicted.
+//!
 //! The handler is a plain trait object so the same server fronts the
 //! application server, the proxy, and test fixtures.
 
@@ -26,10 +47,11 @@ use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use dpc_net::{BoxNbListener, Poller, Ready, Registry, Token};
+use dpc_net::{BoxNbListener, BoxNbStream, Poller, Ready, Registry, Token, WakeSet};
 
 use crate::message::{Request, Response};
 use crate::parse::{self, try_parse_request};
@@ -55,15 +77,16 @@ where
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads executing [`Handler::handle`]. Connections are
-    /// multiplexed on the event loop, so an idle keep-alive connection
-    /// costs a readiness registration, not a thread — size this for the
-    /// number of concurrent *in-flight requests*, not connections.
+    /// Worker threads executing [`Handler::handle`], shared by all event
+    /// loops. Connections are multiplexed on the loops, so an idle
+    /// keep-alive connection costs a readiness registration, not a thread —
+    /// size this for the number of concurrent *in-flight requests*, not
+    /// connections.
     ///
-    /// `0` runs handlers inline on the event-loop thread (the classic
-    /// single-threaded reactor). Only do this when the handler never
-    /// blocks: an inline handler stalls every other connection while it
-    /// runs.
+    /// `0` runs handlers inline on the owning event-loop thread (the
+    /// classic single-threaded reactor, one per loop). Only do this when
+    /// the handler never blocks: an inline handler stalls every other
+    /// connection of its loop while it runs.
     pub workers: usize,
 }
 
@@ -73,12 +96,85 @@ impl Default for ServerConfig {
     }
 }
 
-/// Counters exposed by a running server.
+/// Default per-connection cap on queued-but-unsent response bytes.
+pub const DEFAULT_CONN_OUTPUT_CAP: usize = 4 * 1024 * 1024;
+/// Default global (all loops, all connections) output-buffer budget.
+pub const DEFAULT_GLOBAL_OUTPUT_CAP: usize = 64 * 1024 * 1024;
+
+/// Input deliveries (reads that returned bytes) tolerated from a
+/// connection that is over its output budget with zero flush progress
+/// before it is evicted. Progress resets the count, so only a peer that
+/// keeps sending while never draining accumulates strikes; spurious
+/// readiness events (the polled/TCP fallback tick) never count.
+const EVICT_STRIKES: u32 = 4;
+
+/// How long a stopping loop keeps flushing queued output and waiting for
+/// in-flight handler results before closing connections anyway. Bounds
+/// `stop()` against peers that never drain; well-behaved connections
+/// finish long before this.
+const SHUTDOWN_DRAIN_LIMIT: Duration = Duration::from_secs(2);
+
+/// Counters of one event loop. The [`ServerHandle`] aggregates them and
+/// exposes the per-loop split so accept-distribution skew is observable.
 #[derive(Default, Debug)]
-pub struct ServerStats {
+pub struct LoopStats {
+    /// Connections ever placed on this loop.
     pub connections: AtomicU64,
+    /// Requests parsed on this loop.
     pub requests: AtomicU64,
+    /// Malformed requests rejected on this loop.
     pub parse_errors: AtomicU64,
+    /// Slow-client evictions performed by this loop.
+    pub evictions: AtomicU64,
+    /// Connections currently owned by this loop (gauge; the accept loop
+    /// pre-charges it at placement time so least-connections routing sees
+    /// in-flight handoffs).
+    pub live: AtomicU64,
+}
+
+/// Aggregated view over every loop's counters.
+#[derive(Debug)]
+pub struct ServerStats {
+    per_loop: Vec<Arc<LoopStats>>,
+}
+
+impl ServerStats {
+    fn sum(&self, f: impl Fn(&LoopStats) -> &AtomicU64) -> u64 {
+        self.per_loop
+            .iter()
+            .map(|l| f(l).load(Ordering::Relaxed))
+            .sum()
+    }
+
+    pub fn connections(&self) -> u64 {
+        self.sum(|l| &l.connections)
+    }
+
+    pub fn requests(&self) -> u64 {
+        self.sum(|l| &l.requests)
+    }
+
+    pub fn parse_errors(&self) -> u64 {
+        self.sum(|l| &l.parse_errors)
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.sum(|l| &l.evictions)
+    }
+
+    /// Per-loop counter snapshots, indexed by loop.
+    pub fn per_loop(&self) -> &[Arc<LoopStats>] {
+        &self.per_loop
+    }
+
+    /// Currently-owned connections per loop — the accept-distribution
+    /// balance.
+    pub fn live_per_loop(&self) -> Vec<u64> {
+        self.per_loop
+            .iter()
+            .map(|l| l.live.load(Ordering::Relaxed))
+            .collect()
+    }
 }
 
 /// An HTTP server bound to a nonblocking listener.
@@ -86,6 +182,9 @@ pub struct Server {
     listener: BoxNbListener,
     handler: Arc<dyn Handler>,
     config: ServerConfig,
+    loops: usize,
+    conn_output_cap: usize,
+    global_output_cap: usize,
 }
 
 impl Server {
@@ -94,6 +193,9 @@ impl Server {
             listener,
             handler,
             config: ServerConfig::default(),
+            loops: 1,
+            conn_output_cap: DEFAULT_CONN_OUTPUT_CAP,
+            global_output_cap: DEFAULT_GLOBAL_OUTPUT_CAP,
         }
     }
 
@@ -102,44 +204,95 @@ impl Server {
         self
     }
 
-    /// Start the event loop on a background thread. The returned handle
+    /// Builder: shard connections across `loops` event-loop threads
+    /// (clamped to at least 1). `loops: 1` is the classic single event
+    /// loop and behaves identically to it.
+    pub fn with_loops(mut self, loops: usize) -> Server {
+        self.loops = loops.max(1);
+        self
+    }
+
+    /// Builder: set the write-side admission-control budgets — the
+    /// per-connection cap and the global (all loops) budget on
+    /// queued-but-unsent response bytes.
+    pub fn with_output_caps(mut self, per_conn: usize, global: usize) -> Server {
+        self.conn_output_cap = per_conn.max(1);
+        self.global_output_cap = global.max(1);
+        self
+    }
+
+    /// Start the loop set on background threads. The returned handle
     /// stops the server when dropped.
     pub fn spawn(self) -> ServerHandle {
         let addr = self.listener.local_addr();
-        let stats = Arc::new(ServerStats::default());
-        let running = Arc::new(AtomicBool::new(true));
-        let poller = Poller::new();
-        let registry = Arc::clone(poller.registry());
-        let (done_tx, done_rx) = unbounded();
+        let n = self.loops;
         let pool = if self.config.workers == 0 {
             None
         } else {
-            Some(ThreadPool::new(self.config.workers, "http-worker"))
+            Some(Arc::new(ThreadPool::new(
+                self.config.workers,
+                "http-worker",
+            )))
         };
-        let event_loop = EventLoop {
-            listener: self.listener,
-            listener_dead: false,
-            handler: self.handler,
-            stats: Arc::clone(&stats),
-            running: Arc::clone(&running),
-            poller,
-            registry: Arc::clone(&registry),
-            pool,
-            done_tx,
-            done_rx,
-            conns: HashMap::new(),
-            next_token: 1,
+        let mut pollers = Vec::with_capacity(n);
+        let mut loop_shared = Vec::with_capacity(n);
+        let mut inboxes = Vec::with_capacity(n);
+        let mut wake = WakeSet::new();
+        for _ in 0..n {
+            let poller = Poller::new();
+            let (inbox_tx, inbox_rx) = unbounded();
+            wake.add(Arc::clone(poller.registry()));
+            loop_shared.push(LoopShared {
+                registry: Arc::clone(poller.registry()),
+                inbox_tx,
+                stats: Arc::new(LoopStats::default()),
+            });
+            pollers.push(poller);
+            inboxes.push(inbox_rx);
+        }
+        let shared = Arc::new(Shared {
+            running: AtomicBool::new(true),
+            global_out: Arc::new(AtomicU64::new(0)),
+            loops: loop_shared,
+        });
+        let stats = ServerStats {
+            per_loop: shared.loops.iter().map(|l| Arc::clone(&l.stats)).collect(),
         };
-        let thread = std::thread::Builder::new()
-            .name(format!("http-loop-{addr}"))
-            .spawn(move || event_loop.run())
-            .expect("spawn event-loop thread");
+        let mut listener = Some(self.listener);
+        let mut threads = Vec::with_capacity(n);
+        for (index, (poller, inbox_rx)) in pollers.into_iter().zip(inboxes).enumerate() {
+            let (done_tx, done_rx) = unbounded();
+            let event_loop = LoopState {
+                index,
+                listener: listener.take(), // loop 0 owns the listener
+                listener_dead: false,
+                rr: index,
+                handler: Arc::clone(&self.handler),
+                stats: Arc::clone(&shared.loops[index].stats),
+                shared: Arc::clone(&shared),
+                poller,
+                pool: pool.clone(),
+                done_tx,
+                done_rx,
+                inbox_rx,
+                conns: HashMap::new(),
+                next_token: 1,
+                conn_output_cap: self.conn_output_cap,
+                global_output_cap: self.global_output_cap,
+                stopping: false,
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("http-loop-{addr}-{index}"))
+                .spawn(move || event_loop.run())
+                .expect("spawn event-loop thread");
+            threads.push(thread);
+        }
         ServerHandle {
             addr,
             stats,
-            running,
-            registry,
-            thread: Some(thread),
+            shared,
+            wake,
+            threads,
         }
     }
 }
@@ -147,10 +300,27 @@ impl Server {
 /// Token reserved for the listener; connections start at 1.
 const LISTENER: Token = 0;
 
-/// One connection's state: input buffer, write queue, and flags that
-/// sequence the reading → parsing → handling → writing lifecycle.
+/// What every loop can see of its siblings: the wake/handoff surface.
+struct LoopShared {
+    registry: Arc<Registry>,
+    inbox_tx: Sender<BoxNbStream>,
+    stats: Arc<LoopStats>,
+}
+
+/// State shared by the whole loop set.
+struct Shared {
+    running: AtomicBool,
+    /// Queued-but-unsent response bytes across every loop — the global
+    /// half of the two-level output budget.
+    global_out: Arc<AtomicU64>,
+    loops: Vec<LoopShared>,
+}
+
+/// One connection's state: input buffer, write queue, output accounting,
+/// and flags that sequence the reading → parsing → handling → writing
+/// lifecycle.
 struct Conn {
-    stream: dpc_net::BoxNbStream,
+    stream: BoxNbStream,
     /// Bytes read but not yet parsed; `rpos` marks the consumed prefix.
     rbuf: Vec<u8>,
     rpos: usize,
@@ -167,6 +337,16 @@ struct Conn {
     out: Vec<Bytes>,
     out_seg: usize,
     out_off: usize,
+    /// Queued-but-unsent output bytes (this connection's half of the
+    /// two-level budget). Mirrored into the shared global gauge; the
+    /// remainder is credited back on drop, so eviction and teardown can
+    /// never leak budget.
+    out_bytes: usize,
+    global_out: Arc<AtomicU64>,
+    /// Readable events seen while over the output budget with no flush
+    /// progress since. Reset by any successful write; at
+    /// [`EVICT_STRIKES`] the connection is evicted.
+    over_strikes: u32,
     /// A request is at the worker pool; parsing pauses until its response
     /// is queued so pipelined responses stay in request order.
     handling: bool,
@@ -185,7 +365,7 @@ struct Conn {
 const RBUF_SOFT_CAP: usize = 64 * 1024;
 
 impl Conn {
-    fn new(stream: dpc_net::BoxNbStream) -> Conn {
+    fn new(stream: BoxNbStream, global_out: Arc<AtomicU64>) -> Conn {
         Conn {
             stream,
             rbuf: Vec::new(),
@@ -195,6 +375,9 @@ impl Conn {
             out: Vec::new(),
             out_seg: 0,
             out_off: 0,
+            out_bytes: 0,
+            global_out,
+            over_strikes: 0,
             handling: false,
             close_pending: false,
             close_after_flush: false,
@@ -211,27 +394,36 @@ impl Conn {
 
     /// Drain the stream into `rbuf` until it would block, EOF, or the read
     /// budget is reached (pump re-reads once parsing frees budget).
-    fn read_some(&mut self) {
+    /// Returns the bytes actually buffered — readiness is only a hint, so
+    /// callers that act on "the peer sent something" (eviction strikes)
+    /// must look at this, not at the event.
+    fn read_some(&mut self) -> usize {
         let mut buf = [0u8; 16 * 1024];
+        let mut got = 0;
         while self.rbuf.len() - self.rpos < self.read_budget() {
             match self.stream.try_read(&mut buf) {
                 Ok(0) => {
                     self.eof = true;
-                    return;
+                    return got;
                 }
-                Ok(n) => self.rbuf.extend_from_slice(&buf[..n]),
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&buf[..n]);
+                    got += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return got,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue, // EINTR: retry
                 Err(_) => {
                     self.eof = true;
                     self.dead = true;
-                    return;
+                    return got;
                 }
             }
         }
+        got
     }
 
-    /// Append a serialized response to the write queue.
+    /// Append a serialized response to the write queue, charging both
+    /// output budgets.
     fn enqueue_response(&mut self, resp: &Response) {
         if self.out_seg == self.out.len() {
             // Everything previously queued was flushed: reclaim the queue.
@@ -239,10 +431,15 @@ impl Conn {
             self.out_seg = 0;
             self.out_off = 0;
         }
-        self.out.extend(response_segments(resp));
+        let segments = response_segments(resp);
+        let added: usize = segments.iter().map(Bytes::len).sum();
+        self.out.extend(segments);
+        self.out_bytes += added;
+        self.global_out.fetch_add(added as u64, Ordering::Relaxed);
     }
 
-    /// Write queued segments until done or the stream would block. The
+    /// Write queued segments until done or the stream would block,
+    /// crediting the budgets for every byte that goes out. The
     /// gather/advance cursor arithmetic is shared with the blocking writer
     /// ([`crate::serialize::write_all_vectored`]).
     fn flush(&mut self) {
@@ -256,12 +453,19 @@ impl Conn {
                     self.dead = true;
                     return;
                 }
-                Ok(n) => crate::serialize::advance_cursor(
-                    &self.out,
-                    &mut self.out_seg,
-                    &mut self.out_off,
-                    n,
-                ),
+                Ok(n) => {
+                    crate::serialize::advance_cursor(
+                        &self.out,
+                        &mut self.out_seg,
+                        &mut self.out_off,
+                        n,
+                    );
+                    self.out_bytes -= n;
+                    self.global_out.fetch_sub(n as u64, Ordering::Relaxed);
+                    // Write progress: the peer is draining, so it is not a
+                    // slow-client attack.
+                    self.over_strikes = 0;
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue, // EINTR: retry
                 Err(_) => {
@@ -283,6 +487,13 @@ impl Conn {
         self.out_seg == self.out.len()
     }
 
+    /// The two-level write budget: is this connection (or the server as a
+    /// whole, via the shared gauge) holding more queued output than
+    /// allowed?
+    fn over_budget(&self, conn_cap: usize, global_cap: usize) -> bool {
+        self.out_bytes >= conn_cap || self.global_out.load(Ordering::Relaxed) >= global_cap as u64
+    }
+
     /// Drop the consumed prefix of the read buffer once it dominates.
     fn compact(&mut self) {
         if self.rpos > 16 * 1024 && self.rpos * 2 >= self.rbuf.len() {
@@ -293,47 +504,122 @@ impl Conn {
     }
 }
 
-/// The server's event loop: owns the listener, the poller, every
-/// connection, and the handler pool.
-struct EventLoop {
-    listener: BoxNbListener,
-    listener_dead: bool,
-    handler: Arc<dyn Handler>,
-    stats: Arc<ServerStats>,
-    running: Arc<AtomicBool>,
-    poller: Poller,
-    registry: Arc<Registry>,
-    /// `None` = inline mode (workers == 0): handlers run on this thread.
-    pool: Option<ThreadPool>,
-    done_tx: Sender<(Token, Response)>,
-    done_rx: Receiver<(Token, Response)>,
-    conns: HashMap<Token, Conn>,
-    next_token: Token,
+impl Drop for Conn {
+    fn drop(&mut self) {
+        // Whatever never reached the wire is credited back to the global
+        // budget — eviction, teardown, and error paths all come through
+        // here, so the gauge cannot leak.
+        self.global_out
+            .fetch_sub(self.out_bytes as u64, Ordering::Relaxed);
+    }
 }
 
-impl EventLoop {
+/// One event loop of the set: owns its poller, its share of the
+/// connections, and (loop 0 only) the listener.
+struct LoopState {
+    index: usize,
+    /// `Some` only on loop 0, which distributes accepted streams.
+    listener: Option<BoxNbListener>,
+    listener_dead: bool,
+    /// Round-robin cursor breaking least-connections ties.
+    rr: usize,
+    handler: Arc<dyn Handler>,
+    stats: Arc<LoopStats>,
+    shared: Arc<Shared>,
+    poller: Poller,
+    /// `None` = inline mode (workers == 0): handlers run on this thread.
+    pool: Option<Arc<ThreadPool>>,
+    done_tx: Sender<(Token, Response)>,
+    done_rx: Receiver<(Token, Response)>,
+    /// Streams handed to this loop by the accepting loop.
+    inbox_rx: Receiver<BoxNbStream>,
+    conns: HashMap<Token, Conn>,
+    next_token: Token,
+    conn_output_cap: usize,
+    global_output_cap: usize,
+    /// Set when the loop leaves its main phase: no new parses, drain only.
+    stopping: bool,
+}
+
+impl LoopState {
     fn run(mut self) {
-        self.listener.register(&self.registry, LISTENER);
+        if let Some(listener) = &mut self.listener {
+            listener.register(self.poller.registry(), LISTENER);
+        }
         let mut events: Vec<(Token, Ready)> = Vec::new();
-        while self.running.load(Ordering::Acquire) {
+        while self.shared.running.load(Ordering::Acquire) {
+            self.drain_inbox();
             self.drain_results();
-            if self.listener_dead && self.conns.is_empty() {
+            if self.listener_dead && self.conns.is_empty() && self.shared.loops.len() == 1 {
                 break; // nothing left to serve and nobody can connect
             }
             self.poller.wait(&mut events, None);
-            if !self.running.load(Ordering::Acquire) {
+            if !self.shared.running.load(Ordering::Acquire) {
                 break;
             }
             for (token, ready) in std::mem::take(&mut events) {
-                if token == LISTENER {
+                if token == LISTENER && self.listener.is_some() {
                     self.accept_ready();
                 } else {
                     self.drive(token, ready);
                 }
             }
         }
-        // Dropping `self` tears everything down: connections close (clients
-        // see EOF), and the pool drains queued handler jobs before joining.
+        self.stopping = true;
+        self.drain_shutdown(&mut events);
+        // Dropping `self` tears the rest down: connections close (clients
+        // see EOF), and the pool drains queued handler jobs before the
+        // last loop releases it.
+    }
+
+    /// Graceful half of `stop()`: flush queued output and wait (bounded)
+    /// for in-flight handler results, so responses already earned are not
+    /// lost. Idle connections don't delay this; a peer that never drains
+    /// is abandoned at the limit.
+    fn drain_shutdown(&mut self, events: &mut Vec<(Token, Ready)>) {
+        let deadline = Instant::now() + SHUTDOWN_DRAIN_LIMIT;
+        loop {
+            self.drain_results();
+            let tokens: Vec<Token> = self.conns.keys().copied().collect();
+            for token in tokens {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    continue;
+                };
+                conn.flush();
+                if conn.dead {
+                    self.remove(token);
+                }
+            }
+            let pending = self.conns.values().any(|c| c.handling || !c.flushed());
+            if !pending || Instant::now() >= deadline {
+                return;
+            }
+            // Wake on writable events or completed handler results; the
+            // timeout paces the deadline check.
+            self.poller.wait(events, Some(Duration::from_millis(10)));
+            events.clear();
+        }
+    }
+
+    /// Adopt streams the accepting loop handed over.
+    fn drain_inbox(&mut self) {
+        while let Ok(stream) = self.inbox_rx.try_recv() {
+            self.adopt(stream);
+        }
+    }
+
+    /// Register an accepted stream with this loop's poller and own it.
+    fn adopt(&mut self, mut stream: BoxNbStream) {
+        let token = self.next_token;
+        self.next_token += 1;
+        // Registration pushes initial readiness, so bytes that raced ahead
+        // of the accept are not lost.
+        stream.register(self.poller.registry(), token);
+        self.stats.connections.fetch_add(1, Ordering::Relaxed);
+        self.conns.insert(
+            token,
+            Conn::new(stream, Arc::clone(&self.shared.global_out)),
+        );
     }
 
     /// Move completed handler responses onto their connections.
@@ -366,18 +652,51 @@ impl EventLoop {
         }
     }
 
-    /// Accept until the listener would block.
+    /// Pick the owning loop for a fresh connection: least connections,
+    /// ties broken by a rotating cursor so equal loops fill round-robin.
+    fn pick_loop(&mut self) -> usize {
+        let n = self.shared.loops.len();
+        let start = self.rr;
+        self.rr = (self.rr + 1) % n;
+        let mut best = start;
+        let mut best_live = u64::MAX;
+        for off in 0..n {
+            let i = (start + off) % n;
+            let live = self.shared.loops[i].stats.live.load(Ordering::Relaxed);
+            if live < best_live {
+                best = i;
+                best_live = live;
+            }
+        }
+        best
+    }
+
+    /// Accept until the listener would block, distributing each stream to
+    /// the least-loaded loop.
     fn accept_ready(&mut self) {
         loop {
-            match self.listener.try_accept() {
-                Ok(Some(mut stream)) => {
-                    let token = self.next_token;
-                    self.next_token += 1;
-                    // Registration pushes initial readiness, so bytes that
-                    // raced ahead of the accept are not lost.
-                    stream.register(&self.registry, token);
-                    self.stats.connections.fetch_add(1, Ordering::Relaxed);
-                    self.conns.insert(token, Conn::new(stream));
+            let accepted = self
+                .listener
+                .as_mut()
+                .expect("accept_ready requires the listener")
+                .try_accept();
+            match accepted {
+                Ok(Some(stream)) => {
+                    let target = self.pick_loop();
+                    // Pre-charge the live gauge so bursts of accepts spread
+                    // before the target loop has even woken up.
+                    self.shared.loops[target]
+                        .stats
+                        .live
+                        .fetch_add(1, Ordering::Relaxed);
+                    if target == self.index {
+                        self.adopt(stream);
+                    } else {
+                        let target = &self.shared.loops[target];
+                        if target.inbox_tx.send(stream).is_ok() {
+                            target.registry.wake();
+                        }
+                    }
                 }
                 Ok(None) => return,
                 Err(_) => {
@@ -396,8 +715,40 @@ impl EventLoop {
         let Some(conn) = self.conns.get_mut(&token) else {
             return; // stale event for a reaped connection
         };
+        // Flush before any strike decision: write progress resets the
+        // counter, and readable+writable readiness often coalesces into
+        // one event — a client that just resumed draining must get credit
+        // for it before its simultaneous send is judged.
+        conn.flush();
+        if conn.dead {
+            self.remove(token);
+            return;
+        }
         if ready.readable {
-            conn.read_some();
+            // Slow-client admission control. A readable event alone is
+            // only a hint (the polled/TCP fallback reports every source as
+            // maybe-ready each tick), so a strike needs real evidence of
+            // sending-without-draining while over the output budget:
+            // bytes that actually arrived, or an input buffer already
+            // saturated at its read budget (a full budget of unparsed
+            // pipelined requests parked behind undrained responses — the
+            // state a fast-link abuser reaches in one delivery). Flush
+            // progress resets the count, so only a never-draining
+            // pipeliner accumulates strikes; an idle or window-stalled
+            // peer with nothing buffered is just parked by backpressure.
+            let got = conn.read_some();
+            let saturated = conn.rbuf.len() - conn.rpos >= conn.read_budget();
+            if (got > 0 || saturated)
+                && !conn.flushed()
+                && conn.over_budget(self.conn_output_cap, self.global_output_cap)
+            {
+                conn.over_strikes += 1;
+                if conn.over_strikes >= EVICT_STRIKES {
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.remove(token);
+                    return;
+                }
+            }
         }
         self.pump(token);
     }
@@ -417,11 +768,15 @@ impl EventLoop {
             if conn.handling || conn.close_after_flush {
                 return;
             }
-            // Write-side backpressure: while the peer's buffer is full,
-            // stop parsing new requests — otherwise a client that
-            // pipelines but never reads grows `out` without bound. The
-            // writable event that unblocks the flush resumes the pump.
-            if !conn.flushed() {
+            if self.stopping {
+                return; // shutdown drain: flush only, admit nothing new
+            }
+            // Write-side admission control: while this connection (or the
+            // server as a whole) is over its output budget, stop parsing
+            // new requests — pipelined responses queue up to the cap, past
+            // which the client must drain before being served more. The
+            // writable event that flushes the backlog resumes the pump.
+            if !conn.flushed() && conn.over_budget(self.conn_output_cap, self.global_output_cap) {
                 return;
             }
             // Resume reading that the budget cap paused (e.g. while the
@@ -537,7 +892,7 @@ impl EventLoop {
     fn dispatch(&mut self, token: Token, req: Request) {
         let handler = Arc::clone(&self.handler);
         let done = self.done_tx.clone();
-        let registry = Arc::clone(&self.registry);
+        let registry = Arc::clone(self.poller.registry());
         let pool = self.pool.as_ref().expect("dispatch requires a pool");
         pool.execute(move || {
             let resp = handler.handle(req);
@@ -548,18 +903,20 @@ impl EventLoop {
     }
 
     fn remove(&mut self, token: Token) {
-        self.conns.remove(&token);
-        self.registry.deregister(token);
+        if self.conns.remove(&token).is_some() {
+            self.stats.live.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.poller.registry().deregister(token);
     }
 }
 
 /// Handle to a running server.
 pub struct ServerHandle {
     addr: String,
-    stats: Arc<ServerStats>,
-    running: Arc<AtomicBool>,
-    registry: Arc<Registry>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    stats: ServerStats,
+    shared: Arc<Shared>,
+    wake: WakeSet,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -568,36 +925,65 @@ impl ServerHandle {
         &self.addr
     }
 
+    /// Number of event loops serving connections.
+    pub fn loops(&self) -> usize {
+        self.shared.loops.len()
+    }
+
     /// Total connections accepted so far.
     pub fn connections(&self) -> u64 {
-        self.stats.connections.load(Ordering::Relaxed)
+        self.stats.connections()
     }
 
     /// Total requests served so far.
     pub fn requests(&self) -> u64 {
-        self.stats.requests.load(Ordering::Relaxed)
+        self.stats.requests()
     }
 
     /// Total malformed requests rejected so far.
     pub fn parse_errors(&self) -> u64 {
-        self.stats.parse_errors.load(Ordering::Relaxed)
+        self.stats.parse_errors()
     }
 
-    /// Stop the server: wakes the poller deterministically, so the event
-    /// loop exits its next iteration even with every connection idle —
-    /// no quiescent-listener caveat. In-flight handler results are
-    /// discarded; open connections are closed (clients see EOF).
+    /// Total slow-client evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.stats.evictions()
+    }
+
+    /// Currently-owned connections per loop — the accept-distribution
+    /// balance (index = loop).
+    pub fn live_per_loop(&self) -> Vec<u64> {
+        self.stats.live_per_loop()
+    }
+
+    /// Aggregated and per-loop counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Queued-but-unsent response bytes across all loops right now — the
+    /// global half of the write budget.
+    pub fn output_buffered(&self) -> u64 {
+        self.shared.global_out.load(Ordering::Relaxed)
+    }
+
+    /// Stop the server: wakes every loop's poller deterministically, so
+    /// all loops exit their next iteration even with every connection
+    /// idle — no quiescent-listener caveat. Each loop then drains
+    /// gracefully (bounded): responses already completed by handlers are
+    /// flushed rather than discarded, after which open connections close
+    /// (clients see EOF).
     pub fn stop(&self) {
-        self.running.store(false, Ordering::Release);
-        self.registry.wake();
+        self.shared.running.store(false, Ordering::Release);
+        self.wake.wake_all();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop();
-        // The wake above makes the join deterministic.
-        if let Some(thread) = self.thread.take() {
+        // The wake above makes the joins deterministic.
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
     }
@@ -747,5 +1133,33 @@ mod tests {
             start.elapsed() < std::time::Duration::from_secs(5),
             "stop must not wait for listener activity"
         );
+    }
+
+    #[test]
+    fn multi_loop_serves_and_spreads_connections() {
+        let net = SimNetwork::with_defaults();
+        let listener = net.listen("web");
+        let handle = Server::new(Box::new(listener), echo_handler())
+            .with_loops(4)
+            .spawn();
+        assert_eq!(handle.loops(), 4);
+        let client = Client::new(Arc::new(net.connector()));
+        let mut raws = Vec::new();
+        for i in 0..8 {
+            // `Connection: close`-free independent connections.
+            use std::io::Write;
+            let mut raw = net.connector().connect("web").unwrap();
+            write!(raw, "GET /c{i} HTTP/1.1\r\n\r\n").unwrap();
+            let mut reader = std::io::BufReader::new(raw);
+            let resp = crate::parse::read_response(&mut reader).unwrap();
+            assert_eq!(resp.body, format!("GET /c{i}").into_bytes());
+            raws.push(reader);
+        }
+        // Least-connections placement spreads 8 conns as 2 per loop.
+        assert_eq!(handle.live_per_loop(), vec![2, 2, 2, 2]);
+        assert_eq!(handle.connections(), 8);
+        // The pooled client still round-trips (a 9th connection).
+        let resp = client.request("web", Request::get("/after")).unwrap();
+        assert_eq!(resp.body, *b"GET /after");
     }
 }

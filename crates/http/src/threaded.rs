@@ -20,7 +20,7 @@ use crate::message::Response;
 use crate::parse::read_request;
 use crate::pool::ThreadPool;
 use crate::serialize::write_response;
-use crate::server::{Handler, ServerConfig, ServerStats};
+use crate::server::{Handler, LoopStats, ServerConfig};
 
 /// A thread-per-connection HTTP server bound to a blocking listener.
 pub struct ThreadedServer {
@@ -51,7 +51,7 @@ impl ThreadedServer {
     /// their current request).
     pub fn spawn(self) -> ThreadedServerHandle {
         let addr = self.listener.local_addr();
-        let stats = Arc::new(ServerStats::default());
+        let stats = Arc::new(LoopStats::default());
         let running = Arc::new(AtomicBool::new(true));
         let pool = ThreadPool::new(self.config.workers.max(1), "http-threaded");
         let handler = self.handler;
@@ -84,7 +84,7 @@ impl ThreadedServer {
 }
 
 /// Per-connection request loop: blocks on the connection between requests.
-fn serve_connection(stream: BoxStream, handler: Arc<dyn Handler>, stats: Arc<ServerStats>) {
+fn serve_connection(stream: BoxStream, handler: Arc<dyn Handler>, stats: Arc<LoopStats>) {
     let mut reader = BufReader::new(stream);
     loop {
         let req = match read_request(&mut reader) {
@@ -110,7 +110,7 @@ fn serve_connection(stream: BoxStream, handler: Arc<dyn Handler>, stats: Arc<Ser
 /// Handle to a running [`ThreadedServer`].
 pub struct ThreadedServerHandle {
     addr: String,
-    stats: Arc<ServerStats>,
+    stats: Arc<LoopStats>,
     running: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
 }

@@ -66,9 +66,16 @@ pub enum ClusterFrame {
     /// Event delta: everything the sender has that the receiver's version
     /// vector lacked, plus the sender's own vector so the receiver can
     /// compute the reverse delta.
+    ///
+    /// `floor` is the sender's truncation floor: per-origin prefixes it no
+    /// longer stores because every alive node's version vector dominated
+    /// them. A receiver below the floor (a fresh joiner with an empty
+    /// store) fast-forwards its vector to it instead of waiting for events
+    /// that will never be shipped.
     GossipDelta {
         from: u32,
         vv: Vec<(u32, u64)>,
+        floor: Vec<(u32, u64)>,
         events: Vec<WireEvent>,
     },
 }
@@ -195,10 +202,16 @@ impl ClusterFrame {
                 put_u32(&mut body, *from);
                 put_vv(&mut body, vv);
             }
-            ClusterFrame::GossipDelta { from, vv, events } => {
+            ClusterFrame::GossipDelta {
+                from,
+                vv,
+                floor,
+                events,
+            } => {
                 body.push(TAG_GOSSIP_DELTA);
                 put_u32(&mut body, *from);
                 put_vv(&mut body, vv);
+                put_vv(&mut body, floor);
                 put_u32(&mut body, events.len() as u32);
                 for ev in events {
                     put_u32(&mut body, ev.origin);
@@ -269,6 +282,7 @@ impl ClusterFrame {
             TAG_GOSSIP_DELTA => {
                 let from = c.u32()?;
                 let vv = c.vv()?;
+                let floor = c.vv()?;
                 // 4 origin + 8 seq + 4 dep-len + 4 key-count minimum.
                 let n = c.count(20)?;
                 let mut events = Vec::with_capacity(n);
@@ -285,7 +299,12 @@ impl ClusterFrame {
                         keys,
                     });
                 }
-                ClusterFrame::GossipDelta { from, vv, events }
+                ClusterFrame::GossipDelta {
+                    from,
+                    vv,
+                    floor,
+                    events,
+                }
             }
             tag => {
                 return Err(io::Error::new(
@@ -330,6 +349,7 @@ mod tests {
         roundtrip(ClusterFrame::GossipDelta {
             from: 1,
             vv: vec![(1, 2)],
+            floor: vec![(0, 3), (7, 12)],
             events: vec![
                 WireEvent {
                     origin: 1,
@@ -399,10 +419,11 @@ mod tests {
 
     #[test]
     fn hostile_counts_do_not_allocate() {
-        // A GossipDelta claiming 2^31 events in a 20-byte frame.
+        // A GossipDelta claiming 2^31 events in a small frame.
         let mut body = vec![TAG_GOSSIP_DELTA];
         body.extend_from_slice(&0u32.to_le_bytes()); // from
         body.extend_from_slice(&0u32.to_le_bytes()); // empty vv
+        body.extend_from_slice(&0u32.to_le_bytes()); // empty floor
         body.extend_from_slice(&(1u32 << 31).to_le_bytes()); // event count
         let mut wire = (body.len() as u32).to_le_bytes().to_vec();
         wire.extend_from_slice(&body);
@@ -420,6 +441,7 @@ mod tests {
         let mut body = vec![TAG_GOSSIP_DELTA];
         body.extend_from_slice(&0u32.to_le_bytes()); // from
         body.extend_from_slice(&0u32.to_le_bytes()); // empty vv
+        body.extend_from_slice(&0u32.to_le_bytes()); // empty floor
         body.extend_from_slice(&(padding as u32).to_le_bytes()); // claims 1000 events
         body.extend_from_slice(&vec![0u8; padding / 2]); // but only 500 B follow
         let mut wire = (body.len() as u32).to_le_bytes().to_vec();

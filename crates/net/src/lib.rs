@@ -50,7 +50,9 @@ pub use frame::{ClusterFrame, WireEvent};
 pub use latency::LinkModel;
 pub use meter::{Meter, MeterRegistry, MeterSnapshot};
 pub use packet::ProtocolModel;
-pub use poll::{BoxNbListener, BoxNbStream, NbListener, NbStream, Poller, Ready, Registry, Token};
+pub use poll::{
+    BoxNbListener, BoxNbStream, NbListener, NbStream, Poller, Ready, Registry, Token, WakeSet,
+};
 pub use stream::{
     BoxListener, BoxStream, Connector, Duplex, Listener, TcpConnector, TcpListenerAdapter,
 };

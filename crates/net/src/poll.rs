@@ -65,6 +65,12 @@ impl Ready {
 }
 
 /// How often the poller re-reports polled (non-notifying) sources.
+///
+/// The tick is only armed while at least one polled source is registered:
+/// a push-only poller (the simulated network's streams all notify) blocks
+/// until a real event and never spins on the tick — see
+/// [`Poller::tick_count`] and the `push_only_poller_never_arms_the_tick`
+/// test that pins this down.
 const FALLBACK_TICK: Duration = Duration::from_millis(1);
 
 #[derive(Default)]
@@ -139,8 +145,13 @@ pub struct Poller {
     /// Absolute deadline of the next polled-source tick. Kept across
     /// `wait` calls so a steady stream of pushed events cannot starve
     /// polled sources: once the deadline passes, the next wait reports
-    /// them no matter how busy the pushed side is.
+    /// them no matter how busy the pushed side is. `None` whenever no
+    /// polled source is registered — the tick is never armed for a
+    /// push-only poller, which therefore blocks until a real event.
     next_tick: std::cell::Cell<Option<Instant>>,
+    /// How many `wait` returns were caused by the polled-source tick.
+    /// Zero for the lifetime of a push-only poller.
+    ticks: std::cell::Cell<u64>,
 }
 
 impl Poller {
@@ -148,12 +159,19 @@ impl Poller {
         Poller {
             registry: Registry::new(),
             next_tick: std::cell::Cell::new(None),
+            ticks: std::cell::Cell::new(0),
         }
     }
 
     /// The registry sources should be registered with.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// Number of `wait` returns driven by the polled-source fallback tick.
+    /// A poller whose sources all push notifications never ticks.
+    pub fn tick_count(&self) -> u64 {
+        self.ticks.get()
     }
 
     /// Block until events are available (or `timeout` expires), draining
@@ -181,6 +199,7 @@ impl Poller {
                 };
                 if now >= due {
                     self.next_tick.set(Some(now + FALLBACK_TICK));
+                    self.ticks.set(self.ticks.get() + 1);
                     std::mem::take(&mut st.woken);
                     events.append(&mut st.ready);
                     let seen: Vec<Token> = events.iter().map(|(t, _)| *t).collect();
@@ -242,6 +261,42 @@ impl Poller {
 impl Default for Poller {
     fn default() -> Self {
         Poller::new()
+    }
+}
+
+/// Cross-loop wake handle: one `wake_all` reaches every registered loop's
+/// poller. A multi-loop server front stores one registry per event loop
+/// here so `stop()` wakes all of them in one call — shutdown stays
+/// deterministic no matter which loops are parked on idle connections.
+#[derive(Clone, Default)]
+pub struct WakeSet {
+    registries: Vec<Arc<Registry>>,
+}
+
+impl WakeSet {
+    pub fn new() -> WakeSet {
+        WakeSet::default()
+    }
+
+    /// Add one loop's registry to the set.
+    pub fn add(&mut self, registry: Arc<Registry>) {
+        self.registries.push(registry);
+    }
+
+    /// Wake every registered poller (see [`Registry::wake`]).
+    pub fn wake_all(&self) {
+        for registry in &self.registries {
+            registry.wake();
+        }
+    }
+
+    /// Number of registries in the set.
+    pub fn len(&self) -> usize {
+        self.registries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.registries.is_empty()
     }
 }
 
@@ -384,6 +439,62 @@ mod tests {
             saw_polled,
             "the polled tick must fire despite a busy pushed source"
         );
+    }
+
+    #[test]
+    fn push_only_poller_never_arms_the_tick() {
+        // A poller whose sources all push notifications (no polled/TCP
+        // fallback sources) must block until a real event: no 1 ms tick
+        // wake-ups, no spurious returns.
+        let poller = Poller::new();
+        let registry = Arc::clone(poller.registry());
+        let mut events = Vec::new();
+        // Idle with a timeout far beyond the tick period: the wait must
+        // run the full timeout without a tick-driven return.
+        let start = Instant::now();
+        assert!(!poller.wait(&mut events, Some(Duration::from_millis(50))));
+        assert!(
+            start.elapsed() >= Duration::from_millis(50),
+            "idle push-only wait returned early"
+        );
+        assert_eq!(poller.tick_count(), 0, "no polled sources, no ticks");
+        // A real pushed event still wakes it promptly…
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            registry.notify(2, Ready::READABLE);
+        });
+        assert!(poller.wait(&mut events, Some(Duration::from_secs(5))));
+        assert_eq!(events, vec![(2, Ready::READABLE)]);
+        t.join().unwrap();
+        assert_eq!(poller.tick_count(), 0, "pushed wake is not a tick");
+        // …while a polled registration arms the tick (and deregistration
+        // disarms it again).
+        poller.registry().register_polled(9);
+        assert!(poller.wait(&mut events, Some(Duration::from_secs(1))));
+        assert!(poller.tick_count() > 0, "polled source must tick");
+        let ticks = poller.tick_count();
+        poller.registry().deregister(9);
+        assert!(!poller.wait(&mut events, Some(Duration::from_millis(30))));
+        assert_eq!(poller.tick_count(), ticks, "deregistering stops ticks");
+    }
+
+    #[test]
+    fn wake_set_wakes_every_registered_poller() {
+        let pollers: Vec<Poller> = (0..3).map(|_| Poller::new()).collect();
+        let mut wake = WakeSet::new();
+        for p in &pollers {
+            wake.add(Arc::clone(p.registry()));
+        }
+        assert_eq!(wake.len(), 3);
+        wake.wake_all();
+        for p in &pollers {
+            let mut events = Vec::new();
+            assert!(
+                p.wait(&mut events, Some(Duration::from_secs(1))),
+                "wake_all must reach every poller"
+            );
+            assert!(events.is_empty());
+        }
     }
 
     #[test]

@@ -1,4 +1,11 @@
 //! The proxy front end: one HTTP handler, four modes.
+//!
+//! [`Proxy`] is the [`Handler`] every serving tier mounts — the Figure 4
+//! testbed's proxy server, and each node of the ring cluster. The server
+//! front invokes it concurrently from the worker pools of all its event
+//! loops (`dpc_http::Server::with_loops`), so everything here is shared
+//! state behind `Arc`s and atomics; the handler itself blocks on origin
+//! fetches, which is why the fronts run it on workers, not inline.
 
 use dpc_core::{assemble_rope, AssembleError, AssembledRope, FragmentSource, FragmentStore};
 use dpc_firewall::Firewall;

@@ -57,6 +57,12 @@ pub struct RingConfig {
     pub vnodes: usize,
     /// Seed for gossip peer selection (deterministic tests/benches).
     pub seed: u64,
+    /// Event loops of the cluster's HTTP front
+    /// ([`RingCluster::spawn_front`]).
+    pub loops: usize,
+    /// Worker threads of the cluster's HTTP front (its handler blocks on
+    /// origin fetches, so inline mode does not apply).
+    pub front_workers: usize,
 }
 
 impl Default for RingConfig {
@@ -65,6 +71,8 @@ impl Default for RingConfig {
             capacity: 4096,
             vnodes: dpc_cluster::DEFAULT_VNODES,
             seed: 0x2117,
+            loops: 1,
+            front_workers: 16,
         }
     }
 }
@@ -260,6 +268,19 @@ impl RingCluster {
         if let Some(mut node) = self.nodes.lock().remove(&id) {
             node.server.stop();
         }
+        // Forget the departed incarnation's advertised vectors everywhere:
+        // a recycled id must re-advertise before it counts toward any
+        // truncation watermark again (the dead incarnation's vector could
+        // otherwise truncate events the new one still needs).
+        let survivors: Vec<Arc<PeerNode>> = self
+            .nodes
+            .lock()
+            .values()
+            .map(|n| Arc::clone(&n.peer))
+            .collect();
+        for peer in survivors {
+            peer.forget_peer(id);
+        }
     }
 
     /// A random alive node other than `exclude` (gossip partner / flush
@@ -304,6 +325,23 @@ impl RingCluster {
         self.serve(req)
     }
 
+    /// Serve the whole cluster over HTTP at `addr`: clients hit one
+    /// address, ring routing picks the owner node per request. The front
+    /// is a multi-loop server (`RingConfig::loops` × event loops,
+    /// `RingConfig::front_workers` handler threads), so the cluster tier
+    /// scales across cores like the origin and proxy tiers do.
+    pub fn spawn_front(self: &Arc<Self>, addr: &str) -> dpc_http::ServerHandle {
+        let listener = self.net.listen(addr);
+        let cluster = Arc::clone(self);
+        let handler: Arc<dyn dpc_http::Handler> = Arc::new(move |req: Request| cluster.serve(req));
+        dpc_http::Server::new(Box::new(listener), handler)
+            .with_config(dpc_http::server::ServerConfig {
+                workers: self.config.front_workers,
+            })
+            .with_loops(self.config.loops)
+            .spawn()
+    }
+
     /// Cluster-level invalidation, issued *at* node `at_node`: free the
     /// dependents' keys in the shared directory (`bem` is the origin's),
     /// record the event in `at_node`'s feed, scrub `at_node`'s own slots.
@@ -344,7 +382,9 @@ impl RingCluster {
     }
 
     /// One anti-entropy round: every alive node exchanges with one random
-    /// alive peer. Returns events moved (pulled + pushed across all
+    /// alive peer, then truncates its feed below the watermark every alive
+    /// node's last-known vector dominates (so long-running clusters keep
+    /// bounded logs). Returns events moved (pulled + pushed across all
     /// exchanges); a converged cluster moves 0.
     pub fn gossip_round(&self) -> usize {
         let peers: Vec<(u32, Arc<PeerNode>)> = {
@@ -373,6 +413,13 @@ impl RingCluster {
             if let Ok(outcome) = gossip_exchange(&conn, &peer_addr(partner), peer) {
                 moved += outcome.pulled + outcome.pushed;
             }
+        }
+        // Watermark truncation: computed from the vectors the exchanges
+        // above just taught each node. Membership may have changed since
+        // `peers` was snapshotted, so re-read the alive set.
+        let alive = self.shared.membership.lock().alive();
+        for (_, peer) in &peers {
+            peer.truncate(&alive);
         }
         moved
     }
@@ -622,10 +669,8 @@ mod tests {
             ),
         );
         assert_eq!(n, 1, "slot 0 of page 5 was valid and dependent");
-        // Bounded convergence, then: every node has the event, every store
-        // scrubbed the freed key.
-        let rounds = cluster.gossip_until_converged(8);
-        assert!(rounds <= 8);
+        // Capture the freed keys before gossip: once the cluster converges,
+        // watermark truncation may drop the event from every log.
         let event_keys: Vec<DpcKey> = cluster
             .peer(issued_at)
             .unwrap()
@@ -635,6 +680,10 @@ mod tests {
             .expect("issuing node holds its own event")
             .keys;
         assert_eq!(event_keys.len(), 1);
+        // Bounded convergence, then: every node has the event, every store
+        // scrubbed the freed key.
+        let rounds = cluster.gossip_until_converged(8);
+        assert!(rounds <= 8);
         for id in cluster.alive() {
             let peer = cluster.peer(id).unwrap();
             assert_eq!(peer.vv().get(issued_at), 1, "node {id} missed the event");
@@ -764,6 +813,44 @@ mod tests {
             assert_eq!(cluster.get(&page(p), None).status.0, 200, "page {p}");
         }
         assert!(cluster.converged());
+    }
+
+    #[test]
+    fn http_front_serves_the_cluster_over_multiple_loops() {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: params(),
+            ..TestbedConfig::default()
+        });
+        let truth: Vec<Vec<u8>> = (0..12)
+            .map(|p| tb.get(&page(p), None).body.to_vec())
+            .collect();
+        let cluster = Arc::new(RingCluster::new(
+            tb.net(),
+            3,
+            RingConfig {
+                loops: 2,
+                ..RingConfig::default()
+            },
+        ));
+        let front = cluster.spawn_front("ring-front");
+        assert_eq!(front.loops(), 2, "RingConfig::loops reaches the front");
+        // Requests through the one HTTP address route by ring ownership
+        // and return the same bytes as direct serving.
+        let client = dpc_http::Client::new(Arc::new(tb.net().connector()));
+        for (p, want) in truth.iter().enumerate() {
+            let resp = client.request("ring-front", Request::get(page(p))).unwrap();
+            assert_eq!(resp.status.0, 200);
+            assert_eq!(&resp.body.to_vec(), want, "page {p} via HTTP front");
+            let owner: u32 = resp
+                .headers
+                .get("x-dpc-served-by")
+                .expect("front reports the owner")
+                .parse()
+                .unwrap();
+            assert_eq!(cluster.owner_of(&page(p)), Some(owner));
+        }
+        assert_eq!(front.requests(), 12);
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub struct TestbedConfig {
     pub firewall: bool,
     /// HTTP worker threads per server.
     pub workers: usize,
+    /// Event loops per server front (1 = the classic single loop; more
+    /// shard connections across threads, SO_REUSEPORT-style).
+    pub loops: usize,
     /// RNG seed for the BEM's controlled-hit-ratio hook.
     pub seed: u64,
     /// Lock shards for the cache directory and DPC slot store.
@@ -90,6 +93,7 @@ impl Default for TestbedConfig {
             esi_ttl: Duration::from_secs(60),
             firewall: true,
             workers: 64,
+            loops: 1,
             seed: 0xBED,
             shards: dpc_core::DEFAULT_SHARDS,
         }
@@ -145,6 +149,7 @@ impl Testbed {
         .with_config(ServerConfig {
             workers: config.workers,
         })
+        .with_loops(config.loops)
         .spawn();
 
         // --- External box: firewall + proxy (+ DPC store / page cache /
@@ -177,6 +182,7 @@ impl Testbed {
         .with_config(ServerConfig {
             workers: config.workers,
         })
+        .with_loops(config.loops)
         .spawn();
 
         let client = Client::new(Arc::new(net.connector()));
@@ -320,6 +326,29 @@ mod tests {
                 .load(std::sync::atomic::Ordering::Relaxed)
                 >= 6
         );
+    }
+
+    #[test]
+    fn multi_loop_front_serves_identical_pages() {
+        // `loops` reaches both serving fronts (origin + proxy); pages are
+        // byte-identical to the single-loop configuration.
+        let single = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: small_params(),
+            ..TestbedConfig::default()
+        });
+        let multi = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: small_params(),
+            loops: 2,
+            ..TestbedConfig::default()
+        });
+        for p in 0..3 {
+            let a = single.get(&format!("/paper/page.jsp?p={p}"), None);
+            let b = multi.get(&format!("/paper/page.jsp?p={p}"), None);
+            assert_eq!(a.status.0, 200);
+            assert_eq!(a.body, b.body, "page {p}");
+        }
     }
 
     #[test]
