@@ -35,9 +35,7 @@ use dpc_proxy::modes::ProxyMode;
 use dpc_proxy::ring_cluster::{RingCluster, RingConfig};
 use dpc_proxy::testbed::{Testbed, TestbedConfig};
 use dpc_proxy::{DpcCluster, Router};
-use dpc_workload::Zipf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dpc_workload::ZipfStream;
 
 const PAGES: usize = 64;
 const ZIPF_ALPHA: f64 = 0.9;
@@ -103,18 +101,16 @@ impl World {
 
 /// Drive one batch of Zipf-skewed GETs; returns wall time.
 fn run_batch(world: &Arc<World>, epoch: u64) -> Duration {
-    let zipf = Zipf::new(PAGES, ZIPF_ALPHA);
     let barrier = Arc::new(Barrier::new(DRIVERS + 1));
     let joins: Vec<_> = (0..DRIVERS)
         .map(|d| {
             let world = Arc::clone(world);
-            let zipf = zipf.clone();
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(0x21F * (d as u64 + 1) + epoch);
+                let mut pages = ZipfStream::new(PAGES, ZIPF_ALPHA, 0x21F * (d as u64 + 1) + epoch);
                 barrier.wait();
                 for _ in 0..REQS_PER_DRIVER {
-                    let p = zipf.sample(&mut rng);
+                    let p = pages.next_rank();
                     let resp = world.get(p);
                     assert_eq!(resp.status.0, 200);
                     std::hint::black_box(resp.body.len());
@@ -141,18 +137,16 @@ fn run_churn_batch(world: &Arc<World>, epoch: u64) -> Duration {
     let Front::Ring(_) = &world.front else {
         panic!("churn batch needs the ring front");
     };
-    let zipf = Zipf::new(PAGES, ZIPF_ALPHA);
     let total = DRIVERS * REQS_PER_DRIVER;
     let served = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let barrier = Arc::new(Barrier::new(DRIVERS + 1));
     let joins: Vec<_> = (0..DRIVERS)
         .map(|d| {
             let world = Arc::clone(world);
-            let zipf = zipf.clone();
             let barrier = Arc::clone(&barrier);
             let served = Arc::clone(&served);
             std::thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(0xC0DE * (d as u64 + 1) + epoch);
+                let mut pages = ZipfStream::new(PAGES, ZIPF_ALPHA, 0xC0DE * (d as u64 + 1) + epoch);
                 barrier.wait();
                 for _ in 0..REQS_PER_DRIVER {
                     let i = served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -169,7 +163,7 @@ fn run_churn_batch(world: &Arc<World>, epoch: u64) -> Duration {
                         };
                         cluster.join();
                     }
-                    let p = zipf.sample(&mut rng);
+                    let p = pages.next_rank();
                     let mut tries = 0;
                     loop {
                         let resp = world.get(p);

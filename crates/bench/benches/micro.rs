@@ -13,9 +13,7 @@ use dpc_core::prelude::*;
 use dpc_core::tag;
 use dpc_core::{Bem, BemConfig};
 use dpc_firewall::{Firewall, Kmp, MultiPattern};
-use dpc_workload::Zipf;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use dpc_workload::ZipfStream;
 
 /// Build a BEM-instrumented template with `fragments` fragments of
 /// `fragment_bytes` each, `hits` of which are GETs (cached), the rest SETs.
@@ -127,10 +125,9 @@ fn bench_firewall(c: &mut Criterion) {
 
 fn bench_workload(c: &mut Criterion) {
     let mut group = c.benchmark_group("workload");
-    let zipf = Zipf::new(10_000, 1.0);
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut stream = ZipfStream::new(10_000, 1.0, 42);
     group.bench_function("zipf-sample-10k", |b| {
-        b.iter(|| black_box(zipf.sample(&mut rng)))
+        b.iter(|| black_box(stream.next_rank()))
     });
     group.finish();
 }

@@ -2,11 +2,14 @@
 //! throughput at 1/4/8 worker threads.
 //!
 //! Each measured operation is one proxy-shaped transaction: a directory
-//! lookup on a *stable* fragment (mostly hits) with its store `GET`/`SET`,
-//! plus one *personalized* fragment (per-session id, as the paper's
-//! user-specific blocks) that misses, is stored, and is invalidated when
-//! the session ends — the fragment-cardinality churn a production origin
-//! with millions of users generates. Churn accretes invalid directory
+//! lookup on a *stable* fragment (drawn from the shared seeded
+//! Zipf-0.9 stream in `dpc_workload::ZipfStream`, so the skew matches the
+//! other benches; the directory holds the whole population, so these are
+//! mostly hits) with its store `GET`/`SET`, plus one *personalized*
+//! fragment (per-session id, as the paper's user-specific blocks) that
+//! misses, is stored, and is invalidated when the session ends — the
+//! fragment-cardinality churn a production origin with millions of users
+//! generates. Churn accretes invalid directory
 //! entries, so the measured loop includes the directory's amortized
 //! garbage collection, not just the map probes.
 //!
@@ -35,6 +38,7 @@ use std::time::{Duration, Instant};
 
 use dpc_core::prelude::*;
 use dpc_core::Lookup;
+use dpc_workload::ZipfStream;
 
 const FRAGMENTS: usize = 2048;
 const CAPACITY: usize = 4096;
@@ -105,9 +109,10 @@ fn touch(world: &World, f: usize) -> usize {
 
 fn worker_loop(world: &World, t: usize, epoch: u64) {
     let ttl = Duration::from_secs(3600);
+    let mut stable = ZipfStream::new(FRAGMENTS, 0.9, 0x5A4D * (t as u64 + 1) + epoch);
     for i in 0..OPS_PER_THREAD {
         // Stable fragment: directory hit + store GET.
-        let f = (i * 31 + t * 977) % FRAGMENTS;
+        let f = stable.next_rank();
         std::hint::black_box(touch(world, f));
         if i % 64 == 0 {
             world.bem.directory().invalidate(&world.ids[f]);

@@ -44,12 +44,8 @@ fn replacement(requests: usize) {
         "uncacheable",
         "origin_payload_bytes",
     ]);
-    for (label, policy) in [
-        ("lru", ReplacePolicy::Lru),
-        ("clock", ReplacePolicy::Clock),
-        ("fifo", ReplacePolicy::Fifo),
-        ("none", ReplacePolicy::None),
-    ] {
+    for policy in ReplacePolicy::ALL {
+        let label = policy.name();
         let tb = Testbed::build(TestbedConfig {
             mode: ProxyMode::Dpc,
             paper_params: params,
@@ -73,7 +69,8 @@ fn replacement(requests: usize) {
     }
     t.print();
     println!("expected: LRU ≥ CLOCK ≥ FIFO on hit ratio under Zipf; `none` degrades to");
-    println!("          inline serving once the directory fills (uncacheable > 0)");
+    println!("          inline serving once the directory fills (uncacheable > 0);");
+    println!("          the full policy grid lives in `cargo bench --bench policies`");
 }
 
 fn tag_size() {

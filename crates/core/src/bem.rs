@@ -336,6 +336,12 @@ impl TemplateWriter<'_> {
             Lookup::Miss(key) => {
                 let mut content = Vec::new();
                 produce(&mut content);
+                // Report the produced size: resident-bytes accounting and
+                // the size-aware policies both need it, and it only exists
+                // now that the block has run.
+                self.bem
+                    .directory
+                    .note_fragment_bytes(id, content.len() as u64);
                 stats
                     .generated_bytes
                     .fetch_add(content.len() as u64, Ordering::Relaxed);
@@ -404,6 +410,9 @@ impl TemplateWriter<'_> {
                 let mut content = Vec::new();
                 let deps = produce(&mut content);
                 self.bem.directory.add_deps(id, &deps);
+                self.bem
+                    .directory
+                    .note_fragment_bytes(id, content.len() as u64);
                 stats
                     .generated_bytes
                     .fetch_add(content.len() as u64, Ordering::Relaxed);

@@ -4,20 +4,12 @@ use std::time::Duration;
 
 use dpc_net::Clock;
 
-/// Which replacement policy the directory's replacement manager uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ReplacePolicy {
-    /// Least recently used (default).
-    #[default]
-    Lru,
-    /// CLOCK / second chance.
-    Clock,
-    /// First in, first out.
-    Fifo,
-    /// No replacement: allocations fail when the directory is full. Misses
-    /// then serve content inline without caching (degraded but correct).
-    None,
-}
+/// Which replacement policy the directory's replacement manager uses —
+/// re-exported from [`dpc_policy`], where the whole replacement engine
+/// lives (LRU/CLOCK/FIFO plus the size-aware GDSF and the scan-resistant
+/// 2Q/TinyLFU). Selecting a policy is pure configuration; no directory
+/// internals are involved.
+pub use dpc_policy::ReplacePolicy;
 
 /// Configuration for a [`crate::bem::Bem`].
 #[derive(Clone)]

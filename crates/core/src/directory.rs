@@ -55,7 +55,7 @@ use dpc_net::Clock;
 
 use crate::config::BemConfig;
 use crate::key::{DpcKey, FragmentId};
-use crate::replace::{make_replacer, Replacer};
+use crate::replace::{fnv1a, make_replacer, Replacer};
 
 /// Outcome of a directory lookup for a cacheable fragment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +75,11 @@ pub enum Lookup {
 struct Entry {
     dpc_key: DpcKey,
     is_valid: bool,
+    /// Content size in bytes, 0 until the producing code block reports it
+    /// via [`CacheDirectory::note_fragment_bytes`] (the directory issues
+    /// the key *before* content exists). Feeds the size-aware policies
+    /// and the resident-bytes gauges.
+    bytes: u64,
     /// Bitmask of DPC nodes whose slot array holds this fragment. In the
     /// paper's reverse-proxy configuration there is a single node (bit 0);
     /// the §7 forward-proxy extension runs up to 64 distributed DPCs whose
@@ -102,8 +107,22 @@ pub struct DirectoryStats {
     pub node_misses: u64,
     pub expirations: u64,
     pub invalidations: u64,
+    /// Victims chosen by the replacement policy to make room. Disjoint
+    /// from `invalidations`/`expirations`: a slot freed by invalidation
+    /// returns its key through the freeList and is never double-counted
+    /// here.
     pub evictions: u64,
+    /// Candidates the replacement policy refused to admit on a full shard
+    /// (admission-controlled policies like TinyLFU); the fragment was
+    /// served inline, uncached. Always also counted in `uncacheable`.
+    pub admission_rejections: u64,
     pub uncacheable: u64,
+    /// Known content bytes of currently valid fragments (entries whose
+    /// producer has not reported a size yet count 0).
+    pub resident_bytes: u64,
+    /// High-water mark of `resident_bytes` over the directory's lifetime,
+    /// summed per shard.
+    pub resident_bytes_hwm: u64,
     /// Shard locks taken by [`CacheDirectory::invalidate_dep`] calls. With
     /// the dep → shard-set index this counts only shards that (possibly)
     /// held dependents — the back-pressure win over walking all N shards.
@@ -128,6 +147,19 @@ impl DirectoryStats {
     }
 }
 
+/// Per-shard counters surfaced by [`CacheDirectory::shard_stats`] —
+/// replacement behaviour is per-shard state, so imbalance (one hot shard
+/// evicting while others idle) is only visible at this granularity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    pub evictions: u64,
+    pub admission_rejections: u64,
+    pub resident_bytes: u64,
+    pub resident_bytes_hwm: u64,
+    pub valid_entries: usize,
+    pub free_keys: usize,
+}
+
 /// Mutable state of one shard, all under a single mutex.
 struct Inner {
     entries: HashMap<FragmentId, Entry>,
@@ -136,7 +168,7 @@ struct Inner {
     free_list: VecDeque<DpcKey>,
     /// Keys `key_lo..next_fresh` have been handed out at least once.
     next_fresh: u32,
-    replacer: Box<dyn Replacer>,
+    replacer: Box<dyn Replacer<DpcKey>>,
     dep_index: HashMap<String, HashSet<FragmentId>>,
     seq: u64,
     hits: u64,
@@ -145,7 +177,10 @@ struct Inner {
     expirations: u64,
     invalidations: u64,
     evictions: u64,
+    admission_rejections: u64,
     uncacheable: u64,
+    resident_bytes: u64,
+    resident_bytes_hwm: u64,
 }
 
 /// One lock shard: a contiguous key segment plus its directory state.
@@ -223,18 +258,6 @@ pub struct CacheDirectory {
     dep_shard_scans: AtomicU64,
 }
 
-/// FNV-1a over a byte string: deterministic across runs (reproducible
-/// experiments) and cheap enough to be invisible next to the HashMap probe
-/// that follows.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 fn shard_hash(id: &FragmentId) -> u64 {
     fnv1a(id.as_str().as_bytes())
 }
@@ -263,7 +286,7 @@ impl CacheDirectory {
                         key_owner: HashMap::new(),
                         free_list: VecDeque::new(),
                         next_fresh: key_lo,
-                        replacer: make_replacer(config.replace),
+                        replacer: make_replacer(config.replace, shard_cap),
                         dep_index: HashMap::new(),
                         seq: 0,
                         hits: 0,
@@ -272,7 +295,10 @@ impl CacheDirectory {
                         expirations: 0,
                         invalidations: 0,
                         evictions: 0,
+                        admission_rejections: 0,
                         uncacheable: 0,
+                        resident_bytes: 0,
+                        resident_bytes_hwm: 0,
                     }),
                 }
             })
@@ -298,9 +324,14 @@ impl CacheDirectory {
     }
 
     fn shard_index_for(&self, id: &FragmentId) -> usize {
-        // Shard counts are powers of two (see `BemConfig::effective_shards`),
-        // so selection is a mask, not a division.
-        (shard_hash(id) & (self.shards.len() as u64 - 1)) as usize
+        self.shard_index_of_hash(shard_hash(id))
+    }
+
+    /// Shard owning a precomputed fragment hash. Shard counts are powers
+    /// of two (see `BemConfig::effective_shards`), so selection is a
+    /// mask, not a division.
+    fn shard_index_of_hash(&self, hash: u64) -> usize {
+        (hash & (self.shards.len() as u64 - 1)) as usize
     }
 
     /// Index stripe holding `dep`'s shard set. Stripe count is a power of
@@ -382,7 +413,11 @@ impl CacheDirectory {
         assert!(node < 64, "at most 64 DPC nodes are supported");
         let node_bit = 1u64 << node;
         let now = self.clock.now_nanos();
-        let shard_idx = self.shard_index_for(id);
+        // One hash serves both shard selection and the content *identity*
+        // the replacement policy accumulates history under — idents stay
+        // stable across key recycling, dpcKeys do not.
+        let ident = shard_hash(id);
+        let shard_idx = self.shard_index_of_hash(ident);
         let shard = &self.shards[shard_idx];
         let mut inner = shard.inner.lock();
         let inner = &mut *inner;
@@ -391,7 +426,7 @@ impl CacheDirectory {
             if entry.is_valid {
                 if entry.expires_at > now {
                     entry.hits += 1;
-                    inner.replacer.on_touch(entry.dpc_key);
+                    inner.replacer.touch(&entry.dpc_key);
                     if trusting || entry.stored_nodes & node_bit != 0 {
                         inner.hits += 1;
                         return Lookup::Hit(entry.dpc_key);
@@ -407,23 +442,37 @@ impl CacheDirectory {
                 let key = entry.dpc_key;
                 entry.is_valid = false;
                 entry.stored_nodes = 0;
+                inner.resident_bytes -= entry.bytes;
+                entry.bytes = 0;
                 inner.expirations += 1;
                 inner.key_owner.remove(&key);
                 inner.free_list.push_back(key);
-                inner.replacer.on_remove(key);
+                inner.replacer.remove(&key);
                 let deps = std::mem::take(&mut entry.deps);
                 self.unregister_deps(&mut inner.dep_index, shard_idx, id, &deps);
             }
         }
         // Miss path: allocate a key (freeList, then the shard's fresh key
         // segment, then replacement).
-        let key = match self.allocate_key(inner, shard_idx, shard.key_hi) {
+        let key = match self.allocate_key(inner, shard_idx, shard.key_hi, ident) {
             Some(k) => k,
             None => {
                 inner.uncacheable += 1;
                 return Lookup::Uncacheable;
             }
         };
+        // The slot is granted; the policy still gets the last word (the
+        // shipped policies always admit here — refusal happens at
+        // `evict_for` time — but the contract allows free-space gates).
+        // Content size is unknown until the code block runs, so the entry
+        // is admitted at the 1-byte slot estimate and corrected by
+        // `note_fragment_bytes` once produced.
+        if !inner.replacer.admit(key, ident, 1) {
+            inner.free_list.push_back(key);
+            inner.admission_rejections += 1;
+            inner.uncacheable += 1;
+            return Lookup::Uncacheable;
+        }
         inner.misses += 1;
         inner.seq += 1;
         let expires_at = match ttl.as_nanos().try_into() {
@@ -433,6 +482,7 @@ impl CacheDirectory {
         let entry = Entry {
             dpc_key: key,
             is_valid: true,
+            bytes: 0,
             expires_at,
             deps: deps.to_vec(),
             hits: 0,
@@ -449,7 +499,6 @@ impl CacheDirectory {
         }
         inner.entries.insert(id.clone(), entry);
         inner.key_owner.insert(key, id.clone());
-        inner.replacer.on_insert(key);
         Self::collect_garbage(inner, shard.garbage_limit);
         Lookup::Miss(key)
     }
@@ -483,6 +532,31 @@ impl CacheDirectory {
                 .insert(id.clone());
             self.mark_dep_shard(dep, shard_idx);
         }
+        true
+    }
+
+    /// Report the produced content size of a *valid* entry. The directory
+    /// issues keys before content exists, so fragments are admitted at a
+    /// 1-byte slot estimate; the BEM calls this right after the code block
+    /// runs, which (a) keeps the resident-bytes gauges honest and (b)
+    /// feeds the size signal the size-aware policies (GDSF) rank by.
+    /// Returns false when the entry is absent or invalid.
+    pub fn note_fragment_bytes(&self, id: &FragmentId, bytes: u64) -> bool {
+        let shard_idx = self.shard_index_for(id);
+        let mut inner = self.shards[shard_idx].inner.lock();
+        let inner = &mut *inner;
+        let Some(entry) = inner.entries.get_mut(id) else {
+            return false;
+        };
+        if !entry.is_valid {
+            return false;
+        }
+        inner.resident_bytes = inner.resident_bytes - entry.bytes + bytes;
+        entry.bytes = bytes;
+        inner.resident_bytes_hwm = inner.resident_bytes_hwm.max(inner.resident_bytes);
+        // The replacer's floor stays 1: a zero-byte fragment still holds a
+        // slot, and GDSF divides by size.
+        inner.replacer.update_bytes(&entry.dpc_key, bytes.max(1));
         true
     }
 
@@ -628,12 +702,37 @@ impl CacheDirectory {
             stats.expirations += inner.expirations;
             stats.invalidations += inner.invalidations;
             stats.evictions += inner.evictions;
+            stats.admission_rejections += inner.admission_rejections;
             stats.uncacheable += inner.uncacheable;
+            stats.resident_bytes += inner.resident_bytes;
+            stats.resident_bytes_hwm += inner.resident_bytes_hwm;
             stats.valid_entries += inner.key_owner.len();
             stats.total_entries += inner.entries.len();
             stats.free_keys += inner.free_list.len();
         }
         stats
+    }
+
+    /// Per-shard replacement counters (see [`ShardStats`]): eviction and
+    /// admission pressure is a per-shard phenomenon — a skewed key
+    /// population can have one shard evicting under pressure while the
+    /// rest sit half empty, which the aggregate in
+    /// [`stats`](Self::stats) averages away.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let inner = shard.inner.lock();
+                ShardStats {
+                    evictions: inner.evictions,
+                    admission_rejections: inner.admission_rejections,
+                    resident_bytes: inner.resident_bytes,
+                    resident_bytes_hwm: inner.resident_bytes_hwm,
+                    valid_entries: inner.key_owner.len(),
+                    free_keys: inner.free_list.len(),
+                }
+            })
+            .collect()
     }
 
     /// Number of valid entries per shard — balance diagnostics for tests
@@ -698,6 +797,24 @@ impl CacheDirectory {
                     inner.key_owner.len()
                 ));
             }
+            let valid_bytes: u64 = inner
+                .entries
+                .values()
+                .filter(|e| e.is_valid)
+                .map(|e| e.bytes)
+                .sum();
+            if valid_bytes != inner.resident_bytes {
+                return Err(format!(
+                    "shard {s} resident_bytes {} != sum of valid entry bytes {}",
+                    inner.resident_bytes, valid_bytes
+                ));
+            }
+            if inner.resident_bytes > inner.resident_bytes_hwm {
+                return Err(format!(
+                    "shard {s} resident_bytes {} exceeds its high-water mark {}",
+                    inner.resident_bytes, inner.resident_bytes_hwm
+                ));
+            }
             for (key, id) in &inner.key_owner {
                 match inner.entries.get(id) {
                     Some(e) if e.is_valid && e.dpc_key == *key => {}
@@ -716,7 +833,13 @@ impl CacheDirectory {
 
     // -- internals ----------------------------------------------------------
 
-    fn allocate_key(&self, inner: &mut Inner, shard_idx: usize, key_hi: u32) -> Option<DpcKey> {
+    fn allocate_key(
+        &self,
+        inner: &mut Inner,
+        shard_idx: usize,
+        key_hi: u32,
+        ident: u64,
+    ) -> Option<DpcKey> {
         if let Some(key) = inner.free_list.pop_front() {
             return Some(key);
         }
@@ -725,10 +848,20 @@ impl CacheDirectory {
             inner.next_fresh += 1;
             return Some(key);
         }
-        // All of this shard's keys are in use and valid: ask the shard's
-        // replacement manager for a victim and take its key over directly
-        // (no freeList round trip).
-        let victim_key = inner.replacer.pick_victim()?;
+        // All of this shard's keys are in use and valid: the shard's
+        // replacement manager either names a victim (whose key is taken
+        // over directly, no freeList round trip) or — for
+        // admission-controlled policies — refuses the candidate, which
+        // the caller serves inline.
+        let Some(victim_key) = inner.replacer.evict_for(ident, 1) else {
+            // Only an admission-controlled policy's refusal is an
+            // admission *decision*; `None` (and any policy on an empty
+            // shard) refusing is plain capacity exhaustion.
+            if inner.replacer.is_admission_controlled() && !inner.replacer.is_empty() {
+                inner.admission_rejections += 1;
+            }
+            return None;
+        };
         let victim_id = inner
             .key_owner
             .remove(&victim_key)
@@ -739,6 +872,8 @@ impl CacheDirectory {
             .expect("key_owner points at a missing entry");
         entry.is_valid = false;
         entry.stored_nodes = 0;
+        inner.resident_bytes -= entry.bytes;
+        entry.bytes = 0;
         let deps = std::mem::take(&mut entry.deps);
         self.unregister_deps(&mut inner.dep_index, shard_idx, &victim_id, &deps);
         inner.evictions += 1;
@@ -755,11 +890,15 @@ impl CacheDirectory {
         let key = entry.dpc_key;
         entry.is_valid = false;
         entry.stored_nodes = 0;
+        inner.resident_bytes -= entry.bytes;
+        entry.bytes = 0;
         let deps = std::mem::take(&mut entry.deps);
         inner.invalidations += 1;
         inner.key_owner.remove(&key);
         inner.free_list.push_back(key);
-        inner.replacer.on_remove(key);
+        // An invalidation-freed slot is a *removal*, never an eviction:
+        // the replacer just forgets the key and `evictions` stays put.
+        inner.replacer.remove(&key);
         self.unregister_deps(&mut inner.dep_index, shard_idx, id, &deps);
         true
     }
@@ -1115,6 +1254,146 @@ mod tests {
         }
         assert_eq!(dir.stats().valid_entries, 0);
         dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalidation_freed_slots_are_not_counted_as_evictions() {
+        // A shard-full directory whose entries are freed by *invalidation*
+        // must report zero evictions — freed keys return through the
+        // freeList, and reusing them is not a replacement decision.
+        let dir = CacheDirectory::new(&BemConfig::default().with_capacity(8).with_shards(1));
+        for i in 0..8 {
+            let id = FragmentId::with_params("row", &[("i", &i.to_string())]);
+            let _ = dir.lookup(&id, Duration::from_secs(600), &["tbl/all".to_owned()]);
+        }
+        assert_eq!(dir.invalidate_dep("tbl/all"), 8);
+        let stats = dir.stats();
+        assert_eq!(stats.invalidations, 8);
+        assert_eq!(
+            stats.evictions, 0,
+            "invalidation double-counted as eviction"
+        );
+        // Refill through the freeList: still no evictions.
+        for i in 8..16 {
+            let id = FragmentId::with_params("row", &[("i", &i.to_string())]);
+            assert!(matches!(
+                dir.lookup(&id, Duration::from_secs(600), &[]),
+                Lookup::Miss(_)
+            ));
+        }
+        let stats = dir.stats();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.free_keys, 0);
+        // One more forces a genuine replacement: now exactly one eviction.
+        let _ = dir.lookup(&FragmentId::new("straw"), Duration::from_secs(600), &[]);
+        assert_eq!(dir.stats().evictions, 1);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn resident_bytes_track_noted_content_and_keep_a_high_water_mark() {
+        let dir = dir_with(32, 4);
+        let a = FragmentId::new("a");
+        let b = FragmentId::new("b");
+        let _ = dir.lookup(&a, Duration::from_secs(600), &[]);
+        let _ = dir.lookup(&b, Duration::from_secs(600), &[]);
+        assert_eq!(dir.stats().resident_bytes, 0, "unreported content counts 0");
+        assert!(dir.note_fragment_bytes(&a, 1000));
+        assert!(dir.note_fragment_bytes(&b, 500));
+        let stats = dir.stats();
+        assert_eq!(stats.resident_bytes, 1500);
+        assert_eq!(stats.resident_bytes_hwm, 1500);
+        // Regeneration can shrink content; the mark remembers the peak.
+        assert!(dir.note_fragment_bytes(&a, 100));
+        let stats = dir.stats();
+        assert_eq!(stats.resident_bytes, 600);
+        assert_eq!(stats.resident_bytes_hwm, 1500);
+        assert!(dir.invalidate(&a));
+        assert_eq!(dir.stats().resident_bytes, 500);
+        // Absent/invalid entries refuse the report.
+        assert!(!dir.note_fragment_bytes(&a, 9));
+        assert!(!dir.note_fragment_bytes(&FragmentId::new("ghost"), 9));
+        let per_shard = dir.shard_stats();
+        assert_eq!(per_shard.iter().map(|s| s.resident_bytes).sum::<u64>(), 500);
+        assert_eq!(
+            per_shard.iter().map(|s| s.resident_bytes_hwm).sum::<u64>(),
+            dir.stats().resident_bytes_hwm
+        );
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn tinylfu_rejects_cold_candidates_until_they_earn_admission() {
+        let dir = CacheDirectory::new(
+            &BemConfig::default()
+                .with_capacity(4)
+                .with_shards(1)
+                .with_replace(ReplacePolicy::TinyLfu),
+        );
+        // Four residents, each hit several times: real frequency history.
+        for i in 0..4 {
+            let id = FragmentId::with_params("hot", &[("i", &i.to_string())]);
+            for _ in 0..6 {
+                let _ = dir.lookup(&id, Duration::from_secs(600), &[]);
+            }
+        }
+        // A cold newcomer loses the admission duel and is served inline.
+        let cold = FragmentId::new("cold");
+        assert_eq!(
+            dir.lookup(&cold, Duration::from_secs(600), &[]),
+            Lookup::Uncacheable
+        );
+        let stats = dir.stats();
+        assert_eq!(stats.admission_rejections, 1);
+        assert_eq!(stats.uncacheable, 1);
+        assert_eq!(stats.evictions, 0, "a refused candidate evicts nothing");
+        // Per-shard view agrees (single shard here).
+        assert_eq!(dir.shard_stats()[0].admission_rejections, 1);
+        // Persistence pays: keep requesting and it eventually displaces
+        // the least-recent resident.
+        let mut admitted = false;
+        for _ in 0..16 {
+            if matches!(
+                dir.lookup(&cold, Duration::from_secs(600), &[]),
+                Lookup::Miss(_)
+            ) {
+                admitted = true;
+                break;
+            }
+        }
+        assert!(admitted, "recurring fragment must eventually be admitted");
+        assert_eq!(dir.stats().evictions, 1);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn every_policy_serves_the_directory_workload() {
+        // Smoke the whole menu through lookup/hit/invalidate/evict cycles;
+        // the invariant checker is the oracle.
+        for policy in ReplacePolicy::ALL {
+            let dir = CacheDirectory::new(
+                &BemConfig::default()
+                    .with_capacity(16)
+                    .with_shards(4)
+                    .with_replace(policy),
+            );
+            for round in 0..6 {
+                for i in 0..24 {
+                    let id = FragmentId::with_params("f", &[("i", &(i % 24).to_string())]);
+                    let lookup = dir.lookup(&id, Duration::from_secs(600), &[]);
+                    if matches!(lookup, Lookup::Miss(_)) {
+                        dir.note_fragment_bytes(&id, 64 + i as u64);
+                    }
+                    if i % 7 == 0 {
+                        dir.invalidate(&id);
+                    }
+                }
+                dir.check_invariants()
+                    .unwrap_or_else(|e| panic!("{policy:?} round {round}: {e}"));
+            }
+            let stats = dir.stats();
+            assert!(stats.valid_entries <= 16, "{policy:?}");
+        }
     }
 
     #[test]

@@ -26,7 +26,8 @@
 //!   fragments into the final page — as a flat buffer or as a zero-copy
 //!   rope of shared segments.
 //! * [`invalidate`] / [`replace`] — TTL + data-dependency invalidation and
-//!   pluggable replacement policies (LRU, CLOCK, FIFO).
+//!   pluggable replacement policies (LRU, CLOCK, FIFO, plus the size-aware
+//!   GDSF and scan-resistant 2Q/TinyLFU from the `dpc_policy` crate).
 //! * [`objects`] — the BEM's secondary function: caching intermediate
 //!   programmatic objects (e.g. user-profile objects) so scripts do not
 //!   repeat back-end calls.
@@ -94,10 +95,11 @@ pub mod tag;
 pub use assemble::{assemble, assemble_rope, AssembledPage, AssembledRope, AssemblyStats};
 pub use bem::{Bem, FragmentPolicy, InvalidationSink, TemplateWriter};
 pub use config::{BemConfig, ReplacePolicy, DEFAULT_SHARDS};
-pub use directory::{CacheDirectory, Lookup};
+pub use directory::{CacheDirectory, Lookup, ShardStats};
 pub use error::{AssembleError, CoreError};
 pub use key::{DpcKey, FragmentId};
 pub use objects::ObjectCache;
+pub use replace::{fnv1a, make_replacer, Replacer};
 pub use store::{FragmentSource, FragmentStore};
 
 /// Convenience re-exports for downstream crates and examples.

@@ -1,349 +1,36 @@
-//! Cache replacement policies.
+//! Cache replacement — compatibility façade over [`dpc_policy`].
 //!
-//! The paper specifies that a *cache replacement manager* "monitors the size
-//! of the cache directory and selects fragments for replacement when the
-//! directory size exceeds some specified threshold", without fixing a
-//! policy. We provide the three classical policies as an ablation surface
-//! (benchmarked in `dpc-bench`): LRU, CLOCK (second chance), and FIFO.
+//! The paper specifies that a *cache replacement manager* "monitors the
+//! size of the cache directory and selects fragments for replacement when
+//! the directory size exceeds some specified threshold", without fixing a
+//! policy. The policies themselves now live in the dedicated
+//! [`dpc_policy`] crate (generic over the cache key, shared with the
+//! proxy page cache and the trace-driven hit-ratio lab); this module
+//! re-exports the pieces the directory uses so existing `dpc_core`
+//! importers keep compiling.
 //!
-//! A replacer tracks *valid* directory entries by their `dpcKey`. The
-//! directory drives it: `on_insert` when a key becomes valid, `on_touch` on
-//! a hit, `on_remove` on invalidation/expiry, and `pick_victim` when a new
-//! fragment needs a key but the freeList and key space are exhausted.
+//! The directory drives a `Replacer<DpcKey>`: [`Replacer::admit`] when a
+//! key becomes valid, [`Replacer::touch`] on a hit, [`Replacer::remove`]
+//! on invalidation/expiry (never an eviction), and
+//! [`Replacer::evict_for`] when a new fragment needs a key but the
+//! freeList and fresh key segment are exhausted — at which point an
+//! admission-controlled policy may refuse the candidate instead of
+//! naming a victim (the fragment is then served inline, uncached).
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+pub use dpc_policy::{
+    fnv1a, ClockReplacer, FifoReplacer, GdsfReplacer, LruReplacer, NoReplacer, ReplacePolicy,
+    Replacer, TinyLfuReplacer, TwoQReplacer,
+};
 
-use crate::config::ReplacePolicy;
 use crate::key::DpcKey;
 
-/// Replacement policy driven by the cache directory.
-pub trait Replacer: Send {
-    /// A key became valid (newly cached fragment).
-    fn on_insert(&mut self, key: DpcKey);
-    /// A valid key was hit.
-    fn on_touch(&mut self, key: DpcKey);
-    /// A key was invalidated/expired and is no longer a candidate.
-    fn on_remove(&mut self, key: DpcKey);
-    /// Choose a victim among tracked keys, removing it from tracking.
-    fn pick_victim(&mut self) -> Option<DpcKey>;
-    /// Policy name for reports.
-    fn name(&self) -> &'static str;
-    /// Number of tracked candidates (for invariants/tests).
-    fn len(&self) -> usize;
-    /// True when no candidates are tracked.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-/// Instantiate the replacer for `policy`. The sharded directory calls this
-/// once per shard: each shard runs its own independent replacement state,
-/// so victim selection never takes a cross-shard lock (replacement quality
-/// degrades only marginally — each shard approximates the policy over its
-/// own slice of the key space).
-pub fn make_replacer(policy: ReplacePolicy) -> Box<dyn Replacer> {
-    match policy {
-        ReplacePolicy::Lru => Box::new(LruReplacer::new()),
-        ReplacePolicy::Clock => Box::new(ClockReplacer::new()),
-        ReplacePolicy::Fifo => Box::new(FifoReplacer::new()),
-        ReplacePolicy::None => Box::new(NoReplacer::default()),
-    }
-}
-
-/// Policy `None`: tracks membership (for the invariants) but never evicts.
-#[derive(Default)]
-pub struct NoReplacer {
-    members: HashSet<DpcKey>,
-}
-
-impl Replacer for NoReplacer {
-    fn on_insert(&mut self, key: DpcKey) {
-        self.members.insert(key);
-    }
-    fn on_touch(&mut self, _key: DpcKey) {}
-    fn on_remove(&mut self, key: DpcKey) {
-        self.members.remove(&key);
-    }
-    fn pick_victim(&mut self) -> Option<DpcKey> {
-        None
-    }
-    fn name(&self) -> &'static str {
-        "none"
-    }
-    fn len(&self) -> usize {
-        self.members.len()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// LRU
-// ---------------------------------------------------------------------------
-
-/// Least-recently-used: evicts the key with the oldest touch stamp.
-#[derive(Default)]
-pub struct LruReplacer {
-    stamp: u64,
-    by_stamp: BTreeMap<u64, DpcKey>,
-    stamp_of: HashMap<DpcKey, u64>,
-}
-
-impl LruReplacer {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn bump(&mut self, key: DpcKey) {
-        if let Some(old) = self.stamp_of.remove(&key) {
-            self.by_stamp.remove(&old);
-        }
-        self.stamp += 1;
-        self.by_stamp.insert(self.stamp, key);
-        self.stamp_of.insert(key, self.stamp);
-    }
-}
-
-impl Replacer for LruReplacer {
-    fn on_insert(&mut self, key: DpcKey) {
-        self.bump(key);
-    }
-
-    fn on_touch(&mut self, key: DpcKey) {
-        if self.stamp_of.contains_key(&key) {
-            self.bump(key);
-        }
-    }
-
-    fn on_remove(&mut self, key: DpcKey) {
-        if let Some(old) = self.stamp_of.remove(&key) {
-            self.by_stamp.remove(&old);
-        }
-    }
-
-    fn pick_victim(&mut self) -> Option<DpcKey> {
-        let (&stamp, &key) = self.by_stamp.iter().next()?;
-        self.by_stamp.remove(&stamp);
-        self.stamp_of.remove(&key);
-        Some(key)
-    }
-
-    fn name(&self) -> &'static str {
-        "lru"
-    }
-
-    fn len(&self) -> usize {
-        self.stamp_of.len()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// CLOCK (second chance)
-// ---------------------------------------------------------------------------
-
-/// CLOCK: a circular sweep giving touched entries a second chance. Cheaper
-/// bookkeeping than LRU (no per-touch reordering), at slightly worse
-/// hit-rate.
-#[derive(Default)]
-pub struct ClockReplacer {
-    /// Insertion ring of (key, referenced bit).
-    ring: VecDeque<(DpcKey, bool)>,
-    members: HashMap<DpcKey, ()>,
-}
-
-impl ClockReplacer {
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl Replacer for ClockReplacer {
-    fn on_insert(&mut self, key: DpcKey) {
-        if self.members.insert(key, ()).is_none() {
-            self.ring.push_back((key, false));
-        }
-    }
-
-    fn on_touch(&mut self, key: DpcKey) {
-        // Mark referenced where it sits; linear in ring size only when
-        // touched keys are far back — acceptable for directory sizes here,
-        // and the bench compares policies including this cost.
-        if self.members.contains_key(&key) {
-            if let Some(slot) = self.ring.iter_mut().find(|(k, _)| *k == key) {
-                slot.1 = true;
-            }
-        }
-    }
-
-    fn on_remove(&mut self, key: DpcKey) {
-        if self.members.remove(&key).is_some() {
-            self.ring.retain(|(k, _)| *k != key);
-        }
-    }
-
-    fn pick_victim(&mut self) -> Option<DpcKey> {
-        while let Some((key, referenced)) = self.ring.pop_front() {
-            if referenced {
-                self.ring.push_back((key, false)); // second chance
-            } else {
-                self.members.remove(&key);
-                return Some(key);
-            }
-        }
-        None
-    }
-
-    fn name(&self) -> &'static str {
-        "clock"
-    }
-
-    fn len(&self) -> usize {
-        self.members.len()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// FIFO
-// ---------------------------------------------------------------------------
-
-/// FIFO: evicts in insertion order, ignoring touches.
-#[derive(Default)]
-pub struct FifoReplacer {
-    queue: VecDeque<DpcKey>,
-    members: HashMap<DpcKey, ()>,
-}
-
-impl FifoReplacer {
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl Replacer for FifoReplacer {
-    fn on_insert(&mut self, key: DpcKey) {
-        if self.members.insert(key, ()).is_none() {
-            self.queue.push_back(key);
-        }
-    }
-
-    fn on_touch(&mut self, _key: DpcKey) {}
-
-    fn on_remove(&mut self, key: DpcKey) {
-        if self.members.remove(&key).is_some() {
-            self.queue.retain(|k| *k != key);
-        }
-    }
-
-    fn pick_victim(&mut self) -> Option<DpcKey> {
-        let key = self.queue.pop_front()?;
-        self.members.remove(&key);
-        Some(key)
-    }
-
-    fn name(&self) -> &'static str {
-        "fifo"
-    }
-
-    fn len(&self) -> usize {
-        self.members.len()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn k(n: u32) -> DpcKey {
-        DpcKey(n)
-    }
-
-    #[test]
-    fn lru_evicts_least_recent() {
-        let mut r = LruReplacer::new();
-        r.on_insert(k(1));
-        r.on_insert(k(2));
-        r.on_insert(k(3));
-        r.on_touch(k(1)); // 2 is now oldest
-        assert_eq!(r.pick_victim(), Some(k(2)));
-        assert_eq!(r.pick_victim(), Some(k(3)));
-        assert_eq!(r.pick_victim(), Some(k(1)));
-        assert_eq!(r.pick_victim(), None);
-    }
-
-    #[test]
-    fn lru_remove_excludes_key() {
-        let mut r = LruReplacer::new();
-        r.on_insert(k(1));
-        r.on_insert(k(2));
-        r.on_remove(k(1));
-        assert_eq!(r.len(), 1);
-        assert_eq!(r.pick_victim(), Some(k(2)));
-        assert_eq!(r.pick_victim(), None);
-    }
-
-    #[test]
-    fn lru_touch_of_unknown_key_is_noop() {
-        let mut r = LruReplacer::new();
-        r.on_touch(k(9));
-        assert_eq!(r.len(), 0);
-        assert_eq!(r.pick_victim(), None);
-    }
-
-    #[test]
-    fn clock_gives_second_chance() {
-        let mut r = ClockReplacer::new();
-        r.on_insert(k(1));
-        r.on_insert(k(2));
-        r.on_insert(k(3));
-        r.on_touch(k(1));
-        // 1 is referenced: sweep skips it once and evicts 2.
-        assert_eq!(r.pick_victim(), Some(k(2)));
-        // 1 lost its reference bit during the sweep; 3 comes first now.
-        assert_eq!(r.pick_victim(), Some(k(3)));
-        assert_eq!(r.pick_victim(), Some(k(1)));
-    }
-
-    #[test]
-    fn clock_all_referenced_still_terminates() {
-        let mut r = ClockReplacer::new();
-        for i in 0..4 {
-            r.on_insert(k(i));
-            r.on_touch(k(i));
-        }
-        assert!(r.pick_victim().is_some());
-    }
-
-    #[test]
-    fn fifo_ignores_touches() {
-        let mut r = FifoReplacer::new();
-        r.on_insert(k(1));
-        r.on_insert(k(2));
-        r.on_touch(k(1));
-        assert_eq!(r.pick_victim(), Some(k(1)));
-    }
-
-    #[test]
-    fn double_insert_is_idempotent() {
-        for mut r in [
-            Box::new(LruReplacer::new()) as Box<dyn Replacer>,
-            Box::new(ClockReplacer::new()),
-            Box::new(FifoReplacer::new()),
-        ] {
-            r.on_insert(k(7));
-            r.on_insert(k(7));
-            assert_eq!(r.len(), 1, "{}", r.name());
-            assert_eq!(r.pick_victim(), Some(k(7)), "{}", r.name());
-            assert_eq!(r.pick_victim(), None, "{}", r.name());
-        }
-    }
-
-    #[test]
-    fn remove_unknown_is_noop() {
-        for mut r in [
-            Box::new(LruReplacer::new()) as Box<dyn Replacer>,
-            Box::new(ClockReplacer::new()),
-            Box::new(FifoReplacer::new()),
-        ] {
-            r.on_remove(k(42));
-            assert!(r.is_empty(), "{}", r.name());
-        }
-    }
+/// Instantiate the replacer for `policy`. The sharded directory calls
+/// this once per shard with the shard's key-segment size as the capacity
+/// hint: each shard runs its own independent replacement state, so victim
+/// selection never takes a cross-shard lock (replacement quality degrades
+/// only marginally — each shard approximates the policy over its own
+/// slice of the key space, and the hit-ratio tax is measured by the
+/// `dpc_policy::lab` shard oracle).
+pub fn make_replacer(policy: ReplacePolicy, capacity_hint: usize) -> Box<dyn Replacer<DpcKey>> {
+    policy.build(capacity_hint)
 }

@@ -271,12 +271,7 @@ fn directory_conserves_keys() {
             .map(|_| random_dir_op(&mut rng))
             .collect();
         let capacity = rng.random_range(1..20usize);
-        let policy = [
-            ReplacePolicy::Lru,
-            ReplacePolicy::Clock,
-            ReplacePolicy::Fifo,
-            ReplacePolicy::None,
-        ][case % 4];
+        let policy = ReplacePolicy::ALL[case % ReplacePolicy::ALL.len()];
         let (clock, handle) = Clock::virtual_clock();
         let bem = Bem::new(
             BemConfig::default()

@@ -1,0 +1,75 @@
+//! Shared resident bookkeeping: key → (ident, bytes) plus a running byte
+//! total. Every policy embeds a [`Book`] so `resident_bytes`/`len` and the
+//! update/remove paths behave identically across implementations (the
+//! contract suite pins this).
+
+use std::collections::HashMap;
+
+use crate::Key;
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Resident {
+    pub ident: u64,
+    pub bytes: u64,
+}
+
+pub(crate) struct Book<K> {
+    residents: HashMap<K, Resident>,
+    total_bytes: u64,
+}
+
+impl<K: Key> Book<K> {
+    pub fn new() -> Book<K> {
+        Book {
+            residents: HashMap::new(),
+            total_bytes: 0,
+        }
+    }
+
+    /// Track a resident. Returns false when the key was already tracked
+    /// (the entry is refreshed in place; byte total stays consistent).
+    pub fn insert(&mut self, key: K, ident: u64, bytes: u64) -> bool {
+        match self.residents.insert(key, Resident { ident, bytes }) {
+            Some(old) => {
+                self.total_bytes = self.total_bytes - old.bytes + bytes;
+                false
+            }
+            None => {
+                self.total_bytes += bytes;
+                true
+            }
+        }
+    }
+
+    pub fn remove(&mut self, key: &K) -> Option<Resident> {
+        let removed = self.residents.remove(key);
+        if let Some(r) = removed {
+            self.total_bytes -= r.bytes;
+        }
+        removed
+    }
+
+    pub fn get(&self, key: &K) -> Option<Resident> {
+        self.residents.get(key).copied()
+    }
+
+    pub fn contains(&self, key: &K) -> bool {
+        self.residents.contains_key(key)
+    }
+
+    /// Update a resident's byte size; no-op for unknown keys.
+    pub fn set_bytes(&mut self, key: &K, bytes: u64) {
+        if let Some(r) = self.residents.get_mut(key) {
+            self.total_bytes = self.total_bytes - r.bytes + bytes;
+            r.bytes = bytes;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.residents.len()
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+}

@@ -1,0 +1,194 @@
+//! Greedy-Dual-Size-Frequency (GDSF): the size-aware policy.
+//!
+//! Each resident carries a priority `H = L + f · c / s` where `f` is its
+//! hit count, `s` its size in bytes, `c` a uniform miss cost, and `L` the
+//! *inflation clock*: whenever a victim is evicted, `L` rises to the
+//! victim's priority, so long-untouched entries age out no matter how
+//! valuable they once were. The policy keeps objects that are small and
+//! frequently hit — exactly the shape of the paper's fragment population,
+//! where per-user blocks are tiny and hot while boilerplate panels can be
+//! large and cold.
+//!
+//! Priorities are non-negative `f64`s stored by their IEEE-754 bit
+//! pattern, whose unsigned order matches numeric order for non-negative
+//! values — an ordered map over `(bits, tie)` gives O(log n) victim
+//! selection without a float-ordering wrapper.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::book::Book;
+use crate::{Key, Replacer};
+
+/// Uniform miss cost `c`. Relative priorities only depend on `c/s`, so a
+/// constant is enough; size-sensitivity comes from the division by bytes.
+const COST: f64 = 1024.0;
+
+struct Meta {
+    prio_bits: u64,
+    tie: u64,
+    freq: u64,
+}
+
+/// Size/cost-aware greedy-dual replacer. See the module docs.
+pub struct GdsfReplacer<K> {
+    book: Book<K>,
+    /// The inflation clock `L`.
+    inflation: f64,
+    queue: BTreeMap<(u64, u64), K>,
+    meta: HashMap<K, Meta>,
+    tie: u64,
+}
+
+impl<K: Key> Default for GdsfReplacer<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key> GdsfReplacer<K> {
+    pub fn new() -> Self {
+        GdsfReplacer {
+            book: Book::new(),
+            inflation: 0.0,
+            queue: BTreeMap::new(),
+            meta: HashMap::new(),
+            tie: 0,
+        }
+    }
+
+    fn priority(&self, freq: u64, bytes: u64) -> f64 {
+        self.inflation + freq as f64 * COST / bytes.max(1) as f64
+    }
+
+    /// (Re-)queue `key` with a fresh priority computed from `freq` and its
+    /// current size.
+    fn requeue(&mut self, key: &K, freq: u64) {
+        let bytes = self.book.get(key).map_or(1, |r| r.bytes);
+        let prio_bits = self.priority(freq, bytes).to_bits();
+        if let Some(old) = self.meta.get(key) {
+            self.queue.remove(&(old.prio_bits, old.tie));
+        }
+        self.tie += 1;
+        let tie = self.tie;
+        self.queue.insert((prio_bits, tie), key.clone());
+        self.meta.insert(
+            key.clone(),
+            Meta {
+                prio_bits,
+                tie,
+                freq,
+            },
+        );
+    }
+}
+
+impl<K: Key> Replacer<K> for GdsfReplacer<K> {
+    fn admit(&mut self, key: K, ident: u64, bytes: u64) -> bool {
+        self.book.insert(key.clone(), ident, bytes);
+        self.requeue(&key, 1);
+        true
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some(meta) = self.meta.get(key) {
+            let freq = meta.freq + 1;
+            self.requeue(key, freq);
+        }
+    }
+
+    fn remove(&mut self, key: &K) {
+        if self.book.remove(key).is_some() {
+            let meta = self.meta.remove(key).expect("meta tracks the book");
+            self.queue.remove(&(meta.prio_bits, meta.tie));
+        }
+    }
+
+    fn update_bytes(&mut self, key: &K, bytes: u64) {
+        if self.book.contains(key) {
+            self.book.set_bytes(key, bytes);
+            let freq = self.meta.get(key).map_or(1, |m| m.freq);
+            self.requeue(key, freq);
+        }
+    }
+
+    fn pick_victim(&mut self) -> Option<K> {
+        let (&(prio_bits, tie), key) = self.queue.iter().next()?;
+        let key = key.clone();
+        self.queue.remove(&(prio_bits, tie));
+        self.meta.remove(&key);
+        self.book.remove(&key);
+        // Inflate the clock to the victim's priority: future entries start
+        // above everything the cache already aged past.
+        self.inflation = self.inflation.max(f64::from_bits(prio_bits));
+        Some(key)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.book.total_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "gdsf"
+    }
+
+    fn len(&self) -> usize {
+        self.book.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefers_evicting_large_over_small_at_equal_frequency() {
+        let mut r = GdsfReplacer::new();
+        r.admit(1u64, 1, 100_000);
+        r.admit(2u64, 2, 100);
+        assert_eq!(r.pick_victim(), Some(1), "large object goes first");
+    }
+
+    #[test]
+    fn frequency_rescues_a_large_object() {
+        let mut r = GdsfReplacer::new();
+        r.admit(1u64, 1, 10_000);
+        r.admit(2u64, 2, 5_000);
+        // 1 is hit often enough to out-rank the smaller 2.
+        for _ in 0..3 {
+            r.touch(&1);
+        }
+        assert_eq!(r.pick_victim(), Some(2));
+    }
+
+    #[test]
+    fn inflation_ages_old_winners() {
+        let mut r = GdsfReplacer::new();
+        r.admit(1u64, 1, 1_000);
+        for _ in 0..5 {
+            r.touch(&1);
+        }
+        // Churn one-shot entries: every eviction raises L, and once L
+        // passes the stale winner's frozen priority it becomes the victim
+        // despite its high frequency.
+        let mut evicted = false;
+        for i in 10..60u64 {
+            r.admit(i, i, 1_000);
+            if r.pick_victim() == Some(1) {
+                evicted = true;
+                break;
+            }
+        }
+        assert!(evicted, "inflation must age the stale frequent entry out");
+    }
+
+    #[test]
+    fn update_bytes_reorders() {
+        let mut r = GdsfReplacer::new();
+        r.admit(1u64, 1, 100);
+        r.admit(2u64, 2, 100);
+        // 1 turns out to be huge: it becomes the preferred victim.
+        r.update_bytes(&1, 1_000_000);
+        assert_eq!(r.pick_victim(), Some(1));
+        assert_eq!(r.resident_bytes(), 100);
+    }
+}

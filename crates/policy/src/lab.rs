@@ -1,0 +1,476 @@
+//! The trace-driven hit-ratio lab.
+//!
+//! Replacement-policy claims are cheap to make and expensive to test in
+//! situ, so this module replays *deterministic* synthetic traces against
+//! any [`ReplacePolicy`] at any byte capacity and shard count, in memory,
+//! millions of operations per second. The traces cover the shapes the DPC
+//! actually sees:
+//!
+//! * pure Zipf at α ∈ {0.6, 0.9, 1.1} — steady skewed popularity;
+//! * size-skewed Zipf — popular fragments small, tail fragments large
+//!   (the measured shape of fragment populations: hot per-user blocks are
+//!   tiny, cold boilerplate panels are big);
+//! * sequential scans and scan-interleaved Zipf — the crawler/export
+//!   pattern that flushes recency-based caches;
+//! * invalidation bursts — a data-source update frees a whole dependency
+//!   cohort at once, the paper's signature workload.
+//!
+//! The same replay engine runs an **unsharded (global) oracle** next to
+//! the per-shard configuration the production directory uses, so the
+//! sharding hit-ratio tax is a measured number, not folklore.
+//!
+//! Everything is seeded: a `(trace, policy, capacity, shards)` tuple
+//! produces the same [`LabResult`] on every host, which is what lets CI
+//! gate on simulated hit ratios.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use dpc_workload::ZipfStream;
+
+use crate::{ReplacePolicy, Replacer};
+
+/// One trace operation over object ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Request object `0`-indexed id.
+    Get(u32),
+    /// A data-source update frees every resident object of this cohort.
+    InvalidateCohort(u32),
+}
+
+/// A deterministic workload: operations plus per-object metadata.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub name: String,
+    pub ops: Vec<Op>,
+    /// Size in bytes per object id.
+    pub bytes: Vec<u32>,
+    /// Dependency cohort per object id.
+    pub cohorts: Vec<u32>,
+}
+
+/// Default object size when a trace does not skew sizes.
+const UNIFORM_BYTES: u32 = 4096;
+/// Cohorts per trace (dependency fan-out of invalidation bursts).
+const COHORTS: u32 = 16;
+
+impl Trace {
+    fn uniform_meta(objects: usize) -> (Vec<u32>, Vec<u32>) {
+        let bytes = vec![UNIFORM_BYTES; objects];
+        let cohorts = (0..objects as u32).map(|o| o % COHORTS).collect();
+        (bytes, cohorts)
+    }
+
+    /// Pure Zipf(α) GETs over `objects` uniform-size objects.
+    pub fn zipf(objects: usize, alpha: f64, ops: usize, seed: u64) -> Trace {
+        let (bytes, cohorts) = Self::uniform_meta(objects);
+        let stream = ZipfStream::new(objects, alpha, seed);
+        Trace {
+            name: format!("zipf-{alpha:.1}"),
+            ops: stream.take(ops).map(|r| Op::Get(r as u32)).collect(),
+            bytes,
+            cohorts,
+        }
+    }
+
+    /// Zipf(α) GETs where size grows with rank: the head of the
+    /// distribution is small (256 B…), the tail large (…up to ~16 KiB,
+    /// with deterministic jitter). Small-and-hot vs large-and-cold is the
+    /// regime where size-aware policies earn their keep.
+    pub fn size_skewed(objects: usize, alpha: f64, ops: usize, seed: u64) -> Trace {
+        let bytes: Vec<u32> = (0..objects)
+            .map(|rank| {
+                let spread = (rank as u64 * 16 * 1024) / objects.max(1) as u64;
+                let jitter = splitmix(rank as u64) % 256;
+                (256 + spread + jitter) as u32
+            })
+            .collect();
+        let cohorts = (0..objects as u32).map(|o| o % COHORTS).collect();
+        let stream = ZipfStream::new(objects, alpha, seed);
+        Trace {
+            name: "size-skewed".to_owned(),
+            ops: stream.take(ops).map(|r| Op::Get(r as u32)).collect(),
+            bytes,
+            cohorts,
+        }
+    }
+
+    /// Cyclic sequential scan over `objects`, `passes` times — the
+    /// worst case for every demand-filled cache; included as a floor.
+    pub fn sequential(objects: usize, passes: usize) -> Trace {
+        let (bytes, cohorts) = Self::uniform_meta(objects);
+        let mut ops = Vec::with_capacity(objects * passes);
+        for _ in 0..passes {
+            ops.extend((0..objects as u32).map(Op::Get));
+        }
+        Trace {
+            name: "sequential".to_owned(),
+            ops,
+            bytes,
+            cohorts,
+        }
+    }
+
+    /// Zipf(α) over a hot set of `hot` objects, interrupted every
+    /// `period` GETs by a sequential sweep of `scan_len` *fresh* objects —
+    /// every sweep touches ids never seen before, the one-shot pattern of
+    /// a crawler or table export. Recency policies flush their hot set on
+    /// every sweep; scan-resistant ones keep it.
+    pub fn scan_interleaved(
+        hot: usize,
+        alpha: f64,
+        scan_len: usize,
+        period: usize,
+        ops: usize,
+        seed: u64,
+    ) -> Trace {
+        let sweeps = ops / period.max(1) + 2;
+        let objects = hot + sweeps * scan_len;
+        let (bytes, cohorts) = Self::uniform_meta(objects);
+        let mut out = Vec::with_capacity(ops + sweeps * scan_len);
+        let mut stream = ZipfStream::new(hot, alpha, seed);
+        let mut next_scan_id = hot as u32;
+        let mut since_scan = 0usize;
+        while out.len() < ops {
+            out.push(Op::Get(stream.next_rank() as u32));
+            since_scan += 1;
+            if since_scan >= period {
+                since_scan = 0;
+                out.extend((next_scan_id..next_scan_id + scan_len as u32).map(Op::Get));
+                next_scan_id += scan_len as u32;
+            }
+        }
+        Trace {
+            name: "scan-interleaved".to_owned(),
+            ops: out,
+            bytes,
+            cohorts,
+        }
+    }
+
+    /// Zipf(α) GETs with an [`Op::InvalidateCohort`] burst every
+    /// `period` GETs, cycling through the cohorts — dependency-driven
+    /// invalidation freeing whole cohorts at once.
+    pub fn invalidation_bursts(
+        objects: usize,
+        alpha: f64,
+        period: usize,
+        ops: usize,
+        seed: u64,
+    ) -> Trace {
+        let (bytes, cohorts) = Self::uniform_meta(objects);
+        let mut out = Vec::with_capacity(ops + ops / period.max(1));
+        let mut stream = ZipfStream::new(objects, alpha, seed);
+        let mut cohort = 0u32;
+        let mut since_burst = 0usize;
+        while out.len() < ops {
+            out.push(Op::Get(stream.next_rank() as u32));
+            since_burst += 1;
+            if since_burst >= period {
+                since_burst = 0;
+                out.push(Op::InvalidateCohort(cohort));
+                cohort = (cohort + 1) % COHORTS;
+            }
+        }
+        Trace {
+            name: "invalidation-bursts".to_owned(),
+            ops: out,
+            bytes,
+            cohorts,
+        }
+    }
+
+    /// Mean object size (capacity-hint derivation).
+    pub fn mean_object_bytes(&self) -> u64 {
+        if self.bytes.is_empty() {
+            return 1;
+        }
+        let total: u64 = self.bytes.iter().map(|&b| b as u64).sum();
+        (total / self.bytes.len() as u64).max(1)
+    }
+}
+
+/// Outcome of one replay.
+#[derive(Debug, Clone)]
+pub struct LabResult {
+    pub policy: &'static str,
+    pub trace: String,
+    pub cap_bytes: u64,
+    pub shards: usize,
+    pub gets: u64,
+    pub hits: u64,
+    pub bytes_requested: u64,
+    pub bytes_hit: u64,
+    pub evictions: u64,
+    pub admission_rejections: u64,
+    pub invalidation_frees: u64,
+    /// Objects larger than a whole shard's budget (served uncached).
+    pub uncacheable: u64,
+    pub elapsed_ns: u128,
+}
+
+impl LabResult {
+    /// Object hit ratio.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+
+    /// Byte hit ratio (bytes served from cache / bytes requested).
+    pub fn byte_hit_ratio(&self) -> f64 {
+        if self.bytes_requested == 0 {
+            0.0
+        } else {
+            self.bytes_hit as f64 / self.bytes_requested as f64
+        }
+    }
+
+    /// Replay throughput in million operations per second.
+    pub fn mops_per_s(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.gets as f64 / self.elapsed_ns as f64 * 1e9 / 1e6
+        }
+    }
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct LabShard {
+    replacer: Box<dyn Replacer<u32>>,
+    resident: HashSet<u32>,
+}
+
+/// Replay `trace` against `policy` with a total byte budget of
+/// `cap_bytes` split over `shards` independent replacer instances
+/// (objects hash to shards; `shards = 1` is the global oracle). `shards`
+/// must be a power of two.
+pub fn replay(policy: ReplacePolicy, trace: &Trace, cap_bytes: u64, shards: usize) -> LabResult {
+    assert!(shards.is_power_of_two(), "shards must be a power of two");
+    let shard_cap = (cap_bytes / shards as u64).max(1);
+    let hint = (shard_cap / trace.mean_object_bytes()).max(1) as usize;
+    let mut lab_shards: Vec<LabShard> = (0..shards)
+        .map(|_| LabShard {
+            replacer: policy.build(hint),
+            resident: HashSet::new(),
+        })
+        .collect();
+    let shard_mask = shards as u64 - 1;
+
+    // cohort -> object ids, for burst application.
+    let max_cohort = trace.cohorts.iter().copied().max().unwrap_or(0) as usize;
+    let mut cohort_objects: Vec<Vec<u32>> = vec![Vec::new(); max_cohort + 1];
+    for (obj, &c) in trace.cohorts.iter().enumerate() {
+        cohort_objects[c as usize].push(obj as u32);
+    }
+
+    let mut result = LabResult {
+        policy: policy.name(),
+        trace: trace.name.clone(),
+        cap_bytes,
+        shards,
+        gets: 0,
+        hits: 0,
+        bytes_requested: 0,
+        bytes_hit: 0,
+        evictions: 0,
+        admission_rejections: 0,
+        invalidation_frees: 0,
+        uncacheable: 0,
+        elapsed_ns: 0,
+    };
+
+    let start = Instant::now();
+    for op in &trace.ops {
+        match *op {
+            Op::Get(obj) => {
+                let ident = splitmix(obj as u64 + 1);
+                let bytes = trace.bytes[obj as usize] as u64;
+                let shard = &mut lab_shards[(splitmix(obj as u64) & shard_mask) as usize];
+                result.gets += 1;
+                result.bytes_requested += bytes;
+                if shard.resident.contains(&obj) {
+                    result.hits += 1;
+                    result.bytes_hit += bytes;
+                    shard.replacer.touch(&obj);
+                    continue;
+                }
+                if bytes > shard_cap {
+                    result.uncacheable += 1;
+                    continue;
+                }
+                // The first duel decides admission (mirroring the
+                // directory's single-victim contract); once the candidate
+                // has beaten the most-evictable resident, the rest of the
+                // byte budget is recovered by plain eviction — a lost
+                // later duel must not strand already-evicted residents
+                // without admitting anyone.
+                let mut rejected = false;
+                let mut first_duel = true;
+                while shard.replacer.resident_bytes() + bytes > shard_cap {
+                    let victim = if first_duel {
+                        shard.replacer.evict_for(ident, bytes)
+                    } else {
+                        shard.replacer.pick_victim()
+                    };
+                    first_duel = false;
+                    match victim {
+                        Some(victim) => {
+                            shard.resident.remove(&victim);
+                            result.evictions += 1;
+                        }
+                        None => {
+                            if shard.replacer.is_admission_controlled() {
+                                result.admission_rejections += 1;
+                            }
+                            rejected = true;
+                            break;
+                        }
+                    }
+                }
+                if !rejected && shard.replacer.admit(obj, ident, bytes) {
+                    shard.resident.insert(obj);
+                }
+            }
+            Op::InvalidateCohort(c) => {
+                for &obj in cohort_objects.get(c as usize).into_iter().flatten() {
+                    let shard = &mut lab_shards[(splitmix(obj as u64) & shard_mask) as usize];
+                    if shard.resident.remove(&obj) {
+                        shard.replacer.remove(&obj);
+                        result.invalidation_frees += 1;
+                    }
+                }
+            }
+        }
+    }
+    result.elapsed_ns = start.elapsed().as_nanos();
+
+    // The simulator's resident view and the policy's must agree — a policy
+    // that lies about its resident set corrupts every ratio above.
+    for (i, shard) in lab_shards.iter().enumerate() {
+        assert_eq!(
+            shard.replacer.len(),
+            shard.resident.len(),
+            "policy {} shard {i} resident-set drift",
+            policy.name()
+        );
+        assert!(
+            shard.replacer.resident_bytes() <= shard_cap,
+            "policy {} shard {i} over budget",
+            policy.name()
+        );
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_zipf() -> Trace {
+        Trace::zipf(512, 0.9, 40_000, 0x1AB)
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = small_zipf();
+        let a = replay(ReplacePolicy::Lru, &trace, 256 * 1024, 4);
+        let b = replay(ReplacePolicy::Lru, &trace, 256 * 1024, 4);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.evictions, b.evictions);
+        assert!(a.hit_ratio() > 0.0 && a.hit_ratio() < 1.0);
+    }
+
+    #[test]
+    fn every_policy_replays_every_trace_shape() {
+        let traces = [
+            Trace::zipf(256, 0.9, 8_000, 1),
+            Trace::size_skewed(256, 0.9, 8_000, 2),
+            Trace::sequential(256, 8),
+            Trace::scan_interleaved(128, 0.9, 256, 500, 6_000, 3),
+            Trace::invalidation_bursts(256, 0.9, 400, 8_000, 4),
+        ];
+        for trace in &traces {
+            for policy in ReplacePolicy::ALL {
+                let r = replay(policy, trace, 128 * 1024, 2);
+                assert_eq!(
+                    r.gets as usize,
+                    trace.ops.iter().filter(|o| matches!(o, Op::Get(_))).count(),
+                    "{policy:?} {}",
+                    trace.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_resistant_policies_beat_lru_on_interleaved_scans() {
+        // Hot set fits comfortably; the periodic sweep is twice the
+        // capacity, so LRU flushes its hot set on every pass.
+        let trace = Trace::scan_interleaved(256, 0.9, 512, 600, 60_000, 0x5CA7);
+        let cap = 128 * UNIFORM_BYTES as u64; // 128 objects resident
+        let lru = replay(ReplacePolicy::Lru, &trace, cap, 1);
+        let tlfu = replay(ReplacePolicy::TinyLfu, &trace, cap, 1);
+        let twoq = replay(ReplacePolicy::TwoQ, &trace, cap, 1);
+        assert!(
+            tlfu.hit_ratio() > lru.hit_ratio(),
+            "tinylfu {:.3} vs lru {:.3}",
+            tlfu.hit_ratio(),
+            lru.hit_ratio()
+        );
+        assert!(
+            twoq.hit_ratio() > lru.hit_ratio(),
+            "2q {:.3} vs lru {:.3}",
+            twoq.hit_ratio(),
+            lru.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn gdsf_beats_lru_on_byte_hits_under_size_skew() {
+        let trace = Trace::size_skewed(2048, 1.1, 60_000, 0x517E);
+        let cap = 512 * 1024;
+        let lru = replay(ReplacePolicy::Lru, &trace, cap, 1);
+        let gdsf = replay(ReplacePolicy::Gdsf, &trace, cap, 1);
+        assert!(
+            gdsf.byte_hit_ratio() > lru.byte_hit_ratio(),
+            "gdsf {:.3} vs lru {:.3}",
+            gdsf.byte_hit_ratio(),
+            lru.byte_hit_ratio()
+        );
+    }
+
+    #[test]
+    fn sharding_costs_hit_ratio_against_the_global_oracle() {
+        let trace = small_zipf();
+        let cap = 128 * UNIFORM_BYTES as u64;
+        let global = replay(ReplacePolicy::Lru, &trace, cap, 1);
+        let sharded = replay(ReplacePolicy::Lru, &trace, cap, 16);
+        // Sharding partitions the budget; imbalance can only lose hits.
+        assert!(
+            global.hit_ratio() >= sharded.hit_ratio(),
+            "global {:.3} < sharded {:.3}?",
+            global.hit_ratio(),
+            sharded.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn invalidation_frees_are_not_evictions() {
+        let trace = Trace::invalidation_bursts(128, 0.9, 200, 10_000, 9);
+        // Capacity holds everything: the only removals are invalidations.
+        let r = replay(ReplacePolicy::Lru, &trace, 128 * UNIFORM_BYTES as u64, 1);
+        assert_eq!(r.evictions, 0);
+        assert!(r.invalidation_frees > 0);
+    }
+}

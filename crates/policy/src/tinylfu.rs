@@ -1,0 +1,309 @@
+//! TinyLFU: frequency-based admission in front of a resident LRU.
+//!
+//! The resident set is ordered by plain LRU, but *getting in* is the hard
+//! part: when the cache is full, a candidate only displaces the LRU
+//! victim if its estimated access frequency beats the victim's. Frequency
+//! lives outside the resident set, in a **count-min sketch** over content
+//! identities, fronted by a **doorkeeper** set that absorbs the long tail
+//! of once-seen identities (most of a scan) without spending sketch
+//! counters on them. Every `sample` recordings the sketch **ages**: all
+//! counters halve and the doorkeeper resets, so popularity is always
+//! recent popularity.
+//!
+//! The combination is scan-resistant (one-shot identities lose the
+//! admission duel against any resident with history) and recycles-safe:
+//! history is keyed by ident, so a cache key reassigned to new content
+//! carries nothing over.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::book::Book;
+use crate::{Key, Replacer};
+
+/// Counter ceiling: 4-bit style saturation (matches the classic design;
+/// halving keeps effective resolution).
+const COUNTER_MAX: u8 = 15;
+
+/// Count-min sketch: 4 rows of `width` saturating counters.
+struct CountMin {
+    rows: [Vec<u8>; 4],
+    mask: u64,
+}
+
+impl CountMin {
+    fn new(width: usize) -> CountMin {
+        let width = width.next_power_of_two().max(64);
+        CountMin {
+            rows: std::array::from_fn(|_| vec![0u8; width]),
+            mask: width as u64 - 1,
+        }
+    }
+
+    /// Per-row index: splitmix-style remix of the ident with a row seed.
+    fn index(&self, row: usize, ident: u64) -> usize {
+        let mut z = ident ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(row as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) & self.mask) as usize
+    }
+
+    fn add(&mut self, ident: u64) {
+        for row in 0..4 {
+            let i = self.index(row, ident);
+            let c = &mut self.rows[row][i];
+            if *c < COUNTER_MAX {
+                *c += 1;
+            }
+        }
+    }
+
+    fn estimate(&self, ident: u64) -> u32 {
+        (0..4)
+            .map(|row| self.rows[row][self.index(row, ident)] as u32)
+            .min()
+            .expect("four rows")
+    }
+
+    fn halve(&mut self) {
+        for row in &mut self.rows {
+            for c in row.iter_mut() {
+                *c >>= 1;
+            }
+        }
+    }
+}
+
+/// TinyLFU replacer. See the module docs.
+pub struct TinyLfuReplacer<K> {
+    book: Book<K>,
+    // Resident LRU.
+    stamp: u64,
+    by_stamp: BTreeMap<u64, K>,
+    stamp_of: HashMap<K, u64>,
+    sketch: CountMin,
+    doorkeeper: HashSet<u64>,
+    /// Recordings since the last aging pass.
+    recordings: u64,
+    /// Aging period (≈ 10× the resident population).
+    sample: u64,
+    /// Ident granted a victim by [`Replacer::evict_for`]; its follow-up
+    /// `admit` must not record a second access.
+    pending: Option<u64>,
+}
+
+impl<K: Key> TinyLfuReplacer<K> {
+    /// `capacity_hint` ≈ residents at capacity; sizes the sketch and the
+    /// aging period.
+    pub fn new(capacity_hint: usize) -> Self {
+        let cap = capacity_hint.max(8);
+        TinyLfuReplacer {
+            book: Book::new(),
+            stamp: 0,
+            by_stamp: BTreeMap::new(),
+            stamp_of: HashMap::new(),
+            sketch: CountMin::new(cap * 8),
+            doorkeeper: HashSet::new(),
+            recordings: 0,
+            sample: (cap as u64) * 10,
+            pending: None,
+        }
+    }
+
+    /// Record one access to `ident`: first sighting lands in the
+    /// doorkeeper only; repeats reach the sketch.
+    fn record(&mut self, ident: u64) {
+        if self.doorkeeper.insert(ident) {
+            // First sighting this epoch: the doorkeeper bit is the count.
+        } else {
+            self.sketch.add(ident);
+        }
+        self.recordings += 1;
+        if self.recordings >= self.sample {
+            self.sketch.halve();
+            self.doorkeeper.clear();
+            self.recordings = 0;
+        }
+    }
+
+    /// Doorkeeper-aware frequency estimate.
+    fn estimate(&self, ident: u64) -> u32 {
+        let bonus = u32::from(self.doorkeeper.contains(&ident));
+        self.sketch.estimate(ident) + bonus
+    }
+
+    fn bump(&mut self, key: K) {
+        if let Some(old) = self.stamp_of.remove(&key) {
+            self.by_stamp.remove(&old);
+        }
+        self.stamp += 1;
+        self.by_stamp.insert(self.stamp, key.clone());
+        self.stamp_of.insert(key, self.stamp);
+    }
+
+    fn pop_lru(&mut self) -> Option<K> {
+        let (&stamp, key) = self.by_stamp.iter().next()?;
+        let key = key.clone();
+        self.by_stamp.remove(&stamp);
+        self.stamp_of.remove(&key);
+        self.book.remove(&key);
+        Some(key)
+    }
+}
+
+impl<K: Key> Replacer<K> for TinyLfuReplacer<K> {
+    fn admit(&mut self, key: K, ident: u64, bytes: u64) -> bool {
+        // An access granted through evict_for was already recorded there.
+        if self.pending.take() != Some(ident) {
+            self.record(ident);
+        }
+        self.book.insert(key.clone(), ident, bytes);
+        self.bump(key);
+        true
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some(resident) = self.book.get(key) {
+            self.record(resident.ident);
+            self.bump(key.clone());
+        }
+    }
+
+    fn remove(&mut self, key: &K) {
+        if self.book.remove(key).is_some() {
+            if let Some(old) = self.stamp_of.remove(key) {
+                self.by_stamp.remove(&old);
+            }
+        }
+    }
+
+    fn update_bytes(&mut self, key: &K, bytes: u64) {
+        self.book.set_bytes(key, bytes);
+    }
+
+    fn pick_victim(&mut self) -> Option<K> {
+        self.pop_lru()
+    }
+
+    /// The admission duel: candidate vs the LRU victim, by estimated
+    /// frequency. The candidate's access is recorded either way — losing
+    /// repeatedly is how it eventually wins.
+    fn evict_for(&mut self, ident: u64, _bytes: u64) -> Option<K> {
+        if self.pending != Some(ident) {
+            self.record(ident);
+            self.pending = Some(ident);
+        }
+        let (&stamp, victim) = self.by_stamp.iter().next()?;
+        let victim = victim.clone();
+        let victim_ident = self.book.get(&victim).expect("LRU tracks the book").ident;
+        if self.estimate(ident) > self.estimate(victim_ident) {
+            self.by_stamp.remove(&stamp);
+            self.stamp_of.remove(&victim);
+            self.book.remove(&victim);
+            Some(victim)
+        } else {
+            self.pending = None;
+            None
+        }
+    }
+
+    fn is_admission_controlled(&self) -> bool {
+        true
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.book.total_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "tinylfu"
+    }
+
+    fn len(&self) -> usize {
+        self.book.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sketch_estimates_track_adds() {
+        let mut s = CountMin::new(256);
+        for _ in 0..5 {
+            s.add(42);
+        }
+        assert!(s.estimate(42) >= 5u32.min(COUNTER_MAX as u32));
+        assert!(s.estimate(43) <= s.estimate(42));
+        s.halve();
+        assert!(s.estimate(42) >= 2);
+    }
+
+    #[test]
+    fn one_shot_candidate_loses_the_duel() {
+        let mut r = TinyLfuReplacer::new(8);
+        // A popular resident…
+        r.admit(1u64, 1, 1);
+        for _ in 0..4 {
+            r.touch(&1);
+        }
+        // …survives a parade of one-shot candidates.
+        for ident in 100..120u64 {
+            assert_eq!(r.evict_for(ident, 1), None, "candidate {ident}");
+        }
+        assert_eq!(r.len(), 1);
+        assert!(r.book.contains(&1));
+    }
+
+    #[test]
+    fn frequent_candidate_wins_the_duel() {
+        let mut r = TinyLfuReplacer::new(8);
+        r.admit(1u64, 1, 1); // never touched again
+                             // Candidate 7 keeps coming back; by the third duel its estimate
+                             // exceeds the cold resident's.
+        let mut admitted = false;
+        for _ in 0..4 {
+            if let Some(victim) = r.evict_for(7, 1) {
+                assert_eq!(victim, 1);
+                r.admit(2u64, 7, 1);
+                admitted = true;
+                break;
+            }
+        }
+        assert!(admitted, "recurring candidate must eventually displace");
+    }
+
+    #[test]
+    fn aging_halves_history() {
+        let mut r = TinyLfuReplacer::<u64>::new(8);
+        for _ in 0..6 {
+            r.record(9);
+        }
+        let before = r.estimate(9);
+        // Force an aging pass.
+        for ident in 0..r.sample {
+            r.record(1000 + ident);
+        }
+        assert!(r.estimate(9) < before, "aging must decay estimates");
+        assert!(r.doorkeeper.len() as u64 <= r.sample);
+    }
+
+    #[test]
+    fn granted_duel_does_not_double_count() {
+        let mut r = TinyLfuReplacer::new(8);
+        r.admit(1u64, 1, 1);
+        // Duel until candidate 7 is popular enough to win.
+        let mut victim = None;
+        for _ in 0..4 {
+            victim = r.evict_for(7, 1);
+            if victim.is_some() {
+                break;
+            }
+        }
+        assert_eq!(victim, Some(1));
+        let est_before = r.estimate(7);
+        r.admit(2u64, 7, 1);
+        // admit consumed `pending` instead of recording again.
+        assert_eq!(r.estimate(7), est_before);
+    }
+}

@@ -1,0 +1,363 @@
+//! 2Q: scan resistance through a probation queue and a ghost queue.
+//!
+//! New residents enter **A1in**, a FIFO probation queue. A key proves
+//! re-reference in either of two ways: it is *hit while on probation*, or
+//! its *identity* is found in **A1out** — a bounded ghost queue of
+//! recently evicted identities holding no bytes — when it is admitted
+//! again. Either promotes it to **Am**, the protected LRU. A sequential
+//! scan touches each object exactly once, so it flows through A1in and
+//! out again without ever displacing the protected set.
+//!
+//! Promoting on an A1in hit deviates from the original 2Q paper (which
+//! parks A1in hits to absorb correlated references and relies on A1out
+//! alone): against sweeps longer than the ghost queue — the cache-flood
+//! shape this engine exists to resist — the ghost entries of the hot set
+//! are themselves flushed by the scan's ghosts, and the textbook variant
+//! collapses to FIFO. The probation-hit rule keeps promotion evidence
+//! out of the scan's reach entirely.
+//!
+//! Quotas follow the 2Q paper's rules of thumb: `Kin` = 25% and `Kout` =
+//! 50% of the capacity hint (in entries).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::book::Book;
+use crate::{Key, Replacer};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Queue {
+    A1in,
+    Main,
+}
+
+struct Meta {
+    queue: Queue,
+    generation: u64,
+}
+
+/// 2Q replacer. See the module docs.
+pub struct TwoQReplacer<K> {
+    book: Book<K>,
+    meta: HashMap<K, Meta>,
+    /// Probation FIFO of (key, generation); stale entries skipped lazily.
+    a1in: VecDeque<(K, u64)>,
+    a1in_live: usize,
+    /// Ghost queue of evicted identities, ordered by eviction stamp and
+    /// bounded by `kout`. Two exact maps rather than a deque+set: idents
+    /// leave the ghost set out of order (promotion on return), and a lazy
+    /// deque would let a stale duplicate's expiry delete a live ghost.
+    ghost_by_stamp: BTreeMap<u64, u64>,
+    ghost_stamp_of: HashMap<u64, u64>,
+    ghost_stamp: u64,
+    /// Protected LRU.
+    stamp: u64,
+    by_stamp: BTreeMap<u64, K>,
+    stamp_of: HashMap<K, u64>,
+    generation: u64,
+    kin: usize,
+    kout: usize,
+}
+
+impl<K: Key> TwoQReplacer<K> {
+    /// `capacity_hint` ≈ residents at capacity; sizes the queue quotas.
+    pub fn new(capacity_hint: usize) -> Self {
+        let cap = capacity_hint.max(4);
+        TwoQReplacer {
+            book: Book::new(),
+            meta: HashMap::new(),
+            a1in: VecDeque::new(),
+            a1in_live: 0,
+            ghost_by_stamp: BTreeMap::new(),
+            ghost_stamp_of: HashMap::new(),
+            ghost_stamp: 0,
+            stamp: 0,
+            by_stamp: BTreeMap::new(),
+            stamp_of: HashMap::new(),
+            generation: 0,
+            kin: (cap / 4).max(1),
+            kout: (cap / 2).max(2),
+        }
+    }
+
+    fn bump_main(&mut self, key: K) {
+        if let Some(old) = self.stamp_of.remove(&key) {
+            self.by_stamp.remove(&old);
+        }
+        self.stamp += 1;
+        self.by_stamp.insert(self.stamp, key.clone());
+        self.stamp_of.insert(key, self.stamp);
+    }
+
+    fn remember_ghost(&mut self, ident: u64) {
+        // Re-evicted idents refresh their position (most-recent eviction
+        // counts for the FIFO bound).
+        if let Some(old) = self.ghost_stamp_of.remove(&ident) {
+            self.ghost_by_stamp.remove(&old);
+        }
+        self.ghost_stamp += 1;
+        self.ghost_by_stamp.insert(self.ghost_stamp, ident);
+        self.ghost_stamp_of.insert(ident, self.ghost_stamp);
+        while self.ghost_stamp_of.len() > self.kout {
+            let (&stamp, &expired) = self.ghost_by_stamp.iter().next().expect("over bound");
+            self.ghost_by_stamp.remove(&stamp);
+            self.ghost_stamp_of.remove(&expired);
+        }
+    }
+
+    /// Consume a ghost, if `ident` has one (the admission-time
+    /// re-reference test).
+    fn take_ghost(&mut self, ident: u64) -> bool {
+        match self.ghost_stamp_of.remove(&ident) {
+            Some(stamp) => {
+                self.ghost_by_stamp.remove(&stamp);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pop the first live A1in entry, untracking it. `remember` controls
+    /// whether its identity goes to the ghost queue (evictions do,
+    /// invalidation removals do not).
+    fn evict_a1in(&mut self, remember: bool) -> Option<K> {
+        while let Some((key, generation)) = self.a1in.pop_front() {
+            match self.meta.get(&key) {
+                Some(m) if m.queue == Queue::A1in && m.generation == generation => {
+                    self.meta.remove(&key);
+                    self.a1in_live -= 1;
+                    let resident = self.book.remove(&key).expect("book tracks meta");
+                    if remember {
+                        self.remember_ghost(resident.ident);
+                    }
+                    return Some(key);
+                }
+                _ => continue, // stale
+            }
+        }
+        None
+    }
+
+    fn evict_main(&mut self) -> Option<K> {
+        let (&stamp, key) = self.by_stamp.iter().next()?;
+        let key = key.clone();
+        self.by_stamp.remove(&stamp);
+        self.stamp_of.remove(&key);
+        self.meta.remove(&key);
+        self.book.remove(&key);
+        Some(key)
+    }
+
+    /// Drop stale A1in entries once they outnumber live ones (removal and
+    /// probation-hit promotion only mark entries stale). Without this, a
+    /// workload whose entries always leave via `remove` would grow the
+    /// deque forever. Amortized O(1) per admission.
+    fn maybe_compact(&mut self) {
+        if self.a1in.len() > (2 * self.a1in_live).max(16) {
+            self.a1in.retain(|(k, g)| {
+                self.meta
+                    .get(k)
+                    .is_some_and(|m| m.queue == Queue::A1in && m.generation == *g)
+            });
+        }
+    }
+}
+
+impl<K: Key> Replacer<K> for TwoQReplacer<K> {
+    fn admit(&mut self, key: K, ident: u64, bytes: u64) -> bool {
+        if !self.book.insert(key.clone(), ident, bytes) {
+            // Already resident: refresh only.
+            return true;
+        }
+        self.generation += 1;
+        if self.take_ghost(ident) {
+            // Seen before and evicted: promote straight to the protected
+            // LRU (the 2Q re-reference test).
+            self.meta.insert(
+                key.clone(),
+                Meta {
+                    queue: Queue::Main,
+                    generation: self.generation,
+                },
+            );
+            self.bump_main(key);
+        } else {
+            self.meta.insert(
+                key.clone(),
+                Meta {
+                    queue: Queue::A1in,
+                    generation: self.generation,
+                },
+            );
+            self.a1in.push_back((key, self.generation));
+            self.a1in_live += 1;
+            self.maybe_compact();
+        }
+        true
+    }
+
+    fn touch(&mut self, key: &K) {
+        match self.meta.get_mut(key) {
+            // A hit on probation is re-reference evidence a scan can never
+            // produce: promote to the protected LRU (the A1in deque entry
+            // goes stale and is skipped by the sweep).
+            Some(m) if m.queue == Queue::A1in => {
+                m.queue = Queue::Main;
+                self.a1in_live -= 1;
+                self.bump_main(key.clone());
+            }
+            Some(m) if m.queue == Queue::Main => self.bump_main(key.clone()),
+            _ => {}
+        }
+    }
+
+    fn remove(&mut self, key: &K) {
+        let Some(meta) = self.meta.remove(key) else {
+            return;
+        };
+        self.book.remove(key);
+        match meta.queue {
+            Queue::A1in => self.a1in_live -= 1, // queue entry goes stale
+            Queue::Main => {
+                if let Some(old) = self.stamp_of.remove(key) {
+                    self.by_stamp.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn update_bytes(&mut self, key: &K, bytes: u64) {
+        self.book.set_bytes(key, bytes);
+    }
+
+    fn pick_victim(&mut self) -> Option<K> {
+        // Reclaim from A1in while it exceeds its quota (or when the
+        // protected set is empty); otherwise from the protected LRU.
+        if self.a1in_live > self.kin || self.by_stamp.is_empty() {
+            if let Some(victim) = self.evict_a1in(true) {
+                return Some(victim);
+            }
+        }
+        self.evict_main().or_else(|| self.evict_a1in(true))
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.book.total_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        "2q"
+    }
+
+    fn len(&self) -> usize {
+        self.book.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_keys_never_reach_the_protected_lru() {
+        let mut r = TwoQReplacer::new(8);
+        // A long scan: every key seen once.
+        for i in 0..32u64 {
+            r.admit(i, i, 1);
+            while r.len() > 8 {
+                r.pick_victim();
+            }
+        }
+        assert!(r.by_stamp.is_empty(), "scan must not populate Am");
+    }
+
+    #[test]
+    fn reference_after_ghost_eviction_promotes() {
+        let mut r = TwoQReplacer::new(8);
+        r.admit(1u64, 1, 1);
+        // Push 1 out through A1in (quota 2 for hint 8).
+        for i in 2..8u64 {
+            r.admit(i, i, 1);
+            while r.len() > 4 {
+                r.pick_victim();
+            }
+        }
+        assert!(!r.book.contains(&1), "1 was evicted through A1in");
+        // 1 returns: the ghost remembers it, so it enters Am.
+        r.admit(1u64, 1, 1);
+        assert_eq!(r.meta.get(&1).map(|m| m.queue == Queue::Main), Some(true));
+    }
+
+    #[test]
+    fn invalidation_removal_leaves_no_ghost() {
+        let mut r = TwoQReplacer::new(8);
+        r.admit(1u64, 77, 1);
+        r.remove(&1);
+        // Re-admission is NOT treated as a re-reference: invalidation is
+        // not an eviction.
+        r.admit(1u64, 77, 1);
+        assert_eq!(
+            r.meta.get(&1).map(|m| m.queue == Queue::A1in),
+            Some(true),
+            "invalidated keys restart probation"
+        );
+    }
+
+    #[test]
+    fn probation_deque_stays_bounded_under_remove_churn() {
+        let mut r = TwoQReplacer::new(8);
+        for i in 0..10_000u64 {
+            r.admit(i, i, 1);
+            r.remove(&i);
+        }
+        assert!(r.a1in.len() <= 32, "a1in {} entries", r.a1in.len());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ghost_queue_is_bounded() {
+        let mut r = TwoQReplacer::new(8);
+        for i in 0..100u64 {
+            r.admit(i, i, 1);
+            while r.len() > 4 {
+                r.pick_victim();
+            }
+        }
+        assert!(
+            r.ghost_stamp_of.len() <= 4,
+            "kout bound holds: {}",
+            r.ghost_stamp_of.len()
+        );
+        assert_eq!(r.ghost_by_stamp.len(), r.ghost_stamp_of.len());
+    }
+
+    #[test]
+    fn ghost_promotion_then_reeviction_keeps_ghost_maps_exact() {
+        // The deque+set ghost design had a desync: a promoted ghost left a
+        // stale deque duplicate whose later expiry deleted the live ghost.
+        // The stamp maps make that unrepresentable; this pins the cycle.
+        let mut r = TwoQReplacer::new(8);
+        let ident = 77u64;
+        // Evict X through A1in -> ghost; return -> promoted to Main.
+        r.admit(1u64, ident, 1);
+        let _ = r.evict_a1in(true);
+        r.admit(1u64, ident, 1);
+        assert_eq!(r.meta.get(&1).map(|m| m.queue == Queue::Main), Some(true));
+        // Evict from Main (no ghost), re-admit to probation, re-evict.
+        assert_eq!(r.evict_main(), Some(1));
+        r.admit(1u64, ident, 1);
+        let _ = r.evict_a1in(true);
+        // Exactly one live ghost for the ident; churning other ghosts up
+        // to the bound must expire it exactly once, not twice.
+        assert_eq!(r.ghost_by_stamp.len(), r.ghost_stamp_of.len());
+        for other in 100..104u64 {
+            r.admit(other, other, 1);
+            let _ = r.evict_a1in(true);
+        }
+        assert_eq!(r.ghost_by_stamp.len(), r.ghost_stamp_of.len());
+        assert!(r.ghost_stamp_of.len() <= 4);
+        // The ident's ghost was pushed before the churn; with kout = 4 the
+        // churn of 4 others expired it — returning lands on probation.
+        r.admit(1u64, ident, 1);
+        assert_eq!(r.meta.get(&1).map(|m| m.queue == Queue::A1in), Some(true));
+    }
+}

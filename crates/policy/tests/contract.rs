@@ -1,0 +1,206 @@
+//! The `Replacer` contract, pinned once and run against *every* policy.
+//!
+//! A seeded fuzz loop drives each policy through random interleavings of
+//! admit / touch / remove / update_bytes / pick_victim / evict_for /
+//! evict_until while a shadow model tracks what the policy must agree on:
+//!
+//! * a victim (from any eviction entry point) is always a currently
+//!   tracked, previously admitted key, and is untracked afterwards;
+//! * touch after evict/remove is a no-op (len and bytes unchanged);
+//! * remove is idempotent;
+//! * byte accounting equals the model's sum exactly and therefore never
+//!   underflows;
+//! * `len` equals the model's resident count.
+
+use std::collections::HashMap;
+
+use dpc_policy::{ReplacePolicy, Replacer};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const KEYS: u64 = 64;
+
+fn ident_of(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5
+}
+
+/// Shadow model: the resident map the policy must agree with.
+#[derive(Default)]
+struct Model {
+    resident: HashMap<u64, u64>, // key -> bytes
+    admitted_ever: std::collections::HashSet<u64>,
+}
+
+impl Model {
+    fn bytes(&self) -> u64 {
+        self.resident.values().sum()
+    }
+}
+
+fn check(policy: ReplacePolicy, r: &dyn Replacer<u64>, model: &Model, step: usize) {
+    assert_eq!(
+        r.len(),
+        model.resident.len(),
+        "{policy:?} step {step}: len drift"
+    );
+    assert_eq!(
+        r.resident_bytes(),
+        model.bytes(),
+        "{policy:?} step {step}: byte accounting drift"
+    );
+}
+
+fn take_victim(policy: ReplacePolicy, model: &mut Model, victim: u64, step: usize) {
+    assert!(
+        model.admitted_ever.contains(&victim),
+        "{policy:?} step {step}: victim {victim} was never admitted"
+    );
+    assert!(
+        model.resident.remove(&victim).is_some(),
+        "{policy:?} step {step}: victim {victim} was not resident"
+    );
+}
+
+#[test]
+fn every_policy_honours_the_replacer_contract() {
+    for policy in ReplacePolicy::ALL {
+        let mut rng = StdRng::seed_from_u64(0xC0_47AC7 ^ policy.name().len() as u64);
+        for case in 0..24 {
+            let mut r: Box<dyn Replacer<u64>> = policy.build(16);
+            let mut model = Model::default();
+            let steps = rng.random_range(10..400usize);
+            for step in 0..steps {
+                let key = rng.random_range(0..KEYS);
+                match rng.random_range(0..100u32) {
+                    // Admit (possibly re-admit) a key.
+                    0..=34 => {
+                        let bytes = rng.random_range(1..5000u64);
+                        if r.admit(key, ident_of(key), bytes) {
+                            model.resident.insert(key, bytes);
+                            model.admitted_ever.insert(key);
+                        } else {
+                            assert!(
+                                !model.resident.contains_key(&key),
+                                "{policy:?} step {step}: refused key stayed tracked"
+                            );
+                        }
+                    }
+                    // Touch: resident or not, never changes membership.
+                    35..=59 => {
+                        r.touch(&key);
+                    }
+                    // Remove, sometimes twice (idempotence).
+                    60..=74 => {
+                        r.remove(&key);
+                        model.resident.remove(&key);
+                        if rng.random_bool(0.3) {
+                            r.remove(&key);
+                        }
+                    }
+                    // Resize a (possibly unknown) key.
+                    75..=84 => {
+                        let bytes = rng.random_range(1..5000u64);
+                        r.update_bytes(&key, bytes);
+                        if let Some(b) = model.resident.get_mut(&key) {
+                            *b = bytes;
+                        }
+                    }
+                    // Unconditional eviction.
+                    85..=92 => {
+                        if let Some(victim) = r.pick_victim() {
+                            take_victim(policy, &mut model, victim, step);
+                            // Touching the evicted key must change nothing.
+                            let (len, bytes) = (r.len(), r.resident_bytes());
+                            r.touch(&victim);
+                            assert_eq!(
+                                (r.len(), r.resident_bytes()),
+                                (len, bytes),
+                                "{policy:?} step {step}: touch-after-evict moved state"
+                            );
+                        } else {
+                            assert!(
+                                policy == ReplacePolicy::None || model.resident.is_empty(),
+                                "{policy:?} step {step}: no victim while {} resident",
+                                model.resident.len()
+                            );
+                        }
+                    }
+                    // Candidate eviction duel.
+                    93..=96 => {
+                        let candidate = rng.random_range(KEYS..KEYS + 8);
+                        if let Some(victim) = r.evict_for(ident_of(candidate), 1000) {
+                            take_victim(policy, &mut model, victim, step);
+                        }
+                    }
+                    // Byte-budget recovery.
+                    _ => {
+                        let need = rng.random_range(1..8000u64);
+                        let before = model.bytes();
+                        let victims = r.evict_until(need);
+                        for victim in &victims {
+                            take_victim(policy, &mut model, *victim, step);
+                        }
+                        let freed = before - model.bytes();
+                        if policy != ReplacePolicy::None {
+                            assert!(
+                                freed >= need.min(before),
+                                "{policy:?} step {step}: evict_until({need}) freed only {freed} of {before}"
+                            );
+                        }
+                    }
+                }
+                check(policy, r.as_ref(), &model, step);
+            }
+            // Drain: every tracked key must come out exactly once.
+            if policy != ReplacePolicy::None {
+                while let Some(victim) = r.pick_victim() {
+                    take_victim(policy, &mut model, victim, usize::MAX);
+                }
+                assert!(
+                    model.resident.is_empty(),
+                    "{policy:?} case {case}: drain left residents"
+                );
+                assert_eq!(r.resident_bytes(), 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn touch_and_remove_of_never_admitted_keys_are_noops() {
+    for policy in ReplacePolicy::ALL {
+        let mut r: Box<dyn Replacer<u64>> = policy.build(8);
+        r.touch(&7);
+        r.remove(&7);
+        r.update_bytes(&7, 99);
+        assert!(r.is_empty(), "{policy:?}");
+        assert_eq!(r.resident_bytes(), 0, "{policy:?}");
+        assert_eq!(r.pick_victim(), None, "{policy:?}");
+    }
+}
+
+#[test]
+fn evict_never_returns_a_never_inserted_key() {
+    // Focused version of the fuzz invariant: interleave admissions with
+    // duels that offer *foreign* candidates, and check every victim.
+    for policy in ReplacePolicy::EVICTING {
+        let mut r: Box<dyn Replacer<u64>> = policy.build(8);
+        let mut admitted = std::collections::HashSet::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..500u64 {
+            let key = i % 32;
+            r.admit(key, ident_of(key), 100);
+            admitted.insert(key);
+            if rng.random_bool(0.5) {
+                if let Some(v) = r.evict_for(ident_of(1000 + i), 100) {
+                    assert!(admitted.contains(&v), "{policy:?}: foreign victim {v}");
+                }
+            }
+            if r.len() > 8 {
+                if let Some(v) = r.pick_victim() {
+                    assert!(admitted.contains(&v), "{policy:?}: foreign victim {v}");
+                }
+            }
+        }
+    }
+}

@@ -5,8 +5,19 @@
 //! awareness — hence the Bob/Alice wrong-page hazard) and invalidation is
 //! whole-page (hence the over-invalidation the paper's stock-quote example
 //! describes). `PURGE <target>` drops one entry.
+//!
+//! Replacement is delegated to the shared policy engine
+//! ([`dpc_core::Replacer`], from `dpc-policy`): the page cache runs any
+//! [`ReplacePolicy`], driven with the URL's FNV hash as both key and
+//! content identity and the body size as the byte signal — so the proxy
+//! tier's full-page baseline is measured under the same policy menu as
+//! the DPC directory. Hashed keys keep the hit path allocation-free (a
+//! `Replacer<String>` would need an owned `String` per `touch`); an
+//! `ident → URL` owner map resolves victims, and the astronomically rare
+//! 64-bit collision is handled by purging the previous owner.
 
 use bytes::Bytes;
+use dpc_core::{fnv1a, ReplacePolicy, Replacer};
 use dpc_net::Clock;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -19,49 +30,96 @@ struct PageEntry {
     body: Bytes,
     content_type: String,
     expires_at: u64,
-    stamp: u64,
 }
 
-/// URL-keyed page cache with TTL and LRU eviction.
+/// Maps and replacer move together under one lock: eviction decisions and
+/// entry removal must be atomic.
+struct PageInner {
+    entries: HashMap<String, PageEntry>,
+    /// Victim resolution: replacer key (URL hash) → URL.
+    owner: HashMap<u64, String>,
+    replacer: Box<dyn Replacer<u64>>,
+}
+
+impl PageInner {
+    /// Remove `target`'s entry and its replacer tracking (expiry, purge,
+    /// collision displacement — removals, never evictions).
+    fn forget(&mut self, target: &str, ident: u64) -> bool {
+        let removed = self.entries.remove(target).is_some();
+        if removed {
+            self.owner.remove(&ident);
+            self.replacer.remove(&ident);
+        }
+        removed
+    }
+}
+
+/// URL-keyed page cache with TTL and pluggable replacement.
 pub struct PageCache {
     clock: Clock,
     ttl: Duration,
     capacity: usize,
-    entries: Mutex<HashMap<String, PageEntry>>,
-    stamp: AtomicU64,
+    policy: ReplacePolicy,
+    inner: Mutex<PageInner>,
     hits: AtomicU64,
     misses: AtomicU64,
     purges: AtomicU64,
     evictions: AtomicU64,
+    admission_rejections: AtomicU64,
 }
 
 impl PageCache {
+    /// LRU cache (the classic baseline).
     pub fn new(clock: Clock, ttl: Duration, capacity: usize) -> PageCache {
+        Self::with_policy(clock, ttl, capacity, ReplacePolicy::Lru)
+    }
+
+    /// Cache running an explicit replacement policy.
+    pub fn with_policy(
+        clock: Clock,
+        ttl: Duration,
+        capacity: usize,
+        policy: ReplacePolicy,
+    ) -> PageCache {
+        let capacity = capacity.max(1);
         PageCache {
             clock,
             ttl,
-            capacity: capacity.max(1),
-            entries: Mutex::new(HashMap::new()),
-            stamp: AtomicU64::new(0),
+            capacity,
+            policy,
+            inner: Mutex::new(PageInner {
+                entries: HashMap::new(),
+                owner: HashMap::new(),
+                replacer: policy.build(capacity),
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             purges: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            admission_rejections: AtomicU64::new(0),
         }
+    }
+
+    /// The replacement policy this cache runs.
+    pub fn policy(&self) -> ReplacePolicy {
+        self.policy
     }
 
     /// Look up `target`; counts a hit or miss.
     pub fn get(&self, target: &str) -> Option<(Bytes, String)> {
         let now = self.clock.now_nanos();
-        let mut entries = self.entries.lock();
-        match entries.get_mut(target) {
+        let ident = fnv1a(target.as_bytes());
+        let mut inner = self.inner.lock();
+        match inner.entries.get(target) {
             Some(entry) if entry.expires_at > now => {
-                entry.stamp = self.stamp.fetch_add(1, Ordering::Relaxed);
+                let hit = (entry.body.clone(), entry.content_type.clone());
+                inner.replacer.touch(&ident);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some((entry.body.clone(), entry.content_type.clone()))
+                Some(hit)
             }
             Some(_) => {
-                entries.remove(target);
+                // Expiry is a removal, not an eviction.
+                inner.forget(target, ident);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -72,35 +130,61 @@ impl PageCache {
         }
     }
 
-    /// Insert a page under `target`, evicting LRU entries over capacity.
+    /// Insert a page under `target`, evicting per policy when over
+    /// capacity. Admission-controlled policies may refuse the page
+    /// entirely (it is simply not cached — correct, just cold).
     pub fn put(&self, target: &str, body: Bytes, content_type: &str) {
         let now = self.clock.now_nanos();
         let ttl: u64 = self.ttl.as_nanos().try_into().unwrap_or(u64::MAX);
-        let mut entries = self.entries.lock();
-        entries.insert(
-            target.to_owned(),
-            PageEntry {
-                body,
-                content_type: content_type.to_owned(),
-                expires_at: now.saturating_add(ttl),
-                stamp: self.stamp.fetch_add(1, Ordering::Relaxed),
-            },
-        );
-        while entries.len() > self.capacity {
-            // Evict the least recently used entry.
-            let victim = entries
-                .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty map over capacity");
-            entries.remove(&victim);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+        let ident = fnv1a(target.as_bytes());
+        let bytes = body.len().max(1) as u64;
+        let entry = PageEntry {
+            body,
+            content_type: content_type.to_owned(),
+            expires_at: now.saturating_add(ttl),
+        };
+        let mut inner = self.inner.lock();
+        if inner.entries.contains_key(target) {
+            // Refresh in place: body may have changed size.
+            inner.entries.insert(target.to_owned(), entry);
+            inner.replacer.update_bytes(&ident, bytes);
+            inner.replacer.touch(&ident);
+            return;
+        }
+        if let Some(previous) = inner.owner.get(&ident).cloned() {
+            // 64-bit hash collision with a different URL: displace the
+            // previous owner so entries/owner/replacer stay in lockstep.
+            inner.forget(&previous, ident);
+        }
+        while inner.entries.len() >= self.capacity {
+            match inner.replacer.evict_for(ident, bytes) {
+                Some(victim) => {
+                    if let Some(url) = inner.owner.remove(&victim) {
+                        inner.entries.remove(&url);
+                    }
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    if inner.replacer.is_admission_controlled() {
+                        self.admission_rejections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return;
+                }
+            }
+        }
+        if inner.replacer.admit(ident, ident, bytes) {
+            inner.entries.insert(target.to_owned(), entry);
+            inner.owner.insert(ident, target.to_owned());
+        } else {
+            self.admission_rejections.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Drop the entry for `target`, if any (the `PURGE` verb).
     pub fn purge(&self, target: &str) -> bool {
-        let removed = self.entries.lock().remove(target).is_some();
+        let ident = fnv1a(target.as_bytes());
+        let mut inner = self.inner.lock();
+        let removed = inner.forget(target, ident);
         if removed {
             self.purges.fetch_add(1, Ordering::Relaxed);
         }
@@ -109,7 +193,10 @@ impl PageCache {
 
     /// Drop everything.
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.owner.clear();
+        inner.replacer = self.policy.build(self.capacity);
     }
 
     /// (hits, misses, purges, evictions).
@@ -122,9 +209,14 @@ impl PageCache {
         )
     }
 
+    /// Pages the policy refused to admit.
+    pub fn admission_rejections(&self) -> u64 {
+        self.admission_rejections.load(Ordering::Relaxed)
+    }
+
     /// Number of cached pages.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.inner.lock().entries.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -186,6 +278,53 @@ mod tests {
         assert!(c.get("/a").is_some());
         assert!(c.get("/c").is_some());
         assert_eq!(c.counters().3, 1);
+    }
+
+    #[test]
+    fn refresh_keeps_one_entry_and_new_body() {
+        let (c, _h) = cache(60, 2);
+        c.put("/a", Bytes::from_static(b"v1"), "t");
+        c.put("/a", Bytes::from_static(b"version-two"), "t");
+        assert_eq!(c.len(), 1);
+        let (body, _) = c.get("/a").unwrap();
+        assert_eq!(&body[..], b"version-two");
+        assert_eq!(c.counters().3, 0, "refresh is not an eviction");
+    }
+
+    #[test]
+    fn any_policy_runs_the_page_cache() {
+        let (clock, _h) = Clock::virtual_clock();
+        for policy in ReplacePolicy::EVICTING {
+            let c = PageCache::with_policy(clock.clone(), Duration::from_secs(60), 4, policy);
+            assert_eq!(c.policy(), policy);
+            for i in 0..16 {
+                let target = format!("/p{i}");
+                c.put(&target, Bytes::from(vec![b'x'; 64 + i]), "t");
+                let _ = c.get(&target);
+            }
+            assert!(c.len() <= 4, "{policy:?} over capacity: {}", c.len());
+        }
+    }
+
+    #[test]
+    fn tinylfu_page_cache_shields_hot_pages_from_one_shot_traffic() {
+        let (clock, _h) = Clock::virtual_clock();
+        let c = PageCache::with_policy(clock, Duration::from_secs(600), 4, ReplacePolicy::TinyLfu);
+        for i in 0..4 {
+            let hot = format!("/hot{i}");
+            c.put(&hot, Bytes::from_static(b"hot"), "t");
+            for _ in 0..5 {
+                assert!(c.get(&hot).is_some());
+            }
+        }
+        // A one-shot crawl: every page refused at the admission duel.
+        for i in 0..32 {
+            c.put(&format!("/scan{i}"), Bytes::from_static(b"cold"), "t");
+        }
+        assert!(c.admission_rejections() > 0);
+        for i in 0..4 {
+            assert!(c.get(&format!("/hot{i}")).is_some(), "hot page {i} lost");
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::time::Duration;
 use dpc_cluster::{
     gossip_exchange, gossip_flush, peer_addr, peer_fetch, Membership, PeerNode, PeerServer,
 };
-use dpc_core::{DpcKey, FragmentSource, FragmentStore};
+use dpc_core::{DpcKey, FragmentSource, FragmentStore, ReplacePolicy};
 use dpc_http::{Client, Request, Response, Status};
 use dpc_net::{Clock, SimConnector, SimNetwork};
 
@@ -63,6 +63,11 @@ pub struct RingConfig {
     /// Worker threads of the cluster's HTTP front (its handler blocks on
     /// origin fetches, so inline mode does not apply).
     pub front_workers: usize,
+    /// Replacement policy of each node's local caches (today the per-node
+    /// page cache; the DPC slot stores are governed by the *origin*
+    /// directory's policy, set through `BemConfig`/`TestbedConfig`). The
+    /// whole menu from `dpc-policy` is selectable.
+    pub replace: ReplacePolicy,
 }
 
 impl Default for RingConfig {
@@ -73,6 +78,7 @@ impl Default for RingConfig {
             seed: 0x2117,
             loops: 1,
             front_workers: 16,
+            replace: ReplacePolicy::Lru,
         }
     }
 }
@@ -199,7 +205,12 @@ impl RingCluster {
                 ORIGIN_ADDR,
                 Arc::new(Client::new(Arc::new(self.net.connector()))),
                 store,
-                Arc::new(PageCache::new(clock.clone(), Duration::from_secs(60), 16)),
+                Arc::new(PageCache::with_policy(
+                    clock.clone(),
+                    Duration::from_secs(60),
+                    16,
+                    self.config.replace,
+                )),
                 Arc::new(EsiAssembler::new(clock, Duration::from_secs(60))),
                 None,
             )
@@ -813,6 +824,35 @@ mod tests {
             assert_eq!(cluster.get(&page(p), None).status.0, 200, "page {p}");
         }
         assert!(cluster.converged());
+    }
+
+    #[test]
+    fn ring_config_policy_reaches_every_node_cache() {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: params(),
+            ..TestbedConfig::default()
+        });
+        let cluster = RingCluster::new(
+            tb.net(),
+            3,
+            RingConfig {
+                replace: ReplacePolicy::TinyLfu,
+                ..RingConfig::default()
+            },
+        );
+        for id in cluster.alive() {
+            let proxy = cluster.proxy(id).expect("alive node");
+            assert_eq!(proxy.page_cache().policy(), ReplacePolicy::TinyLfu);
+        }
+        // Joins after construction inherit the policy too.
+        let joined = cluster.join();
+        assert_eq!(
+            cluster.proxy(joined).unwrap().page_cache().policy(),
+            ReplacePolicy::TinyLfu
+        );
+        // And the cluster still serves correctly under the new policy.
+        assert_eq!(cluster.get(&page(0), None).status.0, 200);
     }
 
     #[test]

@@ -329,6 +329,36 @@ mod tests {
     }
 
     #[test]
+    fn every_replacement_policy_serves_identical_pages_end_to_end() {
+        // Policy selection is pure configuration: any `dpc-policy` arm
+        // runs the whole testbed (BEM directory under capacity pressure
+        // included) and pages stay byte-identical to pass-through.
+        let plain = Testbed::build(TestbedConfig {
+            mode: ProxyMode::PassThrough,
+            paper_params: small_params(),
+            ..TestbedConfig::default()
+        });
+        for policy in ReplacePolicy::ALL {
+            let tb = Testbed::build(TestbedConfig {
+                mode: ProxyMode::Dpc,
+                paper_params: small_params(),
+                capacity: 8, // below the working set: replacement is live
+                replace: policy,
+                ..TestbedConfig::default()
+            });
+            for _round in 0..2 {
+                for p in 0..3 {
+                    let a = tb.get(&format!("/paper/page.jsp?p={p}"), None);
+                    let b = plain.get(&format!("/paper/page.jsp?p={p}"), None);
+                    assert_eq!(a.status.0, 200, "{policy:?} page {p}");
+                    assert_eq!(a.body, b.body, "{policy:?} page {p}");
+                }
+            }
+            tb.engine().bem().directory().check_invariants().unwrap();
+        }
+    }
+
+    #[test]
     fn multi_loop_front_serves_identical_pages() {
         // `loops` reaches both serving fronts (origin + proxy); pages are
         // byte-identical to the single-loop configuration.

@@ -22,7 +22,7 @@ pub mod driver;
 pub mod plan;
 pub mod session;
 
-pub use distr::{Bernoulli, Exponential, Zipf};
+pub use distr::{Bernoulli, Exponential, Zipf, ZipfStream};
 pub use driver::{ClosedLoopDriver, DriverReport, Fetcher};
 pub use plan::{AccessPlan, PlannedRequest, SiteKind};
 pub use session::{Population, UserRef};

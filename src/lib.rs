@@ -15,6 +15,8 @@
 //!   page-cache / ESI / DPC modes) and the Figure 4 testbed;
 //! * [`appserver`] ([`dpc_appserver`]) — the script engine and the demo
 //!   applications (synthetic paper site, BooksOnline, brokerage);
+//! * [`policy`] ([`dpc_policy`]) — the replacement engine (LRU/CLOCK/FIFO,
+//!   GDSF, 2Q, TinyLFU) and its trace-driven hit-ratio lab;
 //! * [`model`] ([`dpc_model`]) — the §5 closed-form analytical model;
 //! * [`net`] / [`http`] / [`repository`] / [`firewall`] / [`workload`] —
 //!   the substrates (metered simulated network, HTTP/1.1, content
@@ -52,6 +54,7 @@ pub use dpc_firewall as firewall;
 pub use dpc_http as http;
 pub use dpc_model as model;
 pub use dpc_net as net;
+pub use dpc_policy as policy;
 pub use dpc_proxy as proxy;
 pub use dpc_repository as repository;
 pub use dpc_workload as workload;
