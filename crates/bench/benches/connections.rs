@@ -31,14 +31,26 @@
 //! the two-level write budget keeping memory bounded, then measures a
 //! well-behaved client served at full speed on the heels of the abuse.
 //!
+//! The **coalesce scenario** closes the run: a 10k-request flash crowd
+//! against one hot fragment with a dependency invalidated mid-burst,
+//! served by the real BEM with single-flight coalescing on and off. It
+//! self-asserts the CI floor — coalesced produce calls ≤ 2% of requests —
+//! and emits `BENCH_coalesce.json` whose headline is produce calls per
+//! 10k concurrent requests, next to the lab's analytic model of the same
+//! burst (where coalesced = invalidations + 1 exactly).
+//!
 //! Run: `cargo bench -p dpc-bench --bench connections`
-//! Emits `BENCH_connections.json` at the workspace root.
+//! Emits `BENCH_connections.json` and `BENCH_coalesce.json` at the
+//! workspace root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
+use dpc_core::prelude::*;
+use dpc_core::AssembleError;
 use dpc_http::{Handler, Request, Response, Server, ServerConfig, ThreadedServer};
 use dpc_net::{Connector, MeterRegistry, ProtocolModel, SimNetwork};
 
@@ -296,6 +308,229 @@ fn eviction_scenario() -> String {
     )
 }
 
+/// Flash-crowd threads (= the acceptance scenario in `dpc-core`'s
+/// `flash_crowd.rs`: 16 x 625 = 10k requests).
+const CROWD_THREADS: usize = 16;
+const CROWD_REQS: usize = 625;
+/// Directory capacity for the crowd's BEM (scanned when counting parked
+/// waiters — the hot key's slot index depends on freeList order).
+const CROWD_CAP: usize = 8;
+/// CI floor (asserted every run, quick included): with coalescing on,
+/// produce calls must stay under this fraction of requests.
+const COALESCE_CI_FLOOR: f64 = 0.02;
+
+struct CrowdOutcome {
+    produces: u64,
+    coalesced_waits: u64,
+    /// Render laps wasted on `MissingFragment` — a directory hit racing an
+    /// unfinished produce. This is where the dogpile burns CPU in this
+    /// engine: the directory reserves the key at miss time, so the crowd
+    /// doesn't duplicate produce, it busy-spins. Coalescing parks it.
+    retry_laps: u64,
+    elapsed_ns: u128,
+}
+
+fn parked(bem: &Bem) -> u32 {
+    (0..CROWD_CAP as u64)
+        .map(|k| bem.directory().flight().parked_waiters(k))
+        .sum()
+}
+
+/// Serve the hot fragment once against `bem`/`store`. A directory hit can
+/// race the leader's `SET` by design; like the proxy's bypass path, retry
+/// the `MissingFragment` until the slot fills. The `produce` closure is
+/// the appserver code block whose runs the scenario counts.
+fn crowd_serve(
+    bem: &Bem,
+    store: &FragmentStore,
+    retry_laps: &AtomicU64,
+    produce: &(dyn Fn(&mut Vec<u8>) + Sync),
+) {
+    loop {
+        let mut w = bem.template_writer();
+        w.fragment(
+            &FragmentId::new("hot"),
+            FragmentPolicy::ttl(Duration::from_secs(600)).with_deps(&["tbl/hot"]),
+            |b| produce(b),
+        );
+        let template = w.finish();
+        match assemble_rope(&template, store) {
+            Ok(_) => return,
+            Err(AssembleError::MissingFragment(_)) => {
+                retry_laps.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+            }
+            Err(e) => panic!("flash-crowd template failed to assemble: {e}"),
+        }
+    }
+}
+
+/// One 10k-request burst with a dependency update landing mid-burst,
+/// coalescing on or off. The crowd re-synchronizes on a barrier 1/16th
+/// of the way in and thread 0 fires the update inside that rendezvous,
+/// so it provably lands with every thread live and the bulk of the load
+/// still to come (without the barrier, a 1-vCPU scheduling quantum lets
+/// a thread burn its whole hit-only loop before the update fires). The
+/// produce closure holds each miss window open until the other 15
+/// threads have demonstrably piled in — parked on the flight
+/// (coalesced) or burning `MissingFragment` retry laps (uncoalesced) —
+/// because on a small host a sub-millisecond produce never overlaps the
+/// crowd by luck; no thread can pass the hot fragment while a window is
+/// open, so the crowd always arrives.
+fn crowd_run(coalesce: bool) -> CrowdOutcome {
+    let bem = Arc::new(Bem::new(
+        BemConfig::default()
+            .with_capacity(CROWD_CAP)
+            .with_shards(1)
+            .with_coalesce(coalesce),
+    ));
+    let store = Arc::new(FragmentStore::new(CROWD_CAP));
+    let calls = Arc::new(AtomicU64::new(0));
+    let retry_laps = Arc::new(AtomicU64::new(0));
+    let gate = Arc::new(Barrier::new(CROWD_THREADS + 1));
+    let produce = {
+        let bem = Arc::clone(&bem);
+        let calls = Arc::clone(&calls);
+        let retry_laps = Arc::clone(&retry_laps);
+        let crowd = (CROWD_THREADS - 1) as u64;
+        Arc::new(move |b: &mut Vec<u8>| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            let deadline = Instant::now() + Duration::from_secs(30);
+            if coalesce {
+                while u64::from(parked(&bem)) < crowd {
+                    assert!(Instant::now() < deadline, "crowd never parked");
+                    std::thread::yield_now();
+                }
+            } else {
+                let target = retry_laps.load(Ordering::Relaxed) + crowd;
+                while retry_laps.load(Ordering::Relaxed) < target {
+                    assert!(Instant::now() < deadline, "crowd never spun");
+                    std::thread::yield_now();
+                }
+            }
+            b.extend_from_slice(b"HOT-CONTENT");
+        })
+    };
+    let rendezvous = Arc::new(Barrier::new(CROWD_THREADS));
+    let threads: Vec<_> = (0..CROWD_THREADS)
+        .map(|t| {
+            let bem = Arc::clone(&bem);
+            let store = Arc::clone(&store);
+            let retry_laps = Arc::clone(&retry_laps);
+            let produce = Arc::clone(&produce);
+            let gate = Arc::clone(&gate);
+            let rendezvous = Arc::clone(&rendezvous);
+            std::thread::spawn(move || {
+                gate.wait();
+                for i in 0..CROWD_REQS {
+                    if i == CROWD_REQS / 16 {
+                        // All 16 threads regroup, then thread 0 fires the
+                        // update while the others hold. The fragment is
+                        // resident (every thread already served it i
+                        // times), so exactly one entry frees. Scrub the
+                        // store too — that's what the invalidation feed
+                        // does to a proxy; without it the recycled key
+                        // would keep serving the dead bytes and the
+                        // second window would never miss.
+                        rendezvous.wait();
+                        if t == 0 {
+                            assert_eq!(bem.on_data_update("tbl/hot"), 1);
+                            store.clear();
+                        }
+                        rendezvous.wait();
+                    }
+                    crowd_serve(&bem, &store, &retry_laps, produce.as_ref());
+                }
+            })
+        })
+        .collect();
+    gate.wait();
+    let start = Instant::now();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+    let snap = bem.stats().snapshot();
+    bem.check_invariants().unwrap();
+    CrowdOutcome {
+        produces: calls.load(Ordering::Relaxed),
+        coalesced_waits: snap.coalesced_waits,
+        retry_laps: retry_laps.load(Ordering::Relaxed),
+        elapsed_ns,
+    }
+}
+
+/// The flash-crowd coalescing scenario: measured engine runs plus the
+/// lab's analytic model, written to `BENCH_coalesce.json`.
+fn coalesce_scenario(quick: bool) {
+    let requests = (CROWD_THREADS * CROWD_REQS) as u64;
+    let coalesced = crowd_run(true);
+    let uncoalesced = crowd_run(false);
+    let wasted_lap_ratio = uncoalesced.retry_laps as f64 / coalesced.retry_laps.max(1) as f64;
+
+    // CI floor (runs in quick mode too): the whole point of the flight
+    // group is that produce stays O(invalidations), not O(requests).
+    assert!(
+        coalesced.produces >= 2,
+        "the mid-burst invalidation must force a regeneration"
+    );
+    let produce_fraction = coalesced.produces as f64 / requests as f64;
+    assert!(
+        produce_fraction <= COALESCE_CI_FLOOR,
+        "coalesced flash crowd ran produce {} times for {requests} requests \
+         ({produce_fraction:.4} > floor {COALESCE_CI_FLOOR})",
+        coalesced.produces
+    );
+
+    // The analytic twin (the lab's discrete-tick model, where requesters
+    // have no shared directory and the dogpile duplicates produce itself):
+    // 10k requests at 100/tick, a 20-tick produce, one invalidation
+    // landing mid-flight. Coalesced cost is exactly invalidations + 1 at
+    // any crowd size; uncoalesced is O(requests).
+    let model = dpc_policy::lab::flash_crowd(requests, 100, 20, &[10]);
+    assert_eq!(model.coalesced_produces, model.invalidations + 1);
+
+    println!(
+        "measured coalesce scenario: {} produces, {} coalesced waits, {} retry laps coalesced vs \
+         {} produces, {} retry laps uncoalesced for {requests} requests ({wasted_lap_ratio:.1}x \
+         wasted laps); model: {} vs {} produces (invalidations + 1 = {})",
+        coalesced.produces,
+        coalesced.coalesced_waits,
+        coalesced.retry_laps,
+        uncoalesced.produces,
+        uncoalesced.retry_laps,
+        model.coalesced_produces,
+        model.uncoalesced_produces,
+        model.invalidations + 1
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"coalesce\",\n  \"unit\": \"produce calls per 10k concurrent requests\",\n  \
+         \"quick\": {quick},\n  \"threads\": {CROWD_THREADS},\n  \"requests\": {requests},\n  \
+         \"invalidations\": 1,\n  \"measured\": {{\n    \
+         \"coalesced\": {{\"produces\": {}, \"coalesced_waits\": {}, \"retry_laps\": {}, \"elapsed_ms\": {:.1}}},\n    \
+         \"uncoalesced\": {{\"produces\": {}, \"retry_laps\": {}, \"elapsed_ms\": {:.1}}},\n    \
+         \"wasted_lap_ratio\": {wasted_lap_ratio:.2}\n  }},\n  \"model\": {{\n    \
+         \"arrivals_per_tick\": 100,\n    \"produce_ticks\": 20,\n    \
+         \"coalesced_produces\": {},\n    \"uncoalesced_produces\": {},\n    \
+         \"claim\": \"coalesced produce = invalidations + 1, independent of crowd size\"\n  }},\n  \
+         \"ci_floor_produce_fraction\": {COALESCE_CI_FLOOR},\n  \
+         \"measured_produce_fraction\": {produce_fraction:.5}\n}}\n",
+        coalesced.produces,
+        coalesced.coalesced_waits,
+        coalesced.retry_laps,
+        coalesced.elapsed_ns as f64 / 1e6,
+        uncoalesced.produces,
+        uncoalesced.retry_laps,
+        uncoalesced.elapsed_ns as f64 / 1e6,
+        model.coalesced_produces,
+        model.uncoalesced_produces,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coalesce.json");
+    std::fs::write(path, json).expect("write BENCH_coalesce.json");
+    println!("wrote {path}");
+}
+
 fn bench_connections(c: &mut Criterion) {
     let quick = std::env::var("CRITERION_QUICK").is_ok();
     let grid = if quick { CONN_GRID_QUICK } else { CONN_GRID };
@@ -355,6 +590,7 @@ fn bench_connections(c: &mut Criterion) {
     group.finish();
     let eviction_json = eviction_scenario();
     emit_json(&points, grid, loop_grid, quick, &eviction_json);
+    coalesce_scenario(quick);
 }
 
 fn emit_json(

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use dpc_core::{DpcKey, FragmentStore};
+use dpc_core::{DpcKey, FlightGroup, FragmentStore, Join, Publish};
 use dpc_net::frame::ClusterFrame;
 use dpc_net::stream::Connector;
 use dpc_net::SimNetwork;
@@ -53,13 +53,28 @@ pub fn peer_addr(id: u32) -> String {
     format!("dpc-peer-{id}")
 }
 
+/// Retry laps through the fetch flight before falling back to an
+/// uncoalesced wire fetch (a scrub storm could otherwise spin a request).
+const MAX_FETCH_LAPS: u32 = 4;
+
 /// Counters for one node's peer endpoint.
 #[derive(Debug, Default)]
 pub struct PeerStats {
-    /// Fetches served from a non-empty slot.
+    /// Fetches served from a non-empty slot. Counted on the donor side
+    /// per *wire* fetch, so with requester-side coalescing a crowd of
+    /// concurrent misses for one key moves this (or `fetch_misses`) by
+    /// exactly one.
     pub fetch_hits: AtomicU64,
-    /// Fetches answered "don't have it".
+    /// Fetches answered "don't have it" (same once-per-wire-fetch rule).
     pub fetch_misses: AtomicU64,
+    /// Outbound fetches this node led on the wire.
+    pub fetch_flight_leaders: AtomicU64,
+    /// Outbound fetches served by parking on a concurrent leader's wire
+    /// fetch for the same key (no connection was opened).
+    pub fetch_coalesced_waits: AtomicU64,
+    /// Fetch flights retried or discarded: a scrub landed mid-fetch (the
+    /// fetched bytes predate the invalidation) or a leader failed.
+    pub fetch_flight_retries: AtomicU64,
     /// Gossip exchanges served (as the passive side).
     pub gossip_served: AtomicU64,
     /// Events newly applied here (any direction).
@@ -81,6 +96,11 @@ pub struct PeerNode {
     /// and acks all carry one). Monotone per peer; the raw material for
     /// the truncation watermark.
     peer_vvs: Mutex<HashMap<u32, VersionVector>>,
+    /// Single-flight for *outbound* fetches: concurrent misses for the
+    /// same key collapse into one wire round trip to the donor (see
+    /// [`PeerNode::coalesced_fetch`]). `Ok(None)` answers coalesce too —
+    /// a donor that doesn't have the slot shouldn't be asked N times.
+    fetch_flight: FlightGroup<u64, Option<Bytes>>,
     stats: PeerStats,
 }
 
@@ -91,6 +111,7 @@ impl PeerNode {
             store,
             feed: Mutex::new(InvalidationFeed::new(id)),
             peer_vvs: Mutex::new(HashMap::new()),
+            fetch_flight: FlightGroup::new(),
             stats: PeerStats::default(),
         })
     }
@@ -198,11 +219,78 @@ impl PeerNode {
                 if self.store.clear_key(*key) {
                     scrubbed += 1;
                 }
+                // A fetch of this key on the wire right now would deliver
+                // pre-invalidation bytes — stamp the flight stale so the
+                // leader discards instead of publishing.
+                self.fetch_flight.invalidate(u64::from(key.0));
             }
         }
         self.stats
             .slots_scrubbed
             .fetch_add(scrubbed, Ordering::Relaxed);
+    }
+
+    /// Single-flight wrapper around [`peer_fetch`]: concurrent fetches of
+    /// the same key from this node collapse into one wire round trip, and
+    /// everyone gets the leader's answer (including a definitive
+    /// `Ok(None)` "donor doesn't have it").
+    ///
+    /// If a scrub lands while the bytes are on the wire the fetched value
+    /// may predate the invalidation, so the leader discards it and returns
+    /// `Ok(None)` — the caller escalates (regenerate / origin) exactly as
+    /// for a donor miss. A leader that fails on the wire poisons the
+    /// flight: one waiter inherits the error path and the rest retry.
+    pub fn coalesced_fetch(
+        &self,
+        connector: &dyn Connector,
+        addr: &str,
+        key: DpcKey,
+    ) -> io::Result<Option<Bytes>> {
+        let ident = u64::from(key.0);
+        for _ in 0..MAX_FETCH_LAPS {
+            match self.fetch_flight.join(ident) {
+                Join::Lead(leader) => {
+                    return match peer_fetch(connector, addr, key) {
+                        Ok(value) => {
+                            self.stats
+                                .fetch_flight_leaders
+                                .fetch_add(1, Ordering::Relaxed);
+                            if leader.publish(value.clone()) == Publish::Stale {
+                                self.stats
+                                    .fetch_flight_retries
+                                    .fetch_add(1, Ordering::Relaxed);
+                                Ok(None)
+                            } else {
+                                Ok(value)
+                            }
+                        }
+                        Err(err) => {
+                            drop(leader); // poison: waiters re-elect
+                            Err(err)
+                        }
+                    };
+                }
+                Join::Value(value) => {
+                    self.stats
+                        .fetch_coalesced_waits
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Ok(value);
+                }
+                Join::Retry => {
+                    self.stats
+                        .fetch_flight_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Lap budget exhausted (scrub storm or repeated leader failure):
+        // an uncoalesced fetch beats spinning forever.
+        peer_fetch(connector, addr, key)
+    }
+
+    /// The outbound-fetch flight group (test/observability hook).
+    pub fn fetch_flight(&self) -> &FlightGroup<u64, Option<Bytes>> {
+        &self.fetch_flight
     }
 
     /// Delta of everything this node has that `other` lacks.
@@ -591,6 +679,157 @@ mod tests {
         fresh.record_local("tbl/new", vec![]);
         gossip_exchange(&conn, &peer_addr(0), &fresh).unwrap();
         assert_eq!(a.vv().get(7), 1);
+    }
+
+    /// A [`Connector`] that runs a closure before every dial — lets a test
+    /// hold the leader's wire fetch open until the rest of the crowd has
+    /// parked on the flight.
+    struct GateConnector<C: Connector, F: Fn() + Send + Sync> {
+        inner: C,
+        gate: F,
+    }
+
+    impl<C: Connector, F: Fn() + Send + Sync> Connector for GateConnector<C, F> {
+        fn connect(&self, addr: &str) -> io::Result<dpc_net::stream::BoxStream> {
+            (self.gate)();
+            self.inner.connect(addr)
+        }
+    }
+
+    #[test]
+    fn concurrent_peer_fetches_coalesce_into_one_wire_fetch() {
+        const CROWD: usize = 8;
+        let (net, nodes) = world(&[0, 1]);
+        let (donor, _sd) = &nodes[0];
+        let (requester, _sr) = &nodes[1];
+        donor
+            .store
+            .set(DpcKey(42), Bytes::from_static(b"donor-bytes"));
+
+        // The leader's dial blocks until all seven others are parked, so
+        // the coalescing is exact rather than racy.
+        let gate_node = Arc::clone(requester);
+        let connector = GateConnector {
+            inner: net.connector(),
+            gate: move || {
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+                while gate_node.fetch_flight.parked_waiters(42) < CROWD as u32 - 1 {
+                    assert!(std::time::Instant::now() < deadline, "crowd never parked");
+                    std::thread::yield_now();
+                }
+            },
+        };
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CROWD)
+                .map(|_| {
+                    s.spawn(|| {
+                        requester
+                            .coalesced_fetch(&connector, &peer_addr(0), DpcKey(42))
+                            .unwrap()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                assert_eq!(
+                    handle.join().unwrap().unwrap(),
+                    Bytes::from_static(b"donor-bytes")
+                );
+            }
+        });
+        // Satellite check: the donor's hit/miss counters count *wire*
+        // fetches, so the whole crowd moved them by exactly one.
+        let hits = donor.stats.fetch_hits.load(Ordering::Relaxed);
+        let misses = donor.stats.fetch_misses.load(Ordering::Relaxed);
+        assert_eq!(hits + misses, 1, "one wire fetch for the whole crowd");
+        assert_eq!(hits, 1);
+        let stats = requester.stats();
+        assert_eq!(stats.fetch_flight_leaders.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            stats.fetch_coalesced_waits.load(Ordering::Relaxed),
+            CROWD as u64 - 1
+        );
+        assert_eq!(stats.fetch_flight_retries.load(Ordering::Relaxed), 0);
+        requester.fetch_flight.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scrub_mid_fetch_discards_the_stale_bytes() {
+        let (net, nodes) = world(&[0, 1]);
+        let (donor, _sd) = &nodes[0];
+        let (requester, _sr) = &nodes[1];
+        donor
+            .store
+            .set(DpcKey(9), Bytes::from_static(b"pre-invalidation"));
+
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let connector = GateConnector {
+            inner: net.connector(),
+            gate: {
+                let release = Arc::clone(&release);
+                move || {
+                    while !release.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }
+            },
+        };
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                requester
+                    .coalesced_fetch(&connector, &peer_addr(0), DpcKey(9))
+                    .unwrap()
+            });
+            while !requester.fetch_flight.in_flight(9) {
+                std::thread::yield_now();
+            }
+            // The invalidation lands while the fetch is on the wire: the
+            // bytes coming back predate it and must not be handed out.
+            requester.record_local("tbl/hot", vec![DpcKey(9)]);
+            release.store(true, Ordering::Release);
+            assert_eq!(
+                handle.join().unwrap(),
+                None,
+                "stale fetch is discarded; the caller escalates"
+            );
+        });
+        let stats = requester.stats();
+        assert_eq!(stats.fetch_flight_retries.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.fetch_flight_leaders.load(Ordering::Relaxed), 1);
+        requester.fetch_flight.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn failed_leader_poisons_and_a_waiter_relays_the_fetch() {
+        // Donor 0 is *down* for the first dial (gate stops the server),
+        // then up: the first leader errors, poisoning the flight; retriers
+        // re-elect and succeed.
+        let (net, nodes) = world(&[1]);
+        let (requester, _sr) = &nodes[0];
+        let conn = net.connector();
+        // Nobody listens at peer 0 yet: the lone leader fails cleanly.
+        let err = requester
+            .coalesced_fetch(&conn, &peer_addr(0), DpcKey(5))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert_eq!(
+            requester
+                .stats()
+                .fetch_flight_leaders
+                .load(Ordering::Relaxed),
+            0,
+            "a failed wire fetch led nothing"
+        );
+        // The poisoned tombstone must not wedge the key: bring the donor
+        // up and fetch again.
+        let donor_store = Arc::new(FragmentStore::new(64));
+        donor_store.set(DpcKey(5), Bytes::from_static(b"recovered"));
+        let donor = PeerNode::new(0, donor_store);
+        let _server = PeerServer::spawn(&net, &donor);
+        let got = requester
+            .coalesced_fetch(&conn, &peer_addr(0), DpcKey(5))
+            .unwrap();
+        assert_eq!(got.unwrap(), Bytes::from_static(b"recovered"));
+        requester.fetch_flight.check_invariants().unwrap();
     }
 
     #[test]

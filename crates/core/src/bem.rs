@@ -18,6 +18,7 @@
 //!   proxy restarted). Bypass runs every code block but does *not* touch
 //!   directory state.
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -25,10 +26,18 @@ use std::time::Duration;
 
 use crate::config::BemConfig;
 use crate::directory::{CacheDirectory, DirectoryStats, Lookup};
+use crate::flight::{Publish, Wait};
 use crate::key::{DpcKey, FragmentId};
 use crate::objects::ObjectCache;
 use crate::stats::BemStats;
 use crate::tag;
+
+/// Upper bound on flight laps per fragment serve. A lap restarts when a
+/// mid-flight invalidation discards the leader's result or a leader dies;
+/// after this many laps the fragment is served uncoalesced (correct, just
+/// duplicated work) so a pathological invalidation storm cannot spin a
+/// request forever.
+const MAX_FLIGHT_LAPS: u32 = 4;
 
 /// Observer of data-source invalidations: called with the dep that was
 /// updated and the dpcKeys the directory freed for it. A cluster tier
@@ -213,6 +222,43 @@ impl Bem {
         self.directory.stats()
     }
 
+    /// Verify the directory's structural invariants plus the flight
+    /// accounting cross-check: with coalescing enabled, every
+    /// produce-running miss must have taken flight leadership
+    /// (`misses == flight_leaders`, counted at different code sites), and
+    /// the writer-side flight counters must be visible to the directory's
+    /// flight group — a new miss arm that silently bypasses the single
+    /// flight shows up here as an inequality. Call at quiescence (no
+    /// writer mid-fragment).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.directory.check_invariants()?;
+        if !self.config.coalesce {
+            return Ok(());
+        }
+        let snap = self.stats.snapshot();
+        let flight = self.directory.flight().counters();
+        if snap.misses != snap.flight_leaders {
+            return Err(format!(
+                "coalescing enabled but {} misses ran produce with {} flight \
+                 leaderships — a miss arm bypassed the flight group",
+                snap.misses, snap.flight_leaders
+            ));
+        }
+        if snap.flight_leaders > flight.leaders {
+            return Err(format!(
+                "writer counted {} flight leaderships but the group only saw {}",
+                snap.flight_leaders, flight.leaders
+            ));
+        }
+        if snap.coalesced_waits > flight.waits_served {
+            return Err(format!(
+                "writer counted {} coalesced waits but the group only served {}",
+                snap.coalesced_waits, flight.waits_served
+            ));
+        }
+        Ok(())
+    }
+
     /// BEM-level counters (template/content byte accounting).
     pub fn stats(&self) -> &BemStats {
         &self.stats
@@ -283,15 +329,18 @@ impl TemplateWriter<'_> {
 
     /// The tagged-code-block API. `produce` is the code block's body; it is
     /// only executed on a miss (or when the fragment is uncacheable / the
-    /// writer is in plain mode).
+    /// writer is in plain mode). With coalescing enabled a mid-flight
+    /// invalidation can make the block run a second time within one call —
+    /// the first result belonged to a dead generation and was discarded.
     ///
-    /// Returns true when the fragment was served as a directory hit (the
-    /// code block did not run).
+    /// Returns true when the fragment was served without running the code
+    /// block (a directory hit, or a parked wait on a concurrent leader's
+    /// in-flight computation).
     pub fn fragment(
         &mut self,
         id: &FragmentId,
         policy: FragmentPolicy,
-        produce: impl FnOnce(&mut Vec<u8>),
+        mut produce: impl FnMut(&mut Vec<u8>),
     ) -> bool {
         let stats = &self.bem.stats;
         stats.fragments.fetch_add(1, Ordering::Relaxed);
@@ -324,46 +373,97 @@ impl TemplateWriter<'_> {
             stats.forced_misses.fetch_add(1, Ordering::Relaxed);
         }
 
-        match self.lookup(id, policy.ttl, &policy.deps) {
-            Lookup::Hit(key) => {
-                tag::write_get(&mut self.buf, key);
-                stats.hits.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .tag_bytes
-                    .fetch_add(tag::get_tag_len(key) as u64, Ordering::Relaxed);
-                true
-            }
-            Lookup::Miss(key) => {
-                let mut content = Vec::new();
-                produce(&mut content);
-                // Report the produced size: resident-bytes accounting and
-                // the size-aware policies both need it, and it only exists
-                // now that the block has run.
-                self.bem
-                    .directory
-                    .note_fragment_bytes(id, content.len() as u64);
-                stats
-                    .generated_bytes
-                    .fetch_add(content.len() as u64, Ordering::Relaxed);
-                stats.tag_bytes.fetch_add(
-                    tag::set_tag_overhead(key, content.len()) as u64,
-                    Ordering::Relaxed,
-                );
-                tag::write_set(&mut self.buf, key, &content);
-                stats.misses.fetch_add(1, Ordering::Relaxed);
-                false
-            }
-            Lookup::Uncacheable => {
-                let mut content = Vec::new();
-                produce(&mut content);
-                stats
-                    .generated_bytes
-                    .fetch_add(content.len() as u64, Ordering::Relaxed);
-                tag::write_literal(&mut self.buf, &content);
-                stats.overflow_fragments.fetch_add(1, Ordering::Relaxed);
-                false
+        for lap in 0..=MAX_FLIGHT_LAPS {
+            // The final lap runs uncoalesced so every arm must return.
+            let coalesce = self.bem.config.coalesce && lap < MAX_FLIGHT_LAPS;
+            match self.lookup(id, policy.ttl, &policy.deps) {
+                Lookup::Hit(key) => {
+                    if coalesce {
+                        match self.bem.directory.flight().wait(u64::from(key.0)) {
+                            Wait::NoFlight => {}
+                            Wait::Value(bytes) => {
+                                // Coalesced wait: the leader's SET may not
+                                // have reached the proxy yet, so this
+                                // template carries the rope too — a GET
+                                // here would race the slot install and
+                                // bypass-storm the origin.
+                                self.emit_set(key, &bytes);
+                                stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                                stats.hits.fetch_add(1, Ordering::Relaxed);
+                                return true;
+                            }
+                            Wait::Retry => {
+                                stats.flight_retries.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            Wait::Orphaned => {
+                                // The leader died. Retire its generation so
+                                // the re-lookup misses and we take over.
+                                stats.flight_retries.fetch_add(1, Ordering::Relaxed);
+                                self.bem.directory.invalidate_if_key(id, key);
+                                continue;
+                            }
+                        }
+                    }
+                    tag::write_get(&mut self.buf, key);
+                    stats.hits.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .tag_bytes
+                        .fetch_add(tag::get_tag_len(key) as u64, Ordering::Relaxed);
+                    return true;
+                }
+                Lookup::Miss(key) => {
+                    let leader =
+                        coalesce.then(|| self.bem.directory.flight().begin(u64::from(key.0)));
+                    let mut content = Vec::new();
+                    produce(&mut content);
+                    // Report the produced size: resident-bytes accounting and
+                    // the size-aware policies both need it, and it only exists
+                    // now that the block has run.
+                    self.bem
+                        .directory
+                        .note_fragment_bytes(id, content.len() as u64);
+                    stats
+                        .generated_bytes
+                        .fetch_add(content.len() as u64, Ordering::Relaxed);
+                    stats.misses.fetch_add(1, Ordering::Relaxed);
+                    let content = Bytes::from(content);
+                    if let Some(leader) = leader {
+                        stats.flight_leaders.fetch_add(1, Ordering::Relaxed);
+                        if leader.publish(content.clone()) == Publish::Stale {
+                            // Invalidated mid-produce: the rope belongs to a
+                            // dead generation. Never emit it under the key —
+                            // the key may already be reassigned.
+                            stats.flight_retries.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                    self.emit_set(key, &content);
+                    return false;
+                }
+                Lookup::Uncacheable => {
+                    let mut content = Vec::new();
+                    produce(&mut content);
+                    stats
+                        .generated_bytes
+                        .fetch_add(content.len() as u64, Ordering::Relaxed);
+                    tag::write_literal(&mut self.buf, &content);
+                    stats.overflow_fragments.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
             }
         }
+        unreachable!("final uncoalesced lap returns from every arm")
+    }
+
+    /// Emit a `SET key` instruction carrying `content`, with tag-byte
+    /// accounting.
+    fn emit_set(&mut self, key: DpcKey, content: &[u8]) {
+        self.bem.stats.tag_bytes.fetch_add(
+            tag::set_tag_overhead(key, content.len()) as u64,
+            Ordering::Relaxed,
+        );
+        tag::write_set(&mut self.buf, key, content);
     }
 
     /// Tagged code block with *deferred dependency registration*: the
@@ -379,7 +479,7 @@ impl TemplateWriter<'_> {
         &mut self,
         id: &FragmentId,
         ttl: Duration,
-        produce: impl FnOnce(&mut Vec<u8>) -> Vec<String>,
+        mut produce: impl FnMut(&mut Vec<u8>) -> Vec<String>,
     ) -> bool {
         let stats = &self.bem.stats;
         stats.fragments.fetch_add(1, Ordering::Relaxed);
@@ -397,44 +497,77 @@ impl TemplateWriter<'_> {
             self.bem.directory.invalidate(id);
             stats.forced_misses.fetch_add(1, Ordering::Relaxed);
         }
-        match self.lookup(id, ttl, &[]) {
-            Lookup::Hit(key) => {
-                tag::write_get(&mut self.buf, key);
-                stats.hits.fetch_add(1, Ordering::Relaxed);
-                stats
-                    .tag_bytes
-                    .fetch_add(tag::get_tag_len(key) as u64, Ordering::Relaxed);
-                true
-            }
-            Lookup::Miss(key) => {
-                let mut content = Vec::new();
-                let deps = produce(&mut content);
-                self.bem.directory.add_deps(id, &deps);
-                self.bem
-                    .directory
-                    .note_fragment_bytes(id, content.len() as u64);
-                stats
-                    .generated_bytes
-                    .fetch_add(content.len() as u64, Ordering::Relaxed);
-                stats.tag_bytes.fetch_add(
-                    tag::set_tag_overhead(key, content.len()) as u64,
-                    Ordering::Relaxed,
-                );
-                tag::write_set(&mut self.buf, key, &content);
-                stats.misses.fetch_add(1, Ordering::Relaxed);
-                false
-            }
-            Lookup::Uncacheable => {
-                let mut content = Vec::new();
-                let _deps = produce(&mut content);
-                stats
-                    .generated_bytes
-                    .fetch_add(content.len() as u64, Ordering::Relaxed);
-                tag::write_literal(&mut self.buf, &content);
-                stats.overflow_fragments.fetch_add(1, Ordering::Relaxed);
-                false
+        for lap in 0..=MAX_FLIGHT_LAPS {
+            let coalesce = self.bem.config.coalesce && lap < MAX_FLIGHT_LAPS;
+            match self.lookup(id, ttl, &[]) {
+                Lookup::Hit(key) => {
+                    if coalesce {
+                        match self.bem.directory.flight().wait(u64::from(key.0)) {
+                            Wait::NoFlight => {}
+                            Wait::Value(bytes) => {
+                                self.emit_set(key, &bytes);
+                                stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                                stats.hits.fetch_add(1, Ordering::Relaxed);
+                                return true;
+                            }
+                            Wait::Retry => {
+                                stats.flight_retries.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            Wait::Orphaned => {
+                                stats.flight_retries.fetch_add(1, Ordering::Relaxed);
+                                self.bem.directory.invalidate_if_key(id, key);
+                                continue;
+                            }
+                        }
+                    }
+                    tag::write_get(&mut self.buf, key);
+                    stats.hits.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .tag_bytes
+                        .fetch_add(tag::get_tag_len(key) as u64, Ordering::Relaxed);
+                    return true;
+                }
+                Lookup::Miss(key) => {
+                    let leader =
+                        coalesce.then(|| self.bem.directory.flight().begin(u64::from(key.0)));
+                    let mut content = Vec::new();
+                    let deps = produce(&mut content);
+                    // Register the discovered deps before publishing: a
+                    // waiter released by the publish must observe the same
+                    // invalidation surface the leader does.
+                    self.bem.directory.add_deps(id, &deps);
+                    self.bem
+                        .directory
+                        .note_fragment_bytes(id, content.len() as u64);
+                    stats
+                        .generated_bytes
+                        .fetch_add(content.len() as u64, Ordering::Relaxed);
+                    stats.misses.fetch_add(1, Ordering::Relaxed);
+                    let content = Bytes::from(content);
+                    if let Some(leader) = leader {
+                        stats.flight_leaders.fetch_add(1, Ordering::Relaxed);
+                        if leader.publish(content.clone()) == Publish::Stale {
+                            stats.flight_retries.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                    self.emit_set(key, &content);
+                    return false;
+                }
+                Lookup::Uncacheable => {
+                    let mut content = Vec::new();
+                    let _deps = produce(&mut content);
+                    stats
+                        .generated_bytes
+                        .fetch_add(content.len() as u64, Ordering::Relaxed);
+                    tag::write_literal(&mut self.buf, &content);
+                    stats.overflow_fragments.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
             }
         }
+        unreachable!("final uncoalesced lap returns from every arm")
     }
 
     /// True when this writer emits an instrumented template.
@@ -775,6 +908,82 @@ mod tests {
         bem.directory().invalidate(&id);
         assert!(!bem.directory().add_deps(&id, &["t/k2".to_owned()]));
         bem.directory().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn coalescing_accounting_balances_on_sequential_traffic() {
+        // Sequential traffic never parks: every miss is a zero-waiter
+        // flight, hits skip the flight map via the active-counter fast
+        // path, and the invariant checker balances throughout.
+        let bem = bem_with(16);
+        assert!(bem.config().coalesce, "coalescing is on by default");
+        for round in 0..3 {
+            for i in 0..8 {
+                let id = FragmentId::with_params("f", &[("i", &i.to_string())]);
+                let mut w = bem.template_writer();
+                w.fragment(&id, FragmentPolicy::pinned(), |b| b.push(b'x'));
+                let _ = w.finish();
+            }
+            bem.check_invariants()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+        let snap = bem.stats().snapshot();
+        assert_eq!(snap.misses, 8);
+        assert_eq!(snap.flight_leaders, 8);
+        assert_eq!(snap.coalesced_waits, 0);
+        assert_eq!(snap.flight_retries, 0);
+        let stats = bem.directory_stats();
+        assert_eq!(stats.flight_leaders, 8);
+        assert_eq!(stats.coalesced_waits, 0);
+    }
+
+    #[test]
+    fn coalescing_disabled_takes_no_flights() {
+        let bem = Bem::new(BemConfig::default().with_capacity(16).with_coalesce(false));
+        for _ in 0..4 {
+            let mut w = bem.template_writer();
+            w.fragment(&nav_id(), FragmentPolicy::pinned(), |b| b.push(b'x'));
+            let _ = w.finish();
+        }
+        assert_eq!(bem.stats().snapshot().flight_leaders, 0);
+        assert_eq!(bem.directory_stats().flight_leaders, 0);
+        bem.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mid_flight_invalidation_reruns_produce_and_discards_stale_rope() {
+        // Single-threaded re-entrancy: the producer itself invalidates the
+        // fragment's dependency mid-produce, exactly what a racing
+        // invalidation does. The first result must be discarded (publish
+        // returns Stale), produce must run again, and the emitted template
+        // must carry the *fresh* rope.
+        let bem = bem_with(8);
+        let store = FragmentStore::new(8);
+        let id = FragmentId::new("volatile");
+        let runs = std::cell::Cell::new(0u32);
+        let mut w = bem.template_writer();
+        let hit = w.fragment(
+            &id,
+            FragmentPolicy::ttl(Duration::from_secs(600)).with_deps(&["tbl/v"]),
+            |b| {
+                let n = runs.get() + 1;
+                runs.set(n);
+                if n == 1 {
+                    // Mid-produce invalidation: stamps the flight stale.
+                    bem.on_data_update("tbl/v");
+                }
+                b.extend_from_slice(format!("v{n}").as_bytes());
+            },
+        );
+        let template = w.finish();
+        assert!(!hit);
+        assert_eq!(runs.get(), 2, "stale lap re-runs produce once");
+        let page = assemble(&template, &store).unwrap();
+        assert_eq!(page.html, b"v2".to_vec(), "stale rope v1 never emitted");
+        let snap = bem.stats().snapshot();
+        assert_eq!(snap.flight_retries, 1);
+        assert_eq!(snap.misses, 2, "both produce runs are counted misses");
+        bem.check_invariants().unwrap();
     }
 
     #[test]

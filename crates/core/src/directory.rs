@@ -46,6 +46,7 @@
 //!   fragment needs one, the shard's replacement manager picks a victim
 //!   (policy-pluggable, see [`crate::replace`]).
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,6 +55,7 @@ use std::time::Duration;
 use dpc_net::Clock;
 
 use crate::config::BemConfig;
+use crate::flight::FlightGroup;
 use crate::key::{DpcKey, FragmentId};
 use crate::replace::{fnv1a, make_replacer, Replacer};
 
@@ -127,6 +129,13 @@ pub struct DirectoryStats {
     /// the dep → shard-set index this counts only shards that (possibly)
     /// held dependents — the back-pressure win over walking all N shards.
     pub dep_shard_scans: u64,
+    /// Single-flight leaderships taken against this directory's flight
+    /// group (one per produce-running miss on a coalesced arm).
+    pub flight_leaders: u64,
+    /// Misses served by parking on an in-flight leader's computation.
+    pub coalesced_waits: u64,
+    /// Flight laps retried (mid-flight invalidation or leader failure).
+    pub flight_retries: u64,
     /// Gauges at snapshot time.
     pub valid_entries: usize,
     pub total_entries: usize,
@@ -256,6 +265,14 @@ pub struct CacheDirectory {
     dep_shards: Box<[Mutex<HashMap<String, ShardSet>>]>,
     /// Shard locks taken by `invalidate_dep` (see `DirectoryStats`).
     dep_shard_scans: AtomicU64,
+    /// Single-flight group for miss coalescing, keyed by `DpcKey` index.
+    /// The directory owns it because the directory owns every path that
+    /// frees a key (invalidation, eviction, TTL expiry) — each of those
+    /// stamps any in-flight computation for the key stale, so a result
+    /// produced against a dead generation is never published. Flight
+    /// state is taken as a leaf lock (shard `inner` may be held; the
+    /// flight mutex never wraps a shard lock).
+    flight: FlightGroup<u64, Bytes>,
 }
 
 fn shard_hash(id: &FragmentId) -> u64 {
@@ -310,7 +327,15 @@ impl CacheDirectory {
             shards: shards.into_boxed_slice(),
             dep_shards: dep_stripes,
             dep_shard_scans: AtomicU64::new(0),
+            flight: FlightGroup::new(),
         }
+    }
+
+    /// The directory's single-flight group (miss coalescing). Writers take
+    /// leadership after a `Lookup::Miss` and park on it from hit paths
+    /// whose slot is still being produced.
+    pub fn flight(&self) -> &FlightGroup<u64, Bytes> {
+        &self.flight
     }
 
     /// Maximum number of simultaneously valid fragments (= DPC slots).
@@ -450,6 +475,7 @@ impl CacheDirectory {
                 inner.replacer.remove(&key);
                 let deps = std::mem::take(&mut entry.deps);
                 self.unregister_deps(&mut inner.dep_index, shard_idx, id, &deps);
+                self.flight.invalidate(u64::from(key.0));
             }
         }
         // Miss path: allocate a key (freeList, then the shard's fresh key
@@ -565,6 +591,21 @@ impl CacheDirectory {
     pub fn invalidate(&self, id: &FragmentId) -> bool {
         let shard_idx = self.shard_index_for(id);
         let mut inner = self.shards[shard_idx].inner.lock();
+        self.invalidate_locked(&mut inner, shard_idx, id)
+    }
+
+    /// Invalidate `id` only if it is currently valid under `key` — the
+    /// orphan-repair path after a flight leader died: the waiter that drew
+    /// the repair claim retires the generation it was parked on (so its
+    /// re-lookup misses and it becomes the new leader) without clobbering
+    /// an entry that has already moved on to a different key.
+    pub fn invalidate_if_key(&self, id: &FragmentId, key: DpcKey) -> bool {
+        let shard_idx = self.shard_index_for(id);
+        let mut inner = self.shards[shard_idx].inner.lock();
+        match inner.entries.get(id) {
+            Some(e) if e.is_valid && e.dpc_key == key => {}
+            _ => return false,
+        }
         self.invalidate_locked(&mut inner, shard_idx, id)
     }
 
@@ -689,9 +730,13 @@ impl CacheDirectory {
 
     /// Counter/gauge snapshot, aggregated over all shards.
     pub fn stats(&self) -> DirectoryStats {
+        let flight = self.flight.counters();
         let mut stats = DirectoryStats {
             shards: self.shards.len(),
             dep_shard_scans: self.dep_shard_scans.load(Ordering::Relaxed),
+            flight_leaders: flight.leaders,
+            coalesced_waits: flight.waits_served,
+            flight_retries: flight.wait_retries + flight.stale_discards,
             ..DirectoryStats::default()
         };
         for shard in &self.shards {
@@ -828,7 +873,7 @@ impl CacheDirectory {
                 self.capacity
             ));
         }
-        Ok(())
+        self.flight.check_invariants()
     }
 
     // -- internals ----------------------------------------------------------
@@ -877,6 +922,9 @@ impl CacheDirectory {
         let deps = std::mem::take(&mut entry.deps);
         self.unregister_deps(&mut inner.dep_index, shard_idx, &victim_id, &deps);
         inner.evictions += 1;
+        // The victim's key is about to be reassigned: any in-flight
+        // produce against its old generation must not publish.
+        self.flight.invalidate(u64::from(victim_key.0));
         Some(victim_key)
     }
 
@@ -900,6 +948,7 @@ impl CacheDirectory {
         // the replacer just forgets the key and `evictions` stays put.
         inner.replacer.remove(&key);
         self.unregister_deps(&mut inner.dep_index, shard_idx, id, &deps);
+        self.flight.invalidate(u64::from(key.0));
         true
     }
 
@@ -1394,6 +1443,81 @@ mod tests {
             let stats = dir.stats();
             assert!(stats.valid_entries <= 16, "{policy:?}");
         }
+    }
+
+    #[test]
+    fn every_key_freeing_path_stamps_the_flight_stale() {
+        use crate::flight::Publish;
+        // Invalidation.
+        let dir = dir_with(8, 1);
+        let id = FragmentId::new("inv");
+        let Lookup::Miss(k) = dir.lookup(&id, Duration::from_secs(600), &[]) else {
+            panic!("must miss");
+        };
+        let leader = dir.flight().begin(u64::from(k.0));
+        assert!(dir.invalidate(&id));
+        assert_eq!(leader.publish(Bytes::from_static(b"stale")), Publish::Stale);
+
+        // Lazy TTL expiry.
+        let (clock, handle) = Clock::virtual_clock();
+        let dir = CacheDirectory::new(
+            &BemConfig::default()
+                .with_capacity(8)
+                .with_shards(1)
+                .with_clock(clock),
+        );
+        let id = FragmentId::new("ttl");
+        let Lookup::Miss(k) = dir.lookup(&id, Duration::from_secs(1), &[]) else {
+            panic!("must miss");
+        };
+        let leader = dir.flight().begin(u64::from(k.0));
+        handle.advance(Duration::from_secs(2));
+        // The expiring lookup frees the key (and typically reassigns it to
+        // the new generation of the same fragment).
+        assert!(matches!(
+            dir.lookup(&id, Duration::from_secs(1), &[]),
+            Lookup::Miss(_)
+        ));
+        assert_eq!(leader.publish(Bytes::from_static(b"old")), Publish::Stale);
+
+        // Replacement eviction.
+        let dir = dir_with(2, 1);
+        let a = FragmentId::new("a");
+        let Lookup::Miss(ka) = dir.lookup(&a, Duration::from_secs(600), &[]) else {
+            panic!("must miss");
+        };
+        let _ = dir.lookup(&FragmentId::new("b"), Duration::from_secs(600), &[]);
+        let leader = dir.flight().begin(u64::from(ka.0));
+        // Shard full and `a` is LRU: the next distinct fragment evicts it.
+        let _ = dir.lookup(&FragmentId::new("c"), Duration::from_secs(600), &[]);
+        assert_eq!(
+            leader.publish(Bytes::from_static(b"evicted")),
+            Publish::Stale
+        );
+        assert_eq!(dir.stats().evictions, 1);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalidate_if_key_only_hits_the_named_generation() {
+        let dir = dir_with(8, 1);
+        let id = FragmentId::new("gen");
+        let Lookup::Miss(k) = dir.lookup(&id, Duration::from_secs(600), &[]) else {
+            panic!("must miss");
+        };
+        // Wrong key: no-op.
+        assert!(!dir.invalidate_if_key(&id, DpcKey(k.0 + 1)));
+        assert!(matches!(
+            dir.lookup(&id, Duration::from_secs(600), &[]),
+            Lookup::Hit(_)
+        ));
+        // Right key: retires the entry.
+        assert!(dir.invalidate_if_key(&id, k));
+        assert!(matches!(
+            dir.lookup(&id, Duration::from_secs(600), &[]),
+            Lookup::Miss(_)
+        ));
+        dir.check_invariants().unwrap();
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub mod bem;
 pub mod config;
 pub mod directory;
 pub mod error;
+pub mod flight;
 pub mod invalidate;
 pub mod key;
 pub mod objects;
@@ -97,6 +98,7 @@ pub use bem::{Bem, FragmentPolicy, InvalidationSink, TemplateWriter};
 pub use config::{BemConfig, ReplacePolicy, DEFAULT_SHARDS};
 pub use directory::{CacheDirectory, Lookup, ShardStats};
 pub use error::{AssembleError, CoreError};
+pub use flight::{FlightCounters, FlightGroup, FlightLeader, Join, Publish, Wait};
 pub use key::{DpcKey, FragmentId};
 pub use objects::ObjectCache;
 pub use replace::{fnv1a, make_replacer, Replacer};

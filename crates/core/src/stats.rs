@@ -23,6 +23,16 @@ pub struct BemStats {
     pub overflow_fragments: AtomicU64,
     /// Hits demoted to misses by the controlled-hit-ratio hook.
     pub forced_misses: AtomicU64,
+    /// Misses served by parking on another requester's in-flight produce
+    /// (the code block did NOT run; the leader's rope was reused).
+    pub coalesced_waits: AtomicU64,
+    /// Misses where this writer led the flight and ran the code block
+    /// (equals `misses` when coalescing is enabled — the invariant the
+    /// directory checker enforces).
+    pub flight_leaders: AtomicU64,
+    /// Flight laps retried: a mid-flight invalidation went off (leader's
+    /// result discarded, waiters re-looked-up) or a leader died.
+    pub flight_retries: AtomicU64,
     /// Bytes of content produced by running code blocks.
     pub generated_bytes: AtomicU64,
     /// Bytes of layout/uncacheable literal content written.
@@ -42,6 +52,9 @@ pub struct BemStatsSnapshot {
     pub uncacheable_fragments: u64,
     pub overflow_fragments: u64,
     pub forced_misses: u64,
+    pub coalesced_waits: u64,
+    pub flight_leaders: u64,
+    pub flight_retries: u64,
     pub generated_bytes: u64,
     pub literal_bytes: u64,
     pub tag_bytes: u64,
@@ -57,6 +70,9 @@ impl BemStats {
             uncacheable_fragments: self.uncacheable_fragments.load(Ordering::Relaxed),
             overflow_fragments: self.overflow_fragments.load(Ordering::Relaxed),
             forced_misses: self.forced_misses.load(Ordering::Relaxed),
+            coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
+            flight_leaders: self.flight_leaders.load(Ordering::Relaxed),
+            flight_retries: self.flight_retries.load(Ordering::Relaxed),
             generated_bytes: self.generated_bytes.load(Ordering::Relaxed),
             literal_bytes: self.literal_bytes.load(Ordering::Relaxed),
             tag_bytes: self.tag_bytes.load(Ordering::Relaxed),
@@ -96,6 +112,9 @@ impl BemStatsSnapshot {
             uncacheable_fragments: self.uncacheable_fragments - earlier.uncacheable_fragments,
             overflow_fragments: self.overflow_fragments - earlier.overflow_fragments,
             forced_misses: self.forced_misses - earlier.forced_misses,
+            coalesced_waits: self.coalesced_waits - earlier.coalesced_waits,
+            flight_leaders: self.flight_leaders - earlier.flight_leaders,
+            flight_retries: self.flight_retries - earlier.flight_retries,
             generated_bytes: self.generated_bytes - earlier.generated_bytes,
             literal_bytes: self.literal_bytes - earlier.literal_bytes,
             tag_bytes: self.tag_bytes - earlier.tag_bytes,
@@ -118,6 +137,11 @@ impl fmt::Display for BemStatsSnapshot {
             f,
             "uncacheable={} overflow={} forced_misses={}",
             self.uncacheable_fragments, self.overflow_fragments, self.forced_misses
+        )?;
+        writeln!(
+            f,
+            "flight: leaders={} coalesced_waits={} retries={}",
+            self.flight_leaders, self.coalesced_waits, self.flight_retries
         )?;
         write!(
             f,

@@ -1,0 +1,69 @@
+//! The uncontended miss path must not allocate: a zero-waiter flight is
+//! an insert into a pre-reserved map and a remove, nothing more. This test
+//! pins that with a counting global allocator — if someone adds a
+//! per-flight `Arc`, boxes the state, or lets the map grow in steady
+//! state, the count moves and this fails.
+//!
+//! One test function only: a `#[global_allocator]` is process-wide, and a
+//! second concurrently-running test would perturb the counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dpc_core::{FlightGroup, Publish, Wait};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn uncontended_flights_do_not_allocate() {
+    let group: FlightGroup<u64, u64> = FlightGroup::new();
+
+    // Warm-up: lazy one-time costs (map buckets, lock internals) are paid
+    // here, outside the measured window.
+    for key in 0..32u64 {
+        let leader = group.begin(key);
+        assert_eq!(leader.publish(key), Publish::Delivered(0));
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for round in 0..100u64 {
+        for key in 0..32u64 {
+            // The hit-path probe (lock-free when nothing is in flight).
+            assert!(matches!(group.wait(key), Wait::NoFlight));
+            // A full zero-waiter flight: begin, probe while in flight,
+            // publish.
+            let leader = group.begin(key);
+            assert!(group.in_flight(key));
+            assert_eq!(leader.publish(round), Publish::Delivered(0));
+            // Invalidation on a quiet key is also allocation-free.
+            group.invalidate(key);
+        }
+    }
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        during, 0,
+        "uncontended single-flight path allocated {during} times in 3200 flights"
+    );
+    group.check_invariants().unwrap();
+}

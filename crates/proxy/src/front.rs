@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use crate::esi::EsiAssembler;
 use crate::modes::ProxyMode;
-use crate::page_cache::PageCache;
+use crate::page_cache::{PageCache, PageServe};
 
 /// Counters exposed by the proxy.
 #[derive(Debug, Default)]
@@ -222,26 +222,45 @@ impl Proxy {
     // -- PageCache mode ------------------------------------------------------
 
     fn serve_page_cache(&self, req: &Request) -> Response {
-        if req.method == Method::Get {
-            if let Some((body, content_type)) = self.page_cache.get(&req.target) {
-                return Response::html(body)
-                    .with_header("Content-Type", content_type)
-                    .with_header("X-Cache", "page-hit");
-            }
+        if req.method != Method::Get {
+            // Non-GET traffic is neither cached nor coalesced.
+            return match self.fetch_origin(req) {
+                Ok(resp) => strip_internal_headers(resp).with_header("X-Cache", "page-miss"),
+                Err(e) => e,
+            };
         }
-        match self.fetch_origin(req) {
-            Ok(resp) => {
-                if req.method == Method::Get && resp.status.is_success() {
+        // Single-flight miss: one requester leads (fetches the origin
+        // inside the fill closure), concurrent requesters for the same URL
+        // park and are served the leader's page. The leader's full origin
+        // response travels out through `origin` — waiters never see it.
+        let mut origin: Option<Result<Response, Response>> = None;
+        let serve = self.page_cache.get_or_fill(&req.target, || {
+            let fetched = self.fetch_origin(req);
+            let cacheable = match &fetched {
+                Ok(resp) if resp.status.is_success() => {
                     let ct = resp
                         .headers
                         .get("content-type")
                         .unwrap_or("text/html")
                         .to_owned();
-                    self.page_cache.put(&req.target, resp.body.flatten(), &ct);
+                    Some((resp.body.flatten(), ct))
                 }
-                strip_internal_headers(resp).with_header("X-Cache", "page-miss")
-            }
-            Err(e) => e,
+                _ => None,
+            };
+            origin = Some(fetched);
+            cacheable
+        });
+        match serve {
+            PageServe::Hit(body, content_type) => Response::html(body)
+                .with_header("Content-Type", content_type)
+                .with_header("X-Cache", "page-hit"),
+            PageServe::Coalesced(body, content_type) => Response::html(body)
+                .with_header("Content-Type", content_type)
+                .with_header("X-Cache", "page-coalesced"),
+            PageServe::Led => match origin.expect("the leader ran the fill") {
+                Ok(resp) => strip_internal_headers(resp).with_header("X-Cache", "page-miss"),
+                Err(e) => e,
+            },
         }
     }
 

@@ -17,12 +17,29 @@
 //! 64-bit collision is handled by purging the previous owner.
 
 use bytes::Bytes;
-use dpc_core::{fnv1a, ReplacePolicy, Replacer};
+use dpc_core::{fnv1a, FlightGroup, Join, Publish, ReplacePolicy, Replacer};
 use dpc_net::Clock;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Retry laps a filler takes through the flight map before falling back
+/// to an uncoalesced fill (a purge storm could otherwise spin a request).
+const MAX_FILL_LAPS: u32 = 4;
+
+/// How [`PageCache::get_or_fill`] served a request.
+#[derive(Debug)]
+pub enum PageServe {
+    /// Cached entry.
+    Hit(Bytes, String),
+    /// Served off a concurrent leader's in-flight fill — the origin was
+    /// not contacted for this request.
+    Coalesced(Bytes, String),
+    /// This caller led the fill: the closure ran and its full response is
+    /// in the caller's hands.
+    Led,
+}
 
 /// A cached page body plus metadata.
 #[derive(Clone)]
@@ -61,11 +78,17 @@ pub struct PageCache {
     capacity: usize,
     policy: ReplacePolicy,
     inner: Mutex<PageInner>,
+    /// Single-flight per URL hash: concurrent misses for the same page
+    /// collapse into one origin fetch (see [`PageCache::get_or_fill`]).
+    flight: FlightGroup<u64, (Bytes, String)>,
     hits: AtomicU64,
     misses: AtomicU64,
     purges: AtomicU64,
     evictions: AtomicU64,
     admission_rejections: AtomicU64,
+    flight_leaders: AtomicU64,
+    coalesced_waits: AtomicU64,
+    flight_retries: AtomicU64,
 }
 
 impl PageCache {
@@ -92,11 +115,15 @@ impl PageCache {
                 owner: HashMap::new(),
                 replacer: policy.build(capacity),
             }),
+            flight: FlightGroup::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             purges: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             admission_rejections: AtomicU64::new(0),
+            flight_leaders: AtomicU64::new(0),
+            coalesced_waits: AtomicU64::new(0),
+            flight_retries: AtomicU64::new(0),
         }
     }
 
@@ -180,23 +207,104 @@ impl PageCache {
         }
     }
 
-    /// Drop the entry for `target`, if any (the `PURGE` verb).
+    /// Coalescing lookup for the miss path: a hit is returned directly; on
+    /// a miss, the first requester leads (runs `fill`, which fetches the
+    /// origin) while concurrent requesters for the same URL park on the
+    /// flight and receive the leader's page — one origin fetch per URL per
+    /// generation instead of one per request.
+    ///
+    /// `fill` returns the cacheable `(body, content_type)` to install and
+    /// broadcast, or `None` when its response must not be cached (non-GET
+    /// semantics handled by the caller, error statuses, …) — waiters then
+    /// retry and fetch for themselves. A purge landing mid-fill stamps the
+    /// flight stale: the leader's page is served to its own client but
+    /// neither cached nor broadcast.
+    pub fn get_or_fill(
+        &self,
+        target: &str,
+        fill: impl FnOnce() -> Option<(Bytes, String)>,
+    ) -> PageServe {
+        if let Some((body, ct)) = self.get(target) {
+            return PageServe::Hit(body, ct);
+        }
+        let ident = fnv1a(target.as_bytes());
+        for _ in 0..MAX_FILL_LAPS {
+            match self.flight.join(ident) {
+                Join::Lead(leader) => {
+                    self.flight_leaders.fetch_add(1, Ordering::Relaxed);
+                    return match fill() {
+                        Some((body, ct)) => {
+                            self.put(target, body.clone(), &ct);
+                            if leader.publish((body, ct)) == Publish::Stale {
+                                // A purge/clear landed mid-fill: our page
+                                // predates it and must not outlive it.
+                                self.drop_stale_fill(target, ident);
+                                self.flight_retries.fetch_add(1, Ordering::Relaxed);
+                            }
+                            PageServe::Led
+                        }
+                        None => {
+                            // Uncacheable response: poison the flight (the
+                            // guard drops unpublished) so waiters wake and
+                            // fetch for themselves.
+                            drop(leader);
+                            PageServe::Led
+                        }
+                    };
+                }
+                Join::Value((body, ct)) => {
+                    self.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+                    return PageServe::Coalesced(body, ct);
+                }
+                Join::Retry => {
+                    self.flight_retries.fetch_add(1, Ordering::Relaxed);
+                    // The flight landed, went stale, or was poisoned under
+                    // us; a landed leader has installed the page by now.
+                    if let Some((body, ct)) = self.get(target) {
+                        return PageServe::Hit(body, ct);
+                    }
+                }
+            }
+        }
+        // Lap cap exhausted (purge storm): serve uncoalesced — correct,
+        // just duplicated origin work.
+        if let Some((body, ct)) = fill() {
+            self.put(target, body, &ct);
+        }
+        PageServe::Led
+    }
+
+    /// Remove `target` installed by a fill that a concurrent purge/clear
+    /// outdated. Not a client purge: no counter, no flight stamp (the
+    /// flight entry is already gone).
+    fn drop_stale_fill(&self, target: &str, ident: u64) {
+        let mut inner = self.inner.lock();
+        inner.forget(target, ident);
+    }
+
+    /// Drop the entry for `target`, if any (the `PURGE` verb). Any
+    /// in-flight fill for the URL is stamped stale so a page generated
+    /// before the purge is never installed or broadcast after it.
     pub fn purge(&self, target: &str) -> bool {
         let ident = fnv1a(target.as_bytes());
         let mut inner = self.inner.lock();
         let removed = inner.forget(target, ident);
+        drop(inner);
+        self.flight.invalidate(ident);
         if removed {
             self.purges.fetch_add(1, Ordering::Relaxed);
         }
         removed
     }
 
-    /// Drop everything.
+    /// Drop everything, stamping every in-flight fill stale.
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
         inner.entries.clear();
         inner.owner.clear();
         inner.replacer = self.policy.build(self.capacity);
+        drop(inner);
+        self.flight.invalidate_all();
     }
 
     /// (hits, misses, purges, evictions).
@@ -212,6 +320,16 @@ impl PageCache {
     /// Pages the policy refused to admit.
     pub fn admission_rejections(&self) -> u64 {
         self.admission_rejections.load(Ordering::Relaxed)
+    }
+
+    /// (flight_leaders, coalesced_waits, flight_retries) — the single-
+    /// flight accounting of [`PageCache::get_or_fill`].
+    pub fn coalesce_counters(&self) -> (u64, u64, u64) {
+        (
+            self.flight_leaders.load(Ordering::Relaxed),
+            self.coalesced_waits.load(Ordering::Relaxed),
+            self.flight_retries.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of cached pages.
@@ -325,6 +443,137 @@ mod tests {
         for i in 0..4 {
             assert!(c.get(&format!("/hot{i}")).is_some(), "hot page {i} lost");
         }
+    }
+
+    #[test]
+    fn get_or_fill_hits_do_not_touch_the_flight() {
+        let (c, _h) = cache(60, 10);
+        c.put("/a", Bytes::from_static(b"page"), "t");
+        match c.get_or_fill("/a", || panic!("hit must not fill")) {
+            PageServe::Hit(body, _) => assert_eq!(&body[..], b"page"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(c.coalesce_counters(), (0, 0, 0));
+    }
+
+    #[test]
+    fn get_or_fill_leads_installs_and_serves() {
+        let (c, _h) = cache(60, 10);
+        let serve = c.get_or_fill("/a", || Some((Bytes::from_static(b"fresh"), "t".into())));
+        assert!(matches!(serve, PageServe::Led));
+        let (body, _) = c.get("/a").expect("leader installed the page");
+        assert_eq!(&body[..], b"fresh");
+        assert_eq!(c.coalesce_counters(), (1, 0, 0));
+    }
+
+    #[test]
+    fn uncacheable_fill_poisons_instead_of_installing() {
+        let (c, _h) = cache(60, 10);
+        let serve = c.get_or_fill("/a", || None);
+        assert!(matches!(serve, PageServe::Led));
+        assert!(c.get("/a").is_none(), "nothing installed");
+        // The next requester must not hang on the poisoned flight.
+        let serve = c.get_or_fill("/a", || Some((Bytes::from_static(b"ok"), "t".into())));
+        assert!(matches!(serve, PageServe::Led));
+        assert!(c.get("/a").is_some());
+    }
+
+    #[test]
+    fn concurrent_fills_coalesce_into_one_origin_fetch() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let (clock, _h) = Clock::virtual_clock();
+        let c = Arc::new(PageCache::new(clock, Duration::from_secs(60), 10));
+        let fills = Arc::new(AtomicU64::new(0));
+        const CROWD: usize = 8;
+
+        // Leader: fill blocks until the rest of the crowd has parked.
+        let leader = {
+            let c = Arc::clone(&c);
+            let fills = Arc::clone(&fills);
+            std::thread::spawn(move || {
+                let c2 = Arc::clone(&c);
+                c.get_or_fill("/hot", move || {
+                    fills.fetch_add(1, Ordering::Relaxed);
+                    let ident = fnv1a(b"/hot");
+                    let start = std::time::Instant::now();
+                    while c2.flight.parked_waiters(ident) < (CROWD - 1) as u32 {
+                        assert!(
+                            start.elapsed() < Duration::from_secs(30),
+                            "crowd never parked"
+                        );
+                        std::thread::yield_now();
+                    }
+                    Some((Bytes::from_static(b"hot-page"), "t".into()))
+                })
+            })
+        };
+        let crowd: Vec<_> = (0..CROWD - 1)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let fills = Arc::clone(&fills);
+                std::thread::spawn(move || {
+                    let ident = fnv1a(b"/hot");
+                    let start = std::time::Instant::now();
+                    while !c.flight.in_flight(ident) {
+                        assert!(
+                            start.elapsed() < Duration::from_secs(30),
+                            "flight never began"
+                        );
+                        std::thread::yield_now();
+                    }
+                    c.get_or_fill("/hot", move || {
+                        fills.fetch_add(1, Ordering::Relaxed);
+                        Some((Bytes::from_static(b"hot-page"), "t".into()))
+                    })
+                })
+            })
+            .collect();
+
+        assert!(matches!(leader.join().unwrap(), PageServe::Led));
+        for t in crowd {
+            match t.join().unwrap() {
+                PageServe::Coalesced(body, _) => assert_eq!(&body[..], b"hot-page"),
+                other => panic!("expected coalesced serve, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            fills.load(Ordering::Relaxed),
+            1,
+            "one origin fetch for the crowd"
+        );
+        let (leaders, coalesced, _) = c.coalesce_counters();
+        assert_eq!(leaders, 1);
+        assert_eq!(coalesced, (CROWD - 1) as u64);
+        c.flight.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn purge_mid_fill_discards_the_stale_page() {
+        let (c, _h) = cache(60, 10);
+        let serve = c.get_or_fill("/a", || {
+            // The purge lands while the fill is producing.
+            c.purge("/a");
+            Some((Bytes::from_static(b"pre-purge"), "t".into()))
+        });
+        assert!(matches!(serve, PageServe::Led));
+        assert!(
+            c.get("/a").is_none(),
+            "a page generated before the purge must not outlive it"
+        );
+        let (_, _, retries) = c.coalesce_counters();
+        assert_eq!(retries, 1, "the stale publish was counted");
+    }
+
+    #[test]
+    fn clear_mid_fill_discards_via_invalidate_all() {
+        let (c, _h) = cache(60, 10);
+        let serve = c.get_or_fill("/a", || {
+            c.clear();
+            Some((Bytes::from_static(b"pre-clear"), "t".into()))
+        });
+        assert!(matches!(serve, PageServe::Led));
+        assert!(c.get("/a").is_none(), "clear outdates the in-flight fill");
     }
 
     #[test]

@@ -35,9 +35,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dpc_cluster::{
-    gossip_exchange, gossip_flush, peer_addr, peer_fetch, Membership, PeerNode, PeerServer,
-};
+use dpc_cluster::{gossip_exchange, gossip_flush, peer_addr, Membership, PeerNode, PeerServer};
 use dpc_core::{DpcKey, FragmentSource, FragmentStore, ReplacePolicy};
 use dpc_http::{Client, Request, Response, Status};
 use dpc_net::{Clock, SimConnector, SimNetwork};
@@ -195,6 +193,7 @@ impl RingCluster {
         let server = PeerServer::spawn(&self.net, &peer);
         let fetcher = Arc::new(PeerFetcher {
             self_id: id,
+            peer: Arc::clone(&peer),
             shared: Arc::clone(&self.shared),
             connector: self.net.connector(),
         });
@@ -462,9 +461,12 @@ impl RingCluster {
 }
 
 /// The lazy-handoff donor lookup: on a missing slot, ask the node that
-/// owned the request's target before this node joined the ring.
+/// owned the request's target before this node joined the ring. Fetches
+/// go through the node's fetch flight, so a flash crowd missing on one
+/// rebalanced key costs the donor a single wire round trip.
 struct PeerFetcher {
     self_id: u32,
+    peer: Arc<PeerNode>,
     shared: Arc<Shared>,
     connector: SimConnector,
 }
@@ -476,7 +478,8 @@ impl FragmentSource for PeerFetcher {
             .membership
             .lock()
             .donor_for(target, self.self_id)?;
-        peer_fetch(&self.connector, &peer_addr(donor), key)
+        self.peer
+            .coalesced_fetch(&self.connector, &peer_addr(donor), key)
             .ok()
             .flatten()
     }
