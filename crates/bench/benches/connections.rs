@@ -312,8 +312,7 @@ fn eviction_scenario() -> String {
 /// `flash_crowd.rs`: 16 x 625 = 10k requests).
 const CROWD_THREADS: usize = 16;
 const CROWD_REQS: usize = 625;
-/// Directory capacity for the crowd's BEM (scanned when counting parked
-/// waiters — the hot key's slot index depends on freeList order).
+/// Directory capacity for the crowd's BEM.
 const CROWD_CAP: usize = 8;
 /// CI floor (asserted every run, quick included): with coalescing on,
 /// produce calls must stay under this fraction of requests.
@@ -331,9 +330,10 @@ struct CrowdOutcome {
 }
 
 fn parked(bem: &Bem) -> u32 {
-    (0..CROWD_CAP as u64)
-        .map(|k| bem.directory().flight().parked_waiters(k))
-        .sum()
+    // Flights are keyed by fragment identity, so the hot flight is
+    // directly addressable.
+    let fkey = bem.directory().flight_key(&FragmentId::new("hot"));
+    bem.directory().flight().parked_waiters(fkey)
 }
 
 /// Serve the hot fragment once against `bem`/`store`. A directory hit can

@@ -224,12 +224,13 @@ impl Bem {
 
     /// Verify the directory's structural invariants plus the flight
     /// accounting cross-check: with coalescing enabled, every
-    /// produce-running miss must have taken flight leadership
-    /// (`misses == flight_leaders`, counted at different code sites), and
-    /// the writer-side flight counters must be visible to the directory's
-    /// flight group — a new miss arm that silently bypasses the single
-    /// flight shows up here as an inequality. Call at quiescence (no
-    /// writer mid-fragment).
+    /// produce-running miss must have taken flight leadership or been
+    /// explicitly counted as a final-lap uncoalesced miss
+    /// (`misses == flight_leaders + uncoalesced_misses`, counted at
+    /// different code sites), and the writer-side flight counters must be
+    /// visible to the directory's flight group — a new miss arm that
+    /// silently bypasses the single flight shows up here as an
+    /// inequality. Call at quiescence (no writer mid-fragment).
     pub fn check_invariants(&self) -> Result<(), String> {
         self.directory.check_invariants()?;
         if !self.config.coalesce {
@@ -237,11 +238,12 @@ impl Bem {
         }
         let snap = self.stats.snapshot();
         let flight = self.directory.flight().counters();
-        if snap.misses != snap.flight_leaders {
+        if snap.misses != snap.flight_leaders + snap.uncoalesced_misses {
             return Err(format!(
                 "coalescing enabled but {} misses ran produce with {} flight \
-                 leaderships — a miss arm bypassed the flight group",
-                snap.misses, snap.flight_leaders
+                 leaderships and {} uncoalesced-lap misses — a miss arm \
+                 bypassed the flight group",
+                snap.misses, snap.flight_leaders, snap.uncoalesced_misses
             ));
         }
         if snap.flight_leaders > flight.leaders {
@@ -373,15 +375,28 @@ impl TemplateWriter<'_> {
             stats.forced_misses.fetch_add(1, Ordering::Relaxed);
         }
 
+        // Flights are keyed by fragment identity, never by the recyclable
+        // dpcKey: a bare slot index can be freed and reassigned to another
+        // fragment while a waiter is parked, and the waiter would wake
+        // with that fragment's bytes spliced into this template position.
+        let fkey = self.bem.directory.flight_key(id);
         for lap in 0..=MAX_FLIGHT_LAPS {
             // The final lap runs uncoalesced so every arm must return.
             let coalesce = self.bem.config.coalesce && lap < MAX_FLIGHT_LAPS;
             match self.lookup(id, policy.ttl, &policy.deps) {
                 Lookup::Hit(key) => {
                     if coalesce {
-                        match self.bem.directory.flight().wait(u64::from(key.0)) {
+                        match self.bem.directory.flight().wait(fkey) {
                             Wait::NoFlight => {}
                             Wait::Value(bytes) => {
+                                // The key may have been freed and
+                                // reassigned while we were parked;
+                                // re-validate id → key before emitting a
+                                // SET under it.
+                                if self.bem.directory.current_key(id) != Some(key) {
+                                    stats.flight_retries.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
                                 // Coalesced wait: the leader's SET may not
                                 // have reached the proxy yet, so this
                                 // template carries the rope too — a GET
@@ -413,8 +428,7 @@ impl TemplateWriter<'_> {
                     return true;
                 }
                 Lookup::Miss(key) => {
-                    let leader =
-                        coalesce.then(|| self.bem.directory.flight().begin(u64::from(key.0)));
+                    let leader = coalesce.then(|| self.bem.directory.flight().begin(fkey));
                     let mut content = Vec::new();
                     produce(&mut content);
                     // Report the produced size: resident-bytes accounting and
@@ -437,6 +451,12 @@ impl TemplateWriter<'_> {
                             stats.flight_retries.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
+                    } else if self.bem.config.coalesce {
+                        // Final-lap miss after the lap cap: produce ran with
+                        // no leadership, by design. Counted separately so
+                        // the invariant checker can still prove no arm
+                        // silently bypassed the flight group.
+                        stats.uncoalesced_misses.fetch_add(1, Ordering::Relaxed);
                     }
                     self.emit_set(key, &content);
                     return false;
@@ -497,14 +517,20 @@ impl TemplateWriter<'_> {
             self.bem.directory.invalidate(id);
             stats.forced_misses.fetch_add(1, Ordering::Relaxed);
         }
+        // Keyed by fragment identity for the same reason as `fragment`.
+        let fkey = self.bem.directory.flight_key(id);
         for lap in 0..=MAX_FLIGHT_LAPS {
             let coalesce = self.bem.config.coalesce && lap < MAX_FLIGHT_LAPS;
             match self.lookup(id, ttl, &[]) {
                 Lookup::Hit(key) => {
                     if coalesce {
-                        match self.bem.directory.flight().wait(u64::from(key.0)) {
+                        match self.bem.directory.flight().wait(fkey) {
                             Wait::NoFlight => {}
                             Wait::Value(bytes) => {
+                                if self.bem.directory.current_key(id) != Some(key) {
+                                    stats.flight_retries.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
                                 self.emit_set(key, &bytes);
                                 stats.coalesced_waits.fetch_add(1, Ordering::Relaxed);
                                 stats.hits.fetch_add(1, Ordering::Relaxed);
@@ -529,8 +555,7 @@ impl TemplateWriter<'_> {
                     return true;
                 }
                 Lookup::Miss(key) => {
-                    let leader =
-                        coalesce.then(|| self.bem.directory.flight().begin(u64::from(key.0)));
+                    let leader = coalesce.then(|| self.bem.directory.flight().begin(fkey));
                     let mut content = Vec::new();
                     let deps = produce(&mut content);
                     // Register the discovered deps before publishing: a
@@ -551,6 +576,8 @@ impl TemplateWriter<'_> {
                             stats.flight_retries.fetch_add(1, Ordering::Relaxed);
                             continue;
                         }
+                    } else if self.bem.config.coalesce {
+                        stats.uncoalesced_misses.fetch_add(1, Ordering::Relaxed);
                     }
                     self.emit_set(key, &content);
                     return false;

@@ -265,10 +265,14 @@ pub struct CacheDirectory {
     dep_shards: Box<[Mutex<HashMap<String, ShardSet>>]>,
     /// Shard locks taken by `invalidate_dep` (see `DirectoryStats`).
     dep_shard_scans: AtomicU64,
-    /// Single-flight group for miss coalescing, keyed by `DpcKey` index.
-    /// The directory owns it because the directory owns every path that
-    /// frees a key (invalidation, eviction, TTL expiry) — each of those
-    /// stamps any in-flight computation for the key stale, so a result
+    /// Single-flight group for miss coalescing, keyed by the
+    /// fragment-identity hash ([`CacheDirectory::flight_key`]) — NOT by
+    /// the `DpcKey` slot index, which is recycled through the freeLists
+    /// and could wake a waiter parked on one fragment with a different
+    /// fragment's bytes once the key was reassigned. The directory owns
+    /// the group because the directory owns every path that retires an
+    /// entry (invalidation, eviction, TTL expiry) — each of those stamps
+    /// any in-flight computation for the fragment stale, so a result
     /// produced against a dead generation is never published. Flight
     /// state is taken as a leaf lock (shard `inner` may be held; the
     /// flight mutex never wraps a shard lock).
@@ -336,6 +340,33 @@ impl CacheDirectory {
     /// whose slot is still being produced.
     pub fn flight(&self) -> &FlightGroup<u64, Bytes> {
         &self.flight
+    }
+
+    /// The flight-group key for `id`: the fragment-identity hash (the same
+    /// FNV that selects the shard). Flights are keyed by fragment
+    /// identity, which is stable for the life of the system, rather than
+    /// by `DpcKey` — slot indices cycle through the freeLists, and a
+    /// waiter keyed on a bare index could park on one fragment's flight
+    /// and be woken with another fragment's bytes after a recycle.
+    pub fn flight_key(&self, id: &FragmentId) -> u64 {
+        shard_hash(id)
+    }
+
+    /// `id`'s key if the fragment is currently valid and unexpired. This
+    /// is the coalesced-wait re-validation hook: a waiter that parked on
+    /// `id`'s flight re-checks that the key it looked up still belongs to
+    /// `id` before emitting a `SET` under it — the key may have been
+    /// freed and reassigned to another fragment while the waiter was
+    /// parked. One shard lock and one map probe.
+    pub fn current_key(&self, id: &FragmentId) -> Option<DpcKey> {
+        let now = self.clock.now_nanos();
+        let shard_idx = self.shard_index_for(id);
+        let inner = self.shards[shard_idx].inner.lock();
+        inner
+            .entries
+            .get(id)
+            .filter(|e| e.is_valid && e.expires_at > now)
+            .map(|e| e.dpc_key)
     }
 
     /// Maximum number of simultaneously valid fragments (= DPC slots).
@@ -475,7 +506,7 @@ impl CacheDirectory {
                 inner.replacer.remove(&key);
                 let deps = std::mem::take(&mut entry.deps);
                 self.unregister_deps(&mut inner.dep_index, shard_idx, id, &deps);
-                self.flight.invalidate(u64::from(key.0));
+                self.flight.invalidate(ident);
             }
         }
         // Miss path: allocate a key (freeList, then the shard's fresh key
@@ -923,8 +954,8 @@ impl CacheDirectory {
         self.unregister_deps(&mut inner.dep_index, shard_idx, &victim_id, &deps);
         inner.evictions += 1;
         // The victim's key is about to be reassigned: any in-flight
-        // produce against its old generation must not publish.
-        self.flight.invalidate(u64::from(victim_key.0));
+        // produce of the victim fragment must not publish.
+        self.flight.invalidate(shard_hash(&victim_id));
         Some(victim_key)
     }
 
@@ -948,7 +979,7 @@ impl CacheDirectory {
         // the replacer just forgets the key and `evictions` stays put.
         inner.replacer.remove(&key);
         self.unregister_deps(&mut inner.dep_index, shard_idx, id, &deps);
-        self.flight.invalidate(u64::from(key.0));
+        self.flight.invalidate(shard_hash(id));
         true
     }
 
@@ -1451,10 +1482,10 @@ mod tests {
         // Invalidation.
         let dir = dir_with(8, 1);
         let id = FragmentId::new("inv");
-        let Lookup::Miss(k) = dir.lookup(&id, Duration::from_secs(600), &[]) else {
+        let Lookup::Miss(_) = dir.lookup(&id, Duration::from_secs(600), &[]) else {
             panic!("must miss");
         };
-        let leader = dir.flight().begin(u64::from(k.0));
+        let leader = dir.flight().begin(dir.flight_key(&id));
         assert!(dir.invalidate(&id));
         assert_eq!(leader.publish(Bytes::from_static(b"stale")), Publish::Stale);
 
@@ -1467,10 +1498,10 @@ mod tests {
                 .with_clock(clock),
         );
         let id = FragmentId::new("ttl");
-        let Lookup::Miss(k) = dir.lookup(&id, Duration::from_secs(1), &[]) else {
+        let Lookup::Miss(_) = dir.lookup(&id, Duration::from_secs(1), &[]) else {
             panic!("must miss");
         };
-        let leader = dir.flight().begin(u64::from(k.0));
+        let leader = dir.flight().begin(dir.flight_key(&id));
         handle.advance(Duration::from_secs(2));
         // The expiring lookup frees the key (and typically reassigns it to
         // the new generation of the same fragment).
@@ -1483,11 +1514,11 @@ mod tests {
         // Replacement eviction.
         let dir = dir_with(2, 1);
         let a = FragmentId::new("a");
-        let Lookup::Miss(ka) = dir.lookup(&a, Duration::from_secs(600), &[]) else {
+        let Lookup::Miss(_) = dir.lookup(&a, Duration::from_secs(600), &[]) else {
             panic!("must miss");
         };
         let _ = dir.lookup(&FragmentId::new("b"), Duration::from_secs(600), &[]);
-        let leader = dir.flight().begin(u64::from(ka.0));
+        let leader = dir.flight().begin(dir.flight_key(&a));
         // Shard full and `a` is LRU: the next distinct fragment evicts it.
         let _ = dir.lookup(&FragmentId::new("c"), Duration::from_secs(600), &[]);
         assert_eq!(
@@ -1496,6 +1527,52 @@ mod tests {
         );
         assert_eq!(dir.stats().evictions, 1);
         dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn recycled_key_does_not_cross_wire_flights() {
+        use crate::flight::{Publish, Wait};
+        // Fragment `a` is invalidated mid-flight and its dpcKey recycled to
+        // fragment `b`, whose leader begins its own flight. Because flights
+        // are keyed by fragment identity rather than slot index, the two
+        // flights are independent: `a`'s stale result is discarded, `b`'s
+        // lands, and a probe for `a` never observes `b`'s bytes.
+        let dir = dir_with(1, 1);
+        let a = FragmentId::new("a");
+        let b = FragmentId::new("b");
+        let Lookup::Miss(ka) = dir.lookup(&a, Duration::from_secs(600), &[]) else {
+            panic!("must miss");
+        };
+        let leader_a = dir.flight().begin(dir.flight_key(&a));
+        assert!(dir.invalidate(&a));
+        let Lookup::Miss(kb) = dir.lookup(&b, Duration::from_secs(600), &[]) else {
+            panic!("must miss");
+        };
+        assert_eq!(ka, kb, "capacity 1 forces the key to recycle");
+        let leader_b = dir.flight().begin(dir.flight_key(&b));
+        assert!(
+            !matches!(dir.flight().wait(dir.flight_key(&a)), Wait::Value(_)),
+            "a probe for `a` must never see `b`'s flight"
+        );
+        assert_eq!(leader_a.publish(Bytes::from_static(b"A")), Publish::Stale);
+        assert_eq!(
+            leader_b.publish(Bytes::from_static(b"B")),
+            Publish::Delivered(0)
+        );
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn current_key_tracks_validity() {
+        let dir = dir_with(8, 1);
+        let id = FragmentId::new("cur");
+        assert_eq!(dir.current_key(&id), None, "absent fragment");
+        let Lookup::Miss(k) = dir.lookup(&id, Duration::from_secs(600), &[]) else {
+            panic!("must miss");
+        };
+        assert_eq!(dir.current_key(&id), Some(k));
+        assert!(dir.invalidate(&id));
+        assert_eq!(dir.current_key(&id), None, "invalid fragment");
     }
 
     #[test]

@@ -25,9 +25,16 @@
 //!   before the invalidation can never be published after it.
 //! * **Sequence stamps** — every flight instance carries a unique `seq`.
 //!   A guard can only publish/poison the flight it started, and a parked
-//!   waiter only consumes a result from the generation it parked on, so
-//!   recycled keys (the directory's freeList reuses `DpcKey`s) cannot
-//!   cross wires.
+//!   waiter only consumes a result from the generation it parked on.
+//!   Note what the stamp does *not* do: it binds a waiter to a flight
+//!   *instance*, not a flight to the underlying cache entry — so callers
+//!   must choose `K` to be a **stable identity** for the computed value.
+//!   The BEM keys its group by the fragment-identity hash
+//!   ([`CacheDirectory::flight_key`](crate::directory::CacheDirectory::flight_key)),
+//!   never by the recyclable `DpcKey` slot index: a bare slot index can
+//!   be freed and reassigned to a different fragment while a waiter is
+//!   parked, and the waiter would be woken with the other fragment's
+//!   bytes.
 //!
 //! The uncontended path is deliberately cost-free: key and state live
 //! inline in a pre-reserved map (no per-flight allocation), one group
@@ -189,7 +196,11 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightGroup<K, V> {
         );
         match previous {
             None => {
-                self.active.fetch_add(1, Ordering::Relaxed);
+                // Release pairs with the Acquire fast-path loads in
+                // `wait`/`in_flight`; those probes are best-effort (see
+                // `wait`), but the ordering keeps the counter itself
+                // coherent with the map for whoever does take the mutex.
+                self.active.fetch_add(1, Ordering::Release);
             }
             Some(Flight::Pending { waiters, .. }) if waiters > 0 => self.cv.notify_all(),
             Some(Flight::Done { remaining, .. }) | Some(Flight::Poisoned { remaining, .. })
@@ -232,7 +243,11 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightGroup<K, V> {
     /// flight exists. Never takes leadership.
     pub fn wait(&self, key: K) -> Wait<V> {
         // Lock-free fast path: with no flight anywhere in the group, a hit
-        // is just a hit.
+        // is just a hit. This is best-effort — a probe racing a concurrent
+        // `begin` may read 0 and skip a brand-new flight, which only costs
+        // a missed coalesce (the caller serves uncoalesced), never
+        // correctness. Paths that carry a guarantee (`invalidate`) always
+        // take the mutex instead.
         if self.active.load(Ordering::Acquire) == 0 {
             return Wait::NoFlight;
         }
@@ -331,9 +346,12 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightGroup<K, V> {
     /// or invalidates the underlying entry, so a result computed before
     /// the invalidation can never be served after it.
     pub fn invalidate(&self, key: K) {
-        if self.active.load(Ordering::Acquire) == 0 {
-            return;
-        }
+        // Always take the mutex — no fast path. The never-publish-after-
+        // invalidate guarantee needs a synchronizing edge with `begin`
+        // (whose counter increment alone establishes none), and the mutex
+        // provides it: a flight begun before this acquisition is observed
+        // and stamped; one begun after computes against post-invalidation
+        // data. Invalidation is off the hot path, so the lock is cheap.
         let mut inner = self.lock();
         match inner.flights.get_mut(&key) {
             Some(Flight::Pending { waiters, stale, .. }) => {
@@ -359,9 +377,8 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightGroup<K, V> {
     /// caller's side is impossible because in-flight misses have no
     /// installed entry yet.
     pub fn invalidate_all(&self) {
-        if self.active.load(Ordering::Acquire) == 0 {
-            return;
-        }
+        // Same contract as `invalidate`: no fast path, the mutex is the
+        // synchronizing edge.
         let mut inner = self.lock();
         let mut wake = false;
         let mut drained: Vec<K> = Vec::new();

@@ -33,6 +33,11 @@ pub struct BemStats {
     /// Flight laps retried: a mid-flight invalidation went off (leader's
     /// result discarded, waiters re-looked-up) or a leader died.
     pub flight_retries: AtomicU64,
+    /// Misses served on the final, deliberately uncoalesced lap after the
+    /// flight-lap cap was exhausted (pathological invalidation storm).
+    /// These run `produce` without taking a leadership, so the checker's
+    /// balance is `misses == flight_leaders + uncoalesced_misses`.
+    pub uncoalesced_misses: AtomicU64,
     /// Bytes of content produced by running code blocks.
     pub generated_bytes: AtomicU64,
     /// Bytes of layout/uncacheable literal content written.
@@ -55,6 +60,7 @@ pub struct BemStatsSnapshot {
     pub coalesced_waits: u64,
     pub flight_leaders: u64,
     pub flight_retries: u64,
+    pub uncoalesced_misses: u64,
     pub generated_bytes: u64,
     pub literal_bytes: u64,
     pub tag_bytes: u64,
@@ -73,6 +79,7 @@ impl BemStats {
             coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
             flight_leaders: self.flight_leaders.load(Ordering::Relaxed),
             flight_retries: self.flight_retries.load(Ordering::Relaxed),
+            uncoalesced_misses: self.uncoalesced_misses.load(Ordering::Relaxed),
             generated_bytes: self.generated_bytes.load(Ordering::Relaxed),
             literal_bytes: self.literal_bytes.load(Ordering::Relaxed),
             tag_bytes: self.tag_bytes.load(Ordering::Relaxed),
@@ -115,6 +122,7 @@ impl BemStatsSnapshot {
             coalesced_waits: self.coalesced_waits - earlier.coalesced_waits,
             flight_leaders: self.flight_leaders - earlier.flight_leaders,
             flight_retries: self.flight_retries - earlier.flight_retries,
+            uncoalesced_misses: self.uncoalesced_misses - earlier.uncoalesced_misses,
             generated_bytes: self.generated_bytes - earlier.generated_bytes,
             literal_bytes: self.literal_bytes - earlier.literal_bytes,
             tag_bytes: self.tag_bytes - earlier.tag_bytes,
@@ -140,8 +148,8 @@ impl fmt::Display for BemStatsSnapshot {
         )?;
         writeln!(
             f,
-            "flight: leaders={} coalesced_waits={} retries={}",
-            self.flight_leaders, self.coalesced_waits, self.flight_retries
+            "flight: leaders={} coalesced_waits={} retries={} uncoalesced={}",
+            self.flight_leaders, self.coalesced_waits, self.flight_retries, self.uncoalesced_misses
         )?;
         write!(
             f,

@@ -394,7 +394,7 @@ pub struct FlashCrowdResult {
 /// takes `produce_ticks`, with invalidations landing at the given ticks.
 ///
 /// This is the lab-side twin of the concurrency tests in `dpc-core`'s
-/// `flash_crowd.rs`: those prove the real [`FlightGroup`] delivers these
+/// `flash_crowd.rs`: those prove the real `FlightGroup` delivers these
 /// numbers under actual threads; this model makes the *claim* itself —
 /// coalesced produces = invalidations + 1, independent of crowd size —
 /// checkable at any scale in microseconds. (It lives here and not on the

@@ -81,6 +81,16 @@ pub struct PageCache {
     /// Single-flight per URL hash: concurrent misses for the same page
     /// collapse into one origin fetch (see [`PageCache::get_or_fill`]).
     flight: FlightGroup<u64, (Bytes, String)>,
+    /// Bumped (under the `inner` lock) by every `purge` and `clear`. A
+    /// fill captures it before fetching the origin and the install checks
+    /// it again under the same lock, so a page generated before a purge
+    /// can never be (re)installed after it — even on paths with no live
+    /// flight to stamp, like the lap-cap fallback, and even in the window
+    /// between a leader's publish and its install. The epoch is global to
+    /// the cache: a purge of an *unrelated* URL also skips a concurrent
+    /// install (the page is served but not cached — conservative, never
+    /// wrong, and purges are rare next to fills).
+    purge_epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     purges: AtomicU64,
@@ -116,6 +126,7 @@ impl PageCache {
                 replacer: policy.build(capacity),
             }),
             flight: FlightGroup::new(),
+            purge_epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             purges: AtomicU64::new(0),
@@ -161,6 +172,27 @@ impl PageCache {
     /// capacity. Admission-controlled policies may refuse the page
     /// entirely (it is simply not cached — correct, just cold).
     pub fn put(&self, target: &str, body: Bytes, content_type: &str) {
+        let mut inner = self.inner.lock();
+        self.install(&mut inner, target, body, content_type);
+    }
+
+    /// `put` gated on the purge epoch: installs only if no `purge`/`clear`
+    /// has landed since `epoch` was captured. The check and the install
+    /// happen under the same lock the purge bumps the epoch under, so
+    /// there is no window for a pre-purge page to slip in after the purge.
+    /// Returns whether the page was installed.
+    fn put_unless_purged(&self, target: &str, body: Bytes, content_type: &str, epoch: u64) -> bool {
+        let mut inner = self.inner.lock();
+        if self.purge_epoch.load(Ordering::Relaxed) != epoch {
+            return false;
+        }
+        self.install(&mut inner, target, body, content_type);
+        true
+    }
+
+    /// Install a page under an already-held `inner` lock, evicting per
+    /// policy when over capacity (the body of [`PageCache::put`]).
+    fn install(&self, inner: &mut PageInner, target: &str, body: Bytes, content_type: &str) {
         let now = self.clock.now_nanos();
         let ttl: u64 = self.ttl.as_nanos().try_into().unwrap_or(u64::MAX);
         let ident = fnv1a(target.as_bytes());
@@ -170,7 +202,6 @@ impl PageCache {
             content_type: content_type.to_owned(),
             expires_at: now.saturating_add(ttl),
         };
-        let mut inner = self.inner.lock();
         if inner.entries.contains_key(target) {
             // Refresh in place: body may have changed size.
             inner.entries.insert(target.to_owned(), entry);
@@ -232,14 +263,27 @@ impl PageCache {
             match self.flight.join(ident) {
                 Join::Lead(leader) => {
                     self.flight_leaders.fetch_add(1, Ordering::Relaxed);
+                    // Captured before the origin fetch: any purge/clear
+                    // landing after this point outdates the fill.
+                    let epoch = self.purge_epoch.load(Ordering::Relaxed);
                     return match fill() {
                         Some((body, ct)) => {
-                            self.put(target, body.clone(), &ct);
-                            if leader.publish((body, ct)) == Publish::Stale {
-                                // A purge/clear landed mid-fill: our page
-                                // predates it and must not outlive it.
-                                self.drop_stale_fill(target, ident);
-                                self.flight_retries.fetch_add(1, Ordering::Relaxed);
+                            // Publish first, install only a page the flight
+                            // agrees is current: installing before the
+                            // staleness check would serve the pre-purge
+                            // page to concurrent GETs in between. The
+                            // epoch guard covers the remaining window
+                            // between this publish and the install.
+                            match leader.publish((body.clone(), ct.clone())) {
+                                Publish::Delivered(_) => {
+                                    self.put_unless_purged(target, body, &ct, epoch);
+                                }
+                                Publish::Stale => {
+                                    // A purge/clear landed mid-fill: our
+                                    // page predates it and must not
+                                    // outlive it.
+                                    self.flight_retries.fetch_add(1, Ordering::Relaxed);
+                                }
                             }
                             PageServe::Led
                         }
@@ -259,7 +303,8 @@ impl PageCache {
                 Join::Retry => {
                     self.flight_retries.fetch_add(1, Ordering::Relaxed);
                     // The flight landed, went stale, or was poisoned under
-                    // us; a landed leader has installed the page by now.
+                    // us; a landed leader typically has installed the page
+                    // by now (if not, the next lap re-elects).
                     if let Some((body, ct)) = self.get(target) {
                         return PageServe::Hit(body, ct);
                     }
@@ -267,28 +312,28 @@ impl PageCache {
             }
         }
         // Lap cap exhausted (purge storm): serve uncoalesced — correct,
-        // just duplicated origin work.
+        // just duplicated origin work. The epoch still guards the install,
+        // so even with no flight to stamp, a purge landing mid-fill keeps
+        // the pre-purge page out of the cache.
+        let epoch = self.purge_epoch.load(Ordering::Relaxed);
         if let Some((body, ct)) = fill() {
-            self.put(target, body, &ct);
+            self.put_unless_purged(target, body, &ct, epoch);
         }
         PageServe::Led
     }
 
-    /// Remove `target` installed by a fill that a concurrent purge/clear
-    /// outdated. Not a client purge: no counter, no flight stamp (the
-    /// flight entry is already gone).
-    fn drop_stale_fill(&self, target: &str, ident: u64) {
-        let mut inner = self.inner.lock();
-        inner.forget(target, ident);
-    }
-
     /// Drop the entry for `target`, if any (the `PURGE` verb). Any
-    /// in-flight fill for the URL is stamped stale so a page generated
-    /// before the purge is never installed or broadcast after it.
+    /// in-flight fill is outdated twice over: the URL's flight is stamped
+    /// stale (so the pre-purge page is never broadcast) and the purge
+    /// epoch is bumped (so it is never installed, even by a fill with no
+    /// live flight).
     pub fn purge(&self, target: &str) -> bool {
         let ident = fnv1a(target.as_bytes());
         let mut inner = self.inner.lock();
         let removed = inner.forget(target, ident);
+        // Bumped under the lock: installs check the epoch under the same
+        // lock, so none started before this purge can land after it.
+        self.purge_epoch.fetch_add(1, Ordering::Relaxed);
         drop(inner);
         self.flight.invalidate(ident);
         if removed {
@@ -303,6 +348,7 @@ impl PageCache {
         inner.entries.clear();
         inner.owner.clear();
         inner.replacer = self.policy.build(self.capacity);
+        self.purge_epoch.fetch_add(1, Ordering::Relaxed);
         drop(inner);
         self.flight.invalidate_all();
     }
@@ -563,6 +609,27 @@ mod tests {
         );
         let (_, _, retries) = c.coalesce_counters();
         assert_eq!(retries, 1, "the stale publish was counted");
+    }
+
+    #[test]
+    fn purge_of_another_url_mid_fill_conservatively_skips_install() {
+        let (c, _h) = cache(60, 10);
+        // An unrelated purge mid-fill moves the epoch; the install is
+        // conservatively skipped (page served, just not cached).
+        let serve = c.get_or_fill("/a", || {
+            c.purge("/other");
+            Some((Bytes::from_static(b"fresh"), "t".into()))
+        });
+        assert!(matches!(serve, PageServe::Led));
+        assert!(
+            c.get("/a").is_none(),
+            "epoch moved mid-fill: install skipped"
+        );
+        // With no concurrent purge, the refill installs normally.
+        let serve = c.get_or_fill("/a", || Some((Bytes::from_static(b"fresh"), "t".into())));
+        assert!(matches!(serve, PageServe::Led));
+        let (body, _) = c.get("/a").expect("quiescent fill installs");
+        assert_eq!(&body[..], b"fresh");
     }
 
     #[test]
