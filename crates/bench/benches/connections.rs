@@ -39,9 +39,18 @@
 //! 10k concurrent requests, next to the lab's analytic model of the same
 //! burst (where coalesced = invalidations + 1 exactly).
 //!
+//! The **tiers scenario** measures the L1/L2 page hierarchy end to end:
+//! the same Zipf request stream (0.9 and 1.1) through the DPC testbed's
+//! HTTP front with the page tier off (classic per-request reassembly,
+//! an origin template round-trip every time) and on (hot assembled pages
+//! promoted into the serving loop's L1, the rest stamped in the shared
+//! L2). It self-asserts the CI floor — L1-on throughput ≥ L1-off on the
+//! hot-skew stream and a nonzero `l1_hits` count — and emits
+//! `BENCH_tiers.json` with per-tier hit attribution next to the req/s.
+//!
 //! Run: `cargo bench -p dpc-bench --bench connections`
-//! Emits `BENCH_connections.json` and `BENCH_coalesce.json` at the
-//! workspace root.
+//! Emits `BENCH_connections.json`, `BENCH_coalesce.json`, and
+//! `BENCH_tiers.json` at the workspace root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::io::Write as _;
@@ -531,6 +540,201 @@ fn coalesce_scenario(quick: bool) {
     println!("wrote {path}");
 }
 
+/// Zipf exponents for the tiers scenario: the paper's mild skew and a
+/// hot-head stream where a small L1 holds most of the traffic.
+const TIER_ALPHAS: &[f64] = &[0.9, 1.1];
+/// Distinct pages in the tier workload.
+const TIER_PAGES: usize = 32;
+/// Per-loop L1 budget when the tier is on: sized to hold roughly the
+/// Zipf head (≈6 assembled pages), not the whole site, so the skew axis
+/// actually exercises L1 replacement.
+const TIER_L1_BUDGET: usize = 24 * 1024;
+/// Concurrent driver threads (each with its own keep-alive connection).
+const TIER_DRIVERS: usize = 4;
+
+struct TierPoint {
+    alpha: f64,
+    l1_budget: usize,
+    requests: u64,
+    median_elapsed_ns: u64,
+    l1_hits: u64,
+    l2_hits: u64,
+    page_hits: u64,
+    l1_stale_evictions: u64,
+}
+
+impl TierPoint {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.median_elapsed_ns.max(1) as f64 * 1e9
+    }
+}
+
+/// One grid point: a DPC testbed with the page tier on or off, driven
+/// over keep-alive connections with a deterministic Zipf stream.
+fn tier_point(alpha: f64, l1_budget: usize, quick: bool) -> TierPoint {
+    use dpc_proxy::testbed::{Testbed, TestbedConfig, PROXY_ADDR};
+    use dpc_workload::{AccessPlan, Population, SiteKind};
+
+    let reqs_per_driver = if quick { 150 } else { 400 };
+    let batches = if quick { 3 } else { 9 };
+    let tb = Testbed::build(TestbedConfig {
+        mode: dpc_proxy::ProxyMode::Dpc,
+        paper_params: dpc_appserver::apps::paper_site::PaperSiteParams {
+            pages: TIER_PAGES,
+            ..Default::default()
+        },
+        capacity: 4096,
+        l1_budget_bytes: l1_budget,
+        ..TestbedConfig::default()
+    });
+    // Anonymous population: every request shares the empty session, so
+    // the page keys — and the L1 working set — are the Zipf page head.
+    let plan = AccessPlan::new(
+        SiteKind::Paper { pages: TIER_PAGES },
+        alpha,
+        Population::new(1, 0.0),
+        0x71E5,
+    );
+    let all = plan.requests(TIER_DRIVERS * reqs_per_driver);
+    let chunks: Vec<Vec<String>> = all
+        .chunks(reqs_per_driver)
+        .map(|c| c.iter().map(|r| r.target.clone()).collect())
+        .collect();
+
+    // Warm both configs identically: enough passes over one driver's
+    // stream that hot pages cross the promotion threshold when the tier
+    // is on (PROMOTE_AFTER L2 hits each).
+    {
+        let mut warm =
+            std::io::BufReader::new(tb.net().connector().connect(PROXY_ADDR).expect("connect"));
+        for _ in 0..(dpc_proxy::l1::PROMOTE_AFTER as usize + 1) {
+            for target in &chunks[0] {
+                assert!(one_request(&mut warm, target) > 0);
+            }
+        }
+    }
+
+    let mut samples = Vec::with_capacity(batches);
+    let mut readers: Vec<_> = (0..TIER_DRIVERS)
+        .map(|_| {
+            std::io::BufReader::new(tb.net().connector().connect(PROXY_ADDR).expect("connect"))
+        })
+        .collect();
+    for _ in 0..batches {
+        let barrier = Arc::new(Barrier::new(TIER_DRIVERS + 1));
+        let joins: Vec<_> = readers
+            .drain(..)
+            .zip(chunks.iter().cloned())
+            .map(|(mut reader, chunk)| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for target in &chunk {
+                        std::hint::black_box(one_request(&mut reader, target));
+                    }
+                    reader
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for j in joins {
+            readers.push(j.join().unwrap());
+        }
+        samples.push(start.elapsed().as_nanos() as u64);
+    }
+
+    let stats = tb.proxy().page_cache().stats();
+    stats.check_invariants().unwrap();
+    TierPoint {
+        alpha,
+        l1_budget,
+        requests: (TIER_DRIVERS * reqs_per_driver) as u64,
+        median_elapsed_ns: median_ns(samples),
+        l1_hits: stats.l1_hits,
+        l2_hits: stats.l2_hits,
+        page_hits: stats.hits,
+        l1_stale_evictions: stats.l1_stale_evictions,
+    }
+}
+
+/// The L1/L2 page-tier scenario: off vs on across the Zipf grid, with
+/// the CI floor asserted and `BENCH_tiers.json` written.
+fn tiers_scenario(quick: bool) {
+    let mut points: Vec<TierPoint> = Vec::new();
+    for &alpha in TIER_ALPHAS {
+        for l1_budget in [0usize, TIER_L1_BUDGET] {
+            let p = tier_point(alpha, l1_budget, quick);
+            println!(
+                "measured tiers/zipf{alpha}/l1={}: {:>9.0} req/s, {} L1 hits + {} L2 hits of {} page hits",
+                if l1_budget > 0 { "on" } else { "off" },
+                p.rps(),
+                p.l1_hits,
+                p.l2_hits,
+                p.page_hits,
+            );
+            points.push(p);
+        }
+    }
+    let find = |alpha: f64, on: bool| {
+        points
+            .iter()
+            .find(|p| p.alpha == alpha && (p.l1_budget > 0) == on)
+            .expect("tier grid point measured")
+    };
+    let speedup_mild = find(0.9, true).rps() / find(0.9, false).rps();
+    let speedup_hot = find(1.1, true).rps() / find(1.1, false).rps();
+
+    // CI floor (quick mode included): on the hot-skew stream the tier
+    // must not lose to per-request reassembly, and the L1 must actually
+    // be serving (promotion and coherence both wired end to end).
+    let hot_on = find(1.1, true);
+    assert!(
+        speedup_hot >= 1.0,
+        "L1-on lost to L1-off at Zipf 1.1: {speedup_hot:.3}x"
+    );
+    assert!(
+        hot_on.l1_hits > 0,
+        "hot-skew run never served from the L1: {} L2 hits",
+        hot_on.l2_hits
+    );
+
+    let mut json = format!(
+        "{{\n  \"bench\": \"tiers\",\n  \"unit\": \"req/s through the HTTP front\",\n  \
+         \"quick\": {quick},\n  \"pages\": {TIER_PAGES},\n  \"drivers\": {TIER_DRIVERS},\n  \
+         \"l1_budget_bytes\": {TIER_L1_BUDGET},\n  \"promote_after\": {},\n  \"points\": [\n",
+        dpc_proxy::l1::PROMOTE_AFTER
+    );
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"zipf_alpha\": {}, \"l1\": {}, \"l1_budget_bytes\": {}, \"requests\": {}, \
+             \"median_elapsed_ns\": {}, \"req_per_s\": {:.1}, \"l1_hits\": {}, \"l2_hits\": {}, \
+             \"page_hits\": {}, \"l1_stale_evictions\": {}}}{}\n",
+            p.alpha,
+            p.l1_budget > 0,
+            p.l1_budget,
+            p.requests,
+            p.median_elapsed_ns,
+            p.rps(),
+            p.l1_hits,
+            p.l2_hits,
+            p.page_hits,
+            p.l1_stale_evictions,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"speedup_l1_on_vs_off\": {{\"zipf_0.9\": {speedup_mild:.3}, \"zipf_1.1\": {speedup_hot:.3}}},\n  \
+         \"ci_floor\": \"L1-on req/s >= L1-off at Zipf 1.1 and l1_hits > 0\"\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tiers.json");
+    std::fs::write(path, json).expect("write BENCH_tiers.json");
+    println!("wrote {path}");
+    println!(
+        "tiers: L1-on vs off speedup {speedup_mild:.2}x at Zipf 0.9, {speedup_hot:.2}x at Zipf 1.1"
+    );
+}
+
 fn bench_connections(c: &mut Criterion) {
     let quick = std::env::var("CRITERION_QUICK").is_ok();
     let grid = if quick { CONN_GRID_QUICK } else { CONN_GRID };
@@ -591,6 +795,7 @@ fn bench_connections(c: &mut Criterion) {
     let eviction_json = eviction_scenario();
     emit_json(&points, grid, loop_grid, quick, &eviction_json);
     coalesce_scenario(quick);
+    tiers_scenario(quick);
 }
 
 fn emit_json(

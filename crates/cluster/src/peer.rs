@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use dpc_core::{DpcKey, FlightGroup, FragmentStore, Join, Publish};
+use dpc_core::{CoherencyEpoch, DpcKey, FlightGroup, FragmentStore, Join, Publish};
 use dpc_net::frame::ClusterFrame;
 use dpc_net::stream::Connector;
 use dpc_net::SimNetwork;
@@ -101,6 +101,12 @@ pub struct PeerNode {
     /// [`PeerNode::coalesced_fetch`]). `Ok(None)` answers coalesce too —
     /// a donor that doesn't have the slot shouldn't be asked N times.
     fetch_flight: FlightGroup<u64, Option<Bytes>>,
+    /// The node's page-tier coherency epoch, when the front runs one.
+    /// Scrubbing fragment slots is not enough once assembled pages are
+    /// cached above the slot store: a page built *from* a freed fragment
+    /// stays servable unless its stamp is outdated, so every scrub that
+    /// frees keys bumps this epoch too.
+    coherence: Mutex<Option<CoherencyEpoch>>,
     stats: PeerStats,
 }
 
@@ -112,8 +118,18 @@ impl PeerNode {
             feed: Mutex::new(InvalidationFeed::new(id)),
             peer_vvs: Mutex::new(HashMap::new()),
             fetch_flight: FlightGroup::new(),
+            coherence: Mutex::new(None),
             stats: PeerStats::default(),
         })
+    }
+
+    /// Attach the front's page-tier coherency epoch: from now on, every
+    /// scrub that frees at least one key bumps it, so assembled pages
+    /// containing the freed fragments stop being servable on their next
+    /// touch (both the shared L2 and every loop's L1 validate stamps
+    /// against this epoch).
+    pub fn set_coherence(&self, epoch: CoherencyEpoch) {
+        *self.coherence.lock() = Some(epoch);
     }
 
     pub fn id(&self) -> u32 {
@@ -214,8 +230,10 @@ impl PeerNode {
 
     fn scrub(&self, events: &[FeedEvent]) {
         let mut scrubbed = 0u64;
+        let mut freed_any = false;
         for event in events {
             for key in &event.keys {
+                freed_any = true;
                 if self.store.clear_key(*key) {
                     scrubbed += 1;
                 }
@@ -223,6 +241,14 @@ impl PeerNode {
                 // pre-invalidation bytes — stamp the flight stale so the
                 // leader discards instead of publishing.
                 self.fetch_flight.invalidate(u64::from(key.0));
+            }
+        }
+        // Freed keys may be baked into assembled pages cached above this
+        // store — an event names keys even when the local slot was already
+        // empty, so the bump keys off the event, not `scrubbed`.
+        if freed_any {
+            if let Some(epoch) = self.coherence.lock().as_ref() {
+                epoch.bump();
             }
         }
         self.stats

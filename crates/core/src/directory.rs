@@ -265,6 +265,11 @@ pub struct CacheDirectory {
     dep_shards: Box<[Mutex<HashMap<String, ShardSet>>]>,
     /// Shard locks taken by `invalidate_dep` (see `DirectoryStats`).
     dep_shard_scans: AtomicU64,
+    /// Every directory lock acquisition — shard `inner` mutexes and dep
+    /// stripes alike. Not a stat for tuning; it exists so tests can pin
+    /// lock-freedom claims (the proxy's L1 page tier asserts its hit path
+    /// takes zero directory locks by diffing this counter).
+    lock_acquisitions: AtomicU64,
     /// Single-flight group for miss coalescing, keyed by the
     /// fragment-identity hash ([`CacheDirectory::flight_key`]) — NOT by
     /// the `DpcKey` slot index, which is recycled through the freeLists
@@ -331,6 +336,7 @@ impl CacheDirectory {
             shards: shards.into_boxed_slice(),
             dep_shards: dep_stripes,
             dep_shard_scans: AtomicU64::new(0),
+            lock_acquisitions: AtomicU64::new(0),
             flight: FlightGroup::new(),
         }
     }
@@ -361,7 +367,7 @@ impl CacheDirectory {
     pub fn current_key(&self, id: &FragmentId) -> Option<DpcKey> {
         let now = self.clock.now_nanos();
         let shard_idx = self.shard_index_for(id);
-        let inner = self.shards[shard_idx].inner.lock();
+        let inner = self.lock_inner(&self.shards[shard_idx]);
         inner
             .entries
             .get(id)
@@ -397,11 +403,36 @@ impl CacheDirectory {
         &self.dep_shards[idx]
     }
 
+    /// Take `shard`'s inner mutex, counting the acquisition. Every
+    /// directory path that locks a shard goes through here so
+    /// [`lock_acquisitions`](CacheDirectory::lock_acquisitions) is an
+    /// exact census, not a sample.
+    #[inline]
+    fn lock_inner<'a>(&self, shard: &'a Shard) -> std::sync::MutexGuard<'a, Inner> {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        shard.inner.lock()
+    }
+
+    /// Take the stripe mutex holding `dep`'s shard set, counting the
+    /// acquisition.
+    #[inline]
+    fn lock_dep_stripe(&self, dep: &str) -> std::sync::MutexGuard<'_, HashMap<String, ShardSet>> {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.dep_stripe(dep).lock()
+    }
+
+    /// Total directory lock acquisitions (shard inner mutexes plus dep
+    /// stripes) since construction. Lets tests pin that a code path is
+    /// directory-lock-free: snapshot, run the path, assert zero delta.
+    pub fn lock_acquisitions(&self) -> u64 {
+        self.lock_acquisitions.load(Ordering::Relaxed)
+    }
+
     /// Record that shard `idx` (may) hold a dependent of `dep`. Must be
     /// called while holding shard `idx`'s lock so the bit is visible before
     /// any later `invalidate_dep` can lock the shard.
     fn mark_dep_shard(&self, dep: &str, idx: usize) {
-        let mut stripe = self.dep_stripe(dep).lock();
+        let mut stripe = self.lock_dep_stripe(dep);
         stripe
             .entry(dep.to_owned())
             .or_insert_with(|| ShardSet::new(self.shards.len()))
@@ -411,7 +442,7 @@ impl CacheDirectory {
     /// Record that shard `idx` no longer holds any dependent of `dep`.
     /// Must be called while holding shard `idx`'s lock.
     fn clear_dep_shard(&self, dep: &str, idx: usize) {
-        let mut stripe = self.dep_stripe(dep).lock();
+        let mut stripe = self.lock_dep_stripe(dep);
         if let Some(set) = stripe.get_mut(dep) {
             set.clear(idx);
             if set.is_empty() {
@@ -475,7 +506,7 @@ impl CacheDirectory {
         let ident = shard_hash(id);
         let shard_idx = self.shard_index_of_hash(ident);
         let shard = &self.shards[shard_idx];
-        let mut inner = shard.inner.lock();
+        let mut inner = self.lock_inner(shard);
         let inner = &mut *inner;
 
         if let Some(entry) = inner.entries.get_mut(id) {
@@ -570,7 +601,7 @@ impl CacheDirectory {
     /// is never executed on the hit path.
     pub fn add_deps(&self, id: &FragmentId, deps: &[String]) -> bool {
         let shard_idx = self.shard_index_for(id);
-        let mut inner = self.shards[shard_idx].inner.lock();
+        let mut inner = self.lock_inner(&self.shards[shard_idx]);
         let inner = &mut *inner;
         let Some(entry) = inner.entries.get_mut(id) else {
             return false;
@@ -600,7 +631,7 @@ impl CacheDirectory {
     /// Returns false when the entry is absent or invalid.
     pub fn note_fragment_bytes(&self, id: &FragmentId, bytes: u64) -> bool {
         let shard_idx = self.shard_index_for(id);
-        let mut inner = self.shards[shard_idx].inner.lock();
+        let mut inner = self.lock_inner(&self.shards[shard_idx]);
         let inner = &mut *inner;
         let Some(entry) = inner.entries.get_mut(id) else {
             return false;
@@ -621,7 +652,7 @@ impl CacheDirectory {
     /// Returns true when the entry was valid.
     pub fn invalidate(&self, id: &FragmentId) -> bool {
         let shard_idx = self.shard_index_for(id);
-        let mut inner = self.shards[shard_idx].inner.lock();
+        let mut inner = self.lock_inner(&self.shards[shard_idx]);
         self.invalidate_locked(&mut inner, shard_idx, id)
     }
 
@@ -632,7 +663,7 @@ impl CacheDirectory {
     /// an entry that has already moved on to a different key.
     pub fn invalidate_if_key(&self, id: &FragmentId, key: DpcKey) -> bool {
         let shard_idx = self.shard_index_for(id);
-        let mut inner = self.shards[shard_idx].inner.lock();
+        let mut inner = self.lock_inner(&self.shards[shard_idx]);
         match inner.entries.get(id) {
             Some(e) if e.is_valid && e.dpc_key == key => {}
             _ => return false,
@@ -664,7 +695,7 @@ impl CacheDirectory {
         // Snapshot the shard set without holding any shard lock (lock
         // order: shard inner before dep_shards). A registration that lands
         // after this read linearizes after the whole invalidation.
-        let Some(mask) = self.dep_stripe(dep).lock().get(dep).cloned() else {
+        let Some(mask) = self.lock_dep_stripe(dep).get(dep).cloned() else {
             return Vec::new();
         };
         let mut freed = Vec::new();
@@ -673,7 +704,7 @@ impl CacheDirectory {
                 continue;
             }
             self.dep_shard_scans.fetch_add(1, Ordering::Relaxed);
-            let mut inner = shard.inner.lock();
+            let mut inner = self.lock_inner(shard);
             let Some(ids) = inner.dep_index.get(dep).cloned() else {
                 // Stale bit (dependents expired/evicted since it was set):
                 // clean it up so the next update skips this shard too.
@@ -704,7 +735,7 @@ impl CacheDirectory {
     pub fn fragment_epoch(&self, id: &FragmentId) -> Option<u64> {
         let now = self.clock.now_nanos();
         let shard_idx = self.shard_index_for(id);
-        let inner = self.shards[shard_idx].inner.lock();
+        let inner = self.lock_inner(&self.shards[shard_idx]);
         inner
             .entries
             .get(id)
@@ -716,7 +747,7 @@ impl CacheDirectory {
     pub fn invalidate_all(&self) -> usize {
         let mut n = 0;
         for (shard_idx, shard) in self.shards.iter().enumerate() {
-            let mut inner = shard.inner.lock();
+            let mut inner = self.lock_inner(shard);
             let ids: Vec<FragmentId> = inner
                 .entries
                 .iter()
@@ -741,7 +772,7 @@ impl CacheDirectory {
         let now = self.clock.now_nanos();
         let mut n = 0;
         for (shard_idx, shard) in self.shards.iter().enumerate() {
-            let mut inner = shard.inner.lock();
+            let mut inner = self.lock_inner(shard);
             let expired: Vec<FragmentId> = inner
                 .entries
                 .iter()
@@ -771,7 +802,7 @@ impl CacheDirectory {
             ..DirectoryStats::default()
         };
         for shard in &self.shards {
-            let inner = shard.inner.lock();
+            let inner = self.lock_inner(shard);
             stats.hits += inner.hits;
             stats.misses += inner.misses;
             stats.node_misses += inner.node_misses;
@@ -798,7 +829,7 @@ impl CacheDirectory {
         self.shards
             .iter()
             .map(|shard| {
-                let inner = shard.inner.lock();
+                let inner = self.lock_inner(shard);
                 ShardStats {
                     evictions: inner.evictions,
                     admission_rejections: inner.admission_rejections,
@@ -816,7 +847,7 @@ impl CacheDirectory {
     pub fn shard_occupancy(&self) -> Vec<usize> {
         self.shards
             .iter()
-            .map(|s| s.inner.lock().key_owner.len())
+            .map(|s| self.lock_inner(s).key_owner.len())
             .collect()
     }
 
@@ -835,7 +866,7 @@ impl CacheDirectory {
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut total_allocated = 0usize;
         for (s, shard) in self.shards.iter().enumerate() {
-            let inner = shard.inner.lock();
+            let inner = self.lock_inner(shard);
             let allocated = (inner.next_fresh - shard.key_lo) as usize;
             total_allocated += allocated;
             if allocated > shard.capacity() {

@@ -1,0 +1,84 @@
+//! Node-local coherence epoch: a shared monotonic counter that stamps
+//! assembled-page cache entries (the proxy's L1/L2 page tiers) and lets
+//! any invalidation path — page purge, origin data update, gossip scrub —
+//! make every stamped entry self-evict on next touch without enumerating
+//! them.
+//!
+//! The epoch is deliberately coarse: one bump invalidates *all* stamped
+//! pages on the node (or, in a cluster that shares one epoch across
+//! nodes, the fleet). That trade is the same one `PageCache::purge_epoch`
+//! already makes for in-flight fills — invalidations are rare next to
+//! serves, and a conservative stamp can make a fresh page re-assemble
+//! but can never serve a stale one. Validation is a single relaxed
+//! atomic load, so the hot hit path takes no locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cloneable handle to a shared monotonic epoch counter.
+///
+/// Clones observe the same counter; `bump` is the invalidation edge and
+/// `value` the validation read. An entry stamped with `value()` *before*
+/// the content it caches was produced is servable exactly while
+/// `value()` still equals its stamp.
+#[derive(Clone, Debug, Default)]
+pub struct CoherencyEpoch {
+    inner: Arc<AtomicU64>,
+}
+
+impl CoherencyEpoch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current epoch. Stamp captures must happen *before* the cached
+    /// content is produced, so a bump racing the fill lands at or after
+    /// the stamp and the entry fails validation.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.inner.load(Ordering::Acquire)
+    }
+
+    /// Advance the epoch, invalidating every entry stamped with an
+    /// earlier value. Returns the new epoch.
+    #[inline]
+    pub fn bump(&self) -> u64 {
+        self.inner.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// True while `stamp` is still the current epoch.
+    #[inline]
+    pub fn validates(&self, stamp: u64) -> bool {
+        self.value() == stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_counter() {
+        let a = CoherencyEpoch::new();
+        let b = a.clone();
+        let stamp = a.value();
+        assert!(b.validates(stamp));
+        b.bump();
+        assert!(
+            !a.validates(stamp),
+            "bump through one clone invalidates the other's stamp"
+        );
+        assert_eq!(a.value(), b.value());
+    }
+
+    #[test]
+    fn bump_is_monotonic() {
+        let e = CoherencyEpoch::new();
+        let mut last = e.value();
+        for _ in 0..10 {
+            let next = e.bump();
+            assert!(next > last);
+            last = next;
+        }
+    }
+}

@@ -83,6 +83,7 @@ pub mod assemble;
 pub mod bem;
 pub mod config;
 pub mod directory;
+pub mod epoch;
 pub mod error;
 pub mod flight;
 pub mod invalidate;
@@ -97,6 +98,7 @@ pub use assemble::{assemble, assemble_rope, AssembledPage, AssembledRope, Assemb
 pub use bem::{Bem, FragmentPolicy, InvalidationSink, TemplateWriter};
 pub use config::{BemConfig, ReplacePolicy, DEFAULT_SHARDS};
 pub use directory::{CacheDirectory, Lookup, ShardStats};
+pub use epoch::CoherencyEpoch;
 pub use error::{AssembleError, CoreError};
 pub use flight::{FlightCounters, FlightGroup, FlightLeader, Join, Publish, Wait};
 pub use key::{DpcKey, FragmentId};

@@ -40,7 +40,10 @@ pub mod uri;
 pub use client::Client;
 pub use error::HttpError;
 pub use message::{Body, Headers, Method, Request, Response, Status};
-pub use server::{Handler, LoopStats, Server, ServerConfig, ServerHandle, ServerStats};
+pub use server::{
+    Handler, LoopCache, LoopCacheFactory, LoopStats, Server, ServerConfig, ServerHandle,
+    ServerStats,
+};
 pub use threaded::{ThreadedServer, ThreadedServerHandle};
 pub use uri::Uri;
 

@@ -74,6 +74,24 @@ where
     }
 }
 
+/// A per-event-loop serving tier consulted after a request parses and
+/// before it is dispatched to the handler: return `Some(response)` to
+/// serve it right here on the loop thread — no worker handoff, no
+/// handler run — or `None` to fall through to the normal path.
+///
+/// Each loop owns a private instance (hence `&mut self`: no internal
+/// locking is required for per-loop state). Implementations run on the
+/// event loop and stall every other connection of the loop while they
+/// run, so they must be strictly non-blocking — a cache probe, not a
+/// handler.
+pub trait LoopCache: Send {
+    fn try_serve(&mut self, req: &Request) -> Option<Response>;
+}
+
+/// Builds one [`LoopCache`] per event loop at spawn time (called with
+/// the loop index).
+pub type LoopCacheFactory = Arc<dyn Fn(usize) -> Box<dyn LoopCache> + Send + Sync>;
+
 /// Server configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
@@ -185,6 +203,7 @@ pub struct Server {
     loops: usize,
     conn_output_cap: usize,
     global_output_cap: usize,
+    loop_cache: Option<LoopCacheFactory>,
 }
 
 impl Server {
@@ -196,6 +215,7 @@ impl Server {
             loops: 1,
             conn_output_cap: DEFAULT_CONN_OUTPUT_CAP,
             global_output_cap: DEFAULT_GLOBAL_OUTPUT_CAP,
+            loop_cache: None,
         }
     }
 
@@ -218,6 +238,15 @@ impl Server {
     pub fn with_output_caps(mut self, per_conn: usize, global: usize) -> Server {
         self.conn_output_cap = per_conn.max(1);
         self.global_output_cap = global.max(1);
+        self
+    }
+
+    /// Builder: install a per-loop serving tier. `factory` is called once
+    /// per event loop at spawn time with the loop index; the resulting
+    /// [`LoopCache`] is consulted on the loop thread for every parsed
+    /// request before handler dispatch.
+    pub fn with_loop_cache(mut self, factory: LoopCacheFactory) -> Server {
+        self.loop_cache = Some(factory);
         self
     }
 
@@ -279,6 +308,7 @@ impl Server {
                 next_token: 1,
                 conn_output_cap: self.conn_output_cap,
                 global_output_cap: self.global_output_cap,
+                cache: self.loop_cache.as_ref().map(|f| f(index)),
                 stopping: false,
             };
             let thread = std::thread::Builder::new()
@@ -537,6 +567,8 @@ struct LoopState {
     next_token: Token,
     conn_output_cap: usize,
     global_output_cap: usize,
+    /// This loop's private serving tier (see [`Server::with_loop_cache`]).
+    cache: Option<Box<dyn LoopCache>>,
     /// Set when the loop leaves its main phase: no new parses, drain only.
     stopping: bool,
 }
@@ -840,6 +872,16 @@ impl LoopState {
                     conn.compact();
                     conn.close_pending = req.headers.connection_close();
                     self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    // Per-loop tier: a hit is served without leaving this
+                    // thread (and, in pool mode, without a worker
+                    // handoff), then the loop continues to flush and
+                    // parse any pipelined successor.
+                    if let Some(cache) = self.cache.as_mut() {
+                        if let Some(resp) = cache.try_serve(&req) {
+                            Self::complete_request(conn, &resp);
+                            continue;
+                        }
+                    }
                     if self.pool.is_some() {
                         conn.handling = true;
                         self.dispatch(token, req);

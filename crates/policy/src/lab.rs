@@ -373,6 +373,264 @@ pub fn replay(policy: ReplacePolicy, trace: &Trace, cap_bytes: u64, shards: usiz
     result
 }
 
+/// L2 hits an object must accumulate within one residency generation
+/// before it is promoted into the simulated L1 — mirrors the proxy tier's
+/// `dpc_proxy::l1::PROMOTE_AFTER` (the lab cannot depend on that crate;
+/// the dependency points the other way).
+pub const TIER_PROMOTE_AFTER: u64 = 3;
+
+/// Outcome of one [`replay_tiered`] run: the L1/L2 hierarchy replayed
+/// against one trace, with per-tier attribution.
+#[derive(Debug, Clone)]
+pub struct TieredLabResult {
+    pub policy: &'static str,
+    pub trace: String,
+    /// Byte budget of the loop-local L1 model.
+    pub l1_cap_bytes: u64,
+    /// Byte budget of the L2 (split over `shards`).
+    pub cap_bytes: u64,
+    pub shards: usize,
+    pub gets: u64,
+    /// Hits served by the L1 (zero shared state in the real tier).
+    pub l1_hits: u64,
+    /// Hits served by the L2 replacer.
+    pub l2_hits: u64,
+    /// Objects copied from L2 into L1 (each one earned its threshold).
+    pub promotions: u64,
+    /// Whole-L1 clears caused by invalidation bursts: the real tier
+    /// validates one coarse epoch, so *any* invalidation unserves every
+    /// L1 entry — this counts that over-invalidation cost.
+    pub l1_invalidation_clears: u64,
+    pub evictions: u64,
+    pub invalidation_frees: u64,
+}
+
+impl TieredLabResult {
+    /// Combined hit ratio; by construction `hits == l1_hits + l2_hits`,
+    /// the same accounting invariant `PageCacheStats` pins in the proxy.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            (self.l1_hits + self.l2_hits) as f64 / self.gets as f64
+        }
+    }
+
+    /// Fraction of all GETs absorbed by the L1.
+    pub fn l1_hit_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / self.gets as f64
+        }
+    }
+
+    /// Fraction of all GETs absorbed by the L2.
+    pub fn l2_hit_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / self.gets as f64
+        }
+    }
+}
+
+/// A minimal byte-budgeted LRU modelling one event loop's L1: promotion
+/// is earned (see [`TIER_PROMOTE_AFTER`]), eviction is
+/// least-recently-touched, and an invalidation burst clears it whole
+/// (the coarse-epoch semantics of the real tier).
+struct LabL1 {
+    entries: std::collections::HashMap<u32, (u64, u64)>, // obj -> (bytes, last_touch)
+    resident_bytes: u64,
+    cap_bytes: u64,
+    tick: u64,
+}
+
+impl LabL1 {
+    fn get(&mut self, obj: u32) -> bool {
+        self.tick += 1;
+        match self.entries.get_mut(&obj) {
+            Some((_, touch)) => {
+                *touch = self.tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, obj: u32, bytes: u64) {
+        if bytes > self.cap_bytes {
+            return;
+        }
+        if let Some((old, _)) = self.entries.remove(&obj) {
+            self.resident_bytes -= old;
+        }
+        while self.resident_bytes + bytes > self.cap_bytes {
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, touch))| *touch)
+                .map(|(obj, _)| obj)
+                .expect("over budget implies residents");
+            let (freed, _) = self.entries.remove(&victim).expect("victim resident");
+            self.resident_bytes -= freed;
+        }
+        self.tick += 1;
+        self.resident_bytes += bytes;
+        self.entries.insert(obj, (bytes, self.tick));
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.resident_bytes = 0;
+    }
+}
+
+/// Replay `trace` through the two-tier hierarchy: a byte-budgeted LRU L1
+/// (capacity `l1_cap_bytes`, coarse-epoch invalidation) in front of the
+/// sharded `policy` L2 (capacity `cap_bytes`). Per-tier hit attribution
+/// follows the proxy's accounting exactly: every hit is an L1 hit or an
+/// L2 hit, never both.
+pub fn replay_tiered(
+    policy: ReplacePolicy,
+    trace: &Trace,
+    l1_cap_bytes: u64,
+    cap_bytes: u64,
+    shards: usize,
+) -> TieredLabResult {
+    assert!(shards.is_power_of_two(), "shards must be a power of two");
+    let shard_cap = (cap_bytes / shards as u64).max(1);
+    let hint = (shard_cap / trace.mean_object_bytes()).max(1) as usize;
+    let mut lab_shards: Vec<LabShard> = (0..shards)
+        .map(|_| LabShard {
+            replacer: policy.build(hint),
+            resident: HashSet::new(),
+        })
+        .collect();
+    let shard_mask = shards as u64 - 1;
+    let mut l1 = LabL1 {
+        entries: std::collections::HashMap::new(),
+        resident_bytes: 0,
+        cap_bytes: l1_cap_bytes,
+        tick: 0,
+    };
+    // Per-object L2 hit count within the current residency generation —
+    // the promotion ledger (resets when the object leaves the L2, exactly
+    // as `PageEntry::hits` resets per generation).
+    let mut l2_gen_hits: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+
+    let max_cohort = trace.cohorts.iter().copied().max().unwrap_or(0) as usize;
+    let mut cohort_objects: Vec<Vec<u32>> = vec![Vec::new(); max_cohort + 1];
+    for (obj, &c) in trace.cohorts.iter().enumerate() {
+        cohort_objects[c as usize].push(obj as u32);
+    }
+
+    let mut result = TieredLabResult {
+        policy: policy.name(),
+        trace: trace.name.clone(),
+        l1_cap_bytes,
+        cap_bytes,
+        shards,
+        gets: 0,
+        l1_hits: 0,
+        l2_hits: 0,
+        promotions: 0,
+        l1_invalidation_clears: 0,
+        evictions: 0,
+        invalidation_frees: 0,
+    };
+
+    for op in &trace.ops {
+        match *op {
+            Op::Get(obj) => {
+                result.gets += 1;
+                if result.l1_cap_bytes > 0 && l1.get(obj) {
+                    result.l1_hits += 1;
+                    continue;
+                }
+                let ident = splitmix(obj as u64 + 1);
+                let bytes = trace.bytes[obj as usize] as u64;
+                let shard = &mut lab_shards[(splitmix(obj as u64) & shard_mask) as usize];
+                if shard.resident.contains(&obj) {
+                    result.l2_hits += 1;
+                    shard.replacer.touch(&obj);
+                    if result.l1_cap_bytes > 0 {
+                        let hits = l2_gen_hits.entry(obj).or_insert(0);
+                        *hits += 1;
+                        if *hits >= TIER_PROMOTE_AFTER {
+                            l1.insert(obj, bytes);
+                            result.promotions += 1;
+                        }
+                    }
+                    continue;
+                }
+                if bytes > shard_cap {
+                    continue;
+                }
+                let mut rejected = false;
+                let mut first_duel = true;
+                while shard.replacer.resident_bytes() + bytes > shard_cap {
+                    let victim = if first_duel {
+                        shard.replacer.evict_for(ident, bytes)
+                    } else {
+                        shard.replacer.pick_victim()
+                    };
+                    first_duel = false;
+                    match victim {
+                        Some(victim) => {
+                            shard.resident.remove(&victim);
+                            l2_gen_hits.remove(&victim);
+                            result.evictions += 1;
+                        }
+                        None => {
+                            rejected = true;
+                            break;
+                        }
+                    }
+                }
+                if !rejected && shard.replacer.admit(obj, ident, bytes) {
+                    shard.resident.insert(obj);
+                    l2_gen_hits.remove(&obj);
+                }
+            }
+            Op::InvalidateCohort(c) => {
+                for &obj in cohort_objects.get(c as usize).into_iter().flatten() {
+                    let shard = &mut lab_shards[(splitmix(obj as u64) & shard_mask) as usize];
+                    if shard.resident.remove(&obj) {
+                        shard.replacer.remove(&obj);
+                        l2_gen_hits.remove(&obj);
+                        result.invalidation_frees += 1;
+                    }
+                }
+                // Coarse-epoch semantics: one bump unserves the whole L1.
+                if result.l1_cap_bytes > 0 && !l1.entries.is_empty() {
+                    l1.clear();
+                    result.l1_invalidation_clears += 1;
+                }
+            }
+        }
+    }
+    for (i, shard) in lab_shards.iter().enumerate() {
+        assert_eq!(
+            shard.replacer.len(),
+            shard.resident.len(),
+            "policy {} shard {i} resident-set drift",
+            policy.name()
+        );
+        assert!(
+            shard.replacer.resident_bytes() <= shard_cap,
+            "policy {} shard {i} over budget",
+            policy.name()
+        );
+    }
+    assert!(
+        l1.resident_bytes <= l1_cap_bytes,
+        "L1 model over budget: {} > {l1_cap_bytes}",
+        l1.resident_bytes
+    );
+    result
+}
+
 /// Outcome of one [`flash_crowd`] run: the same deterministic burst
 /// costed with and without single-flight miss coalescing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -606,5 +864,96 @@ mod tests {
         let r = replay(ReplacePolicy::Lru, &trace, 128 * UNIFORM_BYTES as u64, 1);
         assert_eq!(r.evictions, 0);
         assert!(r.invalidation_frees > 0);
+    }
+
+    #[test]
+    fn tiered_replay_is_deterministic_and_attribution_is_exhaustive() {
+        let trace = small_zipf();
+        let l1_cap = 16 * UNIFORM_BYTES as u64;
+        let cap = 128 * UNIFORM_BYTES as u64;
+        let a = replay_tiered(ReplacePolicy::Lru, &trace, l1_cap, cap, 4);
+        let b = replay_tiered(ReplacePolicy::Lru, &trace, l1_cap, cap, 4);
+        assert_eq!(a.l1_hits, b.l1_hits);
+        assert_eq!(a.l2_hits, b.l2_hits);
+        assert_eq!(a.evictions, b.evictions);
+        // Every hit belongs to exactly one tier — the same invariant
+        // `PageCacheStats::check_invariants` pins in the proxy.
+        assert!(a.l1_hits > 0 && a.l2_hits > 0, "{a:?}");
+        assert!((a.hit_ratio() - (a.l1_hit_ratio() + a.l2_hit_ratio())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_l1_budget_degenerates_to_the_flat_replay() {
+        let trace = small_zipf();
+        let cap = 128 * UNIFORM_BYTES as u64;
+        for policy in ReplacePolicy::ALL {
+            let flat = replay(policy, &trace, cap, 4);
+            let tiered = replay_tiered(policy, &trace, 0, cap, 4);
+            assert_eq!(tiered.l1_hits, 0, "{policy:?}");
+            assert_eq!(tiered.l2_hits, flat.hits, "{policy:?}");
+            assert_eq!(tiered.evictions, flat.evictions, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn l1_absorbs_more_of_the_head_as_skew_rises() {
+        let l1_cap = 8 * UNIFORM_BYTES as u64;
+        let cap = 128 * UNIFORM_BYTES as u64;
+        let mild = Trace::zipf(512, 0.9, 40_000, 0x1AB);
+        let hot = Trace::zipf(512, 1.1, 40_000, 0x1AB);
+        let r_mild = replay_tiered(ReplacePolicy::Lru, &mild, l1_cap, cap, 4);
+        let r_hot = replay_tiered(ReplacePolicy::Lru, &hot, l1_cap, cap, 4);
+        assert!(
+            r_hot.l1_hit_ratio() > r_mild.l1_hit_ratio(),
+            "hot {:.3} vs mild {:.3}",
+            r_hot.l1_hit_ratio(),
+            r_mild.l1_hit_ratio()
+        );
+        // At Zipf 1.1 a tiny L1 already serves a meaningful share.
+        assert!(r_hot.l1_hit_ratio() > 0.1, "{:.3}", r_hot.l1_hit_ratio());
+        // L1 capacity is additive, but L1 hits also shield the L2
+        // replacer from touches (its recency signal on the head decays
+        // while the head lives upstairs), so the combined ratio is only
+        // *near-or-above* flat — the filtering cost must stay marginal.
+        let flat = replay(ReplacePolicy::Lru, &hot, cap, 4);
+        assert!(
+            r_hot.hit_ratio() >= flat.hit_ratio() - 0.02,
+            "tiered {:.3} vs flat {:.3}",
+            r_hot.hit_ratio(),
+            flat.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn invalidation_bursts_clear_the_whole_l1() {
+        let trace = Trace::invalidation_bursts(256, 1.1, 400, 20_000, 0xB00);
+        let r = replay_tiered(
+            ReplacePolicy::Lru,
+            &trace,
+            16 * UNIFORM_BYTES as u64,
+            128 * UNIFORM_BYTES as u64,
+            4,
+        );
+        // Coarse-epoch coherence: every burst that found a non-empty L1
+        // cleared it whole, yet the head is hot enough to re-promote.
+        assert!(r.l1_invalidation_clears > 0, "{r:?}");
+        assert!(r.l1_hits > 0, "{r:?}");
+        assert!(r.promotions >= r.l1_invalidation_clears, "{r:?}");
+        // And the over-invalidation has a measurable price: the same
+        // trace with no bursts keeps more of its traffic in the L1.
+        let calm = Trace::zipf(256, 1.1, 20_000, 0xB00);
+        let r_calm = replay_tiered(
+            ReplacePolicy::Lru,
+            &calm,
+            16 * UNIFORM_BYTES as u64,
+            128 * UNIFORM_BYTES as u64,
+            4,
+        );
+        assert!(
+            r_calm.l1_hit_ratio() > r.l1_hit_ratio(),
+            "calm {:.3} vs bursty {:.3}",
+            r_calm.l1_hit_ratio(),
+            r.l1_hit_ratio()
+        );
     }
 }

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::esi::EsiAssembler;
+use crate::l1::{page_key, session_of};
 use crate::modes::ProxyMode;
 use crate::page_cache::{PageCache, PageServe};
 
@@ -59,6 +60,11 @@ pub struct Proxy {
     /// Where to look for a fragment whose slot is empty before paying for
     /// a full origin bypass (cluster tier: the previous ring owner).
     fragment_source: Option<Arc<dyn FragmentSource>>,
+    /// DPC mode only: serve repeat GETs of assembled pages from the
+    /// session-keyed page cache (the node's L2 tier) and install freshly
+    /// assembled pages into it, stamped with the coherency epoch. Off by
+    /// default — the classic DPC path reassembles every request.
+    page_tier: bool,
     stats: ProxyStats,
 }
 
@@ -83,6 +89,7 @@ impl Proxy {
             esi,
             firewall,
             fragment_source: None,
+            page_tier: false,
             stats: ProxyStats::default(),
         }
     }
@@ -99,6 +106,18 @@ impl Proxy {
     /// origin (the cluster tier's lazy peer-fetch handoff).
     pub fn with_fragment_source(mut self, source: Arc<dyn FragmentSource>) -> Proxy {
         self.fragment_source = Some(source);
+        self
+    }
+
+    /// Builder: enable the DPC page tier — assembled pages are installed
+    /// into the page cache under session-qualified keys (see
+    /// [`crate::l1::page_key`]) stamped with the coherency epoch, and
+    /// repeat GETs are served from there without reassembly. The cache
+    /// should carry a [`dpc_core::CoherencyEpoch`]
+    /// ([`PageCache::with_coherence`]) so invalidations kill stamped
+    /// entries; without one, entries fall back to TTL + PURGE semantics.
+    pub fn with_page_tier(mut self) -> Proxy {
+        self.page_tier = true;
         self
     }
 
@@ -284,6 +303,41 @@ impl Proxy {
     // -- Dpc mode --------------------------------------------------------------
 
     fn serve_dpc(&self, req: &Request) -> Response {
+        if self.page_tier && req.method == Method::Get {
+            return self.serve_dpc_tiered(req);
+        }
+        self.serve_dpc_assembling(req)
+    }
+
+    /// The page-tier wrapper around the classic assemble path: L2 probe
+    /// first, and on a miss install the assembled page for the next
+    /// request. The epoch stamp is read *before* the origin fetch, so a
+    /// page whose assembly raced an invalidation is installed already
+    /// stale and the get-side validation refuses to serve it.
+    fn serve_dpc_tiered(&self, req: &Request) -> Response {
+        let key = page_key(&req.target, session_of(req));
+        if let Some(hit) = self.page_cache.get_page(&key) {
+            return Response::html(hit.body)
+                .with_header("Content-Type", hit.content_type)
+                .with_header("X-Cache", "dpc-l2");
+        }
+        let stamp = self.page_cache.coherence_stamp();
+        let resp = self.serve_dpc_assembling(req);
+        if resp.status.is_success() && resp.headers.get("X-Cache") == Some("dpc-assembled") {
+            // Only genuinely assembled pages enter the tier: passes,
+            // bypasses and errors are per-request outcomes, not pages.
+            let content_type = resp
+                .headers
+                .get("Content-Type")
+                .unwrap_or("text/html")
+                .to_owned();
+            self.page_cache
+                .put_stamped(&key, resp.body.flatten(), &content_type, stamp);
+        }
+        resp
+    }
+
+    fn serve_dpc_assembling(&self, req: &Request) -> Response {
         match self.serve_dpc_once(req, true) {
             Ok(resp) => resp,
             Err(err) => {

@@ -1,0 +1,414 @@
+//! L1 per-event-loop cache of fully-assembled hot pages.
+//!
+//! The page cache ([`PageCache`]) is the node's L2: shared across loops,
+//! lock-protected, stamped with the coherency epoch. This module adds the
+//! L1 above it — a small, byte-budgeted, *per-event-loop* map of flattened
+//! page bodies that serves repeat GETs with **zero shared locks and zero
+//! directory traffic**: the loop owns its `L1Cache` exclusively (`&mut
+//! self` via [`dpc_http::LoopCache`]), so a hit touches nothing but loop-
+//! local memory plus one atomic load of the coherency epoch.
+//!
+//! Coherence is validation-on-touch, not eager invalidation: every L1
+//! entry carries the [`CoherencyEpoch`] stamp its bytes were assembled
+//! under, and a hit compares that stamp against the current epoch. Any
+//! invalidation — a local `PURGE`, a BEM dependency event, a gossip scrub
+//! arriving from another node — bumps the epoch, so the next touch of
+//! *any* stamped L1 entry on *any* loop self-evicts instead of serving.
+//! Nobody has to enumerate loops or keys to kill stale pages.
+//!
+//! Promotion is earned, not automatic: a page enters L1 only after its L2
+//! entry has served [`PROMOTE_AFTER`] hits in its current generation.
+//! One-touch pages never pay the copy; the Zipf head does, once, and then
+//! stops taking the page-cache lock at all.
+//!
+//! [`CoherencyEpoch`]: dpc_core::CoherencyEpoch
+
+use crate::page_cache::PageCache;
+use bytes::Bytes;
+use dpc_http::{LoopCache, LoopCacheFactory, Method, Request, Response};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// L2 hits an entry must accumulate (within its current generation) before
+/// it is worth copying into a loop's L1. Keeps cold pages from churning
+/// the small L1 budget.
+pub const PROMOTE_AFTER: u64 = 3;
+
+/// The session-qualified page key shared by the L1 tier and the DPC
+/// front's L2 install path.
+///
+/// §3.2.1's Bob/Alice hazard is exactly what a URL-keyed full-page cache
+/// gets wrong: two sessions, one URL, different pages. The DPC tiers key
+/// assembled pages by target *and* session so a hit can only ever return
+/// bytes assembled for that session. `\0` cannot appear in either part,
+/// so the encoding is unambiguous.
+pub fn page_key(target: &str, session: &str) -> String {
+    format!("{target}\x00{session}")
+}
+
+/// Session identity of a request: the `session` cookie value, or `""`
+/// for cookieless traffic (which then shares one key per target, exactly
+/// like a session-free static page should).
+pub fn session_of(req: &Request) -> &str {
+    let Some(cookies) = req.headers.get("Cookie") else {
+        return "";
+    };
+    cookies
+        .split(';')
+        .filter_map(|part| part.trim().strip_prefix("session="))
+        .next()
+        .unwrap_or("")
+}
+
+struct L1Entry {
+    body: Bytes,
+    content_type: String,
+    /// Coherency-epoch value the body was assembled under. A hit is only
+    /// a hit while the owning L2's epoch still equals this.
+    stamp: u64,
+    expires_at: Instant,
+    /// Monotonic touch tick for LRU victim selection.
+    last_touch: u64,
+    /// The L2 this entry was promoted from. Held so the L1 hit path can
+    /// read the epoch and report tier stats without resolving the target
+    /// again — an L1 hit must not re-enter routing.
+    l2: Arc<PageCache>,
+}
+
+/// A byte-budgeted LRU of flattened assembled pages, owned by exactly one
+/// event loop. All methods take `&mut self`; there is no interior locking
+/// anywhere on the hit path.
+pub struct L1Cache {
+    entries: HashMap<u64, L1Entry>,
+    budget_bytes: usize,
+    resident_bytes: usize,
+    ttl: Duration,
+    tick: u64,
+}
+
+impl L1Cache {
+    pub fn new(budget_bytes: usize, ttl: Duration) -> L1Cache {
+        L1Cache {
+            entries: HashMap::new(),
+            budget_bytes,
+            resident_bytes: 0,
+            ttl,
+            tick: 0,
+        }
+    }
+
+    fn slot(key: &str) -> u64 {
+        dpc_core::fnv1a(key.as_bytes())
+    }
+
+    /// Validated lookup. Serves only entries whose epoch stamp still
+    /// matches their L2's current epoch and whose TTL has not lapsed;
+    /// anything else self-evicts on this touch (stale evictions are
+    /// reported to the owning L2's stats so the node-level invariant
+    /// `hits == l1_hits + l2_hits` stays auditable next to them).
+    pub fn get(&mut self, key: &str) -> Option<(Bytes, String)> {
+        let slot = Self::slot(key);
+        let entry = self.entries.get_mut(&slot)?;
+        let epoch_ok = entry
+            .l2
+            .coherence()
+            .map(|e| e.validates(entry.stamp))
+            .unwrap_or(true);
+        if !epoch_ok || Instant::now() >= entry.expires_at {
+            let dead = self.entries.remove(&slot).expect("entry was just here");
+            self.resident_bytes -= dead.body.len();
+            if !epoch_ok {
+                dead.l2.note_l1_stale_eviction();
+            }
+            return None;
+        }
+        self.tick += 1;
+        entry.last_touch = self.tick;
+        let out = (entry.body.clone(), entry.content_type.clone());
+        entry.l2.note_l1_hit();
+        Some(out)
+    }
+
+    /// Install a flattened page. Bodies larger than the whole budget are
+    /// refused (they would evict everything and then thrash); otherwise
+    /// LRU entries are evicted until the newcomer fits.
+    pub fn insert(
+        &mut self,
+        key: &str,
+        body: Bytes,
+        content_type: String,
+        stamp: u64,
+        l2: Arc<PageCache>,
+    ) {
+        if body.len() > self.budget_bytes {
+            return;
+        }
+        let slot = Self::slot(key);
+        if let Some(old) = self.entries.remove(&slot) {
+            self.resident_bytes -= old.body.len();
+        }
+        while self.resident_bytes + body.len() > self.budget_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(slot, _)| *slot)
+                .expect("resident_bytes > 0 implies at least one entry");
+            let evicted = self.entries.remove(&victim).expect("victim exists");
+            self.resident_bytes -= evicted.body.len();
+        }
+        self.tick += 1;
+        self.resident_bytes += body.len();
+        self.entries.insert(
+            slot,
+            L1Entry {
+                body,
+                content_type,
+                stamp,
+                expires_at: Instant::now() + self.ttl,
+                last_touch: self.tick,
+                l2,
+            },
+        );
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+}
+
+/// Routes an L1-missed target to the [`PageCache`] (L2) that owns it.
+/// Single-node fronts return their one cache; the ring front consults
+/// membership. Returning `None` means "not ours / tier off for this
+/// target" and the request falls through to the normal serve path.
+pub type L2Resolver = Arc<dyn Fn(&str) -> Option<Arc<PageCache>> + Send + Sync>;
+
+/// The per-loop cache hierarchy, pluggable into `dpc-http`'s event loops
+/// via [`dpc_http::Server::with_loop_cache`].
+///
+/// `try_serve` is strictly non-blocking on the L1 hit path. The L1-miss
+/// path takes exactly one shared lock (the L2 page-cache shard) and no
+/// directory locks; a full miss returns `None` and the request proceeds
+/// to the ordinary handler unchanged.
+pub struct LoopTier {
+    l1: L1Cache,
+    resolve: L2Resolver,
+}
+
+impl LoopTier {
+    pub fn new(l1_budget_bytes: usize, ttl: Duration, resolve: L2Resolver) -> LoopTier {
+        LoopTier {
+            l1: L1Cache::new(l1_budget_bytes, ttl),
+            resolve,
+        }
+    }
+
+    /// A [`LoopCacheFactory`] handing every event loop its own private
+    /// `LoopTier` over a shared resolver.
+    pub fn factory(l1_budget_bytes: usize, ttl: Duration, resolve: L2Resolver) -> LoopCacheFactory {
+        Arc::new(move |_loop_index| {
+            Box::new(LoopTier::new(l1_budget_bytes, ttl, Arc::clone(&resolve)))
+        })
+    }
+}
+
+impl LoopCache for LoopTier {
+    fn try_serve(&mut self, req: &Request) -> Option<Response> {
+        if req.method != Method::Get {
+            return None;
+        }
+        let key = page_key(&req.target, session_of(req));
+        if let Some((body, content_type)) = self.l1.get(&key) {
+            return Some(
+                Response::html(body)
+                    .with_header("Content-Type", content_type)
+                    .with_header("X-Cache", "dpc-l1"),
+            );
+        }
+        let l2 = (self.resolve)(&req.target)?;
+        let hit = l2.get_page(&key)?;
+        if let Some(stamp) = hit.stamp {
+            // Only stamped (DPC-installed) entries are promotable: an
+            // unstamped entry has no epoch to validate against, so L1
+            // could never notice its invalidation.
+            if hit.entry_hits >= PROMOTE_AFTER {
+                self.l1.insert(
+                    &key,
+                    hit.body.clone(),
+                    hit.content_type.clone(),
+                    stamp,
+                    Arc::clone(&l2),
+                );
+            }
+        }
+        Some(
+            Response::html(hit.body)
+                .with_header("Content-Type", hit.content_type)
+                .with_header("X-Cache", "dpc-l2"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpc_core::CoherencyEpoch;
+    use dpc_net::Clock;
+
+    fn l2_with_epoch() -> (Arc<PageCache>, CoherencyEpoch) {
+        let epoch = CoherencyEpoch::new();
+        let pc = Arc::new(
+            PageCache::new(Clock::real(), Duration::from_secs(60), 64)
+                .with_coherence(epoch.clone()),
+        );
+        (pc, epoch)
+    }
+
+    #[test]
+    fn session_extraction_handles_multi_cookie_headers() {
+        let req = Request::get("/p").with_header("Cookie", "theme=dark; session=u7; lang=en");
+        assert_eq!(session_of(&req), "u7");
+        assert_eq!(session_of(&Request::get("/p")), "");
+    }
+
+    #[test]
+    fn l1_hit_validates_the_epoch_and_self_evicts_after_a_bump() {
+        let (l2, epoch) = l2_with_epoch();
+        let mut l1 = L1Cache::new(1 << 20, Duration::from_secs(60));
+        let key = page_key("/p", "alice");
+        l1.insert(
+            &key,
+            Bytes::from_static(b"hot"),
+            "t".into(),
+            epoch.value(),
+            l2.clone(),
+        );
+        assert!(l1.get(&key).is_some());
+        epoch.bump();
+        assert!(l1.get(&key).is_none(), "stale entry must self-evict");
+        assert!(l1.is_empty());
+        let stats = l2.stats();
+        assert_eq!(stats.l1_hits, 1);
+        assert_eq!(stats.l1_stale_evictions, 1);
+        stats.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn l1_budget_evicts_the_least_recently_touched() {
+        let (l2, epoch) = l2_with_epoch();
+        let mut l1 = L1Cache::new(10, Duration::from_secs(60));
+        l1.insert(
+            "a",
+            Bytes::from_static(b"xxxx"),
+            "t".into(),
+            epoch.value(),
+            l2.clone(),
+        );
+        l1.insert(
+            "b",
+            Bytes::from_static(b"yyyy"),
+            "t".into(),
+            epoch.value(),
+            l2.clone(),
+        );
+        assert!(l1.get("a").is_some(), "touch a so b is the LRU victim");
+        l1.insert(
+            "c",
+            Bytes::from_static(b"zzzz"),
+            "t".into(),
+            epoch.value(),
+            l2.clone(),
+        );
+        assert!(l1.get("a").is_some());
+        assert!(l1.get("b").is_none(), "b was evicted for c");
+        assert!(l1.get("c").is_some());
+        assert!(l1.resident_bytes() <= 10);
+    }
+
+    #[test]
+    fn oversized_bodies_are_refused_outright() {
+        let (l2, epoch) = l2_with_epoch();
+        let mut l1 = L1Cache::new(4, Duration::from_secs(60));
+        l1.insert(
+            "big",
+            Bytes::from_static(b"too large"),
+            "t".into(),
+            epoch.value(),
+            l2,
+        );
+        assert!(l1.is_empty());
+        assert_eq!(l1.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn loop_tier_promotes_after_the_threshold_and_serves_l1() {
+        let (l2, epoch) = l2_with_epoch();
+        let key = page_key("/p", "u1");
+        l2.put_stamped(
+            &key,
+            Bytes::from_static(b"page"),
+            "text/html",
+            epoch.value(),
+        );
+        let resolve: L2Resolver = {
+            let l2 = l2.clone();
+            Arc::new(move |_| Some(l2.clone()))
+        };
+        let mut tier = LoopTier::new(1 << 20, Duration::from_secs(60), resolve);
+        let req = Request::get("/p").with_header("Cookie", "session=u1");
+        // Hits 1..PROMOTE_AFTER come from L2; the PROMOTE_AFTER-th L2 hit
+        // installs into L1, so the next serve is loop-local.
+        for _ in 0..PROMOTE_AFTER {
+            let resp = tier.try_serve(&req).expect("L2 has the page");
+            assert_eq!(resp.headers.get("X-Cache"), Some("dpc-l2"));
+        }
+        let resp = tier.try_serve(&req).expect("promoted");
+        assert_eq!(resp.headers.get("X-Cache"), Some("dpc-l1"));
+        let stats = l2.stats();
+        assert_eq!(stats.l2_hits, PROMOTE_AFTER);
+        assert_eq!(stats.l1_hits, 1);
+        stats.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn loop_tier_is_session_aware_like_the_paper_demands() {
+        let (l2, epoch) = l2_with_epoch();
+        l2.put_stamped(
+            &page_key("/account.jsp", "bob"),
+            Bytes::from_static(b"bob's page"),
+            "text/html",
+            epoch.value(),
+        );
+        let resolve: L2Resolver = {
+            let l2 = l2.clone();
+            Arc::new(move |_| Some(l2.clone()))
+        };
+        let mut tier = LoopTier::new(1 << 20, Duration::from_secs(60), resolve);
+        let bob = Request::get("/account.jsp").with_header("Cookie", "session=bob");
+        let alice = Request::get("/account.jsp").with_header("Cookie", "session=alice");
+        assert!(tier.try_serve(&bob).is_some());
+        assert!(
+            tier.try_serve(&alice).is_none(),
+            "Alice must never receive Bob's page for the shared URL"
+        );
+    }
+
+    #[test]
+    fn non_get_methods_fall_through() {
+        let (l2, _epoch) = l2_with_epoch();
+        let resolve: L2Resolver = Arc::new(move |_| Some(l2.clone()));
+        let mut tier = LoopTier::new(1 << 20, Duration::from_secs(60), resolve);
+        let mut purge = Request::get("/p");
+        purge.method = Method::Purge;
+        assert!(tier.try_serve(&purge).is_none());
+    }
+}

@@ -35,6 +35,7 @@
 pub mod cluster;
 pub mod esi;
 pub mod front;
+pub mod l1;
 pub mod modes;
 pub mod page_cache;
 pub mod ring_cluster;
@@ -42,7 +43,8 @@ pub mod testbed;
 
 pub use cluster::{DpcCluster, Router};
 pub use front::{Proxy, ProxyStats};
+pub use l1::{page_key, L1Cache, L2Resolver, LoopTier};
 pub use modes::ProxyMode;
-pub use page_cache::PageCache;
+pub use page_cache::{PageCache, PageCacheStats, PageHit};
 pub use ring_cluster::{RingCluster, RingConfig};
 pub use testbed::{Testbed, TestbedConfig};

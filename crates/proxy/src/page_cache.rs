@@ -17,7 +17,7 @@
 //! 64-bit collision is handled by purging the previous owner.
 
 use bytes::Bytes;
-use dpc_core::{fnv1a, FlightGroup, Join, Publish, ReplacePolicy, Replacer};
+use dpc_core::{fnv1a, CoherencyEpoch, FlightGroup, Join, Publish, ReplacePolicy, Replacer};
 use dpc_net::Clock;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -47,6 +47,31 @@ struct PageEntry {
     body: Bytes,
     content_type: String,
     expires_at: u64,
+    /// Coherence stamp for assembled-page entries (the DPC's L2 tier):
+    /// the [`CoherencyEpoch`] value captured *before* the page was
+    /// assembled. Validated against the live epoch on every hit —
+    /// a mismatch means an invalidation (purge, data update, gossip
+    /// scrub) landed since assembly and the entry self-evicts. `None`
+    /// for classic page-cache-mode entries, which rely on explicit
+    /// `PURGE` + TTL alone (their install predates the epoch and a
+    /// global stamp would over-invalidate the baseline).
+    stamp: Option<u64>,
+    /// Hits served from this entry since install. Drives L1 promotion:
+    /// the per-loop tier only copies a page up on the Nth hit, keeping
+    /// one-hit wonders out of the small L1 budget.
+    hits: u64,
+}
+
+/// An L2 hit as seen by the per-loop L1 tier: the page plus the metadata
+/// the L1 needs to install and later re-validate it.
+pub struct PageHit {
+    pub body: Bytes,
+    pub content_type: String,
+    /// The entry's coherence stamp: `Some(epoch value at install)` for
+    /// stamped (tiered) entries, `None` for classic unstamped pages.
+    pub stamp: Option<u64>,
+    /// Hits this entry has served, including this one.
+    pub entry_hits: u64,
 }
 
 /// Maps and replacer move together under one lock: eviction decisions and
@@ -71,6 +96,43 @@ impl PageInner {
     }
 }
 
+/// Per-tier counter snapshot of a node's page caching (the shared L2
+/// plus every per-loop L1 reporting into it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageCacheStats {
+    /// All page-tier hits, whichever tier served them.
+    pub hits: u64,
+    /// Hits served by a per-loop L1 (zero directory locks, zero assembly).
+    pub l1_hits: u64,
+    /// Hits served by the shared node cache.
+    pub l2_hits: u64,
+    pub misses: u64,
+    pub purges: u64,
+    pub evictions: u64,
+    /// Stale L1 entries dropped on touch after a coherence-epoch bump.
+    pub l1_stale_evictions: u64,
+    /// Stale stamped L2 entries dropped on touch after an epoch bump.
+    pub l2_stale_evictions: u64,
+    pub admission_rejections: u64,
+    pub flight_leaders: u64,
+    pub coalesced_waits: u64,
+    pub flight_retries: u64,
+}
+
+impl PageCacheStats {
+    /// Cross-check the tier accounting: every hit was served by exactly
+    /// one tier.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.hits != self.l1_hits + self.l2_hits {
+            return Err(format!(
+                "page tier accounting drifted: hits {} != l1 {} + l2 {}",
+                self.hits, self.l1_hits, self.l2_hits
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// URL-keyed page cache with TTL and pluggable replacement.
 pub struct PageCache {
     clock: Clock,
@@ -91,10 +153,26 @@ pub struct PageCache {
     /// install (the page is served but not cached — conservative, never
     /// wrong, and purges are rare next to fills).
     purge_epoch: AtomicU64,
+    /// Node-wide coherence epoch shared with the per-loop L1 tier and
+    /// every invalidation path (purge, origin data update, gossip scrub).
+    /// `purge`/`clear` bump it so stamped entries — here and in every L1
+    /// — self-evict on next touch. `None` when the node runs no
+    /// assembled-page tier (classic page-cache mode).
+    coherence: Option<CoherencyEpoch>,
     hits: AtomicU64,
+    /// Hits the per-loop L1 tier reported into this node's books (see
+    /// [`PageCache::note_l1_hit`]); always also counted in `hits`.
+    l1_hits: AtomicU64,
+    /// Hits served by this cache itself. `hits == l1_hits + l2_hits`.
+    l2_hits: AtomicU64,
     misses: AtomicU64,
     purges: AtomicU64,
     evictions: AtomicU64,
+    /// Stale L1 entries dropped on touch after an epoch bump (reported by
+    /// the per-loop tiers, hosted here so one snapshot covers the node).
+    l1_stale_evictions: AtomicU64,
+    /// Stamped entries this cache dropped on touch after an epoch bump.
+    l2_stale_evictions: AtomicU64,
     admission_rejections: AtomicU64,
     flight_leaders: AtomicU64,
     coalesced_waits: AtomicU64,
@@ -127,15 +205,43 @@ impl PageCache {
             }),
             flight: FlightGroup::new(),
             purge_epoch: AtomicU64::new(0),
+            coherence: None,
             hits: AtomicU64::new(0),
+            l1_hits: AtomicU64::new(0),
+            l2_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             purges: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            l1_stale_evictions: AtomicU64::new(0),
+            l2_stale_evictions: AtomicU64::new(0),
             admission_rejections: AtomicU64::new(0),
             flight_leaders: AtomicU64::new(0),
             coalesced_waits: AtomicU64::new(0),
             flight_retries: AtomicU64::new(0),
         }
+    }
+
+    /// Attach the node's coherence epoch, turning on stamp validation for
+    /// assembled-page entries ([`PageCache::put_stamped`]) and making
+    /// `purge`/`clear` bump the epoch (so stamped entries in every tier —
+    /// this cache and each loop's L1 — self-evict on next touch).
+    pub fn with_coherence(mut self, epoch: CoherencyEpoch) -> PageCache {
+        self.coherence = Some(epoch);
+        self
+    }
+
+    /// The node's coherence epoch, when one is attached.
+    pub fn coherence(&self) -> Option<&CoherencyEpoch> {
+        self.coherence.as_ref()
+    }
+
+    /// Current coherence stamp for a fill about to start. Must be read
+    /// *before* the origin fetch/assembly, so an invalidation racing the
+    /// fill lands at or after the stamp and the installed entry fails
+    /// validation on first touch. Zero (never current once the epoch has
+    /// moved, always current before) when no epoch is attached.
+    pub fn coherence_stamp(&self) -> u64 {
+        self.coherence.as_ref().map(|e| e.value()).unwrap_or(0)
     }
 
     /// The replacement policy this cache runs.
@@ -145,23 +251,67 @@ impl PageCache {
 
     /// Look up `target`; counts a hit or miss.
     pub fn get(&self, target: &str) -> Option<(Bytes, String)> {
+        self.lookup(target).map(|hit| (hit.body, hit.content_type))
+    }
+
+    /// Look up `target` for the per-loop L1 tier: the same hit/miss
+    /// accounting and stale/expiry handling as [`PageCache::get`], plus
+    /// the coherence stamp and the entry's running hit count so the L1
+    /// can validate and decide promotion.
+    pub fn get_page(&self, target: &str) -> Option<PageHit> {
+        self.lookup(target)
+    }
+
+    fn lookup(&self, target: &str) -> Option<PageHit> {
         let now = self.clock.now_nanos();
         let ident = fnv1a(target.as_bytes());
         let mut inner = self.inner.lock();
-        match inner.entries.get(target) {
-            Some(entry) if entry.expires_at > now => {
-                let hit = (entry.body.clone(), entry.content_type.clone());
+        // Read under the lock: a scrub/purge that bumped the epoch before
+        // this lookup began is guaranteed visible, so a completed
+        // invalidation never leaves a stale stamped entry servable.
+        let epoch = self.coherence.as_ref().map(|e| e.value());
+        enum State {
+            Hit,
+            Stale,
+            Expired,
+            Missing,
+        }
+        let state = match inner.entries.get(target) {
+            Some(e) if e.stamp.is_some() && epoch.is_some() && e.stamp != epoch => State::Stale,
+            Some(e) if e.expires_at > now => State::Hit,
+            Some(_) => State::Expired,
+            None => State::Missing,
+        };
+        match state {
+            State::Hit => {
+                let entry = inner.entries.get_mut(target).expect("probed above");
+                entry.hits += 1;
+                let hit = PageHit {
+                    body: entry.body.clone(),
+                    content_type: entry.content_type.clone(),
+                    stamp: entry.stamp,
+                    entry_hits: entry.hits,
+                };
                 inner.replacer.touch(&ident);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.l2_hits.fetch_add(1, Ordering::Relaxed);
                 Some(hit)
             }
-            Some(_) => {
+            State::Stale => {
+                // An invalidation outdated the stamp; self-evict. A
+                // removal, not an eviction.
+                inner.forget(target, ident);
+                self.l2_stale_evictions.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            State::Expired => {
                 // Expiry is a removal, not an eviction.
                 inner.forget(target, ident);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
-            None => {
+            State::Missing => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -173,7 +323,17 @@ impl PageCache {
     /// entirely (it is simply not cached — correct, just cold).
     pub fn put(&self, target: &str, body: Bytes, content_type: &str) {
         let mut inner = self.inner.lock();
-        self.install(&mut inner, target, body, content_type);
+        self.install(&mut inner, target, body, content_type, None);
+    }
+
+    /// Insert an assembled page under `target` with a coherence `stamp`
+    /// (captured via [`PageCache::coherence_stamp`] *before* the page was
+    /// assembled). Always installs; a stamp already outdated by a racing
+    /// invalidation is caught by validation on first touch, so a stale
+    /// install self-evicts instead of serving.
+    pub fn put_stamped(&self, target: &str, body: Bytes, content_type: &str, stamp: u64) {
+        let mut inner = self.inner.lock();
+        self.install(&mut inner, target, body, content_type, Some(stamp));
     }
 
     /// `put` gated on the purge epoch: installs only if no `purge`/`clear`
@@ -186,13 +346,20 @@ impl PageCache {
         if self.purge_epoch.load(Ordering::Relaxed) != epoch {
             return false;
         }
-        self.install(&mut inner, target, body, content_type);
+        self.install(&mut inner, target, body, content_type, None);
         true
     }
 
     /// Install a page under an already-held `inner` lock, evicting per
     /// policy when over capacity (the body of [`PageCache::put`]).
-    fn install(&self, inner: &mut PageInner, target: &str, body: Bytes, content_type: &str) {
+    fn install(
+        &self,
+        inner: &mut PageInner,
+        target: &str,
+        body: Bytes,
+        content_type: &str,
+        stamp: Option<u64>,
+    ) {
         let now = self.clock.now_nanos();
         let ttl: u64 = self.ttl.as_nanos().try_into().unwrap_or(u64::MAX);
         let ident = fnv1a(target.as_bytes());
@@ -201,6 +368,8 @@ impl PageCache {
             body,
             content_type: content_type.to_owned(),
             expires_at: now.saturating_add(ttl),
+            stamp,
+            hits: 0,
         };
         if inner.entries.contains_key(target) {
             // Refresh in place: body may have changed size.
@@ -334,6 +503,14 @@ impl PageCache {
         // Bumped under the lock: installs check the epoch under the same
         // lock, so none started before this purge can land after it.
         self.purge_epoch.fetch_add(1, Ordering::Relaxed);
+        // The coherence epoch moves too (also under the lock, so stamped
+        // lookups that start after this purge returns must see it): the
+        // DPC tier keys pages by target *and* session, so a PURGE of the
+        // bare target cannot enumerate them — the bump makes every
+        // stamped entry, here and in each loop's L1, self-evict instead.
+        if let Some(epoch) = &self.coherence {
+            epoch.bump();
+        }
         drop(inner);
         self.flight.invalidate(ident);
         if removed {
@@ -349,8 +526,24 @@ impl PageCache {
         inner.owner.clear();
         inner.replacer = self.policy.build(self.capacity);
         self.purge_epoch.fetch_add(1, Ordering::Relaxed);
+        if let Some(epoch) = &self.coherence {
+            epoch.bump();
+        }
         drop(inner);
         self.flight.invalidate_all();
+    }
+
+    /// Report a hit served by a per-loop L1 tier into this node's books.
+    /// Counted in both `hits` and `l1_hits`, preserving
+    /// `hits == l1_hits + l2_hits`.
+    pub fn note_l1_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.l1_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Report a stale L1 entry dropped on touch after an epoch bump.
+    pub fn note_l1_stale_eviction(&self) {
+        self.l1_stale_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// (hits, misses, purges, evictions).
@@ -361,6 +554,24 @@ impl PageCache {
             self.purges.load(Ordering::Relaxed),
             self.evictions.load(Ordering::Relaxed),
         )
+    }
+
+    /// Full per-tier counter snapshot for this node's page tiers.
+    pub fn stats(&self) -> PageCacheStats {
+        PageCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            l1_hits: self.l1_hits.load(Ordering::Relaxed),
+            l2_hits: self.l2_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            purges: self.purges.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            l1_stale_evictions: self.l1_stale_evictions.load(Ordering::Relaxed),
+            l2_stale_evictions: self.l2_stale_evictions.load(Ordering::Relaxed),
+            admission_rejections: self.admission_rejections.load(Ordering::Relaxed),
+            flight_leaders: self.flight_leaders.load(Ordering::Relaxed),
+            coalesced_waits: self.coalesced_waits.load(Ordering::Relaxed),
+            flight_retries: self.flight_retries.load(Ordering::Relaxed),
+        }
     }
 
     /// Pages the policy refused to admit.
@@ -641,6 +852,101 @@ mod tests {
         });
         assert!(matches!(serve, PageServe::Led));
         assert!(c.get("/a").is_none(), "clear outdates the in-flight fill");
+    }
+
+    #[test]
+    fn stamped_entry_self_evicts_after_epoch_bump() {
+        let (clock, _h) = Clock::virtual_clock();
+        let epoch = CoherencyEpoch::new();
+        let c = PageCache::new(clock, Duration::from_secs(60), 10).with_coherence(epoch.clone());
+        let stamp = c.coherence_stamp();
+        c.put_stamped("/page\u{0}alice", Bytes::from_static(b"v1"), "t", stamp);
+        assert!(c.get_page("/page\u{0}alice").is_some());
+        epoch.bump();
+        assert!(
+            c.get_page("/page\u{0}alice").is_none(),
+            "stale stamped entry must self-evict on touch"
+        );
+        let stats = c.stats();
+        assert_eq!(stats.l2_stale_evictions, 1);
+        stats.check_invariants().unwrap();
+        // A fresh install under the new epoch serves again.
+        c.put_stamped(
+            "/page\u{0}alice",
+            Bytes::from_static(b"v2"),
+            "t",
+            c.coherence_stamp(),
+        );
+        let hit = c.get_page("/page\u{0}alice").unwrap();
+        assert_eq!(&hit.body[..], b"v2");
+    }
+
+    #[test]
+    fn stamp_captured_before_a_racing_bump_never_serves() {
+        let (clock, _h) = Clock::virtual_clock();
+        let epoch = CoherencyEpoch::new();
+        let c = PageCache::new(clock, Duration::from_secs(60), 10).with_coherence(epoch.clone());
+        // Fill races an invalidation: stamp captured, then the bump lands
+        // before the install. The entry installs but is dead on arrival.
+        let stamp = c.coherence_stamp();
+        epoch.bump();
+        c.put_stamped("/p", Bytes::from_static(b"pre-bump"), "t", stamp);
+        assert!(
+            c.get_page("/p").is_none(),
+            "outdated install must not serve"
+        );
+    }
+
+    #[test]
+    fn purge_bumps_the_coherence_epoch() {
+        let (clock, _h) = Clock::virtual_clock();
+        let epoch = CoherencyEpoch::new();
+        let c = PageCache::new(clock, Duration::from_secs(60), 10).with_coherence(epoch.clone());
+        // A session-qualified page the PURGE target string cannot name.
+        c.put_stamped(
+            "/page\u{0}bob",
+            Bytes::from_static(b"bob"),
+            "t",
+            c.coherence_stamp(),
+        );
+        c.purge("/page");
+        assert!(
+            c.get_page("/page\u{0}bob").is_none(),
+            "purge of the bare target must invalidate session variants via the epoch"
+        );
+    }
+
+    #[test]
+    fn unstamped_entries_ignore_the_epoch() {
+        let (clock, _h) = Clock::virtual_clock();
+        let epoch = CoherencyEpoch::new();
+        let c = PageCache::new(clock, Duration::from_secs(60), 10).with_coherence(epoch.clone());
+        c.put("/classic", Bytes::from_static(b"page"), "t");
+        epoch.bump();
+        assert!(
+            c.get("/classic").is_some(),
+            "classic page-cache entries rely on PURGE + TTL, not the epoch"
+        );
+    }
+
+    #[test]
+    fn entry_hits_count_per_generation_and_l1_notes_balance() {
+        let (clock, _h) = Clock::virtual_clock();
+        let c = PageCache::new(clock, Duration::from_secs(60), 10);
+        c.put_stamped("/p", Bytes::from_static(b"x"), "t", 0);
+        for expect in 1..=3u64 {
+            assert_eq!(c.get_page("/p").unwrap().entry_hits, expect);
+        }
+        // Refresh resets the per-generation count.
+        c.put_stamped("/p", Bytes::from_static(b"y"), "t", 0);
+        assert_eq!(c.get_page("/p").unwrap().entry_hits, 1);
+        // L1-reported hits keep the tier invariant balanced.
+        c.note_l1_hit();
+        c.note_l1_hit();
+        let stats = c.stats();
+        assert_eq!(stats.l1_hits, 2);
+        assert_eq!(stats.l2_hits, 4);
+        stats.check_invariants().unwrap();
     }
 
     #[test]

@@ -36,12 +36,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dpc_cluster::{gossip_exchange, gossip_flush, peer_addr, Membership, PeerNode, PeerServer};
-use dpc_core::{DpcKey, FragmentSource, FragmentStore, ReplacePolicy};
+use dpc_core::{CoherencyEpoch, DpcKey, FragmentSource, FragmentStore, ReplacePolicy};
 use dpc_http::{Client, Request, Response, Status};
 use dpc_net::{Clock, SimConnector, SimNetwork};
 
 use crate::esi::EsiAssembler;
 use crate::front::Proxy;
+use crate::l1::{L2Resolver, LoopTier};
 use crate::modes::ProxyMode;
 use crate::page_cache::PageCache;
 use crate::testbed::ORIGIN_ADDR;
@@ -66,6 +67,14 @@ pub struct RingConfig {
     /// directory's policy, set through `BemConfig`/`TestbedConfig`). The
     /// whole menu from `dpc-policy` is selectable.
     pub replace: ReplacePolicy,
+    /// Per-event-loop L1 budget of the HTTP front
+    /// ([`RingCluster::spawn_front`]), in bytes, and the switch for each
+    /// node's page tier. `0` (the default) disables both: every request
+    /// reassembles at its owner node, the classic cluster pipeline.
+    pub l1_budget_bytes: usize,
+    /// Byte budget for each node's slot store; `None` (the default) keeps
+    /// the classic slot-count-capacity store.
+    pub node_budget_bytes: Option<usize>,
 }
 
 impl Default for RingConfig {
@@ -77,6 +86,8 @@ impl Default for RingConfig {
             loops: 1,
             front_workers: 16,
             replace: ReplacePolicy::Lru,
+            l1_budget_bytes: 0,
+            node_budget_bytes: None,
         }
     }
 }
@@ -105,6 +116,14 @@ pub struct RingCluster {
     /// departed ids are recycled — see [`RingCluster::allocate_id`].
     next_id: Mutex<u32>,
     rng: Mutex<StdRng>,
+    /// One cluster-wide page-tier epoch. Every node's page cache and peer
+    /// endpoint shares it, so an invalidation applied by *any* node's
+    /// gossip scrub unserves every stamped assembled page cluster-wide on
+    /// its next touch — including the front's per-loop L1 copies. A joint
+    /// epoch over-invalidates (node A's scrub kills node B's unrelated
+    /// pages) but keeps invalidation O(1) with zero coherence messages
+    /// beyond the feed the cluster already gossips.
+    coherence: CoherencyEpoch,
 }
 
 impl RingCluster {
@@ -120,6 +139,7 @@ impl RingCluster {
             nodes: Mutex::new(HashMap::new()),
             next_id: Mutex::new(0),
             rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+            coherence: CoherencyEpoch::new(),
         };
         for _ in 0..n {
             cluster.join();
@@ -188,8 +208,19 @@ impl RingCluster {
     /// first miss.
     pub fn join(&self) -> u32 {
         let id = self.allocate_id();
-        let store = Arc::new(FragmentStore::new(self.config.capacity));
+        let store = Arc::new(match self.config.node_budget_bytes {
+            Some(bytes) => FragmentStore::with_budget(
+                self.config.capacity,
+                dpc_core::DEFAULT_SHARDS,
+                bytes as u64,
+                self.config.replace,
+            ),
+            None => FragmentStore::new(self.config.capacity),
+        });
         let peer = PeerNode::new(id, Arc::clone(&store));
+        // Every peer's gossip scrub bumps the shared epoch, so applied
+        // invalidations unserve stamped assembled pages on every node.
+        peer.set_coherence(self.coherence.clone());
         let server = PeerServer::spawn(&self.net, &peer);
         let fetcher = Arc::new(PeerFetcher {
             self_id: id,
@@ -198,24 +229,28 @@ impl RingCluster {
             connector: self.net.connector(),
         });
         let clock = Clock::real();
-        let proxy = Arc::new(
-            Proxy::new(
-                ProxyMode::Dpc,
-                ORIGIN_ADDR,
-                Arc::new(Client::new(Arc::new(self.net.connector()))),
-                store,
-                Arc::new(PageCache::with_policy(
-                    clock.clone(),
-                    Duration::from_secs(60),
-                    16,
-                    self.config.replace,
-                )),
-                Arc::new(EsiAssembler::new(clock, Duration::from_secs(60))),
-                None,
-            )
-            .with_node(id)
-            .with_fragment_source(fetcher),
-        );
+        let page_cache = PageCache::with_policy(
+            clock.clone(),
+            Duration::from_secs(60),
+            16,
+            self.config.replace,
+        )
+        .with_coherence(self.coherence.clone());
+        let mut proxy = Proxy::new(
+            ProxyMode::Dpc,
+            ORIGIN_ADDR,
+            Arc::new(Client::new(Arc::new(self.net.connector()))),
+            store,
+            Arc::new(page_cache),
+            Arc::new(EsiAssembler::new(clock, Duration::from_secs(60))),
+            None,
+        )
+        .with_node(id)
+        .with_fragment_source(fetcher);
+        if self.config.l1_budget_bytes > 0 {
+            proxy = proxy.with_page_tier();
+        }
+        let proxy = Arc::new(proxy);
         // Catch the feed up from a survivor *before* going on the ring, so
         // a converged cluster stays converged through the join — and so a
         // recycled id resumes its predecessor's event sequence instead of
@@ -344,12 +379,31 @@ impl RingCluster {
         let listener = self.net.listen(addr);
         let cluster = Arc::clone(self);
         let handler: Arc<dyn dpc_http::Handler> = Arc::new(move |req: Request| cluster.serve(req));
-        dpc_http::Server::new(Box::new(listener), handler)
+        let mut server = dpc_http::Server::new(Box::new(listener), handler)
             .with_config(dpc_http::server::ServerConfig {
                 workers: self.config.front_workers,
             })
-            .with_loops(self.config.loops)
-            .spawn()
+            .with_loops(self.config.loops);
+        if self.config.l1_budget_bytes > 0 {
+            // Each event loop gets a private L1 over a membership-routing
+            // resolver: an L1 miss probes the ring owner's page cache (L2)
+            // and promotes its hot stamped pages loop-locally. An L1 *hit*
+            // never consults the resolver — no membership lock, no
+            // directory, no owner dispatch.
+            let weak = Arc::downgrade(self);
+            let resolve: L2Resolver = Arc::new(move |target| {
+                let cluster = weak.upgrade()?;
+                let owner = cluster.owner_of(target)?;
+                let proxy = cluster.proxy(owner)?;
+                Some(Arc::clone(proxy.page_cache()))
+            });
+            server = server.with_loop_cache(LoopTier::factory(
+                self.config.l1_budget_bytes,
+                Duration::from_secs(60),
+                resolve,
+            ));
+        }
+        server.spawn()
     }
 
     /// Cluster-level invalidation, issued *at* node `at_node`: free the
@@ -709,6 +763,154 @@ mod tests {
         // And the next serve regenerates fresh bytes.
         let after = cluster.get(&page(5), None).body.to_vec();
         assert_ne!(before, after, "post-gossip serve must be fresh");
+    }
+
+    #[test]
+    fn tiered_cluster_never_serves_stale_pages_after_invalidate_dep() {
+        // Satellite regression for the page tier: with assembled pages
+        // cached above the slot stores, a ring-wide `invalidate_dep` must
+        // leave no node able to serve the pre-invalidation page — scrubbing
+        // fragment slots alone is not enough.
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: params(),
+            ..TestbedConfig::default()
+        });
+        let cluster = RingCluster::new(
+            tb.net(),
+            4,
+            RingConfig {
+                l1_budget_bytes: 1 << 20,
+                ..RingConfig::default()
+            },
+        );
+        // Warm page 5 on its owner until it is L2-served (the page tier is
+        // live when repeat serves stop reassembling).
+        for _ in 0..4 {
+            let _ = cluster.get(&page(5), None);
+        }
+        let warm = cluster.get(&page(5), None);
+        assert_eq!(
+            warm.headers.get("x-cache"),
+            Some("dpc-l2"),
+            "warm-up must leave the assembled page cached"
+        );
+        let before = warm.body.to_vec();
+        // Content change via `seed` (no update bus: the cluster API is the
+        // only invalidation path here), then invalidate at a node that does
+        // NOT own the page — the shared epoch must still unserve the
+        // owner's cached copy immediately, before any gossip round.
+        let frag_key = dpc_appserver::apps::paper_site::fragment_key(5, 0);
+        let v = tb
+            .engine()
+            .repo()
+            .get("paper", &frag_key)
+            .value
+            .expect("seeded row")
+            .int("version");
+        tb.engine().repo().seed(
+            "paper",
+            &frag_key,
+            dpc_repository::Row::new().with("version", v + 1),
+        );
+        let owner = cluster.owner_of(&page(5)).unwrap();
+        let elsewhere = cluster
+            .alive()
+            .into_iter()
+            .find(|id| *id != owner)
+            .expect("4 nodes");
+        let n = cluster.invalidate_dep(tb.engine().bem(), elsewhere, &format!("paper/{frag_key}"));
+        assert_eq!(n, 1);
+        let after = cluster.get(&page(5), None);
+        assert_ne!(
+            after.body.to_vec(),
+            before,
+            "the owner's cached page must self-evict on the first post-invalidation touch"
+        );
+        // After gossip convergence, no node can produce the stale bytes —
+        // neither from its page cache nor from its scrubbed slot store.
+        cluster.gossip_until_converged(8);
+        for id in cluster.alive() {
+            let proxy = cluster.proxy(id).unwrap();
+            let resp = proxy.serve(Request::get(page(5)));
+            assert_eq!(resp.status.0, 200);
+            assert_ne!(
+                resp.body.to_vec(),
+                before,
+                "node {id} served a stale assembled page"
+            );
+        }
+        for id in cluster.alive() {
+            cluster
+                .proxy(id)
+                .unwrap()
+                .page_cache()
+                .stats()
+                .check_invariants()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn tiered_front_promotes_to_l1_and_invalidation_unserves_it() {
+        // End-to-end over the HTTP front: per-loop L1 promotion, then a
+        // gossip-scrubbed invalidation kills the loop-local copy too.
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: params(),
+            ..TestbedConfig::default()
+        });
+        let cluster = Arc::new(RingCluster::new(
+            tb.net(),
+            3,
+            RingConfig {
+                l1_budget_bytes: 1 << 20,
+                ..RingConfig::default()
+            },
+        ));
+        let _front = cluster.spawn_front("tiered-front");
+        let client = dpc_http::Client::new(Arc::new(tb.net().connector()));
+        let get = || {
+            client
+                .request("tiered-front", Request::get(page(3)))
+                .unwrap()
+        };
+        let first = get();
+        assert_eq!(first.headers.get("x-cache"), Some("dpc-assembled"));
+        let mut cache_states = Vec::new();
+        for _ in 0..6 {
+            let r = get();
+            assert_eq!(r.body, first.body, "tier serves identical bytes");
+            cache_states.push(r.headers.get("x-cache").unwrap_or("").to_owned());
+        }
+        assert!(
+            cache_states.iter().any(|s| s == "dpc-l1"),
+            "hot page must reach L1: {cache_states:?}"
+        );
+        // Invalidate the page's fragment at any node; the front's L1 copy
+        // must stop serving even though no gossip reached the front
+        // explicitly — the shared epoch is the only signal.
+        let frag_key = dpc_appserver::apps::paper_site::fragment_key(3, 0);
+        let v = tb
+            .engine()
+            .repo()
+            .get("paper", &frag_key)
+            .value
+            .expect("seeded row")
+            .int("version");
+        tb.engine().repo().seed(
+            "paper",
+            &frag_key,
+            dpc_repository::Row::new().with("version", v + 1),
+        );
+        let at = cluster.alive()[0];
+        let n = cluster.invalidate_dep(tb.engine().bem(), at, &format!("paper/{frag_key}"));
+        assert_eq!(n, 1);
+        let fresh = get();
+        assert_ne!(
+            fresh.body, first.body,
+            "post-invalidation serve must regenerate, not replay L1"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use dpc_appserver::apps::paper_site::{self, PaperSiteParams};
 use dpc_appserver::apps::{self};
 use dpc_appserver::ScriptEngine;
-use dpc_core::{Bem, BemConfig, FragmentStore, ReplacePolicy};
+use dpc_core::{Bem, BemConfig, CoherencyEpoch, FragmentStore, ReplacePolicy};
 use dpc_firewall::Firewall;
 use dpc_http::server::ServerConfig;
 use dpc_http::{Client, Request, Response, Server, ServerHandle};
@@ -29,6 +29,7 @@ use std::time::Duration;
 
 use crate::esi::{EsiAssembler, EsiTemplate};
 use crate::front::Proxy;
+use crate::l1::{L2Resolver, LoopTier};
 use crate::modes::ProxyMode;
 use crate::page_cache::PageCache;
 
@@ -75,6 +76,15 @@ pub struct TestbedConfig {
     pub seed: u64,
     /// Lock shards for the cache directory and DPC slot store.
     pub shards: usize,
+    /// Per-event-loop L1 budget for assembled hot pages, in bytes. `0`
+    /// (the default) disables the whole DPC page tier: no L1, no L2
+    /// install, every request reassembles — the classic paper pipeline.
+    pub l1_budget_bytes: usize,
+    /// Byte budget for the DPC slot store. `None` (the default) keeps the
+    /// classic slot-count-capacity store; `Some(bytes)` builds a
+    /// byte-budgeted store whose `replace` policy evicts cold slots to
+    /// admit new fragments.
+    pub node_budget_bytes: Option<usize>,
 }
 
 impl Default for TestbedConfig {
@@ -96,6 +106,8 @@ impl Default for TestbedConfig {
             loops: 1,
             seed: 0xBED,
             shards: dpc_core::DEFAULT_SHARDS,
+            l1_budget_bytes: 0,
+            node_budget_bytes: None,
         }
     }
 }
@@ -156,34 +168,66 @@ impl Testbed {
         // ESI assembler).
         let firewall = Arc::new(Firewall::with_default_rules());
         let upstream_client = Arc::new(Client::new(Arc::new(net.connector())));
-        let store = Arc::new(FragmentStore::with_shards(config.capacity, config.shards));
-        let page_cache = Arc::new(PageCache::new(
-            clock.clone(),
-            config.page_cache_ttl,
-            config.capacity,
-        ));
+        let store = Arc::new(match config.node_budget_bytes {
+            Some(bytes) => FragmentStore::with_budget(
+                config.capacity,
+                config.shards,
+                bytes as u64,
+                config.replace,
+            ),
+            None => FragmentStore::with_shards(config.capacity, config.shards),
+        });
+        let tier_on = config.l1_budget_bytes > 0 && config.mode == ProxyMode::Dpc;
+        let mut page_cache = PageCache::new(clock.clone(), config.page_cache_ttl, config.capacity);
+        if tier_on {
+            // One epoch covers the whole node: any origin data update bumps
+            // it, so every stamped page (L2 entry or loop-local L1 copy)
+            // self-evicts on its next touch. Coarse, but the invalidation
+            // path stays O(1) and never enumerates sessions or loops.
+            let epoch = CoherencyEpoch::new();
+            page_cache = page_cache.with_coherence(epoch.clone());
+            repo.bus().subscribe(move |_dep| {
+                epoch.bump();
+            });
+        }
+        let page_cache = Arc::new(page_cache);
         let esi = Arc::new(EsiAssembler::new(clock.clone(), config.esi_ttl));
         if config.mode == ProxyMode::Esi {
             register_paper_templates(&esi, &config.paper_params);
         }
-        let proxy = Arc::new(Proxy::new(
+        let mut proxy = Proxy::new(
             config.mode,
             ORIGIN_ADDR,
             upstream_client,
             store,
-            page_cache,
+            Arc::clone(&page_cache),
             esi,
             config.firewall.then(|| Arc::clone(&firewall)),
-        ));
-        let proxy_server = Server::new(Box::new(net.listen(PROXY_ADDR)), {
+        );
+        if tier_on {
+            proxy = proxy.with_page_tier();
+        }
+        let proxy = Arc::new(proxy);
+        let mut proxy_server = Server::new(Box::new(net.listen(PROXY_ADDR)), {
             let proxy = Arc::clone(&proxy);
             proxy as Arc<dyn dpc_http::Handler>
         })
         .with_config(ServerConfig {
             workers: config.workers,
         })
-        .with_loops(config.loops)
-        .spawn();
+        .with_loops(config.loops);
+        if tier_on {
+            let resolve: L2Resolver = {
+                let page_cache = Arc::clone(&page_cache);
+                Arc::new(move |_target| Some(Arc::clone(&page_cache)))
+            };
+            proxy_server = proxy_server.with_loop_cache(LoopTier::factory(
+                config.l1_budget_bytes,
+                config.page_cache_ttl,
+                resolve,
+            ));
+        }
+        let proxy_server = proxy_server.spawn();
 
         let client = Client::new(Arc::new(net.connector()));
         Testbed {
@@ -499,6 +543,130 @@ mod tests {
                 .load(std::sync::atomic::Ordering::Relaxed)
                 >= 1
         );
+    }
+
+    #[test]
+    fn page_tier_promotes_through_l2_into_l1_and_serves_identical_bytes() {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: small_params(),
+            l1_budget_bytes: 1 << 20,
+            ..TestbedConfig::default()
+        });
+        let url = "/paper/page.jsp?p=0";
+        let assembled = tb.get(url, None);
+        assert_eq!(assembled.headers.get("x-cache"), Some("dpc-assembled"));
+        // Requests 2..=PROMOTE_AFTER+1 hit L2; the PROMOTE_AFTER-th L2 hit
+        // copies the page into the loop's L1.
+        let mut last = String::new();
+        for _ in 0..crate::l1::PROMOTE_AFTER {
+            let r = tb.get(url, None);
+            assert_eq!(r.body, assembled.body, "tier must serve identical bytes");
+            last = r.headers.get("x-cache").unwrap_or("").to_owned();
+        }
+        assert_eq!(last, "dpc-l2");
+        let hot = tb.get(url, None);
+        assert_eq!(hot.headers.get("x-cache"), Some("dpc-l1"));
+        assert_eq!(hot.body, assembled.body);
+        let stats = tb.proxy().page_cache().stats();
+        assert!(stats.l1_hits >= 1, "{stats:?}");
+        assert!(stats.l2_hits >= crate::l1::PROMOTE_AFTER, "{stats:?}");
+        stats.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn l1_hit_path_takes_zero_directory_locks_and_zero_origin_trips() {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: small_params(),
+            l1_budget_bytes: 1 << 20,
+            ..TestbedConfig::default()
+        });
+        let url = "/paper/page.jsp?p=1";
+        // Warm until the page is L1-resident.
+        for _ in 0..(crate::l1::PROMOTE_AFTER + 2) {
+            let _ = tb.get(url, None);
+        }
+        assert_eq!(tb.get(url, None).headers.get("x-cache"), Some("dpc-l1"));
+        let directory = tb.engine().bem().directory();
+        let locks_before = directory.lock_acquisitions();
+        let origin_before = tb.origin_requests();
+        for _ in 0..32 {
+            let r = tb.get(url, None);
+            assert_eq!(r.headers.get("x-cache"), Some("dpc-l1"));
+        }
+        assert_eq!(
+            directory.lock_acquisitions(),
+            locks_before,
+            "an L1 hit must acquire zero directory locks"
+        );
+        assert_eq!(
+            tb.origin_requests(),
+            origin_before,
+            "an L1 hit must not touch the origin"
+        );
+    }
+
+    #[test]
+    fn data_update_bumps_the_epoch_and_unserves_tiered_pages() {
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: small_params(),
+            l1_budget_bytes: 1 << 20,
+            ..TestbedConfig::default()
+        });
+        let url = "/paper/page.jsp?p=2";
+        for _ in 0..(crate::l1::PROMOTE_AFTER + 2) {
+            let _ = tb.get(url, None);
+        }
+        assert_eq!(tb.get(url, None).headers.get("x-cache"), Some("dpc-l1"));
+        // Any origin data update invalidates every stamped page on the node.
+        tb.engine().repo().bus().publish("paper/fragment");
+        let r = tb.get(url, None);
+        assert_ne!(
+            r.headers.get("x-cache"),
+            Some("dpc-l1"),
+            "stale L1 entry must self-evict on the first post-update touch"
+        );
+        assert_ne!(r.headers.get("x-cache"), Some("dpc-l2"));
+        let stats = tb.proxy().page_cache().stats();
+        assert!(
+            stats.l1_stale_evictions + stats.l2_stale_evictions >= 1,
+            "{stats:?}"
+        );
+        stats.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn budgeted_node_store_still_serves_correct_pages() {
+        let plain = Testbed::build(TestbedConfig {
+            mode: ProxyMode::PassThrough,
+            paper_params: small_params(),
+            ..TestbedConfig::default()
+        });
+        // A budget well below the fragment working set keeps eviction live
+        // on every SET; pages stay byte-identical because an evicted slot
+        // is just a future node-miss.
+        let tb = Testbed::build(TestbedConfig {
+            mode: ProxyMode::Dpc,
+            paper_params: small_params(),
+            node_budget_bytes: Some(2 * 1024),
+            ..TestbedConfig::default()
+        });
+        for _round in 0..2 {
+            for p in 0..3 {
+                let a = tb.get(&format!("/paper/page.jsp?p={p}"), None);
+                let b = plain.get(&format!("/paper/page.jsp?p={p}"), None);
+                assert_eq!(a.status.0, 200, "page {p}");
+                assert_eq!(a.body, b.body, "page {p}");
+            }
+        }
+        let (budget, resident, _evictions) = tb
+            .proxy()
+            .store()
+            .budget_stats()
+            .expect("store is budgeted");
+        assert!(resident <= budget, "resident {resident} > budget {budget}");
     }
 
     #[test]
