@@ -113,10 +113,24 @@ impl Proxy {
     /// into the page cache under session-qualified keys (see
     /// [`crate::l1::page_key`]) stamped with the coherency epoch, and
     /// repeat GETs are served from there without reassembly. The cache
-    /// should carry a [`dpc_core::CoherencyEpoch`]
-    /// ([`PageCache::with_coherence`]) so invalidations kill stamped
-    /// entries; without one, entries fall back to TTL + PURGE semantics.
+    /// **must** carry a [`dpc_core::CoherencyEpoch`]
+    /// ([`PageCache::with_coherence`]): a `PURGE` of a bare target cannot
+    /// name the session-qualified variants, so only the epoch bump can
+    /// invalidate stamped entries — without it, a purge would silently
+    /// leave stale session pages servable until TTL. Asserted here rather
+    /// than degraded, because the gap is invisible until a purge races a
+    /// session.
+    ///
+    /// # Panics
+    ///
+    /// If the proxy's page cache has no coherence epoch attached.
     pub fn with_page_tier(mut self) -> Proxy {
+        assert!(
+            self.page_cache.coherence().is_some(),
+            "the page tier requires PageCache::with_coherence: PURGE cannot \
+             name session-qualified keys, so stamped entries are only \
+             invalidatable through the epoch"
+        );
         self.page_tier = true;
         self
     }
@@ -482,6 +496,29 @@ mod tests {
         req.method = Method::Purge;
         let resp = tb.proxy().serve(req);
         assert_eq!(resp.status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires PageCache::with_coherence")]
+    fn page_tier_without_a_coherence_epoch_is_refused() {
+        let tb = Testbed::build(TestbedConfig::default());
+        let _ = Proxy::new(
+            ProxyMode::Dpc,
+            "origin",
+            Arc::new(Client::new(Arc::new(tb.net().connector()))),
+            Arc::new(FragmentStore::new(4)),
+            Arc::new(PageCache::new(
+                dpc_net::Clock::real(),
+                std::time::Duration::from_secs(1),
+                4,
+            )),
+            Arc::new(EsiAssembler::new(
+                dpc_net::Clock::real(),
+                std::time::Duration::from_secs(1),
+            )),
+            None,
+        )
+        .with_page_tier();
     }
 
     #[test]

@@ -79,8 +79,14 @@ struct L1Entry {
 /// A byte-budgeted LRU of flattened assembled pages, owned by exactly one
 /// event loop. All methods take `&mut self`; there is no interior locking
 /// anywhere on the hit path.
+///
+/// Entries are keyed by the full session-qualified key string, never by a
+/// hash of it: a hit must be provably for *this* session's page, and a
+/// 64-bit non-cryptographic hash is attacker-constructible — a colliding
+/// key would serve one session's bytes to another, the exact leak the
+/// session-qualified keying exists to prevent.
 pub struct L1Cache {
-    entries: HashMap<u64, L1Entry>,
+    entries: HashMap<String, L1Entry>,
     budget_bytes: usize,
     resident_bytes: usize,
     ttl: Duration,
@@ -98,25 +104,20 @@ impl L1Cache {
         }
     }
 
-    fn slot(key: &str) -> u64 {
-        dpc_core::fnv1a(key.as_bytes())
-    }
-
     /// Validated lookup. Serves only entries whose epoch stamp still
     /// matches their L2's current epoch and whose TTL has not lapsed;
     /// anything else self-evicts on this touch (stale evictions are
     /// reported to the owning L2's stats so the node-level invariant
     /// `hits == l1_hits + l2_hits` stays auditable next to them).
     pub fn get(&mut self, key: &str) -> Option<(Bytes, String)> {
-        let slot = Self::slot(key);
-        let entry = self.entries.get_mut(&slot)?;
+        let entry = self.entries.get_mut(key)?;
         let epoch_ok = entry
             .l2
             .coherence()
             .map(|e| e.validates(entry.stamp))
             .unwrap_or(true);
         if !epoch_ok || Instant::now() >= entry.expires_at {
-            let dead = self.entries.remove(&slot).expect("entry was just here");
+            let dead = self.entries.remove(key).expect("entry was just here");
             self.resident_bytes -= dead.body.len();
             if !epoch_ok {
                 dead.l2.note_l1_stale_eviction();
@@ -133,19 +134,25 @@ impl L1Cache {
     /// Install a flattened page. Bodies larger than the whole budget are
     /// refused (they would evict everything and then thrash); otherwise
     /// LRU entries are evicted until the newcomer fits.
+    ///
+    /// `l2_valid_for` is how much longer the source L2 entry stays fresh:
+    /// the L1 copy expires at `min(l1 ttl, l2_valid_for)` from now, so a
+    /// promotion never restarts the page's freshness clock — a page
+    /// assembled at t0 cannot serve past the expiry its L2 entry carried,
+    /// no matter how late it was promoted.
     pub fn insert(
         &mut self,
         key: &str,
         body: Bytes,
         content_type: String,
         stamp: u64,
+        l2_valid_for: Duration,
         l2: Arc<PageCache>,
     ) {
         if body.len() > self.budget_bytes {
             return;
         }
-        let slot = Self::slot(key);
-        if let Some(old) = self.entries.remove(&slot) {
+        if let Some(old) = self.entries.remove(key) {
             self.resident_bytes -= old.body.len();
         }
         while self.resident_bytes + body.len() > self.budget_bytes {
@@ -153,7 +160,7 @@ impl L1Cache {
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_touch)
-                .map(|(slot, _)| *slot)
+                .map(|(key, _)| key.clone())
                 .expect("resident_bytes > 0 implies at least one entry");
             let evicted = self.entries.remove(&victim).expect("victim exists");
             self.resident_bytes -= evicted.body.len();
@@ -161,12 +168,12 @@ impl L1Cache {
         self.tick += 1;
         self.resident_bytes += body.len();
         self.entries.insert(
-            slot,
+            key.to_owned(),
             L1Entry {
                 body,
                 content_type,
                 stamp,
-                expires_at: Instant::now() + self.ttl,
+                expires_at: Instant::now() + self.ttl.min(l2_valid_for),
                 last_touch: self.tick,
                 l2,
             },
@@ -246,6 +253,7 @@ impl LoopCache for LoopTier {
                     hit.body.clone(),
                     hit.content_type.clone(),
                     stamp,
+                    hit.ttl_remaining,
                     Arc::clone(&l2),
                 );
             }
@@ -290,6 +298,7 @@ mod tests {
             Bytes::from_static(b"hot"),
             "t".into(),
             epoch.value(),
+            Duration::from_secs(600),
             l2.clone(),
         );
         assert!(l1.get(&key).is_some());
@@ -311,6 +320,7 @@ mod tests {
             Bytes::from_static(b"xxxx"),
             "t".into(),
             epoch.value(),
+            Duration::from_secs(600),
             l2.clone(),
         );
         l1.insert(
@@ -318,6 +328,7 @@ mod tests {
             Bytes::from_static(b"yyyy"),
             "t".into(),
             epoch.value(),
+            Duration::from_secs(600),
             l2.clone(),
         );
         assert!(l1.get("a").is_some(), "touch a so b is the LRU victim");
@@ -326,6 +337,7 @@ mod tests {
             Bytes::from_static(b"zzzz"),
             "t".into(),
             epoch.value(),
+            Duration::from_secs(600),
             l2.clone(),
         );
         assert!(l1.get("a").is_some());
@@ -343,10 +355,65 @@ mod tests {
             Bytes::from_static(b"too large"),
             "t".into(),
             epoch.value(),
+            Duration::from_secs(600),
             l2,
         );
         assert!(l1.is_empty());
         assert_eq!(l1.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_never_share_an_entry() {
+        // The L1 is keyed by the full key string — a lookup can only ever
+        // return bytes installed under exactly that key, so no constructed
+        // collision can leak one session's page to another.
+        let (l2, epoch) = l2_with_epoch();
+        let mut l1 = L1Cache::new(1 << 20, Duration::from_secs(60));
+        let bob = page_key("/account.jsp", "bob");
+        let alice = page_key("/account.jsp", "alice");
+        l1.insert(
+            &bob,
+            Bytes::from_static(b"bob's page"),
+            "t".into(),
+            epoch.value(),
+            Duration::from_secs(600),
+            l2.clone(),
+        );
+        assert!(l1.get(&alice).is_none(), "alice must miss, never get bob");
+        l1.insert(
+            &alice,
+            Bytes::from_static(b"alice's page"),
+            "t".into(),
+            epoch.value(),
+            Duration::from_secs(600),
+            l2,
+        );
+        let (bob_body, _) = l1.get(&bob).unwrap();
+        let (alice_body, _) = l1.get(&alice).unwrap();
+        assert_eq!(&bob_body[..], b"bob's page");
+        assert_eq!(&alice_body[..], b"alice's page");
+    }
+
+    #[test]
+    fn promotion_cannot_outlive_the_l2_expiry() {
+        // A page promoted just before its L2 entry expires must not get a
+        // fresh L1 TTL: the entry's lifetime is capped by the remaining L2
+        // validity carried in at insert.
+        let (l2, epoch) = l2_with_epoch();
+        let mut l1 = L1Cache::new(1 << 20, Duration::from_secs(60));
+        l1.insert(
+            "nearly-dead",
+            Bytes::from_static(b"old"),
+            "t".into(),
+            epoch.value(),
+            Duration::ZERO,
+            l2,
+        );
+        assert!(
+            l1.get("nearly-dead").is_none(),
+            "an L1 copy expires with its L2 source, not on its own clock"
+        );
+        assert!(l1.is_empty());
     }
 
     #[test]

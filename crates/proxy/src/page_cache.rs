@@ -72,6 +72,11 @@ pub struct PageHit {
     pub stamp: Option<u64>,
     /// Hits this entry has served, including this one.
     pub entry_hits: u64,
+    /// How much longer this entry stays fresh in the L2. An L1 promotion
+    /// caps its copy's expiry at this, so promotion never restarts the
+    /// page's freshness clock (a late promotion would otherwise serve the
+    /// page for up to twice the configured TTL).
+    pub ttl_remaining: Duration,
 }
 
 /// Maps and replacer move together under one lock: eviction decisions and
@@ -100,7 +105,9 @@ impl PageInner {
 /// plus every per-loop L1 reporting into it).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PageCacheStats {
-    /// All page-tier hits, whichever tier served them.
+    /// All page-tier hits, whichever tier served them. Derived at snapshot
+    /// time as `l1_hits + l2_hits` (there is no third counter to drift),
+    /// so the tier invariant holds even in a snapshot taken mid-traffic.
     pub hits: u64,
     /// Hits served by a per-loop L1 (zero directory locks, zero assembly).
     pub l1_hits: u64,
@@ -121,7 +128,8 @@ pub struct PageCacheStats {
 
 impl PageCacheStats {
     /// Cross-check the tier accounting: every hit was served by exactly
-    /// one tier.
+    /// one tier. Holds for any [`PageCache::stats`] snapshot (where `hits`
+    /// is derived); guards hand-built or externally-aggregated snapshots.
     pub fn check_invariants(&self) -> Result<(), String> {
         if self.hits != self.l1_hits + self.l2_hits {
             return Err(format!(
@@ -159,11 +167,12 @@ pub struct PageCache {
     /// — self-evict on next touch. `None` when the node runs no
     /// assembled-page tier (classic page-cache mode).
     coherence: Option<CoherencyEpoch>,
-    hits: AtomicU64,
     /// Hits the per-loop L1 tier reported into this node's books (see
-    /// [`PageCache::note_l1_hit`]); always also counted in `hits`.
+    /// [`PageCache::note_l1_hit`]). Total hits are derived as
+    /// `l1_hits + l2_hits` — a third counter could be observed mid-update
+    /// and drift from the sum in a concurrent snapshot.
     l1_hits: AtomicU64,
-    /// Hits served by this cache itself. `hits == l1_hits + l2_hits`.
+    /// Hits served by this cache itself.
     l2_hits: AtomicU64,
     misses: AtomicU64,
     purges: AtomicU64,
@@ -206,7 +215,6 @@ impl PageCache {
             flight: FlightGroup::new(),
             purge_epoch: AtomicU64::new(0),
             coherence: None,
-            hits: AtomicU64::new(0),
             l1_hits: AtomicU64::new(0),
             l2_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -291,9 +299,9 @@ impl PageCache {
                     content_type: entry.content_type.clone(),
                     stamp: entry.stamp,
                     entry_hits: entry.hits,
+                    ttl_remaining: Duration::from_nanos(entry.expires_at.saturating_sub(now)),
                 };
                 inner.replacer.touch(&ident);
-                self.hits.fetch_add(1, Ordering::Relaxed);
                 self.l2_hits.fetch_add(1, Ordering::Relaxed);
                 Some(hit)
             }
@@ -534,10 +542,9 @@ impl PageCache {
     }
 
     /// Report a hit served by a per-loop L1 tier into this node's books.
-    /// Counted in both `hits` and `l1_hits`, preserving
-    /// `hits == l1_hits + l2_hits`.
+    /// Total hits are derived as `l1_hits + l2_hits`, so one increment
+    /// keeps `hits == l1_hits + l2_hits` exact in every snapshot.
     pub fn note_l1_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
         self.l1_hits.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -549,7 +556,7 @@ impl PageCache {
     /// (hits, misses, purges, evictions).
     pub fn counters(&self) -> (u64, u64, u64, u64) {
         (
-            self.hits.load(Ordering::Relaxed),
+            self.l1_hits.load(Ordering::Relaxed) + self.l2_hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
             self.purges.load(Ordering::Relaxed),
             self.evictions.load(Ordering::Relaxed),
@@ -558,10 +565,12 @@ impl PageCache {
 
     /// Full per-tier counter snapshot for this node's page tiers.
     pub fn stats(&self) -> PageCacheStats {
+        let l1_hits = self.l1_hits.load(Ordering::Relaxed);
+        let l2_hits = self.l2_hits.load(Ordering::Relaxed);
         PageCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            l1_hits: self.l1_hits.load(Ordering::Relaxed),
-            l2_hits: self.l2_hits.load(Ordering::Relaxed),
+            hits: l1_hits + l2_hits,
+            l1_hits,
+            l2_hits,
             misses: self.misses.load(Ordering::Relaxed),
             purges: self.purges.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),

@@ -82,6 +82,7 @@ fn serve_tiered(
                     hit.body.clone(),
                     hit.content_type.clone(),
                     stamp,
+                    hit.ttl_remaining,
                     Arc::clone(pc),
                 );
             }
