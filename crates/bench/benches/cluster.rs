@@ -65,7 +65,7 @@ struct World {
 }
 
 enum Front {
-    Ring(RingCluster),
+    Ring(Box<RingCluster>),
     Legacy(DpcCluster),
 }
 
@@ -77,7 +77,11 @@ impl World {
             ..TestbedConfig::default()
         });
         let front = if ring {
-            Front::Ring(RingCluster::new(tb.net(), nodes, RingConfig::default()))
+            Front::Ring(Box::new(RingCluster::new(
+                tb.net(),
+                nodes,
+                RingConfig::default(),
+            )))
         } else {
             Front::Legacy(DpcCluster::new(tb.net(), nodes, 4096, Router::UrlHash))
         };

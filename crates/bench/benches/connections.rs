@@ -48,9 +48,19 @@
 //! hot-skew stream and a nonzero `l1_hits` count — and emits
 //! `BENCH_tiers.json` with per-tier hit attribution next to the req/s.
 //!
+//! The **metrics scenario** prices the observability layer itself: the
+//! same L1-hot request stream through two otherwise identical DPC
+//! testbeds, one with the metrics registry + per-request latency
+//! histograms on (the default) and one with them off. Several
+//! independently built world pairs are measured (per-world thread
+//! placement is the dominant noise) with batch order alternating inside
+//! each pair, and each config's best trial median is compared. It
+//! self-asserts the CI floor — metrics-on throughput within 2% of
+//! metrics-off — and emits `BENCH_metrics.json`.
+//!
 //! Run: `cargo bench -p dpc-bench --bench connections`
-//! Emits `BENCH_connections.json`, `BENCH_coalesce.json`, and
-//! `BENCH_tiers.json` at the workspace root.
+//! Emits `BENCH_connections.json`, `BENCH_coalesce.json`,
+//! `BENCH_tiers.json`, and `BENCH_metrics.json` at the workspace root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::io::Write as _;
@@ -735,6 +745,143 @@ fn tiers_scenario(quick: bool) {
     );
 }
 
+/// Acceptable slowdown of the fully instrumented serving path: with
+/// metrics on, median throughput must stay within 2% of metrics-off.
+const METRICS_CI_OVERHEAD: f64 = 0.02;
+
+/// The observability-overhead scenario: hammer one L1-hot page set over a
+/// keep-alive connection against two live testbeds — metrics on vs off —
+/// alternating batches so both worlds see the same host conditions.
+/// Hot L1 serves are the worst case for the instrumentation's *relative*
+/// cost: the request does almost nothing else, so the per-request clock
+/// reads, outcome classification, and histogram observe have nowhere to
+/// hide. Asserts the CI floor and writes `BENCH_metrics.json`.
+///
+/// The dominant noise here is not batch-to-batch drift but *per-world
+/// luck*: where the OS lands a world's loop and worker threads persists
+/// for that world's lifetime and can swing a single pairing by ±15%,
+/// two orders of magnitude above the real instrumentation cost. So the
+/// scenario runs several independent trials — each building a fresh
+/// world pair (rerolling placement), alternating measurement order
+/// within the pair — and compares each config's *best* trial median:
+/// the best trial is the one least taxed by placement, and the
+/// instrumentation cost is the difference that never goes away.
+fn metrics_scenario(quick: bool) {
+    use dpc_proxy::testbed::{Testbed, TestbedConfig, PROXY_ADDR};
+
+    const HOT_PAGES: usize = 8;
+    let reqs_per_batch = if quick { 400 } else { 1600 };
+    let batches = if quick { 9 } else { 21 };
+    let trials = if quick { 3 } else { 5 };
+    let build = |metrics: bool| {
+        Testbed::build(TestbedConfig {
+            mode: dpc_proxy::ProxyMode::Dpc,
+            paper_params: dpc_appserver::apps::paper_site::PaperSiteParams {
+                pages: HOT_PAGES,
+                ..Default::default()
+            },
+            l1_budget_bytes: 1 << 20,
+            metrics,
+            ..TestbedConfig::default()
+        })
+    };
+    let targets: Vec<String> = (0..reqs_per_batch)
+        .map(|i| format!("/paper/page.jsp?p={}", i % HOT_PAGES))
+        .collect();
+
+    // Per-trial medians, indexed [on, off].
+    let mut trial_medians: [Vec<u64>; 2] = [Vec::with_capacity(trials), Vec::with_capacity(trials)];
+    for trial in 0..trials {
+        // Alternate which config builds first: construction order decides
+        // thread creation order, another placement die the trials reroll.
+        let worlds = if trial % 2 == 0 {
+            [build(true), build(false)]
+        } else {
+            let off = build(false);
+            let on = build(true);
+            [on, off]
+        };
+        let mut readers: Vec<_> = worlds
+            .iter()
+            .map(|tb| {
+                let mut reader = std::io::BufReader::new(
+                    tb.net().connector().connect(PROXY_ADDR).expect("connect"),
+                );
+                // Warm until every page is past the L1 promotion threshold.
+                for _ in 0..(dpc_proxy::l1::PROMOTE_AFTER as usize + 2) {
+                    for p in 0..HOT_PAGES {
+                        assert!(one_request(&mut reader, &format!("/paper/page.jsp?p={p}")) > 0);
+                    }
+                }
+                reader
+            })
+            .collect();
+        let mut samples: [Vec<u64>; 2] = [Vec::with_capacity(batches), Vec::with_capacity(batches)];
+        for round in 0..batches {
+            let order: [usize; 2] = if round % 2 == 0 { [0, 1] } else { [1, 0] };
+            for &w in &order {
+                let reader = &mut readers[w];
+                let start = Instant::now();
+                for target in &targets {
+                    std::hint::black_box(one_request(reader, target));
+                }
+                samples[w].push(start.elapsed().as_nanos() as u64);
+            }
+        }
+        for w in 0..2 {
+            trial_medians[w].push(median_ns(samples[w].clone()));
+        }
+
+        if trial == 0 {
+            // The instrumented world must actually have been instrumented:
+            // its registry saw the measured traffic; the bare world has no
+            // registry at all.
+            let exposition = worlds[0]
+                .metrics_registry()
+                .expect("metrics world has a registry")
+                .render();
+            assert!(exposition.contains("dpc_page_hits_total"));
+            assert!(exposition.contains("dpc_request_duration_ns_bucket"));
+            assert!(worlds[1].metrics_registry().is_none());
+        }
+    }
+    let on_ns = *trial_medians[0].iter().min().expect("trials ran");
+    let off_ns = *trial_medians[1].iter().min().expect("trials ran");
+    let rps = |ns: u64| reqs_per_batch as f64 / ns.max(1) as f64 * 1e9;
+    let overhead = on_ns as f64 / off_ns.max(1) as f64 - 1.0;
+
+    println!(
+        "measured metrics scenario: {:>9.0} req/s on vs {:>9.0} req/s off \
+         ({:+.2}% overhead, floor {:.0}%), best of {trials} trials x median of {batches} x {reqs_per_batch} L1-hot requests",
+        rps(on_ns),
+        rps(off_ns),
+        overhead * 100.0,
+        METRICS_CI_OVERHEAD * 100.0
+    );
+    assert!(
+        overhead <= METRICS_CI_OVERHEAD,
+        "metrics-on serving path is {:.2}% slower than metrics-off (floor {:.0}%)",
+        overhead * 100.0,
+        METRICS_CI_OVERHEAD * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"metrics\",\n  \"unit\": \"req/s of L1-hot serves through the HTTP front\",\n  \
+         \"quick\": {quick},\n  \"hot_pages\": {HOT_PAGES},\n  \"requests_per_batch\": {reqs_per_batch},\n  \
+         \"batches\": {batches},\n  \"trials\": {trials},\n  \"points\": [\n    \
+         {{\"metrics\": true, \"median_elapsed_ns\": {on_ns}, \"req_per_s\": {:.1}}},\n    \
+         {{\"metrics\": false, \"median_elapsed_ns\": {off_ns}, \"req_per_s\": {:.1}}}\n  ],\n  \
+         \"overhead_fraction\": {overhead:.5},\n  \
+         \"ci_floor\": \"metrics-on median throughput within {:.0}% of metrics-off\"\n}}\n",
+        rps(on_ns),
+        rps(off_ns),
+        METRICS_CI_OVERHEAD * 100.0
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_metrics.json");
+    std::fs::write(path, json).expect("write BENCH_metrics.json");
+    println!("wrote {path}");
+}
+
 fn bench_connections(c: &mut Criterion) {
     let quick = std::env::var("CRITERION_QUICK").is_ok();
     let grid = if quick { CONN_GRID_QUICK } else { CONN_GRID };
@@ -796,6 +943,7 @@ fn bench_connections(c: &mut Criterion) {
     emit_json(&points, grid, loop_grid, quick, &eviction_json);
     coalesce_scenario(quick);
     tiers_scenario(quick);
+    metrics_scenario(quick);
 }
 
 fn emit_json(

@@ -51,7 +51,8 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use dpc_net::{BoxNbListener, BoxNbStream, Poller, Ready, Registry, Token, WakeSet};
+use dpc_metrics::{HistogramSnapshot, Outcome, OutcomeHistograms};
+use dpc_net::{BoxNbListener, BoxNbStream, Clock, Poller, Ready, Registry, Token, WakeSet};
 
 use crate::message::{Request, Response};
 use crate::parse::{self, try_parse_request};
@@ -154,6 +155,10 @@ pub struct LoopStats {
 #[derive(Debug)]
 pub struct ServerStats {
     per_loop: Vec<Arc<LoopStats>>,
+    /// Per-loop request-latency histograms, one set per event loop so the
+    /// hot path's `fetch_add`s never share a cache line across loops.
+    /// Empty unless [`Server::with_request_metrics`] was set.
+    latency: Vec<Arc<OutcomeHistograms>>,
 }
 
 impl ServerStats {
@@ -185,6 +190,18 @@ impl ServerStats {
         &self.per_loop
     }
 
+    /// Per-loop request-latency histograms (empty unless
+    /// [`Server::with_request_metrics`] was set), indexed by loop.
+    pub fn latency_per_loop(&self) -> &[Arc<OutcomeHistograms>] {
+        &self.latency
+    }
+
+    /// Merge the per-loop latency histograms into one snapshot per
+    /// serving outcome — the scrape-time view.
+    pub fn latency_merged(&self) -> [HistogramSnapshot; Outcome::COUNT] {
+        OutcomeHistograms::merged(&self.latency)
+    }
+
     /// Currently-owned connections per loop — the accept-distribution
     /// balance.
     pub fn live_per_loop(&self) -> Vec<u64> {
@@ -204,6 +221,7 @@ pub struct Server {
     conn_output_cap: usize,
     global_output_cap: usize,
     loop_cache: Option<LoopCacheFactory>,
+    request_clock: Option<Clock>,
 }
 
 impl Server {
@@ -216,6 +234,7 @@ impl Server {
             conn_output_cap: DEFAULT_CONN_OUTPUT_CAP,
             global_output_cap: DEFAULT_GLOBAL_OUTPUT_CAP,
             loop_cache: None,
+            request_clock: None,
         }
     }
 
@@ -247,6 +266,18 @@ impl Server {
     /// request before handler dispatch.
     pub fn with_loop_cache(mut self, factory: LoopCacheFactory) -> Server {
         self.loop_cache = Some(factory);
+        self
+    }
+
+    /// Builder: record a per-request service-time histogram segmented by
+    /// serving outcome (classified from the response's status and
+    /// `X-Cache` / `X-DPC-Peer-Fetched` headers). Each event loop gets a
+    /// private [`OutcomeHistograms`]; scrapes merge them via
+    /// [`ServerStats::latency_merged`]. `clock` supplies timestamps —
+    /// pass the virtual clock when running under `SimNetwork` so latency
+    /// tests are deterministic, the real clock on the TCP path.
+    pub fn with_request_metrics(mut self, clock: Clock) -> Server {
+        self.request_clock = Some(clock);
         self
     }
 
@@ -284,8 +315,14 @@ impl Server {
             global_out: Arc::new(AtomicU64::new(0)),
             loops: loop_shared,
         });
+        let latency: Vec<Arc<OutcomeHistograms>> = if self.request_clock.is_some() {
+            (0..n).map(|_| Arc::new(OutcomeHistograms::new())).collect()
+        } else {
+            Vec::new()
+        };
         let stats = ServerStats {
             per_loop: shared.loops.iter().map(|l| Arc::clone(&l.stats)).collect(),
+            latency: latency.clone(),
         };
         let mut listener = Some(self.listener);
         let mut threads = Vec::with_capacity(n);
@@ -309,6 +346,8 @@ impl Server {
                 conn_output_cap: self.conn_output_cap,
                 global_output_cap: self.global_output_cap,
                 cache: self.loop_cache.as_ref().map(|f| f(index)),
+                clock: self.request_clock.clone(),
+                latency: latency.get(index).cloned(),
                 stopping: false,
             };
             let thread = std::thread::Builder::new()
@@ -382,6 +421,9 @@ struct Conn {
     handling: bool,
     /// The in-flight request asked for `Connection: close`.
     close_pending: bool,
+    /// Clock reading taken when the current request finished parsing;
+    /// `complete_request` turns it into a latency observation.
+    req_start: u64,
     /// Stop after draining `out` (close requested or fatal parse error).
     close_after_flush: bool,
     eof: bool,
@@ -410,6 +452,7 @@ impl Conn {
             over_strikes: 0,
             handling: false,
             close_pending: false,
+            req_start: 0,
             close_after_flush: false,
             eof: false,
             dead: false,
@@ -569,6 +612,12 @@ struct LoopState {
     global_output_cap: usize,
     /// This loop's private serving tier (see [`Server::with_loop_cache`]).
     cache: Option<Box<dyn LoopCache>>,
+    /// Timestamp source for request latency (see
+    /// [`Server::with_request_metrics`]).
+    clock: Option<Clock>,
+    /// This loop's private latency histograms — never shared with sibling
+    /// loops, so observes stay on loop-local cache lines.
+    latency: Option<Arc<OutcomeHistograms>>,
     /// Set when the loop leaves its main phase: no new parses, drain only.
     stopping: bool,
 }
@@ -665,16 +714,32 @@ impl LoopState {
         let Some(conn) = self.conns.get_mut(&token) else {
             return; // connection died while the handler ran
         };
-        Self::complete_request(conn, &resp);
+        Self::complete_request(conn, &resp, self.latency.as_deref(), self.clock.as_ref());
         self.pump(token);
     }
 
     /// Queue a finished response and settle the connection's keep-alive
-    /// flags. The single home for this logic — both the worker-pool path
-    /// ([`finish_request`](Self::finish_request)) and inline-mode handling
-    /// inside [`pump`](Self::pump) go through it, so the two modes cannot
-    /// drift apart.
-    fn complete_request(conn: &mut Conn, resp: &Response) {
+    /// flags. The single home for this logic — the worker-pool path
+    /// ([`finish_request`](Self::finish_request)), the loop-cache path, and
+    /// inline-mode handling inside [`pump`](Self::pump) all go through it,
+    /// so the modes cannot drift apart. When request metrics are on, this
+    /// is also where the service time lands in the loop's outcome
+    /// histogram: the window runs from parse completion to response
+    /// queueing, classified from the response's serving headers.
+    fn complete_request(
+        conn: &mut Conn,
+        resp: &Response,
+        latency: Option<&OutcomeHistograms>,
+        clock: Option<&Clock>,
+    ) {
+        if let (Some(latency), Some(clock)) = (latency, clock) {
+            let outcome = Outcome::classify(
+                resp.status.is_success(),
+                resp.headers.get("X-Cache"),
+                resp.headers.get("X-DPC-Peer-Fetched").is_some(),
+            );
+            latency.observe(outcome, clock.now_nanos().saturating_sub(conn.req_start));
+        }
         let close = conn.close_pending || resp.headers.connection_close();
         conn.enqueue_response(resp);
         conn.handling = false;
@@ -872,13 +937,21 @@ impl LoopState {
                     conn.compact();
                     conn.close_pending = req.headers.connection_close();
                     self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    if let Some(clock) = &self.clock {
+                        conn.req_start = clock.now_nanos();
+                    }
                     // Per-loop tier: a hit is served without leaving this
                     // thread (and, in pool mode, without a worker
                     // handoff), then the loop continues to flush and
                     // parse any pipelined successor.
                     if let Some(cache) = self.cache.as_mut() {
                         if let Some(resp) = cache.try_serve(&req) {
-                            Self::complete_request(conn, &resp);
+                            Self::complete_request(
+                                conn,
+                                &resp,
+                                self.latency.as_deref(),
+                                self.clock.as_ref(),
+                            );
                             continue;
                         }
                     }
@@ -894,7 +967,12 @@ impl LoopState {
                     let Some(conn) = self.conns.get_mut(&token) else {
                         return;
                     };
-                    Self::complete_request(conn, &resp);
+                    Self::complete_request(
+                        conn,
+                        &resp,
+                        self.latency.as_deref(),
+                        self.clock.as_ref(),
+                    );
                 }
                 Ok(None) => {
                     // The frame gate thought the request was complete but
@@ -1175,6 +1253,50 @@ mod tests {
             start.elapsed() < std::time::Duration::from_secs(5),
             "stop must not wait for listener activity"
         );
+    }
+
+    #[test]
+    fn request_latency_histograms_are_deterministic_under_virtual_clock() {
+        let net = SimNetwork::with_defaults();
+        let listener = net.listen("web");
+        let (clock, vclock) = Clock::virtual_clock();
+        // The handler advances the virtual clock by a fixed amount, so the
+        // parse-to-queue service window is exactly that amount: histogram
+        // contents are asserted to the nanosecond, no wall-clock jitter.
+        let handler_clock = Arc::clone(&vclock);
+        let handle = Server::new(
+            Box::new(listener),
+            Arc::new(move |req: Request| {
+                handler_clock.advance(Duration::from_nanos(1_500));
+                let resp = Response::html("ok");
+                match req.target.as_str() {
+                    "/l1" => resp.with_header("X-Cache", "dpc-l1"),
+                    "/peer" => resp
+                        .with_header("X-Cache", "dpc-assembled")
+                        .with_header("X-DPC-Peer-Fetched", "2"),
+                    "/err" => Response::error(crate::Status::NOT_FOUND, "nope"),
+                    _ => resp,
+                }
+            }),
+        )
+        .with_request_metrics(clock)
+        .spawn();
+        let client = Client::new(Arc::new(net.connector()));
+        for target in ["/l1", "/l1", "/peer", "/err", "/plain"] {
+            let _ = client.request("web", Request::get(target)).unwrap();
+        }
+        let merged = handle.stats().latency_merged();
+        use dpc_metrics::Outcome;
+        assert_eq!(merged[Outcome::L1Hit.index()].count(), 2);
+        assert_eq!(merged[Outcome::L1Hit.index()].sum, 3_000);
+        assert_eq!(merged[Outcome::PeerFetch.index()].count(), 1);
+        assert_eq!(merged[Outcome::PeerFetch.index()].sum, 1_500);
+        assert_eq!(merged[Outcome::Error.index()].count(), 1);
+        assert_eq!(merged[Outcome::Origin.index()].count(), 1);
+        assert_eq!(merged[Outcome::L2Hit.index()].count(), 0);
+        // Each observation is exactly 1500 ns: bit-width 11, so p99 of any
+        // nonempty outcome reports that bucket's upper bound.
+        assert_eq!(merged[Outcome::L1Hit.index()].p99(), 2_047);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use dpc_core::{assemble_rope, AssembleError, AssembledRope, FragmentSource, FragmentStore};
 use dpc_firewall::Firewall;
 use dpc_http::{Body, Client, Handler, Method, Request, Response, Status};
+use dpc_metrics::Registry as MetricsRegistry;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -42,7 +43,19 @@ pub struct ProxyStats {
     pub delivered_bytes: AtomicU64,
     /// Bytes of origin response bodies received.
     pub origin_bytes: AtomicU64,
+    /// DPC mode: running totals of every assembly pass's
+    /// [`dpc_core::AssemblyStats`], accumulated per assembled page.
+    pub asm_gets: AtomicU64,
+    pub asm_sets: AtomicU64,
+    pub asm_literal_bytes: AtomicU64,
+    pub asm_get_bytes: AtomicU64,
+    pub asm_set_bytes: AtomicU64,
+    pub asm_template_bytes: AtomicU64,
 }
+
+/// Dependency-wide invalidation hook: frees every cached key registered
+/// under the given dependency and returns the freed-key count.
+pub type DepPurger = Arc<dyn Fn(&str) -> usize + Send + Sync>;
 
 /// The reverse proxy (Figure 4's "External" box: firewall + proxy cache +
 /// DPC).
@@ -65,6 +78,14 @@ pub struct Proxy {
     /// assembled pages into it, stamped with the coherency epoch. Off by
     /// default — the classic DPC path reassembles every request.
     page_tier: bool,
+    /// When set, `GET /_dpc/metrics` is served right here from the
+    /// registry's text exposition instead of being forwarded.
+    metrics: Option<Arc<MetricsRegistry>>,
+    /// Dependency-wide invalidation hook for `PURGE` + `X-DPC-Dep`:
+    /// returns the number of keys freed. Single-node fronts point this at
+    /// the BEM directory; ring nodes route it through the gossiped
+    /// cluster-wide purge.
+    dep_purger: Option<DepPurger>,
     stats: ProxyStats,
 }
 
@@ -90,6 +111,8 @@ impl Proxy {
             firewall,
             fragment_source: None,
             page_tier: false,
+            metrics: None,
+            dep_purger: None,
             stats: ProxyStats::default(),
         }
     }
@@ -135,6 +158,22 @@ impl Proxy {
         self
     }
 
+    /// Builder: serve `GET /_dpc/metrics` from `registry`'s Prometheus
+    /// text exposition (rendered at request time, so scrapes always see
+    /// live counters).
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Proxy {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Builder: route `PURGE` requests carrying an `X-DPC-Dep` header to
+    /// `purger`, which invalidates every key registered under that
+    /// dependency and returns the freed-key count.
+    pub fn with_dep_purger(mut self, purger: DepPurger) -> Proxy {
+        self.dep_purger = Some(purger);
+        self
+    }
+
     /// Node id announced to the BEM.
     pub fn node(&self) -> u32 {
         self.node
@@ -168,8 +207,18 @@ impl Proxy {
     /// Serve one client request.
     pub fn serve(&self, req: Request) -> Response {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if req.method == Method::Get && req.path() == "/_dpc/metrics" {
+            if let Some(registry) = &self.metrics {
+                return Response::html(registry.render())
+                    .with_header("Content-Type", "text/plain; version=0.0.4");
+            }
+        }
         if req.method == Method::Purge {
-            return self.handle_purge(&req);
+            let resp = self.handle_purge(&req);
+            if req.headers.get("X-DPC-Trace").is_some() {
+                return self.attach_trace(resp);
+            }
+            return resp;
         }
         let resp = match self.mode {
             ProxyMode::PassThrough => self.forward(&req),
@@ -180,10 +229,62 @@ impl Proxy {
         self.stats
             .delivered_bytes
             .fetch_add(resp.body.len() as u64, Ordering::Relaxed);
+        if req.headers.get("X-DPC-Trace").is_some() {
+            return self.attach_trace(resp);
+        }
         resp
     }
 
+    /// Annotate a response with its cache journey (opt-in via the
+    /// `X-DPC-Trace` request header): which tier served it, the
+    /// single-flight role it played, how many rope segments it carries,
+    /// and which node/shard produced it. Space-separated `k=v` pairs so
+    /// tests and operators can parse it without a grammar.
+    fn attach_trace(&self, resp: Response) -> Response {
+        let x_cache = resp.headers.get("X-Cache");
+        let peer_fetched = resp.headers.get("X-DPC-Peer-Fetched").is_some();
+        let tier = if !resp.status.is_success() {
+            "error"
+        } else if peer_fetched {
+            "peer"
+        } else {
+            match x_cache {
+                Some("dpc-l1") => "l1",
+                Some("dpc-l2") | Some("page-hit") => "l2",
+                Some("dpc-assembled") | Some("esi-assembled") => "assembled",
+                Some("page-coalesced") => "flight-wait",
+                Some("purged") => "purge",
+                _ => "origin",
+            }
+        };
+        let flight = match x_cache {
+            Some("page-coalesced") => "waiter",
+            Some("page-miss") => "leader",
+            _ => "none",
+        };
+        let segments = resp.body.segments().len();
+        let trace = format!(
+            "tier={tier} flight={flight} segments={segments} shard={}",
+            self.node
+        );
+        resp.with_header("X-DPC-Trace", trace)
+    }
+
     fn handle_purge(&self, req: &Request) -> Response {
+        if let Some(dep) = req.headers.get("X-DPC-Dep") {
+            // Dependency-wide purge: every key registered under `dep` is
+            // invalidated (ring-wide and gossiped when fronted by a
+            // cluster), and the freed-key count is reported — a bare
+            // target purge cannot reach session-qualified page keys, this
+            // can.
+            let Some(purger) = &self.dep_purger else {
+                return Response::error(Status(501), "dependency purge is not wired on this front");
+            };
+            let freed = purger(dep);
+            return Response::html(format!("purged {freed} keys"))
+                .with_header("X-Cache", "purged")
+                .with_header("X-DPC-Purged-Keys", freed.to_string());
+        }
         let purged = self.page_cache.purge(&req.target);
         let esi_purged = self.esi.invalidate_fragment(&req.target);
         if purged || esi_purged {
@@ -401,11 +502,33 @@ impl Proxy {
         // response body unflattened, and the HTTP serializer puts them on
         // the wire with vectored writes. No byte of a cached fragment is
         // copied between the slot store and the client socket.
-        let rope = self.assemble_with_source(&template, &req.target)?;
+        let (rope, fetched) = self.assemble_with_source(&template, &req.target)?;
         self.stats.assembled.fetch_add(1, Ordering::Relaxed);
+        let asm = &rope.stats;
+        self.stats.asm_gets.fetch_add(asm.gets, Ordering::Relaxed);
+        self.stats.asm_sets.fetch_add(asm.sets, Ordering::Relaxed);
+        self.stats
+            .asm_literal_bytes
+            .fetch_add(asm.literal_bytes, Ordering::Relaxed);
+        self.stats
+            .asm_get_bytes
+            .fetch_add(asm.get_bytes, Ordering::Relaxed);
+        self.stats
+            .asm_set_bytes
+            .fetch_add(asm.set_bytes, Ordering::Relaxed);
+        self.stats
+            .asm_template_bytes
+            .fetch_add(asm.template_bytes, Ordering::Relaxed);
         let mut resp = upstream;
         resp.body = Body::Rope(rope.segments);
-        Ok(strip_internal_headers(resp).with_header("X-Cache", "dpc-assembled"))
+        let resp = strip_internal_headers(resp).with_header("X-Cache", "dpc-assembled");
+        // Advertise repairs so latency classification and tracing can
+        // attribute this page to the peer-fetch path.
+        Ok(if fetched > 0 {
+            resp.with_header("X-DPC-Peer-Fetched", fetched.to_string())
+        } else {
+            resp
+        })
     }
 
     /// Assemble `template`, repairing empty slots from the configured
@@ -418,13 +541,14 @@ impl Proxy {
         &self,
         template: &[u8],
         target: &str,
-    ) -> Result<AssembledRope, AssembleError> {
+    ) -> Result<(AssembledRope, u32), AssembleError> {
         // One fetch per distinct missing key, plus slack for raced scrubs.
         let mut budget = 64u32;
+        let mut fetched = 0u32;
         let mut last_missing = None;
         loop {
             match assemble_rope(template, &self.store) {
-                Ok(rope) => return Ok(rope),
+                Ok(rope) => return Ok((rope, fetched)),
                 Err(AssembleError::MissingFragment(key)) => {
                     let Some(source) = &self.fragment_source else {
                         return Err(AssembleError::MissingFragment(key));
@@ -439,6 +563,7 @@ impl Proxy {
                     match source.fetch(key, target) {
                         Some(bytes) => {
                             self.stats.peer_fetches.fetch_add(1, Ordering::Relaxed);
+                            fetched += 1;
                             self.store.set(key, bytes);
                         }
                         None => return Err(AssembleError::MissingFragment(key)),

@@ -209,6 +209,10 @@ pub type L2Resolver = Arc<dyn Fn(&str) -> Option<Arc<PageCache>> + Send + Sync>;
 pub struct LoopTier {
     l1: L1Cache,
     resolve: L2Resolver,
+    /// Index of the owning event loop — reported as `shard=` in the
+    /// `X-DPC-Trace` cache journey so an operator can see which loop's L1
+    /// served a traced hit.
+    loop_index: usize,
 }
 
 impl LoopTier {
@@ -216,15 +220,42 @@ impl LoopTier {
         LoopTier {
             l1: L1Cache::new(l1_budget_bytes, ttl),
             resolve,
+            loop_index: 0,
         }
+    }
+
+    /// Builder: set the owning event loop's index (see
+    /// [`LoopTier::factory`], which does this automatically).
+    pub fn with_loop_index(mut self, loop_index: usize) -> LoopTier {
+        self.loop_index = loop_index;
+        self
     }
 
     /// A [`LoopCacheFactory`] handing every event loop its own private
     /// `LoopTier` over a shared resolver.
     pub fn factory(l1_budget_bytes: usize, ttl: Duration, resolve: L2Resolver) -> LoopCacheFactory {
-        Arc::new(move |_loop_index| {
-            Box::new(LoopTier::new(l1_budget_bytes, ttl, Arc::clone(&resolve)))
+        Arc::new(move |loop_index| {
+            Box::new(
+                LoopTier::new(l1_budget_bytes, ttl, Arc::clone(&resolve))
+                    .with_loop_index(loop_index),
+            )
         })
+    }
+
+    /// Opt-in cache-journey annotation for tier-served responses, the
+    /// loop-local twin of the proxy front's trace: tier hits never reach
+    /// the handler, so the journey must be written here or traced L1/L2
+    /// hits would report nothing.
+    fn attach_trace(&self, req: &Request, resp: Response, tier: &str) -> Response {
+        if req.headers.get("X-DPC-Trace").is_none() {
+            return resp;
+        }
+        let segments = resp.body.segments().len();
+        let trace = format!(
+            "tier={tier} flight=none segments={segments} shard={}",
+            self.loop_index
+        );
+        resp.with_header("X-DPC-Trace", trace)
     }
 }
 
@@ -235,11 +266,10 @@ impl LoopCache for LoopTier {
         }
         let key = page_key(&req.target, session_of(req));
         if let Some((body, content_type)) = self.l1.get(&key) {
-            return Some(
-                Response::html(body)
-                    .with_header("Content-Type", content_type)
-                    .with_header("X-Cache", "dpc-l1"),
-            );
+            let resp = Response::html(body)
+                .with_header("Content-Type", content_type)
+                .with_header("X-Cache", "dpc-l1");
+            return Some(self.attach_trace(req, resp, "l1"));
         }
         let l2 = (self.resolve)(&req.target)?;
         let hit = l2.get_page(&key)?;
@@ -258,11 +288,10 @@ impl LoopCache for LoopTier {
                 );
             }
         }
-        Some(
-            Response::html(hit.body)
-                .with_header("Content-Type", hit.content_type)
-                .with_header("X-Cache", "dpc-l2"),
-        )
+        let resp = Response::html(hit.body)
+            .with_header("Content-Type", hit.content_type)
+            .with_header("X-Cache", "dpc-l2");
+        Some(self.attach_trace(req, resp, "l2"))
     }
 }
 

@@ -36,6 +36,7 @@ pub mod cluster;
 pub mod esi;
 pub mod front;
 pub mod l1;
+pub mod metrics;
 pub mod modes;
 pub mod page_cache;
 pub mod ring_cluster;

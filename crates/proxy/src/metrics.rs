@@ -1,0 +1,407 @@
+//! Exporter adapters: every subsystem's live `*Stats` snapshot rendered
+//! into one [`dpc_metrics::Registry`] as Prometheus families.
+//!
+//! Each `register_*` function installs a named collector closure over the
+//! subsystem's shared handle (`Arc`); nothing is sampled until a scrape
+//! renders the registry, so the instrumented hot paths pay only the
+//! counters they already maintained. Collector keys are stable per
+//! subsystem instance — re-registering a recycled ring-node id replaces
+//! the old collector instead of duplicating its families.
+//!
+//! Naming follows Prometheus convention: `dpc_` prefix, `_total` on
+//! counters, base units in the name (`_bytes`, `_ns`). Cross-subsystem
+//! concerns share one family split by label — the single-flight counters
+//! of the BEM, the directory, the page tier, and the peer fetcher all land
+//! in `dpc_flight_*_total{source=...}`, so a dashboard can see coalescing
+//! behaviour across every layer in one query.
+
+use std::sync::Arc;
+
+use dpc_cluster::PeerNode;
+use dpc_core::Bem;
+use dpc_http::{LoopStats, ServerStats};
+use dpc_metrics::{Exposition, Outcome, OutcomeHistograms, Registry};
+use dpc_net::MeterRegistry;
+
+use crate::front::Proxy;
+use crate::page_cache::PageCache;
+
+/// Optional `node="<id>"` label set for multi-node fronts.
+fn node_labels(node: &Option<String>) -> Vec<(&'static str, &str)> {
+    match node {
+        Some(id) => vec![("node", id.as_str())],
+        None => Vec::new(),
+    }
+}
+
+fn with_label<'a>(
+    base: &[(&'static str, &'a str)],
+    key: &'static str,
+    value: &'a str,
+) -> Vec<(&'static str, &'a str)> {
+    let mut labels = base.to_vec();
+    labels.push((key, value));
+    labels
+}
+
+/// Render the shared single-flight family for one `source` layer.
+fn flight_family(
+    e: &mut Exposition,
+    labels: &[(&'static str, &str)],
+    source: &str,
+    leaders: u64,
+    coalesced_waits: u64,
+    retries: u64,
+) {
+    let ls = with_label(labels, "source", source);
+    e.counter("dpc_flight_leaders_total", &ls, leaders);
+    e.counter("dpc_flight_coalesced_waits_total", &ls, coalesced_waits);
+    e.counter("dpc_flight_retries_total", &ls, retries);
+}
+
+/// BEM tagging counters, the cache directory (aggregate and per shard),
+/// and both layers' single-flight counters.
+pub fn register_bem(registry: &Registry, key: impl Into<String>, bem: Arc<Bem>, node: Option<u32>) {
+    let node = node.map(|n| n.to_string());
+    registry.register(key, move |e| {
+        let labels = node_labels(&node);
+        let s = bem.stats().snapshot();
+        e.counter("dpc_bem_fragments_total", &labels, s.fragments);
+        e.counter("dpc_bem_hits_total", &labels, s.hits);
+        e.counter("dpc_bem_misses_total", &labels, s.misses);
+        e.counter("dpc_bem_forced_misses_total", &labels, s.forced_misses);
+        e.counter(
+            "dpc_bem_uncoalesced_misses_total",
+            &labels,
+            s.uncoalesced_misses,
+        );
+        e.counter(
+            "dpc_bem_uncacheable_fragments_total",
+            &labels,
+            s.uncacheable_fragments,
+        );
+        e.counter(
+            "dpc_bem_overflow_fragments_total",
+            &labels,
+            s.overflow_fragments,
+        );
+        e.counter("dpc_bem_generated_bytes_total", &labels, s.generated_bytes);
+        e.counter("dpc_bem_literal_bytes_total", &labels, s.literal_bytes);
+        e.counter("dpc_bem_tag_bytes_total", &labels, s.tag_bytes);
+        e.counter("dpc_bem_emitted_bytes_total", &labels, s.emitted_bytes);
+        flight_family(
+            e,
+            &labels,
+            "bem",
+            s.flight_leaders,
+            s.coalesced_waits,
+            s.flight_retries,
+        );
+
+        let d = bem.directory_stats();
+        e.counter("dpc_directory_hits_total", &labels, d.hits);
+        e.counter("dpc_directory_misses_total", &labels, d.misses);
+        e.counter("dpc_directory_node_misses_total", &labels, d.node_misses);
+        e.counter("dpc_directory_expirations_total", &labels, d.expirations);
+        e.counter(
+            "dpc_directory_invalidations_total",
+            &labels,
+            d.invalidations,
+        );
+        e.counter("dpc_directory_evictions_total", &labels, d.evictions);
+        e.counter(
+            "dpc_directory_admission_rejections_total",
+            &labels,
+            d.admission_rejections,
+        );
+        e.counter("dpc_directory_uncacheable_total", &labels, d.uncacheable);
+        e.counter(
+            "dpc_directory_dep_shard_scans_total",
+            &labels,
+            d.dep_shard_scans,
+        );
+        e.gauge("dpc_directory_resident_bytes", &labels, d.resident_bytes);
+        e.gauge(
+            "dpc_directory_resident_bytes_hwm",
+            &labels,
+            d.resident_bytes_hwm,
+        );
+        e.gauge(
+            "dpc_directory_valid_entries",
+            &labels,
+            d.valid_entries as u64,
+        );
+        e.gauge(
+            "dpc_directory_total_entries",
+            &labels,
+            d.total_entries as u64,
+        );
+        e.gauge("dpc_directory_free_keys", &labels, d.free_keys as u64);
+        e.gauge("dpc_directory_shards", &labels, d.shards as u64);
+        flight_family(
+            e,
+            &labels,
+            "directory",
+            d.flight_leaders,
+            d.coalesced_waits,
+            d.flight_retries,
+        );
+
+        for (i, shard) in bem.directory().shard_stats().iter().enumerate() {
+            let i = i.to_string();
+            let ls = with_label(&labels, "shard", &i);
+            e.counter("dpc_directory_shard_evictions_total", &ls, shard.evictions);
+            e.counter(
+                "dpc_directory_shard_admission_rejections_total",
+                &ls,
+                shard.admission_rejections,
+            );
+            e.gauge(
+                "dpc_directory_shard_resident_bytes",
+                &ls,
+                shard.resident_bytes,
+            );
+            e.gauge(
+                "dpc_directory_shard_valid_entries",
+                &ls,
+                shard.valid_entries as u64,
+            );
+            e.gauge("dpc_directory_shard_free_keys", &ls, shard.free_keys as u64);
+        }
+    });
+}
+
+/// The node's page tier: L1/L2 hit split, stale-eviction audit trail, and
+/// its single-flight counters.
+pub fn register_page_cache(
+    registry: &Registry,
+    key: impl Into<String>,
+    cache: Arc<PageCache>,
+    node: Option<u32>,
+) {
+    let node = node.map(|n| n.to_string());
+    registry.register(key, move |e| {
+        let labels = node_labels(&node);
+        let s = cache.stats();
+        e.counter(
+            "dpc_page_hits_total",
+            &with_label(&labels, "tier", "l1"),
+            s.l1_hits,
+        );
+        e.counter(
+            "dpc_page_hits_total",
+            &with_label(&labels, "tier", "l2"),
+            s.l2_hits,
+        );
+        e.counter("dpc_page_misses_total", &labels, s.misses);
+        e.counter("dpc_page_purges_total", &labels, s.purges);
+        e.counter("dpc_page_evictions_total", &labels, s.evictions);
+        e.counter(
+            "dpc_page_stale_evictions_total",
+            &with_label(&labels, "tier", "l1"),
+            s.l1_stale_evictions,
+        );
+        e.counter(
+            "dpc_page_stale_evictions_total",
+            &with_label(&labels, "tier", "l2"),
+            s.l2_stale_evictions,
+        );
+        e.counter(
+            "dpc_page_admission_rejections_total",
+            &labels,
+            s.admission_rejections,
+        );
+        flight_family(
+            e,
+            &labels,
+            "page_cache",
+            s.flight_leaders,
+            s.coalesced_waits,
+            s.flight_retries,
+        );
+    });
+}
+
+/// The proxy front: serving-path counters, byte accounting, and the
+/// accumulated assembly totals.
+pub fn register_proxy(
+    registry: &Registry,
+    key: impl Into<String>,
+    proxy: Arc<Proxy>,
+    node: Option<u32>,
+) {
+    use std::sync::atomic::Ordering;
+    let node = node.map(|n| n.to_string());
+    registry.register(key, move |e| {
+        let labels = node_labels(&node);
+        let s = proxy.stats();
+        let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+        e.counter("dpc_proxy_requests_total", &labels, load(&s.requests));
+        e.counter("dpc_proxy_assembled_total", &labels, load(&s.assembled));
+        e.counter(
+            "dpc_proxy_bypass_refetches_total",
+            &labels,
+            load(&s.bypass_refetches),
+        );
+        e.counter(
+            "dpc_proxy_peer_fetches_total",
+            &labels,
+            load(&s.peer_fetches),
+        );
+        e.counter(
+            "dpc_proxy_refresh_refetches_total",
+            &labels,
+            load(&s.refresh_refetches),
+        );
+        e.counter(
+            "dpc_proxy_uninstrumented_total",
+            &labels,
+            load(&s.uninstrumented),
+        );
+        e.counter(
+            "dpc_proxy_upstream_errors_total",
+            &labels,
+            load(&s.upstream_errors),
+        );
+        e.counter(
+            "dpc_proxy_delivered_bytes_total",
+            &labels,
+            load(&s.delivered_bytes),
+        );
+        e.counter(
+            "dpc_proxy_origin_bytes_total",
+            &labels,
+            load(&s.origin_bytes),
+        );
+        e.counter("dpc_assembly_gets_total", &labels, load(&s.asm_gets));
+        e.counter("dpc_assembly_sets_total", &labels, load(&s.asm_sets));
+        e.counter(
+            "dpc_assembly_literal_bytes_total",
+            &labels,
+            load(&s.asm_literal_bytes),
+        );
+        e.counter(
+            "dpc_assembly_get_bytes_total",
+            &labels,
+            load(&s.asm_get_bytes),
+        );
+        e.counter(
+            "dpc_assembly_set_bytes_total",
+            &labels,
+            load(&s.asm_set_bytes),
+        );
+        e.counter(
+            "dpc_assembly_template_bytes_total",
+            &labels,
+            load(&s.asm_template_bytes),
+        );
+    });
+}
+
+/// A ring node's peer plane: fetch serving, gossip, scrubs, and the
+/// fetch-side single-flight counters.
+pub fn register_peer(
+    registry: &Registry,
+    key: impl Into<String>,
+    peer: Arc<PeerNode>,
+    node: Option<u32>,
+) {
+    use std::sync::atomic::Ordering;
+    let node = node.map(|n| n.to_string());
+    registry.register(key, move |e| {
+        let labels = node_labels(&node);
+        let s = peer.stats();
+        let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+        e.counter("dpc_peer_fetch_hits_total", &labels, load(&s.fetch_hits));
+        e.counter(
+            "dpc_peer_fetch_misses_total",
+            &labels,
+            load(&s.fetch_misses),
+        );
+        e.counter(
+            "dpc_peer_gossip_served_total",
+            &labels,
+            load(&s.gossip_served),
+        );
+        e.counter(
+            "dpc_peer_events_applied_total",
+            &labels,
+            load(&s.events_applied),
+        );
+        e.counter(
+            "dpc_peer_slots_scrubbed_total",
+            &labels,
+            load(&s.slots_scrubbed),
+        );
+        e.counter(
+            "dpc_peer_events_truncated_total",
+            &labels,
+            load(&s.events_truncated),
+        );
+        flight_family(
+            e,
+            &labels,
+            "peer_fetch",
+            load(&s.fetch_flight_leaders),
+            load(&s.fetch_coalesced_waits),
+            load(&s.fetch_flight_retries),
+        );
+    });
+}
+
+/// An HTTP front's event loops: per-loop connection/request counters plus
+/// the per-outcome request-latency histograms, merged across loops at
+/// scrape time (the loops never share a histogram instance — see
+/// `dpc_http::Server::with_request_metrics`).
+pub fn register_server(
+    registry: &Registry,
+    key: impl Into<String>,
+    server: impl Into<String>,
+    stats: &ServerStats,
+) {
+    let server = server.into();
+    let per_loop: Vec<Arc<LoopStats>> = stats.per_loop().to_vec();
+    let latency: Vec<Arc<OutcomeHistograms>> = stats.latency_per_loop().to_vec();
+    registry.register(key, move |e| {
+        use std::sync::atomic::Ordering;
+        let base = [("server", server.as_str())];
+        for (i, l) in per_loop.iter().enumerate() {
+            let i = i.to_string();
+            let labels = with_label(&base, "loop", &i);
+            let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+            e.counter(
+                "dpc_server_connections_total",
+                &labels,
+                load(&l.connections),
+            );
+            e.counter("dpc_server_requests_total", &labels, load(&l.requests));
+            e.counter(
+                "dpc_server_parse_errors_total",
+                &labels,
+                load(&l.parse_errors),
+            );
+            e.counter("dpc_server_evictions_total", &labels, load(&l.evictions));
+            e.gauge("dpc_server_live_connections", &labels, load(&l.live));
+        }
+        let merged = OutcomeHistograms::merged(&latency);
+        for outcome in Outcome::ALL {
+            let labels = with_label(&base, "outcome", outcome.label());
+            e.histogram("dpc_request_duration_ns", &labels, &merged[outcome.index()]);
+        }
+    });
+}
+
+/// Every wire meter of the simulated network: the Sniffer's byte
+/// attribution (payload vs. wire overhead, packets, messages) per
+/// directional pipe.
+pub fn register_meters(registry: &Registry, key: impl Into<String>, meters: Arc<MeterRegistry>) {
+    registry.register(key, move |e| {
+        for (wire, snap) in meters.snapshot_all() {
+            let labels = [("wire", wire.as_str())];
+            e.counter("dpc_wire_payload_bytes_total", &labels, snap.payload_bytes);
+            e.counter("dpc_wire_bytes_total", &labels, snap.wire_bytes);
+            e.counter("dpc_wire_packets_total", &labels, snap.packets);
+            e.counter("dpc_wire_messages_total", &labels, snap.messages);
+        }
+    });
+}

@@ -36,8 +36,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dpc_cluster::{gossip_exchange, gossip_flush, peer_addr, Membership, PeerNode, PeerServer};
-use dpc_core::{CoherencyEpoch, DpcKey, FragmentSource, FragmentStore, ReplacePolicy};
-use dpc_http::{Client, Request, Response, Status};
+use dpc_core::{Bem, CoherencyEpoch, DpcKey, FragmentSource, FragmentStore, ReplacePolicy};
+use dpc_http::{Client, Method, Request, Response, Status};
+use dpc_metrics::Registry as MetricsRegistry;
 use dpc_net::{Clock, SimConnector, SimNetwork};
 
 use crate::esi::EsiAssembler;
@@ -124,11 +125,36 @@ pub struct RingCluster {
     /// pages) but keeps invalidation O(1) with zero coherence messages
     /// beyond the feed the cluster already gossips.
     coherence: CoherencyEpoch,
+    /// One metrics registry over the whole cluster: every node registers
+    /// its page cache, proxy, and peer adapters at join and unregisters
+    /// them on departure, so `GET /_dpc/metrics` at *any* node (or the
+    /// HTTP front) scrapes the full fleet.
+    registry: Arc<MetricsRegistry>,
+    /// Clock observed by the front's request-latency histograms —
+    /// [`Clock::real`] in [`RingCluster::new`], virtual under
+    /// [`RingCluster::with_clock`] for deterministic latency tests.
+    clock: Clock,
+    /// The origin's BEM, once [`RingCluster::connect_origin`] has run.
+    /// The HTTP `PURGE` + `X-DPC-Dep` admin path needs it to free keys at
+    /// the shared directory.
+    origin_bem: Mutex<Option<Arc<Bem>>>,
 }
 
 impl RingCluster {
     /// Build `n` nodes (ids `0..n`) over `net`.
     pub fn new(net: &Arc<SimNetwork>, n: usize, config: RingConfig) -> RingCluster {
+        Self::with_clock(net, n, config, Clock::real())
+    }
+
+    /// Like [`new`](Self::new), but observing `clock` for request-latency
+    /// histograms and page TTLs — pass a virtual clock for deterministic
+    /// latency tests over [`SimNetwork`].
+    pub fn with_clock(
+        net: &Arc<SimNetwork>,
+        n: usize,
+        config: RingConfig,
+        clock: Clock,
+    ) -> RingCluster {
         assert!((1..=64).contains(&n), "1–64 nodes");
         let cluster = RingCluster {
             net: Arc::clone(net),
@@ -140,11 +166,20 @@ impl RingCluster {
             next_id: Mutex::new(0),
             rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
             coherence: CoherencyEpoch::new(),
+            registry: Arc::new(MetricsRegistry::new()),
+            clock,
+            origin_bem: Mutex::new(None),
         };
         for _ in 0..n {
             cluster.join();
         }
         cluster
+    }
+
+    /// The cluster-wide metrics registry (the one `GET /_dpc/metrics`
+    /// renders at every node and at the HTTP front).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Node ids currently alive, sorted.
@@ -228,7 +263,7 @@ impl RingCluster {
             shared: Arc::clone(&self.shared),
             connector: self.net.connector(),
         });
-        let clock = Clock::real();
+        let clock = self.clock.clone();
         let page_cache = PageCache::with_policy(
             clock.clone(),
             Duration::from_secs(60),
@@ -246,11 +281,33 @@ impl RingCluster {
             None,
         )
         .with_node(id)
+        .with_metrics(Arc::clone(&self.registry))
         .with_fragment_source(fetcher);
         if self.config.l1_budget_bytes > 0 {
             proxy = proxy.with_page_tier();
         }
         let proxy = Arc::new(proxy);
+        // Keyed registration replaces whatever a departed incarnation of a
+        // recycled id left behind, so the scrape never mixes two
+        // incarnations of `node="N"`.
+        crate::metrics::register_page_cache(
+            &self.registry,
+            format!("node{id}/page_cache"),
+            Arc::clone(proxy.page_cache()),
+            Some(id),
+        );
+        crate::metrics::register_proxy(
+            &self.registry,
+            format!("node{id}/proxy"),
+            Arc::clone(&proxy),
+            Some(id),
+        );
+        crate::metrics::register_peer(
+            &self.registry,
+            format!("node{id}/peer"),
+            Arc::clone(&peer),
+            Some(id),
+        );
         // Catch the feed up from a survivor *before* going on the ring, so
         // a converged cluster stays converged through the join — and so a
         // recycled id resumes its predecessor's event sequence instead of
@@ -313,6 +370,12 @@ impl RingCluster {
         if let Some(mut node) = self.nodes.lock().remove(&id) {
             node.server.stop();
         }
+        // A departed node must stop appearing in scrapes immediately —
+        // its counters are frozen and its `node="N"` label would collide
+        // with a recycled incarnation's.
+        self.registry.unregister(&format!("node{id}/page_cache"));
+        self.registry.unregister(&format!("node{id}/proxy"));
+        self.registry.unregister(&format!("node{id}/peer"));
         // Forget the departed incarnation's advertised vectors everywhere:
         // a recycled id must re-advertise before it counts toward any
         // truncation watermark again (the dead incarnation's vector could
@@ -347,7 +410,22 @@ impl RingCluster {
     }
 
     /// Serve one request through ring routing.
+    ///
+    /// Two admin paths bypass routing: `GET /_dpc/metrics` renders the
+    /// cluster-wide registry (any node's proxy would render the same
+    /// registry, but the scrape must not depend on ring ownership of the
+    /// metrics path), and `PURGE` + `X-DPC-Dep` runs the ring-wide
+    /// gossiped dependency purge.
     pub fn serve(&self, req: Request) -> Response {
+        if req.method == Method::Get && req.path() == "/_dpc/metrics" {
+            return Response::html(self.registry.render())
+                .with_header("Content-Type", "text/plain; version=0.0.4");
+        }
+        if req.method == Method::Purge {
+            if let Some(dep) = req.headers.get("X-DPC-Dep") {
+                return self.purge_dep(dep);
+            }
+        }
         let Some(owner) = self.owner_of(&req.target) else {
             return Response::error(Status(503), "no alive cluster nodes");
         };
@@ -383,7 +461,8 @@ impl RingCluster {
             .with_config(dpc_http::server::ServerConfig {
                 workers: self.config.front_workers,
             })
-            .with_loops(self.config.loops);
+            .with_loops(self.config.loops)
+            .with_request_metrics(self.clock.clone());
         if self.config.l1_budget_bytes > 0 {
             // Each event loop gets a private L1 over a membership-routing
             // resolver: an L1 miss probes the ring owner's page cache (L2)
@@ -403,7 +482,14 @@ impl RingCluster {
                 resolve,
             ));
         }
-        server.spawn()
+        let handle = server.spawn();
+        crate::metrics::register_server(
+            &self.registry,
+            format!("front/{addr}"),
+            addr,
+            handle.stats(),
+        );
+        handle
     }
 
     /// Cluster-level invalidation, issued *at* node `at_node`: free the
@@ -421,6 +507,33 @@ impl RingCluster {
         n
     }
 
+    /// The HTTP admin form of [`invalidate_dep`](Self::invalidate_dep):
+    /// free the dependency's keys at the first alive node, gossip to
+    /// convergence (bounded, best-effort — an unconverged cluster still
+    /// self-heals on later rounds), and report the freed-key count the
+    /// same way a single-node front's purge does.
+    fn purge_dep(&self, dep: &str) -> Response {
+        let Some(bem) = self.origin_bem.lock().clone() else {
+            return Response::error(
+                Status(501),
+                "dependency purge needs connect_origin on this cluster",
+            );
+        };
+        let Some(at) = self.alive().first().copied() else {
+            return Response::error(Status(503), "no alive cluster nodes");
+        };
+        let freed = self.invalidate_dep(&bem, at, dep);
+        for _ in 0..8 {
+            if self.converged() {
+                break;
+            }
+            self.gossip_round();
+        }
+        Response::html(format!("purged {freed} keys"))
+            .with_header("X-Cache", "purged")
+            .with_header("X-DPC-Purged-Keys", freed.to_string())
+    }
+
     /// Bridge the origin's invalidation path into the feed: installs an
     /// [`dpc_core::InvalidationSink`] on `bem`, so data-source updates
     /// arriving through the origin's update bus (`Bem::on_data_update`)
@@ -430,7 +543,9 @@ impl RingCluster {
     /// leaving the cross-node reassignment hazard open on the standard
     /// path. Events are dropped only when no node is alive (there is no
     /// feed to record into — and no store holding stale slots to protect).
-    pub fn connect_origin(self: &Arc<Self>, bem: &dpc_core::Bem) {
+    pub fn connect_origin(self: &Arc<Self>, bem: &Arc<dpc_core::Bem>) {
+        *self.origin_bem.lock() = Some(Arc::clone(bem));
+        crate::metrics::register_bem(&self.registry, "origin/bem", Arc::clone(bem), None);
         let weak = Arc::downgrade(self);
         bem.set_invalidation_sink(Arc::new(move |dep, keys| {
             let Some(cluster) = weak.upgrade() else {

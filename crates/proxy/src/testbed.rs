@@ -27,6 +27,8 @@ use dpc_repository::Repository;
 use std::sync::Arc;
 use std::time::Duration;
 
+use dpc_metrics::Registry as MetricsRegistry;
+
 use crate::esi::{EsiAssembler, EsiTemplate};
 use crate::front::Proxy;
 use crate::l1::{L2Resolver, LoopTier};
@@ -85,6 +87,12 @@ pub struct TestbedConfig {
     /// byte-budgeted store whose `replace` policy evicts cold slots to
     /// admit new fragments.
     pub node_budget_bytes: Option<usize>,
+    /// Observability: build a metrics registry over every subsystem, serve
+    /// `GET /_dpc/metrics` on the proxy front, and record per-outcome
+    /// request-latency histograms on its event loops. On by default; the
+    /// bench harness turns it off to measure the instrumentation's own
+    /// overhead.
+    pub metrics: bool,
 }
 
 impl Default for TestbedConfig {
@@ -108,6 +116,7 @@ impl Default for TestbedConfig {
             shards: dpc_core::DEFAULT_SHARDS,
             l1_budget_bytes: 0,
             node_budget_bytes: None,
+            metrics: true,
         }
     }
 }
@@ -123,6 +132,7 @@ pub struct Testbed {
     client: Client,
     origin_server: ServerHandle,
     proxy_server: ServerHandle,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Testbed {
@@ -179,13 +189,16 @@ impl Testbed {
         });
         let tier_on = config.l1_budget_bytes > 0 && config.mode == ProxyMode::Dpc;
         let mut page_cache = PageCache::new(clock.clone(), config.page_cache_ttl, config.capacity);
-        if tier_on {
-            // One epoch covers the whole node: any origin data update bumps
-            // it, so every stamped page (L2 entry or loop-local L1 copy)
-            // self-evicts on its next touch. Coarse, but the invalidation
-            // path stays O(1) and never enumerates sessions or loops.
-            let epoch = CoherencyEpoch::new();
+        // One epoch covers the whole node: any origin data update bumps
+        // it, so every stamped page (L2 entry or loop-local L1 copy)
+        // self-evicts on its next touch. Coarse, but the invalidation
+        // path stays O(1) and never enumerates sessions or loops. The
+        // admin dependency purge (`PURGE` + `X-DPC-Dep`) bumps the same
+        // epoch, so it also kills session-qualified tiered pages.
+        let epoch = tier_on.then(CoherencyEpoch::new);
+        if let Some(epoch) = &epoch {
             page_cache = page_cache.with_coherence(epoch.clone());
+            let epoch = epoch.clone();
             repo.bus().subscribe(move |_dep| {
                 epoch.bump();
             });
@@ -207,6 +220,23 @@ impl Testbed {
         if tier_on {
             proxy = proxy.with_page_tier();
         }
+        let metrics = config.metrics.then(|| Arc::new(MetricsRegistry::new()));
+        if let Some(metrics) = &metrics {
+            proxy = proxy.with_metrics(Arc::clone(metrics));
+        }
+        // Admin purge-by-dependency: free every directory key registered
+        // under the dependency and bump the coherence epoch so tiered
+        // session pages built from those fragments stop serving too.
+        proxy = proxy.with_dep_purger({
+            let bem = Arc::clone(&bem);
+            Arc::new(move |dep: &str| {
+                let freed = bem.directory().invalidate_dep_keys(dep).len();
+                if let Some(epoch) = &epoch {
+                    epoch.bump();
+                }
+                freed
+            })
+        });
         let proxy = Arc::new(proxy);
         let mut proxy_server = Server::new(Box::new(net.listen(PROXY_ADDR)), {
             let proxy = Arc::clone(&proxy);
@@ -216,6 +246,9 @@ impl Testbed {
             workers: config.workers,
         })
         .with_loops(config.loops);
+        if config.metrics {
+            proxy_server = proxy_server.with_request_metrics(clock.clone());
+        }
         if tier_on {
             let resolve: L2Resolver = {
                 let page_cache = Arc::clone(&page_cache);
@@ -229,6 +262,15 @@ impl Testbed {
         }
         let proxy_server = proxy_server.spawn();
 
+        if let Some(reg) = &metrics {
+            crate::metrics::register_bem(reg, "bem", Arc::clone(&bem), None);
+            crate::metrics::register_page_cache(reg, "page_cache", Arc::clone(&page_cache), None);
+            crate::metrics::register_proxy(reg, "proxy", Arc::clone(&proxy), None);
+            crate::metrics::register_server(reg, "server-proxy", "proxy", proxy_server.stats());
+            crate::metrics::register_server(reg, "server-origin", "origin", origin_server.stats());
+            crate::metrics::register_meters(reg, "meters", Arc::clone(&registry));
+        }
+
         let client = Client::new(Arc::new(net.connector()));
         Testbed {
             config,
@@ -240,6 +282,7 @@ impl Testbed {
             client,
             origin_server,
             proxy_server,
+            metrics,
         }
     }
 
@@ -262,6 +305,14 @@ impl Testbed {
     /// The simulated network (for extra clients).
     pub fn net(&self) -> &Arc<SimNetwork> {
         &self.net
+    }
+
+    /// The unified metrics registry, when [`TestbedConfig::metrics`] is on.
+    ///
+    /// The same registry backs `GET /_dpc/metrics` on the proxy front;
+    /// this accessor lets tests and benches scrape without a socket.
+    pub fn metrics_registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
     }
 
     /// Virtual-clock handle (advance time to expire TTLs).

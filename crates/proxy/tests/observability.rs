@@ -1,0 +1,476 @@
+//! End-to-end observability: the `/_dpc/metrics` exposition and the
+//! `X-DPC-Trace` cache-journey header, exercised over the simulated wire
+//! exactly as an operator would use them.
+//!
+//! * Trace attribution — one request sequence walks the whole tier
+//!   ladder (assembled miss → L2 hit → L1 hit) on the testbed front, and
+//!   a post-join request on the ring cluster attributes its peer-fetch.
+//! * Scrapes — after real traffic, the testbed front and a ring node
+//!   both expose every metric family with nonzero counts, including the
+//!   per-outcome request-latency histograms.
+//! * Purge-by-dependency — `PURGE` + `X-DPC-Dep` frees the dependency's
+//!   keys, reports the count, and on the ring converges the event to
+//!   every node before answering.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dpc_appserver::apps::paper_site::{self, PaperSiteParams};
+use dpc_http::{Client, Method, Request, Response};
+use dpc_proxy::l1::PROMOTE_AFTER;
+use dpc_proxy::testbed::{Testbed, TestbedConfig, PROXY_ADDR};
+use dpc_proxy::{ProxyMode, RingCluster, RingConfig};
+
+fn params() -> PaperSiteParams {
+    PaperSiteParams {
+        pages: 12,
+        fragment_bytes: 512,
+        cacheability: 1.0,
+        ..PaperSiteParams::default()
+    }
+}
+
+fn page(p: usize) -> String {
+    format!("/paper/page.jsp?p={p}")
+}
+
+/// Parse the `k=v` pairs of an `X-DPC-Trace` response header.
+fn trace_kv(resp: &Response) -> HashMap<String, String> {
+    resp.headers
+        .get("X-DPC-Trace")
+        .expect("traced response carries X-DPC-Trace")
+        .split(' ')
+        .map(|pair| {
+            let (k, v) = pair.split_once('=').expect("trace pairs are k=v");
+            (k.to_owned(), v.to_owned())
+        })
+        .collect()
+}
+
+/// Sum every sample of family `name` whose label set contains all of
+/// `labels`, across an exposition body. Exact family-name match (a query
+/// for `_count` never matches `_bucket` lines).
+fn metric_sum(body: &str, name: &str, labels: &[(&str, &str)]) -> f64 {
+    let mut sum = 0.0;
+    let mut seen = false;
+    for line in body.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix(name) else {
+            continue;
+        };
+        let (label_part, value) = match rest.split_once(' ') {
+            Some(("", v)) => ("", v),
+            Some((l, v)) if l.starts_with('{') => (l, v),
+            _ => continue,
+        };
+        if !labels
+            .iter()
+            .all(|(k, v)| label_part.contains(&format!("{k}=\"{v}\"")))
+        {
+            continue;
+        }
+        seen = true;
+        sum += value.parse::<f64>().expect("sample value parses");
+    }
+    assert!(seen, "no samples of {name} with {labels:?} in exposition");
+    sum
+}
+
+fn traced_get(target: &str) -> Request {
+    Request::get(target).with_header("X-DPC-Trace", "1")
+}
+
+#[test]
+fn trace_walks_the_tier_ladder_on_the_testbed_front() {
+    let tb = Testbed::build(TestbedConfig {
+        mode: ProxyMode::Dpc,
+        paper_params: params(),
+        l1_budget_bytes: 1 << 20,
+        ..TestbedConfig::default()
+    });
+    let client = Client::new(Arc::new(tb.net().connector()));
+    let get = || client.request(PROXY_ADDR, traced_get(&page(3))).unwrap();
+
+    // First serve assembles from fragments.
+    let first = get();
+    let t = trace_kv(&first);
+    assert_eq!(t["tier"], "assembled");
+    assert_eq!(t["flight"], "none");
+    assert!(t["segments"].parse::<usize>().unwrap() >= 1);
+
+    // The next PROMOTE_AFTER serves hit the shared L2 page; the one after
+    // is loop-local L1. The tier's trace is written by the loop cache
+    // (the handler never runs), so shard reports the event loop index.
+    for i in 0..PROMOTE_AFTER {
+        let t = trace_kv(&get());
+        assert_eq!(t["tier"], "l2", "serve {i} after assembly");
+        assert_eq!(t["shard"], "0");
+    }
+    let t = trace_kv(&get());
+    assert_eq!(t["tier"], "l1");
+    assert_eq!(t["flight"], "none");
+    assert_eq!(t["shard"], "0");
+
+    // Untraced requests stay clean: no header unless asked for.
+    let plain = client.request(PROXY_ADDR, Request::get(page(3))).unwrap();
+    assert!(plain.headers.get("X-DPC-Trace").is_none());
+}
+
+#[test]
+fn trace_attributes_peer_fetch_after_a_ring_join() {
+    let tb = Testbed::build(TestbedConfig {
+        mode: ProxyMode::Dpc,
+        paper_params: params(),
+        ..TestbedConfig::default()
+    });
+    let cluster = RingCluster::new(tb.net(), 3, RingConfig::default());
+    // Warm every node's share so a joiner has warm donors.
+    for _ in 0..2 {
+        for p in 0..12 {
+            let _ = cluster.get(&page(p), None);
+        }
+    }
+    let newcomer = cluster.join();
+    let taken: Vec<usize> = (0..12)
+        .filter(|p| cluster.owner_of(&page(*p)) == Some(newcomer))
+        .collect();
+    assert!(!taken.is_empty(), "newcomer owns some of 12 pages");
+
+    let resp = cluster.serve(traced_get(&page(taken[0])));
+    assert_eq!(resp.status.0, 200);
+    assert!(
+        resp.headers
+            .get("X-DPC-Peer-Fetched")
+            .unwrap()
+            .parse::<u32>()
+            .unwrap()
+            >= 1,
+        "first serve at the joiner pulls from the donor"
+    );
+    let t = trace_kv(&resp);
+    assert_eq!(t["tier"], "peer");
+    assert_eq!(t["shard"], newcomer.to_string());
+
+    // Once the handoff is done, the same page serves locally.
+    let again = cluster.serve(traced_get(&page(taken[0])));
+    assert_ne!(trace_kv(&again)["tier"], "peer");
+}
+
+#[test]
+fn metrics_scrape_on_the_testbed_front_has_every_family_nonzero() {
+    let tb = Testbed::build(TestbedConfig {
+        mode: ProxyMode::Dpc,
+        paper_params: params(),
+        l1_budget_bytes: 1 << 20,
+        ..TestbedConfig::default()
+    });
+    let client = Client::new(Arc::new(tb.net().connector()));
+    for round in 0..6 {
+        for p in 0..6 {
+            let resp = client.request(PROXY_ADDR, Request::get(page(p))).unwrap();
+            assert_eq!(resp.status.0, 200, "round {round} page {p}");
+        }
+    }
+    // A session-qualified pass reassembles each page from the now-warm
+    // fragment directory (the page tier keys by session, the fragments
+    // do not) — this is what drives directory *hits* rather than misses.
+    for p in 0..6 {
+        let req = Request::get(page(p)).with_header("Cookie", "session=scraper");
+        assert_eq!(client.request(PROXY_ADDR, req).unwrap().status.0, 200);
+    }
+
+    let scrape = client
+        .request(PROXY_ADDR, Request::get("/_dpc/metrics"))
+        .unwrap();
+    assert_eq!(scrape.status.0, 200);
+    assert_eq!(
+        scrape.headers.get("Content-Type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let body = std::str::from_utf8(&scrape.body.to_vec())
+        .unwrap()
+        .to_owned();
+
+    // Every layer's family is present with traffic-driven counts.
+    assert!(metric_sum(&body, "dpc_bem_fragments_total", &[]) > 0.0);
+    assert!(metric_sum(&body, "dpc_directory_hits_total", &[]) > 0.0);
+    assert!(metric_sum(&body, "dpc_page_hits_total", &[("tier", "l2")]) > 0.0);
+    assert!(metric_sum(&body, "dpc_page_hits_total", &[("tier", "l1")]) > 0.0);
+    assert!(metric_sum(&body, "dpc_proxy_requests_total", &[]) > 0.0);
+    assert!(metric_sum(&body, "dpc_assembly_gets_total", &[]) > 0.0);
+    assert!(metric_sum(&body, "dpc_flight_leaders_total", &[("source", "bem")]) >= 0.0);
+    assert!(metric_sum(&body, "dpc_server_requests_total", &[("server", "proxy")]) > 0.0);
+    assert!(metric_sum(&body, "dpc_server_requests_total", &[("server", "origin")]) > 0.0);
+    assert!(metric_sum(&body, "dpc_wire_bytes_total", &[]) > 0.0);
+
+    // Per-outcome latency histograms: the first serves assembled, the
+    // repeats hit the page tier; both outcomes have counted samples and
+    // sums, and the bucket pipeline is visible end to end.
+    let assembled = metric_sum(
+        &body,
+        "dpc_request_duration_ns_count",
+        &[("server", "proxy"), ("outcome", "assembled")],
+    );
+    let tiered = metric_sum(
+        &body,
+        "dpc_request_duration_ns_count",
+        &[("server", "proxy"), ("outcome", "l1_hit")],
+    ) + metric_sum(
+        &body,
+        "dpc_request_duration_ns_count",
+        &[("server", "proxy"), ("outcome", "l2_hit")],
+    );
+    assert_eq!(
+        assembled, 12.0,
+        "one assembly per distinct (page, session) pair"
+    );
+    assert_eq!(tiered, 30.0, "every repeat serve is a tier hit");
+    // The `_sum` is present but zero here: the testbed's virtual clock
+    // only moves when a test advances it, and these serves complete
+    // synchronously. (Nonzero, exact durations are pinned by the
+    // dpc-http virtual-clock latency test.)
+    assert!(
+        metric_sum(
+            &body,
+            "dpc_request_duration_ns_sum",
+            &[("server", "proxy"), ("outcome", "assembled")],
+        ) >= 0.0
+    );
+
+    // A second scrape sees the scrape itself: counters moved, never back.
+    let scrape2 = client
+        .request(PROXY_ADDR, Request::get("/_dpc/metrics"))
+        .unwrap();
+    let body2 = std::str::from_utf8(&scrape2.body.to_vec())
+        .unwrap()
+        .to_owned();
+    assert!(
+        metric_sum(&body2, "dpc_proxy_requests_total", &[])
+            > metric_sum(&body, "dpc_proxy_requests_total", &[]),
+        "the scrape request itself is counted"
+    );
+}
+
+#[test]
+fn metrics_scrape_covers_the_whole_ring_and_serves_at_any_node() {
+    let tb = Testbed::build(TestbedConfig {
+        mode: ProxyMode::Dpc,
+        paper_params: params(),
+        ..TestbedConfig::default()
+    });
+    let cluster = Arc::new(RingCluster::new(
+        tb.net(),
+        3,
+        RingConfig {
+            l1_budget_bytes: 1 << 20,
+            ..RingConfig::default()
+        },
+    ));
+    cluster.connect_origin(tb.engine().bem());
+    let _front = cluster.spawn_front("obs-front");
+    let client = Client::new(Arc::new(tb.net().connector()));
+    for _ in 0..3 {
+        for p in 0..12 {
+            let resp = client.request("obs-front", Request::get(page(p))).unwrap();
+            assert_eq!(resp.status.0, 200);
+        }
+    }
+    // A join forces peer-fetch handoff, so the peer family has traffic.
+    let newcomer = cluster.join();
+    for p in 0..12 {
+        let _ = client.request("obs-front", Request::get(page(p))).unwrap();
+    }
+
+    let scrape = client
+        .request("obs-front", Request::get("/_dpc/metrics"))
+        .unwrap();
+    assert_eq!(scrape.status.0, 200);
+    let body = std::str::from_utf8(&scrape.body.to_vec())
+        .unwrap()
+        .to_owned();
+
+    // One scrape covers the fleet: per-node proxies, the shared page
+    // tier, the peer-fetch path, the origin BEM, and the front's own
+    // request-latency histograms.
+    for id in cluster.alive() {
+        let node = id.to_string();
+        assert!(
+            metric_sum(
+                &body,
+                "dpc_proxy_requests_total",
+                &[("node", node.as_str())]
+            ) >= 0.0,
+            "node {id} is scraped"
+        );
+    }
+    assert!(metric_sum(&body, "dpc_peer_fetch_hits_total", &[]) > 0.0);
+    assert!(metric_sum(&body, "dpc_page_hits_total", &[]) > 0.0);
+    assert!(metric_sum(&body, "dpc_bem_fragments_total", &[]) > 0.0);
+    assert!(
+        metric_sum(
+            &body,
+            "dpc_server_requests_total",
+            &[("server", "obs-front")]
+        ) > 0.0
+    );
+    assert!(
+        metric_sum(
+            &body,
+            "dpc_request_duration_ns_count",
+            &[("server", "obs-front")],
+        ) > 0.0
+    );
+    let fetched = metric_sum(
+        &body,
+        "dpc_proxy_peer_fetches_total",
+        &[("node", newcomer.to_string().as_str())],
+    );
+    assert!(fetched > 0.0, "the joiner's handoff shows under its label");
+
+    // The same registry serves at any node directly — no front required.
+    let at_node = cluster
+        .proxy(cluster.alive()[0])
+        .unwrap()
+        .serve(Request::get("/_dpc/metrics"));
+    assert_eq!(at_node.status.0, 200);
+    let node_body = std::str::from_utf8(&at_node.body.to_vec())
+        .unwrap()
+        .to_owned();
+    assert!(metric_sum(&node_body, "dpc_peer_fetch_hits_total", &[]) > 0.0);
+
+    // Departed nodes leave the scrape immediately.
+    assert!(cluster.fail(newcomer));
+    let scrape = client
+        .request("obs-front", Request::get("/_dpc/metrics"))
+        .unwrap();
+    let body = std::str::from_utf8(&scrape.body.to_vec())
+        .unwrap()
+        .to_owned();
+    assert!(
+        !body.contains(&format!("node=\"{newcomer}\"")),
+        "failed node must vanish from the exposition"
+    );
+}
+
+#[test]
+fn purge_by_dependency_reports_freed_keys_and_unserves_the_tier() {
+    let tb = Testbed::build(TestbedConfig {
+        mode: ProxyMode::Dpc,
+        paper_params: params(),
+        l1_budget_bytes: 1 << 20,
+        ..TestbedConfig::default()
+    });
+    let client = Client::new(Arc::new(tb.net().connector()));
+    // Warm page 5 into the page tier.
+    for _ in 0..(PROMOTE_AFTER as usize + 2) {
+        let resp = client.request(PROXY_ADDR, Request::get(page(5))).unwrap();
+        assert_eq!(resp.status.0, 200);
+    }
+    let before = client
+        .request(PROXY_ADDR, Request::get(page(5)))
+        .unwrap()
+        .body
+        .to_vec();
+
+    // Content changes behind the cache (seed does not fire the update
+    // bus, so the admin purge is the only invalidation path here).
+    let frag_key = paper_site::fragment_key(5, 0);
+    let v = tb
+        .engine()
+        .repo()
+        .get("paper", &frag_key)
+        .value
+        .expect("seeded row")
+        .int("version");
+    tb.engine().repo().seed(
+        "paper",
+        &frag_key,
+        dpc_repository::Row::new().with("version", v + 1),
+    );
+
+    let mut purge = traced_get("/paper/page.jsp?p=5");
+    purge.method = Method::Purge;
+    purge.headers.set("X-DPC-Dep", format!("paper/{frag_key}"));
+    let resp = client.request(PROXY_ADDR, purge).unwrap();
+    assert_eq!(resp.status.0, 200);
+    assert_eq!(resp.headers.get("X-DPC-Purged-Keys"), Some("1"));
+    assert_eq!(resp.body.to_vec(), b"purged 1 keys");
+    assert_eq!(trace_kv(&resp)["tier"], "purge");
+
+    // The freed fragment regenerates AND the stamped page tier entries
+    // (L2 + loop L1) self-evict via the epoch bump — no stale replay.
+    let after = client
+        .request(PROXY_ADDR, Request::get(page(5)))
+        .unwrap()
+        .body
+        .to_vec();
+    assert_ne!(after, before, "post-purge serve must regenerate");
+
+    // Without the dependency header a PURGE of an uncached target still
+    // 404s — the admin path did not swallow the classic purge.
+    let mut bare = Request::get("/never-seen");
+    bare.method = Method::Purge;
+    let resp = client.request(PROXY_ADDR, bare).unwrap();
+    assert_eq!(resp.status.0, 404);
+}
+
+#[test]
+fn ring_purge_by_dependency_gossips_to_every_node() {
+    let tb = Testbed::build(TestbedConfig {
+        mode: ProxyMode::Dpc,
+        paper_params: params(),
+        ..TestbedConfig::default()
+    });
+    let cluster = Arc::new(RingCluster::new(tb.net(), 4, RingConfig::default()));
+    let _front = cluster.spawn_front("purge-front");
+    let client = Client::new(Arc::new(tb.net().connector()));
+    for p in 0..12 {
+        let _ = client
+            .request("purge-front", Request::get(page(p)))
+            .unwrap();
+    }
+    let before = cluster.get(&page(5), None).body.to_vec();
+
+    let frag_key = paper_site::fragment_key(5, 0);
+    let v = tb
+        .engine()
+        .repo()
+        .get("paper", &frag_key)
+        .value
+        .expect("seeded row")
+        .int("version");
+    tb.engine().repo().seed(
+        "paper",
+        &frag_key,
+        dpc_repository::Row::new().with("version", v + 1),
+    );
+
+    // Purge before connect_origin is a clean 501, not a silent no-op.
+    let mut purge = Request::get(page(5));
+    purge.method = Method::Purge;
+    purge.headers.set("X-DPC-Dep", format!("paper/{frag_key}"));
+    let resp = client.request("purge-front", purge.clone()).unwrap();
+    assert_eq!(resp.status.0, 501);
+
+    cluster.connect_origin(tb.engine().bem());
+    let resp = client.request("purge-front", purge).unwrap();
+    assert_eq!(resp.status.0, 200);
+    assert_eq!(resp.headers.get("X-DPC-Purged-Keys"), Some("1"));
+    assert_eq!(resp.headers.get("X-Cache"), Some("purged"));
+
+    // The purge converged the feed before answering: every node applied
+    // the issuing node's event, and none can serve the stale bytes.
+    let issuer = cluster.alive()[0];
+    assert!(cluster.converged(), "purge must gossip to convergence");
+    for id in cluster.alive() {
+        assert!(
+            cluster.peer(id).unwrap().vv().get(issuer) >= 1,
+            "node {id} missed the purge event"
+        );
+        let resp = cluster.proxy(id).unwrap().serve(Request::get(page(5)));
+        assert_eq!(resp.status.0, 200);
+        assert_ne!(resp.body.to_vec(), before, "node {id} served stale bytes");
+    }
+}

@@ -52,6 +52,7 @@ pub use dpc_cluster as cluster;
 pub use dpc_core as core;
 pub use dpc_firewall as firewall;
 pub use dpc_http as http;
+pub use dpc_metrics as metrics;
 pub use dpc_model as model;
 pub use dpc_net as net;
 pub use dpc_policy as policy;
