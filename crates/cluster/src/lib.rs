@@ -36,8 +36,8 @@ pub mod version;
 pub use feed::{FeedEvent, InvalidationFeed};
 pub use membership::{Membership, NodeState};
 pub use peer::{
-    gossip_exchange, gossip_flush, peer_addr, peer_fetch, GossipOutcome, PeerNode, PeerServer,
-    PeerStats,
+    gossip_exchange, gossip_flush, peer_addr, peer_fetch, peer_fetch_conditional, GossipOutcome,
+    PeerFetch, PeerNode, PeerServer, PeerStats,
 };
 pub use ring::{HashRing, DEFAULT_VNODES};
 pub use version::VersionVector;

@@ -67,6 +67,12 @@ pub struct PeerStats {
     pub fetch_hits: AtomicU64,
     /// Fetches answered "don't have it" (same once-per-wire-fetch rule).
     pub fetch_misses: AtomicU64,
+    /// Conditional fetches answered hash-only: the requester's `known`
+    /// identity matched the slot, so no body moved. Counted *instead of*
+    /// a hit — `fetch_hits + fetch_misses` stays exactly the number of
+    /// wire fetches that moved (or would have moved) a body, preserving
+    /// the once-per-wire-fetch coalescing contract.
+    pub fetch_not_modified: AtomicU64,
     /// Outbound fetches this node led on the wire.
     pub fetch_flight_leaders: AtomicU64,
     /// Outbound fetches served by parking on a concurrent leader's wire
@@ -343,15 +349,32 @@ impl PeerNode {
     fn serve_conn(&self, stream: &mut (impl io::Read + io::Write)) -> io::Result<()> {
         while let Some(frame) = ClusterFrame::read_from(stream)? {
             match frame {
-                ClusterFrame::FetchReq { key } => {
-                    let slot = self.store.get(DpcKey(key));
-                    match &slot {
-                        Some(_) => self.stats.fetch_hits.fetch_add(1, Ordering::Relaxed),
-                        None => self.stats.fetch_misses.fetch_add(1, Ordering::Relaxed),
-                    };
-                    let resp = ClusterFrame::FetchResp {
-                        hit: slot.is_some(),
-                        body: slot.map(|b| b.to_vec()).unwrap_or_default(),
+                ClusterFrame::FetchReq { key, known } => {
+                    // Exactly one of {hit, miss, not_modified} per wire
+                    // fetch: the donor-side meter counts bodies moved
+                    // (hits), empty answers (misses), and hash-only
+                    // revalidations (not_modified) disjointly.
+                    let resp = match self.store.get(DpcKey(key)) {
+                        Some(body) if known != 0 && dpc_core::fnv1a(&body) == known => {
+                            self.stats
+                                .fetch_not_modified
+                                .fetch_add(1, Ordering::Relaxed);
+                            ClusterFrame::FetchNotModified { hash: known }
+                        }
+                        Some(body) => {
+                            self.stats.fetch_hits.fetch_add(1, Ordering::Relaxed);
+                            ClusterFrame::FetchResp {
+                                hit: true,
+                                body: body.to_vec(),
+                            }
+                        }
+                        None => {
+                            self.stats.fetch_misses.fetch_add(1, Ordering::Relaxed);
+                            ClusterFrame::FetchResp {
+                                hit: false,
+                                body: Vec::new(),
+                            }
+                        }
                     };
                     resp.write_to(stream)?;
                 }
@@ -405,10 +428,10 @@ impl PeerNode {
                     }
                     .write_to(stream)?;
                 }
-                ClusterFrame::FetchResp { .. } => {
+                ClusterFrame::FetchResp { .. } | ClusterFrame::FetchNotModified { .. } => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        "unexpected FetchResp on server side",
+                        "unexpected fetch answer on server side",
                     ));
                 }
             }
@@ -471,17 +494,52 @@ impl Drop for PeerServer {
     }
 }
 
+/// How a conditional peer fetch ([`peer_fetch_conditional`]) resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerFetch {
+    /// The donor shipped the slot's bytes.
+    Fetched(Bytes),
+    /// The requester's `known` hash matched the donor's slot: its local
+    /// bytes are current and only the hash crossed the wire.
+    NotModified,
+    /// The donor's slot is empty.
+    Miss,
+}
+
 /// Fetch one slot from the peer service at `addr`. `Ok(None)` = the peer
 /// answered but has nothing; `Err` = could not reach/speak to the peer.
 pub fn peer_fetch(connector: &dyn Connector, addr: &str, key: DpcKey) -> io::Result<Option<Bytes>> {
+    match peer_fetch_conditional(connector, addr, key, 0)? {
+        PeerFetch::Fetched(bytes) => Ok(Some(bytes)),
+        // known == 0 means unconditional: the donor can never answer
+        // NotModified, so this arm only covers Miss.
+        _ => Ok(None),
+    }
+}
+
+/// Conditionally fetch one slot: `known` is the FNV-1a identity of the
+/// bytes the requester already holds (`0` = fetch unconditionally). A
+/// donor whose slot matches answers with the hash alone —
+/// [`PeerFetch::NotModified`] — and the body never crosses the wire.
+pub fn peer_fetch_conditional(
+    connector: &dyn Connector,
+    addr: &str,
+    key: DpcKey,
+    known: u64,
+) -> io::Result<PeerFetch> {
     let mut stream = connector.connect(addr)?;
-    ClusterFrame::FetchReq { key: key.0 }.write_to(&mut stream)?;
+    ClusterFrame::FetchReq { key: key.0, known }.write_to(&mut stream)?;
     match ClusterFrame::read_from(&mut stream)? {
-        Some(ClusterFrame::FetchResp { hit: true, body }) => Ok(Some(Bytes::from(body))),
-        Some(ClusterFrame::FetchResp { hit: false, .. }) => Ok(None),
+        Some(ClusterFrame::FetchResp { hit: true, body }) => {
+            Ok(PeerFetch::Fetched(Bytes::from(body)))
+        }
+        Some(ClusterFrame::FetchResp { hit: false, .. }) => Ok(PeerFetch::Miss),
+        Some(ClusterFrame::FetchNotModified { hash }) if known != 0 && hash == known => {
+            Ok(PeerFetch::NotModified)
+        }
         other => Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("expected FetchResp, got {other:?}"),
+            format!("expected fetch answer, got {other:?}"),
         )),
     }
 }
@@ -597,6 +655,35 @@ mod tests {
         assert_eq!(peer_fetch(&conn, &peer_addr(0), DpcKey(8)).unwrap(), None);
         assert_eq!(node.stats().fetch_hits.load(Ordering::Relaxed), 1);
         assert_eq!(node.stats().fetch_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn conditional_fetch_revalidates_without_moving_bytes() {
+        let (net, nodes) = world(&[0]);
+        let (donor, _server) = &nodes[0];
+        donor.store.set(DpcKey(7), Bytes::from_static(b"fragment"));
+        let conn = net.connector();
+        let hash = dpc_core::fnv1a(b"fragment");
+        // Matching identity: hash-only answer, no body on the wire.
+        assert_eq!(
+            peer_fetch_conditional(&conn, &peer_addr(0), DpcKey(7), hash).unwrap(),
+            PeerFetch::NotModified
+        );
+        // Outdated identity: the donor ships the current bytes.
+        assert_eq!(
+            peer_fetch_conditional(&conn, &peer_addr(0), DpcKey(7), hash ^ 1).unwrap(),
+            PeerFetch::Fetched(Bytes::from_static(b"fragment"))
+        );
+        // Empty slot: a miss, conditional or not.
+        assert_eq!(
+            peer_fetch_conditional(&conn, &peer_addr(0), DpcKey(8), hash).unwrap(),
+            PeerFetch::Miss
+        );
+        // Each wire fetch moved exactly one of the three meters.
+        let stats = donor.stats();
+        assert_eq!(stats.fetch_not_modified.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.fetch_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.fetch_misses.load(Ordering::Relaxed), 1);
     }
 
     #[test]

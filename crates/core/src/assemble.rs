@@ -24,6 +24,7 @@
 use bytes::Bytes;
 
 use crate::error::AssembleError;
+use crate::replace::{fnv1a_extend, FNV1A_SEED};
 use crate::store::FragmentStore;
 use crate::tag::{Op, Scanner};
 
@@ -42,6 +43,12 @@ pub struct AssemblyStats {
     pub set_bytes: u64,
     /// Template bytes scanned.
     pub template_bytes: u64,
+    /// FNV-1a over the emitted page bytes, accumulated during the pass
+    /// (no second scan). Two assemblies agree here iff the delivered
+    /// pages are byte-identical, so this is the basis for the strong
+    /// `ETag` the proxy hands out. Zero only for a default-constructed
+    /// stats value; an assembled empty page hashes to the FNV seed.
+    pub page_identity: u64,
 }
 
 /// A fully assembled page, flattened to contiguous bytes.
@@ -117,6 +124,7 @@ pub fn assemble_rope(
         segments: Vec::with_capacity(8),
         stats: AssemblyStats {
             template_bytes: template.len() as u64,
+            page_identity: FNV1A_SEED,
             ..AssemblyStats::default()
         },
     };
@@ -127,12 +135,14 @@ pub fn assemble_rope(
         match op {
             Op::Literal(bytes) => {
                 rope.stats.literal_bytes += bytes.len() as u64;
+                rope.stats.page_identity = fnv1a_extend(rope.stats.page_identity, bytes);
                 literal_run.extend_from_slice(bytes);
             }
             Op::Get(key) => {
                 let fragment = store.get(key).ok_or(AssembleError::MissingFragment(key))?;
                 rope.stats.gets += 1;
                 rope.stats.get_bytes += fragment.len() as u64;
+                rope.stats.page_identity = fnv1a_extend(rope.stats.page_identity, &fragment);
                 flush_literals(&mut rope.segments, &mut literal_run);
                 // Zero-copy splice: the rope shares the slot's buffer.
                 rope.segments.push(fragment);
@@ -146,6 +156,7 @@ pub fn assemble_rope(
                 }
                 rope.stats.sets += 1;
                 rope.stats.set_bytes += content.len() as u64;
+                rope.stats.page_identity = fnv1a_extend(rope.stats.page_identity, content);
                 flush_literals(&mut rope.segments, &mut literal_run);
                 rope.segments.push(shared);
             }
@@ -186,6 +197,7 @@ pub fn assemble_readonly(
     let mut html = Vec::with_capacity(template.len() * 2);
     let mut stats = AssemblyStats {
         template_bytes: template.len() as u64,
+        page_identity: FNV1A_SEED,
         ..AssemblyStats::default()
     };
     while let Some(op) = scanner.next()? {
@@ -207,6 +219,7 @@ pub fn assemble_readonly(
             }
         }
     }
+    stats.page_identity = fnv1a_extend(stats.page_identity, &html);
     Ok(AssembledPage { html, stats })
 }
 
@@ -268,6 +281,11 @@ mod tests {
         let flat = assemble(&t, &store).unwrap();
         assert_eq!(flat.html, rope.to_vec());
         assert_eq!(flat.stats, rope.stats);
+        // The streaming identity equals a hash of the flat page, so any
+        // two byte-identical pages carry the same strong ETag.
+        assert_eq!(rope.stats.page_identity, crate::replace::fnv1a(&flat.html));
+        let ro = assemble_readonly(&t, &store).unwrap();
+        assert_eq!(ro.stats.page_identity, rope.stats.page_identity);
         // write_into appends.
         let mut out = b"pre:".to_vec();
         rope.write_into(&mut out);

@@ -103,7 +103,7 @@ pub use error::{AssembleError, CoreError};
 pub use flight::{FlightCounters, FlightGroup, FlightLeader, Join, Publish, Wait};
 pub use key::{DpcKey, FragmentId};
 pub use objects::ObjectCache;
-pub use replace::{fnv1a, make_replacer, Replacer};
+pub use replace::{fnv1a, fnv1a_extend, make_replacer, Replacer, FNV1A_SEED};
 pub use store::{FragmentSource, FragmentStore};
 
 /// Convenience re-exports for downstream crates and examples.

@@ -18,8 +18,8 @@
 //! naming a victim (the fragment is then served inline, uncached).
 
 pub use dpc_policy::{
-    fnv1a, ClockReplacer, FifoReplacer, GdsfReplacer, LruReplacer, NoReplacer, ReplacePolicy,
-    Replacer, TinyLfuReplacer, TwoQReplacer,
+    fnv1a, fnv1a_extend, ClockReplacer, FifoReplacer, GdsfReplacer, LruReplacer, NoReplacer,
+    ReplacePolicy, Replacer, TinyLfuReplacer, TwoQReplacer, FNV1A_SEED,
 };
 
 use crate::key::DpcKey;

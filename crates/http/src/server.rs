@@ -52,7 +52,9 @@ use std::time::{Duration, Instant};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dpc_metrics::{HistogramSnapshot, Outcome, OutcomeHistograms};
-use dpc_net::{BoxNbListener, BoxNbStream, Clock, Poller, Ready, Registry, Token, WakeSet};
+use dpc_net::{
+    Backend, BoxNbListener, BoxNbStream, Clock, Poller, Ready, Registry, Token, WakeSet,
+};
 
 use crate::message::{Request, Response};
 use crate::parse::{self, try_parse_request};
@@ -107,11 +109,21 @@ pub struct ServerConfig {
     /// the handler never blocks: an inline handler stalls every other
     /// connection of its loop while it runs.
     pub workers: usize,
+    /// Readiness backend for the event loops. `Backend::Portable` (the
+    /// default) is the condvar registry with the polled TCP fallback tick;
+    /// `Backend::Os` parks each loop in the kernel (epoll on Linux) so
+    /// plain-TCP sources get push notifications and idle loops consume
+    /// zero CPU. The default honours the `DPC_POLL_BACKEND` environment
+    /// variable (`"os"`), so CI can force the OS backend suite-wide.
+    pub backend: Backend,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 32 }
+        ServerConfig {
+            workers: 32,
+            backend: Backend::from_env(),
+        }
     }
 }
 
@@ -149,6 +161,11 @@ pub struct LoopStats {
     /// pre-charges it at placement time so least-connections routing sees
     /// in-flight handoffs).
     pub live: AtomicU64,
+    /// Poller wait-returns caused by the polled-source fallback tick
+    /// (mirror of [`Poller::tick_count`]; the poller itself lives on the
+    /// loop thread). Zero for a push-only loop — including every TCP loop
+    /// under the OS backend, where the kernel pushes readiness.
+    pub tick_waits: AtomicU64,
 }
 
 /// Aggregated view over every loop's counters.
@@ -183,6 +200,13 @@ impl ServerStats {
 
     pub fn evictions(&self) -> u64 {
         self.sum(|l| &l.evictions)
+    }
+
+    /// Total fallback-tick poller waits across all loops. Zero under the
+    /// OS backend (or a pure-sim workload): readiness is pushed, never
+    /// polled.
+    pub fn tick_waits(&self) -> u64 {
+        self.sum(|l| &l.tick_waits)
     }
 
     /// Per-loop counter snapshots, indexed by loop.
@@ -299,7 +323,7 @@ impl Server {
         let mut inboxes = Vec::with_capacity(n);
         let mut wake = WakeSet::new();
         for _ in 0..n {
-            let poller = Poller::new();
+            let poller = Poller::with_backend(self.config.backend);
             let (inbox_tx, inbox_rx) = unbounded();
             wake.add(Arc::clone(poller.registry()));
             loop_shared.push(LoopShared {
@@ -349,6 +373,7 @@ impl Server {
                 clock: self.request_clock.clone(),
                 latency: latency.get(index).cloned(),
                 stopping: false,
+                budget_parked: std::collections::BTreeSet::new(),
             };
             let thread = std::thread::Builder::new()
                 .name(format!("http-loop-{addr}-{index}"))
@@ -620,7 +645,17 @@ struct LoopState {
     latency: Option<Arc<OutcomeHistograms>>,
     /// Set when the loop leaves its main phase: no new parses, drain only.
     stopping: bool,
+    /// Connections whose pump stopped on the output budget. Under the
+    /// portable backend the fallback tick re-pumps them for free; under a
+    /// push backend a *global*-budget stall can be released by another
+    /// loop's flush, which raises no event here — so the run loop bounds
+    /// its wait and re-pumps this set whenever it is non-empty.
+    budget_parked: std::collections::BTreeSet<Token>,
 }
+
+/// How long an event loop with budget-parked connections waits before
+/// re-checking the (possibly remotely released) global output budget.
+const BUDGET_PARK_RECHECK: Duration = Duration::from_millis(5);
 
 impl LoopState {
     fn run(mut self) {
@@ -634,7 +669,15 @@ impl LoopState {
             if self.listener_dead && self.conns.is_empty() && self.shared.loops.len() == 1 {
                 break; // nothing left to serve and nobody can connect
             }
-            self.poller.wait(&mut events, None);
+            let timeout = if self.budget_parked.is_empty() {
+                None
+            } else {
+                Some(BUDGET_PARK_RECHECK)
+            };
+            self.poller.wait(&mut events, timeout);
+            self.stats
+                .tick_waits
+                .store(self.poller.tick_count(), Ordering::Relaxed);
             if !self.shared.running.load(Ordering::Acquire) {
                 break;
             }
@@ -643,6 +686,15 @@ impl LoopState {
                     self.accept_ready();
                 } else {
                     self.drive(token, ready);
+                }
+            }
+            // Budget-parked connections get no event when another loop's
+            // flush releases the global budget: re-pump them each pass
+            // (pump re-parks whichever are still over). Connections that
+            // died meanwhile simply fail the lookup and drop out.
+            if !self.budget_parked.is_empty() {
+                for token in std::mem::take(&mut self.budget_parked) {
+                    self.pump(token);
                 }
             }
         }
@@ -735,6 +787,7 @@ impl LoopState {
         if let (Some(latency), Some(clock)) = (latency, clock) {
             let outcome = Outcome::classify(
                 resp.status.is_success(),
+                resp.status == crate::Status::NOT_MODIFIED,
                 resp.headers.get("X-Cache"),
                 resp.headers.get("X-DPC-Peer-Fetched").is_some(),
             );
@@ -874,6 +927,7 @@ impl LoopState {
             // which the client must drain before being served more. The
             // writable event that flushes the backlog resumes the pump.
             if !conn.flushed() && conn.over_budget(self.conn_output_cap, self.global_output_cap) {
+                self.budget_parked.insert(token);
                 return;
             }
             // Resume reading that the budget cap paused (e.g. while the
@@ -1023,10 +1077,12 @@ impl LoopState {
     }
 
     fn remove(&mut self, token: Token) {
+        // Deregister before the stream drops (and its fd closes): an OS
+        // backend must never see a recycled fd number under a stale token.
+        self.poller.registry().deregister(token);
         if self.conns.remove(&token).is_some() {
             self.stats.live.fetch_sub(1, Ordering::Relaxed);
         }
-        self.poller.registry().deregister(token);
     }
 }
 
@@ -1228,7 +1284,10 @@ mod tests {
         let net = SimNetwork::with_defaults();
         let listener = net.listen("web");
         let handle = Server::new(Box::new(listener), echo_handler())
-            .with_config(ServerConfig { workers: 0 })
+            .with_config(ServerConfig {
+                workers: 0,
+                ..Default::default()
+            })
             .spawn();
         let client = Client::new(Arc::new(net.connector()));
         for i in 0..10 {

@@ -37,7 +37,10 @@ fn never_draining_pipeliner_is_evicted_with_bounded_memory() {
     const CONN_CAP: usize = 16 * 1024;
     const GLOBAL_CAP: usize = 1 << 20;
     let handle = Server::new(Box::new(listener), page_handler())
-        .with_config(ServerConfig { workers: 2 })
+        .with_config(ServerConfig {
+            workers: 2,
+            ..Default::default()
+        })
         .with_output_caps(CONN_CAP, GLOBAL_CAP)
         .spawn();
 
@@ -90,7 +93,10 @@ fn slow_but_draining_client_is_not_evicted() {
     );
     let listener = net.listen("web");
     let handle = Server::new(Box::new(listener), page_handler())
-        .with_config(ServerConfig { workers: 2 })
+        .with_config(ServerConfig {
+            workers: 2,
+            ..Default::default()
+        })
         .with_output_caps(4 * 1024, 1 << 20)
         .spawn();
     // Pipeline a burst that far exceeds the 4 KiB connection cap, but keep
@@ -124,7 +130,10 @@ fn global_budget_sheds_load_but_serves_drainers() {
     let listener = net.listen("web");
     const GLOBAL_CAP: usize = 32 * 1024;
     let handle = Server::new(Box::new(listener), page_handler())
-        .with_config(ServerConfig { workers: 4 })
+        .with_config(ServerConfig {
+            workers: 4,
+            ..Default::default()
+        })
         .with_output_caps(usize::MAX >> 1, GLOBAL_CAP) // only the global cap binds
         .spawn();
     let mut abusers: Vec<_> = (0..4)
@@ -176,7 +185,10 @@ fn four_loop_stop_joins_deterministically_without_losing_responses() {
             Response::html(format!("done {}", req.target))
         }),
     )
-    .with_config(ServerConfig { workers: CLIENTS })
+    .with_config(ServerConfig {
+        workers: CLIENTS,
+        ..Default::default()
+    })
     .with_loops(LOOPS)
     .spawn();
     assert_eq!(handle.loops(), LOOPS);
@@ -229,7 +241,10 @@ fn multi_loop_inline_mode_serves() {
         Box::new(listener),
         Arc::new(|req: Request| Response::html(req.target.to_string())),
     )
-    .with_config(ServerConfig { workers: 0 })
+    .with_config(ServerConfig {
+        workers: 0,
+        ..Default::default()
+    })
     .with_loops(2)
     .spawn();
     let mut joins = Vec::new();

@@ -29,7 +29,10 @@ fn slow_loris_partial_headers_do_not_stall_other_clients() {
     let net = SimNetwork::with_defaults();
     let listener = net.listen("web");
     let handle = Server::new(Box::new(listener), echo_handler())
-        .with_config(ServerConfig { workers: 2 })
+        .with_config(ServerConfig {
+            workers: 2,
+            ..Default::default()
+        })
         .spawn();
 
     // The loris dribbles a request head byte-group by byte-group with
@@ -205,7 +208,10 @@ fn pipelined_burst_larger_than_read_budget_is_fully_served() {
     let net = SimNetwork::with_defaults();
     let listener = net.listen("web");
     let handle = Server::new(Box::new(listener), echo_handler())
-        .with_config(ServerConfig { workers: 2 })
+        .with_config(ServerConfig {
+            workers: 2,
+            ..Default::default()
+        })
         .spawn();
     let mut burst = Vec::new();
     for i in 0..300 {
@@ -234,7 +240,10 @@ fn thousand_idle_keep_alive_connections_stay_thread_bounded() {
     let net = SimNetwork::with_defaults();
     let listener = net.listen("web");
     let handle = Server::new(Box::new(listener), echo_handler())
-        .with_config(ServerConfig { workers: WORKERS })
+        .with_config(ServerConfig {
+            workers: WORKERS,
+            ..Default::default()
+        })
         .spawn();
     let before = process_threads();
     // Open 1000 keep-alive connections; each proves liveness with one
@@ -265,6 +274,50 @@ fn thousand_idle_keep_alive_connections_stay_thread_bounded() {
     let resp = dpc_http::parse::read_response(reader).unwrap();
     assert_eq!(resp.body, *b"GET /still-alive");
     assert_eq!(handle.requests(), CONNS as u64 + 1);
+}
+
+/// The PR 4 "push-only pollers never arm the tick" pin, now for real TCP:
+/// under the OS backend a plain-TCP workload — accepts, requests, and an
+/// idle stretch long past the 1 ms fallback period — must finish with zero
+/// fallback-tick waits, because the kernel pushes readiness. The polled
+/// backend on the same workload must tick, which pins what the counter
+/// measures.
+#[cfg(target_os = "linux")]
+#[test]
+fn tcp_workload_under_os_backend_never_ticks() {
+    use dpc_net::{Backend, TcpListenerAdapter};
+
+    fn run(backend: Backend) -> u64 {
+        let listener = TcpListenerAdapter::bind("127.0.0.1:0").unwrap();
+        let handle = Server::new(Box::new(listener), echo_handler())
+            .with_config(ServerConfig {
+                workers: 2,
+                backend,
+            })
+            .spawn();
+        let mut idle = Vec::new();
+        for i in 0..32 {
+            let conn = std::net::TcpStream::connect(handle.addr()).unwrap();
+            let mut reader = std::io::BufReader::new(conn);
+            write!(reader.get_mut(), "GET /warm{i} HTTP/1.1\r\n\r\n").unwrap();
+            let resp = dpc_http::parse::read_response(&mut reader).unwrap();
+            assert_eq!(resp.body, format!("GET /warm{i}").into_bytes());
+            idle.push(reader);
+        }
+        // Idle stretch: dozens of fallback periods with nothing to do.
+        std::thread::sleep(Duration::from_millis(60));
+        let reader = &mut idle[7];
+        write!(reader.get_mut(), "GET /after-idle HTTP/1.1\r\n\r\n").unwrap();
+        let resp = dpc_http::parse::read_response(reader).unwrap();
+        assert_eq!(resp.body, *b"GET /after-idle");
+        handle.stats().tick_waits()
+    }
+
+    assert_eq!(run(Backend::Os), 0, "epoll backend must never tick");
+    assert!(
+        run(Backend::Portable) > 0,
+        "polled backend must tick on a TCP workload (counter pin)"
+    );
 }
 
 #[test]

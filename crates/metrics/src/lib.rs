@@ -217,7 +217,7 @@ impl HistogramSnapshot {
     }
 }
 
-/// The seven ways a request can leave the system, in cache-journey order.
+/// The eight ways a request can leave the system, in cache-journey order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// Served from the event loop's private L1 page cache.
@@ -232,12 +232,15 @@ pub enum Outcome {
     PeerFetch,
     /// Waited on another request's in-flight production (coalesced).
     FlightWait,
-    /// Non-2xx response.
+    /// Conditional request revalidated: `304 Not Modified`, hash-sized
+    /// serve, no body bytes moved.
+    Revalidated,
+    /// Non-2xx (and non-304) response.
     Error,
 }
 
 impl Outcome {
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     pub const ALL: [Outcome; Outcome::COUNT] = [
         Outcome::L1Hit,
@@ -246,6 +249,7 @@ impl Outcome {
         Outcome::Origin,
         Outcome::PeerFetch,
         Outcome::FlightWait,
+        Outcome::Revalidated,
         Outcome::Error,
     ];
 
@@ -258,7 +262,8 @@ impl Outcome {
             Outcome::Origin => 3,
             Outcome::PeerFetch => 4,
             Outcome::FlightWait => 5,
-            Outcome::Error => 6,
+            Outcome::Revalidated => 6,
+            Outcome::Error => 7,
         }
     }
 
@@ -270,14 +275,26 @@ impl Outcome {
             Outcome::Origin => "origin",
             Outcome::PeerFetch => "peer_fetch",
             Outcome::FlightWait => "flight_wait",
+            Outcome::Revalidated => "revalidated",
             Outcome::Error => "error",
         }
     }
 
     /// Classify a finished response from its status and serving headers.
-    /// `x_cache` is the response's `X-Cache` value; `peer_fetched` is
-    /// whether assembly had to pull fragments from a ring peer.
-    pub fn classify(status_success: bool, x_cache: Option<&str>, peer_fetched: bool) -> Outcome {
+    /// `revalidated` is whether the response is a `304 Not Modified`
+    /// (checked before the success gate — a 304 is not an error, it is the
+    /// cheapest possible hit); `x_cache` is the response's `X-Cache`
+    /// value; `peer_fetched` is whether assembly had to pull fragments
+    /// from a ring peer.
+    pub fn classify(
+        status_success: bool,
+        revalidated: bool,
+        x_cache: Option<&str>,
+        peer_fetched: bool,
+    ) -> Outcome {
+        if revalidated {
+            return Outcome::Revalidated;
+        }
         if !status_success {
             return Outcome::Error;
         }
@@ -324,6 +341,7 @@ impl OutcomeHistograms {
             self.per[4].snapshot(),
             self.per[5].snapshot(),
             self.per[6].snapshot(),
+            self.per[7].snapshot(),
         ]
     }
 
@@ -573,28 +591,44 @@ mod tests {
     #[test]
     fn outcome_classification() {
         use Outcome::*;
-        assert_eq!(Outcome::classify(false, Some("dpc-l1"), false), Error);
         assert_eq!(
-            Outcome::classify(true, Some("dpc-assembled"), true),
+            Outcome::classify(false, false, Some("dpc-l1"), false),
+            Error
+        );
+        assert_eq!(
+            Outcome::classify(true, false, Some("dpc-assembled"), true),
             PeerFetch
         );
-        assert_eq!(Outcome::classify(true, Some("dpc-l1"), false), L1Hit);
-        assert_eq!(Outcome::classify(true, Some("dpc-l2"), false), L2Hit);
-        assert_eq!(Outcome::classify(true, Some("page-hit"), false), L2Hit);
+        assert_eq!(Outcome::classify(true, false, Some("dpc-l1"), false), L1Hit);
+        assert_eq!(Outcome::classify(true, false, Some("dpc-l2"), false), L2Hit);
         assert_eq!(
-            Outcome::classify(true, Some("dpc-assembled"), false),
+            Outcome::classify(true, false, Some("page-hit"), false),
+            L2Hit
+        );
+        assert_eq!(
+            Outcome::classify(true, false, Some("dpc-assembled"), false),
             Assembled
         );
         assert_eq!(
-            Outcome::classify(true, Some("esi-assembled"), false),
+            Outcome::classify(true, false, Some("esi-assembled"), false),
             Assembled
         );
         assert_eq!(
-            Outcome::classify(true, Some("page-coalesced"), false),
+            Outcome::classify(true, false, Some("page-coalesced"), false),
             FlightWait
         );
-        assert_eq!(Outcome::classify(true, Some("page-miss"), false), Origin);
-        assert_eq!(Outcome::classify(true, None, false), Origin);
+        assert_eq!(
+            Outcome::classify(true, false, Some("page-miss"), false),
+            Origin
+        );
+        assert_eq!(Outcome::classify(true, false, None, false), Origin);
+        // A 304 is revalidated no matter what tier answered it, and the
+        // revalidation check precedes the success gate (304 is non-2xx).
+        assert_eq!(
+            Outcome::classify(false, true, Some("dpc-l1"), false),
+            Revalidated
+        );
+        assert_eq!(Outcome::classify(false, true, None, false), Revalidated);
         for (i, o) in Outcome::ALL.iter().enumerate() {
             assert_eq!(o.index(), i);
         }

@@ -66,7 +66,7 @@ fn observe_does_not_allocate() {
     // Classification (the per-request header match) is also hot-path.
     let before = ALLOCS.load(Ordering::Relaxed);
     for _ in 0..10_000u64 {
-        let o = Outcome::classify(true, Some("dpc-l1"), false);
+        let o = Outcome::classify(true, false, Some("dpc-l1"), false);
         hist.observe(o, 5);
     }
     let during = ALLOCS.load(Ordering::Relaxed) - before;

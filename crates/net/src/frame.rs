@@ -52,10 +52,22 @@ pub enum ClusterFrame {
     FetchReq {
         /// Raw dpcKey (slot index) being requested.
         key: u32,
+        /// FNV-1a identity of the bytes the requester already holds for
+        /// this slot, or `0` for an unconditional fetch. A donor whose
+        /// slot hashes to exactly this answers with a hash-only
+        /// [`ClusterFrame::FetchNotModified`] instead of shipping the
+        /// body again. (`0` is also fnv1a's image of ~nothing real:
+        /// treating it as "no validator" costs at most one redundant
+        /// body per astronomically unlikely colliding fragment.)
+        known: u64,
     },
     /// Answer to [`ClusterFrame::FetchReq`]. `hit == false` means the peer's
     /// slot is empty (or it refused); `body` is then empty.
     FetchResp { hit: bool, body: Vec<u8> },
+    /// Answer to a conditional [`ClusterFrame::FetchReq`] whose `known`
+    /// hash matched the donor's slot: the requester's bytes are current,
+    /// no body moves. `hash` echoes the matched identity.
+    FetchNotModified { hash: u64 },
     /// Open an anti-entropy round: "here is everything I have applied".
     GossipSyn {
         /// Sender's node id.
@@ -84,6 +96,7 @@ const TAG_FETCH_REQ: u8 = 1;
 const TAG_FETCH_RESP: u8 = 2;
 const TAG_GOSSIP_SYN: u8 = 3;
 const TAG_GOSSIP_DELTA: u8 = 4;
+const TAG_FETCH_NOT_MODIFIED: u8 = 5;
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
@@ -188,14 +201,19 @@ impl ClusterFrame {
     pub fn encode(&self) -> Vec<u8> {
         let mut body = Vec::with_capacity(64);
         match self {
-            ClusterFrame::FetchReq { key } => {
+            ClusterFrame::FetchReq { key, known } => {
                 body.push(TAG_FETCH_REQ);
                 put_u32(&mut body, *key);
+                put_u64(&mut body, *known);
             }
             ClusterFrame::FetchResp { hit, body: b } => {
                 body.push(TAG_FETCH_RESP);
                 body.push(u8::from(*hit));
                 put_bytes(&mut body, b);
+            }
+            ClusterFrame::FetchNotModified { hash } => {
+                body.push(TAG_FETCH_NOT_MODIFIED);
+                put_u64(&mut body, *hash);
             }
             ClusterFrame::GossipSyn { from, vv } => {
                 body.push(TAG_GOSSIP_SYN);
@@ -269,12 +287,16 @@ impl ClusterFrame {
     fn decode_body(body: &[u8]) -> io::Result<ClusterFrame> {
         let mut c = Cursor { buf: body, pos: 0 };
         let frame = match c.u8()? {
-            TAG_FETCH_REQ => ClusterFrame::FetchReq { key: c.u32()? },
+            TAG_FETCH_REQ => ClusterFrame::FetchReq {
+                key: c.u32()?,
+                known: c.u64()?,
+            },
             TAG_FETCH_RESP => {
                 let hit = c.u8()? != 0;
                 let body = c.bytes()?.to_vec();
                 ClusterFrame::FetchResp { hit, body }
             }
+            TAG_FETCH_NOT_MODIFIED => ClusterFrame::FetchNotModified { hash: c.u64()? },
             TAG_GOSSIP_SYN => ClusterFrame::GossipSyn {
                 from: c.u32()?,
                 vv: c.vv()?,
@@ -332,8 +354,11 @@ mod tests {
 
     #[test]
     fn all_variants_roundtrip() {
-        roundtrip(ClusterFrame::FetchReq { key: 0 });
-        roundtrip(ClusterFrame::FetchReq { key: u32::MAX });
+        roundtrip(ClusterFrame::FetchReq { key: 0, known: 0 });
+        roundtrip(ClusterFrame::FetchReq {
+            key: u32::MAX,
+            known: u64::MAX,
+        });
         roundtrip(ClusterFrame::FetchResp {
             hit: true,
             body: b"<nav>hello</nav>".to_vec(),
@@ -342,6 +367,7 @@ mod tests {
             hit: false,
             body: Vec::new(),
         });
+        roundtrip(ClusterFrame::FetchNotModified { hash: 0xdead_beef });
         roundtrip(ClusterFrame::GossipSyn {
             from: 3,
             vv: vec![(0, 7), (1, 0), (9, u64::MAX)],
@@ -369,7 +395,7 @@ mod tests {
 
     #[test]
     fn back_to_back_frames_parse_in_order() {
-        let a = ClusterFrame::FetchReq { key: 5 };
+        let a = ClusterFrame::FetchReq { key: 5, known: 7 };
         let b = ClusterFrame::FetchResp {
             hit: true,
             body: vec![1, 2, 3],
@@ -386,7 +412,7 @@ mod tests {
     fn clean_eof_is_none_mid_frame_eof_is_error() {
         let mut empty: &[u8] = &[];
         assert_eq!(ClusterFrame::read_from(&mut empty).unwrap(), None);
-        let bytes = ClusterFrame::FetchReq { key: 1 }.encode();
+        let bytes = ClusterFrame::FetchReq { key: 1, known: 0 }.encode();
         let mut truncated = &bytes[..bytes.len() - 1];
         assert!(ClusterFrame::read_from(&mut truncated).is_err());
         let mut half_length = &bytes[..2];
@@ -411,6 +437,7 @@ mod tests {
 
         let mut body = vec![TAG_FETCH_REQ];
         body.extend_from_slice(&7u32.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
         body.push(0xAB); // trailing garbage
         let mut wire = (body.len() as u32).to_le_bytes().to_vec();
         wire.extend_from_slice(&body);

@@ -30,12 +30,16 @@
 //!   an epoll-shaped registry/poller so one event loop can multiplex
 //!   thousands of idle connections without pinning threads. Simulated
 //!   streams push readiness notifications on every state transition; plain
-//!   TCP falls back to a periodic polled tick.
+//!   TCP either falls back to a periodic polled tick (portable backend) or
+//!   gets real kernel push notifications via [`backend_os`].
+//! * [`backend_os`] — the FD-based [`poll::PollBackend`]: epoll + eventfd
+//!   self-wake on Linux, `None` elsewhere.
 //!
 //! There is deliberately no async runtime (the allowed dependency set has
 //! none): blocking paths use plain threads, and the readiness path is an
 //! explicit event loop over [`poll::Poller`].
 
+pub mod backend_os;
 pub mod clock;
 pub mod frame;
 pub mod latency;
@@ -51,7 +55,8 @@ pub use latency::LinkModel;
 pub use meter::{Meter, MeterRegistry, MeterSnapshot};
 pub use packet::ProtocolModel;
 pub use poll::{
-    BoxNbListener, BoxNbStream, NbListener, NbStream, Poller, Ready, Registry, Token, WakeSet,
+    Backend, BoxNbListener, BoxNbStream, NbListener, NbStream, PollBackend, Poller, Ready,
+    Registry, Token, WakeSet,
 };
 pub use stream::{
     BoxListener, BoxStream, Connector, Duplex, Listener, TcpConnector, TcpListenerAdapter,

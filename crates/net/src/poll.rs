@@ -16,19 +16,28 @@
 //! a poller waiting on 10k idle connections consumes zero CPU — exactly the
 //! epoll model, built portably out of a mutex and a condvar.
 //!
-//! Sources that cannot push (plain `std::net` TCP sockets: without an OS
-//! readiness API binding there is nobody to call us when the kernel buffer
-//! fills) register as *polled* instead: while any polled source exists the
-//! poller degrades to a periodic tick that reports every polled token as
-//! maybe-ready, and the caller's `try_*` calls sort out the truth. This is
-//! the documented portable fallback — correct everywhere, efficient on the
-//! simulated network where all the tests and benches run.
+//! Sources that cannot push (plain `std::net` TCP sockets) have two paths:
+//!
+//! * **Polled fallback** — while any polled source exists the poller
+//!   degrades to a periodic tick that reports every polled token as
+//!   maybe-ready, and the caller's `try_*` calls sort out the truth. This
+//!   is the documented portable fallback — correct everywhere, efficient
+//!   on the simulated network where all the deterministic tests run.
+//! * **OS backend** — a [`PollBackend`] (epoll on Linux, see
+//!   [`crate::backend_os`]) attached to the registry at construction via
+//!   [`Poller::with_backend`]. FD sources register through
+//!   [`Registry::register_fd`] and the kernel pushes readiness, so real
+//!   TCP gets the same zero-CPU idle behaviour as the simulated streams
+//!   and the fallback tick is never armed. Cross-thread wakes
+//!   ([`Registry::wake`]/[`Registry::notify`]) are delivered through the
+//!   backend's self-wake fd (eventfd) so a poller parked in the kernel
+//!   still sees them immediately.
 //!
 //! Notifications are delivery *hints*, not guarantees of progress: a
 //! spurious event costs one `WouldBlock`, a missed state change never
 //! happens because sources notify on every transition and on registration.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -73,6 +82,60 @@ impl Ready {
 /// test that pins this down.
 const FALLBACK_TICK: Duration = Duration::from_millis(1);
 
+/// Which readiness implementation a server (or poller) should use.
+///
+/// `Portable` is the mutex+condvar registry with the polled fallback tick —
+/// correct on every platform and the only sensible choice for the simulated
+/// network, whose streams push their own notifications. `Os` asks for an
+/// FD-based kernel backend (epoll on Linux); when the platform has none the
+/// poller silently falls back to `Portable`, so selecting `Os` is always
+/// safe. Check [`Poller::is_os_backed`] when a test needs the real thing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Backend {
+    #[default]
+    Portable,
+    Os,
+}
+
+impl Backend {
+    /// Resolve the backend from the `DPC_POLL_BACKEND` environment variable
+    /// (`"os"` selects the OS backend; anything else is portable). Lets CI
+    /// run the whole suite with the epoll backend forced on without
+    /// touching every `ServerConfig` literal.
+    pub fn from_env() -> Backend {
+        match std::env::var("DPC_POLL_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("os") => Backend::Os,
+            _ => Backend::Portable,
+        }
+    }
+}
+
+/// An OS readiness queue that a [`Registry`] can sit on top of: epoll on
+/// Linux (kqueue would slot in behind the same four methods). FD sources
+/// are added with a token, the poller parks in [`PollBackend::wait`], and
+/// [`PollBackend::wake`] interrupts the park from any thread via the
+/// backend's self-wake fd — the registry routes `notify`/`wake` through it
+/// so pushed events still reach a kernel-parked poller.
+pub trait PollBackend: Send + Sync {
+    /// Watch `fd` for readability and writability, reporting readiness
+    /// under `token`. Registration must surface any readiness that already
+    /// holds (the same initial-notification contract as
+    /// [`NbStream::register`]).
+    fn add_fd(&self, fd: i32, token: Token) -> io::Result<()>;
+
+    /// Stop watching `fd`. Errors are ignored: the fd may already be
+    /// closed, which deregisters it kernel-side anyway.
+    fn del_fd(&self, fd: i32);
+
+    /// Park until an fd event, a [`wake`](PollBackend::wake), or `timeout`.
+    /// Appends fd events to `events` (merged per token) and returns true
+    /// when a wake was consumed.
+    fn wait(&self, events: &mut Vec<(Token, Ready)>, timeout: Option<Duration>) -> bool;
+
+    /// Interrupt a concurrent [`wait`](PollBackend::wait) from any thread.
+    fn wake(&self);
+}
+
 #[derive(Default)]
 struct RegState {
     /// Pending events, merged per token. A `Vec` with a merge-on-push
@@ -85,6 +148,8 @@ struct RegState {
     woken: bool,
     /// Tokens of sources that cannot push notifications (TCP fallback).
     polled: BTreeSet<Token>,
+    /// FD registered per token with the OS backend, for deregistration.
+    fds: HashMap<Token, i32>,
 }
 
 /// Shared readiness state between sources and the poller that sleeps on it.
@@ -94,6 +159,10 @@ struct RegState {
 pub struct Registry {
     state: Mutex<RegState>,
     cv: Condvar,
+    /// Kernel readiness queue, when this registry runs on an OS backend.
+    /// `notify`/`wake` route through its self-wake fd so a poller parked
+    /// in the kernel still observes pushed events and explicit wakes.
+    os: Option<Box<dyn PollBackend>>,
 }
 
 impl Registry {
@@ -101,25 +170,50 @@ impl Registry {
         Arc::new(Registry {
             state: Mutex::new(RegState::default()),
             cv: Condvar::new(),
+            os: None,
         })
+    }
+
+    /// A registry whose poller parks in `backend` instead of the condvar.
+    pub fn with_os(backend: Box<dyn PollBackend>) -> Arc<Registry> {
+        Arc::new(Registry {
+            state: Mutex::new(RegState::default()),
+            cv: Condvar::new(),
+            os: Some(backend),
+        })
+    }
+
+    /// Whether this registry sits on a kernel readiness queue.
+    pub fn has_os_backend(&self) -> bool {
+        self.os.is_some()
     }
 
     /// Record that `token` may now be ready for `ready` and wake the poller.
     pub fn notify(&self, token: Token, ready: Ready) {
-        let mut st = self.state.lock().expect("registry poisoned");
-        match st.ready.iter_mut().find(|(t, _)| *t == token) {
-            Some((_, r)) => r.merge(ready),
-            None => st.ready.push((token, ready)),
+        {
+            let mut st = self.state.lock().expect("registry poisoned");
+            match st.ready.iter_mut().find(|(t, _)| *t == token) {
+                Some((_, r)) => r.merge(ready),
+                None => st.ready.push((token, ready)),
+            }
+            self.cv.notify_all();
         }
-        self.cv.notify_all();
+        if let Some(os) = &self.os {
+            os.wake();
+        }
     }
 
     /// Wake the poller without an event (stop requests, completed handler
     /// results queued out-of-band).
     pub fn wake(&self) {
-        let mut st = self.state.lock().expect("registry poisoned");
-        st.woken = true;
-        self.cv.notify_all();
+        {
+            let mut st = self.state.lock().expect("registry poisoned");
+            st.woken = true;
+            self.cv.notify_all();
+        }
+        if let Some(os) = &self.os {
+            os.wake();
+        }
     }
 
     /// Register `token` as a polled source: it will be reported as
@@ -131,11 +225,35 @@ impl Registry {
         self.cv.notify_all();
     }
 
-    /// Forget `token`: drops its pending events and its polled registration.
-    pub fn deregister(&self, token: Token) {
+    /// Hand `fd` to the OS backend under `token`. Returns false when there
+    /// is no backend (or it refused the fd) — the caller should fall back
+    /// to [`register_polled`](Registry::register_polled).
+    pub fn register_fd(&self, fd: i32, token: Token) -> bool {
+        let Some(os) = &self.os else {
+            return false;
+        };
+        if os.add_fd(fd, token).is_err() {
+            return false;
+        }
         let mut st = self.state.lock().expect("registry poisoned");
-        st.ready.retain(|(t, _)| *t != token);
-        st.polled.remove(&token);
+        st.fds.insert(token, fd);
+        true
+    }
+
+    /// Forget `token`: drops its pending events, its polled registration,
+    /// and its fd registration with the OS backend (if any). Call *before*
+    /// closing the fd so a recycled fd number can never be confused with
+    /// the old registration.
+    pub fn deregister(&self, token: Token) {
+        let fd = {
+            let mut st = self.state.lock().expect("registry poisoned");
+            st.ready.retain(|(t, _)| *t != token);
+            st.polled.remove(&token);
+            st.fds.remove(&token)
+        };
+        if let (Some(fd), Some(os)) = (fd, &self.os) {
+            os.del_fd(fd);
+        }
     }
 }
 
@@ -163,6 +281,41 @@ impl Poller {
         }
     }
 
+    /// Build a poller for the requested [`Backend`]. `Backend::Os` attaches
+    /// the platform's kernel readiness queue when one exists (epoll on
+    /// Linux) and silently degrades to the portable registry otherwise —
+    /// callers that must have the real thing check
+    /// [`is_os_backed`](Poller::is_os_backed).
+    pub fn with_backend(backend: Backend) -> Poller {
+        let registry = match backend {
+            Backend::Portable => Registry::new(),
+            Backend::Os => match crate::backend_os::os_backend() {
+                Some(os) => Registry::with_os(os),
+                None => Registry::new(),
+            },
+        };
+        Poller {
+            registry,
+            next_tick: std::cell::Cell::new(None),
+            ticks: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Build a poller over an existing registry (for callers that
+    /// construct the backend themselves).
+    pub fn from_registry(registry: Arc<Registry>) -> Poller {
+        Poller {
+            registry,
+            next_tick: std::cell::Cell::new(None),
+            ticks: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Whether this poller parks in a kernel readiness queue.
+    pub fn is_os_backed(&self) -> bool {
+        self.registry.has_os_backend()
+    }
+
     /// The registry sources should be registered with.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
@@ -180,6 +333,9 @@ impl Poller {
     /// pending.
     pub fn wait(&self, events: &mut Vec<(Token, Ready)>, timeout: Option<Duration>) -> bool {
         events.clear();
+        if self.registry.os.is_some() {
+            return self.wait_os(events, timeout);
+        }
         let deadline = timeout.map(|t| Instant::now() + t);
         let mut st = self.registry.state.lock().expect("registry poisoned");
         loop {
@@ -254,6 +410,83 @@ impl Poller {
                     // caller's deadline.
                 }
             }
+        }
+    }
+
+    /// `wait` on an OS-backed registry: park in the kernel queue instead of
+    /// the condvar. Pushed events (`notify`) and explicit wakes arrive via
+    /// the backend's self-wake fd; fd readiness arrives directly from the
+    /// kernel, so no fallback tick is armed for fd sources and
+    /// [`tick_count`](Poller::tick_count) stays 0 under a pure-TCP
+    /// workload. The polled fallback still works for the rare fd that the
+    /// backend refused (`register_fd` returned false).
+    fn wait_os(&self, events: &mut Vec<(Token, Ready)>, timeout: Option<Duration>) -> bool {
+        let os = self.registry.os.as_deref().expect("os backend present");
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            // Drain pushed state first: sim-style notify() events, wake
+            // flags, and the polled-fallback tick if any polled source is
+            // registered under this backend.
+            let woken = {
+                let mut st = self.registry.state.lock().expect("registry poisoned");
+                for (token, ready) in st.ready.drain(..) {
+                    match events.iter_mut().find(|(t, _)| *t == token) {
+                        Some((_, r)) => r.merge(ready),
+                        None => events.push((token, ready)),
+                    }
+                }
+                let woken = std::mem::take(&mut st.woken);
+                if !st.polled.is_empty() {
+                    let now = Instant::now();
+                    match self.next_tick.get() {
+                        Some(due) if now >= due => {
+                            self.next_tick.set(Some(now + FALLBACK_TICK));
+                            self.ticks.set(self.ticks.get() + 1);
+                            let seen: Vec<Token> = events.iter().map(|(t, _)| *t).collect();
+                            events.extend(
+                                st.polled
+                                    .iter()
+                                    .filter(|t| !seen.contains(t))
+                                    .map(|t| (*t, Ready::BOTH)),
+                            );
+                        }
+                        Some(_) => {}
+                        None => self.next_tick.set(Some(now + FALLBACK_TICK)),
+                    }
+                } else {
+                    self.next_tick.set(None);
+                }
+                woken
+            };
+            if !events.is_empty() || woken {
+                return true;
+            }
+            let remaining = match deadline {
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return false;
+                    }
+                    Some(left)
+                }
+                None => None,
+            };
+            let tick = self
+                .next_tick
+                .get()
+                .map(|t| t.saturating_duration_since(Instant::now()));
+            let park = match (tick, remaining) {
+                (Some(t), Some(r)) => Some(t.min(r)),
+                (Some(t), None) => Some(t),
+                (None, Some(r)) => Some(r),
+                (None, None) => None,
+            };
+            os.wait(events, park);
+            if !events.is_empty() {
+                return true;
+            }
+            // A consumed wake, a timeout, or a spurious return: the loop
+            // top re-drains pushed state and re-checks the deadline.
         }
     }
 }

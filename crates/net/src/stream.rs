@@ -4,9 +4,11 @@
 //! in-memory simulated wire (tests, benches).
 //!
 //! The TCP types implement the nonblocking traits via `set_nonblocking`
-//! plus the poller's *polled fallback* (see [`crate::poll`]): without an OS
-//! readiness API binding the kernel cannot push events to us, so polled
-//! sources are re-reported every tick and `try_*` calls resolve the truth.
+//! plus, depending on the registry's backend (see [`crate::poll`]), either
+//! a real kernel registration ([`Registry::register_fd`], epoll on Linux —
+//! readiness is pushed, the fallback tick never arms) or the *polled
+//! fallback*: polled sources are re-reported every tick and `try_*` calls
+//! resolve the truth.
 
 use std::io::{self, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -111,12 +113,30 @@ impl NbStream for TcpStream {
 
     fn register(&mut self, registry: &Arc<Registry>, token: Token) {
         self.set_nonblocking(true).ok();
-        registry.register_polled(token);
+        if !register_fd_or_polled(registry, self, token) {
+            registry.register_polled(token);
+        }
     }
 
     fn peer_label(&self) -> String {
         Duplex::peer_label(self)
     }
+}
+
+/// Try the registry's OS backend first (kernel push readiness); report
+/// whether it took the fd. Non-unix builds have no raw fds to hand over.
+#[cfg(unix)]
+fn register_fd_or_polled(
+    registry: &Arc<Registry>,
+    source: &impl std::os::fd::AsRawFd,
+    token: Token,
+) -> bool {
+    registry.register_fd(source.as_raw_fd(), token)
+}
+
+#[cfg(not(unix))]
+fn register_fd_or_polled<T>(_registry: &Arc<Registry>, _source: &T, _token: Token) -> bool {
+    false
 }
 
 impl NbListener for TcpListenerAdapter {
@@ -134,7 +154,9 @@ impl NbListener for TcpListenerAdapter {
 
     fn register(&mut self, registry: &Arc<Registry>, token: Token) {
         self.inner.set_nonblocking(true).ok();
-        registry.register_polled(token);
+        if !register_fd_or_polled(registry, &self.inner, token) {
+            registry.register_polled(token);
+        }
     }
 
     fn local_addr(&self) -> String {

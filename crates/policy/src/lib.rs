@@ -231,10 +231,22 @@ impl ReplacePolicy {
     }
 }
 
+/// FNV-1a offset basis — the seed for a fresh [`fnv1a_extend`] chain.
+pub const FNV1A_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// FNV-1a over a byte string — the workspace's deterministic hash, also
 /// used to derive content identities for [`Replacer`] signals.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_extend(FNV1A_SEED, bytes)
+}
+
+/// Fold more bytes into a running FNV-1a hash. Streaming form of
+/// [`fnv1a`]: `fnv1a_extend(FNV1A_SEED, b) == fnv1a(b)`, and chaining
+/// extends over the concatenation — the page assembler uses this to hash
+/// a page's content across its literal runs and fragment splices without
+/// materialising the flat byte string.
+pub fn fnv1a_extend(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::esi::EsiAssembler;
-use crate::l1::{page_key, session_of};
+use crate::l1::{etag_matches, page_key, revalidated_response, session_of};
 use crate::modes::ProxyMode;
 use crate::page_cache::{PageCache, PageServe};
 
@@ -243,7 +243,10 @@ impl Proxy {
     fn attach_trace(&self, resp: Response) -> Response {
         let x_cache = resp.headers.get("X-Cache");
         let peer_fetched = resp.headers.get("X-DPC-Peer-Fetched").is_some();
-        let tier = if !resp.status.is_success() {
+        let tier = if resp.status == Status::NOT_MODIFIED {
+            // A hash-only serve: the validator matched and no body moved.
+            "revalidated"
+        } else if !resp.status.is_success() {
             "error"
         } else if peer_fetched {
             "peer"
@@ -418,10 +421,36 @@ impl Proxy {
     // -- Dpc mode --------------------------------------------------------------
 
     fn serve_dpc(&self, req: &Request) -> Response {
-        if self.page_tier && req.method == Method::Get {
-            return self.serve_dpc_tiered(req);
+        let resp = if self.page_tier && req.method == Method::Get {
+            self.serve_dpc_tiered(req)
+        } else {
+            self.serve_dpc_assembling(req)
+        };
+        self.finish_conditional(req, resp)
+    }
+
+    /// Collapse a full response into `304 Not Modified` when the client's
+    /// `If-None-Match` still names the page's current identity. Runs
+    /// *after* the tier install, so a conditional GET that misses every
+    /// cache still warms them — only the client leg is spared the bytes.
+    fn finish_conditional(&self, req: &Request, resp: Response) -> Response {
+        if resp.status != Status::OK {
+            return resp;
         }
-        self.serve_dpc_assembling(req)
+        let matched = match (req.headers.get("If-None-Match"), resp.headers.get("ETag")) {
+            (Some(if_none_match), Some(etag)) => etag_matches(if_none_match, etag),
+            _ => false,
+        };
+        if !matched {
+            return resp;
+        }
+        let etag = resp.headers.get("ETag").expect("matched above").to_owned();
+        let x_cache = resp.headers.get("X-Cache").map(str::to_owned);
+        let mut out = Response::status(Status::NOT_MODIFIED).with_header("ETag", etag);
+        if let Some(x_cache) = x_cache {
+            out = out.with_header("X-Cache", x_cache);
+        }
+        out
     }
 
     /// The page-tier wrapper around the classic assemble path: L2 probe
@@ -432,9 +461,19 @@ impl Proxy {
     fn serve_dpc_tiered(&self, req: &Request) -> Response {
         let key = page_key(&req.target, session_of(req));
         if let Some(hit) = self.page_cache.get_page(&key) {
-            return Response::html(hit.body)
+            // The lookup already dropped any epoch-outdated entry, so a
+            // matching validator here is provably current — answer with
+            // the hash alone.
+            if let Some(resp) = revalidated_response(req, hit.etag.as_deref(), "dpc-l2") {
+                return resp;
+            }
+            let mut resp = Response::html(hit.body)
                 .with_header("Content-Type", hit.content_type)
                 .with_header("X-Cache", "dpc-l2");
+            if let Some(etag) = hit.etag {
+                resp = resp.with_header("ETag", etag);
+            }
+            return resp;
         }
         let stamp = self.page_cache.coherence_stamp();
         let resp = self.serve_dpc_assembling(req);
@@ -446,8 +485,14 @@ impl Proxy {
                 .get("Content-Type")
                 .unwrap_or("text/html")
                 .to_owned();
-            self.page_cache
-                .put_stamped(&key, resp.body.flatten(), &content_type, stamp);
+            let etag = resp.headers.get("ETag").map(str::to_owned);
+            self.page_cache.put_stamped_tagged(
+                &key,
+                resp.body.flatten(),
+                &content_type,
+                stamp,
+                etag,
+            );
         }
         resp
     }
@@ -504,6 +549,10 @@ impl Proxy {
         // copied between the slot store and the client socket.
         let (rope, fetched) = self.assemble_with_source(&template, &req.target)?;
         self.stats.assembled.fetch_add(1, Ordering::Relaxed);
+        // The strong ETag is the assembly-time content identity: byte-
+        // identical pages (same fragments, same literals) agree on it, so
+        // a client or peer holding it can revalidate without the body.
+        let etag = format!("\"{:016x}\"", rope.stats.page_identity);
         let asm = &rope.stats;
         self.stats.asm_gets.fetch_add(asm.gets, Ordering::Relaxed);
         self.stats.asm_sets.fetch_add(asm.sets, Ordering::Relaxed);
@@ -521,7 +570,9 @@ impl Proxy {
             .fetch_add(asm.template_bytes, Ordering::Relaxed);
         let mut resp = upstream;
         resp.body = Body::Rope(rope.segments);
-        let resp = strip_internal_headers(resp).with_header("X-Cache", "dpc-assembled");
+        let resp = strip_internal_headers(resp)
+            .with_header("X-Cache", "dpc-assembled")
+            .with_header("ETag", etag);
         // Advertise repairs so latency classification and tracing can
         // attribute this page to the peer-fetch path.
         Ok(if fetched > 0 {

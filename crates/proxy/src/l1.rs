@@ -25,7 +25,7 @@
 
 use crate::page_cache::PageCache;
 use bytes::Bytes;
-use dpc_http::{LoopCache, LoopCacheFactory, Method, Request, Response};
+use dpc_http::{LoopCache, LoopCacheFactory, Method, Request, Response, Status};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -47,6 +47,42 @@ pub fn page_key(target: &str, session: &str) -> String {
     format!("{target}\x00{session}")
 }
 
+/// RFC 9110 `If-None-Match` evaluation against one strong ETag: `*`
+/// matches anything, otherwise any member of the comma-separated list may
+/// match, comparing weakly (a `W/` prefix on the client's copy is
+/// ignored — for an unchanged page the weak and strong forms name the
+/// same bytes, which is all a 304 asserts).
+pub fn etag_matches(if_none_match: &str, etag: &str) -> bool {
+    if if_none_match.trim() == "*" {
+        return true;
+    }
+    if_none_match.split(',').any(|candidate| {
+        let candidate = candidate.trim();
+        candidate.strip_prefix("W/").unwrap_or(candidate) == etag
+    })
+}
+
+/// The body-free `304 Not Modified` for a conditional GET whose validator
+/// still matches, or `None` when the request is unconditional or the
+/// validator has moved. `x_cache` names the tier that answered, so
+/// metrics and traces can attribute the hash-only serve.
+pub(crate) fn revalidated_response(
+    req: &Request,
+    etag: Option<&str>,
+    x_cache: &'static str,
+) -> Option<Response> {
+    let etag = etag?;
+    let if_none_match = req.headers.get("If-None-Match")?;
+    if !etag_matches(if_none_match, etag) {
+        return None;
+    }
+    Some(
+        Response::status(Status::NOT_MODIFIED)
+            .with_header("ETag", etag)
+            .with_header("X-Cache", x_cache),
+    )
+}
+
 /// Session identity of a request: the `session` cookie value, or `""`
 /// for cookieless traffic (which then shares one key per target, exactly
 /// like a session-free static page should).
@@ -64,6 +100,11 @@ pub fn session_of(req: &Request) -> &str {
 struct L1Entry {
     body: Bytes,
     content_type: String,
+    /// Strong validator carried up from the L2 entry at promotion, so an
+    /// L1 hit can answer `If-None-Match` with a 304 without touching the
+    /// L2 at all. The epoch stamp below guards it: a stale entry
+    /// self-evicts before its ETag could validate anything.
+    etag: Option<String>,
     /// Coherency-epoch value the body was assembled under. A hit is only
     /// a hit while the owning L2's epoch still equals this.
     stamp: u64,
@@ -109,7 +150,7 @@ impl L1Cache {
     /// anything else self-evicts on this touch (stale evictions are
     /// reported to the owning L2's stats so the node-level invariant
     /// `hits == l1_hits + l2_hits` stays auditable next to them).
-    pub fn get(&mut self, key: &str) -> Option<(Bytes, String)> {
+    pub fn get(&mut self, key: &str) -> Option<(Bytes, String, Option<String>)> {
         let entry = self.entries.get_mut(key)?;
         let epoch_ok = entry
             .l2
@@ -126,7 +167,11 @@ impl L1Cache {
         }
         self.tick += 1;
         entry.last_touch = self.tick;
-        let out = (entry.body.clone(), entry.content_type.clone());
+        let out = (
+            entry.body.clone(),
+            entry.content_type.clone(),
+            entry.etag.clone(),
+        );
         entry.l2.note_l1_hit();
         Some(out)
     }
@@ -140,11 +185,13 @@ impl L1Cache {
     /// promotion never restarts the page's freshness clock — a page
     /// assembled at t0 cannot serve past the expiry its L2 entry carried,
     /// no matter how late it was promoted.
+    #[allow(clippy::too_many_arguments)] // each field is a distinct, documented promotion input
     pub fn insert(
         &mut self,
         key: &str,
         body: Bytes,
         content_type: String,
+        etag: Option<String>,
         stamp: u64,
         l2_valid_for: Duration,
         l2: Arc<PageCache>,
@@ -172,6 +219,7 @@ impl L1Cache {
             L1Entry {
                 body,
                 content_type,
+                etag,
                 stamp,
                 expires_at: Instant::now() + self.ttl.min(l2_valid_for),
                 last_touch: self.tick,
@@ -265,10 +313,20 @@ impl LoopCache for LoopTier {
             return None;
         }
         let key = page_key(&req.target, session_of(req));
-        if let Some((body, content_type)) = self.l1.get(&key) {
-            let resp = Response::html(body)
+        if let Some((body, content_type, etag)) = self.l1.get(&key) {
+            // Conditional GETs whose validator still matches are answered
+            // hash-for-hash: no body bytes touched, no allocation beyond
+            // the headers. The entry already passed epoch validation in
+            // `L1Cache::get`, so this 304 cannot confirm a stale page.
+            if let Some(resp) = revalidated_response(req, etag.as_deref(), "dpc-l1") {
+                return Some(self.attach_trace(req, resp, "revalidated"));
+            }
+            let mut resp = Response::html(body)
                 .with_header("Content-Type", content_type)
                 .with_header("X-Cache", "dpc-l1");
+            if let Some(etag) = etag {
+                resp = resp.with_header("ETag", etag);
+            }
             return Some(self.attach_trace(req, resp, "l1"));
         }
         let l2 = (self.resolve)(&req.target)?;
@@ -276,21 +334,29 @@ impl LoopCache for LoopTier {
         if let Some(stamp) = hit.stamp {
             // Only stamped (DPC-installed) entries are promotable: an
             // unstamped entry has no epoch to validate against, so L1
-            // could never notice its invalidation.
+            // could never notice its invalidation. Promotion happens even
+            // on a 304 serve — the conditional traffic is exactly as hot.
             if hit.entry_hits >= PROMOTE_AFTER {
                 self.l1.insert(
                     &key,
                     hit.body.clone(),
                     hit.content_type.clone(),
+                    hit.etag.clone(),
                     stamp,
                     hit.ttl_remaining,
                     Arc::clone(&l2),
                 );
             }
         }
-        let resp = Response::html(hit.body)
+        if let Some(resp) = revalidated_response(req, hit.etag.as_deref(), "dpc-l2") {
+            return Some(self.attach_trace(req, resp, "revalidated"));
+        }
+        let mut resp = Response::html(hit.body)
             .with_header("Content-Type", hit.content_type)
             .with_header("X-Cache", "dpc-l2");
+        if let Some(etag) = hit.etag {
+            resp = resp.with_header("ETag", etag);
+        }
         Some(self.attach_trace(req, resp, "l2"))
     }
 }
@@ -326,6 +392,7 @@ mod tests {
             &key,
             Bytes::from_static(b"hot"),
             "t".into(),
+            None,
             epoch.value(),
             Duration::from_secs(600),
             l2.clone(),
@@ -348,6 +415,7 @@ mod tests {
             "a",
             Bytes::from_static(b"xxxx"),
             "t".into(),
+            None,
             epoch.value(),
             Duration::from_secs(600),
             l2.clone(),
@@ -356,6 +424,7 @@ mod tests {
             "b",
             Bytes::from_static(b"yyyy"),
             "t".into(),
+            None,
             epoch.value(),
             Duration::from_secs(600),
             l2.clone(),
@@ -365,6 +434,7 @@ mod tests {
             "c",
             Bytes::from_static(b"zzzz"),
             "t".into(),
+            None,
             epoch.value(),
             Duration::from_secs(600),
             l2.clone(),
@@ -383,6 +453,7 @@ mod tests {
             "big",
             Bytes::from_static(b"too large"),
             "t".into(),
+            None,
             epoch.value(),
             Duration::from_secs(600),
             l2,
@@ -404,6 +475,7 @@ mod tests {
             &bob,
             Bytes::from_static(b"bob's page"),
             "t".into(),
+            None,
             epoch.value(),
             Duration::from_secs(600),
             l2.clone(),
@@ -413,12 +485,13 @@ mod tests {
             &alice,
             Bytes::from_static(b"alice's page"),
             "t".into(),
+            None,
             epoch.value(),
             Duration::from_secs(600),
             l2,
         );
-        let (bob_body, _) = l1.get(&bob).unwrap();
-        let (alice_body, _) = l1.get(&alice).unwrap();
+        let (bob_body, _, _) = l1.get(&bob).unwrap();
+        let (alice_body, _, _) = l1.get(&alice).unwrap();
         assert_eq!(&bob_body[..], b"bob's page");
         assert_eq!(&alice_body[..], b"alice's page");
     }
@@ -434,6 +507,7 @@ mod tests {
             "nearly-dead",
             Bytes::from_static(b"old"),
             "t".into(),
+            None,
             epoch.value(),
             Duration::ZERO,
             l2,

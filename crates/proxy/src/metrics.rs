@@ -318,6 +318,14 @@ pub fn register_peer(
             &labels,
             load(&s.fetch_misses),
         );
+        // Disjoint from hits/misses: `hits + misses` stays exactly the
+        // number of wire fetches that moved (or would move) a body, while
+        // this family counts the hash-only revalidations.
+        e.counter(
+            "dpc_peer_fetch_not_modified_total",
+            &labels,
+            load(&s.fetch_not_modified),
+        );
         e.counter(
             "dpc_peer_gossip_served_total",
             &labels,
@@ -381,6 +389,10 @@ pub fn register_server(
                 load(&l.parse_errors),
             );
             e.counter("dpc_server_evictions_total", &labels, load(&l.evictions));
+            // The PR 4 "push-only pollers never arm the tick" pin as a
+            // scrapeable series: stays 0 for every workload under the OS
+            // readiness backend, counts 1 ms fallback ticks otherwise.
+            e.counter("dpc_poll_tick_waits_total", &labels, load(&l.tick_waits));
             e.gauge("dpc_server_live_connections", &labels, load(&l.live));
         }
         let merged = OutcomeHistograms::merged(&latency);

@@ -60,6 +60,12 @@ struct PageEntry {
     /// the per-loop tier only copies a page up on the Nth hit, keeping
     /// one-hit wonders out of the small L1 budget.
     hits: u64,
+    /// Strong validator for conditional GETs — the quoted form of the
+    /// page's assembly-time content identity
+    /// ([`dpc_core::AssemblyStats::page_identity`]). `None` for entries
+    /// installed by paths that carry no identity (classic page-cache
+    /// mode), which then never answer `If-None-Match` with a 304.
+    etag: Option<String>,
 }
 
 /// An L2 hit as seen by the per-loop L1 tier: the page plus the metadata
@@ -77,6 +83,12 @@ pub struct PageHit {
     /// page's freshness clock (a late promotion would otherwise serve the
     /// page for up to twice the configured TTL).
     pub ttl_remaining: Duration,
+    /// The entry's strong ETag, when its installer carried one. Because
+    /// stale stamped entries self-evict in the lookup before a hit is
+    /// produced, an ETag read off a `PageHit` is always epoch-current —
+    /// a 304 built from it can never validate a page an invalidation
+    /// already outdated.
+    pub etag: Option<String>,
 }
 
 /// Maps and replacer move together under one lock: eviction decisions and
@@ -300,6 +312,7 @@ impl PageCache {
                     stamp: entry.stamp,
                     entry_hits: entry.hits,
                     ttl_remaining: Duration::from_nanos(entry.expires_at.saturating_sub(now)),
+                    etag: entry.etag.clone(),
                 };
                 inner.replacer.touch(&ident);
                 self.l2_hits.fetch_add(1, Ordering::Relaxed);
@@ -331,7 +344,7 @@ impl PageCache {
     /// entirely (it is simply not cached — correct, just cold).
     pub fn put(&self, target: &str, body: Bytes, content_type: &str) {
         let mut inner = self.inner.lock();
-        self.install(&mut inner, target, body, content_type, None);
+        self.install(&mut inner, target, body, content_type, None, None);
     }
 
     /// Insert an assembled page under `target` with a coherence `stamp`
@@ -340,8 +353,21 @@ impl PageCache {
     /// invalidation is caught by validation on first touch, so a stale
     /// install self-evicts instead of serving.
     pub fn put_stamped(&self, target: &str, body: Bytes, content_type: &str, stamp: u64) {
+        self.put_stamped_tagged(target, body, content_type, stamp, None);
+    }
+
+    /// [`PageCache::put_stamped`] plus the page's strong ETag, so later
+    /// hits can answer `If-None-Match` with a body-free 304.
+    pub fn put_stamped_tagged(
+        &self,
+        target: &str,
+        body: Bytes,
+        content_type: &str,
+        stamp: u64,
+        etag: Option<String>,
+    ) {
         let mut inner = self.inner.lock();
-        self.install(&mut inner, target, body, content_type, Some(stamp));
+        self.install(&mut inner, target, body, content_type, Some(stamp), etag);
     }
 
     /// `put` gated on the purge epoch: installs only if no `purge`/`clear`
@@ -354,7 +380,7 @@ impl PageCache {
         if self.purge_epoch.load(Ordering::Relaxed) != epoch {
             return false;
         }
-        self.install(&mut inner, target, body, content_type, None);
+        self.install(&mut inner, target, body, content_type, None, None);
         true
     }
 
@@ -367,6 +393,7 @@ impl PageCache {
         body: Bytes,
         content_type: &str,
         stamp: Option<u64>,
+        etag: Option<String>,
     ) {
         let now = self.clock.now_nanos();
         let ttl: u64 = self.ttl.as_nanos().try_into().unwrap_or(u64::MAX);
@@ -378,6 +405,7 @@ impl PageCache {
             expires_at: now.saturating_add(ttl),
             stamp,
             hits: 0,
+            etag,
         };
         if inner.entries.contains_key(target) {
             // Refresh in place: body may have changed size.

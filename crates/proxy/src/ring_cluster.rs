@@ -460,6 +460,7 @@ impl RingCluster {
         let mut server = dpc_http::Server::new(Box::new(listener), handler)
             .with_config(dpc_http::server::ServerConfig {
                 workers: self.config.front_workers,
+                ..Default::default()
             })
             .with_loops(self.config.loops)
             .with_request_metrics(self.clock.clone());

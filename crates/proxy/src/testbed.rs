@@ -170,6 +170,7 @@ impl Testbed {
         })
         .with_config(ServerConfig {
             workers: config.workers,
+            ..Default::default()
         })
         .with_loops(config.loops)
         .spawn();
@@ -244,6 +245,7 @@ impl Testbed {
         })
         .with_config(ServerConfig {
             workers: config.workers,
+            ..Default::default()
         })
         .with_loops(config.loops);
         if config.metrics {

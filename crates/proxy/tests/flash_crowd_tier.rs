@@ -71,7 +71,7 @@ fn serve_tiered(
     store: &FragmentStore,
     produce: &(dyn Fn(&mut Vec<u8>) + Sync),
 ) -> Vec<u8> {
-    if let Some((body, _ct)) = l1.get(PAGE_KEY) {
+    if let Some((body, _ct, _etag)) = l1.get(PAGE_KEY) {
         return body.to_vec();
     }
     if let Some(hit) = pc.get_page(PAGE_KEY) {
@@ -81,6 +81,7 @@ fn serve_tiered(
                     PAGE_KEY,
                     hit.body.clone(),
                     hit.content_type.clone(),
+                    hit.etag.clone(),
                     stamp,
                     hit.ttl_remaining,
                     Arc::clone(pc),

@@ -354,6 +354,69 @@ fn metrics_scrape_covers_the_whole_ring_and_serves_at_any_node() {
     );
 }
 
+/// The exported poller pin on real hardware: a plain-TCP workload under
+/// the OS readiness backend — accepts, keep-alive requests, an idle
+/// stretch spanning dozens of fallback periods — scrapes as
+/// `dpc_poll_tick_waits_total == 0` on every loop, because the kernel
+/// pushes readiness and the 1 ms polled tick is never armed.
+#[cfg(target_os = "linux")]
+#[test]
+fn tcp_workload_under_os_backend_scrapes_zero_tick_waits() {
+    use dpc_http::{Handler, Server, ServerConfig};
+    use dpc_metrics::Registry;
+    use dpc_net::{Backend, TcpListenerAdapter};
+    use std::io::Write;
+
+    let handler: Arc<dyn Handler> = Arc::new(|req: Request| Response::html(req.target));
+    let listener = TcpListenerAdapter::bind("127.0.0.1:0").unwrap();
+    let handle = Server::new(Box::new(listener), handler)
+        .with_config(ServerConfig {
+            workers: 2,
+            backend: Backend::Os,
+        })
+        .with_loops(2)
+        .spawn();
+    let registry = Registry::new();
+    dpc_proxy::metrics::register_server(&registry, "srv", "tcp-front", handle.stats());
+
+    let mut conns = Vec::new();
+    for i in 0..16 {
+        let conn = std::net::TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = std::io::BufReader::new(conn);
+        write!(reader.get_mut(), "GET /r{i} HTTP/1.1\r\n\r\n").unwrap();
+        let resp = dpc_http::parse::read_response(&mut reader).unwrap();
+        assert_eq!(resp.status.0, 200);
+        conns.push(reader);
+    }
+    // Dozens of fallback periods with nothing to do: a polled backend
+    // would tick here; the kernel-parked loops must not.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let reader = &mut conns[3];
+    write!(reader.get_mut(), "GET /after-idle HTTP/1.1\r\n\r\n").unwrap();
+    assert_eq!(
+        dpc_http::parse::read_response(reader).unwrap().status.0,
+        200
+    );
+
+    let body = registry.render();
+    assert_eq!(
+        metric_sum(
+            &body,
+            "dpc_poll_tick_waits_total",
+            &[("server", "tcp-front")]
+        ),
+        0.0,
+        "OS-backed TCP loops must never arm the fallback tick"
+    );
+    assert!(
+        metric_sum(
+            &body,
+            "dpc_server_requests_total",
+            &[("server", "tcp-front")]
+        ) >= 17.0
+    );
+}
+
 #[test]
 fn purge_by_dependency_reports_freed_keys_and_unserves_the_tier() {
     let tb = Testbed::build(TestbedConfig {
