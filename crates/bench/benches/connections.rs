@@ -58,6 +58,14 @@
 //! self-asserts the CI floor — metrics-on throughput within 2% of
 //! metrics-off — and emits `BENCH_metrics.json`.
 //!
+//! The **trace scenario** prices the always-on span flight recorder the
+//! same way: two DPC testbeds with metrics on, one also recording a span
+//! per layer crossed into the lock-free trace rings (the default) and
+//! one with the recorder off. Same world-pair trial structure as the
+//! metrics scenario. It self-asserts the CI floor — tracing-on
+//! throughput within 3% of tracing-off on L1-hot serves — and emits
+//! `BENCH_trace.json`.
+//!
 //! The **net scenario** measures the readiness *backend* axis over real
 //! TCP loopback: the same front at 4096 idle keep-alive connections under
 //! the OS (epoll) backend and the portable polled backend. With every
@@ -73,10 +81,10 @@
 //!
 //! Run: `cargo bench -p dpc-bench --bench connections`
 //! Emits `BENCH_connections.json`, `BENCH_coalesce.json`,
-//! `BENCH_tiers.json`, `BENCH_metrics.json`, and `BENCH_net.json` at the
-//! workspace root. Set `DPC_BENCH_SCENARIO` to one of
-//! `connections`/`coalesce`/`tiers`/`metrics`/`net` to regenerate a
-//! single report without re-running the rest.
+//! `BENCH_tiers.json`, `BENCH_metrics.json`, `BENCH_trace.json`, and
+//! `BENCH_net.json` at the workspace root. Set `DPC_BENCH_SCENARIO` to
+//! one of `connections`/`coalesce`/`tiers`/`metrics`/`trace`/`net` to
+//! regenerate a single report without re-running the rest.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::io::Write as _;
@@ -925,6 +933,146 @@ fn metrics_scenario(quick: bool) {
     println!("wrote {path}");
 }
 
+/// Acceptable slowdown of the always-on flight recorder: with span
+/// tracing on, median throughput must stay within 3% of tracing-off.
+const TRACE_CI_OVERHEAD: f64 = 0.03;
+
+/// The tracing-overhead scenario: the metrics scenario's methodology
+/// (independently built world pairs, alternating batch order, best trial
+/// median per config) applied to the span recorder. Both worlds keep the
+/// metrics registry on — the axis under test is the *tracing* delta: a
+/// root span per request, an L1 probe span per serve, ring pushes, and
+/// the root-completion retention check. L1-hot serves are again the worst
+/// case: the request does almost nothing else, so the recorder's atomic
+/// stores have nowhere to hide. Asserts the CI floor and writes
+/// `BENCH_trace.json`.
+fn trace_scenario(quick: bool) {
+    use dpc_proxy::testbed::{Testbed, TestbedConfig, PROXY_ADDR};
+    use dpc_trace::TraceConfig;
+
+    const HOT_PAGES: usize = 8;
+    let reqs_per_batch = if quick { 400 } else { 1600 };
+    let batches = if quick { 9 } else { 21 };
+    let trials = if quick { 3 } else { 5 };
+    let build = |tracing: bool| {
+        Testbed::build(TestbedConfig {
+            mode: dpc_proxy::ProxyMode::Dpc,
+            paper_params: dpc_appserver::apps::paper_site::PaperSiteParams {
+                pages: HOT_PAGES,
+                ..Default::default()
+            },
+            l1_budget_bytes: 1 << 20,
+            trace: if tracing {
+                TraceConfig::default()
+            } else {
+                TraceConfig::disabled()
+            },
+            ..TestbedConfig::default()
+        })
+    };
+    let targets: Vec<String> = (0..reqs_per_batch)
+        .map(|i| format!("/paper/page.jsp?p={}", i % HOT_PAGES))
+        .collect();
+
+    // Per-trial medians, indexed [on, off].
+    let mut trial_medians: [Vec<u64>; 2] = [Vec::with_capacity(trials), Vec::with_capacity(trials)];
+    for trial in 0..trials {
+        let worlds = if trial % 2 == 0 {
+            [build(true), build(false)]
+        } else {
+            let off = build(false);
+            let on = build(true);
+            [on, off]
+        };
+        let mut readers: Vec<_> = worlds
+            .iter()
+            .map(|tb| {
+                let mut reader = std::io::BufReader::new(
+                    tb.net().connector().connect(PROXY_ADDR).expect("connect"),
+                );
+                for _ in 0..(dpc_proxy::l1::PROMOTE_AFTER as usize + 2) {
+                    for p in 0..HOT_PAGES {
+                        assert!(one_request(&mut reader, &format!("/paper/page.jsp?p={p}")) > 0);
+                    }
+                }
+                reader
+            })
+            .collect();
+        let mut samples: [Vec<u64>; 2] = [Vec::with_capacity(batches), Vec::with_capacity(batches)];
+        for round in 0..batches {
+            let order: [usize; 2] = if round % 2 == 0 { [0, 1] } else { [1, 0] };
+            for &w in &order {
+                let reader = &mut readers[w];
+                let start = Instant::now();
+                for target in &targets {
+                    std::hint::black_box(one_request(reader, target));
+                }
+                samples[w].push(start.elapsed().as_nanos() as u64);
+            }
+        }
+        for w in 0..2 {
+            trial_medians[w].push(median_ns(samples[w].clone()));
+        }
+
+        if trial == 0 {
+            // The recorder must actually have been recording: the traced
+            // world's rings saw a span per measured request, and its
+            // health counters are on the scrape; the bare world's tracer
+            // is off entirely.
+            let stats = worlds[0]
+                .tracer()
+                .recorder()
+                .expect("traced world has a recorder")
+                .stats();
+            assert!(
+                stats.spans_total as usize >= batches * reqs_per_batch,
+                "recorder saw the measured traffic"
+            );
+            let exposition = worlds[0]
+                .metrics_registry()
+                .expect("metrics stay on in both worlds")
+                .render();
+            assert!(exposition.contains("dpc_trace_spans_total"));
+            assert!(!worlds[1].tracer().enabled());
+        }
+    }
+    let on_ns = *trial_medians[0].iter().min().expect("trials ran");
+    let off_ns = *trial_medians[1].iter().min().expect("trials ran");
+    let rps = |ns: u64| reqs_per_batch as f64 / ns.max(1) as f64 * 1e9;
+    let overhead = on_ns as f64 / off_ns.max(1) as f64 - 1.0;
+
+    println!(
+        "measured trace scenario: {:>9.0} req/s on vs {:>9.0} req/s off \
+         ({:+.2}% overhead, floor {:.0}%), best of {trials} trials x median of {batches} x {reqs_per_batch} L1-hot requests",
+        rps(on_ns),
+        rps(off_ns),
+        overhead * 100.0,
+        TRACE_CI_OVERHEAD * 100.0
+    );
+    assert!(
+        overhead <= TRACE_CI_OVERHEAD,
+        "tracing-on serving path is {:.2}% slower than tracing-off (floor {:.0}%)",
+        overhead * 100.0,
+        TRACE_CI_OVERHEAD * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"trace\",\n  \"unit\": \"req/s of L1-hot serves through the HTTP front\",\n  \
+         \"quick\": {quick},\n  \"hot_pages\": {HOT_PAGES},\n  \"requests_per_batch\": {reqs_per_batch},\n  \
+         \"batches\": {batches},\n  \"trials\": {trials},\n  \"points\": [\n    \
+         {{\"tracing\": true, \"median_elapsed_ns\": {on_ns}, \"req_per_s\": {:.1}}},\n    \
+         {{\"tracing\": false, \"median_elapsed_ns\": {off_ns}, \"req_per_s\": {:.1}}}\n  ],\n  \
+         \"overhead_fraction\": {overhead:.5},\n  \
+         \"ci_floor\": \"tracing-on median throughput within {:.0}% of tracing-off\"\n}}\n",
+        rps(on_ns),
+        rps(off_ns),
+        TRACE_CI_OVERHEAD * 100.0
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(path, json).expect("write BENCH_trace.json");
+    println!("wrote {path}");
+}
+
 /// Idle TCP connections for the backend axis. Held at the acceptance
 /// point in quick mode too: the floor is *about* 4096 registered
 /// connections (an O(connections) polled scan vs an O(ready) epoll wake),
@@ -1001,6 +1149,7 @@ fn net_point(backend: Backend, name: &'static str, quick: bool) -> NetPoint {
         .with_config(ServerConfig {
             workers: 0,
             backend,
+            ..Default::default()
         })
         .with_loops(2)
         .spawn();
@@ -1295,6 +1444,9 @@ fn run_secondary_scenarios(quick: bool) {
     }
     if scenario_enabled("metrics") {
         metrics_scenario(quick);
+    }
+    if scenario_enabled("trace") {
+        trace_scenario(quick);
     }
     if scenario_enabled("net") {
         net_scenario(quick);

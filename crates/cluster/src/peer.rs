@@ -41,6 +41,7 @@ use std::thread::JoinHandle;
 
 use dpc_core::{CoherencyEpoch, DpcKey, FlightGroup, FragmentStore, Join, Publish};
 use dpc_net::frame::ClusterFrame;
+use dpc_trace::{Layer, SpanStatus, Tracer};
 use dpc_net::stream::Connector;
 use dpc_net::SimNetwork;
 use std::collections::HashMap;
@@ -114,6 +115,10 @@ pub struct PeerNode {
     /// frees keys bumps this epoch too.
     coherence: Mutex<Option<CoherencyEpoch>>,
     stats: PeerStats,
+    /// Span tracer for the fetch legs ([`Tracer::off`] until the ring
+    /// installs one): requester spans in [`PeerNode::coalesced_fetch`],
+    /// donor spans in the serve loop.
+    tracer: Mutex<Tracer>,
 }
 
 impl PeerNode {
@@ -126,7 +131,13 @@ impl PeerNode {
             fetch_flight: FlightGroup::new(),
             coherence: Mutex::new(None),
             stats: PeerStats::default(),
+            tracer: Mutex::new(Tracer::off()),
         })
+    }
+
+    /// Install the span tracer (replacing any previous one).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock() = tracer;
     }
 
     /// Attach the front's page-tier coherency epoch: from now on, every
@@ -279,9 +290,22 @@ impl PeerNode {
         key: DpcKey,
     ) -> io::Result<Option<Bytes>> {
         let ident = u64::from(key.0);
+        let tracer = self.tracer.lock().clone();
         for _ in 0..MAX_FETCH_LAPS {
+            // The span opens before the join so a parked waiter's span
+            // covers its park time too.
+            let mut sp = tracer.span(Layer::PeerFetch);
+            sp.set_detail(ident);
             match self.fetch_flight.join(ident) {
                 Join::Lead(leader) => {
+                    sp.set_status(SpanStatus::Leader);
+                    if sp.on() {
+                        // Tag the flight with our span id so waiter spans
+                        // can name the span they parked behind.
+                        leader.annotate(sp.id());
+                    }
+                    // The wire fetch runs under the PeerFetch span, so the
+                    // donor's serve span parents beneath it.
                     return match peer_fetch(connector, addr, key) {
                         Ok(value) => {
                             self.stats
@@ -297,18 +321,22 @@ impl PeerNode {
                             }
                         }
                         Err(err) => {
+                            sp.set_status(SpanStatus::Error);
                             drop(leader); // poison: waiters re-elect
                             Err(err)
                         }
                     };
                 }
-                Join::Value(value) => {
+                Join::Value(value, leader_span) => {
+                    sp.set_status(SpanStatus::Waiter);
+                    sp.set_detail(leader_span);
                     self.stats
                         .fetch_coalesced_waits
                         .fetch_add(1, Ordering::Relaxed);
                     return Ok(value);
                 }
                 Join::Retry => {
+                    sp.cancel();
                     self.stats
                         .fetch_flight_retries
                         .fetch_add(1, Ordering::Relaxed);
@@ -349,33 +377,47 @@ impl PeerNode {
     fn serve_conn(&self, stream: &mut (impl io::Read + io::Write)) -> io::Result<()> {
         while let Some(frame) = ClusterFrame::read_from(stream)? {
             match frame {
-                ClusterFrame::FetchReq { key, known } => {
+                ClusterFrame::FetchReq { key, known, trace } => {
+                    // Adopt the requester's trace context for the serve
+                    // span, and echo (trace id, serve span id) back so the
+                    // requester can see the donor's side of the leg.
+                    let _ctx = trace.map(|(tid, sid)| dpc_trace::enter(tid, sid));
+                    let tracer = self.tracer.lock().clone();
+                    let mut sp = tracer.span(Layer::PeerServe);
+                    sp.set_detail(u64::from(key));
+                    let echo = sp.on().then(|| (sp.trace_id(), sp.id()));
                     // Exactly one of {hit, miss, not_modified} per wire
                     // fetch: the donor-side meter counts bodies moved
                     // (hits), empty answers (misses), and hash-only
                     // revalidations (not_modified) disjointly.
                     let resp = match self.store.get(DpcKey(key)) {
                         Some(body) if known != 0 && dpc_core::fnv1a(&body) == known => {
+                            sp.set_status(SpanStatus::Revalidated);
                             self.stats
                                 .fetch_not_modified
                                 .fetch_add(1, Ordering::Relaxed);
                             ClusterFrame::FetchNotModified { hash: known }
                         }
                         Some(body) => {
+                            sp.set_status(SpanStatus::Hit);
                             self.stats.fetch_hits.fetch_add(1, Ordering::Relaxed);
                             ClusterFrame::FetchResp {
                                 hit: true,
                                 body: body.to_vec(),
+                                trace: echo,
                             }
                         }
                         None => {
+                            sp.set_status(SpanStatus::Miss);
                             self.stats.fetch_misses.fetch_add(1, Ordering::Relaxed);
                             ClusterFrame::FetchResp {
                                 hit: false,
                                 body: Vec::new(),
+                                trace: echo,
                             }
                         }
                     };
+                    drop(sp);
                     resp.write_to(stream)?;
                 }
                 ClusterFrame::GossipSyn { from, vv } => {
@@ -528,11 +570,18 @@ pub fn peer_fetch_conditional(
     known: u64,
 ) -> io::Result<PeerFetch> {
     let mut stream = connector.connect(addr)?;
-    ClusterFrame::FetchReq { key: key.0, known }.write_to(&mut stream)?;
+    ClusterFrame::FetchReq {
+        key: key.0,
+        known,
+        // The calling thread's span context rides the frame, so the
+        // donor's serve span lands in the same trace.
+        trace: dpc_trace::current(),
+    }
+    .write_to(&mut stream)?;
     match ClusterFrame::read_from(&mut stream)? {
-        Some(ClusterFrame::FetchResp { hit: true, body }) => {
-            Ok(PeerFetch::Fetched(Bytes::from(body)))
-        }
+        Some(ClusterFrame::FetchResp {
+            hit: true, body, ..
+        }) => Ok(PeerFetch::Fetched(Bytes::from(body))),
         Some(ClusterFrame::FetchResp { hit: false, .. }) => Ok(PeerFetch::Miss),
         Some(ClusterFrame::FetchNotModified { hash }) if known != 0 && hash == known => {
             Ok(PeerFetch::NotModified)

@@ -19,6 +19,7 @@
 //!   directory state.
 
 use bytes::Bytes;
+use dpc_trace::{Layer, SpanStatus, Tracer};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -104,6 +105,9 @@ pub struct Bem {
     /// Observer notified with the freed keys of every data-source
     /// invalidation (see [`InvalidationSink`]).
     invalidation_sink: Mutex<Option<InvalidationSink>>,
+    /// Span tracer for directory lookups and flight participation
+    /// ([`Tracer::off`] until the serving tier installs one).
+    tracer: Mutex<Tracer>,
 }
 
 impl Bem {
@@ -119,7 +123,15 @@ impl Bem {
             stats: BemStats::default(),
             pages: AtomicU64::new(0),
             invalidation_sink: Mutex::new(None),
+            tracer: Mutex::new(Tracer::off()),
         }
+    }
+
+    /// Install the span tracer (replacing any previous one). Writers pick
+    /// it up per `fragment` call; spans only record when the calling
+    /// thread carries a trace context.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock() = tracer;
     }
 
     /// The cache directory (exposed for invalidation managers and tests).
@@ -380,15 +392,32 @@ impl TemplateWriter<'_> {
         // fragment while a waiter is parked, and the waiter would wake
         // with that fragment's bytes spliced into this template position.
         let fkey = self.bem.directory.flight_key(id);
+        let tracer = self.bem.tracer.lock().clone();
         for lap in 0..=MAX_FLIGHT_LAPS {
             // The final lap runs uncoalesced so every arm must return.
             let coalesce = self.bem.config.coalesce && lap < MAX_FLIGHT_LAPS;
-            match self.lookup(id, policy.ttl, &policy.deps) {
+            let looked = {
+                let mut sp = tracer.span(Layer::Directory);
+                sp.set_detail(fkey);
+                let looked = self.lookup(id, policy.ttl, &policy.deps);
+                sp.set_status(match &looked {
+                    Lookup::Hit(_) => SpanStatus::Hit,
+                    Lookup::Miss(_) => SpanStatus::Miss,
+                    Lookup::Uncacheable => SpanStatus::Ok,
+                });
+                looked
+            };
+            match looked {
                 Lookup::Hit(key) => {
                     if coalesce {
+                        let mut fsp = tracer.span(Layer::Flight);
+                        fsp.set_detail(fkey);
                         match self.bem.directory.flight().wait(fkey) {
-                            Wait::NoFlight => {}
-                            Wait::Value(bytes) => {
+                            Wait::NoFlight => fsp.cancel(),
+                            Wait::Value(bytes, leader_span) => {
+                                fsp.set_status(SpanStatus::Waiter);
+                                fsp.set_detail(leader_span);
+                                drop(fsp);
                                 // The key may have been freed and
                                 // reassigned while we were parked;
                                 // re-validate id → key before emitting a
@@ -408,10 +437,12 @@ impl TemplateWriter<'_> {
                                 return true;
                             }
                             Wait::Retry => {
+                                fsp.cancel();
                                 stats.flight_retries.fetch_add(1, Ordering::Relaxed);
                                 continue;
                             }
                             Wait::Orphaned => {
+                                fsp.set_status(SpanStatus::Orphaned);
                                 // The leader died. Retire its generation so
                                 // the re-lookup misses and we take over.
                                 stats.flight_retries.fetch_add(1, Ordering::Relaxed);
@@ -429,6 +460,16 @@ impl TemplateWriter<'_> {
                 }
                 Lookup::Miss(key) => {
                     let leader = coalesce.then(|| self.bem.directory.flight().begin(fkey));
+                    let _flight_span = leader.as_ref().map(|l| {
+                        let mut sp = tracer.span(Layer::Flight);
+                        sp.set_status(SpanStatus::Leader);
+                        if sp.on() {
+                            // Tag the flight with our span id so waiter
+                            // spans can name the span they parked behind.
+                            l.annotate(sp.id());
+                        }
+                        sp
+                    });
                     let mut content = Vec::new();
                     produce(&mut content);
                     // Report the produced size: resident-bytes accounting and
@@ -519,14 +560,31 @@ impl TemplateWriter<'_> {
         }
         // Keyed by fragment identity for the same reason as `fragment`.
         let fkey = self.bem.directory.flight_key(id);
+        let tracer = self.bem.tracer.lock().clone();
         for lap in 0..=MAX_FLIGHT_LAPS {
             let coalesce = self.bem.config.coalesce && lap < MAX_FLIGHT_LAPS;
-            match self.lookup(id, ttl, &[]) {
+            let looked = {
+                let mut sp = tracer.span(Layer::Directory);
+                sp.set_detail(fkey);
+                let looked = self.lookup(id, ttl, &[]);
+                sp.set_status(match &looked {
+                    Lookup::Hit(_) => SpanStatus::Hit,
+                    Lookup::Miss(_) => SpanStatus::Miss,
+                    Lookup::Uncacheable => SpanStatus::Ok,
+                });
+                looked
+            };
+            match looked {
                 Lookup::Hit(key) => {
                     if coalesce {
+                        let mut fsp = tracer.span(Layer::Flight);
+                        fsp.set_detail(fkey);
                         match self.bem.directory.flight().wait(fkey) {
-                            Wait::NoFlight => {}
-                            Wait::Value(bytes) => {
+                            Wait::NoFlight => fsp.cancel(),
+                            Wait::Value(bytes, leader_span) => {
+                                fsp.set_status(SpanStatus::Waiter);
+                                fsp.set_detail(leader_span);
+                                drop(fsp);
                                 if self.bem.directory.current_key(id) != Some(key) {
                                     stats.flight_retries.fetch_add(1, Ordering::Relaxed);
                                     continue;
@@ -537,10 +595,12 @@ impl TemplateWriter<'_> {
                                 return true;
                             }
                             Wait::Retry => {
+                                fsp.cancel();
                                 stats.flight_retries.fetch_add(1, Ordering::Relaxed);
                                 continue;
                             }
                             Wait::Orphaned => {
+                                fsp.set_status(SpanStatus::Orphaned);
                                 stats.flight_retries.fetch_add(1, Ordering::Relaxed);
                                 self.bem.directory.invalidate_if_key(id, key);
                                 continue;
@@ -556,6 +616,14 @@ impl TemplateWriter<'_> {
                 }
                 Lookup::Miss(key) => {
                     let leader = coalesce.then(|| self.bem.directory.flight().begin(fkey));
+                    let _flight_span = leader.as_ref().map(|l| {
+                        let mut sp = tracer.span(Layer::Flight);
+                        sp.set_status(SpanStatus::Leader);
+                        if sp.on() {
+                            l.annotate(sp.id());
+                        }
+                        sp
+                    });
                     let mut content = Vec::new();
                     let deps = produce(&mut content);
                     // Register the discovered deps before publishing: a

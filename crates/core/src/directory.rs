@@ -1582,7 +1582,7 @@ mod tests {
         assert_eq!(ka, kb, "capacity 1 forces the key to recycle");
         let leader_b = dir.flight().begin(dir.flight_key(&b));
         assert!(
-            !matches!(dir.flight().wait(dir.flight_key(&a)), Wait::Value(_)),
+            !matches!(dir.flight().wait(dir.flight_key(&a)), Wait::Value(..)),
             "a probe for `a` must never see `b`'s flight"
         );
         assert_eq!(leader_a.publish(Bytes::from_static(b"A")), Publish::Stale);

@@ -56,11 +56,22 @@ const RESERVED_FLIGHTS: usize = 64;
 enum Flight<V> {
     /// Leader is computing. `waiters` counts parked threads; `stale`
     /// means an invalidation arrived mid-flight and the result must not
-    /// be published.
-    Pending { seq: u64, waiters: u32, stale: bool },
+    /// be published. `tag` is the leader's opaque annotation (see
+    /// [`FlightLeader::annotate`]), handed to every waiter with the value.
+    Pending {
+        seq: u64,
+        waiters: u32,
+        stale: bool,
+        tag: u64,
+    },
     /// Leader published; `remaining` parked waiters have yet to collect.
     /// Removed when the last one drains.
-    Done { seq: u64, value: V, remaining: u32 },
+    Done {
+        seq: u64,
+        value: V,
+        remaining: u32,
+        tag: u64,
+    },
     /// Leader died without publishing. `claimed` hands the repair role to
     /// exactly one observer; removed when the parked waiters drain.
     Poisoned {
@@ -103,8 +114,10 @@ pub enum Publish {
 pub enum Wait<V> {
     /// No flight for this key — proceed normally.
     NoFlight,
-    /// A leader's published value.
-    Value(V),
+    /// A leader's published value, paired with the leader's annotation
+    /// tag (0 if the leader never annotated) — tracing uses it to point
+    /// waiter spans at the leader's span.
+    Value(V, u64),
     /// The flight went stale or was superseded — re-run the lookup.
     Retry,
     /// The leader died and this caller drew the repair claim: it should
@@ -117,8 +130,9 @@ pub enum Wait<V> {
 pub enum Join<'a, K: Eq + Hash + Copy, V: Clone> {
     /// This caller is the leader and must compute, then publish or drop.
     Lead(FlightLeader<'a, K, V>),
-    /// A concurrent leader's published value.
-    Value(V),
+    /// A concurrent leader's published value plus its annotation tag
+    /// (see [`Wait::Value`]).
+    Value(V, u64),
     /// Flight went stale/poisoned under us — loop and join again.
     Retry,
 }
@@ -192,6 +206,7 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightGroup<K, V> {
                 seq,
                 waiters: 0,
                 stale: false,
+                tag: 0,
             },
         );
         match previous {
@@ -233,7 +248,7 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightGroup<K, V> {
         }
         match self.wait(key) {
             Wait::NoFlight => Join::Retry, // landed between probe and park
-            Wait::Value(v) => Join::Value(v),
+            Wait::Value(v, tag) => Join::Value(v, tag),
             Wait::Retry | Wait::Orphaned => Join::Retry,
         }
     }
@@ -269,6 +284,7 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightGroup<K, V> {
                     seq,
                     waiters,
                     stale,
+                    ..
                 }) => {
                     match parked_seq {
                         Some(mine) if mine != *seq => {
@@ -299,6 +315,7 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightGroup<K, V> {
                     seq,
                     value,
                     remaining,
+                    tag,
                 }) => {
                     if let Some(mine) = parked_seq {
                         if mine != *seq {
@@ -307,6 +324,7 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightGroup<K, V> {
                         }
                     }
                     let v = value.clone();
+                    let t = *tag;
                     if parked_seq.is_some() {
                         *remaining -= 1;
                         if *remaining == 0 {
@@ -315,7 +333,7 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightGroup<K, V> {
                         }
                     }
                     self.waits_served.fetch_add(1, Ordering::Relaxed);
-                    return Wait::Value(v);
+                    return Wait::Value(v, t);
                 }
                 Some(Flight::Poisoned {
                     seq,
@@ -500,6 +518,20 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightLeader<'_, K, V> {
         self.seq
     }
 
+    /// Attach an opaque annotation to the flight — delivered to every
+    /// waiter alongside the published value ([`Wait::Value`]'s second
+    /// element). Tracing stores the leader's span id here so waiter spans
+    /// can name the span they coalesced behind. A no-op if the flight was
+    /// superseded or already settled.
+    pub fn annotate(&self, tag: u64) {
+        let mut inner = self.group.lock();
+        if let Some(Flight::Pending { seq, tag: slot, .. }) = inner.flights.get_mut(&self.key) {
+            if *seq == self.seq {
+                *slot = tag;
+            }
+        }
+    }
+
     /// Land the flight: broadcast `value` to parked waiters, or report
     /// [`Publish::Stale`] if an invalidation arrived mid-flight (the
     /// value is discarded and the caller must recompute).
@@ -512,7 +544,9 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightLeader<'_, K, V> {
                 seq,
                 waiters,
                 stale,
+                tag,
             }) if *seq == self.seq => {
+                let tag = *tag;
                 if *stale {
                     inner.flights.remove(&self.key);
                     group.active.fetch_sub(1, Ordering::Release);
@@ -533,6 +567,7 @@ impl<K: Eq + Hash + Copy, V: Clone> FlightLeader<'_, K, V> {
                         seq: self.seq,
                         value,
                         remaining: n,
+                        tag,
                     };
                     drop(inner);
                     group.published.fetch_add(1, Ordering::Relaxed);
@@ -621,7 +656,7 @@ mod tests {
             .map(|_| {
                 let g = Arc::clone(&g);
                 std::thread::spawn(move || match g.wait(1) {
-                    Wait::Value(v) => v,
+                    Wait::Value(v, _) => v,
                     other => panic!("expected value, got {other:?}"),
                 })
             })
@@ -719,7 +754,7 @@ mod tests {
                             guard.publish(77);
                             return 77;
                         }
-                        Join::Value(v) => {
+                        Join::Value(v, _) => {
                             served.fetch_add(1, Ordering::Relaxed);
                             return v;
                         }
@@ -738,6 +773,28 @@ mod tests {
             leaders.load(Ordering::Relaxed) + served.load(Ordering::Relaxed),
             8
         );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn annotation_tag_reaches_every_waiter() {
+        let g: Arc<FlightGroup<u64, u64>> = Arc::new(FlightGroup::new());
+        let leader = g.begin(2);
+        leader.annotate(0xABCD);
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || match g.wait(2) {
+                    Wait::Value(v, tag) => (v, tag),
+                    other => panic!("expected value, got {other:?}"),
+                })
+            })
+            .collect();
+        spin_until(Duration::from_secs(5), || g.parked_waiters(2) == 3);
+        assert_eq!(leader.publish(5), Publish::Delivered(3));
+        for t in threads {
+            assert_eq!(t.join().unwrap(), (5, 0xABCD));
+        }
         g.check_invariants().unwrap();
     }
 

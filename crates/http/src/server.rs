@@ -51,10 +51,11 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use dpc_metrics::{HistogramSnapshot, Outcome, OutcomeHistograms};
+use dpc_metrics::{HistogramSnapshot, Outcome, OutcomeExemplars, OutcomeHistograms};
 use dpc_net::{
     Backend, BoxNbListener, BoxNbStream, Clock, Poller, Ready, Registry, Token, WakeSet,
 };
+use dpc_trace::{Layer, RootCtx, SpanStatus, TraceConfig, Tracer, TRACE_HEADER};
 
 use crate::message::{Request, Response};
 use crate::parse::{self, try_parse_request};
@@ -116,6 +117,12 @@ pub struct ServerConfig {
     /// zero CPU. The default honours the `DPC_POLL_BACKEND` environment
     /// variable (`"os"`), so CI can force the OS backend suite-wide.
     pub backend: Backend,
+    /// Span-recorder configuration. Disabled by default at this layer —
+    /// embedders that trace (the testbed, the ring) usually install a
+    /// shared recorder via [`Server::with_tracer`] instead, so one
+    /// recorder stitches spans across servers; enabling here gives the
+    /// server a private recorder built from this config.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +130,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 32,
             backend: Backend::from_env(),
+            trace: TraceConfig::disabled(),
         }
     }
 }
@@ -176,6 +184,9 @@ pub struct ServerStats {
     /// hot path's `fetch_add`s never share a cache line across loops.
     /// Empty unless [`Server::with_request_metrics`] was set.
     latency: Vec<Arc<OutcomeHistograms>>,
+    /// Per-loop latency exemplars (worst traced observation per outcome
+    /// and bucket). Empty unless both request metrics and tracing are on.
+    exemplars: Vec<Arc<OutcomeExemplars>>,
 }
 
 impl ServerStats {
@@ -226,6 +237,19 @@ impl ServerStats {
         OutcomeHistograms::merged(&self.latency)
     }
 
+    /// Per-loop latency exemplars (empty unless both
+    /// [`Server::with_request_metrics`] and a tracer were set).
+    pub fn exemplars_per_loop(&self) -> &[Arc<OutcomeExemplars>] {
+        &self.exemplars
+    }
+
+    /// Drain the per-loop exemplars into one worst-traced observation per
+    /// (outcome, bucket) — the scrape-time view. Draining resets the
+    /// slots, so each scrape window reports its own tail.
+    pub fn exemplars_take_merged(&self) -> Vec<[dpc_metrics::Exemplar; dpc_metrics::BUCKETS]> {
+        OutcomeExemplars::take_merged(&self.exemplars)
+    }
+
     /// Currently-owned connections per loop — the accept-distribution
     /// balance.
     pub fn live_per_loop(&self) -> Vec<u64> {
@@ -246,6 +270,7 @@ pub struct Server {
     global_output_cap: usize,
     loop_cache: Option<LoopCacheFactory>,
     request_clock: Option<Clock>,
+    tracer: Option<Tracer>,
 }
 
 impl Server {
@@ -259,6 +284,7 @@ impl Server {
             global_output_cap: DEFAULT_GLOBAL_OUTPUT_CAP,
             loop_cache: None,
             request_clock: None,
+            tracer: None,
         }
     }
 
@@ -305,6 +331,20 @@ impl Server {
         self
     }
 
+    /// Builder: record a span per request into `tracer`'s flight recorder.
+    /// The root span opens when a request finishes parsing (honouring an
+    /// incoming `X-DPC-Trace-Id` so upstream hops stitch into one trace)
+    /// and closes when its response is queued; the loop-cache probe, the
+    /// handler (inline or at the worker pool), and everything they call
+    /// record child spans under it through the thread-local context.
+    /// Overrides `ServerConfig::trace` — pass a tracer built on a shared
+    /// recorder so multiple servers (testbed origin + proxy, ring nodes)
+    /// land their spans in one place.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Server {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Start the loop set on background threads. The returned handle
     /// stops the server when dropped.
     pub fn spawn(self) -> ServerHandle {
@@ -344,9 +384,25 @@ impl Server {
         } else {
             Vec::new()
         };
+        let tracer = match self.tracer {
+            Some(t) => t,
+            None if self.config.trace.enabled => Tracer::from_config(
+                self.config.trace,
+                self.request_clock.clone().unwrap_or_else(Clock::real),
+            ),
+            None => Tracer::off(),
+        };
+        // Exemplars need both a latency observation and a trace id, so
+        // they exist only when metrics and tracing are both on.
+        let exemplars: Vec<Arc<OutcomeExemplars>> = if !latency.is_empty() && tracer.enabled() {
+            (0..n).map(|_| Arc::new(OutcomeExemplars::new())).collect()
+        } else {
+            Vec::new()
+        };
         let stats = ServerStats {
             per_loop: shared.loops.iter().map(|l| Arc::clone(&l.stats)).collect(),
             latency: latency.clone(),
+            exemplars: exemplars.clone(),
         };
         let mut listener = Some(self.listener);
         let mut threads = Vec::with_capacity(n);
@@ -372,6 +428,8 @@ impl Server {
                 cache: self.loop_cache.as_ref().map(|f| f(index)),
                 clock: self.request_clock.clone(),
                 latency: latency.get(index).cloned(),
+                exemplars: exemplars.get(index).cloned(),
+                tracer: tracer.clone(),
                 stopping: false,
                 budget_parked: std::collections::BTreeSet::new(),
             };
@@ -449,6 +507,10 @@ struct Conn {
     /// Clock reading taken when the current request finished parsing;
     /// `complete_request` turns it into a latency observation.
     req_start: u64,
+    /// Root span of the in-flight request, opened at parse completion and
+    /// finished when its response is queued (or the connection is
+    /// evicted). `None` between requests or when tracing is off.
+    trace: Option<RootCtx>,
     /// Stop after draining `out` (close requested or fatal parse error).
     close_after_flush: bool,
     eof: bool,
@@ -478,6 +540,7 @@ impl Conn {
             handling: false,
             close_pending: false,
             req_start: 0,
+            trace: None,
             close_after_flush: false,
             eof: false,
             dead: false,
@@ -643,6 +706,12 @@ struct LoopState {
     /// This loop's private latency histograms — never shared with sibling
     /// loops, so observes stay on loop-local cache lines.
     latency: Option<Arc<OutcomeHistograms>>,
+    /// This loop's private latency exemplars (see
+    /// [`ServerStats::exemplars_take_merged`]).
+    exemplars: Option<Arc<OutcomeExemplars>>,
+    /// Span recorder handle; `Tracer::off()` when tracing is disabled, so
+    /// the hot path pays one `Option` check per call.
+    tracer: Tracer,
     /// Set when the loop leaves its main phase: no new parses, drain only.
     stopping: bool,
     /// Connections whose pump stopped on the output budget. Under the
@@ -766,7 +835,14 @@ impl LoopState {
         let Some(conn) = self.conns.get_mut(&token) else {
             return; // connection died while the handler ran
         };
-        Self::complete_request(conn, &resp, self.latency.as_deref(), self.clock.as_ref());
+        Self::complete_request(
+            conn,
+            &resp,
+            self.latency.as_deref(),
+            self.exemplars.as_deref(),
+            self.clock.as_ref(),
+            &self.tracer,
+        );
         self.pump(token);
     }
 
@@ -782,7 +858,9 @@ impl LoopState {
         conn: &mut Conn,
         resp: &Response,
         latency: Option<&OutcomeHistograms>,
+        exemplars: Option<&OutcomeExemplars>,
         clock: Option<&Clock>,
+        tracer: &Tracer,
     ) {
         if let (Some(latency), Some(clock)) = (latency, clock) {
             let outcome = Outcome::classify(
@@ -791,7 +869,15 @@ impl LoopState {
                 resp.headers.get("X-Cache"),
                 resp.headers.get("X-DPC-Peer-Fetched").is_some(),
             );
-            latency.observe(outcome, clock.now_nanos().saturating_sub(conn.req_start));
+            let nanos = clock.now_nanos().saturating_sub(conn.req_start);
+            latency.observe(outcome, nanos);
+            if let (Some(exemplars), Some(ctx)) = (exemplars, conn.trace.as_ref()) {
+                exemplars.observe(outcome, nanos, ctx.trace_id);
+            }
+        }
+        if let Some(ctx) = conn.trace.take() {
+            let ok = resp.status.is_success() || resp.status == crate::Status::NOT_MODIFIED;
+            tracer.finish_root(ctx, if ok { SpanStatus::Ok } else { SpanStatus::Error });
         }
         let close = conn.close_pending || resp.headers.connection_close();
         conn.enqueue_response(resp);
@@ -895,6 +981,12 @@ impl LoopState {
                 conn.over_strikes += 1;
                 if conn.over_strikes >= EVICT_STRIKES {
                     self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    // An in-flight request dies with its connection: close
+                    // the root as evicted so the flight recorder keeps the
+                    // trace (eviction is always retention-worthy).
+                    if let Some(ctx) = conn.trace.take() {
+                        self.tracer.finish_root(ctx, SpanStatus::Evicted);
+                    }
                     self.remove(token);
                     return;
                 }
@@ -994,30 +1086,47 @@ impl LoopState {
                     if let Some(clock) = &self.clock {
                         conn.req_start = clock.now_nanos();
                     }
+                    // Open the request's root span. An incoming
+                    // `X-DPC-Trace-Id` (a peer or front forwarded this
+                    // hop) stitches it into the caller's trace.
+                    conn.trace = self
+                        .tracer
+                        .begin_request(Layer::Http, req.headers.get(TRACE_HEADER));
                     // Per-loop tier: a hit is served without leaving this
                     // thread (and, in pool mode, without a worker
                     // handoff), then the loop continues to flush and
                     // parse any pipelined successor.
                     if let Some(cache) = self.cache.as_mut() {
-                        if let Some(resp) = cache.try_serve(&req) {
+                        let served = {
+                            let _ctx = dpc_trace::enter_ctx(conn.trace);
+                            cache.try_serve(&req)
+                        };
+                        if let Some(resp) = served {
                             Self::complete_request(
                                 conn,
                                 &resp,
                                 self.latency.as_deref(),
+                                self.exemplars.as_deref(),
                                 self.clock.as_ref(),
+                                &self.tracer,
                             );
                             continue;
                         }
                     }
                     if self.pool.is_some() {
                         conn.handling = true;
-                        self.dispatch(token, req);
+                        let trace = conn.trace;
+                        self.dispatch(token, req, trace);
                         return; // resumes in finish_request
                     }
                     // Inline mode: run the handler here, then loop to
                     // flush and parse any pipelined successor.
                     let handler = Arc::clone(&self.handler);
-                    let resp = handler.handle(req);
+                    let trace = conn.trace;
+                    let resp = {
+                        let _ctx = dpc_trace::enter_ctx(trace);
+                        handler.handle(req)
+                    };
                     let Some(conn) = self.conns.get_mut(&token) else {
                         return;
                     };
@@ -1025,7 +1134,9 @@ impl LoopState {
                         conn,
                         &resp,
                         self.latency.as_deref(),
+                        self.exemplars.as_deref(),
                         self.clock.as_ref(),
+                        &self.tracer,
                     );
                 }
                 Ok(None) => {
@@ -1063,12 +1174,15 @@ impl LoopState {
 
     /// Hand a request to the worker pool; the response comes back through
     /// `done_rx` and a poller wake.
-    fn dispatch(&mut self, token: Token, req: Request) {
+    fn dispatch(&mut self, token: Token, req: Request, trace: Option<RootCtx>) {
         let handler = Arc::clone(&self.handler);
         let done = self.done_tx.clone();
         let registry = Arc::clone(self.poller.registry());
         let pool = self.pool.as_ref().expect("dispatch requires a pool");
         pool.execute(move || {
+            // Re-establish the request's trace context on the worker
+            // thread so the handler's spans parent under the root.
+            let _ctx = dpc_trace::enter_ctx(trace);
             let resp = handler.handle(req);
             if done.send((token, resp)).is_ok() {
                 registry.wake();

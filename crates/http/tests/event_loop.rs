@@ -293,6 +293,7 @@ fn tcp_workload_under_os_backend_never_ticks() {
             .with_config(ServerConfig {
                 workers: 2,
                 backend,
+                ..Default::default()
             })
             .spawn();
         let mut idle = Vec::new();

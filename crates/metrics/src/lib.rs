@@ -98,9 +98,10 @@ pub struct Histogram {
     sum: AtomicU64,
 }
 
+/// Bucket index for value `v`: its bit-width (0 -> 0, 1 -> 1, 2..3 -> 2,
+/// 4..7 -> 3, ...), saturating at the last bucket.
 #[inline]
-fn bucket_of(v: u64) -> usize {
-    // Bit-width of v: 0 -> 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...
+pub fn bucket_of(v: u64) -> usize {
     let w = (64 - v.leading_zeros()) as usize;
     if w >= BUCKETS {
         BUCKETS - 1
@@ -111,7 +112,7 @@ fn bucket_of(v: u64) -> usize {
 
 /// Inclusive upper bound of bucket `i` (the largest value of bit-width `i`).
 #[inline]
-fn bucket_upper(i: usize) -> u64 {
+pub fn bucket_upper(i: usize) -> u64 {
     if i + 1 >= BUCKETS {
         u64::MAX
     } else {
@@ -352,6 +353,84 @@ impl OutcomeHistograms {
             let snap = l.snapshot();
             for (acc, s) in out.iter_mut().zip(snap.iter()) {
                 acc.merge(s);
+            }
+        }
+        out
+    }
+}
+
+/// Per-(outcome, bucket) exemplars: the slowest observation each latency
+/// bucket has seen since the last scrape, tagged with its trace id so a
+/// histogram tail links straight to the flight recorder's keep-list. One
+/// instance per event loop (like [`OutcomeHistograms`]); `observe` is a
+/// racy-max pair of relaxed stores — no locks, no allocation — and scrape
+/// drains the slots via [`OutcomeExemplars::take_merged`].
+#[derive(Debug)]
+pub struct OutcomeExemplars {
+    per: [[ExemplarSlot; BUCKETS]; Outcome::COUNT],
+}
+
+#[derive(Debug, Default)]
+struct ExemplarSlot {
+    nanos: AtomicU64,
+    trace: AtomicU64,
+}
+
+/// One drained exemplar: the worst observation of its (outcome, bucket)
+/// cell in the last scrape window. `trace == 0` means the cell was empty.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exemplar {
+    pub nanos: u64,
+    pub trace: u64,
+}
+
+impl Default for OutcomeExemplars {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OutcomeExemplars {
+    pub fn new() -> Self {
+        OutcomeExemplars {
+            per: std::array::from_fn(|_| std::array::from_fn(|_| ExemplarSlot::default())),
+        }
+    }
+
+    /// Record `nanos` as a candidate exemplar for its (outcome, bucket)
+    /// cell, keeping the largest value since the last drain. The
+    /// check-then-store pair is racy, but a lost update only drops one of
+    /// two candidates from the same octave — fine for a debugging pointer.
+    /// Observations without a trace (`trace_id == 0`) are skipped; the
+    /// histogram proper still counts them.
+    #[inline]
+    pub fn observe(&self, outcome: Outcome, nanos: u64, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        let slot = &self.per[outcome.index()][bucket_of(nanos)];
+        if nanos >= slot.nanos.load(Ordering::Relaxed) {
+            slot.nanos.store(nanos, Ordering::Relaxed);
+            slot.trace.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// Drain many per-loop instances into one exemplar per (outcome,
+    /// bucket): every slot is swapped back to empty and the largest
+    /// `nanos` across loops wins each cell. Called at scrape time, so each
+    /// window reports its own worst observations instead of an all-time
+    /// max that never moves.
+    pub fn take_merged(loops: &[Arc<OutcomeExemplars>]) -> Vec<[Exemplar; BUCKETS]> {
+        let mut out = vec![[Exemplar::default(); BUCKETS]; Outcome::COUNT];
+        for l in loops {
+            for (o, row) in l.per.iter().enumerate() {
+                for (b, slot) in row.iter().enumerate() {
+                    let nanos = slot.nanos.swap(0, Ordering::Relaxed);
+                    let trace = slot.trace.swap(0, Ordering::Relaxed);
+                    if trace != 0 && nanos >= out[o][b].nanos {
+                        out[o][b] = Exemplar { nanos, trace };
+                    }
+                }
             }
         }
         out
@@ -632,6 +711,26 @@ mod tests {
         for (i, o) in Outcome::ALL.iter().enumerate() {
             assert_eq!(o.index(), i);
         }
+    }
+
+    #[test]
+    fn exemplars_keep_worst_per_bucket_and_drain_on_take() {
+        let a = Arc::new(OutcomeExemplars::new());
+        let b = Arc::new(OutcomeExemplars::new());
+        a.observe(Outcome::L1Hit, 10, 0xAAA);
+        a.observe(Outcome::L1Hit, 12, 0xBBB); // same octave, larger wins
+        a.observe(Outcome::L1Hit, 11, 0); // no trace: skipped
+        b.observe(Outcome::L1Hit, 13, 0xCCC); // other loop, largest overall
+        b.observe(Outcome::Origin, 1000, 0xDDD);
+        let loops = vec![Arc::clone(&a), Arc::clone(&b)];
+        let merged = OutcomeExemplars::take_merged(&loops);
+        let cell = merged[Outcome::L1Hit.index()][bucket_of(13)];
+        assert_eq!((cell.nanos, cell.trace), (13, 0xCCC));
+        let slow = merged[Outcome::Origin.index()][bucket_of(1000)];
+        assert_eq!((slow.nanos, slow.trace), (1000, 0xDDD));
+        // The drain emptied every slot: a second take sees nothing.
+        let again = OutcomeExemplars::take_merged(&loops);
+        assert!(again.iter().flatten().all(|e| e.trace == 0));
     }
 
     #[test]

@@ -60,10 +60,21 @@ pub enum ClusterFrame {
         /// treating it as "no validator" costs at most one redundant
         /// body per astronomically unlikely colliding fragment.)
         known: u64,
+        /// Requester's span-tracing context as `(trace id, span id)`, so
+        /// the donor's serve span stitches into the same trace. Optional
+        /// trailing field: peers from before the tracing wire revision
+        /// omit it entirely and still decode.
+        trace: Option<(u64, u64)>,
     },
     /// Answer to [`ClusterFrame::FetchReq`]. `hit == false` means the peer's
     /// slot is empty (or it refused); `body` is then empty.
-    FetchResp { hit: bool, body: Vec<u8> },
+    FetchResp {
+        hit: bool,
+        body: Vec<u8>,
+        /// Donor's `(trace id, serve span id)` echo — optional trailing
+        /// field, same wire-compat rule as on the request.
+        trace: Option<(u64, u64)>,
+    },
     /// Answer to a conditional [`ClusterFrame::FetchReq`] whose `known`
     /// hash matched the donor's slot: the requester's bytes are current,
     /// no body moves. `hash` echoes the matched identity.
@@ -109,6 +120,15 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
     put_u32(buf, b.len() as u32);
     buf.extend_from_slice(b);
+}
+
+/// Optional trailing trace context: 16 bytes when present, nothing at all
+/// when absent (`None` encodes exactly like a pre-tracing peer's frame).
+fn put_trace(buf: &mut Vec<u8>, trace: &Option<(u64, u64)>) {
+    if let Some((tid, sid)) = trace {
+        put_u64(buf, *tid);
+        put_u64(buf, *sid);
+    }
 }
 
 fn put_vv(buf: &mut Vec<u8>, vv: &[(u32, u64)]) {
@@ -185,6 +205,21 @@ impl<'a> Cursor<'a> {
         (0..n).map(|_| Ok((self.u32()?, self.u64()?))).collect()
     }
 
+    /// Decode the optional trailing trace context. The claimed length is
+    /// the *remaining byte count itself*, so the hostile-length rule
+    /// stays airtight: exactly 16 bytes left → `Some`, exactly 0 →
+    /// `None` (old-peer frame), anything else is a malformed frame.
+    fn trace(&mut self) -> io::Result<Option<(u64, u64)>> {
+        match self.remaining() {
+            0 => Ok(None),
+            16 => Ok(Some((self.u64()?, self.u64()?))),
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trailing bytes are not a trace context",
+            )),
+        }
+    }
+
     fn done(&self) -> io::Result<()> {
         if self.pos != self.buf.len() {
             return Err(io::Error::new(
@@ -201,15 +236,21 @@ impl ClusterFrame {
     pub fn encode(&self) -> Vec<u8> {
         let mut body = Vec::with_capacity(64);
         match self {
-            ClusterFrame::FetchReq { key, known } => {
+            ClusterFrame::FetchReq { key, known, trace } => {
                 body.push(TAG_FETCH_REQ);
                 put_u32(&mut body, *key);
                 put_u64(&mut body, *known);
+                put_trace(&mut body, trace);
             }
-            ClusterFrame::FetchResp { hit, body: b } => {
+            ClusterFrame::FetchResp {
+                hit,
+                body: b,
+                trace,
+            } => {
                 body.push(TAG_FETCH_RESP);
                 body.push(u8::from(*hit));
                 put_bytes(&mut body, b);
+                put_trace(&mut body, trace);
             }
             ClusterFrame::FetchNotModified { hash } => {
                 body.push(TAG_FETCH_NOT_MODIFIED);
@@ -290,11 +331,13 @@ impl ClusterFrame {
             TAG_FETCH_REQ => ClusterFrame::FetchReq {
                 key: c.u32()?,
                 known: c.u64()?,
+                trace: c.trace()?,
             },
             TAG_FETCH_RESP => {
                 let hit = c.u8()? != 0;
                 let body = c.bytes()?.to_vec();
-                ClusterFrame::FetchResp { hit, body }
+                let trace = c.trace()?;
+                ClusterFrame::FetchResp { hit, body, trace }
             }
             TAG_FETCH_NOT_MODIFIED => ClusterFrame::FetchNotModified { hash: c.u64()? },
             TAG_GOSSIP_SYN => ClusterFrame::GossipSyn {
@@ -354,18 +397,25 @@ mod tests {
 
     #[test]
     fn all_variants_roundtrip() {
-        roundtrip(ClusterFrame::FetchReq { key: 0, known: 0 });
+        roundtrip(ClusterFrame::FetchReq {
+            key: 0,
+            known: 0,
+            trace: None,
+        });
         roundtrip(ClusterFrame::FetchReq {
             key: u32::MAX,
             known: u64::MAX,
+            trace: Some((0xfeed_f00d, 42)),
         });
         roundtrip(ClusterFrame::FetchResp {
             hit: true,
             body: b"<nav>hello</nav>".to_vec(),
+            trace: Some((7, u64::MAX)),
         });
         roundtrip(ClusterFrame::FetchResp {
             hit: false,
             body: Vec::new(),
+            trace: None,
         });
         roundtrip(ClusterFrame::FetchNotModified { hash: 0xdead_beef });
         roundtrip(ClusterFrame::GossipSyn {
@@ -395,10 +445,15 @@ mod tests {
 
     #[test]
     fn back_to_back_frames_parse_in_order() {
-        let a = ClusterFrame::FetchReq { key: 5, known: 7 };
+        let a = ClusterFrame::FetchReq {
+            key: 5,
+            known: 7,
+            trace: None,
+        };
         let b = ClusterFrame::FetchResp {
             hit: true,
             body: vec![1, 2, 3],
+            trace: Some((9, 11)),
         };
         let mut wire = a.encode();
         wire.extend_from_slice(&b.encode());
@@ -412,11 +467,79 @@ mod tests {
     fn clean_eof_is_none_mid_frame_eof_is_error() {
         let mut empty: &[u8] = &[];
         assert_eq!(ClusterFrame::read_from(&mut empty).unwrap(), None);
-        let bytes = ClusterFrame::FetchReq { key: 1, known: 0 }.encode();
+        let bytes = ClusterFrame::FetchReq {
+            key: 1,
+            known: 0,
+            trace: None,
+        }
+        .encode();
         let mut truncated = &bytes[..bytes.len() - 1];
         assert!(ClusterFrame::read_from(&mut truncated).is_err());
         let mut half_length = &bytes[..2];
         assert!(ClusterFrame::read_from(&mut half_length).is_err());
+    }
+
+    #[test]
+    fn old_peer_frames_without_trace_field_still_decode() {
+        // Hand-encode the pre-tracing wire layout (no trailing 16 bytes):
+        // an old peer's FetchReq/FetchResp must decode as `trace: None`.
+        let mut body = vec![TAG_FETCH_REQ];
+        body.extend_from_slice(&7u32.to_le_bytes());
+        body.extend_from_slice(&99u64.to_le_bytes());
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        assert_eq!(
+            ClusterFrame::read_from(&mut &wire[..]).unwrap().unwrap(),
+            ClusterFrame::FetchReq {
+                key: 7,
+                known: 99,
+                trace: None,
+            }
+        );
+
+        let mut body = vec![TAG_FETCH_RESP, 1];
+        body.extend_from_slice(&3u32.to_le_bytes());
+        body.extend_from_slice(b"abc");
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        assert_eq!(
+            ClusterFrame::read_from(&mut &wire[..]).unwrap().unwrap(),
+            ClusterFrame::FetchResp {
+                hit: true,
+                body: b"abc".to_vec(),
+                trace: None,
+            }
+        );
+    }
+
+    #[test]
+    fn traceless_new_frames_match_old_wire_layout() {
+        // The reverse direction: a new node sending `trace: None` puts
+        // exactly the old bytes on the wire, so old peers parse it too.
+        let wire = ClusterFrame::FetchReq {
+            key: 7,
+            known: 99,
+            trace: None,
+        }
+        .encode();
+        let mut expected = (13u32).to_le_bytes().to_vec();
+        expected.push(TAG_FETCH_REQ);
+        expected.extend_from_slice(&7u32.to_le_bytes());
+        expected.extend_from_slice(&99u64.to_le_bytes());
+        assert_eq!(wire, expected);
+    }
+
+    #[test]
+    fn partial_trace_field_rejected() {
+        // 8 trailing bytes is neither "absent" (0) nor a full context
+        // (16): the hostile-length rule rejects it instead of guessing.
+        let mut body = vec![TAG_FETCH_REQ];
+        body.extend_from_slice(&7u32.to_le_bytes());
+        body.extend_from_slice(&99u64.to_le_bytes());
+        body.extend_from_slice(&1u64.to_le_bytes()); // half a context
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        assert!(ClusterFrame::read_from(&mut &wire[..]).is_err());
     }
 
     #[test]

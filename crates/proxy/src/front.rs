@@ -11,6 +11,7 @@ use dpc_core::{assemble_rope, AssembleError, AssembledRope, FragmentSource, Frag
 use dpc_firewall::Firewall;
 use dpc_http::{Body, Client, Handler, Method, Request, Response, Status};
 use dpc_metrics::Registry as MetricsRegistry;
+use dpc_trace::{render_journey, Layer, SpanStatus, Tracer, TRACE_HEADER};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -86,6 +87,11 @@ pub struct Proxy {
     /// the BEM directory; ring nodes route it through the gossiped
     /// cluster-wide purge.
     dep_purger: Option<DepPurger>,
+    /// Span recorder handle. `Tracer::off()` unless installed via
+    /// [`Proxy::with_tracer`]; the serving paths then record spans under
+    /// the request's trace context (established by the HTTP front, or by
+    /// [`Proxy::serve`] itself for direct calls).
+    tracer: Tracer,
     stats: ProxyStats,
 }
 
@@ -113,8 +119,23 @@ impl Proxy {
             page_tier: false,
             metrics: None,
             dep_purger: None,
+            tracer: Tracer::off(),
             stats: ProxyStats::default(),
         }
+    }
+
+    /// Builder: record spans into `tracer`'s flight recorder and serve
+    /// `GET /_dpc/trace/recent` from its keep-list. Pass a tracer built on
+    /// the fleet's shared recorder so this front's spans stitch into the
+    /// same traces as the HTTP servers' and peers'.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Proxy {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The proxy's span recorder handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Builder: set the distributed-DPC node id (0–63) this proxy announces
@@ -205,7 +226,30 @@ impl Proxy {
     }
 
     /// Serve one client request.
+    ///
+    /// The HTTP front normally establishes the trace context before the
+    /// handler runs; a direct call (tests, embedding without a server)
+    /// opens its own root span here so the journey is still recorded.
     pub fn serve(&self, req: Request) -> Response {
+        if !self.tracer.enabled() || dpc_trace::current().is_some() {
+            return self.serve_traced(req);
+        }
+        let Some(ctx) = self
+            .tracer
+            .begin_request(Layer::Proxy, req.headers.get(TRACE_HEADER))
+        else {
+            return self.serve_traced(req);
+        };
+        let guard = dpc_trace::enter(ctx.trace_id, ctx.span_id);
+        let resp = self.serve_traced(req);
+        drop(guard);
+        let ok = resp.status.is_success() || resp.status == Status::NOT_MODIFIED;
+        self.tracer
+            .finish_root(ctx, if ok { SpanStatus::Ok } else { SpanStatus::Error });
+        resp
+    }
+
+    fn serve_traced(&self, req: Request) -> Response {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         if req.method == Method::Get && req.path() == "/_dpc/metrics" {
             if let Some(registry) = &self.metrics {
@@ -213,10 +257,23 @@ impl Proxy {
                     .with_header("Content-Type", "text/plain; version=0.0.4");
             }
         }
+        if req.method == Method::Get && req.path() == "/_dpc/trace/recent" {
+            if let Some(rec) = self.tracer.recorder() {
+                return Response::html(rec.recent_json())
+                    .with_header("Content-Type", "application/json");
+            }
+        }
         if req.method == Method::Purge {
-            let resp = self.handle_purge(&req);
+            let resp = {
+                let mut sp = self.tracer.span(Layer::Purge);
+                let resp = self.handle_purge(&req);
+                if !resp.status.is_success() {
+                    sp.set_status(SpanStatus::Error);
+                }
+                resp
+            };
             if req.headers.get("X-DPC-Trace").is_some() {
-                return self.attach_trace(resp);
+                return self.attach_journey(resp);
             }
             return resp;
         }
@@ -230,47 +287,28 @@ impl Proxy {
             .delivered_bytes
             .fetch_add(resp.body.len() as u64, Ordering::Relaxed);
         if req.headers.get("X-DPC-Trace").is_some() {
-            return self.attach_trace(resp);
+            return self.attach_journey(resp);
         }
         resp
     }
 
     /// Annotate a response with its cache journey (opt-in via the
-    /// `X-DPC-Trace` request header): which tier served it, the
-    /// single-flight role it played, how many rope segments it carries,
-    /// and which node/shard produced it. Space-separated `k=v` pairs so
-    /// tests and operators can parse it without a grammar.
-    fn attach_trace(&self, resp: Response) -> Response {
-        let x_cache = resp.headers.get("X-Cache");
-        let peer_fetched = resp.headers.get("X-DPC-Peer-Fetched").is_some();
-        let tier = if resp.status == Status::NOT_MODIFIED {
-            // A hash-only serve: the validator matched and no body moved.
-            "revalidated"
-        } else if !resp.status.is_success() {
-            "error"
-        } else if peer_fetched {
-            "peer"
-        } else {
-            match x_cache {
-                Some("dpc-l1") => "l1",
-                Some("dpc-l2") | Some("page-hit") => "l2",
-                Some("dpc-assembled") | Some("esi-assembled") => "assembled",
-                Some("page-coalesced") => "flight-wait",
-                Some("purged") => "purge",
-                _ => "origin",
-            }
+    /// `X-DPC-Trace` request header), rendered from the span recorder:
+    /// the trace id, which tier served it, the single-flight role it
+    /// played, how many rope segments it carries, and which node produced
+    /// it. Space-separated `k=v` pairs so tests and operators can parse
+    /// it without a grammar.
+    fn attach_journey(&self, resp: Response) -> Response {
+        let Some((trace_id, _)) = dpc_trace::current() else {
+            return resp;
         };
-        let flight = match x_cache {
-            Some("page-coalesced") => "waiter",
-            Some("page-miss") => "leader",
-            _ => "none",
+        let Some(rec) = self.tracer.recorder() else {
+            return resp;
         };
         let segments = resp.body.segments().len();
-        let trace = format!(
-            "tier={tier} flight={flight} segments={segments} shard={}",
-            self.node
-        );
-        resp.with_header("X-DPC-Trace", trace)
+        let spans = rec.spans_of(trace_id);
+        let journey = render_journey(trace_id, &spans, segments, u64::from(self.node), self.node);
+        resp.with_header("X-DPC-Trace", journey)
     }
 
     fn handle_purge(&self, req: &Request) -> Response {
@@ -312,6 +350,14 @@ impl Proxy {
         announce_peer_fetch: bool,
     ) -> Result<Response, Response> {
         let mut upstream_req = req.clone();
+        if let Some((tid, sid)) = dpc_trace::current() {
+            // Propagate the trace context on the origin leg so an
+            // instrumented upstream (another DPC node, a traced origin
+            // front) stitches its spans into this request's trace.
+            upstream_req
+                .headers
+                .set(TRACE_HEADER, dpc_trace::format_ctx(tid, sid));
+        }
         if self.mode == ProxyMode::Dpc {
             upstream_req
                 .headers
@@ -445,6 +491,12 @@ impl Proxy {
             return resp;
         }
         let etag = resp.headers.get("ETag").expect("matched above").to_owned();
+        // The full page was rebuilt (and installed tier-side) but only the
+        // hash goes to the client — record the collapse so the journey
+        // reports `revalidated`, not the rebuild path.
+        let mut sp = self.tracer.span(Layer::Proxy);
+        sp.set_status(SpanStatus::Revalidated);
+        drop(sp);
         let x_cache = resp.headers.get("X-Cache").map(str::to_owned);
         let mut out = Response::status(Status::NOT_MODIFIED).with_header("ETag", etag);
         if let Some(x_cache) = x_cache {
@@ -460,13 +512,16 @@ impl Proxy {
     /// stale and the get-side validation refuses to serve it.
     fn serve_dpc_tiered(&self, req: &Request) -> Response {
         let key = page_key(&req.target, session_of(req));
+        let mut sp = self.tracer.span(Layer::TierL2);
         if let Some(hit) = self.page_cache.get_page(&key) {
             // The lookup already dropped any epoch-outdated entry, so a
             // matching validator here is provably current — answer with
             // the hash alone.
             if let Some(resp) = revalidated_response(req, hit.etag.as_deref(), "dpc-l2") {
+                sp.set_status(SpanStatus::Revalidated);
                 return resp;
             }
+            sp.set_status(SpanStatus::Hit);
             let mut resp = Response::html(hit.body)
                 .with_header("Content-Type", hit.content_type)
                 .with_header("X-Cache", "dpc-l2");
@@ -475,6 +530,8 @@ impl Proxy {
             }
             return resp;
         }
+        sp.set_status(SpanStatus::Miss);
+        drop(sp);
         let stamp = self.page_cache.coherence_stamp();
         let resp = self.serve_dpc_assembling(req);
         if resp.status.is_success() && resp.headers.get("X-Cache") == Some("dpc-assembled") {
@@ -547,7 +604,19 @@ impl Proxy {
         // response body unflattened, and the HTTP serializer puts them on
         // the wire with vectored writes. No byte of a cached fragment is
         // copied between the slot store and the client socket.
-        let (rope, fetched) = self.assemble_with_source(&template, &req.target)?;
+        let (rope, fetched) = {
+            let mut sp = self.tracer.span(Layer::Assembly);
+            match self.assemble_with_source(&template, &req.target) {
+                Ok((rope, fetched)) => {
+                    sp.set_detail(rope.segments.len() as u64);
+                    (rope, fetched)
+                }
+                Err(err) => {
+                    sp.set_status(SpanStatus::Error);
+                    return Err(err);
+                }
+            }
+        };
         self.stats.assembled.fetch_add(1, Ordering::Relaxed);
         // The strong ETag is the assembly-time content identity: byte-
         // identical pages (same fragments, same literals) agree on it, so

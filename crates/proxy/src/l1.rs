@@ -26,6 +26,7 @@
 use crate::page_cache::PageCache;
 use bytes::Bytes;
 use dpc_http::{LoopCache, LoopCacheFactory, Method, Request, Response, Status};
+use dpc_trace::{render_journey, Layer, SpanStatus, Tracer};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -261,6 +262,10 @@ pub struct LoopTier {
     /// `X-DPC-Trace` cache journey so an operator can see which loop's L1
     /// served a traced hit.
     loop_index: usize,
+    /// Span recorder handle: tier probes record `TierL1`/`TierL2` spans,
+    /// and the opt-in `X-DPC-Trace` response header is rendered from the
+    /// request's recorded spans.
+    tracer: Tracer,
 }
 
 impl LoopTier {
@@ -269,6 +274,7 @@ impl LoopTier {
             l1: L1Cache::new(l1_budget_bytes, ttl),
             resolve,
             loop_index: 0,
+            tracer: Tracer::off(),
         }
     }
 
@@ -279,31 +285,55 @@ impl LoopTier {
         self
     }
 
+    /// Builder: record tier spans (and render `X-DPC-Trace` journeys)
+    /// through `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> LoopTier {
+        self.tracer = tracer;
+        self
+    }
+
     /// A [`LoopCacheFactory`] handing every event loop its own private
-    /// `LoopTier` over a shared resolver.
-    pub fn factory(l1_budget_bytes: usize, ttl: Duration, resolve: L2Resolver) -> LoopCacheFactory {
+    /// `LoopTier` over a shared resolver and span recorder.
+    pub fn factory(
+        l1_budget_bytes: usize,
+        ttl: Duration,
+        resolve: L2Resolver,
+        tracer: Tracer,
+    ) -> LoopCacheFactory {
         Arc::new(move |loop_index| {
             Box::new(
                 LoopTier::new(l1_budget_bytes, ttl, Arc::clone(&resolve))
-                    .with_loop_index(loop_index),
+                    .with_loop_index(loop_index)
+                    .with_tracer(tracer.clone()),
             )
         })
     }
 
-    /// Opt-in cache-journey annotation for tier-served responses, the
-    /// loop-local twin of the proxy front's trace: tier hits never reach
-    /// the handler, so the journey must be written here or traced L1/L2
-    /// hits would report nothing.
-    fn attach_trace(&self, req: &Request, resp: Response, tier: &str) -> Response {
+    /// Opt-in cache-journey annotation for tier-served responses: when the
+    /// request carries `X-DPC-Trace`, the response echoes it as a rendered
+    /// view of the spans this request has recorded so far. Tier hits never
+    /// reach the handler, so the journey must be written here or traced
+    /// L1/L2 hits would report nothing.
+    fn attach_journey(&self, req: &Request, resp: Response) -> Response {
         if req.headers.get("X-DPC-Trace").is_none() {
             return resp;
         }
+        let Some((trace_id, _)) = dpc_trace::current() else {
+            return resp;
+        };
+        let Some(rec) = self.tracer.recorder() else {
+            return resp;
+        };
         let segments = resp.body.segments().len();
-        let trace = format!(
-            "tier={tier} flight=none segments={segments} shard={}",
-            self.loop_index
+        let spans = rec.spans_of(trace_id);
+        let journey = render_journey(
+            trace_id,
+            &spans,
+            segments,
+            self.loop_index as u64,
+            self.tracer.node(),
         );
-        resp.with_header("X-DPC-Trace", trace)
+        resp.with_header("X-DPC-Trace", journey)
     }
 }
 
@@ -313,24 +343,36 @@ impl LoopCache for LoopTier {
             return None;
         }
         let key = page_key(&req.target, session_of(req));
+        let mut sp = self.tracer.span(Layer::TierL1);
         if let Some((body, content_type, etag)) = self.l1.get(&key) {
             // Conditional GETs whose validator still matches are answered
             // hash-for-hash: no body bytes touched, no allocation beyond
             // the headers. The entry already passed epoch validation in
             // `L1Cache::get`, so this 304 cannot confirm a stale page.
             if let Some(resp) = revalidated_response(req, etag.as_deref(), "dpc-l1") {
-                return Some(self.attach_trace(req, resp, "revalidated"));
+                sp.set_status(SpanStatus::Revalidated);
+                drop(sp);
+                return Some(self.attach_journey(req, resp));
             }
+            sp.set_status(SpanStatus::Hit);
             let mut resp = Response::html(body)
                 .with_header("Content-Type", content_type)
                 .with_header("X-Cache", "dpc-l1");
             if let Some(etag) = etag {
                 resp = resp.with_header("ETag", etag);
             }
-            return Some(self.attach_trace(req, resp, "l1"));
+            drop(sp);
+            return Some(self.attach_journey(req, resp));
         }
+        sp.set_status(SpanStatus::Miss);
+        drop(sp);
         let l2 = (self.resolve)(&req.target)?;
-        let hit = l2.get_page(&key)?;
+        let mut l2sp = self.tracer.span(Layer::TierL2);
+        let Some(hit) = l2.get_page(&key) else {
+            l2sp.set_status(SpanStatus::Miss);
+            return None;
+        };
+        l2sp.set_status(SpanStatus::Hit);
         if let Some(stamp) = hit.stamp {
             // Only stamped (DPC-installed) entries are promotable: an
             // unstamped entry has no epoch to validate against, so L1
@@ -349,7 +391,9 @@ impl LoopCache for LoopTier {
             }
         }
         if let Some(resp) = revalidated_response(req, hit.etag.as_deref(), "dpc-l2") {
-            return Some(self.attach_trace(req, resp, "revalidated"));
+            l2sp.set_status(SpanStatus::Revalidated);
+            drop(l2sp);
+            return Some(self.attach_journey(req, resp));
         }
         let mut resp = Response::html(hit.body)
             .with_header("Content-Type", hit.content_type)
@@ -357,7 +401,8 @@ impl LoopCache for LoopTier {
         if let Some(etag) = hit.etag {
             resp = resp.with_header("ETag", etag);
         }
-        Some(self.attach_trace(req, resp, "l2"))
+        drop(l2sp);
+        Some(self.attach_journey(req, resp))
     }
 }
 

@@ -20,8 +20,9 @@ use std::sync::Arc;
 use dpc_cluster::PeerNode;
 use dpc_core::Bem;
 use dpc_http::{LoopStats, ServerStats};
-use dpc_metrics::{Exposition, Outcome, OutcomeHistograms, Registry};
+use dpc_metrics::{Exposition, Outcome, OutcomeExemplars, OutcomeHistograms, Registry};
 use dpc_net::MeterRegistry;
+use dpc_trace::Tracer;
 
 use crate::front::Proxy;
 use crate::page_cache::PageCache;
@@ -370,6 +371,7 @@ pub fn register_server(
     let server = server.into();
     let per_loop: Vec<Arc<LoopStats>> = stats.per_loop().to_vec();
     let latency: Vec<Arc<OutcomeHistograms>> = stats.latency_per_loop().to_vec();
+    let exemplars: Vec<Arc<OutcomeExemplars>> = stats.exemplars_per_loop().to_vec();
     registry.register(key, move |e| {
         use std::sync::atomic::Ordering;
         let base = [("server", server.as_str())];
@@ -400,6 +402,62 @@ pub fn register_server(
             let labels = with_label(&base, "outcome", outcome.label());
             e.histogram("dpc_request_duration_ns", &labels, &merged[outcome.index()]);
         }
+        if !exemplars.is_empty() {
+            // The worst observation per (outcome, bucket) of this scrape
+            // window, tagged with its trace id — a dashboard's jump-off
+            // from a latency bucket into the flight recorder. Draining at
+            // scrape keeps each window's tail its own.
+            let worst = OutcomeExemplars::take_merged(&exemplars);
+            for outcome in Outcome::ALL {
+                for (b, ex) in worst[outcome.index()].iter().enumerate() {
+                    if ex.trace == 0 {
+                        continue;
+                    }
+                    let le = dpc_metrics::bucket_upper(b).to_string();
+                    let trace = format!("{:016x}", ex.trace);
+                    let mut labels = with_label(&base, "outcome", outcome.label());
+                    labels.push(("le", le.as_str()));
+                    labels.push(("trace_id", trace.as_str()));
+                    e.gauge("dpc_request_duration_ns_exemplar", &labels, ex.nanos);
+                }
+            }
+        }
+    });
+}
+
+/// The span recorder's own health: spans recorded, per-ring overwrite
+/// pressure, and tail-retention counts split by reason. A no-op when the
+/// tracer is off.
+pub fn register_trace(registry: &Registry, key: impl Into<String>, tracer: Tracer) {
+    let Some(rec) = tracer.recorder().cloned() else {
+        return;
+    };
+    registry.register(key, move |e| {
+        let s = rec.stats();
+        e.counter("dpc_trace_spans_total", &[], s.spans_total);
+        for (i, n) in s.ring_overwrites.iter().enumerate() {
+            let i = i.to_string();
+            e.counter(
+                "dpc_trace_ring_overwrites_total",
+                &[("loop", i.as_str())],
+                *n,
+            );
+        }
+        e.counter(
+            "dpc_trace_retained_total",
+            &[("reason", "slow")],
+            s.retained_slow,
+        );
+        e.counter(
+            "dpc_trace_retained_total",
+            &[("reason", "error")],
+            s.retained_error,
+        );
+        e.counter(
+            "dpc_trace_retained_total",
+            &[("reason", "evicted")],
+            s.retained_evicted,
+        );
     });
 }
 

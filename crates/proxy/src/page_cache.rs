@@ -19,6 +19,7 @@
 use bytes::Bytes;
 use dpc_core::{fnv1a, CoherencyEpoch, FlightGroup, Join, Publish, ReplacePolicy, Replacer};
 use dpc_net::Clock;
+use dpc_trace::{Layer, SpanStatus, Tracer};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -198,6 +199,10 @@ pub struct PageCache {
     flight_leaders: AtomicU64,
     coalesced_waits: AtomicU64,
     flight_retries: AtomicU64,
+    /// Span recorder handle for the L2 lookup and single-flight legs of
+    /// [`PageCache::get_or_fill`]. `Tracer::off()` until
+    /// [`PageCache::set_tracer`] installs one.
+    tracer: Mutex<Tracer>,
 }
 
 impl PageCache {
@@ -238,7 +243,21 @@ impl PageCache {
             flight_leaders: AtomicU64::new(0),
             coalesced_waits: AtomicU64::new(0),
             flight_retries: AtomicU64::new(0),
+            tracer: Mutex::new(Tracer::off()),
         }
+    }
+
+    /// Install a span recorder handle: [`PageCache::get_or_fill`] then
+    /// records a `TierL2` span per lookup and a `Flight` span per
+    /// coalescing lap under the calling request's trace context.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock() = tracer;
+    }
+
+    /// The single-flight group coalescing concurrent fills (exposed for
+    /// tests that stage flash crowds deterministically).
+    pub fn flight(&self) -> &FlightGroup<u64, (Bytes, String)> {
+        &self.flight
     }
 
     /// Attach the node's coherence epoch, turning on stamp validation for
@@ -460,13 +479,28 @@ impl PageCache {
         target: &str,
         fill: impl FnOnce() -> Option<(Bytes, String)>,
     ) -> PageServe {
-        if let Some((body, ct)) = self.get(target) {
-            return PageServe::Hit(body, ct);
-        }
+        let tracer = self.tracer.lock().clone();
         let ident = fnv1a(target.as_bytes());
+        {
+            let mut sp = tracer.span(Layer::TierL2);
+            sp.set_detail(ident);
+            if let Some((body, ct)) = self.get(target) {
+                sp.set_status(SpanStatus::Hit);
+                return PageServe::Hit(body, ct);
+            }
+            sp.set_status(SpanStatus::Miss);
+        }
         for _ in 0..MAX_FILL_LAPS {
+            let mut fsp = tracer.span(Layer::Flight);
+            fsp.set_detail(ident);
             match self.flight.join(ident) {
                 Join::Lead(leader) => {
+                    fsp.set_status(SpanStatus::Leader);
+                    if fsp.on() {
+                        // Stamp the flight with this span's id so every
+                        // waiter's span can point back at the leader.
+                        leader.annotate(fsp.id());
+                    }
                     self.flight_leaders.fetch_add(1, Ordering::Relaxed);
                     // Captured before the origin fetch: any purge/clear
                     // landing after this point outdates the fill.
@@ -501,11 +535,14 @@ impl PageCache {
                         }
                     };
                 }
-                Join::Value((body, ct)) => {
+                Join::Value((body, ct), leader_span) => {
+                    fsp.set_status(SpanStatus::Waiter);
+                    fsp.set_detail(leader_span);
                     self.coalesced_waits.fetch_add(1, Ordering::Relaxed);
                     return PageServe::Coalesced(body, ct);
                 }
                 Join::Retry => {
+                    fsp.cancel();
                     self.flight_retries.fetch_add(1, Ordering::Relaxed);
                     // The flight landed, went stale, or was poisoned under
                     // us; a landed leader typically has installed the page

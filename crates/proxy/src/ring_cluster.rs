@@ -40,6 +40,7 @@ use dpc_core::{Bem, CoherencyEpoch, DpcKey, FragmentSource, FragmentStore, Repla
 use dpc_http::{Client, Method, Request, Response, Status};
 use dpc_metrics::Registry as MetricsRegistry;
 use dpc_net::{Clock, SimConnector, SimNetwork};
+use dpc_trace::{TraceConfig, Tracer};
 
 use crate::esi::EsiAssembler;
 use crate::front::Proxy;
@@ -76,6 +77,12 @@ pub struct RingConfig {
     /// Byte budget for each node's slot store; `None` (the default) keeps
     /// the classic slot-count-capacity store.
     pub node_budget_bytes: Option<usize>,
+    /// Span tracing: one flight recorder shared by every node's proxy,
+    /// page tier, and peer endpoint (each recording under its own node
+    /// id), so a front→owner→donor request stitches into a single trace
+    /// retrievable at any node's `GET /_dpc/trace/recent`. Always on by
+    /// default.
+    pub trace: TraceConfig,
 }
 
 impl Default for RingConfig {
@@ -89,6 +96,7 @@ impl Default for RingConfig {
             replace: ReplacePolicy::Lru,
             l1_budget_bytes: 0,
             node_budget_bytes: None,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -138,6 +146,10 @@ pub struct RingCluster {
     /// The HTTP `PURGE` + `X-DPC-Dep` admin path needs it to free keys at
     /// the shared directory.
     origin_bem: Mutex<Option<Arc<Bem>>>,
+    /// One flight recorder for the whole ring: every node's proxy, page
+    /// tier, and peer endpoint records into it under its own node id, so
+    /// a cross-node request reads back as a single trace at any node.
+    tracer: Tracer,
 }
 
 impl RingCluster {
@@ -156,6 +168,7 @@ impl RingCluster {
         clock: Clock,
     ) -> RingCluster {
         assert!((1..=64).contains(&n), "1–64 nodes");
+        let tracer = Tracer::from_config(config.trace, clock.clone());
         let cluster = RingCluster {
             net: Arc::clone(net),
             config,
@@ -169,11 +182,19 @@ impl RingCluster {
             registry: Arc::new(MetricsRegistry::new()),
             clock,
             origin_bem: Mutex::new(None),
+            tracer,
         };
+        crate::metrics::register_trace(&cluster.registry, "trace", cluster.tracer.clone());
         for _ in 0..n {
             cluster.join();
         }
         cluster
+    }
+
+    /// The ring-wide span tracer; its recorder backs
+    /// `GET /_dpc/trace/recent` at every node and the HTTP front.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The cluster-wide metrics registry (the one `GET /_dpc/metrics`
@@ -256,6 +277,7 @@ impl RingCluster {
         // Every peer's gossip scrub bumps the shared epoch, so applied
         // invalidations unserve stamped assembled pages on every node.
         peer.set_coherence(self.coherence.clone());
+        peer.set_tracer(self.tracer.with_node(id));
         let server = PeerServer::spawn(&self.net, &peer);
         let fetcher = Arc::new(PeerFetcher {
             self_id: id,
@@ -271,6 +293,7 @@ impl RingCluster {
             self.config.replace,
         )
         .with_coherence(self.coherence.clone());
+        page_cache.set_tracer(self.tracer.with_node(id));
         let mut proxy = Proxy::new(
             ProxyMode::Dpc,
             ORIGIN_ADDR,
@@ -282,7 +305,8 @@ impl RingCluster {
         )
         .with_node(id)
         .with_metrics(Arc::clone(&self.registry))
-        .with_fragment_source(fetcher);
+        .with_fragment_source(fetcher)
+        .with_tracer(self.tracer.with_node(id));
         if self.config.l1_budget_bytes > 0 {
             proxy = proxy.with_page_tier();
         }
@@ -421,6 +445,12 @@ impl RingCluster {
             return Response::html(self.registry.render())
                 .with_header("Content-Type", "text/plain; version=0.0.4");
         }
+        if req.method == Method::Get && req.path() == "/_dpc/trace/recent" {
+            if let Some(rec) = self.tracer.recorder() {
+                return Response::html(rec.recent_json())
+                    .with_header("Content-Type", "application/json");
+            }
+        }
         if req.method == Method::Purge {
             if let Some(dep) = req.headers.get("X-DPC-Dep") {
                 return self.purge_dep(dep);
@@ -463,7 +493,8 @@ impl RingCluster {
                 ..Default::default()
             })
             .with_loops(self.config.loops)
-            .with_request_metrics(self.clock.clone());
+            .with_request_metrics(self.clock.clone())
+            .with_tracer(self.tracer.clone());
         if self.config.l1_budget_bytes > 0 {
             // Each event loop gets a private L1 over a membership-routing
             // resolver: an L1 miss probes the ring owner's page cache (L2)
@@ -481,6 +512,7 @@ impl RingCluster {
                 self.config.l1_budget_bytes,
                 Duration::from_secs(60),
                 resolve,
+                self.tracer.clone(),
             ));
         }
         let handle = server.spawn();

@@ -24,6 +24,7 @@ use dpc_http::{Client, Request, Response, Server, ServerHandle};
 use dpc_net::{Clock, MeterRegistry, MeterSnapshot, ProtocolModel, SimNetwork, VirtualClock};
 use dpc_repository::datasets::{filler, seed_all, DatasetConfig};
 use dpc_repository::Repository;
+use dpc_trace::{TraceConfig, Tracer};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -93,6 +94,12 @@ pub struct TestbedConfig {
     /// bench harness turns it off to measure the instrumentation's own
     /// overhead.
     pub metrics: bool,
+    /// Span tracing: one flight recorder shared by the origin front, the
+    /// proxy front, the page tier, and the BEM, so a request's spans
+    /// stitch into a single trace. Always on by default (the recorder is
+    /// fixed-capacity and allocation-free on the hot path); the bench
+    /// harness disables it to measure the tracer's own overhead.
+    pub trace: TraceConfig,
 }
 
 impl Default for TestbedConfig {
@@ -117,6 +124,7 @@ impl Default for TestbedConfig {
             l1_budget_bytes: 0,
             node_budget_bytes: None,
             metrics: true,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -133,6 +141,7 @@ pub struct Testbed {
     origin_server: ServerHandle,
     proxy_server: ServerHandle,
     metrics: Option<Arc<MetricsRegistry>>,
+    tracer: Tracer,
 }
 
 impl Testbed {
@@ -141,6 +150,10 @@ impl Testbed {
         let registry = MeterRegistry::new();
         let net = SimNetwork::new(Arc::clone(&registry), config.protocol);
         let (clock, clock_handle) = Clock::virtual_clock();
+        // One flight recorder for the whole testbed: the origin front
+        // records under node 1, everything in the external box under node
+        // 0, so a request's spans stitch into a single trace.
+        let tracer = Tracer::from_config(config.trace, clock.clone());
 
         // --- Origin box: repository + BEM + script engine + web server.
         let repo = Repository::with_defaults();
@@ -157,6 +170,7 @@ impl Testbed {
             bem_config = bem_config.with_forced_hit_ratio(h);
         }
         let bem = Arc::new(Bem::new(bem_config));
+        bem.set_tracer(tracer.with_node(1));
         let mut engine = ScriptEngine::new(Arc::clone(&bem), Arc::clone(&repo));
         paper_site::install(&mut engine, config.paper_params);
         if config.demo_sites {
@@ -173,6 +187,7 @@ impl Testbed {
             ..Default::default()
         })
         .with_loops(config.loops)
+        .with_tracer(tracer.with_node(1))
         .spawn();
 
         // --- External box: firewall + proxy (+ DPC store / page cache /
@@ -205,6 +220,7 @@ impl Testbed {
             });
         }
         let page_cache = Arc::new(page_cache);
+        page_cache.set_tracer(tracer.clone());
         let esi = Arc::new(EsiAssembler::new(clock.clone(), config.esi_ttl));
         if config.mode == ProxyMode::Esi {
             register_paper_templates(&esi, &config.paper_params);
@@ -221,6 +237,7 @@ impl Testbed {
         if tier_on {
             proxy = proxy.with_page_tier();
         }
+        proxy = proxy.with_tracer(tracer.clone());
         let metrics = config.metrics.then(|| Arc::new(MetricsRegistry::new()));
         if let Some(metrics) = &metrics {
             proxy = proxy.with_metrics(Arc::clone(metrics));
@@ -247,7 +264,8 @@ impl Testbed {
             workers: config.workers,
             ..Default::default()
         })
-        .with_loops(config.loops);
+        .with_loops(config.loops)
+        .with_tracer(tracer.clone());
         if config.metrics {
             proxy_server = proxy_server.with_request_metrics(clock.clone());
         }
@@ -260,6 +278,7 @@ impl Testbed {
                 config.l1_budget_bytes,
                 config.page_cache_ttl,
                 resolve,
+                tracer.clone(),
             ));
         }
         let proxy_server = proxy_server.spawn();
@@ -271,6 +290,7 @@ impl Testbed {
             crate::metrics::register_server(reg, "server-proxy", "proxy", proxy_server.stats());
             crate::metrics::register_server(reg, "server-origin", "origin", origin_server.stats());
             crate::metrics::register_meters(reg, "meters", Arc::clone(&registry));
+            crate::metrics::register_trace(reg, "trace", tracer.clone());
         }
 
         let client = Client::new(Arc::new(net.connector()));
@@ -285,6 +305,7 @@ impl Testbed {
             origin_server,
             proxy_server,
             metrics,
+            tracer,
         }
     }
 
@@ -315,6 +336,12 @@ impl Testbed {
     /// this accessor lets tests and benches scrape without a socket.
     pub fn metrics_registry(&self) -> Option<&Arc<MetricsRegistry>> {
         self.metrics.as_ref()
+    }
+
+    /// The fleet-wide span tracer; its recorder backs
+    /// `GET /_dpc/trace/recent` on the proxy front.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Virtual-clock handle (advance time to expire TTLs).
